@@ -1,0 +1,133 @@
+// Experiment E7 — failure detector behaviour (Section IV-B): detection
+// latency for omission / timing / crash failures in communication rounds,
+// permanence of commission detection, and eventual strong accuracy under
+// eventual synchrony (false suspicions before GST, none after, helped by
+// adaptive timeouts).
+#include <cstdint>
+#include <iostream>
+
+#include "metrics/table.hpp"
+#include "runtime/quorum_cluster.hpp"
+
+using namespace qsel;
+using namespace qsel::runtime;
+
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+QuorumClusterConfig config_for(ProcessId n, int f, std::uint64_t seed) {
+  QuorumClusterConfig config;
+  config.n = n;
+  config.f = f;
+  config.seed = seed;
+  config.network.base_latency = 1 * kMs;
+  config.network.jitter = 200'000;
+  config.heartbeat_period = 5 * kMs;
+  config.fd.initial_timeout = 12 * kMs;
+  return config;
+}
+
+/// Time from fault injection until some correct process suspects the
+/// culprit, in communication rounds.
+double detection_rounds(QuorumCluster& cluster, ProcessId culprit,
+                        SimTime injected_at) {
+  auto& sim = cluster.simulator();
+  const double round = static_cast<double>(cluster.network().round_length());
+  for (SimTime t = injected_at; t < injected_at + 5000 * kMs; t += kMs) {
+    sim.run_until(t);
+    for (ProcessId id : cluster.alive()) {
+      if (cluster.process(id).failure_detector().suspected().contains(
+              culprit))
+        return static_cast<double>(sim.now() - injected_at) / round;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E7: failure detection latency and accuracy\n\n";
+  metrics::Table table(
+      {"failure", "n", "f", "detection (rounds)", "quorum excludes culprit"});
+
+  // Crash failure.
+  {
+    QuorumCluster cluster(config_for(4, 1, 1));
+    cluster.start();
+    cluster.simulator().run_until(50 * kMs);
+    cluster.network().crash(1);
+    const double rounds = detection_rounds(cluster, 1, 50 * kMs);
+    cluster.simulator().run_until(2000 * kMs);
+    const auto quorum = cluster.agreed_quorum();
+    table.row("crash", 4, 1, rounds,
+              quorum && !quorum->contains(1) ? "yes" : "NO");
+  }
+  // Omission on a single link (Section I: individual links).
+  {
+    QuorumCluster cluster(config_for(4, 1, 2));
+    cluster.start();
+    cluster.simulator().run_until(50 * kMs);
+    cluster.network().set_link_enabled(1, 0, false);
+    const double rounds = detection_rounds(cluster, 1, 50 * kMs);
+    cluster.simulator().run_until(2000 * kMs);
+    const auto quorum = cluster.agreed_quorum();
+    table.row("link omission", 4, 1, rounds,
+              quorum && !quorum->contains(1) ? "yes" : "NO");
+  }
+  // Timing failure: all links from the culprit slowed far beyond the
+  // timeout (increasing timing failure, eventually detected).
+  {
+    auto config = config_for(4, 1, 3);
+    config.fd.adaptive = false;
+    QuorumCluster cluster(config);
+    cluster.start();
+    cluster.simulator().run_until(50 * kMs);
+    for (ProcessId to = 0; to < 4; ++to)
+      if (to != 2) cluster.network().set_link_extra_delay(2, to, 100 * kMs);
+    const double rounds = detection_rounds(cluster, 2, 50 * kMs);
+    cluster.simulator().run_until(2000 * kMs);
+    const auto quorum = cluster.agreed_quorum();
+    table.row("timing (100ms delay)", 4, 1, rounds,
+              quorum && !quorum->contains(2) ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  // Eventual strong accuracy under eventual synchrony.
+  std::cout << "\nEventual strong accuracy across GST (pre-GST extra delay "
+               "60 ms >> 12 ms timeout):\n\n";
+  metrics::Table accuracy({"phase", "false suspicions raised",
+                           "suspicions cancelled", "agreed quorum"});
+  auto config = config_for(5, 2, 4);
+  config.network.pre_gst_extra = 60 * kMs;
+  config.network.gst = 400 * kMs;
+  QuorumCluster cluster(config);
+  cluster.start();
+  cluster.simulator().run_until(400 * kMs);
+  std::uint64_t raised_pre = 0, cancelled_pre = 0;
+  for (ProcessId id : cluster.correct()) {
+    raised_pre += cluster.process(id).failure_detector().suspicions_raised();
+    cancelled_pre +=
+        cluster.process(id).failure_detector().suspicions_cancelled();
+  }
+  accuracy.row("pre-GST (0-400ms)", raised_pre, cancelled_pre, "-");
+  cluster.simulator().run_until(3000 * kMs);
+  // Settle, then measure a quiet post-GST window.
+  std::uint64_t raised_mid = 0;
+  for (ProcessId id : cluster.correct())
+    raised_mid += cluster.process(id).failure_detector().suspicions_raised();
+  cluster.simulator().run_until(6000 * kMs);
+  std::uint64_t raised_post = 0, cancelled_post = 0;
+  for (ProcessId id : cluster.correct()) {
+    raised_post += cluster.process(id).failure_detector().suspicions_raised();
+    cancelled_post +=
+        cluster.process(id).failure_detector().suspicions_cancelled();
+  }
+  const auto agreed = cluster.agreed_quorum();
+  accuracy.row("post-GST window (3s-6s)", raised_post - raised_mid,
+               cancelled_post - cancelled_pre,
+               agreed ? agreed->to_string() : "(disagree)");
+  accuracy.print(std::cout);
+  return 0;
+}

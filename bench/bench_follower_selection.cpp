@@ -1,0 +1,58 @@
+// Experiment E3 — Follower Selection interruption bounds (Section IX):
+// Theorem 9 (<= 3f+1 quorums per epoch) and Corollary 10 (<= 6f+2 after
+// the failure detector becomes accurate), against the adversary game of
+// Section VIII. Also shows the crossover against general Quorum
+// Selection: 3f+1 = C(f+2,2) at f = 3, strictly smaller from f = 4 — the
+// O(f) vs Omega(f^2) separation of the paper's abstract.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "adversary/follower_game.hpp"
+#include "adversary/quorum_game.hpp"
+#include "common/combinatorics.hpp"
+#include "metrics/table.hpp"
+
+using namespace qsel;
+
+int main() {
+  std::cout << "E3: worst-case quorums issued by Algorithm 2 (one epoch)\n"
+            << "paper: Theorem 9 bound 3f+1 per epoch; Corollary 10: 6f+2 "
+               "total\n\n";
+  metrics::Table table({"f", "n", "exact quorums", "constructive",
+                        "greedy", "3f+1 (Thm 9)", "6f+2 (Cor 10)",
+                        "QS worst case C(f+2,2)"});
+  for (int f = 1; f <= 8; ++f) {
+    const auto n = static_cast<ProcessId>(3 * f + 1);
+    adversary::FollowerGame game(adversary::FollowerGameConfig{n, f, 0});
+    std::string exact = "-";
+    if (f <= 2)
+      exact = std::to_string(game.max_changes().leader_changes + 1);
+    const auto constructive = game.constructive_changes();
+    const auto greedy = game.greedy_changes();
+    table.row(f, n, exact, constructive.leader_changes + 1,
+              greedy.leader_changes + 1, 3 * f + 1, 6 * f + 2,
+              binomial(static_cast<std::uint64_t>(f) + 2, 2));
+  }
+  table.print(std::cout);
+  std::cout
+      << "\n('exact' explores the full game tree, feasible for f <= 2; the\n"
+         "constructive strategy achieves the 3f+1 cap for f <= 5 and stays\n"
+         "a lower bound beyond. QS column: Theorem 4 — Follower Selection\n"
+         "wins strictly from f = 4 on.)\n\n";
+
+  std::cout << "Constructive adversary trace for f = 2 (leader walk):\n";
+  adversary::FollowerGame game(adversary::FollowerGameConfig{7, 2, 0});
+  const auto result = game.constructive_changes();
+  metrics::Table trace({"step", "suspicion", "leader"});
+  graph::SimpleGraph g(7);
+  trace.row(0, "(initial)", game.leader_for(g));
+  int step = 1;
+  for (auto [u, v] : result.suspicions) {
+    g.add_edge(u, v);
+    trace.row(step++, "p" + std::to_string(u) + " ~ p" + std::to_string(v),
+              game.leader_for(g));
+  }
+  trace.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Experiment E6 — the Section VI-C feasibility claim: the NP-hard
+// independent-set step of Algorithm 1 is "easy to compute" at
+// consortium/permissioned-blockchain scale (tens of nodes).
+//
+// google-benchmark microbenchmarks of first_independent_set and
+// maximal_line_subgraph on adversarially structured suspect graphs
+// (suspicions confined to a cover of f faulty processes — the only graphs
+// the algorithm sees once the failure detector is accurate), plus a
+// hostile dense-core variant.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "graph/independent_set.hpp"
+#include "graph/line_subgraph.hpp"
+#include "suspect/suspicion_matrix.hpp"
+
+using namespace qsel;
+
+namespace {
+
+/// Suspect graph after an adversary run: edges cover-bounded by f faulty
+/// nodes (star-heavy), the shape Algorithm 1 actually solves on.
+graph::SimpleGraph adversarial_graph(ProcessId n, int f, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::SimpleGraph g(n);
+  for (ProcessId faulty = 0; faulty < static_cast<ProcessId>(f); ++faulty)
+    for (ProcessId victim = 0; victim < n; ++victim)
+      if (victim != faulty && rng.chance(0.5)) g.add_edge(faulty, victim);
+  return g;
+}
+
+/// Dense core on f+2 nodes minus a matching — the Theorem 4 terminal
+/// state, the hardest feasible instance near the cover budget.
+graph::SimpleGraph dense_core_graph(ProcessId n, int f) {
+  graph::SimpleGraph g(n);
+  const auto core = static_cast<ProcessId>(f + 2);
+  for (ProcessId u = 0; u < core; ++u)
+    for (ProcessId v = u + 1; v < core; ++v)
+      if (!(u + 1 == v && u % 2 == 0)) g.add_edge(u, v);
+  return g;
+}
+
+void BM_FirstIndependentSet(benchmark::State& state) {
+  const auto n = static_cast<ProcessId>(state.range(0));
+  const int f = static_cast<int>(n) / 3;
+  const auto g = adversarial_graph(n, f, 99);
+  const int q = static_cast<int>(n) - f;
+  for (auto _ : state) {
+    auto result = graph::first_independent_set(g, q);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FirstIndependentSet)->Arg(10)->Arg(16)->Arg(32)->Arg(48)->Arg(64);
+
+void BM_FirstIndependentSetDenseCore(benchmark::State& state) {
+  const auto n = static_cast<ProcessId>(state.range(0));
+  const int f = static_cast<int>(n) / 3;
+  const auto g = dense_core_graph(n, f);
+  const int q = static_cast<int>(n) - f;
+  for (auto _ : state) {
+    auto result = graph::first_independent_set(g, q);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FirstIndependentSetDenseCore)->Arg(10)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_HasIndependentSet(benchmark::State& state) {
+  const auto n = static_cast<ProcessId>(state.range(0));
+  const int f = static_cast<int>(n) / 3;
+  const auto g = adversarial_graph(n, f, 7);
+  const int q = static_cast<int>(n) - f;
+  for (auto _ : state) {
+    bool result = graph::has_independent_set(g, q);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HasIndependentSet)->Arg(10)->Arg(32)->Arg(64);
+
+void BM_MaximalLineSubgraph(benchmark::State& state) {
+  const auto n = static_cast<ProcessId>(state.range(0));
+  const int f = static_cast<int>(n) / 3;
+  const auto g = adversarial_graph(n, f, 13);
+  for (auto _ : state) {
+    auto line = graph::maximal_line_subgraph(g);
+    benchmark::DoNotOptimize(line);
+  }
+}
+BENCHMARK(BM_MaximalLineSubgraph)->Arg(10)->Arg(16)->Arg(31)->Arg(64);
+
+void BM_SuspectGraphBuild(benchmark::State& state) {
+  const auto n = static_cast<ProcessId>(state.range(0));
+  suspect::SuspicionMatrix matrix(n);
+  Rng rng(3);
+  for (int i = 0; i < 3 * static_cast<int>(n); ++i)
+    matrix.stamp(static_cast<ProcessId>(rng.below(n)),
+                 static_cast<ProcessId>(rng.below(n)), 1 + rng.below(4));
+  for (auto _ : state) {
+    auto g = matrix.build_suspect_graph(2);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_SuspectGraphBuild)->Arg(10)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Adversary duel — replay the paper's worst cases move by move.
+//
+// Pits the optimal adversary (Theorem 4 strategy, computed by exhaustive
+// game search) against Algorithm 1, printing every suspicion and the
+// quorum Algorithm 1 answers with; then does the same against Follower
+// Selection to show the O(f) walk. Run with an optional f (default 2):
+//
+//   ./build/examples/adversary_duel [f]
+#include <cstdlib>
+#include <iostream>
+
+#include "adversary/follower_game.hpp"
+#include "adversary/quorum_game.hpp"
+#include "common/combinatorics.hpp"
+
+using namespace qsel;
+using namespace qsel::adversary;
+
+int main(int argc, char** argv) {
+  int f = 2;
+  if (argc > 1) f = std::atoi(argv[1]);
+  if (f < 1 || f > 4) {
+    std::cerr << "f must be in 1..4 (exhaustive search)\n";
+    return 1;
+  }
+  const auto n = static_cast<ProcessId>(3 * f + 1);
+
+  std::cout << "=== Round 1: adversary vs Quorum Selection (Algorithm 1), "
+               "f = " << f << ", n = " << n << " ===\n";
+  QuorumGame qs_game(QuorumGameConfig{n, f, 0});
+  const GameResult qs = qs_game.max_changes();
+  graph::SimpleGraph g(n);
+  std::cout << "initial quorum " << qs_game.quorum_for(g).to_string() << "\n";
+  for (auto [u, v] : qs.suspicions) {
+    g.add_edge(u, v);
+    std::cout << "adversary: p" << u << " suspects p" << v
+              << "   ->  new quorum " << qs_game.quorum_for(g).to_string()
+              << "\n";
+  }
+  std::cout << "total quorums: " << qs.changes + 1 << " = C(f+2,2) = "
+            << binomial(static_cast<std::uint64_t>(f) + 2, 2)
+            << " (Theorem 4 tight)\n\n";
+
+  std::cout << "=== Round 2: adversary vs Follower Selection (Algorithm 2) "
+               "===\n";
+  FollowerGame fs_game(FollowerGameConfig{n, f, 0});
+  const FollowerGameResult fs = f <= 2 ? fs_game.max_changes()
+                                       : fs_game.constructive_changes();
+  graph::SimpleGraph h(n);
+  std::cout << "initial leader p" << fs_game.leader_for(h) << "\n";
+  for (auto [u, v] : fs.suspicions) {
+    h.add_edge(u, v);
+    std::cout << "adversary: p" << u << " suspects p" << v
+              << "   ->  leader p" << fs_game.leader_for(h) << "\n";
+  }
+  std::cout << "total quorums: " << fs.leader_changes + 1
+            << " (bound 3f+1 = " << 3 * f + 1 << ", Theorem 9)\n\n";
+
+  const auto qs_quorums = static_cast<long long>(qs.changes) + 1;
+  const auto fs_quorums = static_cast<long long>(fs.leader_changes) + 1;
+  if (fs_quorums < qs_quorums) {
+    std::cout << "Follower Selection needs " << qs_quorums - fs_quorums
+              << " fewer quorums than general Quorum Selection — and the "
+                 "gap grows quadratically with f (O(f) vs C(f+2,2)).\n";
+  } else {
+    std::cout << "At f <= 3 the linear 3f+1 still meets or exceeds "
+                 "C(f+2,2); rerun with f = 4 to see Follower Selection win "
+                 "(13 vs 15 quorums), and the gap grows quadratically from "
+                 "there.\n";
+  }
+  return 0;
+}

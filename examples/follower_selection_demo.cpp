@@ -1,0 +1,70 @@
+// Follower Selection (Section VIII) — leader-centric quorums in O(f).
+//
+// Seven processes, f = 2. We repeatedly knock out whoever is leading:
+// first a crash, then a leader that starts omitting heartbeats to one
+// follower. Watch the leader walk upward monotonically — Algorithm 2
+// changes the quorum only when the *leader* must change, which is what
+// caps interruptions at 3f+1 per epoch (Theorem 9).
+//
+//   ./build/examples/follower_selection_demo
+#include <iostream>
+
+#include "runtime/follower_cluster.hpp"
+
+using namespace qsel;
+using namespace qsel::runtime;
+
+int main() {
+  constexpr SimDuration kMs = 1'000'000;
+
+  FollowerClusterConfig config;
+  config.n = 7;
+  config.f = 2;
+  config.seed = 7;
+  FollowerCluster cluster(config);
+  cluster.start();
+
+  auto show = [&](const char* when) {
+    std::cout << when << " (t = "
+              << static_cast<double>(cluster.simulator().now()) / 1e6
+              << " ms)\n";
+    const auto agreed = cluster.agreed_leader_quorum();
+    if (agreed) {
+      std::cout << "  leader p" << agreed->first << ", quorum "
+                << agreed->second.to_string() << "\n";
+    } else {
+      std::cout << "  (processes still converging)\n";
+    }
+    std::cout << "  quorums issued so far (max per process): "
+              << cluster.max_quorums_issued() << "\n";
+  };
+
+  cluster.simulator().run_until(100 * kMs);
+  show("initial");
+
+  std::cout << "\n>>> crashing the leader p0\n\n";
+  cluster.network().crash(0);
+  cluster.simulator().run_until(1200 * kMs);
+  show("after leader crash");
+
+  const auto agreed = cluster.agreed_leader_quorum();
+  if (agreed) {
+    const ProcessId leader = agreed->first;
+    const ProcessId victim = (agreed->second - ProcessSet{leader}).max();
+    std::cout << "\n>>> leader p" << leader
+              << " now omits heartbeats to follower p" << victim
+              << " (single-link omission)\n\n";
+    cluster.network().set_link_enabled(leader, victim, false);
+    cluster.network().set_link_enabled(victim, leader, false);
+  }
+  cluster.simulator().run_until(3000 * kMs);
+  show("after the omitting leader is replaced");
+
+  std::cout << "\nNo-leader-suspicion (Section VIII): followers may even\n"
+               "suspect each other, but whenever a quorum member and the\n"
+               "leader suspect each other, the maximal-line-subgraph rule\n"
+               "designates the next leader — at most 3f+1 quorums per epoch\n"
+               "(Theorem 9) instead of the Omega(f^2) of general Quorum\n"
+               "Selection.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Replicated key-value store on XPaxos with Quorum Selection (Section V).
+//
+// Seven replicas tolerate f = 2 arbitrary failures; three clients hammer
+// the KV store while we crash one quorum member and cut a single link of
+// another. Quorum Selection identifies the culprits from individual-link
+// omission evidence and installs a working quorum; the enumeration
+// baseline (original XPaxos) is run side by side for comparison.
+//
+//   ./build/examples/xpaxos_kv
+#include <iostream>
+
+#include "metrics/table.hpp"
+#include "xpaxos/cluster.hpp"
+
+using namespace qsel;
+using namespace qsel::xpaxos;
+
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+struct RunStats {
+  std::uint64_t completed;
+  std::uint64_t view_changes;
+  double median_latency_ms;
+  bool consistent;
+  std::string final_quorum;
+};
+
+RunStats run(QuorumPolicy policy) {
+  ClusterConfig config;
+  config.n = 7;
+  config.f = 2;
+  config.policy = policy;
+  config.clients = 3;
+  config.seed = 2026;
+  config.fd.initial_timeout = 10 * kMs;
+  Cluster cluster(config);
+  cluster.start_clients(60);  // 60 requests per client
+
+  cluster.simulator().run_until(50 * kMs);
+  cluster.network().crash(1);  // quorum member dies
+  cluster.simulator().run_until(150 * kMs);
+  // Process 3 starts omitting messages to process 0 only — a failure on a
+  // single link (Section I).
+  cluster.network().set_link_enabled(3, 0, false);
+  cluster.simulator().run_until(20'000 * kMs);
+
+  RunStats stats{};
+  stats.completed = cluster.total_completed();
+  stats.view_changes = cluster.max_view_changes();
+  stats.median_latency_ms = cluster.client(0).latencies().median() / 1e6;
+  stats.consistent = cluster.histories_consistent();
+  ProcessId probe = cluster.alive_replicas().min();
+  stats.final_quorum = cluster.replica(probe).active_quorum().to_string();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "XPaxos replicated KV store, n = 7, f = 2, 3 clients x 60 "
+               "requests\nfaults: crash p1 at 50 ms, p3 omits to p0 from "
+               "150 ms\n\n";
+  metrics::Table table({"policy", "completed", "view changes",
+                        "median lat (ms)", "final quorum", "consistent"});
+  for (const auto policy :
+       {QuorumPolicy::kQuorumSelection, QuorumPolicy::kEnumeration}) {
+    const RunStats stats = run(policy);
+    table.row(policy == QuorumPolicy::kQuorumSelection ? "quorum-selection"
+                                                       : "enumeration",
+              stats.completed, stats.view_changes, stats.median_latency_ms,
+              stats.final_quorum, stats.consistent ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nBoth policies keep the store consistent; Quorum Selection\n"
+               "needs far fewer view changes because the failure detector\n"
+               "identifies the culprits instead of trying quorums blindly.\n";
+  return 0;
+}

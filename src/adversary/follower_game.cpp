@@ -1,0 +1,178 @@
+#include "adversary/follower_game.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "graph/independent_set.hpp"
+#include "graph/line_subgraph.hpp"
+
+namespace qsel::adversary {
+
+FollowerGame::FollowerGame(FollowerGameConfig config) : config_(config) {
+  QSEL_REQUIRE(config.n <= kMaxProcesses);
+  QSEL_REQUIRE(config.f >= 1);
+  QSEL_REQUIRE(config.n > 3 * static_cast<ProcessId>(config.f));
+  const ProcessId core = config_.core_size();
+  QSEL_REQUIRE(core <= config.n);
+  for (ProcessId u = 0; u < core; ++u)
+    for (ProcessId v = u + 1; v < core; ++v) core_pairs_.emplace_back(u, v);
+}
+
+graph::SimpleGraph FollowerGame::graph_of(std::uint64_t edge_mask) const {
+  graph::SimpleGraph g(config_.n);
+  for (std::size_t i = 0; i < core_pairs_.size(); ++i)
+    if ((edge_mask >> i) & 1)
+      g.add_edge(core_pairs_[i].first, core_pairs_[i].second);
+  return g;
+}
+
+bool FollowerGame::valid_edge_set(std::uint64_t edge_mask) const {
+  const graph::SimpleGraph g = graph_of(edge_mask);
+  if (!graph::vertex_cover_within(g, config_.f)) return false;
+  // An epoch change would reset the walk; the adversary stays inside one
+  // epoch, which requires the quorum to keep existing. The cover bound
+  // already implies it, but assert the invariant cheaply in debug terms.
+  return true;
+}
+
+ProcessId FollowerGame::leader_for(const graph::SimpleGraph& suspicions) const {
+  const auto leader =
+      graph::line_leader(graph::maximal_line_subgraph(suspicions));
+  QSEL_ASSERT(leader.has_value());
+  return *leader;
+}
+
+FollowerGameResult FollowerGame::max_changes() const {
+  QSEL_REQUIRE_MSG(core_pairs_.size() <= 64,
+                   "exhaustive search needs an edge bitmask (core <= 11); "
+                   "use greedy_changes()/constructive_changes() beyond");
+  struct Frame {
+    const FollowerGame* game = nullptr;
+    std::unordered_map<std::uint64_t, std::uint32_t> memo;
+    std::uint64_t states = 0;
+
+    std::uint32_t best_from(std::uint64_t mask, ProcessId current_leader) {
+      // The leader is a pure function of the mask, so (mask) is enough
+      // state; current_leader is passed to avoid recomputation.
+      if (const auto it = memo.find(mask); it != memo.end())
+        return it->second;
+      ++states;
+      std::uint32_t best = 0;
+      for (std::size_t i = 0; i < game->core_pairs_.size(); ++i) {
+        if ((mask >> i) & 1) continue;
+        const std::uint64_t next = mask | (std::uint64_t{1} << i);
+        if (!game->valid_edge_set(next)) continue;
+        const ProcessId next_leader = game->leader_for(game->graph_of(next));
+        const std::uint32_t gained = next_leader != current_leader ? 1 : 0;
+        best = std::max(best, gained + best_from(next, next_leader));
+      }
+      memo.emplace(mask, best);
+      return best;
+    }
+
+    void reconstruct(std::uint64_t mask, ProcessId current_leader,
+                     std::vector<std::pair<ProcessId, ProcessId>>& out) {
+      const std::uint32_t want = best_from(mask, current_leader);
+      if (want == 0) return;
+      for (std::size_t i = 0; i < game->core_pairs_.size(); ++i) {
+        if ((mask >> i) & 1) continue;
+        const std::uint64_t next = mask | (std::uint64_t{1} << i);
+        if (!game->valid_edge_set(next)) continue;
+        const ProcessId next_leader = game->leader_for(game->graph_of(next));
+        const std::uint32_t gained = next_leader != current_leader ? 1 : 0;
+        if (gained + best_from(next, next_leader) == want) {
+          out.push_back(game->core_pairs_[i]);
+          reconstruct(next, next_leader, out);
+          return;
+        }
+      }
+      QSEL_ASSERT_MSG(false, "optimal move must exist");
+    }
+  };
+
+  Frame frame;
+  frame.game = this;
+  FollowerGameResult result;
+  result.leader_changes = frame.best_from(0, leader_for(graph_of(0)));
+  frame.reconstruct(0, leader_for(graph_of(0)), result.suspicions);
+  result.states_explored = frame.states;
+  graph::SimpleGraph final_graph(config_.n);
+  for (auto [u, v] : result.suspicions) final_graph.add_edge(u, v);
+  result.final_leader = leader_for(final_graph);
+  return result;
+}
+
+FollowerGameResult FollowerGame::constructive_changes() const {
+  QSEL_REQUIRE_MSG(config_.n == 3 * static_cast<ProcessId>(config_.f) + 1,
+                   "the constructive walk is defined for n = 3f + 1");
+  FollowerGameResult result;
+  graph::SimpleGraph suspicions(config_.n);
+  ProcessId leader = leader_for(suspicions);
+  auto play = [&](ProcessId u, ProcessId v) {
+    suspicions.add_edge(u, v);
+    result.suspicions.emplace_back(u, v);
+    const ProcessId next_leader = leader_for(suspicions);
+    if (next_leader != leader) ++result.leader_changes;
+    leader = next_leader;
+  };
+  const auto f = static_cast<ProcessId>(config_.f);
+  for (ProcessId j = 0; j < f; ++j) {
+    // Walk edges: three suspicions from faulty j advance the leader across
+    // this segment...
+    if (j == 0) {
+      play(0, 3);
+      play(0, 1);
+      play(0, 2);
+    } else {
+      play(j, 3 * j + 3);
+      play(j, 3 * j - 1);
+      play(j, 3 * j);
+    }
+    // ...and filler suspicions pre-cover the next segment's nodes so the
+    // next faulty process can keep stepping the leader by exactly one.
+    if (j + 1 < f) {
+      play(j, 3 * j + 4);
+      play(j, 3 * j + 5);
+      play(j, 3 * j + 6);
+    }
+  }
+  QSEL_ASSERT(graph::vertex_cover_within(suspicions, config_.f).has_value());
+  result.final_leader = leader;
+  return result;
+}
+
+FollowerGameResult FollowerGame::greedy_changes() const {
+  FollowerGameResult result;
+  graph::SimpleGraph suspicions(config_.n);
+  std::vector<bool> used(core_pairs_.size(), false);
+  ProcessId leader = leader_for(suspicions);
+  for (;;) {
+    // Among unused valid pairs, pick the one whose new leader is the
+    // smallest strictly above the current leader (longest walk).
+    std::size_t best_pair = core_pairs_.size();
+    ProcessId best_leader = kNoProcess;
+    for (std::size_t i = 0; i < core_pairs_.size(); ++i) {
+      if (used[i]) continue;
+      graph::SimpleGraph next = suspicions;
+      next.add_edge(core_pairs_[i].first, core_pairs_[i].second);
+      if (!graph::vertex_cover_within(next, config_.f)) continue;
+      const ProcessId next_leader = leader_for(next);
+      if (next_leader <= leader) continue;
+      if (best_leader == kNoProcess || next_leader < best_leader) {
+        best_leader = next_leader;
+        best_pair = i;
+      }
+    }
+    if (best_pair == core_pairs_.size()) break;
+    used[best_pair] = true;
+    suspicions.add_edge(core_pairs_[best_pair].first,
+                        core_pairs_[best_pair].second);
+    result.suspicions.push_back(core_pairs_[best_pair]);
+    leader = best_leader;
+    ++result.leader_changes;
+  }
+  result.final_leader = leader;
+  return result;
+}
+
+}  // namespace qsel::adversary

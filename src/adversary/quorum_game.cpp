@@ -1,0 +1,126 @@
+#include "adversary/quorum_game.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "graph/independent_set.hpp"
+
+namespace qsel::adversary {
+
+QuorumGame::QuorumGame(QuorumGameConfig config) : config_(config) {
+  QSEL_REQUIRE(config.n <= kMaxProcesses);
+  QSEL_REQUIRE(config.f >= 1);
+  QSEL_REQUIRE(static_cast<int>(config.n) - config.f > config.f);
+  const ProcessId core = config_.core_size();
+  QSEL_REQUIRE(core <= config.n);
+  for (ProcessId u = 0; u < core; ++u)
+    for (ProcessId v = u + 1; v < core; ++v) core_pairs_.emplace_back(u, v);
+  QSEL_REQUIRE_MSG(core_pairs_.size() <= 32,
+                   "edge bitmask limited to 32 pairs (core <= 8)");
+}
+
+graph::SimpleGraph QuorumGame::graph_of(std::uint32_t edge_mask) const {
+  graph::SimpleGraph g(config_.n);
+  for (std::size_t i = 0; i < core_pairs_.size(); ++i)
+    if ((edge_mask >> i) & 1)
+      g.add_edge(core_pairs_[i].first, core_pairs_[i].second);
+  return g;
+}
+
+bool QuorumGame::cover_within_f(std::uint32_t edge_mask) const {
+  return graph::vertex_cover_within(graph_of(edge_mask), config_.f)
+      .has_value();
+}
+
+ProcessSet QuorumGame::quorum_for(const graph::SimpleGraph& suspicions) const {
+  const auto quorum = graph::first_independent_set(
+      suspicions, static_cast<int>(config_.n) - config_.f);
+  // The adversary keeps the used-edge cover within f, so a quorum always
+  // exists (no epoch changes happen after accuracy — Section VII-A).
+  QSEL_ASSERT(quorum.has_value());
+  return *quorum;
+}
+
+GameResult QuorumGame::max_changes() const {
+  struct Frame {
+    const QuorumGame* game = nullptr;
+    std::unordered_map<std::uint32_t, std::uint32_t> memo;
+    std::uint64_t states = 0;
+
+    std::uint32_t best_from(std::uint32_t mask) {
+      if (const auto it = memo.find(mask); it != memo.end())
+        return it->second;
+      ++states;
+      const ProcessSet quorum = game->quorum_for(game->graph_of(mask));
+      std::uint32_t best = 0;
+      for (std::size_t i = 0; i < game->core_pairs_.size(); ++i) {
+        if ((mask >> i) & 1) continue;  // pair already used
+        const auto [u, v] = game->core_pairs_[i];
+        // Rule (1): both endpoints must be inside the current quorum,
+        // otherwise the suspicion does not interrupt anything.
+        if (!quorum.contains(u) || !quorum.contains(v)) continue;
+        const std::uint32_t next = mask | (1u << i);
+        if (!game->cover_within_f(next)) continue;  // not attributable to f
+        best = std::max(best, 1 + best_from(next));
+      }
+      memo.emplace(mask, best);
+      return best;
+    }
+
+    /// Reconstructs one optimal suspicion sequence.
+    void reconstruct(std::uint32_t mask,
+                     std::vector<std::pair<ProcessId, ProcessId>>& out) {
+      const std::uint32_t want = best_from(mask);
+      if (want == 0) return;
+      const ProcessSet quorum = game->quorum_for(game->graph_of(mask));
+      for (std::size_t i = 0; i < game->core_pairs_.size(); ++i) {
+        if ((mask >> i) & 1) continue;
+        const auto [u, v] = game->core_pairs_[i];
+        if (!quorum.contains(u) || !quorum.contains(v)) continue;
+        const std::uint32_t next = mask | (1u << i);
+        if (!game->cover_within_f(next)) continue;
+        if (1 + best_from(next) == want) {
+          out.push_back(game->core_pairs_[i]);
+          reconstruct(next, out);
+          return;
+        }
+      }
+      QSEL_ASSERT_MSG(false, "optimal move must exist");
+    }
+  };
+
+  Frame frame;
+  frame.game = this;
+  GameResult result;
+  result.changes = frame.best_from(0);
+  frame.reconstruct(0, result.suspicions);
+  result.states_explored = frame.states;
+  return result;
+}
+
+GameResult QuorumGame::greedy_changes() const {
+  GameResult result;
+  graph::SimpleGraph suspicions(config_.n);
+  std::vector<bool> used(core_pairs_.size(), false);
+  for (;;) {
+    const ProcessSet quorum = quorum_for(suspicions);
+    bool moved = false;
+    for (std::size_t i = 0; i < core_pairs_.size(); ++i) {
+      if (used[i]) continue;
+      const auto [u, v] = core_pairs_[i];
+      if (!quorum.contains(u) || !quorum.contains(v)) continue;
+      graph::SimpleGraph next = suspicions;
+      next.add_edge(u, v);
+      if (!graph::vertex_cover_within(next, config_.f)) continue;
+      used[i] = true;
+      suspicions = next;
+      result.suspicions.push_back(core_pairs_[i]);
+      ++result.changes;
+      moved = true;
+      break;
+    }
+    if (!moved) return result;
+  }
+}
+
+}  // namespace qsel::adversary

@@ -1,0 +1,82 @@
+// The quorum-interruption game (Theorems 3 and 4).
+//
+// Models the adversary of Section VII playing against Algorithm 1 after
+// the failure detector has become accurate: the adversary waits until all
+// correct processes output the current quorum (so the game needs no
+// network — everyone computes the quorum from the same suspect graph),
+// then causes one suspicion between two members of that quorum. By Lemma
+// 2 every such suspicion forces a new quorum.
+//
+// Adversary constraints (realizability):
+//  * each unordered pair is usable once — repeating an edge changes
+//    nothing in the suspect graph;
+//  * the set of all caused suspicions must be attributable to f faulty
+//    processes: every edge needs a faulty endpoint (a correct process
+//    only suspects processes that actually misbehaved towards it, and
+//    correct processes do not misbehave), i.e. the used-edge graph must
+//    have a vertex cover of size <= f;
+//  * following the Theorem 4 strategy, suspicions are confined to a core
+//    of f+2 processes (two designated "victims" plus the f faulty — the
+//    proof shows this suffices for the C(f+2,2) lower bound).
+//
+// max_changes() explores the full game tree with memoization on the edge
+// set (the quorum is a pure function of the edge set), yielding the exact
+// worst case for Algorithm 1 — the number the paper reports as
+// "simulations suggest ... at most C(f+2,2)". greedy_changes() runs the
+// cheap constructive strategy for large f.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "graph/simple_graph.hpp"
+
+namespace qsel::adversary {
+
+struct QuorumGameConfig {
+  ProcessId n = 4;
+  int f = 1;
+  /// Number of processes the adversary confines suspicions to; the
+  /// Theorem 4 strategy uses f + 2. Must be <= n.
+  ProcessId core = 0;  // 0 = use f + 2
+
+  ProcessId core_size() const {
+    return core != 0 ? core : static_cast<ProcessId>(f + 2);
+  }
+};
+
+struct GameResult {
+  /// Quorum changes the adversary forced.
+  std::uint64_t changes = 0;
+  /// The suspicion sequence achieving it, as (suspecter, suspected) pairs.
+  std::vector<std::pair<ProcessId, ProcessId>> suspicions;
+  /// Game-tree states explored (exact search only).
+  std::uint64_t states_explored = 0;
+};
+
+class QuorumGame {
+ public:
+  explicit QuorumGame(QuorumGameConfig config);
+
+  /// Exact maximum via exhaustive search with memoization. Feasible for
+  /// core sizes up to ~7 (C(7,2) = 21 edge bits).
+  GameResult max_changes() const;
+
+  /// Greedy: plays the lexicographically first valid suspicion each turn.
+  GameResult greedy_changes() const;
+
+  /// The quorum Algorithm 1 outputs for a given suspicion edge set.
+  ProcessSet quorum_for(const graph::SimpleGraph& suspicions) const;
+
+ private:
+  QuorumGameConfig config_;
+  std::vector<std::pair<ProcessId, ProcessId>> core_pairs_;
+
+  graph::SimpleGraph graph_of(std::uint32_t edge_mask) const;
+  bool cover_within_f(std::uint32_t edge_mask) const;
+};
+
+}  // namespace qsel::adversary

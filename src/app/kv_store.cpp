@@ -1,0 +1,84 @@
+#include "app/kv_store.hpp"
+
+#include "net/codec.hpp"
+
+namespace qsel::app {
+
+std::vector<std::uint8_t> Operation::encode() const {
+  net::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(type));
+  enc.str(key);
+  enc.str(value);
+  return std::move(enc).take();
+}
+
+std::optional<Operation> Operation::decode(
+    std::span<const std::uint8_t> bytes) {
+  net::Decoder dec(bytes);
+  Operation op;
+  const std::uint8_t type = dec.u8();
+  op.key = dec.str();
+  op.value = dec.str();
+  if (!dec.done()) return std::nullopt;
+  switch (type) {
+    case static_cast<std::uint8_t>(OpType::kPut):
+      op.type = OpType::kPut;
+      break;
+    case static_cast<std::uint8_t>(OpType::kGet):
+      op.type = OpType::kGet;
+      break;
+    case static_cast<std::uint8_t>(OpType::kDel):
+      op.type = OpType::kDel;
+      break;
+    default:
+      return std::nullopt;
+  }
+  return op;
+}
+
+std::string KvStore::apply(const Operation& op) {
+  ++ops_applied_;
+  switch (op.type) {
+    case OpType::kPut: {
+      auto [it, inserted] = data_.insert_or_assign(op.key, op.value);
+      (void)it;
+      return inserted ? "" : "replaced";
+    }
+    case OpType::kGet: {
+      const auto it = data_.find(op.key);
+      return it == data_.end() ? "" : it->second;
+    }
+    case OpType::kDel: {
+      return data_.erase(op.key) > 0 ? "deleted" : "";
+    }
+  }
+  return "";
+}
+
+std::string KvStore::apply_encoded(std::span<const std::uint8_t> bytes) {
+  const auto op = Operation::decode(bytes);
+  if (!op) {
+    ++ops_applied_;
+    return "<malformed>";
+  }
+  return apply(*op);
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+crypto::Digest KvStore::state_digest() const {
+  net::Encoder enc;
+  enc.u64(ops_applied_);
+  enc.u64(data_.size());
+  for (const auto& [key, value] : data_) {
+    enc.str(key);
+    enc.str(value);
+  }
+  return crypto::sha256(enc.view());
+}
+
+}  // namespace qsel::app

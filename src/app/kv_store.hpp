@@ -1,0 +1,61 @@
+// Replicated key-value state machine.
+//
+// The deterministic application executed by the SMR protocols (XPaxos,
+// PBFT baseline, BChain baseline). Operations are encoded as byte strings
+// (net::Encoder format); apply() is deterministic, and state_digest()
+// lets tests assert that replicas executed identical histories without
+// comparing whole states.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace qsel::app {
+
+enum class OpType : std::uint8_t { kPut = 1, kGet = 2, kDel = 3 };
+
+struct Operation {
+  OpType type = OpType::kGet;
+  std::string key;
+  std::string value;  // only for kPut
+
+  std::vector<std::uint8_t> encode() const;
+  /// nullopt on malformed bytes (Byzantine input).
+  static std::optional<Operation> decode(
+      std::span<const std::uint8_t> bytes);
+
+  bool operator==(const Operation&) const = default;
+};
+
+class KvStore {
+ public:
+  /// Executes one operation, returns its result (value read, old value,
+  /// or empty).
+  std::string apply(const Operation& op);
+
+  /// Executes encoded bytes; malformed operations are no-ops with the
+  /// result "<malformed>" (a deterministic outcome all replicas share).
+  std::string apply_encoded(std::span<const std::uint8_t> bytes);
+
+  std::size_t size() const { return data_.size(); }
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Number of operations applied so far.
+  std::uint64_t ops_applied() const { return ops_applied_; }
+
+  /// Digest over (sorted contents, ops_applied): equal digests mean equal
+  /// executed histories for deterministic workloads.
+  crypto::Digest state_digest() const;
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t ops_applied_ = 0;
+};
+
+}  // namespace qsel::app

@@ -1,0 +1,37 @@
+#include "app/workload.hpp"
+
+#include "common/assert.hpp"
+
+namespace qsel::app {
+
+Workload::Workload(WorkloadConfig config)
+    : config_(config), rng_(config.seed ^ 0x776f726b6c6f6164ULL) {
+  QSEL_REQUIRE(config.key_space > 0);
+  QSEL_REQUIRE(config.put_fraction + config.get_fraction <= 1.0);
+}
+
+Operation Workload::next() {
+  Operation op;
+  op.key = "key-" + std::to_string(rng_.below(config_.key_space));
+  const double roll = rng_.uniform01();
+  if (roll < config_.put_fraction) {
+    op.type = OpType::kPut;
+    op.value.reserve(config_.value_bytes);
+    for (std::uint32_t i = 0; i < config_.value_bytes; ++i)
+      op.value.push_back(static_cast<char>('a' + rng_.below(26)));
+  } else if (roll < config_.put_fraction + config_.get_fraction) {
+    op.type = OpType::kGet;
+  } else {
+    op.type = OpType::kDel;
+  }
+  return op;
+}
+
+std::vector<Operation> Workload::batch(std::size_t count) {
+  std::vector<Operation> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ops.push_back(next());
+  return ops;
+}
+
+}  // namespace qsel::app

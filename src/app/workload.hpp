@@ -1,0 +1,39 @@
+// Deterministic client workload generation.
+//
+// Benchmarks (E5) and integration tests drive the replicated KV store
+// with reproducible operation streams: a seeded mix of PUT/GET/DEL over a
+// bounded key space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/kv_store.hpp"
+#include "common/rng.hpp"
+
+namespace qsel::app {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t key_space = 100;
+  std::uint32_t value_bytes = 16;
+  /// Probabilities; the remainder are deletes.
+  double put_fraction = 0.5;
+  double get_fraction = 0.4;
+};
+
+class Workload {
+ public:
+  explicit Workload(WorkloadConfig config);
+
+  /// The i-th operation is a pure function of (seed, i) sequence.
+  Operation next();
+
+  std::vector<Operation> batch(std::size_t count);
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+};
+
+}  // namespace qsel::app

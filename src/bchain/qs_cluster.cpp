@@ -1,0 +1,73 @@
+#include "bchain/qs_cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace qsel::bchain {
+
+QsChainCluster::QsChainCluster(QsClusterConfig config, ProcessSet byzantine)
+    : config_(config),
+      keys_(static_cast<ProcessId>(config.n + config.clients), config.seed),
+      network_(std::make_unique<sim::Network>(
+          sim_, static_cast<ProcessId>(config.n + config.clients),
+          config.network, config.seed)),
+      honest_replicas_(ProcessSet::full(config.n) - byzantine),
+      replicas_(config.n) {
+  QSEL_REQUIRE(byzantine.is_subset_of(ProcessSet::full(config.n)));
+  QsReplicaConfig replica_config;
+  replica_config.n = config.n;
+  replica_config.f = config.f;
+  replica_config.fd = config.fd;
+  for (ProcessId id : honest_replicas_) {
+    replicas_[id] =
+        std::make_unique<QsReplica>(*network_, keys_, id, replica_config);
+    network_->attach(id, *replicas_[id]);
+  }
+  smr::ClientConfig client_config;
+  client_config.replicas = config.n;
+  client_config.f = config.f;
+  client_config.retry_timeout = config.client_retry;
+  client_config.workload = config.workload;
+  for (std::uint32_t i = 0; i < config.clients; ++i) {
+    const auto id = static_cast<ProcessId>(config.n + i);
+    client_config.workload.seed = config.workload.seed + i;
+    clients_.push_back(
+        std::make_unique<smr::Client>(*network_, keys_, id, client_config));
+    network_->attach(id, *clients_.back());
+  }
+}
+
+QsReplica& QsChainCluster::replica(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n && replicas_[id] != nullptr);
+  return *replicas_[id];
+}
+
+smr::Client& QsChainCluster::client(std::uint32_t index) {
+  QSEL_REQUIRE(index < clients_.size());
+  return *clients_[index];
+}
+
+ProcessSet QsChainCluster::alive_replicas() const {
+  ProcessSet alive;
+  for (ProcessId id : honest_replicas_)
+    if (!network_->is_crashed(id)) alive.insert(id);
+  return alive;
+}
+
+void QsChainCluster::start_clients(std::uint64_t requests_per_client) {
+  for (auto& client : clients_) client->start(requests_per_client);
+}
+
+std::uint64_t QsChainCluster::total_completed() const {
+  std::uint64_t total = 0;
+  for (const auto& client : clients_) total += client->completed();
+  return total;
+}
+
+std::uint64_t QsChainCluster::max_reconfigurations() const {
+  std::uint64_t most = 0;
+  for (ProcessId id : alive_replicas())
+    most = std::max(most, replicas_[id]->reconfigurations());
+  return most;
+}
+
+}  // namespace qsel::bchain

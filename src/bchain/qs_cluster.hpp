@@ -1,0 +1,57 @@
+// QsChainCluster — chain replication with Quorum-Selection-driven
+// reconfiguration over the simulated network (future-work integration,
+// Section X).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bchain/qs_replica.hpp"
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "smr/client.hpp"
+
+namespace qsel::bchain {
+
+struct QsClusterConfig {
+  ProcessId n = 4;
+  int f = 1;
+  std::uint32_t clients = 1;
+  std::uint64_t seed = 1;
+  sim::NetworkConfig network;
+  fd::FailureDetectorConfig fd;
+  SimDuration client_retry = 50'000'000;
+  app::WorkloadConfig workload;
+};
+
+class QsChainCluster {
+ public:
+  explicit QsChainCluster(QsClusterConfig config, ProcessSet byzantine = {});
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return *network_; }
+  const crypto::KeyRegistry& keys() const { return keys_; }
+
+  QsReplica& replica(ProcessId id);
+  smr::Client& client(std::uint32_t index);
+
+  ProcessSet alive_replicas() const;
+  void start_clients(std::uint64_t requests_per_client);
+  std::uint64_t total_completed() const;
+  std::uint64_t max_reconfigurations() const;
+
+ private:
+  QsClusterConfig config_;
+  sim::Simulator sim_;
+  crypto::KeyRegistry keys_;
+  std::unique_ptr<sim::Network> network_;
+  ProcessSet honest_replicas_;
+  std::vector<std::unique_ptr<QsReplica>> replicas_;
+  std::vector<std::unique_ptr<smr::Client>> clients_;
+};
+
+}  // namespace qsel::bchain

@@ -1,0 +1,53 @@
+// Assertion macros.
+//
+// QSEL_ASSERT guards internal invariants (logic errors; throws
+// std::logic_error so tests can observe violations deterministically).
+// QSEL_REQUIRE guards public-API preconditions (throws
+// std::invalid_argument).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qsel::detail {
+
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'p') throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace qsel::detail
+
+#define QSEL_ASSERT(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::qsel::detail::assert_fail("invariant", #expr, __FILE__, __LINE__, \
+                                  "");                                    \
+  } while (false)
+
+#define QSEL_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::qsel::detail::assert_fail("invariant", #expr, __FILE__, __LINE__, \
+                                  (msg));                                 \
+  } while (false)
+
+#define QSEL_REQUIRE(expr)                                                     \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::qsel::detail::assert_fail("precondition", #expr, __FILE__, __LINE__,   \
+                                  "");                                         \
+  } while (false)
+
+#define QSEL_REQUIRE_MSG(expr, msg)                                            \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::qsel::detail::assert_fail("precondition", #expr, __FILE__, __LINE__,   \
+                                  (msg));                                      \
+  } while (false)

@@ -1,0 +1,81 @@
+#include "common/combinatorics.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace qsel {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t factor = n - k + i;
+    // result = result * factor / i, watching for overflow.
+    if (result > std::numeric_limits<std::uint64_t>::max() / factor)
+      return std::numeric_limits<std::uint64_t>::max();
+    result = result * factor / i;
+  }
+  return result;
+}
+
+ProcessSet first_subset(ProcessId n, int k) {
+  QSEL_REQUIRE(k >= 0 && static_cast<ProcessId>(k) <= n);
+  return ProcessSet::full(static_cast<ProcessId>(k));
+}
+
+std::optional<ProcessSet> next_subset(ProcessSet s, ProcessId n) {
+  QSEL_REQUIRE(n <= kMaxProcesses);
+  const std::uint64_t v = s.mask();
+  QSEL_REQUIRE(v != 0);
+  // Gosper's hack: next integer with the same popcount.
+  const std::uint64_t c = v & (~v + 1);
+  const std::uint64_t r = v + c;
+  if (r == 0) return std::nullopt;  // would overflow 64 bits
+  const std::uint64_t next = (((r ^ v) >> 2) / c) | r;
+  if (!ProcessSet(next).is_subset_of(ProcessSet::full(n))) return std::nullopt;
+  return ProcessSet(next);
+}
+
+std::uint64_t subset_rank(ProcessSet s, ProcessId n) {
+  // Rank in increasing-bitmask order equals the number of same-size subsets
+  // with a strictly smaller mask. Computed combinatorially: walk ids from
+  // high to low, counting subsets that agree on the prefix and omit the
+  // current member.
+  const int k = s.size();
+  std::uint64_t rank = 0;
+  int remaining = k;
+  for (ProcessId bit = n; bit-- > 0 && remaining > 0;) {
+    if (s.contains(bit)) {
+      // Subsets smaller in mask order put all `remaining` members below
+      // `bit`... they must match the prefix above `bit` and not contain
+      // `bit`, choosing all `remaining` members from {0..bit-1}.
+      rank += binomial(bit, static_cast<std::uint64_t>(remaining));
+      --remaining;
+    }
+  }
+  return rank;
+}
+
+ProcessSet subset_unrank(std::uint64_t rank, ProcessId n, int k) {
+  QSEL_REQUIRE(k >= 0 && static_cast<ProcessId>(k) <= n);
+  QSEL_REQUIRE(rank < binomial(n, static_cast<std::uint64_t>(k)));
+  // Combinatorial number system, descending: pick the largest member c with
+  // C(c, k) <= rank, subtract, recurse with k-1.
+  ProcessSet result;
+  int remaining = k;
+  for (ProcessId bit = n; bit-- > 0 && remaining > 0;) {
+    const std::uint64_t count =
+        binomial(bit, static_cast<std::uint64_t>(remaining));
+    if (count <= rank) {
+      result.insert(bit);
+      rank -= count;
+      --remaining;
+    }
+  }
+  QSEL_ASSERT(remaining == 0);
+  return result;
+}
+
+}  // namespace qsel

@@ -1,0 +1,33 @@
+// Combinatorial helpers.
+//
+// Used by the bounds in the paper (binomial C(f+2,2) in Theorems 3/4) and
+// by the XPaxos baseline, which enumerates all C(n,f) quorums in a fixed
+// order (Section V-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+
+namespace qsel {
+
+/// Binomial coefficient C(n, k); saturates at UINT64_MAX on overflow.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// First k-subset of {0..n-1} in colexicographic-by-mask order, which is
+/// the lowest mask: {0, 1, ..., k-1}.
+ProcessSet first_subset(ProcessId n, int k);
+
+/// Successor of `s` among k-subsets of {0..n-1} ordered by increasing
+/// bitmask (Gosper's hack); nullopt after the last subset.
+std::optional<ProcessSet> next_subset(ProcessSet s, ProcessId n);
+
+/// Rank of a k-subset in the bitmask order above (0-based).
+std::uint64_t subset_rank(ProcessSet s, ProcessId n);
+
+/// Inverse of subset_rank: the k-subset of {0..n-1} with the given rank.
+ProcessSet subset_unrank(std::uint64_t rank, ProcessId n, int k);
+
+}  // namespace qsel

@@ -1,0 +1,28 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace qsel {
+namespace log_detail {
+
+LogLevel& threshold() {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+void emit(LogLevel level, std::string_view component, std::string_view text) {
+  static constexpr std::string_view kNames[] = {"TRACE", "DEBUG", "INFO",
+                                                "WARN", "ERROR", "OFF"};
+  std::cerr << '[' << kNames[static_cast<int>(level)] << "] [" << component
+            << "] " << text << '\n';
+}
+
+}  // namespace log_detail
+
+LogLevel set_log_level(LogLevel level) {
+  LogLevel previous = log_detail::threshold();
+  log_detail::threshold() = level;
+  return previous;
+}
+
+}  // namespace qsel

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (benchmarks and property sweeps run millions of
+// simulated events); tests and examples enable it per-run. Output goes to
+// stderr. The logger is intentionally global: the simulator is
+// single-threaded by design, so no synchronization is needed.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace qsel {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_detail {
+LogLevel& threshold();
+void emit(LogLevel level, std::string_view component, std::string_view text);
+}  // namespace log_detail
+
+/// Sets the global log threshold; returns the previous value.
+LogLevel set_log_level(LogLevel level);
+
+inline bool log_enabled(LogLevel level) {
+  return level >= log_detail::threshold();
+}
+
+/// Usage: QSEL_LOG(kDebug, "fd") << "suspecting " << id;
+#define QSEL_LOG(level, component)                                        \
+  for (bool qsel_log_once =                                               \
+           ::qsel::log_enabled(::qsel::LogLevel::level);                  \
+       qsel_log_once; qsel_log_once = false)                              \
+  ::qsel::LogLine(::qsel::LogLevel::level, component)
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_detail::emit(level_, component_, os_.str()); }
+
+  template <class T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+
+}  // namespace qsel

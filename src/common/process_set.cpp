@@ -1,0 +1,25 @@
+#include "common/process_set.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace qsel {
+
+std::string ProcessSet::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, ProcessSet s) {
+  os << '{';
+  bool first = true;
+  for (ProcessId id : s) {
+    if (!first) os << ", ";
+    first = false;
+    os << id;
+  }
+  return os << '}';
+}
+
+}  // namespace qsel

@@ -1,0 +1,151 @@
+// ProcessSet — a value-type set of process ids backed by a 64-bit mask.
+//
+// Quorums, suspicion sets and graph node sets are all subsets of Pi with
+// |Pi| <= 64 (common/types.hpp), so one word suffices and set algebra is
+// a handful of bit operations. Iteration yields ids in increasing order,
+// which the lexicographic tie-breaks in Algorithm 1 and Definition 1 rely
+// on.
+#pragma once
+
+#include <bit>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace qsel {
+
+class ProcessSet {
+ public:
+  constexpr ProcessSet() = default;
+
+  constexpr explicit ProcessSet(std::uint64_t mask) : mask_(mask) {}
+
+  ProcessSet(std::initializer_list<ProcessId> ids) {
+    for (ProcessId id : ids) insert(id);
+  }
+
+  /// The full set {0, ..., n-1}.
+  static constexpr ProcessSet full(ProcessId n) {
+    QSEL_REQUIRE(n <= kMaxProcesses);
+    return n == kMaxProcesses ? ProcessSet(~std::uint64_t{0})
+                              : ProcessSet((std::uint64_t{1} << n) - 1);
+  }
+
+  /// The range {first, ..., last-1}.
+  static constexpr ProcessSet range(ProcessId first, ProcessId last) {
+    QSEL_REQUIRE(first <= last && last <= kMaxProcesses);
+    return ProcessSet(full(last).mask() & ~full(first).mask());
+  }
+
+  constexpr std::uint64_t mask() const { return mask_; }
+  constexpr bool empty() const { return mask_ == 0; }
+  constexpr int size() const { return std::popcount(mask_); }
+
+  constexpr bool contains(ProcessId id) const {
+    return id < kMaxProcesses && (mask_ >> id) & 1;
+  }
+
+  void insert(ProcessId id) {
+    QSEL_REQUIRE(id < kMaxProcesses);
+    mask_ |= std::uint64_t{1} << id;
+  }
+
+  void erase(ProcessId id) {
+    QSEL_REQUIRE(id < kMaxProcesses);
+    mask_ &= ~(std::uint64_t{1} << id);
+  }
+
+  void clear() { mask_ = 0; }
+
+  /// Smallest element; set must be non-empty.
+  ProcessId min() const {
+    QSEL_REQUIRE(!empty());
+    return static_cast<ProcessId>(std::countr_zero(mask_));
+  }
+
+  /// Largest element; set must be non-empty.
+  ProcessId max() const {
+    QSEL_REQUIRE(!empty());
+    return static_cast<ProcessId>(63 - std::countl_zero(mask_));
+  }
+
+  constexpr ProcessSet operator|(ProcessSet o) const {
+    return ProcessSet(mask_ | o.mask_);
+  }
+  constexpr ProcessSet operator&(ProcessSet o) const {
+    return ProcessSet(mask_ & o.mask_);
+  }
+  /// Set difference (elements of *this not in o).
+  constexpr ProcessSet operator-(ProcessSet o) const {
+    return ProcessSet(mask_ & ~o.mask_);
+  }
+  ProcessSet& operator|=(ProcessSet o) {
+    mask_ |= o.mask_;
+    return *this;
+  }
+  ProcessSet& operator&=(ProcessSet o) {
+    mask_ &= o.mask_;
+    return *this;
+  }
+  ProcessSet& operator-=(ProcessSet o) {
+    mask_ &= ~o.mask_;
+    return *this;
+  }
+
+  constexpr bool is_subset_of(ProcessSet o) const {
+    return (mask_ & ~o.mask_) == 0;
+  }
+  constexpr bool intersects(ProcessSet o) const {
+    return (mask_ & o.mask_) != 0;
+  }
+
+  friend constexpr auto operator<=>(ProcessSet, ProcessSet) = default;
+
+  /// Forward iterator over members in increasing id order.
+  class iterator {
+   public:
+    using value_type = ProcessId;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+    using pointer = void;
+    using reference = ProcessId;
+    constexpr iterator() = default;
+    constexpr explicit iterator(std::uint64_t rest) : rest_(rest) {}
+    ProcessId operator*() const {
+      return static_cast<ProcessId>(std::countr_zero(rest_));
+    }
+    iterator& operator++() {
+      rest_ &= rest_ - 1;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    constexpr bool operator==(const iterator&) const = default;
+
+   private:
+    std::uint64_t rest_ = 0;
+  };
+
+  iterator begin() const { return iterator(mask_); }
+  iterator end() const { return iterator(0); }
+
+  /// Renders as e.g. "{0, 2, 5}".
+  std::string to_string() const;
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, ProcessSet s);
+
+}  // namespace qsel

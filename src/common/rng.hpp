@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in the repository (network latency jitter, workload
+// generation, randomized adversaries, property-test sweeps) draws from Rng
+// seeded explicitly, so every simulation run and benchmark is reproducible
+// bit-for-bit. The generator is xoshiro256** seeded via splitmix64,
+// following the reference construction of Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace qsel {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    QSEL_REQUIRE(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derives an independent child generator (for per-process streams).
+  Rng fork() { return Rng((*this)() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace qsel

@@ -1,0 +1,40 @@
+// Core identifier and time types shared by every module.
+//
+// The paper (Section IV) assumes a set Pi = {p_1, ..., p_n} of processes
+// ordered by unique identifiers. We index processes 0..n-1; the textual
+// examples ("p_1 is the default leader") map to index 0 and so on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace qsel {
+
+/// Index of a process in Pi. Valid ids are 0..n-1 with n <= kMaxProcesses.
+using ProcessId = std::uint32_t;
+
+/// Sentinel for "no process" (e.g. no leader known yet).
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Epoch counter used by the suspicion matrix (Algorithm 1, Section VI-A).
+/// Epoch 0 means "never suspected"; real epochs start at 1.
+using Epoch = std::uint64_t;
+
+/// View number of the replicated application (XPaxos views).
+using ViewId = std::uint64_t;
+
+/// Slot / sequence number of the replicated log.
+using SeqNum = std::uint64_t;
+
+/// Virtual simulation time in nanoseconds (see sim::Clock).
+using SimTime = std::uint64_t;
+
+/// Duration in virtual nanoseconds.
+using SimDuration = std::uint64_t;
+
+/// Upper bound on the number of processes. Bitmask-based sets and graphs
+/// (graph::SimpleGraph, ProcessSet) rely on it. The paper targets
+/// consortium scale ("tens of nodes", Section VI-C), so 64 is generous.
+inline constexpr ProcessId kMaxProcesses = 64;
+
+}  // namespace qsel

@@ -1,0 +1,19 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// The simulated signature scheme (crypto/signer.hpp) authenticates message
+// bytes with HMAC under a per-process private key, giving the paper's
+// "cryptographic primitives cannot be broken" abstraction inside the
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace qsel::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message);
+
+}  // namespace qsel::crypto

@@ -1,0 +1,34 @@
+#include "crypto/signer.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+
+namespace qsel::crypto {
+
+KeyRegistry::KeyRegistry(ProcessId n, std::uint64_t seed) {
+  QSEL_REQUIRE(n <= kMaxProcesses);
+  keys_.resize(n);
+  Rng rng(seed ^ 0x51676e6572210000ULL);
+  for (auto& key : keys_) {
+    for (std::size_t i = 0; i < key.size(); i += 8) {
+      const std::uint64_t word = rng();
+      for (std::size_t b = 0; b < 8; ++b)
+        key[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+}
+
+Signature KeyRegistry::sign(ProcessId signer,
+                            std::span<const std::uint8_t> message) const {
+  QSEL_REQUIRE(signer < keys_.size());
+  return Signature{hmac_sha256(keys_[signer], message), signer};
+}
+
+bool KeyRegistry::verify(std::span<const std::uint8_t> message,
+                         const Signature& sig) const {
+  if (sig.signer >= keys_.size()) return false;
+  return hmac_sha256(keys_[sig.signer], message) == sig.tag;
+}
+
+}  // namespace qsel::crypto

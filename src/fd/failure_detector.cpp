@@ -1,0 +1,110 @@
+#include "fd/failure_detector.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace qsel::fd {
+
+FailureDetector::FailureDetector(sim::Simulator& simulator, ProcessId self,
+                                 ProcessId n, FailureDetectorConfig config,
+                                 SuspectCallback on_suspected)
+    : sim_(simulator),
+      self_(self),
+      config_(config),
+      on_suspected_(std::move(on_suspected)),
+      timeout_(n, config.initial_timeout) {
+  QSEL_REQUIRE(self < n);
+  QSEL_REQUIRE(config.initial_timeout > 0);
+}
+
+ProcessSet FailureDetector::compute_suspects() const {
+  ProcessSet suspects = detected_;
+  for (const Expectation& e : expectations_)
+    if (e.overdue) suspects.insert(e.from);
+  return suspects;
+}
+
+void FailureDetector::republish() {
+  const ProcessSet now_suspected = compute_suspects();
+  if (now_suspected == current_suspects_) return;
+  current_suspects_ = now_suspected;
+  QSEL_LOG(kDebug, "fd") << "p" << self_ << " SUSPECTED "
+                         << now_suspected.to_string();
+  // SUSPECTED is delivered as its own module event (Section IV: events
+  // between modules at one process are processed in the order they were
+  // produced). Delivering through the event queue also keeps consumers
+  // from being re-entered while they are mid-update (a CANCEL issued
+  // inside updateQuorum may cancel an overdue expectation and change S).
+  if (on_suspected_)
+    sim_.schedule_after(
+        0, [cb = on_suspected_, now_suspected] { cb(now_suspected); });
+}
+
+void FailureDetector::expect(ProcessId from, Predicate predicate,
+                             std::string label) {
+  QSEL_REQUIRE(predicate != nullptr);
+  QSEL_REQUIRE(from < timeout_.size());
+  ++expectations_issued_;
+  const std::uint64_t id = next_expectation_id_++;
+  sim::TimerHandle timer = sim_.schedule_timer(
+      timeout_[from], [this, id] { on_timeout(id); });
+  expectations_.push_back(Expectation{id, from, std::move(predicate),
+                                      std::move(label), false,
+                                      std::move(timer)});
+}
+
+void FailureDetector::on_timeout(std::uint64_t expectation_id) {
+  const auto it =
+      std::find_if(expectations_.begin(), expectations_.end(),
+                   [&](const Expectation& e) { return e.id == expectation_id; });
+  if (it == expectations_.end()) return;  // matched or cancelled meanwhile
+  it->overdue = true;
+  ++suspicions_raised_;
+  QSEL_LOG(kDebug, "fd") << "p" << self_ << " expectation '" << it->label
+                         << "' from p" << it->from << " overdue";
+  republish();
+}
+
+void FailureDetector::on_receive(ProcessId from,
+                                 const sim::PayloadPtr& message) {
+  bool matched_overdue = false;
+  for (auto it = expectations_.begin(); it != expectations_.end();) {
+    if (it->from == from && it->predicate(from, message)) {
+      if (it->overdue) {
+        // A false suspicion: the expected message was late, not omitted.
+        // Cancel it and back the timeout off (eventual strong accuracy).
+        matched_overdue = true;
+        ++suspicions_cancelled_;
+        if (config_.adaptive)
+          timeout_[from] = std::min(timeout_[from] * 2, config_.max_timeout);
+      }
+      it->timer.cancel();
+      it = expectations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (matched_overdue) republish();
+}
+
+void FailureDetector::detected(ProcessId culprit) {
+  QSEL_REQUIRE(culprit < timeout_.size());
+  if (detected_.contains(culprit)) return;
+  QSEL_LOG(kInfo, "fd") << "p" << self_ << " DETECTED p" << culprit;
+  detected_.insert(culprit);
+  republish();
+}
+
+void FailureDetector::cancel_all() {
+  bool had_overdue = false;
+  for (Expectation& e : expectations_) {
+    if (e.overdue) had_overdue = true;
+    e.timer.cancel();
+  }
+  expectations_.clear();
+  if (had_overdue) republish();
+}
+
+}  // namespace qsel::fd

@@ -1,0 +1,125 @@
+// Expectation-based Byzantine failure detector (Section IV-B).
+//
+// The detector cannot decide on its own which messages a process should
+// send (Doudou et al.: Byzantine failure detection is application
+// dependent), so the application drives it through the paper's events:
+//
+//   EXPECT   — expect(i, predicate):  a message satisfying the predicate is
+//              expected from process i; if none is delivered before the
+//              (adaptive) timeout, i is suspected.
+//   RECEIVE  — on_receive(i, m):      a correctly-authenticated message m
+//              arrived from i; matches (and retires) open expectations and
+//              cancels the suspicion an overdue expectation raised.
+//   DETECTED — detected(i):           the application found a proof of
+//              misbehaviour (commission failure); i is suspected forever.
+//   CANCEL   — cancel_all():          withdraw all open expectations (and
+//              the suspicions they raised) — used during view changes when
+//              expected messages legitimately stop flowing.
+//   SUSPECTED — the publish callback, invoked with the full current suspect
+//              set S whenever S changes.
+//
+// Properties (Section IV-B1) and how they are met:
+//  * Expectation completeness — every uncancelled expectation either
+//    matches a delivery or fires its timeout and suspects the sender.
+//  * Detection completeness — detected() inserts into a permanent set that
+//    is part of every published S.
+//  * Eventual strong accuracy — timeouts double each time a suspicion is
+//    cancelled by a late message, so after GST (bounded delay) correct
+//    processes stop being suspected, provided the application meets the
+//    paper's accuracy requirements (expected messages within two
+//    communication rounds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "sim/payload.hpp"
+#include "sim/simulator.hpp"
+
+namespace qsel::fd {
+
+struct FailureDetectorConfig {
+  /// Initial expectation timeout. The paper's accuracy requirement allows
+  /// two communication rounds; default callers pass
+  /// 2 * network.round_length() plus slack.
+  SimDuration initial_timeout = 4'000'000;  // 4 ms
+  /// Timeouts double on each false suspicion up to this cap (eventual
+  /// strong accuracy under eventual synchrony).
+  SimDuration max_timeout = 1'000'000'000;  // 1 s
+  bool adaptive = true;
+};
+
+class FailureDetector {
+ public:
+  using Predicate =
+      std::function<bool(ProcessId from, const sim::PayloadPtr& message)>;
+  /// SUSPECTED event: receives the complete current suspect set.
+  using SuspectCallback = std::function<void(ProcessSet)>;
+
+  FailureDetector(sim::Simulator& simulator, ProcessId self, ProcessId n,
+                  FailureDetectorConfig config, SuspectCallback on_suspected);
+
+  ProcessId self() const { return self_; }
+
+  /// <EXPECT, P, i>: expect a message matching `predicate` from process
+  /// `from`. `label` is for logs/traces only.
+  void expect(ProcessId from, Predicate predicate, std::string label = {});
+
+  /// <RECEIVE, m, i>: feed every authenticated message through here; the
+  /// caller remains responsible for delivering it to the application.
+  void on_receive(ProcessId from, const sim::PayloadPtr& message);
+
+  /// <DETECTED, i>.
+  void detected(ProcessId culprit);
+
+  /// <CANCEL>: drop all open expectations and the suspicions they raised.
+  void cancel_all();
+
+  /// Current suspect set S (overdue expectations plus permanent detections).
+  ProcessSet suspected() const { return current_suspects_; }
+
+  /// Permanently detected processes (subset of suspected()).
+  ProcessSet detected_set() const { return detected_; }
+
+  /// Current adaptive timeout used for new expectations from `from`.
+  SimDuration timeout_for(ProcessId from) const { return timeout_[from]; }
+
+  // --- statistics (experiment E7) --------------------------------------
+  std::uint64_t suspicions_raised() const { return suspicions_raised_; }
+  std::uint64_t suspicions_cancelled() const { return suspicions_cancelled_; }
+  std::uint64_t expectations_issued() const { return expectations_issued_; }
+
+ private:
+  struct Expectation {
+    std::uint64_t id;
+    ProcessId from;
+    Predicate predicate;
+    std::string label;
+    bool overdue = false;
+    sim::TimerHandle timer;
+  };
+
+  void on_timeout(std::uint64_t expectation_id);
+  void republish();
+  ProcessSet compute_suspects() const;
+
+  sim::Simulator& sim_;
+  ProcessId self_;
+  FailureDetectorConfig config_;
+  SuspectCallback on_suspected_;
+  std::list<Expectation> expectations_;
+  ProcessSet detected_;
+  ProcessSet current_suspects_;
+  std::vector<SimDuration> timeout_;
+  std::uint64_t next_expectation_id_ = 0;
+  std::uint64_t suspicions_raised_ = 0;
+  std::uint64_t suspicions_cancelled_ = 0;
+  std::uint64_t expectations_issued_ = 0;
+};
+
+}  // namespace qsel::fd

@@ -1,0 +1,155 @@
+#include "fs/follower_selector.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "graph/independent_set.hpp"
+#include "graph/line_subgraph.hpp"
+
+namespace qsel::fs {
+
+FollowerSelector::FollowerSelector(const crypto::Signer& signer,
+                                   FollowerSelectorConfig config, Hooks hooks)
+    : signer_(signer),
+      config_(config),
+      hooks_(std::move(hooks)),
+      core_(signer, config.n,
+            suspect::SuspicionCore::Hooks{
+                [this](sim::PayloadPtr msg) { hooks_.broadcast(msg); },
+                [this] { update_quorum(); }}),
+      qlast_(ProcessSet::full(static_cast<ProcessId>(config.quorum_size()))) {
+  QSEL_REQUIRE(config.n <= kMaxProcesses);
+  QSEL_REQUIRE_MSG(config.f >= 1, "follower selection needs f >= 1");
+  QSEL_REQUIRE_MSG(config.n > 3 * static_cast<ProcessId>(config.f),
+                   "follower selection assumes |Pi| > 3f (Section VIII)");
+  QSEL_REQUIRE(hooks_.issue_quorum != nullptr);
+  QSEL_REQUIRE(hooks_.broadcast != nullptr);
+  QSEL_REQUIRE(hooks_.fd_expect_followers != nullptr);
+  QSEL_REQUIRE(hooks_.fd_cancel != nullptr);
+  QSEL_REQUIRE(hooks_.fd_detected != nullptr);
+}
+
+void FollowerSelector::issue(ProcessId leader, ProcessSet quorum) {
+  history_.push_back(LeaderQuorumRecord{leader, quorum, core_.epoch()});
+  QSEL_LOG(kInfo, "fs") << "p" << core_.self() << " QUORUM leader=p" << leader
+                        << " " << quorum.to_string() << " (epoch "
+                        << core_.epoch() << ")";
+  hooks_.issue_quorum(leader, quorum);
+}
+
+ProcessSet FollowerSelector::select_followers(const graph::SimpleGraph& line,
+                                              ProcessId leader) const {
+  ProcessSet candidates = graph::possible_followers(line);
+  candidates.erase(leader);
+  const int wanted = config_.quorum_size() - 1;
+  QSEL_ASSERT_MSG(candidates.size() >= wanted,
+                  "an independent set of size q exists, so at least q-1 "
+                  "possible followers must exist");
+  ProcessSet followers;
+  for (ProcessId id : candidates) {
+    if (followers.size() == wanted) break;
+    followers.insert(id);
+  }
+  return followers;
+}
+
+void FollowerSelector::update_quorum() {
+  const int q = config_.quorum_size();
+  for (;;) {
+    const graph::SimpleGraph g = core_.current_graph();
+    if (!graph::has_independent_set(g, q)) {
+      // Lines 10-16: enter the next epoch with the default leader/quorum.
+      core_.advance_epoch(core_.next_epoch_candidate());
+      hooks_.fd_cancel();
+      leader_ = 0;
+      qlast_ = ProcessSet::full(static_cast<ProcessId>(q));
+      issue(leader_, qlast_);
+      continue;  // re-evaluate in the new epoch (paper: via self-delivery)
+    }
+
+    const graph::SimpleGraph line = graph::maximal_line_subgraph(g);
+    const auto lead = graph::line_leader(line);
+    QSEL_ASSERT_MSG(lead.has_value(),
+                    "maximal_line_subgraph leaves its leader uncovered");
+    if (leader_ != *lead) {
+      stable_ = false;
+      leader_ = *lead;
+      hooks_.fd_cancel();
+      if (leader_ != core_.self()) {
+        QSEL_LOG(kDebug, "fs") << "p" << core_.self()
+                               << " expects FOLLOWERS from p" << leader_
+                               << " in epoch " << core_.epoch();
+        hooks_.fd_expect_followers(leader_, core_.epoch());
+      } else {
+        const ProcessSet followers = select_followers(line, leader_);
+        QSEL_LOG(kDebug, "fs") << "p" << core_.self()
+                               << " is leader, selecting followers "
+                               << followers.to_string();
+        auto msg =
+            FollowersMessage::make(signer_, followers, line, core_.epoch());
+        hooks_.broadcast(msg);
+        // Accept the own choice immediately (the paper broadcasts to self
+        // and accepts on the stable=false path of Line 33).
+        stable_ = true;
+        qlast_ = followers;
+        qlast_.insert(leader_);
+        issue(leader_, qlast_);
+      }
+    }
+    return;
+  }
+}
+
+bool FollowerSelector::well_formed(const FollowersMessage& msg,
+                                   const graph::SimpleGraph& line) const {
+  const int q = config_.quorum_size();
+  // Definition 3 a): l not in Fw and |Fw| = q - 1 (and Fw names real
+  // processes — a Byzantine mask could have bits >= n).
+  if (!msg.followers.is_subset_of(ProcessSet::full(config_.n))) return false;
+  if (msg.followers.contains(msg.leader)) return false;
+  if (msg.followers.size() != q - 1) return false;
+  // Definition 3 b): L' is a line subgraph of the local suspect graph.
+  if (!graph::is_line_subgraph(line)) return false;
+  if (!line.is_subgraph_of(core_.current_graph())) return false;
+  // Definition 3 c): L' designates the sender as leader.
+  if (graph::line_leader(line) != msg.leader) return false;
+  // Definition 3 d): all followers are possible followers for L'.
+  if (!msg.followers.is_subset_of(graph::possible_followers(line)))
+    return false;
+  return true;
+}
+
+void FollowerSelector::on_followers(
+    const std::shared_ptr<const FollowersMessage>& msg) {
+  QSEL_REQUIRE(msg != nullptr);
+  if (!msg->verify(signer_, config_.n)) return;  // not authenticated: drop
+  // Line 28 gate: only the current leader's message for the current epoch.
+  if (msg->leader != leader_ || msg->epoch != core_.epoch()) return;
+
+  const auto line = msg->line_subgraph(config_.n);
+  if (!line || !well_formed(*msg, *line)) {
+    QSEL_LOG(kInfo, "fs") << "p" << core_.self()
+                          << " detected malformed FOLLOWERS from p"
+                          << msg->leader;
+    hooks_.fd_detected(msg->leader);  // Line 30
+    return;
+  }
+  if (stable_) {
+    ProcessSet claimed = msg->followers;
+    claimed.insert(msg->leader);
+    if (claimed != qlast_) {
+      QSEL_LOG(kInfo, "fs") << "p" << core_.self()
+                            << " detected FOLLOWERS equivocation by p"
+                            << msg->leader;
+      hooks_.fd_detected(msg->leader);  // Line 32
+    }
+    return;
+  }
+  // Lines 33-37: adopt the leader's choice and forward it.
+  stable_ = true;
+  qlast_ = msg->followers;
+  qlast_.insert(leader_);
+  hooks_.broadcast(msg);
+  issue(leader_, qlast_);
+}
+
+}  // namespace qsel::fs

@@ -1,0 +1,48 @@
+#include "fs/followers_message.hpp"
+
+namespace qsel::fs {
+
+std::vector<std::uint8_t> FollowersMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("fs.followers");  // domain separation
+  enc.process_id(leader);
+  enc.process_set(followers);
+  enc.u64(line_edges.size());
+  for (auto [u, v] : line_edges) {
+    enc.process_id(u);
+    enc.process_id(v);
+  }
+  enc.u64(epoch);
+  return std::move(enc).take();
+}
+
+std::optional<graph::SimpleGraph> FollowersMessage::line_subgraph(
+    ProcessId n) const {
+  graph::SimpleGraph g(n);
+  for (auto [u, v] : line_edges) {
+    if (u >= n || v >= n || u == v) return std::nullopt;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+std::shared_ptr<const FollowersMessage> FollowersMessage::make(
+    const crypto::Signer& signer, ProcessSet followers,
+    const graph::SimpleGraph& line, Epoch epoch) {
+  auto msg = std::make_shared<FollowersMessage>();
+  msg->leader = signer.self();
+  msg->followers = followers;
+  msg->line_edges = line.edges();
+  msg->epoch = epoch;
+  msg->sig = signer.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool FollowersMessage::verify(const crypto::Signer& verifier,
+                              ProcessId n) const {
+  if (leader >= n) return false;
+  if (sig.signer != leader) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+}  // namespace qsel::fs

@@ -1,0 +1,52 @@
+// FOLLOWERS message (Algorithm 2, Lines 26/27 and Definition 3).
+//
+// The leader designated by the maximal line subgraph selects q-1 possible
+// followers and broadcasts its choice together with the line subgraph L
+// that justifies it. Receivers validate well-formedness (Definition 3)
+// against their own suspect graph; a malformed or equivocating FOLLOWERS
+// message is a commission failure and triggers <DETECTED, leader>.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "graph/simple_graph.hpp"
+#include "net/codec.hpp"
+#include "sim/payload.hpp"
+
+namespace qsel::fs {
+
+struct FollowersMessage final : sim::Payload {
+  ProcessId leader = kNoProcess;
+  ProcessSet followers;  // Fw, |Fw| = q - 1
+  /// Edges of the line subgraph L justifying the choice, (u, v) with u < v,
+  /// sorted — part of the signed contents.
+  std::vector<std::pair<ProcessId, ProcessId>> line_edges;
+  Epoch epoch = 0;
+  crypto::Signature sig;
+
+  std::string_view type_tag() const override { return "fs.followers"; }
+  std::size_t wire_size() const override {
+    return 4 + 8 + 8 * line_edges.size() + 8 + 36;
+  }
+
+  std::vector<std::uint8_t> signed_bytes() const;
+
+  /// Reconstructs L on n nodes from the edge list; nullopt when any edge is
+  /// out of range or a self-loop (malformed Byzantine input).
+  std::optional<graph::SimpleGraph> line_subgraph(ProcessId n) const;
+
+  static std::shared_ptr<const FollowersMessage> make(
+      const crypto::Signer& signer, ProcessSet followers,
+      const graph::SimpleGraph& line, Epoch epoch);
+
+  /// Signature + structural authenticity (signer == claimed leader).
+  bool verify(const crypto::Signer& verifier, ProcessId n) const;
+};
+
+}  // namespace qsel::fs

@@ -1,0 +1,116 @@
+#include "graph/independent_set.hpp"
+
+#include "common/assert.hpp"
+
+namespace qsel::graph {
+namespace {
+
+ProcessSet without(ProcessSet s, ProcessId id) {
+  s.erase(id);
+  return s;
+}
+
+/// Does g restricted to `avail` contain an independent set of size
+/// `needed`? Equivalent to a vertex cover of G[avail] within budget
+/// |avail| - needed; branch on an uncovered edge.
+bool has_is_within(const SimpleGraph& g, ProcessSet avail, int needed) {
+  if (needed <= 0) return true;
+  if (avail.size() < needed) return false;
+  const auto [u, v] = g.any_edge_within(avail);
+  if (u == kNoProcess) return true;  // avail already independent
+  if (avail.size() == needed) return false;  // no removal budget left
+  return has_is_within(g, without(avail, u), needed) ||
+         has_is_within(g, without(avail, v), needed);
+}
+
+/// Lexicographic-first DFS: candidates tried in increasing id order; the
+/// first completed set is the lexicographic minimum. Each branch is
+/// guarded by the exact feasibility test above, so failed subtrees cost
+/// one vertex-cover search instead of full expansion.
+bool first_is_dfs(const SimpleGraph& g, ProcessSet chosen, ProcessSet avail,
+                  int needed, ProcessSet& out) {
+  if (needed == 0) {
+    out = chosen;
+    return true;
+  }
+  if (!has_is_within(g, avail, needed)) return false;
+  for (ProcessId c : avail) {
+    ProcessSet next_chosen = chosen;
+    next_chosen.insert(c);
+    const ProcessSet next_avail =
+        (avail & ProcessSet::range(c + 1, g.node_count())) - g.neighbors(c);
+    if (first_is_dfs(g, next_chosen, next_avail, needed - 1, out)) return true;
+  }
+  return false;
+}
+
+void all_is_dfs(const SimpleGraph& g, ProcessSet chosen, ProcessSet avail,
+                int needed, std::vector<ProcessSet>& out) {
+  if (needed == 0) {
+    out.push_back(chosen);
+    return;
+  }
+  if (avail.size() < needed) return;
+  for (ProcessId c : avail) {
+    ProcessSet next_chosen = chosen;
+    next_chosen.insert(c);
+    const ProcessSet next_avail =
+        (avail & ProcessSet::range(c + 1, g.node_count())) - g.neighbors(c);
+    all_is_dfs(g, next_chosen, next_avail, needed - 1, out);
+  }
+}
+
+std::optional<ProcessSet> cover_dfs(const SimpleGraph& g, ProcessSet active,
+                                    ProcessSet cover, int budget) {
+  const auto [u, v] = g.any_edge_within(active);
+  if (u == kNoProcess) return cover;  // every edge covered
+  if (budget == 0) return std::nullopt;
+  ProcessSet cover_u = cover;
+  cover_u.insert(u);
+  if (auto r = cover_dfs(g, without(active, u), cover_u, budget - 1)) return r;
+  ProcessSet cover_v = cover;
+  cover_v.insert(v);
+  return cover_dfs(g, without(active, v), cover_v, budget - 1);
+}
+
+}  // namespace
+
+bool is_independent_set(const SimpleGraph& g, ProcessSet s) {
+  for (ProcessId u : s)
+    if (g.neighbors(u).intersects(s)) return false;
+  return true;
+}
+
+bool is_vertex_cover(const SimpleGraph& g, ProcessSet s) {
+  const ProcessSet outside = ProcessSet::full(g.node_count()) - s;
+  return is_independent_set(g, outside);
+}
+
+std::optional<ProcessSet> vertex_cover_within(const SimpleGraph& g,
+                                              int budget) {
+  QSEL_REQUIRE(budget >= 0);
+  return cover_dfs(g, ProcessSet::full(g.node_count()), ProcessSet{}, budget);
+}
+
+bool has_independent_set(const SimpleGraph& g, int q) {
+  QSEL_REQUIRE(q >= 0 && q <= static_cast<int>(g.node_count()));
+  return vertex_cover_within(g, static_cast<int>(g.node_count()) - q)
+      .has_value();
+}
+
+std::optional<ProcessSet> first_independent_set(const SimpleGraph& g, int q) {
+  QSEL_REQUIRE(q >= 0 && q <= static_cast<int>(g.node_count()));
+  ProcessSet out;
+  if (first_is_dfs(g, ProcessSet{}, ProcessSet::full(g.node_count()), q, out))
+    return out;
+  return std::nullopt;
+}
+
+std::vector<ProcessSet> all_independent_sets(const SimpleGraph& g, int q) {
+  QSEL_REQUIRE(q >= 0 && q <= static_cast<int>(g.node_count()));
+  std::vector<ProcessSet> out;
+  all_is_dfs(g, ProcessSet{}, ProcessSet::full(g.node_count()), q, out);
+  return out;
+}
+
+}  // namespace qsel::graph

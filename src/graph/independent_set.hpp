@@ -1,0 +1,45 @@
+// Independent sets and vertex covers on suspect graphs.
+//
+// Algorithm 1 (Section VI-B) selects the quorum as the lexicographically
+// first independent set of size q = n - f in the suspect graph; an
+// independent set of size q exists iff a vertex cover of size n - q = f
+// exists (the reduction the paper cites for Theorems 4 and Lemma 8).
+// The decision problem is NP-hard in general but fixed-parameter tractable
+// in the cover budget f: the classic branch-on-an-edge search runs in
+// O(2^f * m), effectively instant at consortium scale (Section VI-C).
+#pragma once
+
+#include <optional>
+
+#include "common/process_set.hpp"
+#include "graph/simple_graph.hpp"
+
+namespace qsel::graph {
+
+/// True when no edge of g joins two members of s.
+bool is_independent_set(const SimpleGraph& g, ProcessSet s);
+
+/// True when every edge of g has at least one endpoint in s.
+bool is_vertex_cover(const SimpleGraph& g, ProcessSet s);
+
+/// A vertex cover of size <= budget if one exists (FPT branching on edges),
+/// otherwise nullopt. The returned cover is not necessarily minimum, only
+/// within budget.
+std::optional<ProcessSet> vertex_cover_within(const SimpleGraph& g,
+                                              int budget);
+
+/// Decision form of the quorum-existence test on Line 27 of Algorithm 1:
+/// does g contain an independent set of size q?
+bool has_independent_set(const SimpleGraph& g, int q);
+
+/// The lexicographically first independent set of size q (comparing sets as
+/// increasing id sequences), or nullopt when none exists. This is the
+/// quorum rule of Algorithm 1 Line 31: it makes correct processes converge
+/// to the same quorum once their suspect graphs agree.
+std::optional<ProcessSet> first_independent_set(const SimpleGraph& g, int q);
+
+/// All independent sets of size exactly q, in lexicographic order. Intended
+/// for tests and small n (the count can be combinatorial).
+std::vector<ProcessSet> all_independent_sets(const SimpleGraph& g, int q);
+
+}  // namespace qsel::graph

@@ -1,0 +1,166 @@
+#include "graph/line_subgraph.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace qsel::graph {
+namespace {
+
+/// Union-find without path compression so links can be rolled back during
+/// the backtracking path-cover search.
+class RollbackDsu {
+ public:
+  explicit RollbackDsu(ProcessId n) {
+    for (ProcessId i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  ProcessId find(ProcessId x) const {
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
+
+  /// Links the roots of a and b; returns the root that was re-parented so
+  /// the caller can undo.
+  ProcessId link(ProcessId a, ProcessId b) {
+    const ProcessId ra = find(a);
+    const ProcessId rb = find(b);
+    QSEL_ASSERT(ra != rb);
+    parent_[ra] = rb;
+    return ra;
+  }
+
+  void unlink(ProcessId re_parented_root) {
+    parent_[re_parented_root] = re_parented_root;
+  }
+
+ private:
+  std::array<ProcessId, kMaxProcesses> parent_{};
+};
+
+struct CoverSearch {
+  const SimpleGraph& g;
+  ProcessId avoid;
+  SimpleGraph line;
+  RollbackDsu dsu;
+  std::array<int, kMaxProcesses> degree{};
+
+  CoverSearch(const SimpleGraph& graph, ProcessId avoid_node)
+      : g(graph), avoid(avoid_node), line(graph.node_count()),
+        dsu(graph.node_count()) {}
+
+  /// Valid covering partners for an uncovered required node.
+  ProcessSet options_for(ProcessId r) const {
+    ProcessSet options;
+    for (ProcessId u : g.neighbors(r)) {
+      if (u == avoid || degree[u] >= 2) continue;
+      if (dsu.find(r) == dsu.find(u)) continue;  // edge would close a cycle
+      options.insert(u);
+    }
+    return options;
+  }
+
+  /// Covers every node of `required` by adding path edges. Each added edge
+  /// is incident to an uncovered required node, which keeps the search
+  /// complete (any covering edge for that node is incident to it); the
+  /// node with the fewest options is expanded first (fail-first), which
+  /// collapses infeasible subtrees quickly on dense suspect graphs.
+  bool cover(ProcessSet required) {
+    ProcessId pick = kNoProcess;
+    ProcessSet pick_options;
+    int fewest = static_cast<int>(kMaxProcesses) + 1;
+    ProcessSet uncovered;
+    for (ProcessId r : required) {
+      if (degree[r] != 0) continue;
+      uncovered.insert(r);
+      const ProcessSet options = options_for(r);
+      if (options.size() < fewest) {
+        fewest = options.size();
+        pick = r;
+        pick_options = options;
+        if (fewest == 0) return false;  // dead end
+      }
+    }
+    if (uncovered.empty()) return true;
+    QSEL_ASSERT(pick != kNoProcess);
+    for (ProcessId u : pick_options) {
+      QSEL_ASSERT(degree[pick] < 2);
+      const ProcessId undo = dsu.link(pick, u);
+      line.add_edge(pick, u);
+      ++degree[pick];
+      ++degree[u];
+      if (cover(uncovered)) return true;
+      --degree[pick];
+      --degree[u];
+      line.remove_edge(pick, u);
+      dsu.unlink(undo);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool is_line_subgraph(const SimpleGraph& l) {
+  const ProcessId n = l.node_count();
+  RollbackDsu dsu(n);
+  for (ProcessId u = 0; u < n; ++u)
+    if (l.degree(u) > 2) return false;
+  for (auto [u, v] : l.edges()) {
+    if (dsu.find(u) == dsu.find(v)) return false;  // cycle
+    dsu.link(u, v);
+  }
+  return true;
+}
+
+std::optional<ProcessId> line_leader(const SimpleGraph& l) {
+  const ProcessSet uncovered = l.isolated_nodes();
+  if (uncovered.empty()) return std::nullopt;
+  return uncovered.min();
+}
+
+std::optional<SimpleGraph> cover_with_paths(const SimpleGraph& g,
+                                            ProcessSet required,
+                                            ProcessId avoid) {
+  QSEL_REQUIRE(!required.contains(avoid));
+  // A required node whose only potential partner is `avoid` can never be
+  // covered; fail fast.
+  for (ProcessId r : required) {
+    ProcessSet partners = g.neighbors(r);
+    partners.erase(avoid);
+    if (partners.empty()) return std::nullopt;
+  }
+  CoverSearch search(g, avoid);
+  if (search.cover(required)) return search.line;
+  return std::nullopt;
+}
+
+SimpleGraph maximal_line_subgraph(const SimpleGraph& g) {
+  const ProcessId n = g.node_count();
+  QSEL_REQUIRE(n > 0);
+  // The leader is the minimum uncovered node, so a node isolated in g (it
+  // can never gain degree) caps the achievable leader.
+  const ProcessSet isolated = g.isolated_nodes();
+  const ProcessId cap = isolated.empty() ? n - 1 : isolated.min();
+  for (ProcessId candidate = cap;; --candidate) {
+    if (auto line =
+            cover_with_paths(g, ProcessSet::range(0, candidate), candidate))
+      return *line;
+    // candidate = 0 always succeeds (empty requirement), so we never fall
+    // through this loop.
+    QSEL_ASSERT(candidate > 0);
+  }
+}
+
+ProcessSet possible_followers(const SimpleGraph& l) {
+  ProcessSet followers;
+  for (ProcessId v = 0; v < l.node_count(); ++v) {
+    int degree_one_neighbors = 0;
+    for (ProcessId u : l.neighbors(v))
+      if (l.degree(u) == 1) ++degree_one_neighbors;
+    if (degree_one_neighbors < 2) followers.insert(v);
+  }
+  return followers;
+}
+
+}  // namespace qsel::graph

@@ -1,0 +1,45 @@
+// Line subgraphs and leader designation (Section VIII, Definitions 1-2).
+//
+// A line subgraph of G is an acyclic subgraph with maximum degree 2 — a
+// disjoint union of paths. It designates a leader: the minimum node of
+// degree 0. A *maximal* line subgraph maximizes that leader over all line
+// subgraphs of G; Follower Selection (Algorithm 2) uses it so that
+// repeated suspicions against successive leaders advance the leader id
+// monotonically, yielding the O(f) bound of Theorem 9.
+#pragma once
+
+#include <optional>
+
+#include "common/process_set.hpp"
+#include "graph/simple_graph.hpp"
+
+namespace qsel::graph {
+
+/// True when l is acyclic with maximum degree 2 (Definition 1).
+bool is_line_subgraph(const SimpleGraph& l);
+
+/// The designated leader l_L = min{ i : degree_L(i) = 0 } (Definition 1),
+/// or nullopt when every node is covered (no degree-0 node exists).
+std::optional<ProcessId> line_leader(const SimpleGraph& l);
+
+/// Can the nodes of `required` be covered (given degree >= 1) by a line
+/// subgraph of g that gives `avoid` degree 0? Exposed for tests; this is
+/// the feasibility core of maximal_line_subgraph. On success returns one
+/// such line subgraph.
+std::optional<SimpleGraph> cover_with_paths(const SimpleGraph& g,
+                                            ProcessSet required,
+                                            ProcessId avoid);
+
+/// A maximal line subgraph of g: a line subgraph whose designated leader is
+/// maximum over all line subgraphs of g. Maximal line subgraphs are not
+/// unique (Section VIII) but all share the same leader, which is what
+/// correctness of Algorithm 2 relies on.
+SimpleGraph maximal_line_subgraph(const SimpleGraph& g);
+
+/// Possible followers per Definition 2: every node except those adjacent in
+/// l to two nodes of degree 1 (the middles of 3-node paths). Includes the
+/// leader and all degree-0 nodes; callers exclude the leader themselves
+/// (Definition 3a).
+ProcessSet possible_followers(const SimpleGraph& l);
+
+}  // namespace qsel::graph

@@ -1,0 +1,98 @@
+#include "graph/simple_graph.hpp"
+
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace qsel::graph {
+
+SimpleGraph::SimpleGraph(ProcessId n) : n_(n), adj_(n, 0) {
+  QSEL_REQUIRE(n <= kMaxProcesses);
+}
+
+SimpleGraph SimpleGraph::from_edges(
+    ProcessId n, const std::vector<std::pair<ProcessId, ProcessId>>& edges) {
+  SimpleGraph g(n);
+  for (auto [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+void SimpleGraph::add_edge(ProcessId u, ProcessId v) {
+  QSEL_REQUIRE(u < n_ && v < n_ && u != v);
+  if (has_edge(u, v)) return;
+  adj_[u] |= std::uint64_t{1} << v;
+  adj_[v] |= std::uint64_t{1} << u;
+  ++edge_count_;
+}
+
+void SimpleGraph::remove_edge(ProcessId u, ProcessId v) {
+  QSEL_REQUIRE(u < n_ && v < n_);
+  if (!has_edge(u, v)) return;
+  adj_[u] &= ~(std::uint64_t{1} << v);
+  adj_[v] &= ~(std::uint64_t{1} << u);
+  --edge_count_;
+}
+
+bool SimpleGraph::has_edge(ProcessId u, ProcessId v) const {
+  QSEL_REQUIRE(u < n_ && v < n_);
+  return (adj_[u] >> v) & 1;
+}
+
+ProcessSet SimpleGraph::neighbors(ProcessId u) const {
+  QSEL_REQUIRE(u < n_);
+  return ProcessSet(adj_[u]);
+}
+
+ProcessSet SimpleGraph::covered_nodes() const {
+  ProcessSet covered;
+  for (ProcessId u = 0; u < n_; ++u)
+    if (adj_[u] != 0) covered.insert(u);
+  return covered;
+}
+
+ProcessSet SimpleGraph::isolated_nodes() const {
+  return ProcessSet::full(n_) - covered_nodes();
+}
+
+bool SimpleGraph::is_subgraph_of(const SimpleGraph& super) const {
+  if (n_ != super.n_) return false;
+  for (ProcessId u = 0; u < n_; ++u)
+    if ((adj_[u] & ~super.adj_[u]) != 0) return false;
+  return true;
+}
+
+std::vector<std::pair<ProcessId, ProcessId>> SimpleGraph::edges() const {
+  std::vector<std::pair<ProcessId, ProcessId>> result;
+  result.reserve(static_cast<std::size_t>(edge_count_));
+  for (ProcessId u = 0; u < n_; ++u)
+    for (ProcessId v : ProcessSet(adj_[u]))
+      if (u < v) result.emplace_back(u, v);
+  return result;
+}
+
+std::pair<ProcessId, ProcessId> SimpleGraph::any_edge_within(
+    ProcessSet within) const {
+  for (ProcessId u : within) {
+    if (u >= n_) break;
+    const ProcessSet nbrs = neighbors(u) & within;
+    if (!nbrs.empty()) return {u, nbrs.min()};
+  }
+  return {kNoProcess, kNoProcess};
+}
+
+bool SimpleGraph::operator==(const SimpleGraph& other) const {
+  return n_ == other.n_ && adj_ == other.adj_;
+}
+
+std::ostream& operator<<(std::ostream& os, const SimpleGraph& g) {
+  os << "Graph(n=" << g.node_count() << ", edges=[";
+  bool first = true;
+  for (auto [u, v] : g.edges()) {
+    if (!first) os << ", ";
+    first = false;
+    os << '(' << u << ',' << v << ')';
+  }
+  return os << "])";
+}
+
+}  // namespace qsel::graph

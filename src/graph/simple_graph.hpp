@@ -1,0 +1,67 @@
+// SimpleGraph — undirected simple graph over process ids.
+//
+// Suspect graphs (Section VI-B) connect processes l, k when one suspected
+// the other in the current epoch or later. With n <= 64 (common/types.hpp)
+// a bitmask adjacency row per node makes subgraph tests, neighborhood
+// queries and the NP-hard independent-set step (Section VI-C) exact and
+// fast at consortium scale.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+
+namespace qsel::graph {
+
+class SimpleGraph {
+ public:
+  /// Empty graph on nodes {0..n-1}.
+  explicit SimpleGraph(ProcessId n);
+
+  /// Convenience factory from an edge list.
+  static SimpleGraph from_edges(
+      ProcessId n, const std::vector<std::pair<ProcessId, ProcessId>>& edges);
+
+  ProcessId node_count() const { return n_; }
+  int edge_count() const { return edge_count_; }
+
+  void add_edge(ProcessId u, ProcessId v);
+  void remove_edge(ProcessId u, ProcessId v);
+  bool has_edge(ProcessId u, ProcessId v) const;
+
+  ProcessSet neighbors(ProcessId u) const;
+  int degree(ProcessId u) const { return neighbors(u).size(); }
+
+  /// Nodes with at least one incident edge. Definition 1's "L contains
+  /// node i" means i has non-zero degree.
+  ProcessSet covered_nodes() const;
+
+  /// Nodes with no incident edge.
+  ProcessSet isolated_nodes() const;
+
+  /// True when every edge of *this is an edge of `super` (and the node
+  /// counts match). Implements the "L' subset of G_i" test of Definition 3b.
+  bool is_subgraph_of(const SimpleGraph& super) const;
+
+  /// All edges as (u, v) with u < v, ordered lexicographically.
+  std::vector<std::pair<ProcessId, ProcessId>> edges() const;
+
+  /// Any edge with both endpoints inside `within`, or {kNoProcess,
+  /// kNoProcess} if none. Used by the FPT vertex-cover branching.
+  std::pair<ProcessId, ProcessId> any_edge_within(ProcessSet within) const;
+
+  bool operator==(const SimpleGraph& other) const;
+
+ private:
+  ProcessId n_;
+  int edge_count_ = 0;
+  std::vector<std::uint64_t> adj_;  // adj_[u] = neighbor mask of u
+};
+
+std::ostream& operator<<(std::ostream& os, const SimpleGraph& g);
+
+}  // namespace qsel::graph

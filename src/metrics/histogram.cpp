@@ -1,0 +1,44 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace qsel::metrics {
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  QSEL_REQUIRE(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  QSEL_REQUIRE(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  QSEL_REQUIRE(!samples_.empty());
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::quantile(double p) const {
+  QSEL_REQUIRE(!samples_.empty());
+  QSEL_REQUIRE(p >= 0.0 && p <= 1.0);
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+}  // namespace qsel::metrics

@@ -1,0 +1,39 @@
+// Streaming summary statistics for latency-style measurements.
+//
+// Stores all samples (simulation scale keeps counts modest) so exact
+// quantiles can be reported for request latency (E5) and detection latency
+// (E7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qsel::metrics {
+
+class Histogram {
+ public:
+  void record(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Exact quantile by nearest-rank; p in [0, 1].
+  double quantile(double p) const;
+  double median() const { return quantile(0.5); }
+
+  void reset() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace qsel::metrics

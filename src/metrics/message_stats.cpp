@@ -1,0 +1,35 @@
+#include "metrics/message_stats.hpp"
+
+namespace qsel::metrics {
+
+void MessageStats::record_send(ProcessId from, ProcessId to,
+                               std::string_view type, std::size_t bytes) {
+  ++total_messages_;
+  total_bytes_ += bytes;
+  auto it = by_type_.find(type);
+  if (it == by_type_.end())
+    by_type_.emplace(std::string(type), 1);
+  else
+    ++it->second;
+  ++by_link_[{from, to}];
+  ++by_sender_[from];
+}
+
+std::uint64_t MessageStats::by_type(std::string_view type) const {
+  auto it = by_type_.find(type);
+  return it == by_type_.end() ? 0 : it->second;
+}
+
+std::uint64_t MessageStats::by_link(ProcessId from, ProcessId to) const {
+  auto it = by_link_.find({from, to});
+  return it == by_link_.end() ? 0 : it->second;
+}
+
+std::uint64_t MessageStats::by_sender(ProcessId from) const {
+  auto it = by_sender_.find(from);
+  return it == by_sender_.end() ? 0 : it->second;
+}
+
+void MessageStats::reset() { *this = MessageStats{}; }
+
+}  // namespace qsel::metrics

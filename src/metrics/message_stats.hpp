@@ -1,0 +1,50 @@
+// Message accounting.
+//
+// Experiment E5 (message reduction from running on an active quorum,
+// Distler et al. motivation in the paper's introduction) and E8 (UPDATE
+// gossip cost) count messages by type and by link; the simulator feeds
+// this sink on every send.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace qsel::metrics {
+
+class MessageStats {
+ public:
+  void record_send(ProcessId from, ProcessId to, std::string_view type,
+                   std::size_t bytes);
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Messages sent with the given type tag.
+  std::uint64_t by_type(std::string_view type) const;
+
+  /// Messages sent on the directed link from -> to.
+  std::uint64_t by_link(ProcessId from, ProcessId to) const;
+
+  /// Messages sent by one process (any destination).
+  std::uint64_t by_sender(ProcessId from) const;
+
+  const std::map<std::string, std::uint64_t, std::less<>>& type_counts()
+      const {
+    return by_type_;
+  }
+
+  void reset();
+
+ private:
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::map<std::string, std::uint64_t, std::less<>> by_type_;
+  std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> by_link_;
+  std::map<ProcessId, std::uint64_t> by_sender_;
+};
+
+}  // namespace qsel::metrics

@@ -1,0 +1,51 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints the rows the corresponding paper artefact
+// reports (see DESIGN.md section 4) in an aligned, diff-friendly format.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qsel::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each value with operator<<.
+  template <class... Ts>
+  Table& row(const Ts&... values) {
+    return add_row({format_cell(values)...});
+  }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  template <class T>
+  static std::string format_cell(const T& value);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qsel::metrics
+
+#include <sstream>
+
+namespace qsel::metrics {
+
+template <class T>
+std::string Table::format_cell(const T& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+}  // namespace qsel::metrics

@@ -1,0 +1,116 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+namespace qsel::net {
+
+void Encoder::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::digest(const crypto::Digest& d) {
+  bytes_.insert(bytes_.end(), d.bytes.begin(), d.bytes.end());
+}
+
+void Encoder::signature(const crypto::Signature& s) {
+  digest(s.tag);
+  process_id(s.signer);
+}
+
+void Encoder::bytes(std::span<const std::uint8_t> data) {
+  u64(data.size());
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void Encoder::str(const std::string& s) {
+  bytes(std::span(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Encoder::u64_vector(std::span<const std::uint64_t> values) {
+  u64(values.size());
+  for (std::uint64_t v : values) u64(v);
+}
+
+bool Decoder::take(std::size_t count, const std::uint8_t** out) {
+  if (!ok_ || data_.size() - offset_ < count) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + offset_;
+  offset_ += count;
+  return true;
+}
+
+std::uint8_t Decoder::u8() {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, &p)) return 0;
+  return *p;
+}
+
+std::uint32_t Decoder::u32() {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+crypto::Digest Decoder::digest() {
+  crypto::Digest d;
+  const std::uint8_t* p = nullptr;
+  if (!take(d.bytes.size(), &p)) return d;
+  std::memcpy(d.bytes.data(), p, d.bytes.size());
+  return d;
+}
+
+crypto::Signature Decoder::signature() {
+  crypto::Signature s;
+  s.tag = digest();
+  s.signer = process_id();
+  return s;
+}
+
+std::vector<std::uint8_t> Decoder::bytes() {
+  const std::uint64_t len = u64();
+  if (!ok_ || data_.size() - offset_ < len) {
+    ok_ = false;
+    return {};
+  }
+  const std::uint8_t* p = nullptr;
+  take(static_cast<std::size_t>(len), &p);
+  return std::vector<std::uint8_t>(p, p + len);
+}
+
+std::string Decoder::str() {
+  const std::vector<std::uint8_t> raw = bytes();
+  return std::string(raw.begin(), raw.end());
+}
+
+std::vector<std::uint64_t> Decoder::u64_vector() {
+  const std::uint64_t count = u64();
+  // Guard: each element needs 8 bytes; reject absurd counts before
+  // allocating (malformed Byzantine input).
+  if (!ok_ || (data_.size() - offset_) / 8 < count) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(count));
+  for (auto& v : values) v = u64();
+  return values;
+}
+
+}  // namespace qsel::net

@@ -1,0 +1,74 @@
+// Canonical byte encoding for protocol messages.
+//
+// Signed messages (UPDATE, FOLLOWERS, PREPARE, COMMIT) authenticate their
+// canonical encoding with HMAC signatures (crypto/signer.hpp); the encoding
+// is little-endian, length-prefixed and unambiguous, so a signature binds
+// exactly the message contents. The Decoder never throws on malformed
+// input — Byzantine senders may produce garbage, which must surface as a
+// verification failure, not a crash; call ok() after reading.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+
+namespace qsel::net {
+
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void process_id(ProcessId v) { u32(v); }
+  void process_set(ProcessSet s) { u64(s.mask()); }
+  void digest(const crypto::Digest& d);
+  void signature(const crypto::Signature& s);
+  /// Length-prefixed byte string.
+  void bytes(std::span<const std::uint8_t> data);
+  void str(const std::string& s);
+  /// Length-prefixed vector of u64.
+  void u64_vector(std::span<const std::uint64_t> values);
+
+  std::size_t size() const { return bytes_.size(); }
+  std::span<const std::uint8_t> view() const { return bytes_; }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  ProcessId process_id() { return u32(); }
+  ProcessSet process_set() { return ProcessSet(u64()); }
+  crypto::Digest digest();
+  crypto::Signature signature();
+  std::vector<std::uint8_t> bytes();
+  std::string str();
+  std::vector<std::uint64_t> u64_vector();
+
+  /// True when no read overran the buffer so far.
+  bool ok() const { return ok_; }
+  /// True when ok() and the whole buffer was consumed.
+  bool done() const { return ok_ && offset_ == data_.size(); }
+
+ private:
+  bool take(std::size_t count, const std::uint8_t** out);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace qsel::net

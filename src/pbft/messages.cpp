@@ -1,0 +1,153 @@
+#include "pbft/messages.hpp"
+
+namespace qsel::pbft {
+namespace {
+
+void encode_preprepare_body(net::Encoder& enc, const PrePrepareMessage& p) {
+  enc.str("pbft.preprepare");
+  enc.u64(p.view);
+  enc.u64(p.slot);
+  enc.u32(p.client);
+  enc.u64(p.client_seq);
+  enc.bytes(p.op);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> PrePrepareMessage::signed_bytes() const {
+  net::Encoder enc;
+  encode_preprepare_body(enc, *this);
+  return std::move(enc).take();
+}
+
+crypto::Digest PrePrepareMessage::request_digest() const {
+  net::Encoder enc;
+  enc.u64(view);
+  enc.u64(slot);
+  enc.u32(client);
+  enc.u64(client_seq);
+  enc.bytes(op);
+  return crypto::sha256(enc.view());
+}
+
+PrePrepareMessage PrePrepareMessage::make(const crypto::Signer& primary,
+                                          ViewId view, SeqNum slot,
+                                          const smr::ClientRequest& request) {
+  PrePrepareMessage p;
+  p.view = view;
+  p.slot = slot;
+  p.client = request.client;
+  p.client_seq = request.client_seq;
+  p.op = request.op;
+  p.sig = primary.sign(p.signed_bytes());
+  return p;
+}
+
+bool PrePrepareMessage::verify(const crypto::Signer& verifier, ProcessId n,
+                               ProcessId expected_primary) const {
+  if (expected_primary >= n || sig.signer != expected_primary) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+std::vector<std::uint8_t> VoteMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("pbft.vote");
+  enc.u8(static_cast<std::uint8_t>(phase));
+  enc.u64(view);
+  enc.u64(slot);
+  enc.digest(digest);
+  enc.process_id(sender);
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const VoteMessage> VoteMessage::make(
+    const crypto::Signer& sender, Phase phase, ViewId view, SeqNum slot,
+    const crypto::Digest& digest) {
+  auto msg = std::make_shared<VoteMessage>();
+  msg->phase = phase;
+  msg->view = view;
+  msg->slot = slot;
+  msg->digest = digest;
+  msg->sender = sender.self();
+  msg->sig = sender.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool VoteMessage::verify(const crypto::Signer& verifier, ProcessId n) const {
+  if (sender >= n || sig.signer != sender) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+std::size_t ViewChangeMessage::wire_size() const {
+  std::size_t size = 16 + 36;
+  for (const auto& p : prepared) size += p.wire_size();
+  return size;
+}
+
+std::vector<std::uint8_t> ViewChangeMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("pbft.viewchange");
+  enc.u64(new_view);
+  enc.process_id(sender);
+  enc.u64(prepared.size());
+  for (const auto& p : prepared) {
+    encode_preprepare_body(enc, p);
+    enc.signature(p.sig);
+  }
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const ViewChangeMessage> ViewChangeMessage::make(
+    const crypto::Signer& sender, ViewId new_view,
+    std::vector<PrePrepareMessage> prepared) {
+  auto msg = std::make_shared<ViewChangeMessage>();
+  msg->new_view = new_view;
+  msg->sender = sender.self();
+  msg->prepared = std::move(prepared);
+  msg->sig = sender.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool ViewChangeMessage::verify(const crypto::Signer& verifier,
+                               ProcessId n) const {
+  if (sender >= n || sig.signer != sender) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+std::size_t NewViewMessage::wire_size() const {
+  std::size_t size = 16 + 36;
+  for (const auto& p : reproposals) size += p.wire_size();
+  return size;
+}
+
+std::vector<std::uint8_t> NewViewMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("pbft.newview");
+  enc.u64(view);
+  enc.process_id(primary);
+  enc.u64(reproposals.size());
+  for (const auto& p : reproposals) {
+    encode_preprepare_body(enc, p);
+    enc.signature(p.sig);
+  }
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const NewViewMessage> NewViewMessage::make(
+    const crypto::Signer& primary, ViewId view,
+    std::vector<PrePrepareMessage> reproposals) {
+  auto msg = std::make_shared<NewViewMessage>();
+  msg->view = view;
+  msg->primary = primary.self();
+  msg->reproposals = std::move(reproposals);
+  msg->sig = primary.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool NewViewMessage::verify(const crypto::Signer& verifier,
+                            ProcessId n) const {
+  if (primary >= n || sig.signer != primary) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+}  // namespace qsel::pbft

@@ -1,0 +1,96 @@
+// PBFT-style baseline messages.
+//
+// The comparison system the paper's introduction references: n = 3f+1
+// replicas, every protocol message broadcast to all replicas, progress
+// with n - f = 2f+1 replies. Normal case: PRE-PREPARE (primary) ->
+// PREPARE (all-to-all, digest) -> COMMIT (all-to-all, digest). Unlike
+// XPaxos, a crashed backup does NOT stop the protocol — the price is the
+// full O(n^2) message complexity Quorum Selection avoids (experiment E5).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "net/codec.hpp"
+#include "sim/payload.hpp"
+#include "smr/client_messages.hpp"
+
+namespace qsel::pbft {
+
+struct PrePrepareMessage final : sim::Payload {
+  ViewId view = 0;
+  SeqNum slot = 0;
+  std::uint32_t client = 0;
+  std::uint64_t client_seq = 0;
+  std::vector<std::uint8_t> op;
+  crypto::Signature sig;  // by the primary of `view`
+
+  std::string_view type_tag() const override { return "pbft.preprepare"; }
+  std::size_t wire_size() const override { return 32 + op.size() + 36; }
+
+  std::vector<std::uint8_t> signed_bytes() const;
+  crypto::Digest request_digest() const;
+  static PrePrepareMessage make(const crypto::Signer& primary, ViewId view,
+                                SeqNum slot, const smr::ClientRequest& request);
+  bool verify(const crypto::Signer& verifier, ProcessId n,
+              ProcessId expected_primary) const;
+};
+
+/// PREPARE and COMMIT share a digest-vote shape; `phase` disambiguates.
+struct VoteMessage final : sim::Payload {
+  enum class Phase : std::uint8_t { kPrepare = 1, kCommit = 2 };
+  Phase phase = Phase::kPrepare;
+  ViewId view = 0;
+  SeqNum slot = 0;
+  crypto::Digest digest;
+  ProcessId sender = kNoProcess;
+  crypto::Signature sig;
+
+  std::string_view type_tag() const override {
+    return phase == Phase::kPrepare ? "pbft.prepare" : "pbft.commit";
+  }
+  std::size_t wire_size() const override { return 21 + 32 + 4 + 36; }
+
+  std::vector<std::uint8_t> signed_bytes() const;
+  static std::shared_ptr<const VoteMessage> make(const crypto::Signer& sender,
+                                                 Phase phase, ViewId view,
+                                                 SeqNum slot,
+                                                 const crypto::Digest& digest);
+  bool verify(const crypto::Signer& verifier, ProcessId n) const;
+};
+
+struct ViewChangeMessage final : sim::Payload {
+  ViewId new_view = 0;
+  ProcessId sender = kNoProcess;
+  std::vector<PrePrepareMessage> prepared;
+  crypto::Signature sig;
+
+  std::string_view type_tag() const override { return "pbft.viewchange"; }
+  std::size_t wire_size() const override;
+
+  std::vector<std::uint8_t> signed_bytes() const;
+  static std::shared_ptr<const ViewChangeMessage> make(
+      const crypto::Signer& sender, ViewId new_view,
+      std::vector<PrePrepareMessage> prepared);
+  bool verify(const crypto::Signer& verifier, ProcessId n) const;
+};
+
+struct NewViewMessage final : sim::Payload {
+  ViewId view = 0;
+  ProcessId primary = kNoProcess;
+  std::vector<PrePrepareMessage> reproposals;
+  crypto::Signature sig;
+
+  std::string_view type_tag() const override { return "pbft.newview"; }
+  std::size_t wire_size() const override;
+
+  std::vector<std::uint8_t> signed_bytes() const;
+  static std::shared_ptr<const NewViewMessage> make(
+      const crypto::Signer& primary, ViewId view,
+      std::vector<PrePrepareMessage> reproposals);
+  bool verify(const crypto::Signer& verifier, ProcessId n) const;
+};
+
+}  // namespace qsel::pbft

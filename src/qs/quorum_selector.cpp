@@ -1,0 +1,50 @@
+#include "qs/quorum_selector.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "graph/independent_set.hpp"
+
+namespace qsel::qs {
+
+QuorumSelector::QuorumSelector(const crypto::Signer& signer,
+                               QuorumSelectorConfig config, Hooks hooks)
+    : config_(config),
+      hooks_(std::move(hooks)),
+      core_(signer, config.n,
+            suspect::SuspicionCore::Hooks{
+                [this](sim::PayloadPtr msg) { hooks_.broadcast(msg); },
+                [this] { update_quorum(); }}),
+      qlast_(ProcessSet::full(static_cast<ProcessId>(config.quorum_size()))) {
+  QSEL_REQUIRE(config.n > 0 && config.n <= kMaxProcesses);
+  QSEL_REQUIRE_MSG(config.f >= 1, "quorum selection needs f >= 1");
+  QSEL_REQUIRE_MSG(config.quorum_size() > config.f,
+                   "paper assumes a correct majority: n - f > f");
+  QSEL_REQUIRE(hooks_.issue_quorum != nullptr);
+  QSEL_REQUIRE(hooks_.broadcast != nullptr);
+}
+
+void QuorumSelector::update_quorum() {
+  const int q = config_.quorum_size();
+  for (;;) {
+    const graph::SimpleGraph g = core_.current_graph();
+    const auto quorum = graph::first_independent_set(g, q);
+    if (!quorum) {
+      // Suspicions in the current epoch are inconsistent (some correct
+      // process suspected another): advance the epoch and re-issue the own
+      // suspicions (Lines 28-29), then re-evaluate.
+      core_.advance_epoch(core_.next_epoch_candidate());
+      continue;
+    }
+    if (*quorum != qlast_) {
+      qlast_ = *quorum;
+      history_.push_back(QuorumRecord{*quorum, core_.epoch()});
+      QSEL_LOG(kInfo, "qs") << "p" << core_.self() << " QUORUM "
+                            << quorum->to_string() << " (epoch "
+                            << core_.epoch() << ")";
+      hooks_.issue_quorum(*quorum);
+    }
+    return;
+  }
+}
+
+}  // namespace qsel::qs

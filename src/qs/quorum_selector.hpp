@@ -1,0 +1,84 @@
+// QuorumSelector — Algorithm 1 (Section VI).
+//
+// Outputs quorums <QUORUM, Q> with |Q| = q = n - f, satisfying the Quorum
+// Selection specification (Section IV-A):
+//   Termination — a correct process changes the quorum only finitely often;
+//   No suspicion — eventually no quorum member suspects another member;
+//   Agreement  — eventually correct processes output the same quorum.
+//
+// The quorum is the lexicographically first independent set of size q in
+// the suspect graph of the current epoch; when none exists (some correct
+// process suspected another correct process in this epoch) the epoch is
+// advanced, dropping the stale suspicions, and the own suspicions are
+// re-issued (Lines 25-34).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "suspect/suspicion_core.hpp"
+
+namespace qsel::qs {
+
+struct QuorumSelectorConfig {
+  ProcessId n = 0;
+  int f = 0;  // q = n - f
+
+  int quorum_size() const { return static_cast<int>(n) - f; }
+};
+
+/// A <QUORUM, Q> output, with the epoch it was issued in (used by the
+/// bound checks of Theorem 3).
+struct QuorumRecord {
+  ProcessSet quorum;
+  Epoch epoch;
+};
+
+class QuorumSelector {
+ public:
+  struct Hooks {
+    /// <QUORUM, Q> output to the application.
+    std::function<void(ProcessSet quorum)> issue_quorum;
+    /// Broadcast to every other process (UPDATE dissemination).
+    std::function<void(sim::PayloadPtr)> broadcast;
+  };
+
+  QuorumSelector(const crypto::Signer& signer, QuorumSelectorConfig config,
+                 Hooks hooks);
+
+  /// <SUSPECTED, S> from the local failure detector.
+  void on_suspected(ProcessSet s) { core_.on_suspected(s); }
+
+  /// A (possibly forwarded) UPDATE message from the network.
+  void on_update(const std::shared_ptr<const suspect::UpdateMessage>& msg) {
+    core_.on_update(msg);
+  }
+
+  // --- observers --------------------------------------------------------
+
+  ProcessSet quorum() const { return qlast_; }
+  Epoch epoch() const { return core_.epoch(); }
+  const suspect::SuspicionMatrix& matrix() const { return core_.matrix(); }
+  const suspect::SuspicionCore& core() const { return core_; }
+
+  /// Every quorum issued, in order, with its epoch; the initial default
+  /// quorum {p_0..p_{q-1}} is not an "issued" quorum (it was never output).
+  const std::vector<QuorumRecord>& history() const { return history_; }
+  std::uint64_t quorums_issued() const { return history_.size(); }
+
+ private:
+  void update_quorum();
+
+  QuorumSelectorConfig config_;
+  Hooks hooks_;
+  suspect::SuspicionCore core_;
+  ProcessSet qlast_;
+  std::vector<QuorumRecord> history_;
+};
+
+}  // namespace qsel::qs

@@ -1,0 +1,167 @@
+#include "runtime/follower_cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace qsel::runtime {
+
+FollowerProcess::FollowerProcess(sim::Network& network,
+                                 const crypto::KeyRegistry& keys,
+                                 ProcessId self,
+                                 const FollowerClusterConfig& config)
+    : network_(network),
+      signer_(keys, self),
+      heartbeat_period_(config.heartbeat_period),
+      fd_(network.simulator(), self, config.n, config.fd,
+          [this](ProcessSet suspects) { selector_.on_suspected(suspects); }),
+      selector_(
+          signer_, fs::FollowerSelectorConfig{config.n, config.f},
+          fs::FollowerSelector::Hooks{
+              [](ProcessId, ProcessSet) { /* application consumes quorum */ },
+              [this](sim::PayloadPtr msg) { broadcast_others(msg); },
+              [this](ProcessId leader, Epoch epoch) {
+                fd_.expect(
+                    leader,
+                    [epoch](ProcessId, const sim::PayloadPtr& m) {
+                      auto* followers =
+                          dynamic_cast<const fs::FollowersMessage*>(m.get());
+                      return followers != nullptr && followers->epoch == epoch;
+                    },
+                    "followers");
+              },
+              [this] { fd_.cancel_all(); },
+              [this](ProcessId culprit) { fd_.detected(culprit); }}) {}
+
+void FollowerProcess::broadcast_others(const sim::PayloadPtr& message) {
+  network_.broadcast(
+      self(), ProcessSet::full(network_.process_count()) - ProcessSet{self()},
+      message);
+}
+
+void FollowerProcess::start() {
+  if (heartbeat_period_ == 0) return;
+  tick();
+}
+
+void FollowerProcess::tick() {
+  const auto heartbeat = HeartbeatMessage::make(signer_, heartbeat_seq_++);
+  const ProcessId lead = selector_.leader();
+  if (lead == self()) {
+    // The leader heartbeats everyone and expects heartbeats back from its
+    // quorum (the processes whose liveness the application depends on).
+    broadcast_others(heartbeat);
+    for (ProcessId peer : selector_.quorum()) {
+      if (peer == self() || fd_.suspected().contains(peer)) continue;
+      fd_.expect(peer,
+                 [](ProcessId, const sim::PayloadPtr& m) {
+                   return dynamic_cast<const HeartbeatMessage*>(m.get()) !=
+                          nullptr;
+                 },
+                 "heartbeat");
+    }
+  } else {
+    // Followers (and bystanders) heartbeat the leader and expect the
+    // leader's heartbeat; they do not monitor each other.
+    network_.send(self(), lead, heartbeat);
+    if (!fd_.suspected().contains(lead)) {
+      fd_.expect(lead,
+                 [](ProcessId, const sim::PayloadPtr& m) {
+                   return dynamic_cast<const HeartbeatMessage*>(m.get()) !=
+                          nullptr;
+                 },
+                 "heartbeat");
+    }
+  }
+  network_.simulator().schedule_after(heartbeat_period_, [this] { tick(); });
+}
+
+void FollowerProcess::on_message(ProcessId from,
+                                 const sim::PayloadPtr& message) {
+  if (auto update =
+          std::dynamic_pointer_cast<const suspect::UpdateMessage>(message)) {
+    if (!update->verify(signer_, network_.process_count())) return;
+    fd_.on_receive(from, message);
+    selector_.on_update(update);
+    return;
+  }
+  if (auto followers =
+          std::dynamic_pointer_cast<const fs::FollowersMessage>(message)) {
+    if (!followers->verify(signer_, network_.process_count())) return;
+    // The expectation targets the leader that signed the message, not the
+    // forwarder it happened to arrive from.
+    fd_.on_receive(followers->leader, message);
+    selector_.on_followers(followers);
+    return;
+  }
+  if (auto heartbeat =
+          std::dynamic_pointer_cast<const HeartbeatMessage>(message)) {
+    if (!heartbeat->verify(signer_, network_.process_count())) return;
+    fd_.on_receive(heartbeat->origin, message);
+    return;
+  }
+}
+
+FollowerCluster::FollowerCluster(FollowerClusterConfig config,
+                                 ProcessSet byzantine)
+    : config_([&] {
+        config.network.fifo_links = true;  // Section VIII assumption
+        return config;
+      }()),
+      keys_(config_.n, config_.seed),
+      network_(std::make_unique<sim::Network>(sim_, config_.n, config_.network,
+                                              config_.seed)),
+      correct_(ProcessSet::full(config_.n) - byzantine),
+      processes_(config_.n) {
+  QSEL_REQUIRE(byzantine.is_subset_of(ProcessSet::full(config_.n)));
+  for (ProcessId id : correct_) {
+    processes_[id] =
+        std::make_unique<FollowerProcess>(*network_, keys_, id, config_);
+    network_->attach(id, *processes_[id]);
+  }
+}
+
+FollowerProcess& FollowerCluster::process(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n && processes_[id] != nullptr);
+  return *processes_[id];
+}
+
+void FollowerCluster::start() {
+  for (ProcessId id : correct_) processes_[id]->start();
+}
+
+ProcessSet FollowerCluster::alive() const {
+  ProcessSet result;
+  for (ProcessId id : correct_)
+    if (!network_->is_crashed(id)) result.insert(id);
+  return result;
+}
+
+std::optional<std::pair<ProcessId, ProcessSet>>
+FollowerCluster::agreed_leader_quorum() const {
+  std::optional<std::pair<ProcessId, ProcessSet>> agreed;
+  for (ProcessId id : alive()) {
+    const auto current = std::make_pair(processes_[id]->leader(),
+                                        processes_[id]->quorum());
+    if (!agreed) {
+      agreed = current;
+    } else if (*agreed != current) {
+      return std::nullopt;
+    }
+  }
+  return agreed;
+}
+
+std::uint64_t FollowerCluster::total_quorums_issued() const {
+  std::uint64_t total = 0;
+  for (ProcessId id : alive())
+    total += processes_[id]->selector().quorums_issued();
+  return total;
+}
+
+std::uint64_t FollowerCluster::max_quorums_issued() const {
+  std::uint64_t most = 0;
+  for (ProcessId id : alive())
+    most = std::max(most, processes_[id]->selector().quorums_issued());
+  return most;
+}
+
+}  // namespace qsel::runtime

@@ -1,0 +1,98 @@
+// FollowerProcess / FollowerCluster — the composed system of Figure 1 for
+// Follower Selection (Algorithm 2).
+//
+// Differences from the QuorumCluster: the selector is the leader-centric
+// FollowerSelector, the network runs with FIFO links (the Section VIII
+// assumption), and the heartbeat application follows the leader-centric
+// pattern the paper motivates — the leader exchanges heartbeats with the
+// quorum, followers do not monitor each other, so follower-follower
+// suspicions never arise from the application itself.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "fd/failure_detector.hpp"
+#include "fs/follower_selector.hpp"
+#include "runtime/heartbeat.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace qsel::runtime {
+
+struct FollowerClusterConfig {
+  ProcessId n = 4;
+  int f = 1;
+  std::uint64_t seed = 1;
+  sim::NetworkConfig network;  // fifo_links forced on by the cluster
+  fd::FailureDetectorConfig fd;
+  SimDuration heartbeat_period = 5'000'000;  // 0 disables heartbeats
+};
+
+class FollowerProcess final : public sim::Actor {
+ public:
+  FollowerProcess(sim::Network& network, const crypto::KeyRegistry& keys,
+                  ProcessId self, const FollowerClusterConfig& config);
+
+  void start();
+  void on_message(ProcessId from, const sim::PayloadPtr& message) override;
+
+  ProcessId self() const { return signer_.self(); }
+  fs::FollowerSelector& selector() { return selector_; }
+  const fs::FollowerSelector& selector() const { return selector_; }
+  fd::FailureDetector& failure_detector() { return fd_; }
+  ProcessId leader() const { return selector_.leader(); }
+  ProcessSet quorum() const { return selector_.quorum(); }
+  const crypto::Signer& signer() const { return signer_; }
+
+ private:
+  void tick();
+  void broadcast_others(const sim::PayloadPtr& message);
+
+  sim::Network& network_;
+  crypto::Signer signer_;
+  SimDuration heartbeat_period_;
+  fd::FailureDetector fd_;
+  fs::FollowerSelector selector_;
+  std::uint64_t heartbeat_seq_ = 0;
+};
+
+class FollowerCluster {
+ public:
+  explicit FollowerCluster(FollowerClusterConfig config,
+                           ProcessSet byzantine = {});
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return *network_; }
+  const crypto::KeyRegistry& keys() const { return keys_; }
+  const FollowerClusterConfig& config() const { return config_; }
+  ProcessSet correct() const { return correct_; }
+
+  /// Honest processes that have not crashed.
+  ProcessSet alive() const;
+
+  FollowerProcess& process(ProcessId id);
+
+  void start();
+
+  /// The (leader, quorum) every honest process agrees on, if they do.
+  std::optional<std::pair<ProcessId, ProcessSet>> agreed_leader_quorum() const;
+
+  std::uint64_t total_quorums_issued() const;
+  std::uint64_t max_quorums_issued() const;
+
+ private:
+  FollowerClusterConfig config_;
+  sim::Simulator sim_;
+  crypto::KeyRegistry keys_;
+  std::unique_ptr<sim::Network> network_;
+  ProcessSet correct_;
+  std::vector<std::unique_ptr<FollowerProcess>> processes_;
+};
+
+}  // namespace qsel::runtime

@@ -1,0 +1,113 @@
+// QuorumProcess / QuorumCluster — the composed system of Figure 1 for
+// Quorum Selection (Algorithm 1).
+//
+// Each QuorumProcess stacks the three modules of the paper's architecture:
+// a heartbeat application that issues expectations, the expectation-based
+// failure detector, and the QuorumSelector, all wired over the simulated
+// network. QuorumCluster builds n such processes (minus any ids reserved
+// as Byzantine, which tests/adversaries attach themselves) and exposes the
+// cluster-level observations the experiments need: whether correct
+// processes agree on a quorum, total quorum changes, epochs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "fd/failure_detector.hpp"
+#include "qs/quorum_selector.hpp"
+#include "runtime/heartbeat.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "suspect/update_message.hpp"
+
+namespace qsel::runtime {
+
+struct QuorumClusterConfig {
+  ProcessId n = 4;
+  int f = 1;
+  std::uint64_t seed = 1;
+  sim::NetworkConfig network;
+  fd::FailureDetectorConfig fd;
+  /// Heartbeat period; 0 disables the heartbeat application (experiments
+  /// that inject suspicions directly).
+  SimDuration heartbeat_period = 5'000'000;  // 5 ms
+};
+
+class QuorumProcess final : public sim::Actor {
+ public:
+  QuorumProcess(sim::Network& network, const crypto::KeyRegistry& keys,
+                ProcessId self, const QuorumClusterConfig& config);
+
+  /// Begins the heartbeat application (no-op when the period is 0).
+  void start();
+
+  void on_message(ProcessId from, const sim::PayloadPtr& message) override;
+
+  ProcessId self() const { return signer_.self(); }
+  qs::QuorumSelector& selector() { return selector_; }
+  const qs::QuorumSelector& selector() const { return selector_; }
+  fd::FailureDetector& failure_detector() { return fd_; }
+  ProcessSet quorum() const { return selector_.quorum(); }
+  const crypto::Signer& signer() const { return signer_; }
+
+ private:
+  void tick();
+
+  sim::Network& network_;
+  crypto::Signer signer_;
+  SimDuration heartbeat_period_;
+  fd::FailureDetector fd_;
+  qs::QuorumSelector selector_;
+  std::uint64_t heartbeat_seq_ = 0;
+};
+
+class QuorumCluster {
+ public:
+  /// `byzantine` ids get no honest process; tests may attach their own
+  /// actors for them (an unattached id behaves as crashed-from-start).
+  explicit QuorumCluster(QuorumClusterConfig config,
+                         ProcessSet byzantine = {});
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return *network_; }
+  const crypto::KeyRegistry& keys() const { return keys_; }
+  const QuorumClusterConfig& config() const { return config_; }
+
+  /// Ids running honest QuorumProcesses (including any that crashed later).
+  ProcessSet correct() const { return correct_; }
+
+  /// Honest processes that have not crashed — the processes the paper's
+  /// Agreement/Termination properties quantify over.
+  ProcessSet alive() const;
+
+  QuorumProcess& process(ProcessId id);
+
+  /// Starts heartbeats on all honest processes.
+  void start();
+
+  /// True when all honest processes currently report the same quorum;
+  /// returns that quorum.
+  std::optional<ProcessSet> agreed_quorum() const;
+
+  /// Sum of quorums issued across honest processes.
+  std::uint64_t total_quorums_issued() const;
+
+  /// Maximum quorums issued by any single honest process.
+  std::uint64_t max_quorums_issued() const;
+
+ private:
+  QuorumClusterConfig config_;
+  sim::Simulator sim_;
+  crypto::KeyRegistry keys_;
+  std::unique_ptr<sim::Network> network_;
+  ProcessSet correct_;
+  std::vector<std::unique_ptr<QuorumProcess>> processes_;  // index = id
+};
+
+}  // namespace qsel::runtime

@@ -1,0 +1,123 @@
+// Simulated network: reliable asynchronous channels with fault injection.
+//
+// Models the paper's system model (Section IV): reliable asynchronous
+// channels between n processes, an eventual-synchrony switch (GST) after
+// which every message between correct processes is delivered within
+// round_trip_bound(), and per-link fault injection used to *cause* the
+// failures of Section II — omission (drop), timing (extra delay) and crash.
+// The FIFO option implements the Follower Selection assumption
+// (Section VIII) that messages between correct processes arrive in order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "metrics/message_stats.hpp"
+#include "sim/payload.hpp"
+#include "sim/simulator.hpp"
+
+namespace qsel::sim {
+
+class Actor {
+ public:
+  Actor() = default;
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+  virtual ~Actor() = default;
+
+  virtual void on_message(ProcessId from, const PayloadPtr& message) = 0;
+};
+
+struct NetworkConfig {
+  /// Minimum one-way latency after GST.
+  SimDuration base_latency = 1'000'000;  // 1 ms
+  /// Uniform jitter added on top, in [0, jitter].
+  SimDuration jitter = 200'000;  // 0.2 ms
+  /// Before GST, an extra uniform delay in [0, pre_gst_extra] models the
+  /// asynchronous period of the eventually-synchronous system.
+  SimDuration pre_gst_extra = 0;
+  SimTime gst = 0;
+  /// Enforce per-directed-link FIFO delivery (Section VIII assumption).
+  bool fifo_links = false;
+};
+
+class Network {
+ public:
+  Network(Simulator& simulator, ProcessId n, NetworkConfig config,
+          std::uint64_t seed);
+
+  ProcessId process_count() const { return n_; }
+  Simulator& simulator() { return sim_; }
+  const NetworkConfig& config() const { return config_; }
+
+  /// Maximum one-way latency between correct processes after GST.
+  SimDuration latency_bound() const {
+    return config_.base_latency + config_.jitter;
+  }
+
+  /// The paper's "communication round": the time for messages between all
+  /// correct processes to be delivered.
+  SimDuration round_length() const { return latency_bound(); }
+
+  void attach(ProcessId id, Actor& actor);
+
+  void send(ProcessId from, ProcessId to, PayloadPtr message);
+
+  /// Sends to every member of `targets`; members other than `from` go over
+  /// the network, a copy to `from` itself (if included) is delivered
+  /// locally after one event-loop hop (the paper's broadcasts include the
+  /// sender, Algorithm 1 Line 15).
+  void broadcast(ProcessId from, ProcessSet targets, const PayloadPtr& message);
+
+  // --- fault injection ------------------------------------------------
+
+  /// Crashed processes neither send nor receive from now on.
+  void crash(ProcessId id);
+  bool is_crashed(ProcessId id) const { return crashed_.contains(id); }
+
+  /// Disables/enables the directed link from -> to (omission failures).
+  void set_link_enabled(ProcessId from, ProcessId to, bool enabled);
+  bool link_enabled(ProcessId from, ProcessId to) const;
+
+  /// Adds a fixed extra delay on the directed link (timing failures).
+  void set_link_extra_delay(ProcessId from, ProcessId to, SimDuration extra);
+
+  /// Drops all messages between the two sides, both directions.
+  void partition(ProcessSet side_a, ProcessSet side_b);
+  void heal_partition();
+
+  // --- instrumentation --------------------------------------------------
+
+  const metrics::MessageStats& stats() const { return stats_; }
+  metrics::MessageStats& stats() { return stats_; }
+
+  /// Invoked on every send with (from, to, message, delivery_time).
+  using SendHook =
+      std::function<void(ProcessId, ProcessId, const PayloadPtr&, SimTime)>;
+  void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+
+ private:
+  SimDuration sample_latency(ProcessId from, ProcessId to);
+  std::size_t link_index(ProcessId from, ProcessId to) const {
+    return static_cast<std::size_t>(from) * n_ + to;
+  }
+
+  Simulator& sim_;
+  ProcessId n_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Actor*> actors_;
+  ProcessSet crashed_;
+  std::vector<bool> link_disabled_;
+  std::vector<SimDuration> link_extra_delay_;
+  std::vector<SimTime> link_last_delivery_;  // for FIFO enforcement
+  metrics::MessageStats stats_;
+  SendHook send_hook_;
+};
+
+}  // namespace qsel::sim

@@ -1,0 +1,29 @@
+// Payload — base class for everything sent through the simulated network.
+//
+// Messages travel as shared_ptr<const Payload>: a broadcast enqueues one
+// immutable object n times, mirroring zero-copy fan-out. Authentication is
+// not implicit — protocol messages that the paper signs carry explicit
+// crypto::Signature fields over their canonical encoding (see net/codec).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+namespace qsel::sim {
+
+struct Payload {
+  virtual ~Payload() = default;
+
+  /// Stable tag used for message accounting (metrics::MessageStats) and
+  /// trace output, e.g. "xpaxos.commit".
+  virtual std::string_view type_tag() const = 0;
+
+  /// Size in bytes charged to the network; implementations return their
+  /// canonical encoded size.
+  virtual std::size_t wire_size() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+}  // namespace qsel::sim

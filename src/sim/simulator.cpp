@@ -1,0 +1,52 @@
+#include "sim/simulator.hpp"
+
+namespace qsel::sim {
+
+void Simulator::schedule_at(SimTime time, EventFn fn) {
+  QSEL_REQUIRE_MSG(time >= now_, "cannot schedule into the past");
+  queue_.push(Event{time, next_seq_++, std::move(fn), nullptr});
+}
+
+TimerHandle Simulator::schedule_timer(SimDuration delay, EventFn fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), cancelled});
+  return TimerHandle(cancelled);
+}
+
+void Simulator::pop_and_run() {
+  // priority_queue::top() is const; moving the closure out requires the
+  // usual const_cast dance. Safe: the element is popped immediately after.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  QSEL_ASSERT(event.time >= now_);
+  now_ = event.time;
+  if (event.cancelled && *event.cancelled) return;
+  // A timer that fires is no longer active; mark before running so the
+  // handler can re-arm through the same TimerHandle-holding field.
+  if (event.cancelled) *event.cancelled = true;
+  ++events_processed_;
+  event.fn();
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  pop_and_run();
+  return true;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t processed = 0;
+  while (processed < max_events && !queue_.empty()) {
+    pop_and_run();
+    ++processed;
+  }
+  return processed;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) pop_and_run();
+  QSEL_ASSERT(now_ <= deadline);
+  now_ = deadline;
+}
+
+}  // namespace qsel::sim

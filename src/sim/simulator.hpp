@@ -1,0 +1,93 @@
+// Deterministic discrete-event simulator.
+//
+// All experiments run on virtual time: events are (time, sequence) ordered,
+// where the sequence number breaks ties in scheduling order, so a run is a
+// pure function of its seeds. The simulator is single-threaded by design —
+// distributed concurrency is modeled by event interleaving, not OS threads,
+// which is what makes the paper's counting results (quorum changes,
+// communication rounds) exactly checkable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace qsel::sim {
+
+using EventFn = std::function<void()>;
+
+/// Cancellable handle for a scheduled event. Copies share cancellation
+/// state; destroying handles does not cancel (fire-and-forget by default).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  /// True while the timer is scheduled and has neither fired nor been
+  /// cancelled.
+  bool active() const { return cancelled_ && !*cancelled_; }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool idle() const { return queue_.empty(); }
+
+  void schedule_at(SimTime time, EventFn fn);
+  void schedule_after(SimDuration delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Like schedule_after but cancellable.
+  TimerHandle schedule_timer(SimDuration delay, EventFn fn);
+
+  /// Executes the next event; false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue is empty or `max_events` were processed; returns
+  /// the number of events processed. The cap guards against livelock bugs
+  /// in protocols under test.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs every event scheduled at or before `deadline`, then advances the
+  /// clock to `deadline`.
+  void run_until(SimTime deadline);
+
+  void run_for(SimDuration duration) { run_until(now_ + duration); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;  // may be null
+
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace qsel::sim

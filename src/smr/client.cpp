@@ -1,0 +1,69 @@
+#include "smr/client.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace qsel::smr {
+
+Client::Client(sim::Network& network, const crypto::KeyRegistry& keys,
+               ProcessId self, ClientConfig config)
+    : network_(network),
+      signer_(keys, self),
+      config_(config),
+      workload_(config.workload) {
+  QSEL_REQUIRE(self >= config.replicas);
+}
+
+void Client::start(std::uint64_t count) {
+  target_ = count;
+  issue_next();
+}
+
+void Client::issue_next() {
+  if (target_ != 0 && completed_ >= target_) return;
+  const app::Operation op = workload_.next();
+  in_flight_ = ClientRequest::make(signer_, next_seq_++, op.encode());
+  replies_.clear();
+  issued_at_ = network_.simulator().now();
+  send_current();
+}
+
+void Client::send_current() {
+  QSEL_ASSERT(in_flight_ != nullptr);
+  for (ProcessId replica = 0; replica < config_.replicas; ++replica)
+    network_.send(self(), replica, in_flight_);
+  arm_retry();
+}
+
+void Client::arm_retry() {
+  retry_timer_.cancel();
+  retry_timer_ =
+      network_.simulator().schedule_timer(config_.retry_timeout, [this] {
+        if (in_flight_ == nullptr) return;
+        ++retransmissions_;
+        send_current();
+      });
+}
+
+void Client::on_message(ProcessId from, const sim::PayloadPtr& message) {
+  (void)from;
+  const auto reply = std::dynamic_pointer_cast<const ReplyMessage>(message);
+  if (reply == nullptr || in_flight_ == nullptr) return;
+  if (!reply->verify(signer_, config_.replicas)) return;
+  if (reply->client != self() || reply->client_seq != in_flight_->client_seq)
+    return;
+  ProcessSet& voters = replies_[reply->result];
+  voters.insert(reply->replica);
+  if (voters.size() <= config_.f) return;  // need f+1 matching
+  // Accepted.
+  ++completed_;
+  latencies_.record(
+      static_cast<double>(network_.simulator().now() - issued_at_));
+  in_flight_ = nullptr;
+  retry_timer_.cancel();
+  QSEL_LOG(kTrace, "client") << "c" << self() << " completed seq "
+                             << reply->client_seq;
+  issue_next();
+}
+
+}  // namespace qsel::smr

@@ -1,0 +1,68 @@
+// Generic SMR client used against every protocol in the repository.
+//
+// Broadcasts each signed request to all replicas (leader/primary tracking
+// is unnecessary: non-leaders drop the request and the retransmission
+// timer rides out view changes) and accepts a result once f+1 replicas
+// replied with the same value — at least one of them is correct.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "app/workload.hpp"
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "metrics/histogram.hpp"
+#include "sim/network.hpp"
+#include "smr/client_messages.hpp"
+
+namespace qsel::smr {
+
+struct ClientConfig {
+  ProcessId replicas = 4;  // n; replica ids are 0..n-1
+  int f = 1;
+  SimDuration retry_timeout = 50'000'000;  // 50 ms
+  app::WorkloadConfig workload;
+};
+
+class Client final : public sim::Actor {
+ public:
+  Client(sim::Network& network, const crypto::KeyRegistry& keys,
+         ProcessId self, ClientConfig config);
+
+  /// Issues `count` requests back to back; 0 = keep issuing forever.
+  void start(std::uint64_t count);
+
+  void on_message(ProcessId from, const sim::PayloadPtr& message) override;
+
+  ProcessId self() const { return signer_.self(); }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  const metrics::Histogram& latencies() const { return latencies_; }
+
+ private:
+  void issue_next();
+  void send_current();
+  void arm_retry();
+
+  sim::Network& network_;
+  crypto::Signer signer_;
+  ClientConfig config_;
+  app::Workload workload_;
+
+  std::uint64_t target_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t completed_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  metrics::Histogram latencies_;
+
+  std::shared_ptr<const ClientRequest> in_flight_;
+  SimTime issued_at_ = 0;
+  sim::TimerHandle retry_timer_;
+  std::map<std::string, ProcessSet> replies_;
+};
+
+}  // namespace qsel::smr

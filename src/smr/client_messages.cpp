@@ -1,0 +1,61 @@
+#include "smr/client_messages.hpp"
+
+#include "net/codec.hpp"
+
+namespace qsel::smr {
+
+std::vector<std::uint8_t> ClientRequest::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("smr.request");
+  enc.u32(client);
+  enc.u64(client_seq);
+  enc.bytes(op);
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const ClientRequest> ClientRequest::make(
+    const crypto::Signer& client, std::uint64_t client_seq,
+    std::vector<std::uint8_t> op) {
+  auto msg = std::make_shared<ClientRequest>();
+  msg->client = client.self();
+  msg->client_seq = client_seq;
+  msg->op = std::move(op);
+  msg->sig = client.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool ClientRequest::verify(const crypto::Signer& verifier) const {
+  if (sig.signer != client) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+std::vector<std::uint8_t> ReplyMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("smr.reply");
+  enc.u64(view);
+  enc.u32(client);
+  enc.u64(client_seq);
+  enc.str(result);
+  enc.process_id(replica);
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const ReplyMessage> ReplyMessage::make(
+    const crypto::Signer& replica, ViewId view, std::uint32_t client,
+    std::uint64_t client_seq, std::string result) {
+  auto msg = std::make_shared<ReplyMessage>();
+  msg->view = view;
+  msg->client = client;
+  msg->client_seq = client_seq;
+  msg->result = std::move(result);
+  msg->replica = replica.self();
+  msg->sig = replica.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool ReplyMessage::verify(const crypto::Signer& verifier, ProcessId n) const {
+  if (replica >= n || sig.signer != replica) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+}  // namespace qsel::smr

@@ -1,0 +1,79 @@
+#include "suspect/suspicion_core.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace qsel::suspect {
+
+SuspicionCore::SuspicionCore(const crypto::Signer& signer, ProcessId n,
+                             Hooks hooks)
+    : signer_(signer), n_(n), hooks_(std::move(hooks)), matrix_(n) {
+  QSEL_REQUIRE(signer.self() < n);
+  QSEL_REQUIRE(hooks_.broadcast != nullptr);
+  QSEL_REQUIRE(hooks_.update_quorum != nullptr);
+}
+
+void SuspicionCore::stamp_and_broadcast() {
+  for (ProcessId j : suspecting_) matrix_.stamp(self(), j, epoch_);
+  std::vector<Epoch> row(matrix_.row(self()).begin(),
+                         matrix_.row(self()).end());
+  ++updates_broadcast_;
+  hooks_.broadcast(UpdateMessage::make(signer_, std::move(row)));
+}
+
+void SuspicionCore::on_suspected(ProcessSet s) {
+  QSEL_REQUIRE(!s.contains(self()));
+  suspecting_ = s;
+  QSEL_LOG(kDebug, "suspect") << "p" << self() << " suspecting "
+                              << s.to_string() << " in epoch " << epoch_;
+  stamp_and_broadcast();
+  hooks_.update_quorum();
+}
+
+bool SuspicionCore::on_update(const std::shared_ptr<const UpdateMessage>& msg) {
+  QSEL_REQUIRE(msg != nullptr);
+  if (!msg->verify(signer_, n_)) {
+    ++updates_rejected_;
+    QSEL_LOG(kWarn, "suspect")
+        << "p" << self() << " rejected UPDATE claiming origin p"
+        << msg->origin;
+    return false;
+  }
+  if (!matrix_.merge_row(msg->origin, msg->row)) return false;
+  // Forward-on-change (Line 23), then re-evaluate (Line 24) — this order
+  // matters: FIFO receivers must see the UPDATE before any FOLLOWERS
+  // message that update_quorum may trigger (Lemma 7).
+  ++updates_forwarded_;
+  hooks_.broadcast(msg);
+  hooks_.update_quorum();
+  return true;
+}
+
+void SuspicionCore::advance_epoch(Epoch new_epoch) {
+  QSEL_REQUIRE(new_epoch > epoch_);
+  epoch_ = new_epoch;
+  ++epoch_advances_;
+  QSEL_LOG(kDebug, "suspect") << "p" << self() << " advanced to epoch "
+                              << new_epoch;
+  stamp_and_broadcast();
+}
+
+Epoch SuspicionCore::next_epoch_candidate() const {
+  Epoch min_other = 0;
+  for (ProcessId l = 0; l < n_; ++l) {
+    if (l == self()) continue;
+    for (ProcessId k = 0; k < n_; ++k) {
+      const Epoch stamp = matrix_.get(l, k);
+      if (l != k && stamp >= epoch_ && (min_other == 0 || stamp < min_other))
+        min_other = stamp;
+    }
+  }
+  // When no other row has live entries the current graph is the own star,
+  // which always admits an independent set, so the caller should not be
+  // asking; fall back to +1 to stay safe.
+  return min_other == 0 ? epoch_ + 1 : min_other + 1;
+}
+
+}  // namespace qsel::suspect

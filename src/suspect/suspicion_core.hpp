@@ -1,0 +1,100 @@
+// SuspicionCore — the suspicion-handling engine shared by Quorum Selection
+// (Algorithm 1) and Follower Selection (Algorithm 2).
+//
+// Implements Lines 9-24 of Algorithm 1: reacting to SUSPECTED events from
+// the failure detector by stamping the own matrix row with the current
+// epoch and broadcasting it as a signed UPDATE; merging and forwarding
+// received UPDATEs (forward-on-change gives reliable dissemination among
+// correct processes — Lemma 1); and re-stamping current suspicions after
+// an epoch advance (Line 29).
+//
+// Divergence from the paper's pseudocode, documented here once: the paper
+// models "broadcast to all including self" and relies on the self-delivery
+// to re-enter updateQuorum. We instead invoke the owner's update_quorum
+// hook directly after the local state change (same order of effects:
+// UPDATE is broadcast *before* update_quorum runs, which Lemma 7's FIFO
+// argument needs), avoiding the self-hop and the pseudocode's stall when a
+// re-stamp does not change the own row (e.g. an epoch bump with an empty
+// suspicion set would otherwise never re-run updateQuorum).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "graph/simple_graph.hpp"
+#include "suspect/suspicion_matrix.hpp"
+#include "suspect/update_message.hpp"
+
+namespace qsel::suspect {
+
+class SuspicionCore {
+ public:
+  struct Hooks {
+    /// Broadcasts a message to every other process (self excluded — local
+    /// effects are applied synchronously).
+    std::function<void(sim::PayloadPtr)> broadcast;
+    /// Re-evaluates the quorum after the matrix or epoch changed
+    /// (Algorithm 1 Line 24).
+    std::function<void()> update_quorum;
+  };
+
+  SuspicionCore(const crypto::Signer& signer, ProcessId n, Hooks hooks);
+
+  ProcessId self() const { return signer_.self(); }
+  ProcessId process_count() const { return n_; }
+  Epoch epoch() const { return epoch_; }
+  ProcessSet suspecting() const { return suspecting_; }
+  const SuspicionMatrix& matrix() const { return matrix_; }
+
+  /// Suspect graph at the current epoch (Section VI-B).
+  graph::SimpleGraph current_graph() const {
+    return matrix_.build_suspect_graph(epoch_);
+  }
+
+  /// Handles <SUSPECTED, S> from the failure detector: updateSuspicions(S)
+  /// followed by quorum re-evaluation.
+  void on_suspected(ProcessSet s);
+
+  /// Handles a received UPDATE (from the network; `msg` keeps its origin
+  /// signature). Invalid signatures are dropped. Returns true when the
+  /// matrix changed.
+  bool on_update(const std::shared_ptr<const UpdateMessage>& msg);
+
+  /// Advances the epoch (must increase) and re-issues the current
+  /// suspicions in the new epoch (Lines 28-29). Called by the owner's
+  /// update_quorum implementation; does NOT recurse into update_quorum.
+  void advance_epoch(Epoch new_epoch);
+
+  /// Smallest epoch that removes at least one *other* process's live edge,
+  /// i.e. (min live stamp outside the own row) + 1. The own row does not
+  /// count because advance_epoch re-stamps it. Equivalent outcome to the
+  /// paper's epoch+1 recursion (intermediate epochs yield identical
+  /// graphs) but immune to faulty processes stamping far-future epochs.
+  Epoch next_epoch_candidate() const;
+
+  // --- statistics (experiment E8) --------------------------------------
+  std::uint64_t updates_broadcast() const { return updates_broadcast_; }
+  std::uint64_t updates_forwarded() const { return updates_forwarded_; }
+  std::uint64_t updates_rejected() const { return updates_rejected_; }
+  std::uint64_t epoch_advances() const { return epoch_advances_; }
+
+ private:
+  void stamp_and_broadcast();
+
+  const crypto::Signer& signer_;
+  ProcessId n_;
+  Hooks hooks_;
+  Epoch epoch_ = 1;
+  ProcessSet suspecting_;
+  SuspicionMatrix matrix_;
+  std::uint64_t updates_broadcast_ = 0;
+  std::uint64_t updates_forwarded_ = 0;
+  std::uint64_t updates_rejected_ = 0;
+  std::uint64_t epoch_advances_ = 0;
+};
+
+}  // namespace qsel::suspect

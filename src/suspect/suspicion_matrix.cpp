@@ -1,0 +1,65 @@
+#include "suspect/suspicion_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace qsel::suspect {
+
+SuspicionMatrix::SuspicionMatrix(ProcessId n)
+    : n_(n), cells_(static_cast<std::size_t>(n) * n, 0) {
+  QSEL_REQUIRE(n > 0 && n <= kMaxProcesses);
+}
+
+Epoch SuspicionMatrix::get(ProcessId suspecter, ProcessId suspected) const {
+  QSEL_REQUIRE(suspecter < n_ && suspected < n_);
+  return cells_[static_cast<std::size_t>(suspecter) * n_ + suspected];
+}
+
+void SuspicionMatrix::stamp(ProcessId suspecter, ProcessId suspected,
+                            Epoch epoch) {
+  QSEL_REQUIRE(suspecter < n_ && suspected < n_);
+  Epoch& cell = cells_[static_cast<std::size_t>(suspecter) * n_ + suspected];
+  cell = std::max(cell, epoch);
+}
+
+bool SuspicionMatrix::merge_row(ProcessId suspecter,
+                                std::span<const Epoch> row) {
+  QSEL_REQUIRE(suspecter < n_);
+  QSEL_REQUIRE(row.size() == n_);
+  bool changed = false;
+  Epoch* cells = &cells_[static_cast<std::size_t>(suspecter) * n_];
+  for (ProcessId k = 0; k < n_; ++k) {
+    if (row[k] > cells[k]) {
+      cells[k] = row[k];
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::span<const Epoch> SuspicionMatrix::row(ProcessId suspecter) const {
+  QSEL_REQUIRE(suspecter < n_);
+  return std::span(&cells_[static_cast<std::size_t>(suspecter) * n_], n_);
+}
+
+graph::SimpleGraph SuspicionMatrix::build_suspect_graph(Epoch epoch) const {
+  graph::SimpleGraph g(n_);
+  for (ProcessId l = 0; l < n_; ++l)
+    for (ProcessId k = 0; k < n_; ++k)
+      if (l != k && get(l, k) >= epoch && epoch > 0) g.add_edge(l, k);
+  return g;
+}
+
+Epoch SuspicionMatrix::min_live_stamp(Epoch epoch) const {
+  Epoch min_stamp = 0;
+  for (ProcessId l = 0; l < n_; ++l)
+    for (ProcessId k = 0; k < n_; ++k) {
+      const Epoch stamp = get(l, k);
+      if (l != k && stamp >= epoch && (min_stamp == 0 || stamp < min_stamp))
+        min_stamp = stamp;
+    }
+  return min_stamp;
+}
+
+}  // namespace qsel::suspect

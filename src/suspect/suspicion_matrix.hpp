@@ -1,0 +1,57 @@
+// SuspicionMatrix — the eventually-consistent suspicion record
+// (Section VI-A).
+//
+// suspected[l][k] stores the last epoch in which process l suspected
+// process k (0 = never). Rows are only ever merged upward (entry-wise
+// max), so the matrix is a join-semilattice CRDT: correct processes
+// converge to the same state regardless of delivery order, even when
+// faulty processes equivocate by sending different rows to different
+// peers (the join of the equivocated rows is what everyone ends up with).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "graph/simple_graph.hpp"
+
+namespace qsel::suspect {
+
+class SuspicionMatrix {
+ public:
+  explicit SuspicionMatrix(ProcessId n);
+
+  ProcessId process_count() const { return n_; }
+
+  /// Last epoch in which `suspecter` suspected `suspected`; 0 = never.
+  Epoch get(ProcessId suspecter, ProcessId suspected) const;
+
+  /// Stamps "suspecter suspects suspected in `epoch`" (monotone: lower
+  /// stamps are ignored).
+  void stamp(ProcessId suspecter, ProcessId suspected, Epoch epoch);
+
+  /// Entry-wise max-merge of a full row; true when anything increased.
+  bool merge_row(ProcessId suspecter, std::span<const Epoch> row);
+
+  std::span<const Epoch> row(ProcessId suspecter) const;
+
+  /// Builds the suspect graph of Section VI-B: nodes Pi, edge (l, k) iff
+  /// suspected[l][k] >= epoch or suspected[k][l] >= epoch.
+  graph::SimpleGraph build_suspect_graph(Epoch epoch) const;
+
+  /// The smallest epoch stamp among edges present at `epoch`, or 0 when the
+  /// graph at `epoch` is empty. Bumping the epoch past this value removes
+  /// at least one edge; used to advance epochs without scanning every
+  /// intermediate (identical-graph) value.
+  Epoch min_live_stamp(Epoch epoch) const;
+
+  bool operator==(const SuspicionMatrix&) const = default;
+
+ private:
+  ProcessId n_;
+  std::vector<Epoch> cells_;  // row-major n x n
+};
+
+}  // namespace qsel::suspect

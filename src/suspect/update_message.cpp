@@ -1,0 +1,29 @@
+#include "suspect/update_message.hpp"
+
+namespace qsel::suspect {
+
+std::vector<std::uint8_t> UpdateMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("suspect.update");  // domain separation
+  enc.process_id(origin);
+  enc.u64_vector(row);
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const UpdateMessage> UpdateMessage::make(
+    const crypto::Signer& signer, std::vector<Epoch> row) {
+  auto msg = std::make_shared<UpdateMessage>();
+  msg->origin = signer.self();
+  msg->row = std::move(row);
+  msg->sig = signer.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool UpdateMessage::verify(const crypto::Signer& verifier, ProcessId n) const {
+  if (origin >= n) return false;
+  if (row.size() != n) return false;
+  if (sig.signer != origin) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+}  // namespace qsel::suspect

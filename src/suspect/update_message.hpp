@@ -1,0 +1,41 @@
+// UPDATE message (Algorithm 1, Lines 15-16).
+//
+// Carries one signed row of the suspicion matrix: "origin's suspicions,
+// stamped with the epochs they were last issued in". Receivers verify the
+// origin signature (forwarders relay the original signed message, so the
+// network sender and the signer generally differ) and max-merge the row.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "net/codec.hpp"
+#include "sim/payload.hpp"
+
+namespace qsel::suspect {
+
+struct UpdateMessage final : sim::Payload {
+  ProcessId origin = kNoProcess;
+  std::vector<Epoch> row;
+  crypto::Signature sig;
+
+  std::string_view type_tag() const override { return "suspect.update"; }
+  std::size_t wire_size() const override {
+    return 4 + 8 * row.size() + 36;  // origin + row + signature
+  }
+
+  /// Canonical bytes covered by the signature.
+  std::vector<std::uint8_t> signed_bytes() const;
+
+  /// Builds and signs an update for `signer.self()`.
+  static std::shared_ptr<const UpdateMessage> make(
+      const crypto::Signer& signer, std::vector<Epoch> row);
+
+  /// True when `sig` is a valid signature by `origin` over the contents and
+  /// the row width matches the system size n.
+  bool verify(const crypto::Signer& verifier, ProcessId n) const;
+};
+
+}  // namespace qsel::suspect

@@ -1,0 +1,102 @@
+#include "xpaxos/cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace qsel::xpaxos {
+
+Cluster::Cluster(ClusterConfig config, ProcessSet byzantine)
+    : config_(config),
+      keys_(static_cast<ProcessId>(config.n + config.clients), config.seed),
+      network_(std::make_unique<sim::Network>(
+          sim_, static_cast<ProcessId>(config.n + config.clients),
+          config.network, config.seed)),
+      honest_replicas_(ProcessSet::full(config.n) - byzantine),
+      replicas_(config.n) {
+  QSEL_REQUIRE(byzantine.is_subset_of(ProcessSet::full(config.n)));
+  ReplicaConfig replica_config;
+  replica_config.n = config.n;
+  replica_config.f = config.f;
+  replica_config.policy = config.policy;
+  replica_config.fd = config.fd;
+  replica_config.view_change_retry = config.view_change_retry;
+  for (ProcessId id : honest_replicas_) {
+    replicas_[id] =
+        std::make_unique<Replica>(*network_, keys_, id, replica_config);
+    network_->attach(id, *replicas_[id]);
+  }
+  smr::ClientConfig client_config;
+  client_config.replicas = config.n;
+  client_config.f = config.f;
+  client_config.retry_timeout = config.client_retry;
+  client_config.workload = config.workload;
+  for (std::uint32_t i = 0; i < config.clients; ++i) {
+    const auto id = static_cast<ProcessId>(config.n + i);
+    client_config.workload.seed = config.workload.seed + i;
+    clients_.push_back(
+        std::make_unique<smr::Client>(*network_, keys_, id, client_config));
+    network_->attach(id, *clients_.back());
+  }
+}
+
+Replica& Cluster::replica(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n && replicas_[id] != nullptr);
+  return *replicas_[id];
+}
+
+smr::Client& Cluster::client(std::uint32_t index) {
+  QSEL_REQUIRE(index < clients_.size());
+  return *clients_[index];
+}
+
+ProcessSet Cluster::alive_replicas() const {
+  ProcessSet alive;
+  for (ProcessId id : honest_replicas_)
+    if (!network_->is_crashed(id)) alive.insert(id);
+  return alive;
+}
+
+void Cluster::start_clients(std::uint64_t requests_per_client) {
+  for (auto& client : clients_) client->start(requests_per_client);
+}
+
+std::uint64_t Cluster::total_completed() const {
+  std::uint64_t total = 0;
+  for (const auto& client : clients_) total += client->completed();
+  return total;
+}
+
+std::uint64_t Cluster::total_view_changes() const {
+  std::uint64_t total = 0;
+  for (ProcessId id : alive_replicas())
+    total += replicas_[id]->view_changes();
+  return total;
+}
+
+std::uint64_t Cluster::max_view_changes() const {
+  std::uint64_t most = 0;
+  for (ProcessId id : alive_replicas())
+    most = std::max(most, replicas_[id]->view_changes());
+  return most;
+}
+
+bool Cluster::histories_consistent() const {
+  // For every slot executed by two honest live replicas, the entries must
+  // match exactly.
+  for (ProcessId a : alive_replicas()) {
+    for (ProcessId b : alive_replicas()) {
+      if (a >= b) continue;
+      const auto& ha = replicas_[a]->executed_history();
+      const auto& hb = replicas_[b]->executed_history();
+      const std::size_t common = std::min(ha.size(), hb.size());
+      for (std::size_t i = 0; i < common; ++i) {
+        if (ha[i].slot != hb[i].slot || ha[i].client != hb[i].client ||
+            ha[i].client_seq != hb[i].client_seq ||
+            ha[i].op_digest != hb[i].op_digest)
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace qsel::xpaxos

@@ -1,0 +1,143 @@
+#include "xpaxos/messages.hpp"
+
+namespace qsel::xpaxos {
+namespace {
+
+void encode_prepare_body(net::Encoder& enc, const PrepareMessage& p) {
+  enc.str("xpaxos.prepare");
+  enc.u64(p.view);
+  enc.u64(p.slot);
+  enc.u32(p.client);
+  enc.u64(p.client_seq);
+  enc.bytes(p.op);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> PrepareMessage::signed_bytes() const {
+  net::Encoder enc;
+  encode_prepare_body(enc, *this);
+  return std::move(enc).take();
+}
+
+PrepareMessage PrepareMessage::make(const crypto::Signer& leader, ViewId view,
+                                    SeqNum slot,
+                                    const ClientRequest& request) {
+  PrepareMessage p;
+  p.view = view;
+  p.slot = slot;
+  p.client = request.client;
+  p.client_seq = request.client_seq;
+  p.op = request.op;
+  p.sig = leader.sign(p.signed_bytes());
+  return p;
+}
+
+bool PrepareMessage::verify(const crypto::Signer& verifier, ProcessId n,
+                            ProcessId expected_leader) const {
+  if (sig.signer != expected_leader || expected_leader >= n) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+bool PrepareMessage::same_proposal(const PrepareMessage& other) const {
+  return view == other.view && slot == other.slot && client == other.client &&
+         client_seq == other.client_seq && op == other.op;
+}
+
+std::vector<std::uint8_t> CommitMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("xpaxos.commit");
+  encode_prepare_body(enc, prepare);
+  enc.signature(prepare.sig);
+  enc.process_id(sender);
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const CommitMessage> CommitMessage::make(
+    const crypto::Signer& sender, const PrepareMessage& prepare) {
+  auto msg = std::make_shared<CommitMessage>();
+  msg->prepare = prepare;
+  msg->sender = sender.self();
+  msg->sig = sender.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool CommitMessage::verify_sender(const crypto::Signer& verifier,
+                                  ProcessId n) const {
+  if (sender >= n || sig.signer != sender) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+std::size_t ViewChangeMessage::wire_size() const {
+  std::size_t size = 16 + 36;
+  for (const auto& p : prepared) size += p.wire_size();
+  return size;
+}
+
+std::vector<std::uint8_t> ViewChangeMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("xpaxos.viewchange");
+  enc.u64(new_view);
+  enc.process_id(sender);
+  enc.u64(prepared.size());
+  for (const auto& p : prepared) {
+    encode_prepare_body(enc, p);
+    enc.signature(p.sig);
+  }
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const ViewChangeMessage> ViewChangeMessage::make(
+    const crypto::Signer& sender, ViewId new_view,
+    std::vector<PrepareMessage> prepared) {
+  auto msg = std::make_shared<ViewChangeMessage>();
+  msg->new_view = new_view;
+  msg->sender = sender.self();
+  msg->prepared = std::move(prepared);
+  msg->sig = sender.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool ViewChangeMessage::verify(const crypto::Signer& verifier,
+                               ProcessId n) const {
+  if (sender >= n || sig.signer != sender) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+std::size_t NewViewMessage::wire_size() const {
+  std::size_t size = 16 + 36;
+  for (const auto& p : reproposals) size += p.wire_size();
+  return size;
+}
+
+std::vector<std::uint8_t> NewViewMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("xpaxos.newview");
+  enc.u64(view);
+  enc.process_id(leader);
+  enc.u64(reproposals.size());
+  for (const auto& p : reproposals) {
+    encode_prepare_body(enc, p);
+    enc.signature(p.sig);
+  }
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const NewViewMessage> NewViewMessage::make(
+    const crypto::Signer& leader, ViewId view,
+    std::vector<PrepareMessage> reproposals) {
+  auto msg = std::make_shared<NewViewMessage>();
+  msg->view = view;
+  msg->leader = leader.self();
+  msg->reproposals = std::move(reproposals);
+  msg->sig = leader.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool NewViewMessage::verify(const crypto::Signer& verifier,
+                            ProcessId n) const {
+  if (leader >= n || sig.signer != leader) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+}  // namespace qsel::xpaxos

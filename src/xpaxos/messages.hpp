@@ -1,0 +1,106 @@
+// XPaxos protocol messages (Section V).
+//
+// Normal case (Fig. 2): the leader PREPAREs a client request to the active
+// quorum; every quorum member COMMITs to every other member; a request
+// executes once COMMITs from the whole quorum are in. Per the paper's
+// failure-detection integration, a COMMIT embeds the leader's full PREPARE
+// (footnote 1), so a receiver can (a) act on a COMMIT that overtook its
+// PREPARE (Fig. 3) and (b) detect leader equivocation or malformed
+// commits as provable commission failures.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "net/codec.hpp"
+#include "sim/payload.hpp"
+#include "smr/client_messages.hpp"
+
+namespace qsel::xpaxos {
+
+using ClientRequest = smr::ClientRequest;
+using ReplyMessage = smr::ReplyMessage;
+
+/// The leader-signed proposal binding (view, slot) to a client request.
+/// Used both as a standalone payload and embedded inside CommitMessage.
+struct PrepareMessage final : sim::Payload {
+  ViewId view = 0;
+  SeqNum slot = 0;
+  std::uint32_t client = 0;
+  std::uint64_t client_seq = 0;
+  std::vector<std::uint8_t> op;
+  crypto::Signature sig;  // by the leader of `view`
+
+  std::string_view type_tag() const override { return "xpaxos.prepare"; }
+  std::size_t wire_size() const override { return 32 + op.size() + 36; }
+
+  std::vector<std::uint8_t> signed_bytes() const;
+  static PrepareMessage make(const crypto::Signer& leader, ViewId view,
+                             SeqNum slot, const ClientRequest& request);
+
+  /// Valid iff signed by `expected_leader` over the contents.
+  bool verify(const crypto::Signer& verifier, ProcessId n,
+              ProcessId expected_leader) const;
+
+  /// Same proposal identity (everything except the signature bits).
+  bool same_proposal(const PrepareMessage& other) const;
+};
+
+struct CommitMessage final : sim::Payload {
+  PrepareMessage prepare;  // the embedded leader PREPARE (footnote 1)
+  ProcessId sender = kNoProcess;
+  crypto::Signature sig;  // by `sender` over (prepare bytes, sender)
+
+  std::string_view type_tag() const override { return "xpaxos.commit"; }
+  std::size_t wire_size() const override { return prepare.wire_size() + 40; }
+
+  std::vector<std::uint8_t> signed_bytes() const;
+  static std::shared_ptr<const CommitMessage> make(
+      const crypto::Signer& sender, const PrepareMessage& prepare);
+
+  /// Verifies the *sender's* signature only; the embedded PREPARE is
+  /// validated separately so its failure can be attributed (DETECTED).
+  bool verify_sender(const crypto::Signer& verifier, ProcessId n) const;
+};
+
+/// Sent when moving to `new_view`; carries the sender's prepared log so
+/// the new leader can preserve ordered-but-unexecuted requests.
+struct ViewChangeMessage final : sim::Payload {
+  ViewId new_view = 0;
+  ProcessId sender = kNoProcess;
+  std::vector<PrepareMessage> prepared;  // leader-signed originals as proof
+  crypto::Signature sig;
+
+  std::string_view type_tag() const override { return "xpaxos.viewchange"; }
+  std::size_t wire_size() const override;
+
+  std::vector<std::uint8_t> signed_bytes() const;
+  static std::shared_ptr<const ViewChangeMessage> make(
+      const crypto::Signer& sender, ViewId new_view,
+      std::vector<PrepareMessage> prepared);
+  bool verify(const crypto::Signer& verifier, ProcessId n) const;
+};
+
+/// The new leader's view installation: re-proposals (signed by the new
+/// leader) of every undecided slot it learned from the VIEWCHANGE set.
+struct NewViewMessage final : sim::Payload {
+  ViewId view = 0;
+  ProcessId leader = kNoProcess;
+  std::vector<PrepareMessage> reproposals;  // signed by `leader`, in `view`
+  crypto::Signature sig;
+
+  std::string_view type_tag() const override { return "xpaxos.newview"; }
+  std::size_t wire_size() const override;
+
+  std::vector<std::uint8_t> signed_bytes() const;
+  static std::shared_ptr<const NewViewMessage> make(
+      const crypto::Signer& leader, ViewId view,
+      std::vector<PrepareMessage> reproposals);
+  bool verify(const crypto::Signer& verifier, ProcessId n) const;
+};
+
+}  // namespace qsel::xpaxos

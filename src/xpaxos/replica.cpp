@@ -1,0 +1,509 @@
+#include "xpaxos/replica.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace qsel::xpaxos {
+
+Replica::Replica(sim::Network& network, const crypto::KeyRegistry& keys,
+                 ProcessId self, ReplicaConfig config)
+    : network_(network),
+      signer_(keys, self),
+      config_(config),
+      view_map_(config.n, config.f),
+      fd_(network.simulator(), self, config.n, config.fd,
+          [this](ProcessSet s) { on_suspected(s); }) {
+  QSEL_REQUIRE(self < config.n);
+  if (config_.policy == QuorumPolicy::kQuorumSelection) {
+    selector_ = std::make_unique<qs::QuorumSelector>(
+        signer_, qs::QuorumSelectorConfig{config_.n, config_.f},
+        qs::QuorumSelector::Hooks{
+            [this](ProcessSet q) { on_selected_quorum(q); },
+            [this](sim::PayloadPtr msg) { broadcast_all(msg); }});
+  }
+}
+
+void Replica::broadcast_all(const sim::PayloadPtr& message) {
+  network_.broadcast(self(),
+                     ProcessSet::full(config_.n) - ProcessSet{self()},
+                     message);
+}
+
+void Replica::send_to_quorum(const sim::PayloadPtr& message) {
+  for (ProcessId member : active_quorum())
+    if (member != self()) network_.send(self(), member, message);
+}
+
+void Replica::on_message(ProcessId from, const sim::PayloadPtr& message) {
+  (void)from;  // authentication is by signature; `from` may be a forwarder
+  if (auto request = std::dynamic_pointer_cast<const ClientRequest>(message)) {
+    handle_request(request);
+  } else if (auto prepare =
+                 std::dynamic_pointer_cast<const PrepareMessage>(message)) {
+    if (!prepare->verify(signer_, config_.n,
+                         view_map_.leader_of(prepare->view)))
+      return;
+    fd_.on_receive(prepare->sig.signer, message);
+    handle_prepare(*prepare, /*via_commit=*/false);
+  } else if (auto commit =
+                 std::dynamic_pointer_cast<const CommitMessage>(message)) {
+    handle_commit(commit);
+  } else if (auto viewchange =
+                 std::dynamic_pointer_cast<const ViewChangeMessage>(message)) {
+    handle_viewchange(viewchange);
+  } else if (auto newview =
+                 std::dynamic_pointer_cast<const NewViewMessage>(message)) {
+    handle_newview(newview);
+  } else if (auto update = std::dynamic_pointer_cast<
+                 const suspect::UpdateMessage>(message)) {
+    if (selector_ != nullptr &&
+        update->verify(signer_, config_.n)) {
+      fd_.on_receive(update->origin, message);
+      selector_->on_update(update);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Normal case (Fig. 2)
+
+void Replica::handle_request(
+    const std::shared_ptr<const ClientRequest>& request) {
+  if (!request->verify(signer_)) return;
+  const auto key = std::make_pair(request->client, request->client_seq);
+  if (const auto it = results_.find(key); it != results_.end()) {
+    // Retransmission of an executed request: resend the cached reply.
+    if (request->client < network_.process_count())
+      network_.send(self(), request->client,
+                    ReplyMessage::make(signer_, view_, request->client,
+                                       request->client_seq, it->second));
+    return;
+  }
+  if (!is_leader()) {
+    // Quorum members relay the request to the leader and expect the
+    // corresponding PREPARE: a correct leader proposes within two
+    // communication rounds (accuracy holds), a crashed or omitting leader
+    // becomes a suspicion that drives quorum selection even when no other
+    // traffic is in flight.
+    if (status_ != Status::kNormal || !in_active_quorum()) return;
+    if (client_index_.contains(key)) return;  // already proposed
+    network_.send(self(), leader(), request);
+    if (!fd_.suspected().contains(leader())) {
+      const ViewId view = view_;
+      const auto client = request->client;
+      const auto client_seq = request->client_seq;
+      fd_.expect(leader(),
+                 [view, client, client_seq](ProcessId,
+                                            const sim::PayloadPtr& m) {
+                   const auto* p =
+                       dynamic_cast<const PrepareMessage*>(m.get());
+                   return p != nullptr && p->view == view &&
+                          p->client == client && p->client_seq == client_seq;
+                 },
+                 "proposal");
+    }
+    return;
+  }
+  if (status_ != Status::kNormal) {
+    pending_requests_.push_back(request);
+    return;
+  }
+  if (const auto it = client_index_.find(key); it != client_index_.end()) {
+    // Only trust the index if the slot still carries this request — a view
+    // change may have replaced a lost slot with a no-op, in which case the
+    // retransmission must be re-proposed.
+    const auto slot_it = log_.find(it->second);
+    if (slot_it != log_.end() && slot_it->second.prepare &&
+        slot_it->second.prepare->client == key.first &&
+        slot_it->second.prepare->client_seq == key.second)
+      return;  // genuinely in flight
+    client_index_.erase(it);
+  }
+  propose(*request);
+}
+
+void Replica::propose(const ClientRequest& request) {
+  QSEL_ASSERT(is_leader() && status_ == Status::kNormal);
+  const SeqNum slot = next_slot_++;
+  const PrepareMessage prepare =
+      PrepareMessage::make(signer_, view_, slot, request);
+  QSEL_LOG(kDebug, "xpaxos") << "p" << self() << " proposes slot " << slot
+                             << " in view " << view_;
+  send_to_quorum(std::make_shared<PrepareMessage>(prepare));
+  handle_prepare(prepare, /*via_commit=*/false);
+}
+
+void Replica::expect_commit(ProcessId from, ViewId view, SeqNum slot_no) {
+  fd_.expect(from,
+             [view, slot_no](ProcessId, const sim::PayloadPtr& m) {
+               const auto* c = dynamic_cast<const CommitMessage*>(m.get());
+               return c != nullptr && c->prepare.view == view &&
+                      c->prepare.slot == slot_no;
+             },
+             "commit");
+}
+
+void Replica::handle_prepare(const PrepareMessage& prepare, bool via_commit) {
+  if (prepare.view != view_) return;
+  if (status_ != Status::kNormal) {
+    // The leader installed the view before us and its normal-case traffic
+    // overtook the NEWVIEW; replay once we install (links are not FIFO).
+    buffered_protocol_.push_back(std::make_shared<PrepareMessage>(prepare));
+    return;
+  }
+  QSEL_ASSERT(prepare.verify(signer_, config_.n, leader()));
+
+  Slot& slot = log_[prepare.slot];
+  if (slot.prepare) {
+    if (slot.prepare->view == prepare.view) {
+      if (!slot.prepare->same_proposal(prepare)) {
+        // Two conflicting leader-signed proposals for the same (view,
+        // slot): equivocation, a provable commission failure.
+        QSEL_LOG(kInfo, "xpaxos") << "p" << self()
+                                  << " detected equivocation by leader p"
+                                  << leader();
+        fd_.detected(leader());
+        return;
+      }
+    } else if (slot.prepare->view < prepare.view) {
+      // A re-proposal from a newer view supersedes; commits are per-view.
+      slot.prepare = prepare;
+      slot.commits.clear();
+      slot.own_commit_sent = false;
+    } else {
+      return;  // stale
+    }
+  } else {
+    slot.prepare = prepare;
+  }
+  client_index_[{prepare.client, prepare.client_seq}] = prepare.slot;
+
+  if (!in_active_quorum()) return;  // passive replicas only track the log
+  if (!slot.own_commit_sent) {
+    slot.own_commit_sent = true;
+    send_to_quorum(CommitMessage::make(signer_, *slot.prepare));
+    record_commit(prepare.slot, self());
+    // Section V-A: expect a COMMIT from every quorum member — except those
+    // whose COMMIT already arrived (first subtlety) and self.
+    for (ProcessId member : active_quorum()) {
+      if (member == self() || slot.commits.contains(member)) continue;
+      expect_commit(member, view_, prepare.slot);
+    }
+  }
+  (void)via_commit;
+  try_execute();
+}
+
+void Replica::handle_commit(const std::shared_ptr<const CommitMessage>& commit) {
+  if (!commit->verify_sender(signer_, config_.n)) return;
+  fd_.on_receive(commit->sender, commit);
+  if (commit->prepare.view != view_) return;
+  if (status_ != Status::kNormal) {
+    buffered_protocol_.push_back(commit);
+    return;
+  }
+  if (!in_active_quorum()) return;
+  if (!active_quorum().contains(commit->sender)) return;
+
+  // Second subtlety: the embedded PREPARE must be a valid leader proposal;
+  // otherwise the commit is malformed and its *sender* is detected.
+  if (!commit->prepare.verify(signer_, config_.n, leader())) {
+    QSEL_LOG(kInfo, "xpaxos") << "p" << self()
+                              << " detected malformed COMMIT from p"
+                              << commit->sender;
+    fd_.detected(commit->sender);
+    return;
+  }
+
+  Slot& slot = log_[commit->prepare.slot];
+  if (slot.prepare && slot.prepare->view == view_ &&
+      !slot.prepare->same_proposal(commit->prepare)) {
+    // Valid leader-signed PREPARE conflicting with the one we hold:
+    // the leader equivocated.
+    QSEL_LOG(kInfo, "xpaxos") << "p" << self()
+                              << " detected equivocation via COMMIT (leader p"
+                              << leader() << ")";
+    fd_.detected(leader());
+    return;
+  }
+
+  record_commit(commit->prepare.slot, commit->sender);
+  if (!slot.prepare) {
+    // Third subtlety (Fig. 3): the COMMIT overtook the PREPARE. Act on the
+    // embedded PREPARE right away and expect the leader's own PREPARE.
+    if (leader() != self()) {
+      const ViewId view = view_;
+      const SeqNum slot_no = commit->prepare.slot;
+      fd_.expect(leader(),
+                 [view, slot_no](ProcessId, const sim::PayloadPtr& m) {
+                   const auto* p =
+                       dynamic_cast<const PrepareMessage*>(m.get());
+                   return p != nullptr && p->view == view &&
+                          p->slot == slot_no;
+                 },
+                 "prepare");
+    }
+    handle_prepare(commit->prepare, /*via_commit=*/true);
+  } else {
+    try_execute();
+  }
+}
+
+void Replica::record_commit(SeqNum slot_no, ProcessId sender) {
+  log_[slot_no].commits.insert(sender);
+}
+
+void Replica::try_execute() {
+  for (;;) {
+    const auto it = log_.find(last_executed_ + 1);
+    if (it == log_.end()) return;
+    Slot& slot = it->second;
+    if (!slot.prepare || slot.executed) return;
+    const ProcessSet required = view_map_.quorum_of(slot.prepare->view);
+    if (!required.is_subset_of(slot.commits)) return;
+
+    slot.executed = true;
+    ++last_executed_;
+    const PrepareMessage& p = *slot.prepare;
+    const bool noop = p.op.empty() && p.client == 0;
+    std::string result;
+    if (!noop) {
+      result = store_.apply_encoded(p.op);
+      ++requests_executed_;
+    }
+    executed_history_.push_back(
+        ExecutedEntry{p.slot, p.client, p.client_seq, crypto::sha256(p.op)});
+    results_[{p.client, p.client_seq}] = result;
+    QSEL_LOG(kDebug, "xpaxos") << "p" << self() << " executed slot " << p.slot;
+    if (!noop && p.client < network_.process_count() &&
+        p.client >= config_.n) {
+      network_.send(self(), p.client,
+                    ReplyMessage::make(signer_, view_, p.client, p.client_seq,
+                                       result));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// View changes and quorum installation (Section V-B)
+
+void Replica::on_suspected(ProcessSet suspects) {
+  if (selector_ != nullptr) {
+    // Quorum Selection policy: suspicions feed Algorithm 1; view changes
+    // are driven by <QUORUM, Q> outputs only.
+    selector_->on_suspected(suspects);
+    return;
+  }
+  // Enumeration policy: XPaxos detects failures at the granularity of the
+  // quorum — any suspicion touching the active quorum moves to the next
+  // quorum in the enumeration.
+  if (suspects.intersects(active_quorum())) start_view_change(view_ + 1);
+}
+
+void Replica::on_selected_quorum(ProcessSet quorum) {
+  if (quorum == active_quorum() && status_ == Status::kNormal) return;
+  if (quorum == active_quorum() && status_ == Status::kViewChange) return;
+  // "Process i suspects all quorums ordered before Q": jump to the first
+  // view from view_+1 that installs exactly Q.
+  start_view_change(view_map_.first_view_from(view_ + 1, quorum));
+}
+
+void Replica::start_view_change(ViewId target) {
+  QSEL_REQUIRE(target > view_ ||
+               (target == view_ && status_ == Status::kViewChange));
+  if (target == view_) return;
+  view_ = target;
+  status_ = Status::kViewChange;
+  ++view_changes_;
+  QSEL_LOG(kInfo, "xpaxos") << "p" << self() << " view change to " << view_
+                            << " quorum " << active_quorum().to_string();
+  fd_.cancel_all();  // Section V-B: PREPARE/COMMIT expectations are void now
+  viewchanges_.clear();
+  newview_expected_ = false;
+  buffered_protocol_.clear();
+  broadcast_viewchange();
+  // Every participant expects a VIEWCHANGE from every other member of the
+  // target quorum: correct members emit theirs within a communication
+  // round of seeing the same suspicion gossip, so this meets the accuracy
+  // requirement, while a crashed member's silence becomes the suspicion
+  // that lets Quorum Selection move on. The NEWVIEW expectation is issued
+  // later, only once the full VIEWCHANGE set is visible (before that a
+  // correct leader-elect legitimately cannot assemble).
+  for (ProcessId member : active_quorum()) {
+    if (member == self()) continue;
+    const ViewId view = view_;
+    fd_.expect(member,
+               [view](ProcessId, const sim::PayloadPtr& m) {
+                 const auto* vc =
+                     dynamic_cast<const ViewChangeMessage*>(m.get());
+                 return vc != nullptr && vc->new_view >= view;
+               },
+               "viewchange");
+  }
+  arm_view_change_timer();
+}
+
+void Replica::arm_view_change_timer() {
+  view_change_timer_.cancel();
+  view_change_timer_ = network_.simulator().schedule_timer(
+      config_.view_change_retry, [this] {
+        if (status_ != Status::kViewChange) return;
+        if (config_.policy == QuorumPolicy::kEnumeration) {
+          // Quorum-granularity detection: this quorum did not complete the
+          // view change in time; try the next one.
+          start_view_change(view_ + 1);
+        } else {
+          // Retransmit; Algorithm 1 will move the quorum when suspicions
+          // propagate.
+          broadcast_viewchange();
+          arm_view_change_timer();
+        }
+      });
+}
+
+std::vector<PrepareMessage> Replica::prepared_log() const {
+  std::vector<PrepareMessage> prepared;
+  prepared.reserve(log_.size());
+  for (const auto& [slot_no, slot] : log_)
+    if (slot.prepare) prepared.push_back(*slot.prepare);
+  return prepared;
+}
+
+void Replica::broadcast_viewchange() {
+  const auto msg = ViewChangeMessage::make(signer_, view_, prepared_log());
+  broadcast_all(msg);
+  viewchanges_[self()] = msg;
+  maybe_assemble_new_view();
+}
+
+void Replica::handle_viewchange(
+    const std::shared_ptr<const ViewChangeMessage>& msg) {
+  if (!msg->verify(signer_, config_.n)) return;
+  fd_.on_receive(msg->sender, msg);
+  if (msg->new_view < view_) return;  // stale
+  if (msg->new_view > view_) {
+    // Another correct process moved ahead (its timer fired or its quorum
+    // selection output arrived first); join its view change.
+    start_view_change(msg->new_view);
+  }
+  if (status_ != Status::kViewChange) return;
+  if (msg->new_view != view_) return;
+  if (!active_quorum().contains(msg->sender)) return;
+  viewchanges_[msg->sender] = msg;
+  maybe_assemble_new_view();
+}
+
+void Replica::maybe_assemble_new_view() {
+  if (status_ != Status::kViewChange) return;
+  for (ProcessId member : active_quorum())
+    if (!viewchanges_.contains(member)) return;
+  if (leader() != self()) {
+    // The full VIEWCHANGE set is visible, so the leader-elect can assemble
+    // now: from here on a correct leader delivers the NEWVIEW within two
+    // communication rounds — the accuracy-compliant moment to expect it.
+    if (!newview_expected_) {
+      newview_expected_ = true;
+      const ViewId view = view_;
+      fd_.expect(leader(),
+                 [view](ProcessId, const sim::PayloadPtr& m) {
+                   const auto* nv =
+                       dynamic_cast<const NewViewMessage*>(m.get());
+                   return nv != nullptr && nv->view >= view;
+                 },
+                 "newview");
+    }
+    return;
+  }
+
+  // Merge: for every slot keep the prepare from the highest view (ignoring
+  // anything that fails leader-signature validation — Byzantine members
+  // cannot inject entries).
+  std::map<SeqNum, PrepareMessage> merged;
+  for (const auto& [sender, vc] : viewchanges_) {
+    (void)sender;
+    for (const PrepareMessage& p : vc->prepared) {
+      if (p.view > view_) continue;
+      if (!p.verify(signer_, config_.n, view_map_.leader_of(p.view)))
+        continue;
+      const auto it = merged.find(p.slot);
+      if (it == merged.end() || it->second.view < p.view)
+        merged.insert_or_assign(p.slot, p);
+    }
+  }
+  const SeqNum max_slot = merged.empty() ? 0 : merged.rbegin()->first;
+
+  std::vector<PrepareMessage> reproposals;
+  reproposals.reserve(static_cast<std::size_t>(max_slot));
+  for (SeqNum slot_no = 1; slot_no <= max_slot; ++slot_no) {
+    ClientRequest request;  // no-op filler for gaps
+    if (const auto it = merged.find(slot_no); it != merged.end()) {
+      request.client = it->second.client;
+      request.client_seq = it->second.client_seq;
+      request.op = it->second.op;
+    } else {
+      request.client = 0;
+      request.client_seq = slot_no;
+    }
+    reproposals.push_back(
+        PrepareMessage::make(signer_, view_, slot_no, request));
+  }
+  next_slot_ = max_slot + 1;
+  const auto nv = NewViewMessage::make(signer_, view_, std::move(reproposals));
+  broadcast_all(nv);
+  handle_newview(nv);
+}
+
+void Replica::handle_newview(const std::shared_ptr<const NewViewMessage>& msg) {
+  if (!msg->verify(signer_, config_.n)) return;
+  fd_.on_receive(msg->leader, msg);
+  if (msg->view < view_) return;
+  if (msg->leader != view_map_.leader_of(msg->view)) return;
+  if (msg->view > view_) {
+    // Catch up to the installed view directly.
+    view_ = msg->view;
+    status_ = Status::kViewChange;
+    ++view_changes_;
+    fd_.cancel_all();
+    viewchanges_.clear();
+    newview_expected_ = false;
+    buffered_protocol_.clear();
+  }
+  if (status_ == Status::kNormal) return;  // duplicate NEWVIEW
+
+  status_ = Status::kNormal;
+  view_change_timer_.cancel();
+  fd_.cancel_all();
+  QSEL_LOG(kInfo, "xpaxos") << "p" << self() << " installed view " << view_
+                            << " (" << msg->reproposals.size()
+                            << " reproposals)";
+  SeqNum max_slot = 0;
+  for (const PrepareMessage& p : msg->reproposals) {
+    if (p.view != view_) continue;
+    if (!p.verify(signer_, config_.n, leader())) continue;
+    max_slot = std::max(max_slot, p.slot);
+    handle_prepare(p, /*via_commit=*/false);
+  }
+  // Replay normal-case traffic that overtook this NEWVIEW.
+  auto buffered = std::move(buffered_protocol_);
+  buffered_protocol_.clear();
+  for (const sim::PayloadPtr& message : buffered) {
+    if (auto prepare =
+            std::dynamic_pointer_cast<const PrepareMessage>(message)) {
+      handle_prepare(*prepare, /*via_commit=*/false);
+    } else if (auto commit =
+                   std::dynamic_pointer_cast<const CommitMessage>(message)) {
+      handle_commit(commit);
+    }
+  }
+  if (is_leader()) {
+    next_slot_ = std::max(next_slot_, max_slot + 1);
+    auto pending = std::move(pending_requests_);
+    pending_requests_.clear();
+    for (const auto& request : pending) handle_request(request);
+  }
+  try_execute();
+}
+
+}  // namespace qsel::xpaxos

@@ -1,0 +1,166 @@
+// XPaxos replica with pluggable quorum policy (Section V).
+//
+// Normal case follows Fig. 2: the view's leader PREPAREs client requests
+// to the active quorum; members COMMIT to each other; a slot executes when
+// commits from the *whole* quorum are in (XPaxos requires all q members to
+// participate, which is exactly why any single active fault forces a view
+// change — and why Quorum Selection pays off).
+//
+// Failure detection is integrated per Section V-A:
+//  * on sending/receiving a PREPARE, expect a matching COMMIT from every
+//    quorum member whose COMMIT has not already arrived (first subtlety);
+//  * a COMMIT embeds the leader's PREPARE; if the embedded PREPARE is
+//    invalid the *sender* is DETECTED, if it conflicts with the leader's
+//    PREPARE for the same (view, slot) the *leader* is DETECTED
+//    (equivocation — second subtlety);
+//  * a COMMIT arriving before its PREPARE is acted upon immediately and an
+//    expectation for the PREPARE is issued against the leader (Fig. 3 —
+//    third subtlety).
+//
+// Quorum policy (Section V-B):
+//  * kEnumeration — the original XPaxos strategy: suspicion of the active
+//    quorum moves to the next of the C(n, q) quorums in a fixed
+//    enumeration, cycling round-robin;
+//  * kQuorumSelection — this paper: the failure detector feeds Algorithm 1
+//    and <QUORUM, Q> outputs jump straight to the first view that installs
+//    Q ("suspect all quorums ordered before Q"), cancelling outstanding
+//    expectations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/kv_store.hpp"
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "fd/failure_detector.hpp"
+#include "qs/quorum_selector.hpp"
+#include "sim/network.hpp"
+#include "xpaxos/messages.hpp"
+#include "xpaxos/view_map.hpp"
+
+namespace qsel::xpaxos {
+
+enum class QuorumPolicy { kEnumeration, kQuorumSelection };
+
+struct ReplicaConfig {
+  ProcessId n = 4;  // replica count (network may be larger: clients)
+  int f = 1;
+  QuorumPolicy policy = QuorumPolicy::kQuorumSelection;
+  fd::FailureDetectorConfig fd;
+  /// While a view change is pending, retry/advance after this long.
+  SimDuration view_change_retry = 30'000'000;  // 30 ms
+};
+
+class Replica final : public sim::Actor {
+ public:
+  Replica(sim::Network& network, const crypto::KeyRegistry& keys,
+          ProcessId self, ReplicaConfig config);
+
+  void on_message(ProcessId from, const sim::PayloadPtr& message) override;
+
+  // --- observers --------------------------------------------------------
+
+  ProcessId self() const { return signer_.self(); }
+  ViewId view() const { return view_; }
+  ProcessSet active_quorum() const { return view_map_.quorum_of(view_); }
+  ProcessId leader() const { return view_map_.leader_of(view_); }
+  bool is_leader() const { return leader() == self(); }
+  bool in_active_quorum() const { return active_quorum().contains(self()); }
+  enum class Status { kNormal, kViewChange };
+  Status status() const { return status_; }
+
+  const app::KvStore& store() const { return store_; }
+  SeqNum last_executed() const { return last_executed_; }
+  std::uint64_t view_changes() const { return view_changes_; }
+  std::uint64_t requests_executed() const { return requests_executed_; }
+  fd::FailureDetector& failure_detector() { return fd_; }
+  /// Null under the enumeration policy.
+  const qs::QuorumSelector* selector() const { return selector_.get(); }
+
+  /// Executed history as (slot, client, client_seq) triples, for
+  /// cross-replica consistency checks.
+  struct ExecutedEntry {
+    SeqNum slot;
+    std::uint32_t client;
+    std::uint64_t client_seq;
+    crypto::Digest op_digest;
+  };
+  const std::vector<ExecutedEntry>& executed_history() const {
+    return executed_history_;
+  }
+
+ private:
+  struct Slot {
+    std::optional<PrepareMessage> prepare;
+    ProcessSet commits;  // senders of valid matching COMMITs
+    bool own_commit_sent = false;
+    bool executed = false;
+  };
+
+  void handle_request(const std::shared_ptr<const ClientRequest>& request);
+  void propose(const ClientRequest& request);
+  void handle_prepare(const PrepareMessage& prepare, bool via_commit);
+  void handle_commit(const std::shared_ptr<const CommitMessage>& commit);
+  void handle_viewchange(const std::shared_ptr<const ViewChangeMessage>& msg);
+  void handle_newview(const std::shared_ptr<const NewViewMessage>& msg);
+
+  void on_suspected(ProcessSet suspects);
+  void on_selected_quorum(ProcessSet quorum);
+  void start_view_change(ViewId target);
+  void broadcast_viewchange();
+  void maybe_assemble_new_view();
+  void arm_view_change_timer();
+  void try_execute();
+  void record_commit(SeqNum slot_no, ProcessId sender);
+  void expect_commit(ProcessId from, ViewId view, SeqNum slot_no);
+
+  /// Sends to every member of the view's quorum except self.
+  void send_to_quorum(const sim::PayloadPtr& message);
+  void broadcast_all(const sim::PayloadPtr& message);
+
+  std::vector<PrepareMessage> prepared_log() const;
+
+  sim::Network& network_;
+  crypto::Signer signer_;
+  ReplicaConfig config_;
+  ViewMap view_map_;
+  fd::FailureDetector fd_;
+  std::unique_ptr<qs::QuorumSelector> selector_;  // policy == kQuorumSelection
+
+  ViewId view_ = 1;
+  Status status_ = Status::kNormal;
+  std::uint64_t view_changes_ = 0;
+  sim::TimerHandle view_change_timer_;
+
+  app::KvStore store_;
+  std::map<SeqNum, Slot> log_;
+  SeqNum next_slot_ = 1;  // leader only
+  SeqNum last_executed_ = 0;
+  std::uint64_t requests_executed_ = 0;
+  std::vector<ExecutedEntry> executed_history_;
+
+  /// (client, client_seq) -> slot, for duplicate suppression.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, SeqNum> client_index_;
+  /// Executed results, for replying to retransmitted requests.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> results_;
+  std::deque<std::shared_ptr<const ClientRequest>> pending_requests_;
+
+  /// VIEWCHANGE messages collected for view_ (by everyone: the
+  /// leader-elect assembles from them; members use completeness of the set
+  /// as the trigger to start expecting the NEWVIEW — before that the
+  /// leader-elect legitimately cannot assemble, so expecting earlier would
+  /// violate the accuracy requirement).
+  std::map<ProcessId, std::shared_ptr<const ViewChangeMessage>> viewchanges_;
+  bool newview_expected_ = false;
+  /// PREPARE/COMMIT messages for the *target* view that raced ahead of the
+  /// NEWVIEW (links are not FIFO); replayed once the view installs.
+  std::vector<sim::PayloadPtr> buffered_protocol_;
+};
+
+}  // namespace qsel::xpaxos

@@ -1,0 +1,31 @@
+#include "xpaxos/view_map.hpp"
+
+#include "common/assert.hpp"
+
+namespace qsel::xpaxos {
+
+ViewMap::ViewMap(ProcessId n, int f)
+    : n_(n),
+      f_(f),
+      count_(binomial(n, static_cast<std::uint64_t>(
+                             static_cast<int>(n) - f))) {
+  QSEL_REQUIRE(n > 0 && n <= kMaxProcesses);
+  QSEL_REQUIRE(f >= 1 && static_cast<ProcessId>(f) < n);
+}
+
+ProcessSet ViewMap::quorum_of(ViewId view) const {
+  QSEL_REQUIRE(view >= 1);
+  return subset_unrank((view - 1) % count_, n_, quorum_size());
+}
+
+ViewId ViewMap::first_view_from(ViewId from, ProcessSet quorum) const {
+  QSEL_REQUIRE(from >= 1);
+  QSEL_REQUIRE(quorum.size() == quorum_size());
+  const std::uint64_t rank = subset_rank(quorum, n_);
+  // Views with this quorum are rank+1, rank+1+count, rank+1+2*count, ...
+  if (rank + 1 >= from) return rank + 1;
+  const std::uint64_t cycles = (from - (rank + 1) + count_ - 1) / count_;
+  return rank + 1 + cycles * count_;
+}
+
+}  // namespace qsel::xpaxos

@@ -1,0 +1,45 @@
+// View <-> quorum mapping (Section V-B).
+//
+// XPaxos enumerates all C(n, q) possible active quorums in a fixed order
+// and cycles round-robin when the list is exhausted. View v (1-based) runs
+// on quorum number (v-1) mod C(n, q); the leader is the quorum member
+// with the lowest id (Section V-A). Quorum Selection plugs in through
+// first_view_from(): "process i suspects all quorums ordered before Q",
+// i.e. jumps to the next view that installs exactly the selected quorum.
+#pragma once
+
+#include <cstdint>
+
+#include "common/combinatorics.hpp"
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+
+namespace qsel::xpaxos {
+
+class ViewMap {
+ public:
+  ViewMap(ProcessId n, int f);
+
+  ProcessId n() const { return n_; }
+  int f() const { return f_; }
+  int quorum_size() const { return static_cast<int>(n_) - f_; }
+
+  /// Number of distinct quorums, C(n, n-f).
+  std::uint64_t quorum_count() const { return count_; }
+
+  /// Active quorum of view v (views are 1-based).
+  ProcessSet quorum_of(ViewId view) const;
+
+  /// Leader of view v: lowest id in its quorum.
+  ProcessId leader_of(ViewId view) const { return quorum_of(view).min(); }
+
+  /// Smallest view >= from whose quorum is exactly q.
+  ViewId first_view_from(ViewId from, ProcessSet quorum) const;
+
+ private:
+  ProcessId n_;
+  int f_;
+  std::uint64_t count_;
+};
+
+}  // namespace qsel::xpaxos

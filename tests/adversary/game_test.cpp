@@ -1,0 +1,165 @@
+#include "adversary/follower_game.hpp"
+#include "adversary/quorum_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/combinatorics.hpp"
+#include "graph/independent_set.hpp"
+
+namespace qsel::adversary {
+namespace {
+
+// Reproduces the paper's simulation claim (Section VII-A): Algorithm 1
+// issues at most C(f+2,2) quorums — the initial quorum plus
+// C(f+2,2) - 1 adversary-forced changes — and the adversary can actually
+// reach that maximum (Theorem 4 tight for Algorithm 1).
+TEST(QuorumGameTest, ExactMaxMatchesBinomialBound) {
+  for (int f = 1; f <= 4; ++f) {
+    const auto n = static_cast<ProcessId>(3 * f + 1);
+    QuorumGame game(QuorumGameConfig{n, f, 0});
+    const GameResult exact = game.max_changes();
+    const std::uint64_t quorums = exact.changes + 1;  // incl. the initial one
+    EXPECT_EQ(quorums,
+              binomial(static_cast<std::uint64_t>(f) + 2, 2))
+        << "f=" << f;
+    // Theorem 3's proved upper bound holds (and is loose for f >= 3).
+    EXPECT_LE(exact.changes,
+              static_cast<std::uint64_t>(f) * (static_cast<unsigned>(f) + 1));
+  }
+}
+
+TEST(QuorumGameTest, HoldsForMinimalNTwoFPlusOne) {
+  // The bound is about f, not n: with n = 2f+1 (trusted-component-style
+  // systems) the same worst case applies.
+  for (int f = 1; f <= 3; ++f) {
+    const auto n = static_cast<ProcessId>(2 * f + 1);
+    QuorumGame game(QuorumGameConfig{n, f, 0});
+    EXPECT_EQ(game.max_changes().changes + 1,
+              binomial(static_cast<std::uint64_t>(f) + 2, 2))
+        << "f=" << f;
+  }
+}
+
+TEST(QuorumGameTest, GreedyMatchesExactAtSmallF) {
+  for (int f = 1; f <= 4; ++f) {
+    const auto n = static_cast<ProcessId>(3 * f + 1);
+    QuorumGame game(QuorumGameConfig{n, f, 0});
+    EXPECT_EQ(game.greedy_changes().changes, game.max_changes().changes)
+        << "f=" << f;
+  }
+}
+
+TEST(QuorumGameTest, SequencesAreValidPlays) {
+  const int f = 3;
+  QuorumGame game(QuorumGameConfig{10, f, 0});
+  const GameResult result = game.max_changes();
+  graph::SimpleGraph g(10);
+  std::set<std::pair<ProcessId, ProcessId>> used;
+  for (auto [u, v] : result.suspicions) {
+    // Rule (1): both endpoints in the current quorum.
+    const ProcessSet quorum = game.quorum_for(g);
+    EXPECT_TRUE(quorum.contains(u) && quorum.contains(v));
+    // Each unordered pair used once.
+    EXPECT_TRUE(used.emplace(std::min(u, v), std::max(u, v)).second);
+    g.add_edge(u, v);
+  }
+  // Realizability: all suspicions attributable to f faulty processes.
+  EXPECT_TRUE(graph::vertex_cover_within(g, f).has_value());
+  EXPECT_EQ(result.suspicions.size(), result.changes);
+}
+
+// Figure 5's setting: f = 3, suspicions confined to 5 = f+2 nodes; all
+// suspicions must be attributable to the faulty candidates {p1,p2,p5} or
+// {p3,p4,p5}-style choices, i.e. a vertex cover of size f exists as long
+// as one pair stays unused.
+TEST(QuorumGameTest, Figure5CoreHasCoverSizedF) {
+  const int f = 3;
+  graph::SimpleGraph g(10);
+  // Use all pairs among 5 nodes except (c,d) = (2,3):
+  for (ProcessId u = 0; u < 5; ++u)
+    for (ProcessId v = u + 1; v < 5; ++v)
+      if (!(u == 2 && v == 3)) g.add_edge(u, v);
+  const auto cover = graph::vertex_cover_within(g, f);
+  ASSERT_TRUE(cover.has_value());
+  // F = F+2 \ {c,d} covers everything.
+  EXPECT_TRUE(graph::is_vertex_cover(g, ProcessSet{0, 1, 4}));
+  // With the full clique on f+2 nodes, f faulty no longer suffice.
+  g.add_edge(2, 3);
+  EXPECT_FALSE(graph::vertex_cover_within(g, f).has_value());
+}
+
+// Theorem 9 tightness: Follower Selection caps at 3f+1 quorums per epoch
+// and the adversary can reach it.
+TEST(FollowerGameTest, ExactMaxIsThreeFChanges) {
+  for (int f = 1; f <= 2; ++f) {
+    const auto n = static_cast<ProcessId>(3 * f + 1);
+    FollowerGame game(FollowerGameConfig{n, f, 0});
+    const FollowerGameResult exact = game.max_changes();
+    EXPECT_EQ(exact.leader_changes, static_cast<std::uint64_t>(3 * f));
+    EXPECT_EQ(exact.final_leader, static_cast<ProcessId>(3 * f));
+  }
+}
+
+TEST(FollowerGameTest, ConstructiveWalkReachesThreeF) {
+  for (int f = 1; f <= 5; ++f) {
+    const auto n = static_cast<ProcessId>(3 * f + 1);
+    FollowerGame game(FollowerGameConfig{n, f, 0});
+    const FollowerGameResult result = game.constructive_changes();
+    EXPECT_EQ(result.leader_changes, static_cast<std::uint64_t>(3 * f))
+        << "f=" << f;
+    EXPECT_EQ(result.final_leader, static_cast<ProcessId>(3 * f));
+  }
+}
+
+TEST(FollowerGameTest, ConstructiveSuspicionsAttributableToF) {
+  for (int f = 1; f <= 6; ++f) {
+    const auto n = static_cast<ProcessId>(3 * f + 1);
+    FollowerGame game(FollowerGameConfig{n, f, 0});
+    const FollowerGameResult result = game.constructive_changes();
+    graph::SimpleGraph g(n);
+    for (auto [u, v] : result.suspicions) g.add_edge(u, v);
+    EXPECT_TRUE(graph::vertex_cover_within(g, f).has_value());
+    // In fact the faulty set is exactly {0..f-1}: every suspicion touches
+    // it.
+    EXPECT_TRUE(graph::is_vertex_cover(
+        g, ProcessSet::range(0, static_cast<ProcessId>(f))));
+  }
+}
+
+// Asymptotic separation the paper's abstract highlights: O(f) quorum
+// changes for Follower Selection vs Omega(f^2) for general Quorum
+// Selection. The crossover sits at f = 4: 3f+1 = C(f+2,2) = 10 at f = 3,
+// and Follower Selection wins strictly from f = 4 on.
+TEST(FollowerGameTest, FollowerSelectionBeatsQuadraticLowerBound) {
+  for (int f = 2; f <= 4; ++f) {
+    const auto n = static_cast<ProcessId>(3 * f + 1);
+    const std::uint64_t qs_quorums =
+        QuorumGame(QuorumGameConfig{n, f, 0}).max_changes().changes + 1;
+    const std::uint64_t fs_cap = static_cast<std::uint64_t>(3 * f) + 1;
+    EXPECT_EQ(qs_quorums, binomial(static_cast<std::uint64_t>(f) + 2, 2));
+    if (f == 3) {
+      EXPECT_EQ(fs_cap, qs_quorums);
+    }
+    if (f >= 4) {
+      EXPECT_LT(fs_cap, qs_quorums);
+    }
+  }
+}
+
+TEST(FollowerGameTest, LeaderMonotoneThroughAnyPlay) {
+  FollowerGame game(FollowerGameConfig{7, 2, 0});
+  const auto result = game.max_changes();
+  graph::SimpleGraph g(7);
+  ProcessId last = game.leader_for(g);
+  for (auto [u, v] : result.suspicions) {
+    g.add_edge(u, v);
+    const ProcessId now = game.leader_for(g);
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace qsel::adversary

@@ -1,0 +1,71 @@
+#include "app/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsel::app {
+namespace {
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadConfig config;
+  config.seed = 7;
+  Workload a(config);
+  Workload b(config);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(WorkloadTest, KeysWithinKeySpace) {
+  WorkloadConfig config;
+  config.key_space = 5;
+  Workload w(config);
+  for (int i = 0; i < 200; ++i) {
+    const Operation op = w.next();
+    EXPECT_TRUE(op.key.starts_with("key-"));
+    const int index = std::stoi(op.key.substr(4));
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, 5);
+  }
+}
+
+TEST(WorkloadTest, MixMatchesFractions) {
+  WorkloadConfig config;
+  config.put_fraction = 0.6;
+  config.get_fraction = 0.3;
+  Workload w(config);
+  int puts = 0, gets = 0, dels = 0;
+  const int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    switch (w.next().type) {
+      case OpType::kPut: ++puts; break;
+      case OpType::kGet: ++gets; break;
+      case OpType::kDel: ++dels; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(puts) / total, 0.6, 0.02);
+  EXPECT_NEAR(static_cast<double>(gets) / total, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(dels) / total, 0.1, 0.02);
+}
+
+TEST(WorkloadTest, PutValuesHaveConfiguredSize) {
+  WorkloadConfig config;
+  config.value_bytes = 8;
+  config.put_fraction = 1.0;
+  config.get_fraction = 0.0;
+  Workload w(config);
+  for (int i = 0; i < 50; ++i) {
+    const Operation op = w.next();
+    ASSERT_EQ(op.type, OpType::kPut);
+    EXPECT_EQ(op.value.size(), 8u);
+  }
+}
+
+TEST(WorkloadTest, BatchMatchesSequentialNext) {
+  WorkloadConfig config;
+  config.seed = 3;
+  Workload a(config);
+  Workload b(config);
+  const auto batch = a.batch(20);
+  for (const Operation& op : batch) EXPECT_EQ(op, b.next());
+}
+
+}  // namespace
+}  // namespace qsel::app

@@ -1,0 +1,81 @@
+#include "common/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+namespace qsel {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(3, 5), 0u);
+}
+
+TEST(BinomialTest, PaperBounds) {
+  // C(f+2, 2) — the Theorem 4 lower bound — for small f.
+  EXPECT_EQ(binomial(1 + 2, 2), 3u);
+  EXPECT_EQ(binomial(2 + 2, 2), 6u);
+  EXPECT_EQ(binomial(3 + 2, 2), 10u);
+  EXPECT_EQ(binomial(10 + 2, 2), 66u);
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (std::uint64_t n = 1; n < 40; ++n)
+    for (std::uint64_t k = 1; k <= n; ++k)
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+}
+
+TEST(BinomialTest, SaturatesOnOverflow) {
+  EXPECT_EQ(binomial(200, 100), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(SubsetEnumerationTest, FirstSubset) {
+  EXPECT_EQ(first_subset(5, 2), (ProcessSet{0, 1}));
+  EXPECT_EQ(first_subset(5, 0), ProcessSet{});
+}
+
+TEST(SubsetEnumerationTest, EnumeratesAllSubsetsExactlyOnce) {
+  const ProcessId n = 7;
+  const int k = 3;
+  std::set<std::uint64_t> seen;
+  std::optional<ProcessSet> s = first_subset(n, k);
+  while (s) {
+    EXPECT_EQ(s->size(), k);
+    EXPECT_TRUE(s->is_subset_of(ProcessSet::full(n)));
+    EXPECT_TRUE(seen.insert(s->mask()).second) << "duplicate subset";
+    s = next_subset(*s, n);
+  }
+  EXPECT_EQ(seen.size(), binomial(n, static_cast<std::uint64_t>(k)));
+}
+
+TEST(SubsetEnumerationTest, RankMatchesEnumerationOrder) {
+  const ProcessId n = 8;
+  const int k = 4;
+  std::uint64_t expected_rank = 0;
+  std::optional<ProcessSet> s = first_subset(n, k);
+  while (s) {
+    EXPECT_EQ(subset_rank(*s, n), expected_rank);
+    ++expected_rank;
+    s = next_subset(*s, n);
+  }
+}
+
+TEST(SubsetEnumerationTest, MasksStrictlyIncrease) {
+  const ProcessId n = 6;
+  std::optional<ProcessSet> s = first_subset(n, 2);
+  std::uint64_t last = 0;
+  while (s) {
+    EXPECT_GT(s->mask(), last);
+    last = s->mask();
+    s = next_subset(*s, n);
+  }
+}
+
+}  // namespace
+}  // namespace qsel

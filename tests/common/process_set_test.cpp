@@ -1,0 +1,107 @@
+#include "common/process_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qsel {
+namespace {
+
+TEST(ProcessSetTest, DefaultIsEmpty) {
+  ProcessSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(ProcessSetTest, InsertEraseContains) {
+  ProcessSet s;
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+  s.erase(3);  // erasing a non-member is a no-op
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(ProcessSetTest, InitializerList) {
+  ProcessSet s{1, 4, 2};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(4));
+}
+
+TEST(ProcessSetTest, FullAndRange) {
+  EXPECT_EQ(ProcessSet::full(4), (ProcessSet{0, 1, 2, 3}));
+  EXPECT_EQ(ProcessSet::full(0), ProcessSet{});
+  EXPECT_EQ(ProcessSet::full(64).size(), 64);
+  EXPECT_EQ(ProcessSet::range(2, 5), (ProcessSet{2, 3, 4}));
+  EXPECT_EQ(ProcessSet::range(3, 3), ProcessSet{});
+}
+
+TEST(ProcessSetTest, MinMax) {
+  ProcessSet s{5, 9, 63};
+  EXPECT_EQ(s.min(), 5u);
+  EXPECT_EQ(s.max(), 63u);
+  EXPECT_THROW(ProcessSet{}.min(), std::invalid_argument);
+}
+
+TEST(ProcessSetTest, SetAlgebra) {
+  const ProcessSet a{0, 1, 2};
+  const ProcessSet b{2, 3};
+  EXPECT_EQ(a | b, (ProcessSet{0, 1, 2, 3}));
+  EXPECT_EQ(a & b, ProcessSet{2});
+  EXPECT_EQ(a - b, (ProcessSet{0, 1}));
+  EXPECT_TRUE((a & b).is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE((a - b).intersects(b));
+}
+
+TEST(ProcessSetTest, IterationAscendingOrder) {
+  const ProcessSet s{9, 0, 33, 4};
+  std::vector<ProcessId> ids(s.begin(), s.end());
+  EXPECT_EQ(ids, (std::vector<ProcessId>{0, 4, 9, 33}));
+}
+
+TEST(ProcessSetTest, ToString) {
+  EXPECT_EQ((ProcessSet{1, 3}).to_string(), "{1, 3}");
+  EXPECT_EQ(ProcessSet{}.to_string(), "{}");
+}
+
+TEST(ProcessSetTest, OutOfRangeInsertThrows) {
+  ProcessSet s;
+  EXPECT_THROW(s.insert(64), std::invalid_argument);
+}
+
+TEST(ProcessSetTest, SubsetReflexiveAndEmpty) {
+  const ProcessSet a{1, 2};
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(ProcessSet{}.is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(ProcessSet{}));
+}
+
+// Property: algebra laws hold on random sets.
+TEST(ProcessSetTest, RandomizedAlgebraLaws) {
+  Rng rng(42);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const ProcessSet a(rng());
+    const ProcessSet b(rng());
+    const ProcessSet c(rng());
+    EXPECT_EQ((a | b) & c, (a & c) | (b & c));
+    EXPECT_EQ(a - b, a - (a & b));
+    EXPECT_EQ((a | b).size() + (a & b).size(), a.size() + b.size());
+    EXPECT_TRUE((a - b).is_subset_of(a));
+  }
+}
+
+}  // namespace
+}  // namespace qsel

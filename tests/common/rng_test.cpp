@@ -1,0 +1,95 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace qsel {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  std::array<int, 10> buckets{};
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i)
+    ++buckets[static_cast<std::size_t>(rng.below(buckets.size()))];
+  for (int count : buckets) {
+    EXPECT_GT(count, samples / 10 - 600);
+    EXPECT_LT(count, samples / 10 + 600);
+  }
+}
+
+TEST(RngTest, BetweenInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ForkIsIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.fork();
+  // Child diverges from a same-seeded parent clone.
+  Rng parent_clone(77);
+  parent_clone.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child() == parent()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace qsel

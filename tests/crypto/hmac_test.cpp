@@ -1,0 +1,57 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace qsel::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// RFC 4231 test vectors for HMAC-SHA256.
+TEST(HmacTest, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(hmac_sha256(key, bytes_of("Hi There")).to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(
+      hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"))
+          .to_hex(),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> message(50, 0xdd);
+  EXPECT_EQ(hmac_sha256(key, message).to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(hmac_sha256(key, bytes_of("Test Using Larger Than Block-Size Key "
+                                      "- Hash Key First"))
+                .to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDifferentTags) {
+  const auto msg = bytes_of("message");
+  EXPECT_NE(hmac_sha256(bytes_of("key1"), msg),
+            hmac_sha256(bytes_of("key2"), msg));
+}
+
+TEST(HmacTest, DifferentMessagesDifferentTags) {
+  const auto key = bytes_of("key");
+  EXPECT_NE(hmac_sha256(key, bytes_of("a")), hmac_sha256(key, bytes_of("b")));
+}
+
+}  // namespace
+}  // namespace qsel::crypto

@@ -1,0 +1,87 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace qsel::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(sha256({}).to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(sha256(bytes_of("abc")).to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      sha256(bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .to_hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(hasher.finish().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 hasher;
+    hasher.update(std::span(data.data(), split));
+    hasher.update(std::span(data.data() + split, data.size() - split));
+    EXPECT_EQ(hasher.finish(), sha256(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 56-byte padding boundary and the 64-byte block size:
+  // bulk updates must agree with byte-at-a-time updates.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 121u}) {
+    const std::vector<std::uint8_t> data(len, 'x');
+    Sha256 a;
+    a.update(data);
+    const Digest one = a.finish();
+    Sha256 b;
+    for (std::uint8_t byte : data) b.update(std::span(&byte, 1));
+    EXPECT_EQ(b.finish(), one) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, HasherIsReusableAfterFinish) {
+  Sha256 hasher;
+  hasher.update(bytes_of("abc"));
+  const Digest first = hasher.finish();
+  hasher.update(bytes_of("abc"));
+  EXPECT_EQ(hasher.finish(), first);
+}
+
+TEST(DigestTest, Prefix64AndHex) {
+  const Digest d = sha256(bytes_of("abc"));
+  EXPECT_EQ(d.prefix64(), 0xba7816bf8f01cfeaULL);
+  EXPECT_EQ(d.to_hex().size(), 64u);
+}
+
+TEST(DigestTest, OrderingIsDeterministic) {
+  const Digest a = sha256(bytes_of("a"));
+  const Digest b = sha256(bytes_of("b"));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE((a < b) != (b < a));
+}
+
+}  // namespace
+}  // namespace qsel::crypto

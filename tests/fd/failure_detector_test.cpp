@@ -1,0 +1,228 @@
+#include "fd/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace qsel::fd {
+namespace {
+
+struct DummyPayload final : sim::Payload {
+  explicit DummyPayload(int k = 0) : kind(k) {}
+  int kind;
+  std::string_view type_tag() const override { return "dummy"; }
+  std::size_t wire_size() const override { return 1; }
+};
+
+struct Fixture {
+  sim::Simulator sim;
+  std::vector<ProcessSet> published;
+  FailureDetector fd;
+
+  explicit Fixture(FailureDetectorConfig config = {})
+      : fd(sim, 0, 4, config,
+           [this](ProcessSet s) { published.push_back(s); }) {}
+
+  static FailureDetector::Predicate any() {
+    return [](ProcessId, const sim::PayloadPtr&) { return true; };
+  }
+  static FailureDetector::Predicate kind(int k) {
+    return [k](ProcessId, const sim::PayloadPtr& m) {
+      auto* p = dynamic_cast<const DummyPayload*>(m.get());
+      return p != nullptr && p->kind == k;
+    };
+  }
+};
+
+TEST(FailureDetectorTest, InitiallySuspectsNobody) {
+  Fixture fx;
+  EXPECT_TRUE(fx.fd.suspected().empty());
+  fx.sim.run();
+  EXPECT_TRUE(fx.published.empty());
+}
+
+// Expectation completeness: an unmatched, uncancelled expectation leads to
+// a suspicion.
+TEST(FailureDetectorTest, TimeoutRaisesSuspicion) {
+  Fixture fx;
+  fx.fd.expect(2, Fixture::any(), "msg");
+  fx.sim.run();
+  EXPECT_EQ(fx.fd.suspected(), ProcessSet{2});
+  ASSERT_EQ(fx.published.size(), 1u);
+  EXPECT_EQ(fx.published[0], ProcessSet{2});
+  EXPECT_EQ(fx.fd.suspicions_raised(), 1u);
+}
+
+TEST(FailureDetectorTest, MatchingMessageBeforeTimeoutPreventsSuspicion) {
+  Fixture fx;
+  fx.fd.expect(2, Fixture::any(), "msg");
+  fx.sim.run_until(100);  // well before the timeout
+  fx.fd.on_receive(2, std::make_shared<DummyPayload>());
+  fx.sim.run();
+  EXPECT_TRUE(fx.fd.suspected().empty());
+  EXPECT_TRUE(fx.published.empty());
+}
+
+// PeerReview-style cancellation: a late message cancels the suspicion.
+TEST(FailureDetectorTest, LateMessageCancelsSuspicion) {
+  Fixture fx;
+  fx.fd.expect(2, Fixture::any(), "msg");
+  fx.sim.run();  // timeout fires
+  EXPECT_EQ(fx.fd.suspected(), ProcessSet{2});
+  fx.fd.on_receive(2, std::make_shared<DummyPayload>());
+  fx.sim.run();
+  EXPECT_TRUE(fx.fd.suspected().empty());
+  ASSERT_EQ(fx.published.size(), 2u);
+  EXPECT_EQ(fx.published[1], ProcessSet{});
+  EXPECT_EQ(fx.fd.suspicions_cancelled(), 1u);
+}
+
+// Eventual strong accuracy mechanism: each false suspicion doubles the
+// timeout (up to the cap).
+TEST(FailureDetectorTest, TimeoutDoublesOnFalseSuspicion) {
+  FailureDetectorConfig config;
+  config.initial_timeout = 1000;
+  config.max_timeout = 3000;
+  Fixture fx(config);
+  EXPECT_EQ(fx.fd.timeout_for(2), 1000u);
+  fx.fd.expect(2, Fixture::any(), "msg");
+  fx.sim.run();
+  fx.fd.on_receive(2, std::make_shared<DummyPayload>());  // late
+  EXPECT_EQ(fx.fd.timeout_for(2), 2000u);
+  fx.fd.expect(2, Fixture::any(), "msg");
+  fx.sim.run();
+  fx.fd.on_receive(2, std::make_shared<DummyPayload>());
+  EXPECT_EQ(fx.fd.timeout_for(2), 3000u);  // capped
+  // Other processes keep their own timeout.
+  EXPECT_EQ(fx.fd.timeout_for(1), 1000u);
+}
+
+TEST(FailureDetectorTest, NonAdaptiveKeepsTimeout) {
+  FailureDetectorConfig config;
+  config.initial_timeout = 1000;
+  config.adaptive = false;
+  Fixture fx(config);
+  fx.fd.expect(2, Fixture::any(), "msg");
+  fx.sim.run();
+  fx.fd.on_receive(2, std::make_shared<DummyPayload>());
+  EXPECT_EQ(fx.fd.timeout_for(2), 1000u);
+}
+
+TEST(FailureDetectorTest, PredicateFiltersMessages) {
+  Fixture fx;
+  fx.fd.expect(2, Fixture::kind(7), "kind7");
+  fx.fd.on_receive(2, std::make_shared<DummyPayload>(3));  // wrong kind
+  fx.sim.run();
+  EXPECT_EQ(fx.fd.suspected(), ProcessSet{2});
+  fx.fd.on_receive(2, std::make_shared<DummyPayload>(7));
+  fx.sim.run();
+  EXPECT_TRUE(fx.fd.suspected().empty());
+}
+
+TEST(FailureDetectorTest, MessageFromOtherProcessDoesNotMatch) {
+  Fixture fx;
+  fx.fd.expect(2, Fixture::any(), "msg");
+  fx.fd.on_receive(3, std::make_shared<DummyPayload>());
+  fx.sim.run();
+  EXPECT_EQ(fx.fd.suspected(), ProcessSet{2});
+}
+
+// Detection completeness: DETECTED is permanent; no message un-suspects.
+TEST(FailureDetectorTest, DetectedIsPermanent) {
+  Fixture fx;
+  fx.fd.detected(3);
+  fx.sim.run();
+  EXPECT_EQ(fx.fd.suspected(), ProcessSet{3});
+  EXPECT_EQ(fx.fd.detected_set(), ProcessSet{3});
+  fx.fd.on_receive(3, std::make_shared<DummyPayload>());
+  fx.sim.run();
+  EXPECT_EQ(fx.fd.suspected(), ProcessSet{3});
+  // Duplicate detection publishes nothing new.
+  fx.fd.detected(3);
+  fx.sim.run();
+  EXPECT_EQ(fx.published.size(), 1u);
+}
+
+TEST(FailureDetectorTest, CancelAllDropsExpectationsAndTheirSuspicions) {
+  Fixture fx;
+  fx.fd.expect(1, Fixture::any(), "a");
+  fx.fd.expect(2, Fixture::any(), "b");
+  fx.sim.run();
+  EXPECT_EQ(fx.fd.suspected(), (ProcessSet{1, 2}));
+  fx.fd.cancel_all();
+  fx.sim.run();
+  EXPECT_TRUE(fx.fd.suspected().empty());
+  // Cancelled expectations never fire later.
+  fx.sim.run_for(10'000'000'000);
+  EXPECT_TRUE(fx.fd.suspected().empty());
+}
+
+TEST(FailureDetectorTest, CancelAllKeepsDetected) {
+  Fixture fx;
+  fx.fd.detected(1);
+  fx.fd.expect(2, Fixture::any(), "b");
+  fx.sim.run();
+  EXPECT_EQ(fx.fd.suspected(), (ProcessSet{1, 2}));
+  fx.fd.cancel_all();
+  fx.sim.run();
+  EXPECT_EQ(fx.fd.suspected(), ProcessSet{1});
+}
+
+// Repeated omission: suspicion can be raised and cancelled repeatedly, and
+// each cycle is observable (eventual detection, Section II).
+TEST(FailureDetectorTest, RepeatedOmissionRaisesRepeatedSuspicions) {
+  Fixture fx;
+  for (int round = 0; round < 5; ++round) {
+    fx.fd.expect(2, Fixture::any(), "hb");
+    fx.sim.run();
+    EXPECT_EQ(fx.fd.suspected(), ProcessSet{2});
+    fx.fd.on_receive(2, std::make_shared<DummyPayload>());
+    fx.sim.run();
+    EXPECT_TRUE(fx.fd.suspected().empty());
+  }
+  EXPECT_EQ(fx.fd.suspicions_raised(), 5u);
+  EXPECT_EQ(fx.fd.suspicions_cancelled(), 5u);
+}
+
+TEST(FailureDetectorTest, OneMessageMatchesAllPendingExpectations) {
+  Fixture fx;
+  fx.fd.expect(2, Fixture::any(), "a");
+  fx.fd.expect(2, Fixture::any(), "b");
+  fx.fd.on_receive(2, std::make_shared<DummyPayload>());
+  fx.sim.run();
+  EXPECT_TRUE(fx.fd.suspected().empty());
+  EXPECT_EQ(fx.fd.expectations_issued(), 2u);
+}
+
+TEST(FailureDetectorTest, MultipleProcessesSuspectedTogether) {
+  Fixture fx;
+  fx.fd.expect(1, Fixture::any(), "a");
+  fx.fd.expect(2, Fixture::any(), "b");
+  fx.fd.expect(3, Fixture::any(), "c");
+  fx.sim.run();
+  EXPECT_EQ(fx.fd.suspected(), (ProcessSet{1, 2, 3}));
+  // The published sets grow monotonically here: {1}, {1,2}, {1,2,3} (three
+  // timeouts in scheduling order).
+  ASSERT_EQ(fx.published.size(), 3u);
+  EXPECT_EQ(fx.published.back(), (ProcessSet{1, 2, 3}));
+}
+
+TEST(FailureDetectorTest, SuspectedPublishedAsSeparateEvent) {
+  // The SUSPECTED callback must not run inside expect()/on_receive()
+  // callers (Section IV module-event ordering).
+  Fixture fx;
+  bool callback_ran = false;
+  FailureDetectorConfig config;
+  sim::Simulator sim2;
+  FailureDetector fd2(sim2, 0, 4, config,
+                      [&](ProcessSet) { callback_ran = true; });
+  fd2.detected(1);
+  EXPECT_FALSE(callback_ran);  // deferred
+  sim2.run();
+  EXPECT_TRUE(callback_ran);
+}
+
+}  // namespace
+}  // namespace qsel::fd

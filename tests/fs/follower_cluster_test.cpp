@@ -1,0 +1,107 @@
+#include "runtime/follower_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsel::runtime {
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+FollowerClusterConfig small_config(ProcessId n, int f,
+                                   std::uint64_t seed = 1) {
+  FollowerClusterConfig config;
+  config.n = n;
+  config.f = f;
+  config.seed = seed;
+  config.network.base_latency = 1'000'000;
+  config.network.jitter = 200'000;
+  config.heartbeat_period = 5'000'000;
+  config.fd.initial_timeout = 12'000'000;
+  return config;
+}
+
+TEST(FollowerClusterTest, FaultFreeRunKeepsDefaultLeader) {
+  FollowerCluster cluster(small_config(4, 1));
+  cluster.start();
+  cluster.simulator().run_until(500 * kMs);
+  const auto agreed = cluster.agreed_leader_quorum();
+  ASSERT_TRUE(agreed.has_value());
+  EXPECT_EQ(agreed->first, 0u);
+  EXPECT_EQ(agreed->second, (ProcessSet{0, 1, 2}));
+  EXPECT_EQ(cluster.total_quorums_issued(), 0u);
+}
+
+TEST(FollowerClusterTest, CrashedLeaderIsReplaced) {
+  FollowerCluster cluster(small_config(4, 1));
+  cluster.start();
+  cluster.simulator().run_until(50 * kMs);
+  cluster.network().crash(0);
+  cluster.simulator().run_until(800 * kMs);
+  const auto agreed = cluster.agreed_leader_quorum();
+  ASSERT_TRUE(agreed.has_value());
+  EXPECT_NE(agreed->first, 0u);
+  EXPECT_EQ(agreed->second.size(), 3);
+  // No-leader-suspicion: nobody in the quorum suspects the leader.
+  for (ProcessId id : cluster.correct()) {
+    if (!agreed->second.contains(id)) continue;
+    EXPECT_FALSE(cluster.process(id).failure_detector().suspected().contains(
+        agreed->first));
+  }
+}
+
+TEST(FollowerClusterTest, LeaderOmittingToOneFollowerIsReplaced) {
+  FollowerCluster cluster(small_config(7, 2, 3));
+  cluster.start();
+  cluster.simulator().run_until(50 * kMs);
+  // The leader (0) omits heartbeats to follower 1 only.
+  cluster.network().set_link_enabled(0, 1, false);
+  cluster.simulator().run_until(800 * kMs);
+  const auto agreed = cluster.agreed_leader_quorum();
+  ASSERT_TRUE(agreed.has_value());
+  EXPECT_NE(agreed->first, 0u) << "omitting leader must lose leadership";
+}
+
+TEST(FollowerClusterTest, StabilizesAfterLeaderCrash) {
+  FollowerCluster cluster(small_config(7, 2, 5));
+  cluster.start();
+  cluster.simulator().run_until(50 * kMs);
+  cluster.network().crash(0);
+  cluster.simulator().run_until(1000 * kMs);
+  const auto agreed = cluster.agreed_leader_quorum();
+  ASSERT_TRUE(agreed.has_value());
+  const std::uint64_t issued = cluster.total_quorums_issued();
+  cluster.simulator().run_until(3000 * kMs);
+  EXPECT_EQ(cluster.total_quorums_issued(), issued) << "still churning";
+  EXPECT_EQ(cluster.agreed_leader_quorum(), agreed);
+}
+
+TEST(FollowerClusterTest, FollowerCrashLeaderReselects) {
+  FollowerCluster cluster(small_config(7, 2, 11));
+  cluster.start();
+  cluster.simulator().run_until(50 * kMs);
+  cluster.network().crash(3);  // a follower in the default quorum {0..4}
+  cluster.simulator().run_until(1000 * kMs);
+  const auto agreed = cluster.agreed_leader_quorum();
+  ASSERT_TRUE(agreed.has_value());
+  EXPECT_FALSE(agreed->second.contains(3))
+      << "leader " << agreed->first << " quorum "
+      << agreed->second.to_string();
+  EXPECT_EQ(agreed->second.size(), 5);
+}
+
+TEST(FollowerClusterTest, DeterministicRuns) {
+  auto run = [](std::uint64_t seed) {
+    FollowerCluster cluster(small_config(7, 2, seed));
+    cluster.start();
+    cluster.simulator().run_until(30 * kMs);
+    cluster.network().crash(0);
+    cluster.simulator().run_until(600 * kMs);
+    return std::make_tuple(cluster.agreed_leader_quorum(),
+                           cluster.total_quorums_issued(),
+                           cluster.network().stats().total_messages());
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+}  // namespace
+}  // namespace qsel::runtime

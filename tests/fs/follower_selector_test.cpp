@@ -1,0 +1,256 @@
+#include "fs/follower_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "graph/line_subgraph.hpp"
+
+namespace qsel::fs {
+namespace {
+
+/// Synchronous network of FollowerSelectors. FIFO per sender is preserved
+/// because broadcasts are queued and delivered in order.
+struct FsNet {
+  ProcessId n;
+  int f;
+  crypto::KeyRegistry keys;
+  std::vector<crypto::Signer> signers;
+  std::vector<std::unique_ptr<FollowerSelector>> selectors;
+  std::deque<std::pair<ProcessId, sim::PayloadPtr>> wire;
+  std::vector<std::vector<LeaderQuorumRecord>> issued;
+  std::vector<std::vector<std::pair<ProcessId, Epoch>>> expects;
+  std::vector<int> cancels;
+  std::vector<std::vector<ProcessId>> detections;
+
+  FsNet(ProcessId n_in, int f_in) : n(n_in), f(f_in), keys(n_in, 1) {
+    issued.resize(n);
+    expects.resize(n);
+    cancels.resize(n, 0);
+    detections.resize(n);
+    for (ProcessId i = 0; i < n; ++i) signers.emplace_back(keys, i);
+    for (ProcessId i = 0; i < n; ++i) {
+      selectors.push_back(std::make_unique<FollowerSelector>(
+          signers[i], FollowerSelectorConfig{n, f},
+          FollowerSelector::Hooks{
+              [this, i](ProcessId l, ProcessSet q) {
+                issued[i].push_back(LeaderQuorumRecord{l, q, 0});
+              },
+              [this, i](sim::PayloadPtr m) { wire.emplace_back(i, m); },
+              [this, i](ProcessId l, Epoch e) {
+                expects[i].emplace_back(l, e);
+              },
+              [this, i] { ++cancels[i]; },
+              [this, i](ProcessId c) { detections[i].push_back(c); }}));
+    }
+  }
+
+  void drain(std::size_t max_messages = 1u << 20) {
+    std::size_t delivered = 0;
+    while (!wire.empty() && delivered < max_messages) {
+      auto [sender, payload] = wire.front();
+      wire.pop_front();
+      for (ProcessId i = 0; i < n; ++i) {
+        if (i == sender) continue;
+        if (auto u = std::dynamic_pointer_cast<const suspect::UpdateMessage>(
+                payload)) {
+          selectors[i]->on_update(u);
+        } else if (auto fw =
+                       std::dynamic_pointer_cast<const FollowersMessage>(
+                           payload)) {
+          selectors[i]->on_followers(fw);
+        } else {
+          FAIL() << "unexpected payload";
+        }
+      }
+      ++delivered;
+    }
+  }
+
+  bool all_agree(ProcessId leader, ProcessSet quorum) const {
+    for (const auto& s : selectors)
+      if (s->leader() != leader || s->quorum() != quorum) return false;
+    return true;
+  }
+};
+
+TEST(FollowerSelectorTest, InitialStateIsDefault) {
+  FsNet net(4, 1);
+  EXPECT_EQ(net.selectors[0]->leader(), 0u);
+  EXPECT_EQ(net.selectors[0]->quorum(), (ProcessSet{0, 1, 2}));
+  EXPECT_TRUE(net.selectors[0]->stable());
+}
+
+TEST(FollowerSelectorTest, RequiresNGreaterThan3f) {
+  const crypto::KeyRegistry keys(6, 1);
+  const crypto::Signer signer(keys, 0);
+  const FollowerSelector::Hooks hooks{
+      [](ProcessId, ProcessSet) {}, [](sim::PayloadPtr) {},
+      [](ProcessId, Epoch) {},      [] {},
+      [](ProcessId) {}};
+  EXPECT_THROW(FollowerSelector(signer, FollowerSelectorConfig{6, 2}, hooks),
+               std::invalid_argument);
+  EXPECT_NO_THROW(
+      FollowerSelector(signer, FollowerSelectorConfig{7, 2}, hooks));
+}
+
+// A suspicion against the leader moves the leadership and the new leader
+// broadcasts FOLLOWERS, which everybody adopts.
+TEST(FollowerSelectorTest, LeaderSuspicionElectsNewLeader) {
+  FsNet net(4, 1);
+  // Process 1 suspects leader 0: edge (0,1); maximal line subgraph covers
+  // {0,1} via that edge, designating leader 2.
+  net.selectors[1]->on_suspected(ProcessSet{0});
+  net.drain();
+  EXPECT_TRUE(net.all_agree(2, (ProcessSet{0, 1, 2})))
+      << "leader " << net.selectors[3]->leader() << " quorum "
+      << net.selectors[3]->quorum().to_string();
+  // Followers of the 2-path (0,1): both endpoints are possible followers.
+  // Leader 2 picks the q-1 = 2 smallest: {0, 1}.
+  for (ProcessId i = 0; i < 4; ++i) {
+    EXPECT_TRUE(net.selectors[i]->stable());
+    ASSERT_GE(net.issued[i].size(), 1u);
+    EXPECT_EQ(net.issued[i].back().leader, 2u);
+  }
+  // Non-leaders expected a FOLLOWERS message from the new leader.
+  EXPECT_FALSE(net.expects[1].empty());
+  EXPECT_EQ(net.expects[1].back().first, 2u);
+  // Everyone cancelled old expectations on the leader change.
+  for (ProcessId i = 0; i < 4; ++i) EXPECT_GE(net.cancels[i], 1);
+}
+
+TEST(FollowerSelectorTest, FollowerFollowerSuspicionToleratedWhenHarmless) {
+  FsNet net(7, 2);
+  // Suspicion between two followers (1,2). Maximal line subgraph covers
+  // {0? no—} ... edge (1,2) cannot cover node 0, so the leader stays 0 and
+  // no quorum change happens at all.
+  net.selectors[1]->on_suspected(ProcessSet{2});
+  net.drain();
+  EXPECT_TRUE(net.all_agree(0, ProcessSet::full(5)));
+  for (ProcessId i = 0; i < 7; ++i) EXPECT_TRUE(net.issued[i].empty());
+}
+
+TEST(FollowerSelectorTest, SuccessiveLeaderSuspicionsWalkUpward) {
+  FsNet net(7, 2);
+  // Suspect leader 0 -> line (0,x) designates leader 1 (if x > 1)...
+  // Concretely: 1 suspects 0: edge (0,1) -> cover {0} via (0,1); leader
+  // becomes... cover {0,1}? The edge covers both: leader 2.
+  net.selectors[1]->on_suspected(ProcessSet{0});
+  net.drain();
+  EXPECT_EQ(net.selectors[3]->leader(), 2u);
+  // Next, 3 suspects the new leader 2: edges (0,1), (2,3): leader 4.
+  net.selectors[3]->on_suspected(ProcessSet{2});
+  net.drain();
+  EXPECT_EQ(net.selectors[5]->leader(), 4u);
+  EXPECT_TRUE(net.selectors[5]->quorum().contains(4));
+  // All correct processes agree.
+  const ProcessSet q = net.selectors[0]->quorum();
+  EXPECT_TRUE(net.all_agree(4, q));
+}
+
+TEST(FollowerSelectorTest, MalformedFollowersDetected) {
+  FsNet net(4, 1);
+  net.selectors[1]->on_suspected(ProcessSet{0});
+  net.drain();
+  ASSERT_TRUE(net.all_agree(2, (ProcessSet{0, 1, 2})));
+  // Leader 2 now equivocates: a second FOLLOWERS message with a different
+  // follower set in the same epoch.
+  const Epoch e = net.selectors[2]->epoch();
+  const auto line = graph::SimpleGraph::from_edges(4, {{0, 1}});
+  const auto equivocation =
+      FollowersMessage::make(net.signers[2], ProcessSet{1, 3}, line, e);
+  net.selectors[0]->on_followers(equivocation);
+  ASSERT_EQ(net.detections[0].size(), 1u);
+  EXPECT_EQ(net.detections[0][0], 2u);
+}
+
+TEST(FollowerSelectorTest, IllFormedLineSubgraphDetected) {
+  FsNet net(7, 2);
+  net.selectors[1]->on_suspected(ProcessSet{0});
+  net.drain();
+  const ProcessId leader = net.selectors[3]->leader();
+  ASSERT_EQ(leader, 2u);
+  const Epoch e = net.selectors[3]->epoch();
+  // Leader claims a line subgraph containing an edge nobody suspects:
+  // Definition 3 b) fails at every receiver.
+  const auto bogus_line = graph::SimpleGraph::from_edges(7, {{0, 1}, {4, 5}});
+  const auto msg = FollowersMessage::make(net.signers[2],
+                                          ProcessSet{0, 1, 3, 4}, bogus_line, e);
+  net.selectors[3]->on_followers(msg);
+  ASSERT_EQ(net.detections[3].size(), 1u);
+  EXPECT_EQ(net.detections[3][0], 2u);
+}
+
+TEST(FollowerSelectorTest, WrongEpochOrWrongLeaderIgnored) {
+  FsNet net(4, 1);
+  net.selectors[1]->on_suspected(ProcessSet{0});
+  net.drain();
+  const auto line = graph::SimpleGraph::from_edges(4, {{0, 1}});
+  // Stale epoch:
+  const auto stale =
+      FollowersMessage::make(net.signers[2], ProcessSet{0, 1}, line, 99);
+  net.selectors[0]->on_followers(stale);
+  // Not the current leader:
+  const auto imposter =
+      FollowersMessage::make(net.signers[3], ProcessSet{0, 1}, line, 1);
+  net.selectors[0]->on_followers(imposter);
+  EXPECT_TRUE(net.detections[0].empty());
+}
+
+TEST(FollowerSelectorTest, ForgedSignatureDropped) {
+  FsNet net(4, 1);
+  net.selectors[1]->on_suspected(ProcessSet{0});
+  net.drain();
+  const auto line = graph::SimpleGraph::from_edges(4, {{0, 1}});
+  auto forged = std::make_shared<FollowersMessage>(
+      *FollowersMessage::make(net.signers[3], ProcessSet{1, 3}, line, 1));
+  forged->leader = 2;  // claims to be the real leader
+  net.selectors[0]->on_followers(
+      std::shared_ptr<const FollowersMessage>(forged));
+  EXPECT_TRUE(net.detections[0].empty());
+  EXPECT_EQ(net.selectors[0]->quorum(), (ProcessSet{0, 1, 2}));
+}
+
+// Epoch bump: mutually-inconsistent suspicions leave no independent set;
+// Algorithm 2 installs the default leader and quorum for the new epoch.
+TEST(FollowerSelectorTest, EpochBumpRestoresDefaultQuorum) {
+  FsNet net(4, 1);
+  // With n=4, q=3: edges (0,1) and (2,3) kill every size-3 independent
+  // set.
+  net.selectors[0]->on_suspected(ProcessSet{1});
+  net.selectors[2]->on_suspected(ProcessSet{3});
+  net.drain(200);
+  for (ProcessId i = 0; i < 4; ++i) {
+    EXPECT_GE(net.selectors[i]->epoch(), 2u);
+    bool saw_default = false;
+    for (const auto& rec : net.issued[i])
+      if (rec.leader == 0 && rec.quorum == ProcessSet{0, 1, 2})
+        saw_default = true;
+    EXPECT_TRUE(saw_default) << "process " << i;
+  }
+}
+
+// Theorem 9 precondition: one quorum per (leader, epoch) pair.
+TEST(FollowerSelectorTest, OneQuorumPerLeaderAndEpoch) {
+  FsNet net(7, 2);
+  net.selectors[1]->on_suspected(ProcessSet{0});
+  net.drain();
+  net.selectors[3]->on_suspected(ProcessSet{2});
+  net.drain();
+  net.selectors[5]->on_suspected(ProcessSet{4});
+  net.drain();
+  for (ProcessId i = 0; i < 7; ++i) {
+    const auto& recs = net.selectors[i]->history();
+    std::set<std::pair<ProcessId, Epoch>> seen;
+    for (const auto& rec : recs)
+      EXPECT_TRUE(seen.emplace(rec.leader, rec.epoch).second)
+          << "process " << i << " issued two quorums for leader "
+          << rec.leader << " epoch " << rec.epoch;
+  }
+}
+
+}  // namespace
+}  // namespace qsel::fs

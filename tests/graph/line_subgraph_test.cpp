@@ -1,0 +1,232 @@
+#include "graph/line_subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/independent_set.hpp"
+
+namespace qsel::graph {
+namespace {
+
+/// Brute force over all edge subsets: the maximum achievable designated
+/// leader among line subgraphs of g (Definition 1).
+ProcessId brute_max_leader(const SimpleGraph& g) {
+  const auto edges = g.edges();
+  ProcessId best = 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << edges.size());
+       ++mask) {
+    SimpleGraph l(g.node_count());
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      if ((mask >> i) & 1) l.add_edge(edges[i].first, edges[i].second);
+    if (!is_line_subgraph(l)) continue;
+    if (const auto leader = line_leader(l))
+      best = std::max(best, *leader);
+  }
+  return best;
+}
+
+SimpleGraph random_graph(ProcessId n, double p, Rng& rng) {
+  SimpleGraph g(n);
+  for (ProcessId u = 0; u < n; ++u)
+    for (ProcessId v = u + 1; v < n; ++v)
+      if (rng.chance(p)) g.add_edge(u, v);
+  return g;
+}
+
+TEST(LineSubgraphTest, Definition) {
+  // A path is a line subgraph.
+  EXPECT_TRUE(
+      is_line_subgraph(SimpleGraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}})));
+  // Disjoint paths are a line subgraph.
+  EXPECT_TRUE(is_line_subgraph(SimpleGraph::from_edges(6, {{0, 1}, {3, 4}})));
+  // The empty graph is a line subgraph.
+  EXPECT_TRUE(is_line_subgraph(SimpleGraph(4)));
+  // Degree 3 is not.
+  EXPECT_FALSE(
+      is_line_subgraph(SimpleGraph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}})));
+  // A cycle is not.
+  EXPECT_FALSE(
+      is_line_subgraph(SimpleGraph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}})));
+}
+
+TEST(LineSubgraphTest, LeaderIsMinimumUncovered) {
+  const auto l = SimpleGraph::from_edges(5, {{0, 1}, {2, 3}});
+  EXPECT_EQ(line_leader(l), 4u);
+  EXPECT_EQ(line_leader(SimpleGraph(3)), 0u);
+  // Everything covered -> no leader.
+  EXPECT_EQ(line_leader(SimpleGraph::from_edges(2, {{0, 1}})), std::nullopt);
+}
+
+TEST(LineSubgraphTest, CoverWithPathsBasics) {
+  // Required {0,1} coverable by the single edge (0,1).
+  auto g = SimpleGraph::from_edges(3, {{0, 1}});
+  const auto line = cover_with_paths(g, ProcessSet{0, 1}, 2);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_TRUE(is_line_subgraph(*line));
+  EXPECT_TRUE(line->has_edge(0, 1));
+
+  // Required node with no partner other than `avoid` is uncoverable.
+  EXPECT_FALSE(cover_with_paths(g, ProcessSet{0}, 1).has_value());
+  // Empty requirement is trivially coverable.
+  EXPECT_TRUE(cover_with_paths(SimpleGraph(3), ProcessSet{}, 0).has_value());
+}
+
+TEST(LineSubgraphTest, CoverNeedsHelperNode) {
+  // 0 and 1 are not adjacent; both hang off 2: the path 0-2-1 covers both.
+  const auto g = SimpleGraph::from_edges(4, {{0, 2}, {1, 2}});
+  const auto line = cover_with_paths(g, ProcessSet{0, 1}, 3);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_TRUE(is_line_subgraph(*line));
+  EXPECT_GE(line->degree(0), 1);
+  EXPECT_GE(line->degree(1), 1);
+}
+
+TEST(LineSubgraphTest, CoverRespectsAvoidNode) {
+  // Covering 0 is possible via 1 or 2; avoiding 1 forces the edge (0,2).
+  const auto g = SimpleGraph::from_edges(3, {{0, 1}, {0, 2}});
+  const auto line = cover_with_paths(g, ProcessSet{0}, 1);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->degree(1), 0);
+  EXPECT_TRUE(line->has_edge(0, 2));
+}
+
+// Reconstruction of Example 1 (Section VIII): G on 7 nodes whose maximal
+// line subgraph is the 3-path p1-p2-p3; its middle p2 is not a possible
+// follower, and adding the edge (p2,p5) does not change the leader.
+TEST(LineSubgraphTest, Example1Reconstruction) {
+  auto g = SimpleGraph::from_edges(7, {{0, 1}, {1, 2}});  // p1-p2, p2-p3
+  const auto l = maximal_line_subgraph(g);
+  EXPECT_TRUE(is_line_subgraph(l));
+  EXPECT_TRUE(l.is_subgraph_of(g));
+  ASSERT_EQ(line_leader(l), 3u);  // p4 leads: p1..p3 covered by one path
+  // p2 (index 1) is the middle of a 3-path: not a possible follower.
+  const ProcessSet followers = possible_followers(l);
+  EXPECT_FALSE(followers.contains(1));
+  EXPECT_EQ(followers, ProcessSet::full(7) - ProcessSet{1});
+  // Adding (p2,p5) cannot improve the leader: p4 stays uncovered.
+  g.add_edge(1, 4);
+  EXPECT_EQ(line_leader(maximal_line_subgraph(g)), 3u);
+}
+
+// Reconstruction of Example 2: adding an edge gives the smaller nodes a new
+// covering option and the leader moves up.
+TEST(LineSubgraphTest, Example2Reconstruction) {
+  auto g = SimpleGraph::from_edges(7, {{0, 1}, {5, 6}});
+  // L = {(0,1)} already designates leader p3 (index 2); note L is maximal
+  // even though it could be *extended* by the edge (5,6) — maximality is
+  // about the designated leader, not edge count.
+  EXPECT_EQ(line_leader(maximal_line_subgraph(g)), 2u);
+  // Adding (p3,p4): now {0,1} and {2,3} are covered by disjoint edges.
+  g.add_edge(2, 3);
+  const auto l = maximal_line_subgraph(g);
+  EXPECT_EQ(line_leader(l), 4u);
+  EXPECT_TRUE(l.is_subgraph_of(g));
+}
+
+TEST(LineSubgraphTest, PossibleFollowersDefinition) {
+  // Path of 4: 0-1-2-3. Internal nodes are adjacent to exactly one
+  // degree-1 node each, so everyone is a possible follower.
+  const auto path4 = SimpleGraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(possible_followers(path4), ProcessSet::full(5));
+  // 3-path 0-1-2: the middle is excluded.
+  const auto path3 = SimpleGraph::from_edges(4, {{0, 1}, {1, 2}});
+  EXPECT_EQ(possible_followers(path3), (ProcessSet{0, 2, 3}));
+  // Two disjoint 3-paths: both middles excluded.
+  const auto two = SimpleGraph::from_edges(
+      7, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  EXPECT_EQ(possible_followers(two), (ProcessSet{0, 2, 3, 5, 6}));
+}
+
+TEST(LineSubgraphTest, MaximalLeaderMatchesBruteForce) {
+  Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ProcessId n = static_cast<ProcessId>(rng.between(2, 8));
+    const auto g = random_graph(n, rng.uniform01() * 0.6, rng);
+    if (g.edge_count() > 12) continue;  // keep brute force tractable
+    const auto l = maximal_line_subgraph(g);
+    ASSERT_TRUE(is_line_subgraph(l));
+    ASSERT_TRUE(l.is_subgraph_of(g));
+    const auto leader = line_leader(l);
+    ASSERT_TRUE(leader.has_value());
+    EXPECT_EQ(*leader, brute_max_leader(g)) << "n=" << n;
+  }
+}
+
+// Adding one edge never lowers the maximal leader (the monotonicity that
+// Lemma 5 and the O(f) bound of Theorem 9 rest on).
+TEST(LineSubgraphTest, LeaderMonotoneUnderEdgeAddition) {
+  Rng rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ProcessId n = static_cast<ProcessId>(rng.between(3, 9));
+    auto g = random_graph(n, 0.3, rng);
+    const auto before = line_leader(maximal_line_subgraph(g));
+    const auto u = static_cast<ProcessId>(rng.below(n));
+    const auto v = static_cast<ProcessId>(rng.below(n));
+    if (u == v) continue;
+    g.add_edge(u, v);
+    const auto after = line_leader(maximal_line_subgraph(g));
+    ASSERT_TRUE(before.has_value() && after.has_value());
+    EXPECT_GE(*after, *before);
+  }
+}
+
+// Lemma 8 a): a line subgraph containing 3f nodes leaves at most one
+// independent set of size q, namely leader + possible followers.
+TEST(LineSubgraphTest, Lemma8a) {
+  const int f = 2;
+  const ProcessId n = 3 * f + 1;  // 7
+  // f disjoint 3-paths covering 3f = 6 nodes; node 6 uncovered.
+  const auto g = SimpleGraph::from_edges(n, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const int q = static_cast<int>(n) - f;  // 5
+  const auto sets = all_independent_sets(g, q);
+  ASSERT_EQ(sets.size(), 1u);
+  const auto leader = line_leader(g);
+  ASSERT_TRUE(leader.has_value());
+  ProcessSet expected = possible_followers(g);
+  EXPECT_TRUE(expected.contains(*leader));
+  EXPECT_EQ(sets.front(), expected);
+}
+
+// Lemma 8 b): a line subgraph containing 3f + 1 nodes kills every
+// independent set of size q.
+TEST(LineSubgraphTest, Lemma8b) {
+  const int f = 2;
+  const ProcessId n = 3 * f + 1;  // 7
+  // Paths covering 3f + 1 = 7 nodes: 3-path + 4-path.
+  const auto g = SimpleGraph::from_edges(
+      n, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}});
+  EXPECT_FALSE(has_independent_set(g, static_cast<int>(n) - f));
+}
+
+// Whenever Algorithm 2 actually selects followers — i.e. the graph still
+// admits an independent set of size q = n - f with n > 3f — no possible
+// follower has a G-edge to the leader: otherwise the leader could have
+// been covered (via that edge) and pushed higher, contradicting
+// maximality. Without quorum existence the property can fail, but then
+// Line 9 bumps the epoch instead of selecting followers.
+TEST(LineSubgraphTest, FollowersNeverAdjacentToLeaderWhenQuorumExists) {
+  Rng rng(901);
+  int checked = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    const ProcessId n = static_cast<ProcessId>(rng.between(4, 10));
+    const int f = static_cast<int>((n - 1) / 3);  // largest f with n > 3f
+    const int q = static_cast<int>(n) - f;
+    const auto g = random_graph(n, 0.25, rng);
+    if (!has_independent_set(g, q)) continue;
+    ++checked;
+    const auto l = maximal_line_subgraph(g);
+    const auto leader = line_leader(l);
+    ASSERT_TRUE(leader.has_value());
+    const ProcessSet followers = possible_followers(l) - ProcessSet{*leader};
+    EXPECT_FALSE(g.neighbors(*leader).intersects(followers))
+        << "leader " << *leader << " adjacent to a possible follower in "
+        << g;
+  }
+  EXPECT_GT(checked, 100) << "sweep lost its statistical power";
+}
+
+}  // namespace
+}  // namespace qsel::graph

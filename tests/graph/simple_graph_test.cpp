@@ -1,0 +1,95 @@
+#include "graph/simple_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qsel::graph {
+namespace {
+
+TEST(SimpleGraphTest, EmptyGraph) {
+  const SimpleGraph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_TRUE(g.covered_nodes().empty());
+  EXPECT_EQ(g.isolated_nodes(), ProcessSet::full(5));
+}
+
+TEST(SimpleGraphTest, AddRemoveEdge) {
+  SimpleGraph g(4);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));  // undirected
+  EXPECT_EQ(g.edge_count(), 1);
+  g.add_edge(0, 2);  // duplicate is a no-op
+  EXPECT_EQ(g.edge_count(), 1);
+  g.remove_edge(2, 0);
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 0);
+  g.remove_edge(0, 2);  // removing absent edge is a no-op
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(SimpleGraphTest, SelfLoopRejected) {
+  SimpleGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(SimpleGraphTest, NeighborsAndDegree) {
+  SimpleGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.neighbors(0), (ProcessSet{1, 3}));
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(SimpleGraphTest, CoveredAndIsolated) {
+  SimpleGraph g(5);
+  g.add_edge(1, 3);
+  EXPECT_EQ(g.covered_nodes(), (ProcessSet{1, 3}));
+  EXPECT_EQ(g.isolated_nodes(), (ProcessSet{0, 2, 4}));
+}
+
+TEST(SimpleGraphTest, EdgesSortedCanonical) {
+  SimpleGraph g(5);
+  g.add_edge(3, 1);
+  g.add_edge(0, 4);
+  g.add_edge(2, 0);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(ProcessId{0}, ProcessId{2}));
+  EXPECT_EQ(edges[1], std::make_pair(ProcessId{0}, ProcessId{4}));
+  EXPECT_EQ(edges[2], std::make_pair(ProcessId{1}, ProcessId{3}));
+}
+
+TEST(SimpleGraphTest, FromEdgesRoundTrip) {
+  const auto g = SimpleGraph::from_edges(6, {{0, 1}, {2, 5}, {1, 4}});
+  EXPECT_EQ(SimpleGraph::from_edges(6, g.edges()), g);
+}
+
+TEST(SimpleGraphTest, SubgraphRelation) {
+  const auto g = SimpleGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto sub = SimpleGraph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto other = SimpleGraph::from_edges(4, {{0, 3}});
+  EXPECT_TRUE(sub.is_subgraph_of(g));
+  EXPECT_TRUE(g.is_subgraph_of(g));
+  EXPECT_FALSE(g.is_subgraph_of(sub));
+  EXPECT_FALSE(other.is_subgraph_of(g));
+  // Different node counts are never subgraphs.
+  EXPECT_FALSE(SimpleGraph(3).is_subgraph_of(g));
+}
+
+TEST(SimpleGraphTest, AnyEdgeWithin) {
+  const auto g = SimpleGraph::from_edges(5, {{1, 3}, {2, 4}});
+  const auto [u, v] = g.any_edge_within(ProcessSet{1, 2, 3});
+  EXPECT_EQ(u, 1u);
+  EXPECT_EQ(v, 3u);
+  const auto [x, y] = g.any_edge_within(ProcessSet{0, 1, 2});
+  EXPECT_EQ(x, kNoProcess);
+  EXPECT_EQ(y, kNoProcess);
+}
+
+}  // namespace
+}  // namespace qsel::graph

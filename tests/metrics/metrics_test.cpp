@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/histogram.hpp"
+#include "metrics/message_stats.hpp"
+#include "metrics/table.hpp"
+
+namespace qsel::metrics {
+namespace {
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 5.0);
+  EXPECT_EQ(h.mean(), 3.0);
+  EXPECT_EQ(h.median(), 3.0);
+  EXPECT_EQ(h.quantile(0.0), 1.0);
+  EXPECT_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(HistogramTest, RecordAfterQueryKeepsOrderCorrect) {
+  Histogram h;
+  h.record(10.0);
+  EXPECT_EQ(h.median(), 10.0);  // forces the sort
+  h.record(0.0);
+  h.record(20.0);
+  EXPECT_EQ(h.median(), 10.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 20.0);
+}
+
+TEST(HistogramTest, EmptyThrows) {
+  Histogram h;
+  EXPECT_THROW(h.mean(), std::invalid_argument);
+  EXPECT_THROW(h.quantile(0.5), std::invalid_argument);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MessageStatsTest, CountsByTypeLinkSender) {
+  MessageStats stats;
+  stats.record_send(0, 1, "a", 10);
+  stats.record_send(0, 1, "a", 10);
+  stats.record_send(1, 0, "b", 5);
+  EXPECT_EQ(stats.total_messages(), 3u);
+  EXPECT_EQ(stats.total_bytes(), 25u);
+  EXPECT_EQ(stats.by_type("a"), 2u);
+  EXPECT_EQ(stats.by_type("b"), 1u);
+  EXPECT_EQ(stats.by_type("missing"), 0u);
+  EXPECT_EQ(stats.by_link(0, 1), 2u);
+  EXPECT_EQ(stats.by_link(1, 0), 1u);
+  EXPECT_EQ(stats.by_link(0, 2), 0u);
+  EXPECT_EQ(stats.by_sender(0), 2u);
+  stats.reset();
+  EXPECT_EQ(stats.total_messages(), 0u);
+  EXPECT_EQ(stats.by_type("a"), 0u);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"id", "name"});
+  table.row(1, "long-value");
+  table.row(100, "x");
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| id  | name       |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| 1   | long-value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| 100 | x          |"), std::string::npos) << out;
+}
+
+TEST(TableTest, RowArityChecked) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsel::metrics

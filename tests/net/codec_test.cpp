@@ -1,0 +1,113 @@
+#include "net/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsel::net {
+namespace {
+
+TEST(CodecTest, ScalarRoundTrip) {
+  Encoder enc;
+  enc.u8(0xab);
+  enc.u32(0xdeadbeef);
+  enc.u64(0x0123456789abcdefULL);
+  enc.process_id(17);
+  enc.process_set(ProcessSet{0, 5, 63});
+
+  Decoder dec(enc.view());
+  EXPECT_EQ(dec.u8(), 0xab);
+  EXPECT_EQ(dec.u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.process_id(), 17u);
+  EXPECT_EQ(dec.process_set(), (ProcessSet{0, 5, 63}));
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, BytesAndStringRoundTrip) {
+  Encoder enc;
+  enc.str("hello");
+  enc.bytes(std::vector<std::uint8_t>{1, 2, 3});
+  enc.str("");
+
+  Decoder dec(enc.view());
+  EXPECT_EQ(dec.str(), "hello");
+  EXPECT_EQ(dec.bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(dec.str(), "");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, U64VectorRoundTrip) {
+  Encoder enc;
+  const std::vector<std::uint64_t> values{0, 1, ~std::uint64_t{0}, 42};
+  enc.u64_vector(values);
+  Decoder dec(enc.view());
+  EXPECT_EQ(dec.u64_vector(), values);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, DigestAndSignatureRoundTrip) {
+  const crypto::KeyRegistry keys(3, 1);
+  const crypto::Signer signer(keys, 2);
+  const std::vector<std::uint8_t> msg{9, 9, 9};
+  const crypto::Signature sig = signer.sign(msg);
+
+  Encoder enc;
+  enc.digest(sig.tag);
+  enc.signature(sig);
+  Decoder dec(enc.view());
+  EXPECT_EQ(dec.digest(), sig.tag);
+  EXPECT_EQ(dec.signature(), sig);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, TruncatedInputSetsError) {
+  Encoder enc;
+  enc.u64(7);
+  const auto bytes = std::move(enc).take();
+  Decoder dec(std::span(bytes.data(), 3));
+  dec.u64();
+  EXPECT_FALSE(dec.ok());
+  EXPECT_FALSE(dec.done());
+  // Subsequent reads stay failed and return zero values, never throw.
+  EXPECT_EQ(dec.u32(), 0u);
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(CodecTest, MalformedLengthPrefixRejected) {
+  // A Byzantine length prefix claiming 2^60 elements must not allocate.
+  Encoder enc;
+  enc.u64(std::uint64_t{1} << 60);
+  const auto bytes = std::move(enc).take();
+  Decoder dec(bytes);
+  EXPECT_TRUE(dec.u64_vector().empty());
+  EXPECT_FALSE(dec.ok());
+
+  Decoder dec2(bytes);
+  EXPECT_TRUE(dec2.bytes().empty());
+  EXPECT_FALSE(dec2.ok());
+}
+
+TEST(CodecTest, DoneDetectsTrailingGarbage) {
+  Encoder enc;
+  enc.u32(1);
+  enc.u8(0xff);
+  Decoder dec(enc.view());
+  dec.u32();
+  EXPECT_TRUE(dec.ok());
+  EXPECT_FALSE(dec.done());
+}
+
+TEST(CodecTest, EncodingIsCanonical) {
+  // Same logical content must produce identical bytes (signatures bind
+  // the canonical encoding).
+  Encoder a;
+  a.process_set(ProcessSet{1, 2});
+  a.u64(5);
+  Encoder b;
+  b.process_set(ProcessSet{2, 1});
+  b.u64(5);
+  EXPECT_EQ(std::vector(a.view().begin(), a.view().end()),
+            std::vector(b.view().begin(), b.view().end()));
+}
+
+}  // namespace
+}  // namespace qsel::net

@@ -1,0 +1,79 @@
+#include "pbft/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsel::pbft {
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+ClusterConfig base_config(ProcessId n, int f, std::uint64_t seed = 1) {
+  ClusterConfig config;
+  config.n = n;
+  config.f = f;
+  config.seed = seed;
+  config.network.base_latency = 1 * kMs;
+  config.network.jitter = 200'000;
+  config.request_timeout = 40 * kMs;
+  config.client_retry = 60 * kMs;
+  return config;
+}
+
+TEST(PbftClusterTest, NormalCaseCommits) {
+  Cluster cluster(base_config(4, 1));
+  cluster.start_clients(20);
+  cluster.simulator().run_until(3000 * kMs);
+  EXPECT_EQ(cluster.total_completed(), 20u);
+  EXPECT_EQ(cluster.total_view_changes(), 0u);
+  for (ProcessId id = 0; id < 4; ++id)
+    EXPECT_EQ(cluster.replica(id).requests_executed(), 20u);
+}
+
+// PBFT's defining property for E5: up to f backup crashes are absorbed
+// with no reconfiguration at all — at the price of all-to-all broadcast.
+TEST(PbftClusterTest, BackupCrashNeedsNoViewChange) {
+  Cluster cluster(base_config(4, 1));
+  cluster.start_clients(60);
+  cluster.simulator().run_until(40 * kMs);
+  cluster.network().crash(2);
+  cluster.simulator().run_until(5000 * kMs);
+  EXPECT_EQ(cluster.total_completed(), 60u);
+  EXPECT_EQ(cluster.total_view_changes(), 0u);
+}
+
+TEST(PbftClusterTest, PrimaryCrashTriggersViewChange) {
+  Cluster cluster(base_config(4, 1, 3));
+  cluster.start_clients(60);
+  cluster.simulator().run_until(40 * kMs);
+  cluster.network().crash(0);  // primary of view 1
+  cluster.simulator().run_until(8000 * kMs);
+  EXPECT_EQ(cluster.total_completed(), 60u);
+  EXPECT_GE(cluster.total_view_changes(), 1u);
+  for (ProcessId id : cluster.alive_replicas())
+    EXPECT_NE(cluster.replica(id).primary(), 0u);
+}
+
+TEST(PbftClusterTest, AllToAllMessageComplexity) {
+  Cluster cluster(base_config(7, 2));
+  cluster.start_clients(10);
+  cluster.simulator().run_until(3000 * kMs);
+  ASSERT_EQ(cluster.total_completed(), 10u);
+  const auto& stats = cluster.network().stats();
+  // Per request: 6 pre-prepares + 6*6 prepares + 7*6 commits.
+  EXPECT_EQ(stats.by_type("pbft.preprepare"), 10u * 6);
+  EXPECT_EQ(stats.by_type("pbft.prepare"), 10u * 36);
+  EXPECT_EQ(stats.by_type("pbft.commit"), 10u * 42);
+}
+
+TEST(PbftClusterTest, StateConsistentAcrossReplicas) {
+  Cluster cluster(base_config(4, 1, 7));
+  cluster.start_clients(30);
+  cluster.simulator().run_until(5000 * kMs);
+  ASSERT_EQ(cluster.total_completed(), 30u);
+  const auto digest = cluster.replica(0).store().state_digest();
+  for (ProcessId id = 1; id < 4; ++id)
+    EXPECT_EQ(cluster.replica(id).store().state_digest(), digest);
+}
+
+}  // namespace
+}  // namespace qsel::pbft

@@ -1,0 +1,105 @@
+// Order-independence of the suspicion gossip (Section VI-A): whatever
+// order the signed UPDATE messages are delivered and forwarded in, all
+// correct processes converge to the same matrix, epoch and quorum —
+// the eventually-consistent-data-structure argument, fuzzed.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "qs/quorum_selector.hpp"
+
+namespace qsel::qs {
+namespace {
+
+struct ShuffledNet {
+  ProcessId n;
+  crypto::KeyRegistry keys;
+  std::vector<crypto::Signer> signers;
+  std::vector<std::unique_ptr<QuorumSelector>> selectors;
+  /// Pending deliveries: (destination, message).
+  std::deque<std::pair<ProcessId, std::shared_ptr<const suspect::UpdateMessage>>>
+      pending;
+  Rng rng;
+
+  ShuffledNet(ProcessId n_in, int f, std::uint64_t seed)
+      : n(n_in), keys(n_in, 1), rng(seed) {
+    for (ProcessId i = 0; i < n; ++i) signers.emplace_back(keys, i);
+    for (ProcessId i = 0; i < n; ++i) {
+      selectors.push_back(std::make_unique<QuorumSelector>(
+          signers[i], QuorumSelectorConfig{n, f},
+          QuorumSelector::Hooks{[](ProcessSet) {},
+                                [this, i](sim::PayloadPtr m) {
+                                  auto update = std::dynamic_pointer_cast<
+                                      const suspect::UpdateMessage>(m);
+                                  ASSERT_NE(update, nullptr);
+                                  for (ProcessId to = 0; to < n; ++to)
+                                    if (to != i) pending.emplace_back(to, update);
+                                }}));
+    }
+  }
+
+  /// Delivers pending messages in random order until quiescence.
+  void drain_shuffled(std::size_t cap = 1u << 18) {
+    std::size_t delivered = 0;
+    while (!pending.empty() && delivered < cap) {
+      const std::size_t pick = rng.below(pending.size());
+      std::swap(pending[pick], pending.back());
+      auto [to, msg] = pending.back();
+      pending.pop_back();
+      selectors[to]->on_update(msg);
+      ++delivered;
+    }
+  }
+};
+
+TEST(GossipOrderTest, RandomDeliveryOrdersConverge) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ProcessId n = 7;
+    const int f = 2;
+    ShuffledNet net(n, f, seed);
+    // Random accurate suspicions: correct processes suspect members of a
+    // fixed faulty set only (accuracy), so no epoch change is needed and
+    // the final quorum is a pure function of the suspicion multiset.
+    Rng scenario(seed * 31 + 7);
+    const ProcessSet faulty{1, 4};
+    for (int event = 0; event < 6; ++event) {
+      const auto reporter = static_cast<ProcessId>(scenario.below(n));
+      if (faulty.contains(reporter)) continue;
+      ProcessSet suspects;
+      for (ProcessId s : faulty)
+        if (scenario.chance(0.6)) suspects.insert(s);
+      net.selectors[reporter]->on_suspected(suspects);
+      if (scenario.chance(0.5)) net.drain_shuffled(scenario.below(40));
+    }
+    net.drain_shuffled();
+    ASSERT_TRUE(net.pending.empty()) << "gossip did not quiesce";
+    // All correct processes agree on matrix, epoch and quorum.
+    const auto& reference = *net.selectors[0];
+    for (ProcessId i = 1; i < n; ++i) {
+      if (faulty.contains(i)) continue;
+      EXPECT_EQ(net.selectors[i]->matrix(), reference.matrix())
+          << "seed " << seed << " process " << i;
+      EXPECT_EQ(net.selectors[i]->epoch(), reference.epoch());
+      EXPECT_EQ(net.selectors[i]->quorum(), reference.quorum());
+    }
+  }
+}
+
+TEST(GossipOrderTest, TwoIdenticalScenariosDifferentOrdersSameQuorum) {
+  auto run = [](std::uint64_t shuffle_seed) {
+    ShuffledNet net(5, 2, shuffle_seed);
+    net.selectors[0]->on_suspected(ProcessSet{3});
+    net.drain_shuffled(10);  // partial delivery
+    net.selectors[2]->on_suspected(ProcessSet{3, 4});
+    net.drain_shuffled();
+    return net.selectors[1]->quorum();
+  };
+  const ProcessSet a = run(111);
+  const ProcessSet b = run(999);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace qsel::qs

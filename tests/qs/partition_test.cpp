@@ -1,0 +1,78 @@
+// Network partitions against Quorum Selection: during a partition the
+// sides suspect each other (accuracy is violated — that is expected and
+// allowed before "eventually"); after healing, the epoch mechanism clears
+// the stale mutual suspicions and the cluster re-converges to a single
+// agreed quorum with no suspicions inside it.
+#include <gtest/gtest.h>
+
+#include "runtime/quorum_cluster.hpp"
+
+namespace qsel::runtime {
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+QuorumClusterConfig config_for(ProcessId n, int f, std::uint64_t seed) {
+  QuorumClusterConfig config;
+  config.n = n;
+  config.f = f;
+  config.seed = seed;
+  config.network.base_latency = 1 * kMs;
+  config.network.jitter = 200'000;
+  config.heartbeat_period = 5 * kMs;
+  config.fd.initial_timeout = 12 * kMs;
+  return config;
+}
+
+TEST(PartitionTest, HealedPartitionReconverges) {
+  QuorumCluster cluster(config_for(7, 2, 31));
+  cluster.start();
+  cluster.simulator().run_until(100 * kMs);
+
+  cluster.network().partition(ProcessSet{0, 1, 2, 3}, ProcessSet{4, 5, 6});
+  cluster.simulator().run_until(400 * kMs);
+  // Cross-partition suspicions exist during the cut.
+  bool cross_suspicion = false;
+  for (ProcessId id : ProcessSet{0, 1, 2, 3})
+    cross_suspicion |= cluster.process(id)
+                           .failure_detector()
+                           .suspected()
+                           .intersects(ProcessSet{4, 5, 6});
+  EXPECT_TRUE(cross_suspicion);
+
+  cluster.network().heal_partition();
+  cluster.simulator().run_until(5000 * kMs);
+
+  const auto quorum = cluster.agreed_quorum();
+  ASSERT_TRUE(quorum.has_value()) << "no re-convergence after healing";
+  EXPECT_EQ(quorum->size(), 5);
+  for (ProcessId id : cluster.correct()) {
+    if (!quorum->contains(id)) continue;
+    EXPECT_FALSE(cluster.process(id)
+                     .failure_detector()
+                     .suspected()
+                     .intersects(*quorum))
+        << "residual suspicion inside the healed quorum at p" << id;
+  }
+  // The stale partition-era suspicions forced at least one epoch advance.
+  EXPECT_GT(cluster.process(0).selector().epoch(), 1u);
+}
+
+TEST(PartitionTest, StableAfterReconvergence) {
+  QuorumCluster cluster(config_for(5, 2, 33));
+  cluster.start();
+  cluster.simulator().run_until(100 * kMs);
+  cluster.network().partition(ProcessSet{0, 1, 2}, ProcessSet{3, 4});
+  cluster.simulator().run_until(300 * kMs);
+  cluster.network().heal_partition();
+  cluster.simulator().run_until(4000 * kMs);
+  const std::uint64_t issued = cluster.total_quorums_issued();
+  const auto quorum = cluster.agreed_quorum();
+  ASSERT_TRUE(quorum.has_value());
+  cluster.simulator().run_until(8000 * kMs);
+  EXPECT_EQ(cluster.total_quorums_issued(), issued) << "still churning";
+  EXPECT_EQ(cluster.agreed_quorum(), quorum);
+}
+
+}  // namespace
+}  // namespace qsel::runtime

@@ -1,0 +1,259 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace qsel::sim {
+namespace {
+
+struct TestPayload final : Payload {
+  explicit TestPayload(int v) : value(v) {}
+  int value;
+  std::string_view type_tag() const override { return "test"; }
+  std::size_t wire_size() const override { return 10; }
+};
+
+struct Recorder final : Actor {
+  struct Entry {
+    ProcessId from;
+    int value;
+    SimTime at;
+  };
+  explicit Recorder(Simulator& s) : sim(&s) {}
+  Simulator* sim;
+  std::vector<Entry> received;
+  void on_message(ProcessId from, const PayloadPtr& message) override {
+    const auto* p = dynamic_cast<const TestPayload*>(message.get());
+    ASSERT_NE(p, nullptr);
+    received.push_back({from, p->value, sim->now()});
+  }
+};
+
+NetworkConfig fixed_latency(SimDuration latency) {
+  NetworkConfig config;
+  config.base_latency = latency;
+  config.jitter = 0;
+  return config;
+}
+
+TEST(NetworkTest, DeliversWithConfiguredLatency) {
+  Simulator sim;
+  Network net(sim, 2, fixed_latency(1000), 1);
+  Recorder a(sim);
+  Recorder b(sim);
+  net.attach(0, a);
+  net.attach(1, b);
+  net.send(0, 1, std::make_shared<TestPayload>(42));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].from, 0u);
+  EXPECT_EQ(b.received[0].value, 42);
+  EXPECT_EQ(b.received[0].at, 1000u);
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(NetworkTest, JitterBoundedByLatencyBound) {
+  Simulator sim;
+  NetworkConfig config;
+  config.base_latency = 1000;
+  config.jitter = 500;
+  Network net(sim, 2, config, 7);
+  Recorder b(sim);
+  Recorder a(sim);
+  net.attach(0, a);
+  net.attach(1, b);
+  for (int i = 0; i < 200; ++i)
+    net.send(0, 1, std::make_shared<TestPayload>(i));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 200u);
+  for (const auto& entry : b.received) {
+    EXPECT_GE(entry.at, 1000u);
+    EXPECT_LE(entry.at, net.latency_bound());
+  }
+}
+
+TEST(NetworkTest, BroadcastReachesTargetsIncludingSelf) {
+  Simulator sim;
+  Network net(sim, 3, fixed_latency(10), 1);
+  Recorder actors[3] = {Recorder(sim), Recorder(sim), Recorder(sim)};
+  for (ProcessId i = 0; i < 3; ++i) net.attach(i, actors[i]);
+  net.broadcast(0, ProcessSet::full(3), std::make_shared<TestPayload>(1));
+  sim.run();
+  EXPECT_EQ(actors[0].received.size(), 1u);  // self-delivery
+  EXPECT_EQ(actors[0].received[0].at, 0u);   // local, same tick
+  EXPECT_EQ(actors[1].received.size(), 1u);
+  EXPECT_EQ(actors[2].received.size(), 1u);
+}
+
+TEST(NetworkTest, CrashedProcessNeitherSendsNorReceives) {
+  Simulator sim;
+  Network net(sim, 2, fixed_latency(10), 1);
+  Recorder a(sim);
+  Recorder b(sim);
+  net.attach(0, a);
+  net.attach(1, b);
+  net.send(0, 1, std::make_shared<TestPayload>(1));  // in flight
+  net.crash(1);
+  net.send(1, 0, std::make_shared<TestPayload>(2));  // crashed sender
+  sim.run();
+  EXPECT_TRUE(b.received.empty());  // crashed before delivery
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(net.is_crashed(1));
+}
+
+TEST(NetworkTest, DisabledLinkDropsDirectionally) {
+  Simulator sim;
+  Network net(sim, 2, fixed_latency(10), 1);
+  Recorder a(sim);
+  Recorder b(sim);
+  net.attach(0, a);
+  net.attach(1, b);
+  net.set_link_enabled(0, 1, false);
+  EXPECT_FALSE(net.link_enabled(0, 1));
+  EXPECT_TRUE(net.link_enabled(1, 0));
+  net.send(0, 1, std::make_shared<TestPayload>(1));
+  net.send(1, 0, std::make_shared<TestPayload>(2));
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].value, 2);
+}
+
+TEST(NetworkTest, ExtraDelayModelsTimingFailure) {
+  Simulator sim;
+  Network net(sim, 2, fixed_latency(10), 1);
+  Recorder b(sim);
+  net.attach(1, b);
+  net.set_link_extra_delay(0, 1, 990);
+  net.send(0, 1, std::make_shared<TestPayload>(1));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].at, 1000u);
+}
+
+TEST(NetworkTest, PartitionAndHeal) {
+  Simulator sim;
+  Network net(sim, 4, fixed_latency(10), 1);
+  Recorder actors[4] = {Recorder(sim), Recorder(sim), Recorder(sim),
+                        Recorder(sim)};
+  for (ProcessId i = 0; i < 4; ++i) net.attach(i, actors[i]);
+  net.partition(ProcessSet{0, 1}, ProcessSet{2, 3});
+  net.send(0, 2, std::make_shared<TestPayload>(1));
+  net.send(3, 1, std::make_shared<TestPayload>(2));
+  net.send(0, 1, std::make_shared<TestPayload>(3));  // same side: flows
+  sim.run();
+  EXPECT_TRUE(actors[2].received.empty());
+  EXPECT_TRUE(actors[1].received.size() == 1 &&
+              actors[1].received[0].value == 3);
+  net.heal_partition();
+  net.send(0, 2, std::make_shared<TestPayload>(4));
+  sim.run();
+  ASSERT_EQ(actors[2].received.size(), 1u);
+  EXPECT_EQ(actors[2].received[0].value, 4);
+}
+
+TEST(NetworkTest, FifoLinksPreserveOrderDespiteJitter) {
+  Simulator sim;
+  NetworkConfig config;
+  config.base_latency = 100;
+  config.jitter = 1000;  // jitter an order of magnitude above base
+  config.fifo_links = true;
+  Network net(sim, 2, config, 3);
+  Recorder b(sim);
+  net.attach(1, b);
+  for (int i = 0; i < 100; ++i)
+    net.send(0, 1, std::make_shared<TestPayload>(i));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(b.received[static_cast<std::size_t>(i)].value, i);
+}
+
+TEST(NetworkTest, WithoutFifoJitterCanReorder) {
+  Simulator sim;
+  NetworkConfig config;
+  config.base_latency = 100;
+  config.jitter = 1000;
+  config.fifo_links = false;
+  Network net(sim, 2, config, 3);
+  Recorder b(sim);
+  net.attach(1, b);
+  for (int i = 0; i < 200; ++i)
+    net.send(0, 1, std::make_shared<TestPayload>(i));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 200u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < b.received.size(); ++i)
+    if (b.received[i].value < b.received[i - 1].value) reordered = true;
+  EXPECT_TRUE(reordered) << "with huge jitter some reorder is expected";
+}
+
+TEST(NetworkTest, PreGstExtraDelayOnlyBeforeGst) {
+  Simulator sim;
+  NetworkConfig config;
+  config.base_latency = 100;
+  config.jitter = 0;
+  config.pre_gst_extra = 10000;
+  config.gst = 50000;
+  Network net(sim, 2, config, 9);
+  Recorder b(sim);
+  net.attach(1, b);
+  net.send(0, 1, std::make_shared<TestPayload>(0));  // pre-GST
+  sim.run();
+  sim.run_until(60000);
+  net.send(0, 1, std::make_shared<TestPayload>(1));  // post-GST
+  sim.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  // Post-GST delivery takes exactly base latency.
+  EXPECT_EQ(b.received[1].at, 60000u + 100u);
+}
+
+TEST(NetworkTest, StatsCountMessagesAndBytes) {
+  Simulator sim;
+  Network net(sim, 3, fixed_latency(10), 1);
+  Recorder b(sim);
+  net.attach(1, b);
+  net.send(0, 1, std::make_shared<TestPayload>(1));
+  net.send(0, 1, std::make_shared<TestPayload>(2));
+  net.send(2, 1, std::make_shared<TestPayload>(3));
+  // Drops and crashes still count as *sent*.
+  net.set_link_enabled(0, 1, false);
+  net.send(0, 1, std::make_shared<TestPayload>(4));
+  sim.run();
+  EXPECT_EQ(net.stats().total_messages(), 4u);
+  EXPECT_EQ(net.stats().total_bytes(), 40u);
+  EXPECT_EQ(net.stats().by_type("test"), 4u);
+  EXPECT_EQ(net.stats().by_link(0, 1), 3u);
+  EXPECT_EQ(net.stats().by_sender(2), 1u);
+  EXPECT_EQ(b.received.size(), 3u);
+}
+
+TEST(NetworkTest, SendHookObservesDeliveryTime) {
+  Simulator sim;
+  Network net(sim, 2, fixed_latency(250), 1);
+  Recorder b(sim);
+  net.attach(1, b);
+  SimTime hook_delivery = 0;
+  net.set_send_hook([&](ProcessId from, ProcessId to, const PayloadPtr&,
+                        SimTime at) {
+    EXPECT_EQ(from, 0u);
+    EXPECT_EQ(to, 1u);
+    hook_delivery = at;
+  });
+  net.send(0, 1, std::make_shared<TestPayload>(1));
+  sim.run();
+  EXPECT_EQ(hook_delivery, 250u);
+}
+
+TEST(NetworkTest, MessageToUnattachedProcessIsDropped) {
+  Simulator sim;
+  Network net(sim, 2, fixed_latency(10), 1);
+  Recorder a(sim);
+  net.attach(0, a);
+  net.send(0, 1, std::make_shared<TestPayload>(1));
+  EXPECT_NO_THROW(sim.run());
+}
+
+}  // namespace
+}  // namespace qsel::sim

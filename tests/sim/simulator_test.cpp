@@ -1,0 +1,139 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace qsel::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZeroIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulatorTest, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  sim.schedule_at(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EventsMayScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.schedule_after(4, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 5u);
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(100);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15u);
+  sim.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.run_until(50);
+  int fired = 0;
+  sim.schedule_after(10, [&] { ++fired; });
+  sim.run_for(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 60u);
+}
+
+TEST(SimulatorTest, MaxEventsCapStopsRunaway) {
+  Simulator sim;
+  std::uint64_t fired = 0;
+  // A self-perpetuating event chain.
+  std::function<void()> loop = [&] {
+    ++fired;
+    sim.schedule_after(1, loop);
+  };
+  sim.schedule_at(0, loop);
+  const std::uint64_t processed = sim.run(1000);
+  EXPECT_EQ(processed, 1000u);
+  EXPECT_EQ(fired, 1000u);
+}
+
+TEST(SimulatorTest, CancelledTimerDoesNotFire) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle timer = sim.schedule_timer(10, [&] { ++fired; });
+  EXPECT_TRUE(timer.active());
+  timer.cancel();
+  EXPECT_FALSE(timer.active());
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, TimerFiresWhenNotCancelled) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_timer(10, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsHarmless) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle timer = sim.schedule_timer(10, [&] { ++fired; });
+  sim.run();
+  timer.cancel();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, EventsProcessedCountsExecutedOnly) {
+  Simulator sim;
+  TimerHandle t = sim.schedule_timer(1, [] {});
+  sim.schedule_at(2, [] {});
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+}  // namespace
+}  // namespace qsel::sim

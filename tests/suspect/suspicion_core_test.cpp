@@ -1,0 +1,153 @@
+#include "suspect/suspicion_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace qsel::suspect {
+namespace {
+
+struct CoreFixture {
+  crypto::KeyRegistry keys{4, 1};
+  crypto::Signer signer;
+  std::vector<sim::PayloadPtr> broadcasts;
+  int quorum_updates = 0;
+  SuspicionCore core;
+
+  explicit CoreFixture(ProcessId self = 0)
+      : signer(keys, self),
+        core(signer, 4,
+             SuspicionCore::Hooks{
+                 [this](sim::PayloadPtr m) { broadcasts.push_back(m); },
+                 [this] { ++quorum_updates; }}) {}
+
+  std::shared_ptr<const UpdateMessage> last_update() const {
+    return std::dynamic_pointer_cast<const UpdateMessage>(broadcasts.back());
+  }
+};
+
+TEST(SuspicionCoreTest, InitialState) {
+  CoreFixture fx;
+  EXPECT_EQ(fx.core.epoch(), 1u);
+  EXPECT_TRUE(fx.core.suspecting().empty());
+  EXPECT_EQ(fx.core.current_graph().edge_count(), 0);
+}
+
+TEST(SuspicionCoreTest, OnSuspectedStampsBroadcastsAndUpdates) {
+  CoreFixture fx;
+  fx.core.on_suspected(ProcessSet{2});
+  EXPECT_EQ(fx.core.matrix().get(0, 2), 1u);
+  EXPECT_EQ(fx.core.suspecting(), ProcessSet{2});
+  ASSERT_EQ(fx.broadcasts.size(), 1u);
+  const auto update = fx.last_update();
+  ASSERT_NE(update, nullptr);
+  EXPECT_EQ(update->origin, 0u);
+  EXPECT_EQ(update->row[2], 1u);
+  EXPECT_EQ(fx.quorum_updates, 1);
+  EXPECT_TRUE(fx.core.current_graph().has_edge(0, 2));
+}
+
+TEST(SuspicionCoreTest, SelfSuspicionRejected) {
+  CoreFixture fx;
+  EXPECT_THROW(fx.core.on_suspected(ProcessSet{0}), std::invalid_argument);
+}
+
+TEST(SuspicionCoreTest, ValidUpdateMergesForwardsAndEvaluates) {
+  CoreFixture receiver(0);
+  CoreFixture sender(1);
+  sender.core.on_suspected(ProcessSet{3});
+  const auto update = sender.last_update();
+  EXPECT_TRUE(receiver.core.on_update(update));
+  EXPECT_EQ(receiver.core.matrix().get(1, 3), 1u);
+  ASSERT_EQ(receiver.broadcasts.size(), 1u);  // forwarded
+  EXPECT_EQ(receiver.broadcasts[0].get(), update.get());
+  EXPECT_EQ(receiver.quorum_updates, 1);
+  EXPECT_EQ(receiver.core.updates_forwarded(), 1u);
+}
+
+TEST(SuspicionCoreTest, DuplicateUpdateNotForwarded) {
+  CoreFixture receiver(0);
+  CoreFixture sender(1);
+  sender.core.on_suspected(ProcessSet{3});
+  const auto update = sender.last_update();
+  EXPECT_TRUE(receiver.core.on_update(update));
+  EXPECT_FALSE(receiver.core.on_update(update));  // no change
+  EXPECT_EQ(receiver.broadcasts.size(), 1u);
+  EXPECT_EQ(receiver.quorum_updates, 1);
+}
+
+TEST(SuspicionCoreTest, BadSignatureRejected) {
+  CoreFixture receiver(0);
+  CoreFixture sender(1);
+  sender.core.on_suspected(ProcessSet{3});
+  auto tampered = std::make_shared<UpdateMessage>(*sender.last_update());
+  tampered->row[2] = 7;  // inject an extra suspicion
+  EXPECT_FALSE(receiver.core.on_update(tampered));
+  EXPECT_EQ(receiver.core.matrix().get(1, 2), 0u);
+  EXPECT_EQ(receiver.core.updates_rejected(), 1u);
+  EXPECT_TRUE(receiver.broadcasts.empty());
+}
+
+TEST(SuspicionCoreTest, AdvanceEpochRestampsCurrentSuspicions) {
+  CoreFixture fx;
+  fx.core.on_suspected(ProcessSet{1, 2});
+  fx.core.advance_epoch(2);
+  EXPECT_EQ(fx.core.epoch(), 2u);
+  EXPECT_EQ(fx.core.matrix().get(0, 1), 2u);
+  EXPECT_EQ(fx.core.matrix().get(0, 2), 2u);
+  EXPECT_EQ(fx.core.epoch_advances(), 1u);
+  // The re-stamp is broadcast (Line 29 -> Line 15).
+  EXPECT_EQ(fx.broadcasts.size(), 2u);
+  EXPECT_THROW(fx.core.advance_epoch(2), std::invalid_argument);
+}
+
+TEST(SuspicionCoreTest, CancelledSuspicionStampSurvivesInEpoch) {
+  CoreFixture fx;
+  fx.core.on_suspected(ProcessSet{2});
+  fx.core.on_suspected(ProcessSet{});  // suspicion cancelled
+  EXPECT_TRUE(fx.core.suspecting().empty());
+  // "Previously raised and cancelled" suspicions still count (Section I):
+  EXPECT_TRUE(fx.core.current_graph().has_edge(0, 2));
+  // ...until the epoch moves past them.
+  fx.core.advance_epoch(2);
+  EXPECT_FALSE(fx.core.current_graph().has_edge(0, 2));
+}
+
+TEST(SuspicionCoreTest, NextEpochCandidateSkipsIdenticalGraphs) {
+  CoreFixture receiver(0);
+  CoreFixture sender(1);
+  // Sender's row claims a suspicion stamped far in the future (Byzantine
+  // far-future stamp).
+  sender.core.on_suspected(ProcessSet{2});
+  auto far = std::make_shared<UpdateMessage>(*sender.last_update());
+  far->row[3] = 1000;
+  far->sig = crypto::Signer(receiver.keys, 1).sign(far->signed_bytes());
+  EXPECT_TRUE(receiver.core.on_update(far));
+  // Live stamps outside the own row: 1 (from row[2]) and 1000 (row[3]).
+  EXPECT_EQ(receiver.core.next_epoch_candidate(), 2u);
+  receiver.core.advance_epoch(2);
+  // Now only the stamp at 1000 is live: jump straight past it.
+  EXPECT_EQ(receiver.core.next_epoch_candidate(), 1001u);
+}
+
+TEST(SuspicionCoreTest, EquivocatedUpdatesConvergeViaMaxMerge) {
+  // A faulty process sends different rows to different peers; forwarding
+  // makes correct peers converge to the join of both rows.
+  CoreFixture a(0);
+  CoreFixture b(2);
+  crypto::Signer faulty(a.keys, 1);
+  const auto to_a = UpdateMessage::make(faulty, {5, 0, 0, 0});
+  const auto to_b = UpdateMessage::make(faulty, {0, 0, 0, 5});
+  a.core.on_update(to_a);
+  b.core.on_update(to_b);
+  // Forwarding crosses over.
+  a.core.on_update(to_b);
+  b.core.on_update(to_a);
+  EXPECT_EQ(a.core.matrix(), b.core.matrix());
+  EXPECT_EQ(a.core.matrix().get(1, 0), 5u);
+  EXPECT_EQ(a.core.matrix().get(1, 3), 5u);
+}
+
+}  // namespace
+}  // namespace qsel::suspect

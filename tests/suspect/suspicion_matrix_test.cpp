@@ -1,0 +1,106 @@
+#include "suspect/suspicion_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/independent_set.hpp"
+
+namespace qsel::suspect {
+namespace {
+
+TEST(SuspicionMatrixTest, InitiallyZero) {
+  const SuspicionMatrix m(4);
+  for (ProcessId l = 0; l < 4; ++l)
+    for (ProcessId k = 0; k < 4; ++k) EXPECT_EQ(m.get(l, k), 0u);
+}
+
+TEST(SuspicionMatrixTest, StampIsMonotone) {
+  SuspicionMatrix m(3);
+  m.stamp(0, 1, 5);
+  EXPECT_EQ(m.get(0, 1), 5u);
+  m.stamp(0, 1, 3);  // lower stamp ignored
+  EXPECT_EQ(m.get(0, 1), 5u);
+  m.stamp(0, 1, 8);
+  EXPECT_EQ(m.get(0, 1), 8u);
+  EXPECT_EQ(m.get(1, 0), 0u);  // directed
+}
+
+TEST(SuspicionMatrixTest, MergeRowTakesMaxAndReportsChange) {
+  SuspicionMatrix m(3);
+  m.stamp(1, 0, 4);
+  const std::vector<Epoch> row{2, 0, 7};
+  EXPECT_TRUE(m.merge_row(1, row));
+  EXPECT_EQ(m.get(1, 0), 4u);  // kept the larger local value
+  EXPECT_EQ(m.get(1, 2), 7u);
+  EXPECT_FALSE(m.merge_row(1, row));  // idempotent
+}
+
+// CRDT property: merge order does not matter (the convergence argument of
+// Section VI-A, including equivocated updates).
+TEST(SuspicionMatrixTest, MergeIsCommutativeAndAssociative) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ProcessId n = 5;
+    std::vector<std::vector<Epoch>> rows;
+    for (int i = 0; i < 6; ++i) {
+      std::vector<Epoch> row(n);
+      for (auto& cell : row) cell = rng.below(4);
+      rows.push_back(std::move(row));
+    }
+    SuspicionMatrix forward(n);
+    SuspicionMatrix backward(n);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      forward.merge_row(static_cast<ProcessId>(i % n), rows[i]);
+      const std::size_t j = rows.size() - 1 - i;
+      backward.merge_row(static_cast<ProcessId>(j % n), rows[j]);
+    }
+    EXPECT_EQ(forward, backward);
+  }
+}
+
+TEST(SuspicionMatrixTest, SuspectGraphIsSymmetricInEitherDirection) {
+  SuspicionMatrix m(4);
+  m.stamp(0, 2, 3);  // only 0 suspects 2
+  const auto g = m.build_suspect_graph(3);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.edge_count(), 1);
+}
+
+TEST(SuspicionMatrixTest, SuspectGraphFiltersByEpoch) {
+  SuspicionMatrix m(4);
+  m.stamp(0, 1, 2);
+  m.stamp(2, 3, 5);
+  EXPECT_EQ(m.build_suspect_graph(2).edge_count(), 2);
+  EXPECT_EQ(m.build_suspect_graph(3).edge_count(), 1);
+  EXPECT_TRUE(m.build_suspect_graph(3).has_edge(2, 3));
+  EXPECT_EQ(m.build_suspect_graph(6).edge_count(), 0);
+}
+
+// The Figure 4 scenario end to end on the matrix.
+TEST(SuspicionMatrixTest, Figure4EpochProgression) {
+  SuspicionMatrix m(5);
+  m.stamp(2, 3, 2);  // p3 suspected p4 in epoch 2
+  m.stamp(0, 1, 3);  // p1-p2 in epoch 3
+  m.stamp(0, 4, 3);  // p1-p5
+  m.stamp(1, 4, 3);  // p2-p5
+  EXPECT_FALSE(graph::has_independent_set(m.build_suspect_graph(2), 3));
+  const auto g3 = m.build_suspect_graph(3);
+  EXPECT_TRUE(graph::has_independent_set(g3, 3));
+  EXPECT_EQ(graph::first_independent_set(g3, 3), (ProcessSet{0, 2, 3}));
+}
+
+TEST(SuspicionMatrixTest, MinLiveStamp) {
+  SuspicionMatrix m(4);
+  EXPECT_EQ(m.min_live_stamp(1), 0u);  // empty graph
+  m.stamp(0, 1, 3);
+  m.stamp(1, 2, 7);
+  EXPECT_EQ(m.min_live_stamp(1), 3u);
+  EXPECT_EQ(m.min_live_stamp(4), 7u);
+  EXPECT_EQ(m.min_live_stamp(8), 0u);
+}
+
+}  // namespace
+}  // namespace qsel::suspect

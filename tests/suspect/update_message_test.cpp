@@ -1,0 +1,60 @@
+#include "suspect/update_message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsel::suspect {
+namespace {
+
+TEST(UpdateMessageTest, MakeAndVerify) {
+  const crypto::KeyRegistry keys(4, 1);
+  const crypto::Signer signer(keys, 2);
+  const auto msg = UpdateMessage::make(signer, {0, 1, 0, 3});
+  EXPECT_EQ(msg->origin, 2u);
+  EXPECT_EQ(msg->type_tag(), "suspect.update");
+  const crypto::Signer verifier(keys, 0);
+  EXPECT_TRUE(msg->verify(verifier, 4));
+}
+
+TEST(UpdateMessageTest, TamperedRowFails) {
+  const crypto::KeyRegistry keys(4, 1);
+  const crypto::Signer signer(keys, 2);
+  auto msg = UpdateMessage::make(signer, {0, 1, 0, 3});
+  auto tampered = std::make_shared<UpdateMessage>(*msg);
+  tampered->row[0] = 99;
+  EXPECT_FALSE(tampered->verify(signer, 4));
+}
+
+TEST(UpdateMessageTest, ForgedOriginFails) {
+  const crypto::KeyRegistry keys(4, 1);
+  const crypto::Signer byzantine(keys, 3);
+  auto msg = UpdateMessage::make(byzantine, {0, 0, 0, 1});
+  auto forged = std::make_shared<UpdateMessage>(*msg);
+  forged->origin = 1;  // claim to be process 1
+  EXPECT_FALSE(forged->verify(byzantine, 4));
+}
+
+TEST(UpdateMessageTest, WrongRowWidthRejected) {
+  const crypto::KeyRegistry keys(4, 1);
+  const crypto::Signer signer(keys, 0);
+  const auto short_row = UpdateMessage::make(signer, {1, 2});
+  EXPECT_FALSE(short_row->verify(signer, 4));
+  const auto long_row = UpdateMessage::make(signer, {1, 2, 3, 4, 5});
+  EXPECT_FALSE(long_row->verify(signer, 4));
+}
+
+TEST(UpdateMessageTest, OutOfRangeOriginRejected) {
+  const crypto::KeyRegistry keys(8, 1);
+  const crypto::Signer signer(keys, 7);
+  const auto msg = UpdateMessage::make(signer, {0, 0, 0, 0});
+  EXPECT_FALSE(msg->verify(signer, 4));  // origin 7 >= n=4
+}
+
+TEST(UpdateMessageTest, WireSizeTracksRow) {
+  const crypto::KeyRegistry keys(4, 1);
+  const crypto::Signer signer(keys, 0);
+  const auto msg = UpdateMessage::make(signer, {0, 0, 0, 0});
+  EXPECT_EQ(msg->wire_size(), 4u + 32u + 36u);
+}
+
+}  // namespace
+}  // namespace qsel::suspect

@@ -1,0 +1,60 @@
+#include "xpaxos/view_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qsel::xpaxos {
+namespace {
+
+TEST(ViewMapTest, FirstViewUsesPrefixQuorum) {
+  const ViewMap map(4, 1);
+  EXPECT_EQ(map.quorum_count(), 4u);  // C(4,3)
+  EXPECT_EQ(map.quorum_of(1), (ProcessSet{0, 1, 2}));
+  EXPECT_EQ(map.leader_of(1), 0u);
+}
+
+TEST(ViewMapTest, EnumeratesAllQuorumsBeforeCycling) {
+  const ViewMap map(5, 2);  // C(5,3) = 10 quorums
+  EXPECT_EQ(map.quorum_count(), 10u);
+  std::set<std::uint64_t> seen;
+  for (ViewId v = 1; v <= 10; ++v) {
+    const ProcessSet q = map.quorum_of(v);
+    EXPECT_EQ(q.size(), 3);
+    EXPECT_TRUE(seen.insert(q.mask()).second) << "view " << v;
+  }
+  // Round robin after exhaustion (Section V-B).
+  EXPECT_EQ(map.quorum_of(11), map.quorum_of(1));
+  EXPECT_EQ(map.quorum_of(25), map.quorum_of(5));
+}
+
+TEST(ViewMapTest, LeaderIsLowestIdInQuorum) {
+  const ViewMap map(5, 2);
+  for (ViewId v = 1; v <= 10; ++v)
+    EXPECT_EQ(map.leader_of(v), map.quorum_of(v).min());
+}
+
+TEST(ViewMapTest, FirstViewFromFindsExactQuorum) {
+  const ViewMap map(5, 2);
+  const ProcessSet target = map.quorum_of(7);
+  EXPECT_EQ(map.first_view_from(1, target), 7u);
+  EXPECT_EQ(map.first_view_from(7, target), 7u);
+  // Past it: next cycle.
+  EXPECT_EQ(map.first_view_from(8, target), 17u);
+  EXPECT_EQ(map.quorum_of(map.first_view_from(8, target)), target);
+}
+
+TEST(ViewMapTest, FirstViewFromIsMinimal) {
+  const ViewMap map(6, 2);
+  for (ViewId from = 1; from < 20; from += 3) {
+    const ProcessSet target = map.quorum_of(from + 5);
+    const ViewId found = map.first_view_from(from, target);
+    EXPECT_GE(found, from);
+    EXPECT_EQ(map.quorum_of(found), target);
+    for (ViewId v = from; v < found; ++v)
+      EXPECT_NE(map.quorum_of(v), target) << "missed earlier view " << v;
+  }
+}
+
+}  // namespace
+}  // namespace qsel::xpaxos

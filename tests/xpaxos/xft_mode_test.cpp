@@ -1,0 +1,92 @@
+// XPaxos in its native XFT setting: n = 2f + 1 replicas tolerating f
+// arbitrary faults without trusted hardware (Section I: such systems
+// "require replies from only n - f replicas", and quorum selection lets
+// them drop about 1/2 of the inter-replica messages).
+#include "xpaxos/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsel::xpaxos {
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+ClusterConfig xft_config(ProcessId n, int f, std::uint64_t seed = 1) {
+  ClusterConfig config;
+  config.n = n;
+  config.f = f;
+  config.policy = QuorumPolicy::kQuorumSelection;
+  config.seed = seed;
+  config.network.base_latency = 1 * kMs;
+  config.network.jitter = 200'000;
+  config.fd.initial_timeout = 10 * kMs;
+  config.view_change_retry = 40 * kMs;
+  config.client_retry = 60 * kMs;
+  return config;
+}
+
+TEST(XftModeTest, ThreeReplicasNormalCase) {
+  Cluster cluster(xft_config(3, 1));  // n = 2f+1, quorum of 2
+  cluster.start_clients(25);
+  cluster.simulator().run_until(4000 * kMs);
+  EXPECT_EQ(cluster.total_completed(), 25u);
+  EXPECT_EQ(cluster.total_view_changes(), 0u);
+  EXPECT_TRUE(cluster.histories_consistent());
+  // Only the 2-member quorum executes; the third replica idles.
+  EXPECT_EQ(cluster.replica(0).requests_executed(), 25u);
+  EXPECT_EQ(cluster.replica(1).requests_executed(), 25u);
+  EXPECT_EQ(cluster.replica(2).requests_executed(), 0u);
+}
+
+TEST(XftModeTest, CrashInTinyQuorumRecovered) {
+  Cluster cluster(xft_config(3, 1, 3));
+  cluster.start_clients(50);
+  cluster.simulator().run_until(40 * kMs);
+  cluster.network().crash(1);
+  cluster.simulator().run_until(8000 * kMs);
+  EXPECT_EQ(cluster.total_completed(), 50u);
+  EXPECT_TRUE(cluster.histories_consistent());
+  for (ProcessId id : cluster.alive_replicas())
+    EXPECT_FALSE(cluster.replica(id).active_quorum().contains(1));
+}
+
+TEST(XftModeTest, FiveReplicasTwoCrashes) {
+  Cluster cluster(xft_config(5, 2, 7));
+  cluster.start_clients(0);  // open-ended traffic keeps expectations alive
+  cluster.simulator().run_until(40 * kMs);
+  cluster.network().crash(0);
+  cluster.simulator().run_until(300 * kMs);
+  cluster.network().crash(2);
+  cluster.simulator().run_until(10000 * kMs);
+  const std::uint64_t mid = cluster.total_completed();
+  EXPECT_GT(mid, 0u);
+  EXPECT_TRUE(cluster.histories_consistent());
+  // With requests flowing, the active quorum excludes both crashed
+  // replicas (with an idle application a lapsed suspicion may legally let
+  // a silent process back in — no expectations, no suspicions).
+  const ProcessSet final_quorum =
+      cluster.replica(cluster.alive_replicas().min()).active_quorum();
+  EXPECT_FALSE(final_quorum.contains(0));
+  EXPECT_FALSE(final_quorum.contains(2));
+  // And progress continues.
+  cluster.simulator().run_until(12000 * kMs);
+  EXPECT_GT(cluster.total_completed(), mid);
+}
+
+// The ~1/2 message-reduction claim for n = 2f+1: quorum messages per
+// request are (q-1) prepares + q(q-1) commits = 1 + 2 = 3 at f = 1,
+// versus 2 + 6 = 8 for full-broadcast over all three replicas.
+TEST(XftModeTest, HalfTheMessagesVersusFullBroadcast) {
+  Cluster cluster(xft_config(3, 1, 9));
+  cluster.start_clients(40);
+  cluster.simulator().run_until(5000 * kMs);
+  ASSERT_EQ(cluster.total_completed(), 40u);
+  const auto& stats = cluster.network().stats();
+  EXPECT_EQ(stats.by_type("xpaxos.prepare"), 40u);         // leader -> 1
+  EXPECT_EQ(stats.by_type("xpaxos.commit"), 40u * 2);      // 2 * (q-1)
+  // Full broadcast over n = 3 would use 2 prepares + 6 commits per
+  // request; the active quorum runs at 3/8 of that.
+}
+
+}  // namespace
+}  // namespace qsel::xpaxos
