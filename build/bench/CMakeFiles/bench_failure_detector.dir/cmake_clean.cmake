@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_detector.dir/bench_failure_detector.cpp.o"
+  "CMakeFiles/bench_failure_detector.dir/bench_failure_detector.cpp.o.d"
+  "bench_failure_detector"
+  "bench_failure_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_follower_selection.dir/bench_follower_selection.cpp.o"
+  "CMakeFiles/bench_follower_selection.dir/bench_follower_selection.cpp.o.d"
+  "bench_follower_selection"
+  "bench_follower_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_follower_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

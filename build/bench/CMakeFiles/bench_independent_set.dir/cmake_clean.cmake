@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_independent_set.dir/bench_independent_set.cpp.o"
+  "CMakeFiles/bench_independent_set.dir/bench_independent_set.cpp.o.d"
+  "bench_independent_set"
+  "bench_independent_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_independent_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_message_reduction.cpp" "bench/CMakeFiles/bench_message_reduction.dir/bench_message_reduction.cpp.o" "gcc" "bench/CMakeFiles/bench_message_reduction.dir/bench_message_reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xpaxos/CMakeFiles/qsel_xpaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbft/CMakeFiles/qsel_pbft.dir/DependInfo.cmake"
+  "/root/repo/build/src/bchain/CMakeFiles/qsel_bchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qsel_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/qsel_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/qs/CMakeFiles/qsel_qs.dir/DependInfo.cmake"
+  "/root/repo/build/src/suspect/CMakeFiles/qsel_suspect.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qsel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/qsel_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/qsel_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/qsel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/qsel_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message_reduction.dir/bench_message_reduction.cpp.o"
+  "CMakeFiles/bench_message_reduction.dir/bench_message_reduction.cpp.o.d"
+  "bench_message_reduction"
+  "bench_message_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

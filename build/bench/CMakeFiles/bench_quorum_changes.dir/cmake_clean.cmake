@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quorum_changes.dir/bench_quorum_changes.cpp.o"
+  "CMakeFiles/bench_quorum_changes.dir/bench_quorum_changes.cpp.o.d"
+  "bench_quorum_changes"
+  "bench_quorum_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quorum_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xpaxos_enumeration.dir/bench_xpaxos_enumeration.cpp.o"
+  "CMakeFiles/bench_xpaxos_enumeration.dir/bench_xpaxos_enumeration.cpp.o.d"
+  "bench_xpaxos_enumeration"
+  "bench_xpaxos_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xpaxos_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/follower_selection_demo.dir/follower_selection_demo.cpp.o"
+  "CMakeFiles/follower_selection_demo.dir/follower_selection_demo.cpp.o.d"
+  "follower_selection_demo"
+  "follower_selection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/follower_selection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

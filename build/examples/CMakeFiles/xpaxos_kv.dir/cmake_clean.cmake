@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpaxos_kv.dir/xpaxos_kv.cpp.o"
+  "CMakeFiles/xpaxos_kv.dir/xpaxos_kv.cpp.o.d"
+  "xpaxos_kv"
+  "xpaxos_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpaxos_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("graph")
+subdirs("metrics")
+subdirs("sim")
+subdirs("net")
+subdirs("app")
+subdirs("smr")
+subdirs("fd")
+subdirs("suspect")
+subdirs("qs")
+subdirs("fs")
+subdirs("runtime")
+subdirs("xpaxos")
+subdirs("adversary")
+subdirs("pbft")
+subdirs("bchain")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_adversary.dir/follower_game.cpp.o"
+  "CMakeFiles/qsel_adversary.dir/follower_game.cpp.o.d"
+  "CMakeFiles/qsel_adversary.dir/quorum_game.cpp.o"
+  "CMakeFiles/qsel_adversary.dir/quorum_game.cpp.o.d"
+  "libqsel_adversary.a"
+  "libqsel_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_app.dir/kv_store.cpp.o"
+  "CMakeFiles/qsel_app.dir/kv_store.cpp.o.d"
+  "CMakeFiles/qsel_app.dir/workload.cpp.o"
+  "CMakeFiles/qsel_app.dir/workload.cpp.o.d"
+  "libqsel_app.a"
+  "libqsel_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_bchain.dir/cluster.cpp.o"
+  "CMakeFiles/qsel_bchain.dir/cluster.cpp.o.d"
+  "CMakeFiles/qsel_bchain.dir/messages.cpp.o"
+  "CMakeFiles/qsel_bchain.dir/messages.cpp.o.d"
+  "CMakeFiles/qsel_bchain.dir/qs_cluster.cpp.o"
+  "CMakeFiles/qsel_bchain.dir/qs_cluster.cpp.o.d"
+  "CMakeFiles/qsel_bchain.dir/qs_replica.cpp.o"
+  "CMakeFiles/qsel_bchain.dir/qs_replica.cpp.o.d"
+  "CMakeFiles/qsel_bchain.dir/replica.cpp.o"
+  "CMakeFiles/qsel_bchain.dir/replica.cpp.o.d"
+  "libqsel_bchain.a"
+  "libqsel_bchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_bchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

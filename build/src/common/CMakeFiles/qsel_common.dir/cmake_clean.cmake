@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_common.dir/combinatorics.cpp.o"
+  "CMakeFiles/qsel_common.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/qsel_common.dir/logging.cpp.o"
+  "CMakeFiles/qsel_common.dir/logging.cpp.o.d"
+  "CMakeFiles/qsel_common.dir/process_set.cpp.o"
+  "CMakeFiles/qsel_common.dir/process_set.cpp.o.d"
+  "CMakeFiles/qsel_common.dir/rng.cpp.o"
+  "CMakeFiles/qsel_common.dir/rng.cpp.o.d"
+  "libqsel_common.a"
+  "libqsel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

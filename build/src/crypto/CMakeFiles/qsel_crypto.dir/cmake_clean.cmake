@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/qsel_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/qsel_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/qsel_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/qsel_crypto.dir/signer.cpp.o"
+  "CMakeFiles/qsel_crypto.dir/signer.cpp.o.d"
+  "libqsel_crypto.a"
+  "libqsel_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_fd.dir/failure_detector.cpp.o"
+  "CMakeFiles/qsel_fd.dir/failure_detector.cpp.o.d"
+  "libqsel_fd.a"
+  "libqsel_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

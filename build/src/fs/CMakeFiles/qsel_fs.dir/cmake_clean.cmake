@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_fs.dir/follower_selector.cpp.o"
+  "CMakeFiles/qsel_fs.dir/follower_selector.cpp.o.d"
+  "CMakeFiles/qsel_fs.dir/followers_message.cpp.o"
+  "CMakeFiles/qsel_fs.dir/followers_message.cpp.o.d"
+  "libqsel_fs.a"
+  "libqsel_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

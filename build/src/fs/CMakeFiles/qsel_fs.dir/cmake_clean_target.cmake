@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqsel_fs.a"
+)

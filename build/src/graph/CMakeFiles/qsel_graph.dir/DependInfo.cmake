@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/independent_set.cpp" "src/graph/CMakeFiles/qsel_graph.dir/independent_set.cpp.o" "gcc" "src/graph/CMakeFiles/qsel_graph.dir/independent_set.cpp.o.d"
+  "/root/repo/src/graph/line_subgraph.cpp" "src/graph/CMakeFiles/qsel_graph.dir/line_subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/qsel_graph.dir/line_subgraph.cpp.o.d"
+  "/root/repo/src/graph/simple_graph.cpp" "src/graph/CMakeFiles/qsel_graph.dir/simple_graph.cpp.o" "gcc" "src/graph/CMakeFiles/qsel_graph.dir/simple_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

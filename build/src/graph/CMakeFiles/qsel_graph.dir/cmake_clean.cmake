@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_graph.dir/independent_set.cpp.o"
+  "CMakeFiles/qsel_graph.dir/independent_set.cpp.o.d"
+  "CMakeFiles/qsel_graph.dir/line_subgraph.cpp.o"
+  "CMakeFiles/qsel_graph.dir/line_subgraph.cpp.o.d"
+  "CMakeFiles/qsel_graph.dir/simple_graph.cpp.o"
+  "CMakeFiles/qsel_graph.dir/simple_graph.cpp.o.d"
+  "libqsel_graph.a"
+  "libqsel_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/qsel_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/qsel_metrics.dir/message_stats.cpp.o"
+  "CMakeFiles/qsel_metrics.dir/message_stats.cpp.o.d"
+  "CMakeFiles/qsel_metrics.dir/table.cpp.o"
+  "CMakeFiles/qsel_metrics.dir/table.cpp.o.d"
+  "libqsel_metrics.a"
+  "libqsel_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_net.dir/codec.cpp.o"
+  "CMakeFiles/qsel_net.dir/codec.cpp.o.d"
+  "libqsel_net.a"
+  "libqsel_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_pbft.dir/cluster.cpp.o"
+  "CMakeFiles/qsel_pbft.dir/cluster.cpp.o.d"
+  "CMakeFiles/qsel_pbft.dir/messages.cpp.o"
+  "CMakeFiles/qsel_pbft.dir/messages.cpp.o.d"
+  "CMakeFiles/qsel_pbft.dir/replica.cpp.o"
+  "CMakeFiles/qsel_pbft.dir/replica.cpp.o.d"
+  "libqsel_pbft.a"
+  "libqsel_pbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_qs.dir/quorum_selector.cpp.o"
+  "CMakeFiles/qsel_qs.dir/quorum_selector.cpp.o.d"
+  "libqsel_qs.a"
+  "libqsel_qs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_qs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_runtime.dir/follower_cluster.cpp.o"
+  "CMakeFiles/qsel_runtime.dir/follower_cluster.cpp.o.d"
+  "CMakeFiles/qsel_runtime.dir/heartbeat.cpp.o"
+  "CMakeFiles/qsel_runtime.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/qsel_runtime.dir/quorum_cluster.cpp.o"
+  "CMakeFiles/qsel_runtime.dir/quorum_cluster.cpp.o.d"
+  "libqsel_runtime.a"
+  "libqsel_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_sim.dir/network.cpp.o"
+  "CMakeFiles/qsel_sim.dir/network.cpp.o.d"
+  "CMakeFiles/qsel_sim.dir/simulator.cpp.o"
+  "CMakeFiles/qsel_sim.dir/simulator.cpp.o.d"
+  "libqsel_sim.a"
+  "libqsel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_smr.dir/client.cpp.o"
+  "CMakeFiles/qsel_smr.dir/client.cpp.o.d"
+  "CMakeFiles/qsel_smr.dir/client_messages.cpp.o"
+  "CMakeFiles/qsel_smr.dir/client_messages.cpp.o.d"
+  "libqsel_smr.a"
+  "libqsel_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_suspect.dir/suspicion_core.cpp.o"
+  "CMakeFiles/qsel_suspect.dir/suspicion_core.cpp.o.d"
+  "CMakeFiles/qsel_suspect.dir/suspicion_matrix.cpp.o"
+  "CMakeFiles/qsel_suspect.dir/suspicion_matrix.cpp.o.d"
+  "CMakeFiles/qsel_suspect.dir/update_message.cpp.o"
+  "CMakeFiles/qsel_suspect.dir/update_message.cpp.o.d"
+  "libqsel_suspect.a"
+  "libqsel_suspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_suspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

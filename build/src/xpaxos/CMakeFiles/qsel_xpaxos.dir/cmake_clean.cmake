@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsel_xpaxos.dir/cluster.cpp.o"
+  "CMakeFiles/qsel_xpaxos.dir/cluster.cpp.o.d"
+  "CMakeFiles/qsel_xpaxos.dir/messages.cpp.o"
+  "CMakeFiles/qsel_xpaxos.dir/messages.cpp.o.d"
+  "CMakeFiles/qsel_xpaxos.dir/replica.cpp.o"
+  "CMakeFiles/qsel_xpaxos.dir/replica.cpp.o.d"
+  "CMakeFiles/qsel_xpaxos.dir/view_map.cpp.o"
+  "CMakeFiles/qsel_xpaxos.dir/view_map.cpp.o.d"
+  "libqsel_xpaxos.a"
+  "libqsel_xpaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsel_xpaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

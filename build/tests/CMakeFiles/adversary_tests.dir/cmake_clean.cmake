@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_tests.dir/adversary/game_test.cpp.o"
+  "CMakeFiles/adversary_tests.dir/adversary/game_test.cpp.o.d"
+  "adversary_tests"
+  "adversary_tests.pdb"
+  "adversary_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/kv_store_test.cpp" "tests/CMakeFiles/app_tests.dir/app/kv_store_test.cpp.o" "gcc" "tests/CMakeFiles/app_tests.dir/app/kv_store_test.cpp.o.d"
+  "/root/repo/tests/app/workload_test.cpp" "tests/CMakeFiles/app_tests.dir/app/workload_test.cpp.o" "gcc" "tests/CMakeFiles/app_tests.dir/app/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/qsel_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/qsel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/qsel_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qsel_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bchain_tests.dir/bchain/bchain_cluster_test.cpp.o"
+  "CMakeFiles/bchain_tests.dir/bchain/bchain_cluster_test.cpp.o.d"
+  "CMakeFiles/bchain_tests.dir/bchain/qs_chain_test.cpp.o"
+  "CMakeFiles/bchain_tests.dir/bchain/qs_chain_test.cpp.o.d"
+  "bchain_tests"
+  "bchain_tests.pdb"
+  "bchain_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bchain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_tests.dir/fd/failure_detector_test.cpp.o"
+  "CMakeFiles/fd_tests.dir/fd/failure_detector_test.cpp.o.d"
+  "fd_tests"
+  "fd_tests.pdb"
+  "fd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

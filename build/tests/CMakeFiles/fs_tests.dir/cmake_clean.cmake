@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_tests.dir/fs/follower_byzantine_test.cpp.o"
+  "CMakeFiles/fs_tests.dir/fs/follower_byzantine_test.cpp.o.d"
+  "CMakeFiles/fs_tests.dir/fs/follower_cluster_test.cpp.o"
+  "CMakeFiles/fs_tests.dir/fs/follower_cluster_test.cpp.o.d"
+  "CMakeFiles/fs_tests.dir/fs/follower_selector_test.cpp.o"
+  "CMakeFiles/fs_tests.dir/fs/follower_selector_test.cpp.o.d"
+  "CMakeFiles/fs_tests.dir/fs/theorem9_simulation_test.cpp.o"
+  "CMakeFiles/fs_tests.dir/fs/theorem9_simulation_test.cpp.o.d"
+  "fs_tests"
+  "fs_tests.pdb"
+  "fs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbft_tests.dir/pbft/pbft_cluster_test.cpp.o"
+  "CMakeFiles/pbft_tests.dir/pbft/pbft_cluster_test.cpp.o.d"
+  "pbft_tests"
+  "pbft_tests.pdb"
+  "pbft_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbft_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_tests.dir/qs/gossip_order_test.cpp.o"
+  "CMakeFiles/qs_tests.dir/qs/gossip_order_test.cpp.o.d"
+  "CMakeFiles/qs_tests.dir/qs/partition_test.cpp.o"
+  "CMakeFiles/qs_tests.dir/qs/partition_test.cpp.o.d"
+  "CMakeFiles/qs_tests.dir/qs/quorum_cluster_test.cpp.o"
+  "CMakeFiles/qs_tests.dir/qs/quorum_cluster_test.cpp.o.d"
+  "CMakeFiles/qs_tests.dir/qs/quorum_selector_test.cpp.o"
+  "CMakeFiles/qs_tests.dir/qs/quorum_selector_test.cpp.o.d"
+  "CMakeFiles/qs_tests.dir/qs/spec_properties_test.cpp.o"
+  "CMakeFiles/qs_tests.dir/qs/spec_properties_test.cpp.o.d"
+  "qs_tests"
+  "qs_tests.pdb"
+  "qs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suspect_tests.dir/suspect/suspicion_core_test.cpp.o"
+  "CMakeFiles/suspect_tests.dir/suspect/suspicion_core_test.cpp.o.d"
+  "CMakeFiles/suspect_tests.dir/suspect/suspicion_matrix_test.cpp.o"
+  "CMakeFiles/suspect_tests.dir/suspect/suspicion_matrix_test.cpp.o.d"
+  "CMakeFiles/suspect_tests.dir/suspect/update_message_test.cpp.o"
+  "CMakeFiles/suspect_tests.dir/suspect/update_message_test.cpp.o.d"
+  "suspect_tests"
+  "suspect_tests.pdb"
+  "suspect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suspect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpaxos_tests.dir/xpaxos/cluster_test.cpp.o"
+  "CMakeFiles/xpaxos_tests.dir/xpaxos/cluster_test.cpp.o.d"
+  "CMakeFiles/xpaxos_tests.dir/xpaxos/messages_test.cpp.o"
+  "CMakeFiles/xpaxos_tests.dir/xpaxos/messages_test.cpp.o.d"
+  "CMakeFiles/xpaxos_tests.dir/xpaxos/view_map_test.cpp.o"
+  "CMakeFiles/xpaxos_tests.dir/xpaxos/view_map_test.cpp.o.d"
+  "CMakeFiles/xpaxos_tests.dir/xpaxos/xft_mode_test.cpp.o"
+  "CMakeFiles/xpaxos_tests.dir/xpaxos/xft_mode_test.cpp.o.d"
+  "xpaxos_tests"
+  "xpaxos_tests.pdb"
+  "xpaxos_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpaxos_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/metrics_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/fd_tests[1]_include.cmake")
+include("/root/repo/build/tests/suspect_tests[1]_include.cmake")
+include("/root/repo/build/tests/qs_tests[1]_include.cmake")
+include("/root/repo/build/tests/fs_tests[1]_include.cmake")
+include("/root/repo/build/tests/app_tests[1]_include.cmake")
+include("/root/repo/build/tests/xpaxos_tests[1]_include.cmake")
+include("/root/repo/build/tests/pbft_tests[1]_include.cmake")
+include("/root/repo/build/tests/bchain_tests[1]_include.cmake")
+include("/root/repo/build/tests/adversary_tests[1]_include.cmake")
