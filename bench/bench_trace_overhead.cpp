@@ -1,0 +1,139 @@
+// E-trace: overhead of the tracing subsystem (ISSUE: tracing disabled must
+// stay within ~2% of a build without a tracer attached).
+//
+// Two views:
+//   BM_Record_*       — the raw Tracer::record hot path, events/sec.
+//   BM_NetworkSend_*  — an end-to-end simulator send/deliver loop with the
+//                       tracer attached the way runtime clusters attach it,
+//                       messages/sec (each message journals SEND + DELIVER).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string_view>
+
+#include "sim/network.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using namespace qsel;
+
+struct BenchPayload final : sim::Payload {
+  std::string_view type_tag() const override { return "bench.msg"; }
+  std::size_t wire_size() const override { return 48; }
+};
+
+struct Sink final : sim::Actor {
+  std::uint64_t received = 0;
+  void on_message(ProcessId, const sim::PayloadPtr&) override { ++received; }
+};
+
+trace::TracerConfig ring_config() {
+  trace::TracerConfig config;
+  config.ring_capacity = 65536;
+  return config;
+}
+
+trace::TracerConfig disabled_config() {
+  trace::TracerConfig config;
+  config.enabled = false;
+  return config;
+}
+
+trace::TracerConfig jsonl_config() {
+  trace::TracerConfig config;
+  config.ring_capacity = 65536;
+  config.jsonl_path = "/tmp/bench_trace_overhead.jsonl";
+  return config;
+}
+
+// --- raw record-path cost -----------------------------------------------
+
+void record_loop(benchmark::State& state, trace::Tracer& tracer) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tracer.send(static_cast<ProcessId>(i % 8), static_cast<ProcessId>((i + 1) % 8),
+                "bench.msg", i, 48);
+    ++i;
+  }
+  benchmark::DoNotOptimize(tracer.events_recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Record_Disabled(benchmark::State& state) {
+  trace::Tracer tracer(disabled_config());
+  record_loop(state, tracer);
+}
+BENCHMARK(BM_Record_Disabled);
+
+void BM_Record_Ring(benchmark::State& state) {
+  trace::Tracer tracer(ring_config());
+  record_loop(state, tracer);
+}
+BENCHMARK(BM_Record_Ring);
+
+void BM_Record_Jsonl(benchmark::State& state) {
+  trace::Tracer tracer(jsonl_config());
+  record_loop(state, tracer);
+  tracer.flush();
+}
+BENCHMARK(BM_Record_Jsonl);
+
+// --- end-to-end simulator loop ------------------------------------------
+
+constexpr int kBatch = 1024;
+
+// One iteration = build a 2-process network, send kBatch messages, run the
+// simulator to deliver them. Construction cost is identical across modes,
+// so the deltas isolate the tracing overhead on the send/deliver path.
+void network_loop(benchmark::State& state, trace::Tracer* tracer) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::NetworkConfig config;
+    config.base_latency = 1000;
+    config.jitter = 100;
+    sim::Network net(simulator, 2, config, 42);
+    Sink a, b;
+    net.attach(0, a);
+    net.attach(1, b);
+    if (tracer != nullptr) {
+      tracer->set_clock([&simulator] { return simulator.now(); });
+      net.set_tracer(tracer);
+    }
+    const auto payload = std::make_shared<BenchPayload>();
+    for (int i = 0; i < kBatch; ++i)
+      net.send(static_cast<ProcessId>(i % 2), static_cast<ProcessId>((i + 1) % 2),
+               payload);
+    simulator.run();
+    benchmark::DoNotOptimize(a.received + b.received);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+
+void BM_NetworkSend_NoTracer(benchmark::State& state) {
+  network_loop(state, nullptr);
+}
+BENCHMARK(BM_NetworkSend_NoTracer);
+
+void BM_NetworkSend_DisabledTracer(benchmark::State& state) {
+  trace::Tracer tracer(disabled_config());
+  network_loop(state, &tracer);
+}
+BENCHMARK(BM_NetworkSend_DisabledTracer);
+
+void BM_NetworkSend_RingTracer(benchmark::State& state) {
+  trace::Tracer tracer(ring_config());
+  network_loop(state, &tracer);
+}
+BENCHMARK(BM_NetworkSend_RingTracer);
+
+void BM_NetworkSend_JsonlTracer(benchmark::State& state) {
+  trace::Tracer tracer(jsonl_config());
+  network_loop(state, &tracer);
+  tracer.flush();
+}
+BENCHMARK(BM_NetworkSend_JsonlTracer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -53,6 +53,12 @@ ProcessSet QsChainCluster::alive_replicas() const {
   return alive;
 }
 
+void QsChainCluster::attach_tracer(trace::Tracer& tracer) {
+  tracer.set_clock([this] { return sim_.now(); });
+  network_->set_tracer(&tracer);
+  for (ProcessId id : honest_replicas_) replicas_[id]->set_tracer(&tracer);
+}
+
 void QsChainCluster::start_clients(std::uint64_t requests_per_client) {
   for (auto& client : clients_) client->start(requests_per_client);
 }

@@ -40,6 +40,12 @@ class QsChainCluster {
   smr::Client& client(std::uint32_t index);
 
   ProcessSet alive_replicas() const;
+
+  /// Wires `tracer` into the run: network events plus every honest
+  /// replica's suspicion/reconfiguration plane. Call before
+  /// start_clients(); the tracer must outlive the cluster.
+  void attach_tracer(trace::Tracer& tracer);
+
   void start_clients(std::uint64_t requests_per_client);
   std::uint64_t total_completed() const;
   std::uint64_t max_reconfigurations() const;

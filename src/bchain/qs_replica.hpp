@@ -68,6 +68,10 @@ class QsReplica final : public sim::Actor {
   fd::FailureDetector& failure_detector() { return fd_; }
   const qs::QuorumSelector& selector() const { return selector_; }
 
+  /// Journals this replica's suspicion plane and reconfiguration
+  /// (<QUORUM, Q>) outputs into `tracer` (null detaches).
+  void set_tracer(trace::Tracer* tracer) { selector_.set_tracer(tracer); }
+
  private:
   struct Slot {
     std::optional<ChainMessage> chain_msg;

@@ -30,6 +30,8 @@ FollowerSelector::FollowerSelector(const crypto::Signer& signer,
 
 void FollowerSelector::issue(ProcessId leader, ProcessSet quorum) {
   history_.push_back(LeaderQuorumRecord{leader, quorum, core_.epoch()});
+  if (tracer_)
+    tracer_->quorum(core_.self(), quorum.mask(), core_.epoch(), leader);
   QSEL_LOG(kInfo, "fs") << "p" << core_.self() << " QUORUM leader=p" << leader
                         << " " << quorum.to_string() << " (epoch "
                         << core_.epoch() << ")";

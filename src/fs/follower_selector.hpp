@@ -27,6 +27,7 @@
 #include "crypto/signer.hpp"
 #include "fs/followers_message.hpp"
 #include "suspect/suspicion_core.hpp"
+#include "trace/tracer.hpp"
 
 namespace qsel::fs {
 
@@ -74,6 +75,14 @@ class FollowerSelector {
   /// by the embedded leader signature).
   void on_followers(const std::shared_ptr<const FollowersMessage>& msg);
 
+  /// Attaches an event tracer to this selector and its suspicion core:
+  /// <QUORUM, leader, Q> outputs (peer = leader), suspicion and UPDATE
+  /// traffic are journaled.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    core_.set_tracer(tracer);
+  }
+
   // --- observers --------------------------------------------------------
 
   ProcessId leader() const { return leader_; }
@@ -103,6 +112,7 @@ class FollowerSelector {
   bool stable_ = true;
   ProcessSet qlast_;
   std::vector<LeaderQuorumRecord> history_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace qsel::fs

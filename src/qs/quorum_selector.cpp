@@ -38,6 +38,7 @@ void QuorumSelector::update_quorum() {
     if (*quorum != qlast_) {
       qlast_ = *quorum;
       history_.push_back(QuorumRecord{*quorum, core_.epoch()});
+      if (tracer_) tracer_->quorum(core_.self(), quorum->mask(), core_.epoch());
       QSEL_LOG(kInfo, "qs") << "p" << core_.self() << " QUORUM "
                             << quorum->to_string() << " (epoch "
                             << core_.epoch() << ")";

@@ -22,6 +22,7 @@
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
 #include "suspect/suspicion_core.hpp"
+#include "trace/tracer.hpp"
 
 namespace qsel::qs {
 
@@ -59,6 +60,13 @@ class QuorumSelector {
     core_.on_update(msg);
   }
 
+  /// Attaches an event tracer to this selector and its suspicion core:
+  /// <QUORUM, Q> outputs, suspicion and UPDATE traffic are journaled.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    core_.set_tracer(tracer);
+  }
+
   // --- observers --------------------------------------------------------
 
   ProcessSet quorum() const { return qlast_; }
@@ -79,6 +87,7 @@ class QuorumSelector {
   suspect::SuspicionCore core_;
   ProcessSet qlast_;
   std::vector<QuorumRecord> history_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace qsel::qs

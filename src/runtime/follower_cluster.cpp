@@ -124,6 +124,12 @@ FollowerProcess& FollowerCluster::process(ProcessId id) {
   return *processes_[id];
 }
 
+void FollowerCluster::attach_tracer(trace::Tracer& tracer) {
+  tracer.set_clock([this] { return sim_.now(); });
+  network_->set_tracer(&tracer);
+  for (ProcessId id : correct_) processes_[id]->selector().set_tracer(&tracer);
+}
+
 void FollowerCluster::start() {
   for (ProcessId id : correct_) processes_[id]->start();
 }

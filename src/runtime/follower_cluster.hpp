@@ -78,6 +78,10 @@ class FollowerCluster {
 
   FollowerProcess& process(ProcessId id);
 
+  /// Wires `tracer` into the whole run (network, suspicion plane, quorum
+  /// outputs); must outlive the cluster. Call before start().
+  void attach_tracer(trace::Tracer& tracer);
+
   void start();
 
   /// The (leader, quorum) every honest process agrees on, if they do.

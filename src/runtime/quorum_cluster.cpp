@@ -91,6 +91,12 @@ QuorumProcess& QuorumCluster::process(ProcessId id) {
   return *processes_[id];
 }
 
+void QuorumCluster::attach_tracer(trace::Tracer& tracer) {
+  tracer.set_clock([this] { return sim_.now(); });
+  network_->set_tracer(&tracer);
+  for (ProcessId id : correct_) processes_[id]->selector().set_tracer(&tracer);
+}
+
 void QuorumCluster::start() {
   for (ProcessId id : correct_) processes_[id]->start();
 }

@@ -88,6 +88,12 @@ class QuorumCluster {
 
   QuorumProcess& process(ProcessId id);
 
+  /// Wires `tracer` into the whole run: simulator clock, network
+  /// SEND/DELIVER/DROP and fault injection, every honest process's
+  /// suspicion plane and <QUORUM, Q> outputs. The tracer must outlive the
+  /// cluster. Call before start().
+  void attach_tracer(trace::Tracer& tracer);
+
   /// Starts heartbeats on all honest processes.
   void start();
 

@@ -41,6 +41,9 @@ void Network::send(ProcessId from, ProcessId to, PayloadPtr message) {
   if (link_disabled_[link_index(from, to)]) {
     QSEL_LOG(kTrace, "net") << "drop " << from << "->" << to << " "
                             << message->type_tag();
+    if (tracer_)
+      tracer_->drop(from, to, message->type_tag(),
+                    trace::DropReason::kLinkDisabled, message->wire_size());
     return;
   }
 
@@ -51,12 +54,27 @@ void Network::send(ProcessId from, ProcessId to, PayloadPtr message) {
     last = deliver_at;
   }
   if (send_hook_) send_hook_(from, to, message, deliver_at);
+  if (tracer_)
+    tracer_->send(from, to, message->type_tag(), deliver_at,
+                  message->wire_size());
 
   sim_.schedule_at(deliver_at, [this, from, to, msg = std::move(message)] {
-    if (crashed_.contains(to)) return;
+    if (crashed_.contains(to)) {
+      if (tracer_)
+        tracer_->drop(from, to, msg->type_tag(),
+                      trace::DropReason::kReceiverCrashed, msg->wire_size());
+      return;
+    }
     // No actor attached models a process that is down from the start
     // (e.g. a slot reserved for a Byzantine actor a test never installs).
-    if (Actor* actor = actors_[to]) actor->on_message(from, msg);
+    if (Actor* actor = actors_[to]) {
+      if (tracer_)
+        tracer_->deliver(to, from, msg->type_tag(), msg->wire_size());
+      actor->on_message(from, msg);
+    } else if (tracer_) {
+      tracer_->drop(from, to, msg->type_tag(),
+                    trace::DropReason::kReceiverUnattached, msg->wire_size());
+    }
   });
 }
 
@@ -69,6 +87,8 @@ void Network::broadcast(ProcessId from, ProcessSet targets,
       if (crashed_.contains(from)) continue;
       sim_.schedule_after(0, [this, from, msg = message] {
         if (crashed_.contains(from)) return;
+        if (tracer_)
+          tracer_->deliver(from, from, msg->type_tag(), msg->wire_size());
         actors_[from]->on_message(from, msg);
       });
     } else {
@@ -80,11 +100,17 @@ void Network::broadcast(ProcessId from, ProcessSet targets,
 void Network::crash(ProcessId id) {
   QSEL_REQUIRE(id < n_);
   crashed_.insert(id);
+  if (tracer_) tracer_->crash(id);
 }
 
 void Network::set_link_enabled(ProcessId from, ProcessId to, bool enabled) {
   QSEL_REQUIRE(from < n_ && to < n_);
   link_disabled_[link_index(from, to)] = !enabled;
+  if (tracer_)
+    tracer_->link_fault(from, to,
+                        enabled ? trace::LinkFaultKind::kEnable
+                                : trace::LinkFaultKind::kDisable,
+                        0);
 }
 
 bool Network::link_enabled(ProcessId from, ProcessId to) const {
@@ -96,6 +122,8 @@ void Network::set_link_extra_delay(ProcessId from, ProcessId to,
                                    SimDuration extra) {
   QSEL_REQUIRE(from < n_ && to < n_);
   link_extra_delay_[link_index(from, to)] = extra;
+  if (tracer_)
+    tracer_->link_fault(from, to, trace::LinkFaultKind::kExtraDelay, extra);
 }
 
 void Network::partition(ProcessSet side_a, ProcessSet side_b) {
@@ -108,7 +136,11 @@ void Network::partition(ProcessSet side_a, ProcessSet side_b) {
 }
 
 void Network::heal_partition() {
-  std::fill(link_disabled_.begin(), link_disabled_.end(), false);
+  // Per-link (not a bulk fill) so each healed link lands in the trace.
+  for (ProcessId from = 0; from < n_; ++from)
+    for (ProcessId to = 0; to < n_; ++to)
+      if (link_disabled_[link_index(from, to)])
+        set_link_enabled(from, to, true);
 }
 
 }  // namespace qsel::sim

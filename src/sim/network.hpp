@@ -20,6 +20,7 @@
 #include "metrics/message_stats.hpp"
 #include "sim/payload.hpp"
 #include "sim/simulator.hpp"
+#include "trace/tracer.hpp"
 
 namespace qsel::sim {
 
@@ -101,6 +102,12 @@ class Network {
       std::function<void(ProcessId, ProcessId, const PayloadPtr&, SimTime)>;
   void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
 
+  /// Attaches an event tracer (null detaches). The network emits
+  /// SEND/DELIVER/DROP, link-fault and crash events; the tracer's clock
+  /// should be this network's simulator.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   SimDuration sample_latency(ProcessId from, ProcessId to);
   std::size_t link_index(ProcessId from, ProcessId to) const {
@@ -118,6 +125,7 @@ class Network {
   std::vector<SimTime> link_last_delivery_;  // for FIFO enforcement
   metrics::MessageStats stats_;
   SendHook send_hook_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace qsel::sim

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "trace/tracer.hpp"
 
 namespace qsel::suspect {
 
@@ -25,6 +26,12 @@ void SuspicionCore::stamp_and_broadcast() {
 
 void SuspicionCore::on_suspected(ProcessSet s) {
   QSEL_REQUIRE(!s.contains(self()));
+  if (tracer_) {
+    tracer_->suspected(self(), s.mask(), epoch_);
+    const ProcessSet restored = suspecting_ - s;
+    if (!restored.empty())
+      tracer_->restored(self(), restored.mask(), epoch_);
+  }
   suspecting_ = s;
   QSEL_LOG(kDebug, "suspect") << "p" << self() << " suspecting "
                               << s.to_string() << " in epoch " << epoch_;
@@ -36,16 +43,23 @@ bool SuspicionCore::on_update(const std::shared_ptr<const UpdateMessage>& msg) {
   QSEL_REQUIRE(msg != nullptr);
   if (!msg->verify(signer_, n_)) {
     ++updates_rejected_;
+    if (tracer_) tracer_->update_reject(self(), msg->origin);
     QSEL_LOG(kWarn, "suspect")
         << "p" << self() << " rejected UPDATE claiming origin p"
         << msg->origin;
     return false;
   }
+  // The signature tag digests the row contents, so its prefix is a free
+  // per-content discriminator for the trace.
+  const std::uint64_t content_tag = msg->sig.tag.prefix64();
+  if (tracer_) tracer_->update_receive(self(), msg->origin, content_tag);
   if (!matrix_.merge_row(msg->origin, msg->row)) return false;
+  if (tracer_) tracer_->update_merge(self(), msg->origin, content_tag);
   // Forward-on-change (Line 23), then re-evaluate (Line 24) — this order
   // matters: FIFO receivers must see the UPDATE before any FOLLOWERS
   // message that update_quorum may trigger (Lemma 7).
   ++updates_forwarded_;
+  if (tracer_) tracer_->update_forward(self(), msg->origin, content_tag);
   hooks_.broadcast(msg);
   hooks_.update_quorum();
   return true;
@@ -55,6 +69,7 @@ void SuspicionCore::advance_epoch(Epoch new_epoch) {
   QSEL_REQUIRE(new_epoch > epoch_);
   epoch_ = new_epoch;
   ++epoch_advances_;
+  if (tracer_) tracer_->epoch_advance(self(), new_epoch);
   QSEL_LOG(kDebug, "suspect") << "p" << self() << " advanced to epoch "
                               << new_epoch;
   stamp_and_broadcast();

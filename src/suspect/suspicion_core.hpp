@@ -29,6 +29,10 @@
 #include "suspect/suspicion_matrix.hpp"
 #include "suspect/update_message.hpp"
 
+namespace qsel::trace {
+class Tracer;
+}
+
 namespace qsel::suspect {
 
 class SuspicionCore {
@@ -76,6 +80,10 @@ class SuspicionCore {
   /// graphs) but immune to faulty processes stamping far-future epochs.
   Epoch next_epoch_candidate() const;
 
+  /// Attaches an event tracer (null detaches): SUSPECTED/RESTORED, UPDATE
+  /// receive/merge/forward/reject and epoch advances are journaled.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   // --- statistics (experiment E8) --------------------------------------
   std::uint64_t updates_broadcast() const { return updates_broadcast_; }
   std::uint64_t updates_forwarded() const { return updates_forwarded_; }
@@ -91,6 +99,7 @@ class SuspicionCore {
   Epoch epoch_ = 1;
   ProcessSet suspecting_;
   SuspicionMatrix matrix_;
+  trace::Tracer* tracer_ = nullptr;
   std::uint64_t updates_broadcast_ = 0;
   std::uint64_t updates_forwarded_ = 0;
   std::uint64_t updates_rejected_ = 0;

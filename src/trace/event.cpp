@@ -1,0 +1,71 @@
+#include "trace/event.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "net/codec.hpp"
+
+namespace qsel::trace {
+
+namespace {
+
+struct Name {
+  EventType type;
+  std::string_view name;
+};
+
+constexpr std::array<Name, 13> kNames{{
+    {EventType::kSend, "SEND"},
+    {EventType::kDeliver, "DELIVER"},
+    {EventType::kDrop, "DROP"},
+    {EventType::kLinkFault, "LINK"},
+    {EventType::kCrash, "CRASH"},
+    {EventType::kSuspected, "SUSPECTED"},
+    {EventType::kRestored, "RESTORED"},
+    {EventType::kUpdateReceive, "UPD_RECV"},
+    {EventType::kUpdateMerge, "UPD_MERGE"},
+    {EventType::kUpdateForward, "UPD_FWD"},
+    {EventType::kUpdateReject, "UPD_REJECT"},
+    {EventType::kEpochAdvance, "EPOCH"},
+    {EventType::kQuorum, "QUORUM"},
+}};
+
+}  // namespace
+
+void Event::encode(net::Encoder& enc) const {
+  enc.u64(time);
+  enc.u8(static_cast<std::uint8_t>(type));
+  enc.process_id(actor);
+  enc.process_id(peer);
+  enc.u64(arg0);
+  enc.u64(arg1);
+  enc.str(tag);
+}
+
+std::string_view event_type_name(EventType type) {
+  for (const Name& n : kNames)
+    if (n.type == type) return n.name;
+  return "UNKNOWN";
+}
+
+std::optional<EventType> event_type_from_name(std::string_view name) {
+  for (const Name& n : kNames)
+    if (n.name == name) return n.type;
+  return std::nullopt;
+}
+
+std::string Event::to_string() const {
+  std::ostringstream out;
+  out << "[" << time << "] p";
+  if (actor == kNoProcess)
+    out << "?";
+  else
+    out << actor;
+  out << " " << event_type_name(type);
+  if (peer != kNoProcess) out << " <-> p" << peer;
+  out << " arg0=" << arg0 << " arg1=" << arg1;
+  if (!tag.empty()) out << " tag=" << tag;
+  return out.str();
+}
+
+}  // namespace qsel::trace

@@ -1,0 +1,87 @@
+// Trace events — the typed vocabulary of the tracing subsystem.
+//
+// A run of the simulated system is a pure function of its seeds, so the
+// sequence of events it produces is a *fingerprint* of the run: two runs
+// with the same seeds must produce byte-identical event sequences, and the
+// first index where two sequences differ localises a nondeterminism bug
+// (or an intentional behaviour change) to a single message, suspicion or
+// quorum output. Events mirror the paper's event-based module interfaces:
+// the network's SEND/DELIVER/DROP, the failure-detector/suspicion plane's
+// SUSPECTED/RESTORED and UPDATE receive/merge/forward, epoch bumps, and
+// the <QUORUM, Q> outputs of Algorithms 1 and 2.
+//
+// Every event has one canonical byte encoding (net::Encoder, the same
+// codec signed protocol messages use), which is what the running trace
+// digest hashes and what makes digests comparable across runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace qsel::net {
+class Encoder;
+}
+
+namespace qsel::trace {
+
+enum class EventType : std::uint8_t {
+  kSend = 1,       // actor=from, peer=to, arg0=delivery time, arg1=wire size
+  kDeliver,        // actor=to, peer=from, arg1=wire size
+  kDrop,           // actor=from, peer=to, arg0=DropReason, arg1=wire size
+  kLinkFault,      // actor=from, peer=to, arg0=LinkFaultKind, arg1=extra delay
+  kCrash,          // actor=crashed process
+  kSuspected,      // actor=self, arg0=suspect-set mask, arg1=epoch
+  kRestored,       // actor=self, arg0=mask of no-longer-suspected, arg1=epoch
+  kUpdateReceive,  // actor=self, peer=origin, arg0=signature tag prefix
+  kUpdateMerge,    // actor=self, peer=origin, arg0=signature tag prefix
+  kUpdateForward,  // actor=self, peer=origin, arg0=signature tag prefix
+  kUpdateReject,   // actor=self, peer=claimed origin
+  kEpochAdvance,   // actor=self, arg0=new epoch
+  kQuorum,         // actor=self, peer=leader (kNoProcess for Algorithm 1),
+                   // arg0=quorum mask, arg1=epoch
+};
+
+/// Drop causes (arg0 of kDrop).
+enum class DropReason : std::uint64_t {
+  kLinkDisabled = 0,   // omission fault injected on the link
+  kReceiverCrashed,    // receiver crashed before delivery
+  kReceiverUnattached  // no actor installed (down from the start)
+};
+
+/// Link fault kinds (arg0 of kLinkFault).
+enum class LinkFaultKind : std::uint64_t {
+  kDisable = 0,  // omission failures begin
+  kEnable,       // link healed
+  kExtraDelay    // timing failure; arg1 carries the extra delay
+};
+
+struct Event {
+  std::uint64_t time = 0;  // virtual time (sim::Simulator::now())
+  EventType type = EventType::kSend;
+  ProcessId actor = kNoProcess;  // the process the event happened at
+  ProcessId peer = kNoProcess;   // counterpart, if any
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::string tag;  // payload type tag ("suspect.update", ...) or empty
+
+  /// Appends the canonical byte encoding (the bytes the trace digest
+  /// covers) to `enc`.
+  void encode(net::Encoder& enc) const;
+
+  /// Human-readable one-liner, e.g. "[12.3ms] p0 SEND ->p2 suspect.update".
+  std::string to_string() const;
+
+  bool operator==(const Event&) const = default;
+};
+
+/// Stable uppercase name, e.g. "SEND"; used in JSONL output.
+std::string_view event_type_name(EventType type);
+
+/// Inverse of event_type_name; nullopt for unknown names.
+std::optional<EventType> event_type_from_name(std::string_view name);
+
+}  // namespace qsel::trace

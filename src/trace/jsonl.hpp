@@ -1,0 +1,37 @@
+// JSONL serialization for trace events.
+//
+// One event per line, a flat object with fixed keys:
+//
+//   {"i":0,"t":1000,"e":"SEND","p":0,"q":1,"a0":1200000,"a1":52,"tag":"x"}
+//
+//   i   global event index        t    virtual time (ns)
+//   e   event_type_name()         p/q  actor / peer (q omitted when none)
+//   a0/a1  type-specific args     tag  payload type tag (omitted if empty)
+//
+// The reader is a purpose-built parser for exactly this schema (the repo
+// has no JSON dependency and does not want one); it tolerates unknown
+// keys and returns nullopt on malformed lines rather than throwing.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace qsel::trace {
+
+/// Writes one event as a JSONL line (with trailing newline).
+void write_jsonl_line(std::ostream& out, const Event& event,
+                      std::uint64_t index);
+
+/// Parses one JSONL line; nullopt on malformed input (never throws).
+std::optional<Event> parse_jsonl_line(std::string_view line);
+
+/// Reads every well-formed event line from `in`, in order. Malformed
+/// lines are counted in `*malformed` when provided, and skipped.
+std::vector<Event> read_jsonl(std::istream& in,
+                              std::uint64_t* malformed = nullptr);
+
+}  // namespace qsel::trace

@@ -1,0 +1,63 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qsel::trace {
+
+std::string Divergence::to_string() const {
+  std::ostringstream out;
+  out << "first divergence at event #" << index << "\n";
+  out << "  run A: " << (first ? first->to_string() : "<no event — journal ended>")
+      << "\n";
+  out << "  run B: "
+      << (second ? second->to_string() : "<no event — journal ended>");
+  if (!first && !second)
+    out << "\n  (divergence lies in a ring-evicted prefix; "
+           "re-run with ring_capacity = 0)";
+  return out.str();
+}
+
+std::optional<Divergence> ReplayChecker::check(const Scenario& scenario) {
+  TracerConfig config;
+  config.ring_capacity = 0;  // retain everything for exact localisation
+  Tracer first(config);
+  Tracer second(config);
+  scenario(first);
+  scenario(second);
+  return compare(first, second);
+}
+
+std::optional<Divergence> ReplayChecker::compare(const Tracer& first,
+                                                 const Tracer& second) {
+  if (first.digest() == second.digest()) return std::nullopt;
+
+  const std::vector<Event> a = first.events();
+  const std::vector<Event> b = second.events();
+  const std::uint64_t base_a = first.first_retained_index();
+  const std::uint64_t base_b = second.first_retained_index();
+  // Compare the overlap of the retained windows, aligned on global index.
+  const std::uint64_t base = std::max(base_a, base_b);
+  const std::size_t skip_a = static_cast<std::size_t>(base - base_a);
+  const std::size_t skip_b = static_cast<std::size_t>(base - base_b);
+  const std::size_t len_a = a.size() > skip_a ? a.size() - skip_a : 0;
+  const std::size_t len_b = b.size() > skip_b ? b.size() - skip_b : 0;
+
+  const std::size_t common = std::min(len_a, len_b);
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[skip_a + i] != b[skip_b + i])
+      return Divergence{base + i, a[skip_a + i], b[skip_b + i]};
+  }
+  if (len_a != len_b) {
+    Divergence d;
+    d.index = base + common;
+    if (len_a > common) d.first = a[skip_a + common];
+    if (len_b > common) d.second = b[skip_b + common];
+    return d;
+  }
+  // Retained windows agree, yet digests differ: the divergence happened in
+  // an evicted prefix (or before the overlap).
+  return Divergence{std::min(base_a, base_b), std::nullopt, std::nullopt};
+}
+
+}  // namespace qsel::trace

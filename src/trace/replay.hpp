@@ -1,0 +1,51 @@
+// ReplayChecker — deterministic-replay verification.
+//
+// The simulator makes every run a pure function of its seeds, so a
+// scenario re-run with the same seeds must reproduce the *exact* event
+// sequence, and hence the same chained trace digest. The checker runs a
+// scenario twice against fresh tracers and, when the digests differ, does
+// better than "digests differ": it walks both journals and reports the
+// first diverging event — its global index and both decoded events — which
+// localises a nondeterminism regression (wall-clock leakage, unordered
+// container iteration, uninitialised reads) to one emission.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace qsel::trace {
+
+struct Divergence {
+  /// Global index of the first differing event.
+  std::uint64_t index = 0;
+  /// The event each run recorded at `index`; nullopt when that run's
+  /// journal ended before `index` (one run produced fewer events), or for
+  /// both when the divergence lies in a ring-evicted prefix.
+  std::optional<Event> first;
+  std::optional<Event> second;
+
+  std::string to_string() const;
+};
+
+class ReplayChecker {
+ public:
+  /// A reproducible experiment: constructs its own system (seeds and all)
+  /// and drives it with the given tracer attached.
+  using Scenario = std::function<void(Tracer&)>;
+
+  /// Runs `scenario` twice with fresh unbounded tracers; nullopt when the
+  /// two runs produced byte-identical traces.
+  static std::optional<Divergence> check(const Scenario& scenario);
+
+  /// Compares two journals; nullopt when their digests match. Use
+  /// unbounded tracers (ring_capacity = 0) for exact localisation —
+  /// evicted prefixes can only be compared by digest.
+  static std::optional<Divergence> compare(const Tracer& first,
+                                           const Tracer& second);
+};
+
+}  // namespace qsel::trace

@@ -1,0 +1,74 @@
+#include "trace/tracer.hpp"
+
+#include "common/assert.hpp"
+#include "net/codec.hpp"
+#include "trace/jsonl.hpp"
+
+namespace qsel::trace {
+
+crypto::Digest chain_digest(const crypto::Digest& prev, const Event& event) {
+  net::Encoder enc;
+  event.encode(enc);
+  crypto::Sha256 hasher;
+  hasher.update(prev.bytes);
+  hasher.update(enc.view());
+  return hasher.finish();
+}
+
+crypto::Digest digest_of(std::span<const Event> events) {
+  crypto::Digest digest{};
+  for (const Event& event : events) digest = chain_digest(digest, event);
+  return digest;
+}
+
+Tracer::Tracer(TracerConfig config) : config_(std::move(config)) {
+  if (config_.ring_capacity > 0) ring_.reserve(config_.ring_capacity);
+  if (!config_.jsonl_path.empty()) {
+    sink_.open(config_.jsonl_path, std::ios::out | std::ios::trunc);
+    QSEL_REQUIRE_MSG(sink_.is_open(), "cannot open trace JSONL sink");
+  }
+}
+
+Tracer::~Tracer() { flush(); }
+
+void Tracer::flush() {
+  if (sink_.is_open()) sink_.flush();
+}
+
+void Tracer::record_slow(EventType type, ProcessId actor, ProcessId peer,
+                         std::uint64_t arg0, std::uint64_t arg1,
+                         std::string_view tag) {
+  Event event;
+  event.time = clock_ ? clock_() : 0;
+  event.type = type;
+  event.actor = actor;
+  event.peer = peer;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  event.tag.assign(tag);
+
+  digest_ = chain_digest(digest_, event);
+  if (sink_.is_open())
+    write_jsonl_line(sink_, event, events_recorded_);
+
+  if (config_.ring_capacity == 0 || ring_.size() < config_.ring_capacity) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[ring_head_] = std::move(event);
+    ring_head_ = (ring_head_ + 1) % config_.ring_capacity;
+    ++events_evicted_;
+  }
+  ++events_recorded_;
+}
+
+std::vector<Event> Tracer::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // In bounded mode ring_head_ points at the oldest retained event once
+  // the buffer wrapped; before wrapping (and in unbounded mode) it is 0.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  return out;
+}
+
+}  // namespace qsel::trace

@@ -1,0 +1,168 @@
+// Tracer — per-run event journal with a running SHA-256 trace digest.
+//
+// Records typed Events (trace/event.hpp) into an in-memory ring buffer
+// with an optional JSONL sink, and maintains a *chained* digest over the
+// canonical encoding of every event recorded so far:
+//
+//     digest_0 = 0^32
+//     digest_i = SHA-256(digest_{i-1} || encode(e_i))
+//
+// The chain makes the digest order- and content-sensitive: two runs have
+// equal digests iff they recorded identical event sequences, and the
+// digest is O(1) to read at any point. The same fold is recomputable from
+// a JSONL trace file (digest_of), so `trace_inspect` can verify a file
+// against a digest printed by the run that produced it.
+//
+// Overhead discipline: every emission point in the hot path goes through
+// an inline `if (!enabled())` check before touching any event state, and
+// components hold a nullable Tracer* (null by default), so an untraced run
+// pays one predictable branch per emission site. Building with
+// -DQSEL_TRACE=OFF defines QSEL_TRACE_DISABLED, which turns enabled() into
+// a constant `false` and lets the compiler delete the emission calls
+// entirely. bench/bench_trace_overhead.cpp quantifies all three modes.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+#include "trace/event.hpp"
+
+namespace qsel::trace {
+
+/// digest_{i} = SHA-256(digest_{i-1} || canonical encoding of `event`).
+crypto::Digest chain_digest(const crypto::Digest& prev, const Event& event);
+
+/// Folds chain_digest over `events` starting from the zero digest.
+crypto::Digest digest_of(std::span<const Event> events);
+
+struct TracerConfig {
+  bool enabled = true;
+  /// Events retained in memory; older events are evicted (and counted in
+  /// events_evicted()). 0 means unbounded — required for ReplayChecker.
+  std::size_t ring_capacity = 65536;
+  /// When non-empty, every event is also appended to this JSONL file.
+  std::string jsonl_path;
+};
+
+class Tracer {
+ public:
+  /// Virtual-time source, typically [&sim] { return sim.now(); }. The
+  /// trace library cannot depend on sim:: (sim depends on trace), so the
+  /// clock is injected.
+  using Clock = std::function<std::uint64_t()>;
+
+  Tracer() : Tracer(TracerConfig{}) {}
+  explicit Tracer(TracerConfig config);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const {
+#ifdef QSEL_TRACE_DISABLED
+    return false;
+#else
+    return config_.enabled;
+#endif
+  }
+
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+
+  // --- emission ---------------------------------------------------------
+
+  void record(EventType type, ProcessId actor, ProcessId peer,
+              std::uint64_t arg0, std::uint64_t arg1, std::string_view tag) {
+    if (!enabled()) return;
+    record_slow(type, actor, peer, arg0, arg1, tag);
+  }
+
+  void send(ProcessId from, ProcessId to, std::string_view tag,
+            std::uint64_t deliver_at, std::uint64_t wire_size) {
+    record(EventType::kSend, from, to, deliver_at, wire_size, tag);
+  }
+  void deliver(ProcessId to, ProcessId from, std::string_view tag,
+               std::uint64_t wire_size) {
+    record(EventType::kDeliver, to, from, 0, wire_size, tag);
+  }
+  void drop(ProcessId from, ProcessId to, std::string_view tag,
+            DropReason reason, std::uint64_t wire_size) {
+    record(EventType::kDrop, from, to, static_cast<std::uint64_t>(reason),
+           wire_size, tag);
+  }
+  void link_fault(ProcessId from, ProcessId to, LinkFaultKind kind,
+                  std::uint64_t extra_delay) {
+    record(EventType::kLinkFault, from, to, static_cast<std::uint64_t>(kind),
+           extra_delay, {});
+  }
+  void crash(ProcessId id) {
+    record(EventType::kCrash, id, kNoProcess, 0, 0, {});
+  }
+  void suspected(ProcessId self, std::uint64_t suspect_mask, Epoch epoch) {
+    record(EventType::kSuspected, self, kNoProcess, suspect_mask, epoch, {});
+  }
+  void restored(ProcessId self, std::uint64_t restored_mask, Epoch epoch) {
+    record(EventType::kRestored, self, kNoProcess, restored_mask, epoch, {});
+  }
+  void update_receive(ProcessId self, ProcessId origin,
+                      std::uint64_t content_tag) {
+    record(EventType::kUpdateReceive, self, origin, content_tag, 0, {});
+  }
+  void update_merge(ProcessId self, ProcessId origin,
+                    std::uint64_t content_tag) {
+    record(EventType::kUpdateMerge, self, origin, content_tag, 0, {});
+  }
+  void update_forward(ProcessId self, ProcessId origin,
+                      std::uint64_t content_tag) {
+    record(EventType::kUpdateForward, self, origin, content_tag, 0, {});
+  }
+  void update_reject(ProcessId self, ProcessId claimed_origin) {
+    record(EventType::kUpdateReject, self, claimed_origin, 0, 0, {});
+  }
+  void epoch_advance(ProcessId self, Epoch new_epoch) {
+    record(EventType::kEpochAdvance, self, kNoProcess, new_epoch, 0, {});
+  }
+  void quorum(ProcessId self, std::uint64_t quorum_mask, Epoch epoch,
+              ProcessId leader = kNoProcess) {
+    record(EventType::kQuorum, self, leader, quorum_mask, epoch, {});
+  }
+
+  // --- observers --------------------------------------------------------
+
+  /// Total events recorded (including evicted ones).
+  std::uint64_t events_recorded() const { return events_recorded_; }
+  /// Events evicted from the ring; nonzero means events() is a suffix.
+  std::uint64_t events_evicted() const { return events_evicted_; }
+  /// Global index of the first event still retained.
+  std::uint64_t first_retained_index() const { return events_evicted_; }
+  /// Running chained digest over all recorded events.
+  const crypto::Digest& digest() const { return digest_; }
+
+  /// Snapshot of retained events, oldest first.
+  std::vector<Event> events() const;
+
+  /// Flushes the JSONL sink, if any.
+  void flush();
+
+ private:
+  void record_slow(EventType type, ProcessId actor, ProcessId peer,
+                   std::uint64_t arg0, std::uint64_t arg1,
+                   std::string_view tag);
+
+  TracerConfig config_;
+  Clock clock_;
+  std::vector<Event> ring_;
+  std::size_t ring_head_ = 0;  // next overwrite position (bounded mode)
+  std::uint64_t events_recorded_ = 0;
+  std::uint64_t events_evicted_ = 0;
+  crypto::Digest digest_{};  // zero digest until the first event
+  std::ofstream sink_;
+};
+
+}  // namespace qsel::trace

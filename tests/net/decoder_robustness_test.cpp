@@ -1,0 +1,174 @@
+// Decoder robustness: the codec header promises the Decoder never throws
+// on malformed input — Byzantine senders may produce arbitrary garbage,
+// which must surface as ok() == false, not as a crash, an overrun or an
+// absurd allocation. Nothing exercised that promise before; this test
+// feeds every decoder method truncated and garbage bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "app/kv_store.hpp"
+#include "common/rng.hpp"
+#include "net/codec.hpp"
+
+namespace qsel::net {
+namespace {
+
+/// A canonical buffer exercising every Encoder/Decoder method once.
+std::vector<std::uint8_t> full_encoding() {
+  Encoder enc;
+  enc.u8(0x5a);
+  enc.u32(0xdeadbeef);
+  enc.u64(0x0123456789abcdefULL);
+  enc.process_id(17);
+  enc.process_set(ProcessSet{0, 5, 63});
+  crypto::Digest digest;
+  for (std::size_t i = 0; i < digest.bytes.size(); ++i)
+    digest.bytes[i] = static_cast<std::uint8_t>(i);
+  enc.digest(digest);
+  crypto::Signature sig;
+  sig.tag = digest;
+  sig.signer = 3;
+  enc.signature(sig);
+  enc.bytes(std::vector<std::uint8_t>{1, 2, 3, 4});
+  enc.str("quorum");
+  enc.u64_vector(std::vector<std::uint64_t>{7, 8, 9});
+  return std::move(enc).take();
+}
+
+/// Runs the full read sequence matching full_encoding() against `data`.
+void decode_all(Decoder& dec) {
+  dec.u8();
+  dec.u32();
+  dec.u64();
+  dec.process_id();
+  dec.process_set();
+  dec.digest();
+  dec.signature();
+  dec.bytes();
+  dec.str();
+  dec.u64_vector();
+}
+
+TEST(DecoderRobustnessTest, FullBufferDecodesClean) {
+  const auto data = full_encoding();
+  Decoder dec(data);
+  decode_all(dec);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(DecoderRobustnessTest, EveryTruncationFailsWithoutThrowing) {
+  const auto data = full_encoding();
+  for (std::size_t len = 0; len < data.size(); ++len) {
+    Decoder dec(std::span(data.data(), len));
+    EXPECT_NO_THROW(decode_all(dec)) << "threw at truncation length " << len;
+    // A strict prefix is always missing bytes some later read needs.
+    EXPECT_FALSE(dec.ok()) << "accepted a truncated buffer of " << len
+                           << "/" << data.size() << " bytes";
+    EXPECT_FALSE(dec.done());
+  }
+}
+
+TEST(DecoderRobustnessTest, ReadsAfterFailureStayFailedAndDefined) {
+  const auto data = full_encoding();
+  Decoder dec(std::span(data.data(), 2));  // kill it mid-u32
+  dec.u8();
+  EXPECT_EQ(dec.u32(), 0u);  // failed reads return zero values
+  EXPECT_FALSE(dec.ok());
+  // Every subsequent read, of any type, stays failed and well-defined.
+  EXPECT_EQ(dec.u64(), 0u);
+  EXPECT_EQ(dec.str(), "");
+  EXPECT_EQ(dec.bytes(), std::vector<std::uint8_t>{});
+  EXPECT_EQ(dec.u64_vector(), std::vector<std::uint64_t>{});
+  EXPECT_EQ(dec.digest(), crypto::Digest{});
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(DecoderRobustnessTest, LengthPrefixLyingBeyondBufferFails) {
+  // bytes()/str() whose length prefix claims more than the buffer holds.
+  Encoder enc;
+  enc.u64(1'000'000);  // "1 MB follows" — but nothing does
+  const auto data = std::move(enc).take();
+  {
+    Decoder dec(data);
+    EXPECT_EQ(dec.bytes(), std::vector<std::uint8_t>{});
+    EXPECT_FALSE(dec.ok());
+  }
+  {
+    Decoder dec(data);
+    EXPECT_EQ(dec.str(), "");
+    EXPECT_FALSE(dec.ok());
+  }
+}
+
+TEST(DecoderRobustnessTest, AbsurdVectorCountRejectedBeforeAllocating) {
+  // A Byzantine u64_vector count of 2^61 must not attempt the allocation.
+  Encoder enc;
+  enc.u64(std::uint64_t{1} << 61);
+  enc.u64(42);  // one real element
+  const auto data = std::move(enc).take();
+  Decoder dec(data);
+  EXPECT_NO_THROW({
+    const auto values = dec.u64_vector();
+    EXPECT_TRUE(values.empty());
+  });
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(DecoderRobustnessTest, RandomGarbageNeverThrows) {
+  Rng rng(0xbadc0de);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> garbage(rng.below(64));
+    for (auto& b : garbage)
+      b = static_cast<std::uint8_t>(rng.below(256));
+    Decoder dec(garbage);
+    EXPECT_NO_THROW(decode_all(dec));
+    // 63 bytes cannot satisfy the ~150-byte read sequence.
+    EXPECT_FALSE(dec.ok());
+  }
+}
+
+// The one message-decoding path that consumes raw (possibly Byzantine)
+// bytes end-to-end: KV operations inside client requests.
+TEST(DecoderRobustnessTest, OperationDecodeRejectsTruncationAndGarbage) {
+  app::Operation op;
+  op.type = app::OpType::kPut;
+  op.key = "key";
+  op.value = "value";
+  const std::vector<std::uint8_t> good = op.encode();
+
+  const auto decoded = app::Operation::decode(good);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, "key");
+  EXPECT_EQ(decoded->value, "value");
+
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_NO_THROW({
+      const auto bad = app::Operation::decode(std::span(good.data(), len));
+      EXPECT_FALSE(bad.has_value()) << "accepted truncation at " << len;
+    });
+  }
+
+  // Trailing junk must be rejected too (done() discipline).
+  std::vector<std::uint8_t> padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(app::Operation::decode(padded).has_value());
+
+  // Unknown opcode.
+  std::vector<std::uint8_t> bad_type = good;
+  bad_type[0] = 0x7f;
+  EXPECT_FALSE(app::Operation::decode(bad_type).has_value());
+
+  Rng rng(0xfeed);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> garbage(rng.below(48));
+    for (auto& b : garbage)
+      b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_NO_THROW((void)app::Operation::decode(garbage));
+  }
+}
+
+}  // namespace
+}  // namespace qsel::net

@@ -1,0 +1,164 @@
+// Replay determinism: the simulator promises that a run is a pure function
+// of its seeds, and the trace digest turns that promise into an assertable
+// property. These tests run the quorum-selection crash scenario (the same
+// shape as QuorumClusterTest.DeterministicAcrossIdenticalRuns) under a
+// tracer: identical seeds must give byte-identical digests, and differing
+// seeds must both change the digest *and* let the ReplayChecker pinpoint
+// the exact first diverging event.
+#include "trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "runtime/quorum_cluster.hpp"
+#include "trace/jsonl.hpp"
+
+namespace qsel::trace {
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+void run_scenario(std::uint64_t seed, Tracer& tracer) {
+  runtime::QuorumClusterConfig config;
+  config.n = 5;
+  config.f = 2;
+  config.seed = seed;
+  config.network.base_latency = 1'000'000;
+  config.network.jitter = 200'000;
+  config.heartbeat_period = 5'000'000;
+  config.fd.initial_timeout = 12'000'000;
+  runtime::QuorumCluster cluster(config);
+  cluster.attach_tracer(tracer);
+  cluster.start();
+  cluster.simulator().run_until(30 * kMs);
+  cluster.network().crash(0);
+  cluster.simulator().run_until(300 * kMs);
+}
+
+TracerConfig unbounded() {
+  TracerConfig config;
+  config.ring_capacity = 0;
+  return config;
+}
+
+TEST(ReplayTest, SameSeedGivesByteIdenticalTraces) {
+  Tracer a(unbounded());
+  Tracer b(unbounded());
+  run_scenario(7, a);
+  run_scenario(7, b);
+
+  // A real run records real work: crash + recovery means suspicions,
+  // UPDATE gossip and at least one quorum change went through the journal.
+  EXPECT_GT(a.events_recorded(), 100u);
+
+  EXPECT_EQ(a.digest().bytes, b.digest().bytes) << "nondeterminism regression";
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_EQ(ReplayChecker::compare(a, b), std::nullopt);
+}
+
+TEST(ReplayTest, ReplayCheckerAcceptsDeterministicScenario) {
+  EXPECT_EQ(ReplayChecker::check([](Tracer& t) { run_scenario(21, t); }),
+            std::nullopt);
+}
+
+TEST(ReplayTest, DifferentSeedDivergesAndCheckerPinpointsFirstEvent) {
+  Tracer a(unbounded());
+  Tracer b(unbounded());
+  run_scenario(7, a);
+  run_scenario(8, b);
+
+  EXPECT_NE(a.digest().bytes, b.digest().bytes);
+
+  const auto divergence = ReplayChecker::compare(a, b);
+  ASSERT_TRUE(divergence.has_value());
+
+  // The checker must report the *first* diverging index with both decoded
+  // events, not just "digests differ".
+  const std::vector<Event> ea = a.events();
+  const std::vector<Event> eb = b.events();
+  const std::size_t at = static_cast<std::size_t>(divergence->index);
+  ASSERT_LT(at, std::min(ea.size(), eb.size()));
+  for (std::size_t i = 0; i < at; ++i)
+    ASSERT_EQ(ea[i], eb[i]) << "events before the divergence must agree";
+  EXPECT_NE(ea[at], eb[at]);
+  ASSERT_TRUE(divergence->first.has_value());
+  ASSERT_TRUE(divergence->second.has_value());
+  EXPECT_EQ(*divergence->first, ea[at]);
+  EXPECT_EQ(*divergence->second, eb[at]);
+  EXPECT_NE(divergence->to_string().find("first divergence"),
+            std::string::npos);
+}
+
+TEST(ReplayTest, CompareReportsMissingEventWhenOneRunIsShorter) {
+  Tracer a(unbounded());
+  Tracer b(unbounded());
+  a.crash(0);
+  a.crash(1);
+  b.crash(0);
+  const auto divergence = ReplayChecker::compare(a, b);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->index, 1u);
+  ASSERT_TRUE(divergence->first.has_value());
+  EXPECT_FALSE(divergence->second.has_value());
+}
+
+TEST(ReplayTest, JsonlTraceReproducesTheRunDigest) {
+  const std::string path = testing::TempDir() + "replay_scenario.jsonl";
+  TracerConfig config;
+  config.ring_capacity = 0;
+  config.jsonl_path = path;
+  Tracer tracer(config);
+  run_scenario(7, tracer);
+  tracer.flush();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::uint64_t malformed = 0;
+  const std::vector<Event> from_file = read_jsonl(in, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  EXPECT_EQ(from_file.size(), tracer.events_recorded());
+  EXPECT_EQ(digest_of(from_file), tracer.digest());
+}
+
+// The journal is not just deterministic noise — it contains the semantic
+// events the paper reasons about, attributable to the injected fault.
+TEST(ReplayTest, ScenarioJournalContainsTheExpectedEventKinds) {
+  Tracer tracer(unbounded());
+  run_scenario(7, tracer);
+
+  bool saw_crash = false, saw_suspected = false, saw_merge = false,
+       saw_quorum_without_0 = false;
+  for (const Event& e : tracer.events()) {
+    switch (e.type) {
+      case EventType::kCrash:
+        saw_crash = true;
+        EXPECT_EQ(e.actor, 0u);
+        break;
+      case EventType::kSuspected:
+        // Correct processes only ever suspect the crashed p0. (p0's own FD
+        // also emits here: a crash only severs the network, so its local
+        // timeouts still fire and it gradually suspects everyone else.)
+        if (e.actor != 0 && e.arg0 != 0) {
+          saw_suspected = true;
+          EXPECT_EQ(e.arg0, ProcessSet{0}.mask());
+        }
+        break;
+      case EventType::kUpdateMerge:
+        saw_merge = true;
+        break;
+      case EventType::kQuorum:
+        if (!(e.arg0 & 1)) saw_quorum_without_0 = true;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_suspected);
+  EXPECT_TRUE(saw_merge);
+  EXPECT_TRUE(saw_quorum_without_0) << "no quorum excluding the crashed p0";
+}
+
+}  // namespace
+}  // namespace qsel::trace

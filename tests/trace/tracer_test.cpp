@@ -1,0 +1,203 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "trace/jsonl.hpp"
+
+namespace qsel::trace {
+namespace {
+
+Event sample_event(std::uint64_t i) {
+  Event e;
+  e.time = i * 100;
+  e.type = EventType::kSend;
+  e.actor = static_cast<ProcessId>(i % 4);
+  e.peer = static_cast<ProcessId>((i + 1) % 4);
+  e.arg0 = i;
+  e.arg1 = 52;
+  e.tag = "test.payload";
+  return e;
+}
+
+TEST(TracerTest, DigestIsChainedAndOrderSensitive) {
+  Tracer a;
+  Tracer b;
+  EXPECT_EQ(a.digest(), b.digest());  // both at the zero digest
+
+  a.send(0, 1, "x", 100, 10);
+  EXPECT_NE(a.digest(), b.digest());
+
+  b.send(0, 1, "x", 100, 10);
+  EXPECT_EQ(a.digest(), b.digest());
+
+  // Same two events, opposite order: digests must differ.
+  Tracer c;
+  Tracer d;
+  c.send(0, 1, "x", 100, 10);
+  c.deliver(1, 0, "x", 10);
+  d.deliver(1, 0, "x", 10);
+  d.send(0, 1, "x", 100, 10);
+  EXPECT_NE(c.digest(), d.digest());
+
+  // digest_of over the journal reproduces the running digest.
+  EXPECT_EQ(digest_of(c.events()), c.digest());
+}
+
+TEST(TracerTest, EveryFieldFeedsTheDigest) {
+  const Event base = sample_event(1);
+  for (int field = 0; field < 6; ++field) {
+    Event changed = base;
+    switch (field) {
+      case 0: changed.time += 1; break;
+      case 1: changed.type = EventType::kDeliver; break;
+      case 2: changed.actor += 1; break;
+      case 3: changed.peer += 1; break;
+      case 4: changed.arg0 += 1; break;
+      case 5: changed.tag = "other"; break;
+    }
+    const Event events_a[] = {base};
+    const Event events_b[] = {changed};
+    EXPECT_NE(digest_of(events_a), digest_of(events_b))
+        << "field " << field << " not covered by the digest";
+  }
+}
+
+TEST(TracerTest, RingEvictsOldestButDigestCoversEverything) {
+  TracerConfig config;
+  config.ring_capacity = 4;
+  Tracer tracer(config);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const Event e = sample_event(i);
+    tracer.record(e.type, e.actor, e.peer, e.arg0, e.arg1, e.tag);
+  }
+  EXPECT_EQ(tracer.events_recorded(), 10u);
+  EXPECT_EQ(tracer.events_evicted(), 6u);
+  EXPECT_EQ(tracer.first_retained_index(), 6u);
+
+  const std::vector<Event> retained = tracer.events();
+  ASSERT_EQ(retained.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(retained[i].arg0, 6 + i) << "oldest-first order violated";
+
+  // The digest still covers all ten events, not just the retained four.
+  std::vector<Event> all;
+  Tracer unbounded(TracerConfig{true, 0, ""});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const Event e = sample_event(i);
+    unbounded.record(e.type, e.actor, e.peer, e.arg0, e.arg1, e.tag);
+  }
+  EXPECT_EQ(tracer.digest(), unbounded.digest());
+  EXPECT_NE(tracer.digest(), digest_of(retained));
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  TracerConfig config;
+  config.enabled = false;
+  Tracer tracer(config);
+  tracer.send(0, 1, "x", 100, 10);
+  tracer.crash(2);
+  EXPECT_EQ(tracer.events_recorded(), 0u);
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.digest(), crypto::Digest{});
+}
+
+TEST(TracerTest, ClockStampsEvents) {
+  Tracer tracer;
+  std::uint64_t now = 42;
+  tracer.set_clock([&now] { return now; });
+  tracer.crash(1);
+  now = 99;
+  tracer.crash(2);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, 42u);
+  EXPECT_EQ(events[1].time, 99u);
+}
+
+TEST(JsonlTest, WriteParseRoundTrip) {
+  std::ostringstream out;
+  for (std::uint64_t i = 0; i < 5; ++i)
+    write_jsonl_line(out, sample_event(i), i);
+  // One event with no peer and no tag (the optional fields).
+  Event bare;
+  bare.time = 7;
+  bare.type = EventType::kCrash;
+  bare.actor = 3;
+  write_jsonl_line(out, bare, 5);
+
+  std::istringstream in(out.str());
+  std::uint64_t malformed = 0;
+  const std::vector<Event> parsed = read_jsonl(in, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_EQ(parsed.size(), 6u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(parsed[i], sample_event(i));
+  EXPECT_EQ(parsed[5], bare);
+}
+
+TEST(JsonlTest, TagEscaping) {
+  Event e = sample_event(0);
+  e.tag = "weird\"tag\\with{}chars";
+  std::ostringstream out;
+  write_jsonl_line(out, e, 0);
+  const auto parsed = parse_jsonl_line(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, e);
+}
+
+TEST(JsonlTest, MalformedLinesAreSkippedNotThrown) {
+  std::istringstream in(
+      "not json at all\n"
+      "{\"t\":1,\"e\":\"NOPE\",\"p\":0,\"a0\":0,\"a1\":0}\n"  // unknown type
+      "{\"t\":1,\"e\":\"SEND\",\"p\":0}\n"                    // missing args
+      "{\"i\":9,\"t\":5,\"e\":\"CRASH\",\"p\":2,\"a0\":0,\"a1\":0}\n");
+  std::uint64_t malformed = 0;
+  const auto events = read_jsonl(in, &malformed);
+  EXPECT_EQ(malformed, 3u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, EventType::kCrash);
+  EXPECT_EQ(events[0].actor, 2u);
+}
+
+TEST(TracerTest, JsonlSinkMirrorsTheJournal) {
+  const std::string path = testing::TempDir() + "tracer_sink_test.jsonl";
+  TracerConfig config;
+  config.ring_capacity = 0;
+  config.jsonl_path = path;
+  Tracer tracer(config);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const Event e = sample_event(i);
+    tracer.record(e.type, e.actor, e.peer, e.arg0, e.arg1, e.tag);
+  }
+  tracer.flush();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::uint64_t malformed = 0;
+  const std::vector<Event> from_file = read_jsonl(in, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  EXPECT_EQ(from_file, tracer.events());
+  // The digest is recomputable from the file alone — the property
+  // trace_inspect relies on to verify traces offline.
+  EXPECT_EQ(digest_of(from_file), tracer.digest());
+}
+
+TEST(EventTest, TypeNamesRoundTrip) {
+  for (auto type :
+       {EventType::kSend, EventType::kDeliver, EventType::kDrop,
+        EventType::kLinkFault, EventType::kCrash, EventType::kSuspected,
+        EventType::kRestored, EventType::kUpdateReceive,
+        EventType::kUpdateMerge, EventType::kUpdateForward,
+        EventType::kUpdateReject, EventType::kEpochAdvance,
+        EventType::kQuorum}) {
+    const auto name = event_type_name(type);
+    EXPECT_NE(name, "UNKNOWN");
+    EXPECT_EQ(event_type_from_name(name), type);
+  }
+  EXPECT_FALSE(event_type_from_name("UNKNOWN").has_value());
+}
+
+}  // namespace
+}  // namespace qsel::trace

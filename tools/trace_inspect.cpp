@@ -1,0 +1,200 @@
+// trace_inspect — offline analysis of a JSONL event trace.
+//
+//   trace_inspect <trace.jsonl>                  summary view
+//   trace_inspect <trace.jsonl> --process 2      timeline for process 2
+//   trace_inspect <trace.jsonl> --limit 200      cap timeline length
+//
+// The summary recomputes the chained SHA-256 trace digest from the file,
+// so two runs can be compared by their files alone; it then breaks the
+// run down the way the paper's experiments reason about it: message
+// volume per payload type, quorum changes per epoch, and per-process
+// event activity.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using namespace qsel;
+
+struct TagStats {
+  std::uint64_t sends = 0;
+  std::uint64_t delivers = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t bytes = 0;  // bytes offered to the network (sends + drops)
+};
+
+struct ProcessStats {
+  std::uint64_t sends = 0;
+  std::uint64_t delivers = 0;
+  std::uint64_t suspicions = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t quorums = 0;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <trace.jsonl> [--process <id>] [--limit <n>]\n";
+  return 2;
+}
+
+double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  std::string path;
+  long long only_process = -1;
+  std::uint64_t limit = 50;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--process" && i + 1 < argc) {
+      only_process = std::stoll(argv[++i]);
+    } else if (arg == "--limit" && i + 1 < argc) {
+      limit = static_cast<std::uint64_t>(std::stoll(argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::cerr << "trace_inspect: cannot open " << path << "\n";
+    return 1;
+  }
+  std::uint64_t malformed = 0;
+  const std::vector<trace::Event> events = trace::read_jsonl(in, &malformed);
+  if (events.empty()) {
+    std::cerr << "trace_inspect: no events in " << path << " (" << malformed
+              << " malformed lines)\n";
+    return 1;
+  }
+
+  // --- per-process timeline mode --------------------------------------
+  if (only_process >= 0) {
+    const auto pid = static_cast<ProcessId>(only_process);
+    std::uint64_t shown = 0, total = 0;
+    for (const trace::Event& e : events) {
+      if (e.actor != pid && e.peer != pid) continue;
+      ++total;
+      if (shown < limit) {
+        std::cout << e.to_string() << "\n";
+        ++shown;
+      }
+    }
+    if (shown < total)
+      std::cout << "... (" << (total - shown) << " more; raise --limit)\n";
+    std::cout << total << " events involving p" << pid << "\n";
+    return 0;
+  }
+
+  // --- summary ---------------------------------------------------------
+  std::cout << "trace: " << path << "\n";
+  std::cout << "events: " << events.size();
+  if (malformed > 0) std::cout << "  (malformed lines skipped: " << malformed << ")";
+  std::cout << "\n";
+  std::cout << "span:   " << ms(events.front().time) << " ms .. "
+            << ms(events.back().time) << " ms\n";
+  std::cout << "digest: " << trace::digest_of(events).to_hex() << "\n";
+
+  std::map<std::string, TagStats> by_tag;
+  std::map<ProcessId, ProcessStats> by_process;
+  // (epoch, process) -> quorum changes; epoch alone for the headline.
+  std::map<Epoch, std::uint64_t> quorum_changes_by_epoch;
+  std::uint64_t drops = 0, faults = 0, crashes = 0;
+
+  for (const trace::Event& e : events) {
+    ProcessStats& p = by_process[e.actor];
+    switch (e.type) {
+      case trace::EventType::kSend:
+        by_tag[e.tag].sends++;
+        by_tag[e.tag].bytes += e.arg1;
+        p.sends++;
+        break;
+      case trace::EventType::kDeliver:
+        by_tag[e.tag].delivers++;
+        p.delivers++;
+        break;
+      case trace::EventType::kDrop:
+        by_tag[e.tag].drops++;
+        by_tag[e.tag].bytes += e.arg1;
+        ++drops;
+        break;
+      case trace::EventType::kLinkFault:
+        ++faults;
+        break;
+      case trace::EventType::kCrash:
+        ++crashes;
+        break;
+      case trace::EventType::kSuspected:
+        p.suspicions++;
+        break;
+      case trace::EventType::kUpdateReceive:
+      case trace::EventType::kUpdateMerge:
+      case trace::EventType::kUpdateForward:
+      case trace::EventType::kUpdateReject:
+        p.updates++;
+        break;
+      case trace::EventType::kEpochAdvance:
+        p.epochs++;
+        break;
+      case trace::EventType::kQuorum:
+        p.quorums++;
+        quorum_changes_by_epoch[e.arg1]++;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::cout << "faults: " << faults << " link fault(s), " << crashes
+            << " crash(es), " << drops << " dropped message(s)\n";
+
+  std::cout << "\nmessage volume by type\n";
+  std::cout << "  type                     sends  delivers  drops      bytes\n";
+  for (const auto& [tag, s] : by_tag) {
+    std::printf("  %-22s %8llu  %8llu %6llu %10llu\n",
+                tag.empty() ? "(untagged)" : tag.c_str(),
+                static_cast<unsigned long long>(s.sends),
+                static_cast<unsigned long long>(s.delivers),
+                static_cast<unsigned long long>(s.drops),
+                static_cast<unsigned long long>(s.bytes));
+  }
+
+  if (!quorum_changes_by_epoch.empty()) {
+    std::cout << "\nquorum changes per epoch (Theorem 3 bound: f(f+1) per "
+                 "process per epoch)\n";
+    for (const auto& [epoch, count] : quorum_changes_by_epoch)
+      std::cout << "  epoch " << epoch << ": " << count
+                << " <QUORUM> output(s) across all processes\n";
+  }
+
+  std::cout << "\nper-process activity\n";
+  std::cout
+      << "  proc     sends  delivers  suspected  updates  epochs  quorums\n";
+  for (const auto& [id, p] : by_process) {
+    if (id == kNoProcess) continue;
+    std::printf("  p%-6u %7llu  %8llu  %9llu  %7llu  %6llu  %7llu\n", id,
+                static_cast<unsigned long long>(p.sends),
+                static_cast<unsigned long long>(p.delivers),
+                static_cast<unsigned long long>(p.suspicions),
+                static_cast<unsigned long long>(p.updates),
+                static_cast<unsigned long long>(p.epochs),
+                static_cast<unsigned long long>(p.quorums));
+  }
+  std::cout << "\nuse --process <id> for a per-process timeline\n";
+  return 0;
+}
