@@ -88,6 +88,7 @@ void FollowerSelector::update_quorum() {
                                << followers.to_string();
         auto msg =
             FollowersMessage::make(signer_, followers, line, core_.epoch());
+        last_announcement_ = msg;
         hooks_.broadcast(msg);
         // Accept the own choice immediately (the paper broadcasts to self
         // and accepts on the stable=false path of Line 33).
@@ -99,6 +100,14 @@ void FollowerSelector::update_quorum() {
     }
     return;
   }
+}
+
+std::shared_ptr<const FollowersMessage> FollowerSelector::announcement()
+    const {
+  if (!stable_ || leader_ != core_.self() || last_announcement_ == nullptr ||
+      last_announcement_->epoch != core_.epoch())
+    return nullptr;
+  return last_announcement_;
 }
 
 bool FollowerSelector::well_formed(const FollowersMessage& msg,

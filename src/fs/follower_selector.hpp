@@ -75,6 +75,10 @@ class FollowerSelector {
   /// by the embedded leader signature).
   void on_followers(const std::shared_ptr<const FollowersMessage>& msg);
 
+  /// Anti-entropy tick: re-broadcasts the own matrix row so state lost to
+  /// a dropped UPDATE is eventually re-offered (SuspicionCore::resync).
+  void resync() { core_.resync(); }
+
   /// Attaches an event tracer to this selector and its suspicion core:
   /// <QUORUM, leader, Q> outputs (peer = leader), suspicion and UPDATE
   /// traffic are journaled.
@@ -94,6 +98,12 @@ class FollowerSelector {
   const std::vector<LeaderQuorumRecord>& history() const { return history_; }
   std::uint64_t quorums_issued() const { return history_.size(); }
 
+  /// The FOLLOWERS message this process broadcast as the stable leader of
+  /// the current epoch, for retransmission to processes with a stale view
+  /// (a single lost broadcast — e.g. across a partition — must not wedge
+  /// a receiver forever); null whenever this process is not that leader.
+  std::shared_ptr<const FollowersMessage> announcement() const;
+
  private:
   void update_quorum();
   void issue(ProcessId leader, ProcessSet quorum);
@@ -111,6 +121,7 @@ class FollowerSelector {
   ProcessId leader_ = 0;  // initial leader p_1 (index 0)
   bool stable_ = true;
   ProcessSet qlast_;
+  std::shared_ptr<const FollowersMessage> last_announcement_;
   std::vector<LeaderQuorumRecord> history_;
   trace::Tracer* tracer_ = nullptr;
 };

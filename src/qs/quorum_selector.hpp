@@ -60,6 +60,10 @@ class QuorumSelector {
     core_.on_update(msg);
   }
 
+  /// Anti-entropy tick: re-broadcasts the own matrix row so state lost to
+  /// a dropped UPDATE is eventually re-offered (SuspicionCore::resync).
+  void resync() { core_.resync(); }
+
   /// Attaches an event tracer to this selector and its suspicion core:
   /// <QUORUM, Q> outputs, suspicion and UPDATE traffic are journaled.
   void set_tracer(trace::Tracer* tracer) {

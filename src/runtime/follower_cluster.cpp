@@ -71,6 +71,18 @@ void FollowerProcess::tick() {
                  "heartbeat");
     }
   }
+  // Anti-entropy every 16th tick: forward-on-change UPDATE gossip and the
+  // one-shot FOLLOWERS broadcast are both reliable only over reliable
+  // links, so a message lost to a partition would otherwise leave matrices
+  // (and with them leader/quorum state) split forever after the heal.
+  // Re-offering the own row and the current announcement makes both
+  // propagation paths self-healing; receivers absorb duplicates without
+  // re-forwarding or re-evaluating.
+  if (heartbeat_seq_ % 16 == 0) {
+    selector_.resync();
+    if (auto announcement = selector_.announcement(); announcement != nullptr)
+      broadcast_others(announcement);
+  }
   network_.simulator().schedule_after(heartbeat_period_, [this] { tick(); });
 }
 
@@ -96,6 +108,16 @@ void FollowerProcess::on_message(ProcessId from,
           std::dynamic_pointer_cast<const HeartbeatMessage>(message)) {
     if (!heartbeat->verify(signer_, network_.process_count())) return;
     fd_.on_receive(heartbeat->origin, message);
+    // Every process heartbeats the leader it believes in, so a heartbeat
+    // reaching the stable leader from outside its quorum marks a sender
+    // whose view may be stale (it missed the FOLLOWERS broadcast, e.g.
+    // across a partition). Retransmit the announcement verbatim so one
+    // lost broadcast cannot wedge the sender forever; duplicates are
+    // idempotent and never read as equivocation.
+    if (auto announcement = selector_.announcement();
+        announcement != nullptr &&
+        !selector_.quorum().contains(heartbeat->origin))
+      network_.send(self(), heartbeat->origin, announcement);
     return;
   }
 }

@@ -47,6 +47,12 @@ void QuorumProcess::tick() {
                },
                "heartbeat");
   }
+  // Anti-entropy every 16th tick (same rationale as FollowerProcess):
+  // forward-on-change gossip is reliable only over reliable links, so an
+  // UPDATE lost to a partition is never re-sent and matrices would stay
+  // split after the heal. Re-offering the own row makes dissemination
+  // self-healing; receivers absorb duplicates without re-forwarding.
+  if (heartbeat_seq_ % 16 == 0) selector_.resync();
   network_.simulator().schedule_after(heartbeat_period_, [this] { tick(); });
 }
 

@@ -1,0 +1,52 @@
+// ScheduleGenerator — seeded randomized fault schedules.
+//
+// From a single 64-bit seed the generator derives one complete Schedule:
+// system size, GST placement and a fault script drawn from one of four
+// archetypes —
+//
+//   link faults:  omission and timing failures on links adjacent to at
+//                 most f culprit processes (some healed, some permanent);
+//   crashes:      up to f crash failures, possibly mixed with link faults
+//                 on the same culprits;
+//   partition:    a network split (optionally nested link faults), always
+//                 healed before the quiet window so the eventual
+//                 properties apply;
+//   adversary:    a Byzantine suspicion walk taken from src/adversary —
+//                 the Theorem-4 interruption strategy against Algorithm 1
+//                 (exact game for small cores) or the constructive 3f-walk
+//                 against Follower Selection (Theorem 9) — replayed as
+//                 kInjectSuspicion actions from the cover processes.
+//
+// Every generated schedule passes Schedule::validate(): faults stay
+// within the f budget (partitions excepted — they are deliberately
+// non-attributable), partitions are healed, and the quiet window starts
+// after a settle period long enough for the adaptive failure detector to
+// re-stabilize. Identical (config, seed) pairs generate identical
+// schedules on every platform; the fuzzer's swarm is just a seed range.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/schedule.hpp"
+
+namespace qsel::scenario {
+
+struct GeneratorConfig {
+  ProcessId n_min = 4;
+  ProcessId n_max = 10;
+  int f_min = 1;
+  int f_max = 3;
+};
+
+class ScheduleGenerator {
+ public:
+  explicit ScheduleGenerator(GeneratorConfig config);
+
+  /// Derives the whole schedule from (protocol, seed), deterministically.
+  Schedule generate(Protocol protocol, std::uint64_t seed) const;
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace qsel::scenario

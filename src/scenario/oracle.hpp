@@ -1,0 +1,94 @@
+// PropertyOracle — the paper's guarantees as machine-checked predicates.
+//
+// The runner reduces a finished execution to plain Observations; the
+// oracles are pure functions over (Schedule, Observations), so every
+// check is unit-testable without re-running a simulation. Checked
+// properties, with the premises under which each is sound:
+//
+//   Termination   (Section IV-A)  no quorum is issued inside the quiet
+//                                 window — always checked;
+//   Agreement     (Section IV-A)  all live correct processes report the
+//                                 same quorum (and leader, for Follower
+//                                 Selection) of size n - f — always;
+//   No suspicion  (Section IV-A / VIII)  no quorum member suspects another
+//                                 member (Algorithm 1), resp. no member
+//                                 suspects the leader and the leader
+//                                 suspects no member (Algorithm 2) — always;
+//   Theorem 3     at most f(f+1)+1 quorums per epoch per correct process
+//                 for Algorithm 1 — always (the bound needs only that a
+//                 quorum exists at each issue, i.e. the live suspicion
+//                 edges have a vertex cover of size <= f);
+//   Theorem 9 /   at most 3f+1 quorums per epoch, resp. 6f+2 in total,
+//   Corollary 10  for Follower Selection — only on attributable()
+//                 schedules (the proofs assume all suspicions trace back
+//                 to f faulty processes, which partitions and pre-GST
+//                 asynchrony deliberately violate);
+//   CRDT          alive fully-correct processes hold identical suspicion
+//   convergence   matrices — only on partition-free schedules (messages
+//                 dropped inside a partition are not re-sent; the paper
+//                 only needs the *graphs* to re-converge, which Agreement
+//                 already witnesses);
+//   XPaxos        executed histories prefix-consistent — always; all
+//                 client requests complete — only on fault-free schedules.
+//
+// Trace-digest determinism (same schedule twice => same digest) is the
+// one property that needs two runs; the fuzz driver checks it by calling
+// the runner twice rather than through this layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "scenario/schedule.hpp"
+#include "suspect/suspicion_matrix.hpp"
+
+namespace qsel::scenario {
+
+/// Final state of one honest process, as the oracles need it.
+struct ProcessObservation {
+  ProcessId id = kNoProcess;
+  bool alive = false;    // honest and never crashed
+  bool culprit = false;  // schedule faults are attributed to it
+  ProcessSet quorum;
+  ProcessId leader = kNoProcess;  // Follower Selection only
+  ProcessSet suspected;           // failure-detector suspect set
+  Epoch epoch = 1;
+  std::uint64_t quorums_issued = 0;
+  /// (epoch, quorums issued in it), ascending by epoch.
+  std::vector<std::pair<Epoch, std::uint64_t>> quorums_per_epoch;
+  std::optional<suspect::SuspicionMatrix> matrix;
+};
+
+struct Observations {
+  std::vector<ProcessObservation> processes;
+  /// Sum of quorums issued across honest processes, sampled at
+  /// quiet_start and again at quiet_start + quiet_window.
+  std::uint64_t issued_at_quiet = 0;
+  std::uint64_t issued_at_end = 0;
+  // XPaxos only.
+  bool histories_consistent = true;
+  std::uint64_t completed_requests = 0;
+};
+
+struct Violation {
+  std::string oracle;  // "termination", "agreement", ...
+  std::string detail;
+
+  std::string to_string() const { return oracle + ": " + detail; }
+};
+
+struct OracleReport {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+OracleReport check_oracles(const Schedule& schedule, const Observations& obs);
+
+}  // namespace qsel::scenario

@@ -1,0 +1,269 @@
+#include "scenario/runner.hpp"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "runtime/follower_cluster.hpp"
+#include "runtime/quorum_cluster.hpp"
+#include "suspect/update_message.hpp"
+#include "trace/tracer.hpp"
+#include "xpaxos/cluster.hpp"
+
+namespace qsel::scenario {
+
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+sim::NetworkConfig network_config(const Schedule& schedule) {
+  sim::NetworkConfig config;
+  config.base_latency = 1 * kMs;
+  config.jitter = 200'000;
+  config.gst = schedule.gst;
+  config.pre_gst_extra = schedule.pre_gst_extra;
+  return config;
+}
+
+trace::TracerConfig tracer_config(const RunOptions& options) {
+  trace::TracerConfig config;
+  config.enabled = options.trace;
+  config.jsonl_path = options.trace_jsonl_path;
+  return config;
+}
+
+/// Applies the fault timeline plus per-author adversary rows to whichever
+/// cluster is running; `honest` is where injected UPDATEs are gossiped.
+class ActionApplier {
+ public:
+  ActionApplier(sim::Network& network, const crypto::KeyRegistry& keys,
+                ProcessSet honest)
+      : network_(network), keys_(keys), honest_(honest) {}
+
+  void apply(const FaultAction& action) {
+    const ProcessId n = network_.process_count();
+    switch (action.kind) {
+      case FaultKind::kCrash:
+        network_.crash(action.a);
+        break;
+      case FaultKind::kLinkDown:
+        network_.set_link_enabled(action.a, action.b, false);
+        break;
+      case FaultKind::kLinkUp:
+        network_.set_link_enabled(action.a, action.b, true);
+        break;
+      case FaultKind::kLinkDelay:
+        network_.set_link_extra_delay(action.a, action.b, action.value);
+        break;
+      case FaultKind::kPartition: {
+        const ProcessSet side_a(action.value);
+        network_.partition(side_a, ProcessSet::full(n) - side_a);
+        break;
+      }
+      case FaultKind::kHeal:
+        network_.heal_partition();
+        break;
+      case FaultKind::kInjectSuspicion: {
+        auto& row = rows_[action.a];
+        if (row.empty()) row.assign(n, 0);
+        row[action.b] = 1;  // epoch-1 suspicion stamp
+        const crypto::Signer signer(keys_, action.a);
+        const auto update = suspect::UpdateMessage::make(signer, row);
+        for (ProcessId to : honest_) network_.send(action.a, to, update);
+        break;
+      }
+    }
+  }
+
+ private:
+  sim::Network& network_;
+  const crypto::KeyRegistry& keys_;
+  ProcessSet honest_;
+  std::map<ProcessId, std::vector<Epoch>> rows_;
+};
+
+void run_timeline(const Schedule& schedule, sim::Simulator& sim,
+                  ActionApplier& applier) {
+  for (const FaultAction& action : schedule.actions) {
+    sim.run_until(action.at);
+    applier.apply(action);
+  }
+}
+
+std::vector<std::pair<Epoch, std::uint64_t>> per_epoch_counts(
+    const auto& history) {
+  std::map<Epoch, std::uint64_t> counts;
+  for (const auto& record : history) ++counts[record.epoch];
+  return {counts.begin(), counts.end()};
+}
+
+/// Test-only corruption (see TestBug): the lowest-id live process reports
+/// its initial default configuration instead of its real one.
+void apply_test_bug(const Schedule& schedule, Observations& obs) {
+  for (ProcessObservation& process : obs.processes) {
+    if (!process.alive) continue;
+    if (process.quorums_issued == 0) return;  // bug needs a quorum change
+    process.quorum = ProcessSet::range(
+        0, static_cast<ProcessId>(static_cast<int>(schedule.n) - schedule.f));
+    process.leader = 0;
+    return;
+  }
+}
+
+template <class Cluster>
+void finish(const Schedule& schedule, const RunOptions& options,
+            Cluster& cluster, const trace::Tracer& tracer,
+            Observations& obs, RunResult& result) {
+  if (options.test_bug == TestBug::kStuckQuorum)
+    apply_test_bug(schedule, obs);
+  result.observations = obs;
+  result.report = check_oracles(schedule, result.observations);
+  if (options.trace) result.digest = tracer.digest();
+  result.events_processed = cluster.simulator().events_processed();
+  result.messages_sent = cluster.network().stats().total_messages();
+}
+
+RunResult run_quorum_selection(const Schedule& schedule,
+                               const RunOptions& options) {
+  runtime::QuorumClusterConfig config;
+  config.n = schedule.n;
+  config.f = schedule.f;
+  config.seed = schedule.seed;
+  config.network = network_config(schedule);
+  config.fd.initial_timeout = 12 * kMs;
+  config.heartbeat_period = schedule.heartbeat_period;
+
+  trace::Tracer tracer(tracer_config(options));
+  runtime::QuorumCluster cluster(config, schedule.byzantine);
+  if (options.trace) cluster.attach_tracer(tracer);
+  cluster.start();
+
+  ActionApplier applier(cluster.network(), cluster.keys(), cluster.correct());
+  run_timeline(schedule, cluster.simulator(), applier);
+  cluster.simulator().run_until(schedule.quiet_start);
+
+  RunResult result;
+  Observations obs;
+  obs.issued_at_quiet = cluster.total_quorums_issued();
+  cluster.simulator().run_until(schedule.quiet_start + schedule.quiet_window);
+  obs.issued_at_end = cluster.total_quorums_issued();
+
+  const ProcessSet culprits = schedule.culprits();
+  for (ProcessId id : cluster.correct()) {
+    runtime::QuorumProcess& process = cluster.process(id);
+    ProcessObservation po;
+    po.id = id;
+    po.alive = !cluster.network().is_crashed(id);
+    po.culprit = culprits.contains(id);
+    po.quorum = process.quorum();
+    po.suspected = process.failure_detector().suspected();
+    po.epoch = process.selector().epoch();
+    po.quorums_issued = process.selector().quorums_issued();
+    po.quorums_per_epoch = per_epoch_counts(process.selector().history());
+    po.matrix = process.selector().matrix();
+    result.max_epoch = std::max(result.max_epoch, po.epoch);
+    result.total_quorums += po.quorums_issued;
+    obs.processes.push_back(std::move(po));
+  }
+  finish(schedule, options, cluster, tracer, obs, result);
+  return result;
+}
+
+RunResult run_follower_selection(const Schedule& schedule,
+                                 const RunOptions& options) {
+  runtime::FollowerClusterConfig config;
+  config.n = schedule.n;
+  config.f = schedule.f;
+  config.seed = schedule.seed;
+  config.network = network_config(schedule);
+  config.fd.initial_timeout = 12 * kMs;
+  config.heartbeat_period = schedule.heartbeat_period;
+
+  trace::Tracer tracer(tracer_config(options));
+  runtime::FollowerCluster cluster(config, schedule.byzantine);
+  if (options.trace) cluster.attach_tracer(tracer);
+  cluster.start();
+
+  ActionApplier applier(cluster.network(), cluster.keys(), cluster.correct());
+  run_timeline(schedule, cluster.simulator(), applier);
+  cluster.simulator().run_until(schedule.quiet_start);
+
+  RunResult result;
+  Observations obs;
+  obs.issued_at_quiet = cluster.total_quorums_issued();
+  cluster.simulator().run_until(schedule.quiet_start + schedule.quiet_window);
+  obs.issued_at_end = cluster.total_quorums_issued();
+
+  const ProcessSet culprits = schedule.culprits();
+  for (ProcessId id : cluster.correct()) {
+    runtime::FollowerProcess& process = cluster.process(id);
+    ProcessObservation po;
+    po.id = id;
+    po.alive = !cluster.network().is_crashed(id);
+    po.culprit = culprits.contains(id);
+    po.quorum = process.quorum();
+    po.leader = process.leader();
+    po.suspected = process.failure_detector().suspected();
+    po.epoch = process.selector().epoch();
+    po.quorums_issued = process.selector().quorums_issued();
+    po.quorums_per_epoch = per_epoch_counts(process.selector().history());
+    po.matrix = process.selector().core().matrix();
+    result.max_epoch = std::max(result.max_epoch, po.epoch);
+    result.total_quorums += po.quorums_issued;
+    obs.processes.push_back(std::move(po));
+  }
+  finish(schedule, options, cluster, tracer, obs, result);
+  return result;
+}
+
+RunResult run_xpaxos(const Schedule& schedule, const RunOptions& options) {
+  xpaxos::ClusterConfig config;
+  config.n = schedule.n;
+  config.f = schedule.f;
+  config.policy = xpaxos::QuorumPolicy::kQuorumSelection;
+  config.clients = 1;
+  config.seed = schedule.seed;
+  config.network = network_config(schedule);
+  config.fd.initial_timeout = 12 * kMs;
+
+  trace::Tracer tracer(tracer_config(options));
+  xpaxos::Cluster cluster(config);
+  if (options.trace) {
+    tracer.set_clock(
+        [&sim = cluster.simulator()] { return sim.now(); });
+    cluster.network().set_tracer(&tracer);
+  }
+  cluster.start_clients(schedule.requests);
+
+  ActionApplier applier(cluster.network(), cluster.keys(), {});
+  run_timeline(schedule, cluster.simulator(), applier);
+  cluster.simulator().run_until(schedule.quiet_start);
+
+  RunResult result;
+  Observations obs;
+  cluster.simulator().run_until(schedule.quiet_start + schedule.quiet_window);
+  obs.histories_consistent = cluster.histories_consistent();
+  obs.completed_requests = cluster.total_completed();
+  finish(schedule, options, cluster, tracer, obs, result);
+  return result;
+}
+
+}  // namespace
+
+RunResult run_schedule(const Schedule& schedule, const RunOptions& options) {
+  const auto error = schedule.validate();
+  QSEL_REQUIRE_MSG(!error.has_value(), "invalid schedule");
+  switch (schedule.protocol) {
+    case Protocol::kQuorumSelection:
+      return run_quorum_selection(schedule, options);
+    case Protocol::kFollowerSelection:
+      return run_follower_selection(schedule, options);
+    case Protocol::kXPaxos:
+      return run_xpaxos(schedule, options);
+  }
+  QSEL_ASSERT_MSG(false, "unreachable");
+  return {};
+}
+
+}  // namespace qsel::scenario

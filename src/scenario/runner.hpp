@@ -1,0 +1,59 @@
+// ScenarioRunner — executes a Schedule against the composed system.
+//
+// Builds the cluster the schedule names (QuorumCluster, FollowerCluster
+// or the XPaxos stack), replays the FaultAction timeline on the simulated
+// network at the scheduled virtual times, lets the system settle, reduces
+// the final state to oracle::Observations and returns the oracle report
+// together with the run's chained trace digest. Running the same schedule
+// twice must produce identical digests — the fuzz driver uses that as the
+// determinism oracle, and the corpus regression test pins digests of
+// known-interesting seeds.
+//
+// kInjectSuspicion actions realize the adversary strategies of Theorems 4
+// and 9 in the live system: the runner accumulates one suspicion row per
+// Byzantine author and gossips each increment as a correctly-signed
+// UPDATE to every honest process (equivocation-free; the CRDT merge makes
+// equivocating variants converge to the same state anyway).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "scenario/oracle.hpp"
+#include "scenario/schedule.hpp"
+
+namespace qsel::scenario {
+
+/// Test-only behaviour corruptions, used to prove the oracle + shrinker
+/// pipeline catches real bugs (see tests/scenario/shrinker_test.cpp).
+/// kStuckQuorum makes the lowest-id live process report its initial
+/// default quorum (and leader) instead of its true final output whenever
+/// the run made it change quorum at least once — an agreement bug that
+/// only manifests on schedules that actually force a quorum change.
+enum class TestBug : std::uint8_t { kNone = 0, kStuckQuorum };
+
+struct RunOptions {
+  /// Attach a tracer and compute the chained digest (slightly slower).
+  bool trace = true;
+  /// When non-empty, the trace is also streamed to this JSONL file.
+  std::string trace_jsonl_path;
+  TestBug test_bug = TestBug::kNone;
+};
+
+struct RunResult {
+  OracleReport report;
+  Observations observations;
+  /// Chained trace digest (zero when RunOptions::trace is false).
+  crypto::Digest digest{};
+  std::uint64_t events_processed = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t total_quorums = 0;
+  Epoch max_epoch = 1;
+};
+
+/// Runs `schedule` to quiescence and checks every applicable oracle. The
+/// schedule must be valid (Schedule::validate()).
+RunResult run_schedule(const Schedule& schedule, const RunOptions& options = {});
+
+}  // namespace qsel::scenario

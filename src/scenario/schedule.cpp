@@ -1,0 +1,329 @@
+#include "scenario/schedule.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace qsel::scenario {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  std::string_view name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kCrash, "crash"},
+    {FaultKind::kLinkDown, "link_down"},
+    {FaultKind::kLinkUp, "link_up"},
+    {FaultKind::kLinkDelay, "link_delay"},
+    {FaultKind::kPartition, "partition"},
+    {FaultKind::kHeal, "heal"},
+    {FaultKind::kInjectSuspicion, "inject_suspicion"},
+};
+
+// Flat-field JSON extraction, same discipline as trace/jsonl.cpp: keys are
+// fixed identifiers, values are unsigned integers or short quoted names.
+std::size_t value_offset(std::string_view text, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string_view::npos) return std::string_view::npos;
+  std::size_t offset = at + needle.size();
+  while (offset < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[offset])))
+    ++offset;
+  return offset;
+}
+
+std::optional<std::uint64_t> parse_u64_field(std::string_view text,
+                                             std::string_view key) {
+  std::size_t at = value_offset(text, key);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::uint64_t value = 0;
+  bool any = false;
+  while (at < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[at]))) {
+    value = value * 10 + static_cast<std::uint64_t>(text[at] - '0');
+    ++at;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return value;
+}
+
+std::optional<std::string> parse_str_field(std::string_view text,
+                                           std::string_view key) {
+  std::size_t at = value_offset(text, key);
+  if (at == std::string_view::npos || at >= text.size() || text[at] != '"')
+    return std::nullopt;
+  ++at;
+  const std::size_t end = text.find('"', at);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(text.substr(at, end - at));
+}
+
+std::optional<FaultAction> parse_action(std::string_view chunk) {
+  const auto at = parse_u64_field(chunk, "at");
+  const auto kind_name = parse_str_field(chunk, "kind");
+  if (!at || !kind_name) return std::nullopt;
+  const auto kind = fault_kind_from_name(*kind_name);
+  if (!kind) return std::nullopt;
+  FaultAction action;
+  action.at = *at;
+  action.kind = *kind;
+  if (const auto a = parse_u64_field(chunk, "a"))
+    action.a = static_cast<ProcessId>(*a);
+  if (const auto b = parse_u64_field(chunk, "b"))
+    action.b = static_cast<ProcessId>(*b);
+  action.value = parse_u64_field(chunk, "value").value_or(0);
+  return action;
+}
+
+}  // namespace
+
+std::string_view protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kQuorumSelection:
+      return "qs";
+    case Protocol::kFollowerSelection:
+      return "fs";
+    case Protocol::kXPaxos:
+      return "xpaxos";
+  }
+  return "?";
+}
+
+std::optional<Protocol> protocol_from_name(std::string_view name) {
+  if (name == "qs") return Protocol::kQuorumSelection;
+  if (name == "fs") return Protocol::kFollowerSelection;
+  if (name == "xpaxos") return Protocol::kXPaxos;
+  return std::nullopt;
+}
+
+std::string_view fault_kind_name(FaultKind kind) {
+  for (const auto& [k, name] : kKindNames)
+    if (k == kind) return name;
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_name(std::string_view name) {
+  for (const auto& [kind, kind_name] : kKindNames)
+    if (kind_name == name) return kind;
+  return std::nullopt;
+}
+
+std::string FaultAction::to_string() const {
+  std::ostringstream os;
+  os << "[" << static_cast<double>(at) / 1e6 << "ms] " << fault_kind_name(kind);
+  switch (kind) {
+    case FaultKind::kCrash:
+      os << " p" << a;
+      break;
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+      os << " p" << a << "->p" << b;
+      break;
+    case FaultKind::kLinkDelay:
+      os << " p" << a << "->p" << b << " +"
+         << static_cast<double>(value) / 1e6 << "ms";
+      break;
+    case FaultKind::kPartition:
+      os << " sideA=" << ProcessSet(value).to_string();
+      break;
+    case FaultKind::kHeal:
+      break;
+    case FaultKind::kInjectSuspicion:
+      os << " p" << a << " suspects p" << b;
+      break;
+  }
+  return os.str();
+}
+
+ProcessSet Schedule::culprits() const {
+  ProcessSet set = byzantine;
+  for (const FaultAction& action : actions) {
+    switch (action.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkDelay:
+        set.insert(action.a);
+        break;
+      default:
+        break;
+    }
+  }
+  return set;
+}
+
+bool Schedule::has_partition() const {
+  for (const FaultAction& action : actions)
+    if (action.kind == FaultKind::kPartition) return true;
+  return false;
+}
+
+bool Schedule::attributable() const {
+  return !has_partition() && pre_gst_extra == 0 &&
+         culprits().size() <= f;
+}
+
+std::optional<std::string> Schedule::validate() const {
+  const auto err = [](const std::string& what) {
+    return std::optional<std::string>(what);
+  };
+  if (n < 2 || n > kMaxProcesses) return err("n out of range");
+  if (f < 1) return err("f must be >= 1");
+  if (static_cast<int>(n) - f <= f) return err("need n - f > f");
+  if (protocol == Protocol::kFollowerSelection && static_cast<int>(n) <= 3 * f)
+    return err("follower selection needs n > 3f");
+  if (!byzantine.is_subset_of(ProcessSet::full(n)))
+    return err("byzantine id out of range");
+  if (byzantine.size() > f) return err("more than f byzantine processes");
+  if (protocol == Protocol::kXPaxos && !byzantine.empty())
+    return err("xpaxos schedules drive no byzantine adversary");
+  if (protocol == Protocol::kXPaxos && requests == 0)
+    return err("xpaxos schedules need requests >= 1");
+  if (quiet_window == 0) return err("empty quiet window");
+
+  SimTime prev = 0;
+  bool partition_open = false;
+  std::set<std::pair<ProcessId, ProcessId>> links_down;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const FaultAction& action = actions[i];
+    const std::string where = "action " + std::to_string(i) + ": ";
+    if (action.at < prev) return err(where + "actions not time-ordered");
+    prev = action.at;
+    if (action.at >= quiet_start)
+      return err(where + "action after quiet_start");
+    switch (action.kind) {
+      case FaultKind::kCrash:
+        if (action.a >= n) return err(where + "crash victim out of range");
+        break;
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+      case FaultKind::kLinkDelay:
+        if (action.a >= n || action.b >= n || action.a == action.b)
+          return err(where + "bad link endpoints");
+        if (action.kind == FaultKind::kLinkDown)
+          links_down.insert({action.a, action.b});
+        else if (action.kind == FaultKind::kLinkUp)
+          links_down.erase({action.a, action.b});
+        break;
+      case FaultKind::kPartition: {
+        const ProcessSet side(action.value);
+        if (side.empty() || !side.is_subset_of(ProcessSet::full(n)) ||
+            side == ProcessSet::full(n))
+          return err(where + "partition side not a proper nonempty subset");
+        partition_open = true;
+        break;
+      }
+      case FaultKind::kHeal:
+        partition_open = false;
+        break;
+      case FaultKind::kInjectSuspicion:
+        if (!byzantine.contains(action.a))
+          return err(where + "suspicion author not byzantine");
+        if (action.b >= n || action.b == action.a)
+          return err(where + "bad suspicion victim");
+        break;
+    }
+  }
+  if (partition_open) return err("partition never healed");
+  // Same model boundary as the partition rule: a link between two
+  // processes that stays dead through the quiet window means GST never
+  // arrives for that pair (one CORRECT endpoint would falsely suspect a
+  // live process forever), so the eventual properties are not owed.
+  if (!links_down.empty()) return err("link never restored");
+  if (culprits().size() > f)
+    return err("faults attributed to more than f processes");
+  return std::nullopt;
+}
+
+std::string Schedule::summary() const {
+  std::ostringstream os;
+  os << protocol_name(protocol) << " n=" << n << " f=" << f
+     << " seed=" << seed << " actions=" << actions.size();
+  if (!byzantine.empty()) os << " byz=" << byzantine.to_string();
+  if (has_partition()) os << " partition";
+  if (pre_gst_extra > 0)
+    os << " gst=" << static_cast<double>(gst) / 1e6 << "ms";
+  return os.str();
+}
+
+std::string Schedule::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"protocol\": \"" << protocol_name(protocol) << "\",\n";
+  os << "  \"n\": " << n << ",\n";
+  os << "  \"f\": " << f << ",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"gst\": " << gst << ",\n";
+  os << "  \"pre_gst_extra\": " << pre_gst_extra << ",\n";
+  os << "  \"heartbeat_period\": " << heartbeat_period << ",\n";
+  os << "  \"byzantine\": " << byzantine.mask() << ",\n";
+  os << "  \"requests\": " << requests << ",\n";
+  os << "  \"quiet_start\": " << quiet_start << ",\n";
+  os << "  \"quiet_window\": " << quiet_window << ",\n";
+  os << "  \"actions\": [";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const FaultAction& action = actions[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"at\":" << action.at << ",\"kind\":\""
+       << fault_kind_name(action.kind) << "\"";
+    if (action.a != kNoProcess) os << ",\"a\":" << action.a;
+    if (action.b != kNoProcess) os << ",\"b\":" << action.b;
+    if (action.value != 0) os << ",\"value\":" << action.value;
+    os << "}";
+  }
+  os << (actions.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+std::optional<Schedule> Schedule::from_json(std::string_view text) {
+  const std::size_t actions_at = text.find("\"actions\"");
+  if (actions_at == std::string_view::npos) return std::nullopt;
+  const std::string_view header = text.substr(0, actions_at);
+
+  Schedule schedule;
+  const auto proto_name = parse_str_field(header, "protocol");
+  if (!proto_name) return std::nullopt;
+  const auto protocol = protocol_from_name(*proto_name);
+  if (!protocol) return std::nullopt;
+  schedule.protocol = *protocol;
+  const auto n = parse_u64_field(header, "n");
+  const auto f = parse_u64_field(header, "f");
+  const auto seed = parse_u64_field(header, "seed");
+  const auto quiet_start = parse_u64_field(header, "quiet_start");
+  const auto quiet_window = parse_u64_field(header, "quiet_window");
+  if (!n || !f || !seed || !quiet_start || !quiet_window) return std::nullopt;
+  schedule.n = static_cast<ProcessId>(*n);
+  schedule.f = static_cast<int>(*f);
+  schedule.seed = *seed;
+  schedule.gst = parse_u64_field(header, "gst").value_or(0);
+  schedule.pre_gst_extra = parse_u64_field(header, "pre_gst_extra").value_or(0);
+  schedule.heartbeat_period =
+      parse_u64_field(header, "heartbeat_period").value_or(5'000'000);
+  schedule.byzantine =
+      ProcessSet(parse_u64_field(header, "byzantine").value_or(0));
+  schedule.requests = parse_u64_field(header, "requests").value_or(0);
+  schedule.quiet_start = *quiet_start;
+  schedule.quiet_window = *quiet_window;
+
+  // Actions: every {...} chunk after "actions" (no nesting in the schema).
+  std::size_t cursor = actions_at;
+  while (true) {
+    const std::size_t open = text.find('{', cursor);
+    if (open == std::string_view::npos) break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string_view::npos) return std::nullopt;
+    const auto action = parse_action(text.substr(open, close - open + 1));
+    if (!action) return std::nullopt;
+    schedule.actions.push_back(*action);
+    cursor = close + 1;
+  }
+  return schedule;
+}
+
+}  // namespace qsel::scenario

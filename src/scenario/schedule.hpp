@@ -1,0 +1,124 @@
+// Fault schedules — the typed timeline the scenario fuzzer runs.
+//
+// A Schedule is a complete, self-contained description of one randomized
+// execution: the protocol under test, the system size, the seeds, the
+// eventual-synchrony parameters (GST placement), the ids reserved for a
+// Byzantine adversary, and a time-ordered list of FaultActions applied to
+// the simulated network (crashes, link omission/timing faults, partitions
+// and heals, adversary-injected suspicion stamps). Because the simulator
+// is deterministic, (Schedule, code version) -> trace digest is a pure
+// function, which is what lets the shrinker re-run candidate schedules and
+// the corpus test pin digests of interesting seeds.
+//
+// Schedules serialize to a small JSON format (hand-rolled like
+// trace/jsonl.*; the repo has no JSON dependency and does not want one) so
+// a failing schedule can be checked in next to its trace as a reproducer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+
+namespace qsel::scenario {
+
+/// Which composed system a schedule drives.
+enum class Protocol : std::uint8_t {
+  kQuorumSelection = 0,  // runtime::QuorumCluster (Algorithm 1)
+  kFollowerSelection,    // runtime::FollowerCluster (Algorithm 2)
+  kXPaxos,               // xpaxos::Cluster (Section V integration)
+};
+
+std::string_view protocol_name(Protocol p);
+std::optional<Protocol> protocol_from_name(std::string_view name);
+
+/// One fault-injection step. Field use by kind:
+///   kCrash            a = victim
+///   kLinkDown/kLinkUp a = from, b = to (directed link)
+///   kLinkDelay        a = from, b = to, value = extra one-way delay (ns)
+///   kPartition        value = bitmask of side A (side B = the rest)
+///   kHeal             heals the current partition
+///   kInjectSuspicion  a = Byzantine author, b = suspected victim; the
+///                     runner stamps (a suspects b, epoch 1) into a's
+///                     accumulated row and gossips it as a signed UPDATE —
+///                     the Theorem-4 / Theorem-9 adversary moves.
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,
+  kLinkDown,
+  kLinkUp,
+  kLinkDelay,
+  kPartition,
+  kHeal,
+  kInjectSuspicion,
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+std::optional<FaultKind> fault_kind_from_name(std::string_view name);
+
+struct FaultAction {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  ProcessId a = kNoProcess;
+  ProcessId b = kNoProcess;
+  std::uint64_t value = 0;
+
+  std::string to_string() const;
+  bool operator==(const FaultAction&) const = default;
+};
+
+struct Schedule {
+  Protocol protocol = Protocol::kQuorumSelection;
+  ProcessId n = 4;
+  int f = 1;
+  /// Cluster seed (network latency stream etc.).
+  std::uint64_t seed = 1;
+  /// Global stabilization time and the extra asynchrony before it.
+  SimTime gst = 0;
+  SimDuration pre_gst_extra = 0;
+  SimDuration heartbeat_period = 5'000'000;
+  /// Ids run by the generator's adversary instead of honest processes.
+  ProcessSet byzantine;
+  /// XPaxos only: requests issued by the single client.
+  std::uint64_t requests = 0;
+  /// All actions happen before quiet_start; the oracles observe the
+  /// system state at quiet_start and again quiet_window later.
+  SimTime quiet_start = 3'000'000'000;
+  SimDuration quiet_window = 2'500'000'000;
+  std::vector<FaultAction> actions;
+
+  /// Processes the schedule's faults are attributed to: the Byzantine set,
+  /// crash victims, and the `a` endpoint of every link fault. Partitions
+  /// are not attributable (they fault links between correct processes).
+  ProcessSet culprits() const;
+
+  bool has_partition() const;
+
+  /// True when every suspicion the schedule can cause is attributable to
+  /// at most f faulty processes: no partitions, no pre-GST asynchrony and
+  /// culprits() within the f budget. The per-epoch quorum bounds of
+  /// Theorems 3/9 and Corollary 10 are only sound oracles on such runs.
+  bool attributable() const;
+
+  /// Checks structural well-formedness: parameter ranges, action ids in
+  /// range, actions time-ordered and finished before quiet_start, every
+  /// partition healed, culprits within f, adversary authors Byzantine.
+  /// Returns an error description, or nullopt when valid. The generator
+  /// only emits valid schedules and the shrinker only proposes valid
+  /// candidates, so a violation reported on a valid schedule is a real
+  /// finding, never a broken premise.
+  std::optional<std::string> validate() const;
+
+  /// One-line human summary ("qs n=7 f=2 seed=42 actions=5 ...").
+  std::string summary() const;
+
+  std::string to_json() const;
+  static std::optional<Schedule> from_json(std::string_view text);
+
+  bool operator==(const Schedule&) const = default;
+};
+
+}  // namespace qsel::scenario

@@ -1,0 +1,202 @@
+#include "scenario/shrinker.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace qsel::scenario {
+
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+/// Indivisible unit of removal: one action, or a pair that must live and
+/// die together (partition+heal, link_down+link_up).
+using Atom = std::vector<FaultAction>;
+
+std::vector<Atom> make_atoms(const Schedule& schedule) {
+  std::vector<Atom> atoms;
+  std::vector<bool> used(schedule.actions.size(), false);
+  for (std::size_t i = 0; i < schedule.actions.size(); ++i) {
+    if (used[i]) continue;
+    const FaultAction& action = schedule.actions[i];
+    Atom atom{action};
+    used[i] = true;
+    if (action.kind == FaultKind::kPartition ||
+        action.kind == FaultKind::kLinkDown) {
+      const FaultKind closer = action.kind == FaultKind::kPartition
+                                   ? FaultKind::kHeal
+                                   : FaultKind::kLinkUp;
+      for (std::size_t j = i + 1; j < schedule.actions.size(); ++j) {
+        const FaultAction& later = schedule.actions[j];
+        if (used[j] || later.kind != closer) continue;
+        if (closer == FaultKind::kLinkUp &&
+            (later.a != action.a || later.b != action.b))
+          continue;
+        atom.push_back(later);
+        used[j] = true;
+        break;
+      }
+    }
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+Schedule rebuild(const Schedule& base, const std::vector<Atom>& atoms) {
+  Schedule schedule = base;
+  schedule.actions.clear();
+  for (const Atom& atom : atoms)
+    schedule.actions.insert(schedule.actions.end(), atom.begin(), atom.end());
+  std::stable_sort(
+      schedule.actions.begin(), schedule.actions.end(),
+      [](const FaultAction& x, const FaultAction& y) { return x.at < y.at; });
+  SimTime last = 0;
+  for (const FaultAction& action : schedule.actions)
+    last = std::max(last, action.at);
+  schedule.quiet_start =
+      last + (schedule.has_partition() ? 4500 : 3000) * kMs;
+  return schedule;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const Schedule& original, const ShrinkProbe& probe)
+      : probe_(probe) {
+    const OracleReport baseline = probe_(original);
+    ++runs_;
+    QSEL_REQUIRE_MSG(!baseline.ok(), "shrink_schedule needs a failing run");
+    for (const Violation& violation : baseline.violations)
+      target_oracles_.insert(violation.oracle);
+    best_ = original;
+    best_report_ = baseline;
+  }
+
+  /// True iff `candidate` is valid and violates one of the original
+  /// run's oracles; remembers it as the new best when it does.
+  bool fails(const Schedule& candidate) {
+    if (candidate.validate().has_value()) return false;
+    const OracleReport report = probe_(candidate);
+    ++runs_;
+    for (const Violation& violation : report.violations) {
+      if (target_oracles_.count(violation.oracle) == 0) continue;
+      best_ = candidate;
+      best_report_ = report;
+      return true;
+    }
+    return false;
+  }
+
+  /// Classic ddmin over atoms: alternate reduce-to-chunk and
+  /// reduce-to-complement at increasing granularity.
+  std::vector<Atom> ddmin(std::vector<Atom> atoms) {
+    std::size_t granularity = 2;
+    while (atoms.size() >= 2) {
+      const std::vector<std::vector<Atom>> chunks =
+          split(atoms, granularity);
+      bool reduced = false;
+      for (const auto& chunk : chunks) {
+        if (chunk.size() < atoms.size() && fails(rebuild(best_, chunk))) {
+          atoms = chunk;
+          granularity = 2;
+          reduced = true;
+          break;
+        }
+      }
+      if (reduced) continue;
+      for (std::size_t i = 0; i < chunks.size() && granularity > 2; ++i) {
+        std::vector<Atom> complement;
+        for (std::size_t j = 0; j < chunks.size(); ++j)
+          if (j != i)
+            complement.insert(complement.end(), chunks[j].begin(),
+                              chunks[j].end());
+        if (fails(rebuild(best_, complement))) {
+          atoms = complement;
+          granularity = std::max<std::size_t>(2, granularity - 1);
+          reduced = true;
+          break;
+        }
+      }
+      if (reduced) continue;
+      if (granularity >= atoms.size()) break;
+      granularity = std::min(atoms.size(), granularity * 2);
+    }
+    return atoms;
+  }
+
+  ShrinkResult run(const Schedule& original) {
+    std::vector<Atom> atoms = ddmin(make_atoms(original));
+    // Greedy single-atom sweep: ddmin guarantees 1-minimality only up to
+    // its chunking; a final pass is cheap and often removes stragglers.
+    for (std::size_t i = 0; i < atoms.size();) {
+      std::vector<Atom> without = atoms;
+      without.erase(without.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(rebuild(best_, without))) {
+        atoms = std::move(without);
+        i = 0;
+      } else {
+        ++i;
+      }
+    }
+
+    // Simplification passes on the surviving schedule: drop pre-GST
+    // asynchrony, then compact the timeline.
+    {
+      Schedule candidate = best_;
+      if (candidate.gst != 0 || candidate.pre_gst_extra != 0) {
+        candidate.gst = 0;
+        candidate.pre_gst_extra = 0;
+        fails(candidate);
+      }
+    }
+    {
+      Schedule candidate = best_;
+      SimTime t = 20 * kMs;
+      for (FaultAction& action : candidate.actions) {
+        action.at = t;
+        t += 25 * kMs;
+      }
+      SimTime last = candidate.actions.empty() ? 0 : (t - 25 * kMs);
+      candidate.quiet_start =
+          last + (candidate.has_partition() ? 4500 : 3000) * kMs;
+      fails(candidate);
+    }
+
+    return {best_, best_report_, runs_};
+  }
+
+ private:
+  static std::vector<std::vector<Atom>> split(const std::vector<Atom>& atoms,
+                                              std::size_t granularity) {
+    std::vector<std::vector<Atom>> chunks;
+    const std::size_t size = atoms.size();
+    const std::size_t parts = std::min(granularity, size);
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < parts; ++i) {
+      const std::size_t end = start + (size - start) / (parts - i);
+      chunks.emplace_back(atoms.begin() + static_cast<std::ptrdiff_t>(start),
+                          atoms.begin() + static_cast<std::ptrdiff_t>(end));
+      start = end;
+    }
+    return chunks;
+  }
+
+  const ShrinkProbe& probe_;
+  std::set<std::string> target_oracles_;
+  Schedule best_;
+  OracleReport best_report_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink_schedule(const Schedule& schedule,
+                             const ShrinkProbe& probe) {
+  Shrinker shrinker(schedule, probe);
+  return shrinker.run(schedule);
+}
+
+}  // namespace qsel::scenario

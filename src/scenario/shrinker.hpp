@@ -1,0 +1,42 @@
+// ScheduleShrinker — delta-debugs a failing schedule to a minimal repro.
+//
+// Given a schedule whose run violates an oracle, the shrinker searches for
+// a smaller schedule that still fails, using ddmin over *atoms* rather
+// than raw actions: a kPartition and the kHeal that closes it form one
+// atom (Schedule::validate() requires every partition healed), and a
+// kLinkDown travels with its matching kLinkUp so removal never changes
+// which links stay severed at quiescence. Every candidate must pass
+// Schedule::validate() before it is run, so shrinking cannot leave the
+// oracle premises (attributability, healed partitions) silently broken.
+//
+// After the action set is minimal, a coalescing pass pulls the remaining
+// actions onto a compact early timeline and retightens quiet_start, which
+// makes reproducers both small and fast. The failure being chased is
+// pinned by the set of violated oracle names: a candidate "still fails"
+// only if it violates at least one oracle the original run violated, so
+// shrinking cannot drift onto an unrelated bug.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "scenario/runner.hpp"
+#include "scenario/schedule.hpp"
+
+namespace qsel::scenario {
+
+struct ShrinkResult {
+  Schedule schedule;        // smallest failing schedule found
+  OracleReport report;      // its oracle report
+  std::uint64_t runs = 0;   // simulations spent shrinking
+};
+
+/// Runs one candidate and reports whether it still exhibits the failure.
+using ShrinkProbe = std::function<OracleReport(const Schedule&)>;
+
+/// Shrinks `schedule`, which must fail under `probe` (typically a lambda
+/// around run_schedule with fixed RunOptions). Deterministic: the same
+/// input schedule and probe always produce the same minimal schedule.
+ShrinkResult shrink_schedule(const Schedule& schedule, const ShrinkProbe& probe);
+
+}  // namespace qsel::scenario

@@ -75,6 +75,12 @@ void SuspicionCore::advance_epoch(Epoch new_epoch) {
   stamp_and_broadcast();
 }
 
+void SuspicionCore::resync() {
+  // Stamping is idempotent here (the current suspicions already carry the
+  // current epoch), so this is purely a re-broadcast of the own row.
+  stamp_and_broadcast();
+}
+
 Epoch SuspicionCore::next_epoch_candidate() const {
   Epoch min_other = 0;
   for (ProcessId l = 0; l < n_; ++l) {

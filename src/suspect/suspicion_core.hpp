@@ -73,6 +73,16 @@ class SuspicionCore {
   /// update_quorum implementation; does NOT recurse into update_quorum.
   void advance_epoch(Epoch new_epoch);
 
+  /// Anti-entropy retransmission: re-broadcasts the own signed row.
+  /// Forward-on-change (Lemma 1) disseminates reliably only over reliable
+  /// links; when links drop messages (e.g. during a partition) a lost
+  /// UPDATE is never re-sent and matrices can stay split after the network
+  /// heals. Each correct process holds the maximal version of its own row,
+  /// so periodically re-offering it restores convergence. Receivers treat
+  /// an already-merged row as no-change: no forward, no quorum
+  /// re-evaluation — duplicates are absorbed, not amplified.
+  void resync();
+
   /// Smallest epoch that removes at least one *other* process's live edge,
   /// i.e. (min live stamp outside the own row) + 1. The own row does not
   /// count because advance_epoch re-stamps it. Equivalent outcome to the

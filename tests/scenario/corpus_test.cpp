@@ -1,0 +1,73 @@
+// Seed-corpus regression: pinned trace digests for a small corpus of
+// generator seeds across all three protocols. Any behavioural change in
+// the simulator, the protocols, the tracer encoding or the generator
+// shows up here as a digest mismatch — which is the point: such changes
+// must be deliberate. Refresh the pins with
+//
+//   build/tools/qsel_fuzz --digests --runs 4 --seed 1
+//
+// (per protocol via --protocol) after auditing the diff that caused them
+// to move.
+#include <gtest/gtest.h>
+
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+
+namespace qsel::scenario {
+namespace {
+
+struct CorpusEntry {
+  Protocol protocol;
+  std::uint64_t seed;
+  const char* digest_hex;
+};
+
+// REGENERATE: see file comment.
+constexpr CorpusEntry kCorpus[] = {
+    {Protocol::kQuorumSelection, 1,
+     "c194179d8485d6979584f04a9a89ffee51fff9bb5594c00812b449d4c1424215"},
+    {Protocol::kQuorumSelection, 2,
+     "f842a486e71ed909f27de37987a2edacdda64fa078e6b338e8c0eb178fe8ffa5"},
+    {Protocol::kQuorumSelection, 3,
+     "82b0477ce45861598283b40d8edc7f44a04d0f4645270f9fc02deeccf2561d2c"},
+    {Protocol::kQuorumSelection, 4,
+     "90fd7489723464efe10e031a4cf31255805d914072ee80d74eefe65ac1c759a9"},
+    {Protocol::kFollowerSelection, 1,
+     "aec3a807cae3c161ff3bd4bb38db95b9cc5e5dbd3f7aaee046a0abe721de7136"},
+    {Protocol::kFollowerSelection, 2,
+     "cf49fde9e5a2a01045626bedaddebe60dfe4e6c3a0d95635c55edb03fd751b98"},
+    {Protocol::kFollowerSelection, 3,
+     "9300cd10ac5109ac73fc70e29e09c8ac3630fc544a27c4e0e1e33a1d4511152c"},
+    {Protocol::kFollowerSelection, 4,
+     "d504d8a83f8ff8ae96eee4cbc43559aaa2f6f4972625a529b6746df1eea4f22a"},
+    {Protocol::kXPaxos, 1,
+     "52506ca768837d42ed8b2fe33dd48db502ef794fdffdce5fe3e4b69aca65678e"},
+    {Protocol::kXPaxos, 2,
+     "0a7897784eae063987f53c96b455742383a6567199d8f1e3128efac6170947b3"},
+};
+
+class CorpusTest : public ::testing::TestWithParam<CorpusEntry> {};
+
+TEST_P(CorpusTest, PinnedDigestMatches) {
+  const CorpusEntry& entry = GetParam();
+  const ScheduleGenerator generator({});
+  const Schedule schedule = generator.generate(entry.protocol, entry.seed);
+  const RunResult result = run_schedule(schedule);
+  EXPECT_TRUE(result.report.ok())
+      << schedule.summary() << ": " << result.report.to_string();
+  EXPECT_EQ(result.digest.to_hex(), entry.digest_hex)
+      << schedule.summary()
+      << "\nA digest change means simulator/protocol/tracer behaviour "
+         "changed; audit it, then refresh the pin (see file comment).";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PinnedSeeds, CorpusTest, ::testing::ValuesIn(kCorpus),
+    [](const auto& param_info) {
+      return std::string(protocol_name(param_info.param.protocol))
+          .append("_seed")
+          .append(std::to_string(param_info.param.seed));
+    });
+
+}  // namespace
+}  // namespace qsel::scenario

@@ -1,0 +1,235 @@
+// PropertyOracle unit tests over synthetic Observations — each oracle is a
+// pure function of (Schedule, Observations), so violations and, just as
+// important, the soundness gates (attributability, partition-freedom) are
+// checkable without running a simulation.
+#include "scenario/oracle.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace qsel::scenario {
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+Schedule qs_schedule() {
+  Schedule schedule;
+  schedule.protocol = Protocol::kQuorumSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  return schedule;
+}
+
+/// A clean end state: everyone alive, agreeing on {0,1,2}, no suspicions.
+Observations healthy(const Schedule& schedule) {
+  Observations obs;
+  for (ProcessId id = 0; id < schedule.n; ++id) {
+    ProcessObservation po;
+    po.id = id;
+    po.alive = true;
+    po.quorum = ProcessSet::range(
+        0, static_cast<ProcessId>(static_cast<int>(schedule.n) - schedule.f));
+    po.leader = 0;
+    po.quorums_issued = 1;
+    po.quorums_per_epoch = {{1, 1}};
+    obs.processes.push_back(po);
+  }
+  obs.issued_at_quiet = schedule.n;
+  obs.issued_at_end = schedule.n;
+  return obs;
+}
+
+bool violated(const OracleReport& report, std::string_view oracle) {
+  return std::any_of(
+      report.violations.begin(), report.violations.end(),
+      [&](const Violation& violation) { return violation.oracle == oracle; });
+}
+
+TEST(OracleTest, HealthyRunPasses) {
+  const Schedule schedule = qs_schedule();
+  EXPECT_TRUE(check_oracles(schedule, healthy(schedule)).ok());
+}
+
+TEST(OracleTest, QuorumIssuedInQuietWindowIsATerminationViolation) {
+  const Schedule schedule = qs_schedule();
+  Observations obs = healthy(schedule);
+  obs.issued_at_end = obs.issued_at_quiet + 1;
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "termination"));
+}
+
+TEST(OracleTest, DivergingQuorumsAreAnAgreementViolation) {
+  const Schedule schedule = qs_schedule();
+  Observations obs = healthy(schedule);
+  obs.processes[2].quorum = ProcessSet{0, 1, 3};
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "agreement"));
+}
+
+TEST(OracleTest, CrossEpochDivergenceIsNotAnAgreementViolation) {
+  // Two correct processes can terminate at different epochs, each resting
+  // on a valid independent set of its own epoch's graph (EXPERIMENTS.md
+  // finding 8) — Algorithm 1 agreement is per-epoch, like views.
+  const Schedule schedule = qs_schedule();
+  Observations obs = healthy(schedule);
+  obs.processes[2].epoch = 7;
+  obs.processes[2].quorum = ProcessSet{0, 1, 3};
+  EXPECT_TRUE(check_oracles(schedule, obs).ok());
+}
+
+TEST(OracleTest, FollowerSelectionAgreementIsGlobal) {
+  // Algorithm 2 synchronizes through the leader's FOLLOWERS announcement,
+  // so differing epochs exempt nothing there.
+  Schedule schedule;
+  schedule.protocol = Protocol::kFollowerSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  Observations obs = healthy(schedule);
+  obs.processes[2].epoch = 7;
+  obs.processes[2].quorum = ProcessSet{0, 1, 3};
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "agreement"));
+}
+
+TEST(OracleTest, WrongQuorumSizeIsAnAgreementViolation) {
+  const Schedule schedule = qs_schedule();
+  Observations obs = healthy(schedule);
+  for (auto& process : obs.processes) process.quorum = ProcessSet{0, 1};
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "agreement"));
+}
+
+TEST(OracleTest, DeadProcessesAreExemptFromAgreement) {
+  const Schedule schedule = qs_schedule();
+  Observations obs = healthy(schedule);
+  obs.processes[2].alive = false;
+  obs.processes[2].quorum = ProcessSet{0, 1, 3};  // stale view is fine: dead
+  EXPECT_TRUE(check_oracles(schedule, obs).ok());
+}
+
+TEST(OracleTest, MemberSuspectingAMemberIsANoSuspicionViolation) {
+  const Schedule schedule = qs_schedule();
+  Observations obs = healthy(schedule);
+  obs.processes[1].suspected = ProcessSet{2};  // both inside {0,1,2}
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "no_suspicion"));
+  // Suspecting a process outside the quorum is allowed.
+  obs.processes[1].suspected = ProcessSet{3};
+  EXPECT_TRUE(check_oracles(schedule, obs).ok());
+}
+
+TEST(OracleTest, FollowerSelectionChecksLeaderSuspicionsOnly) {
+  Schedule schedule;
+  schedule.protocol = Protocol::kFollowerSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  Observations obs = healthy(schedule);
+  // A follower suspecting a non-leader member is fine under Algorithm 2.
+  obs.processes[1].suspected = ProcessSet{2};
+  EXPECT_TRUE(check_oracles(schedule, obs).ok());
+  // A follower suspecting the leader is not.
+  obs.processes[1].suspected = ProcessSet{0};
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "no_suspicion"));
+  // Nor is the leader suspecting a member.
+  obs.processes[1].suspected = ProcessSet{};
+  obs.processes[0].suspected = ProcessSet{2};
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "no_suspicion"));
+}
+
+TEST(OracleTest, LeaderOutsideQuorumIsAnAgreementViolation) {
+  Schedule schedule;
+  schedule.protocol = Protocol::kFollowerSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  Observations obs = healthy(schedule);
+  for (auto& process : obs.processes) process.leader = 3;  // not in {0,1,2}
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "agreement"));
+}
+
+TEST(OracleTest, Theorem3BoundIsCheckedUnconditionally) {
+  Schedule schedule = qs_schedule();
+  // Even on a non-attributable schedule (partition), the f(f+1)+1 bound
+  // applies to Algorithm 1: any within-epoch issuance needs a quorum to
+  // exist, which bounds the suspicion structure regardless of who caused it.
+  schedule.actions = {
+      {20 * kMs, FaultKind::kPartition, kNoProcess, kNoProcess, 0b0001},
+      {50 * kMs, FaultKind::kHeal, kNoProcess, kNoProcess, 0},
+  };
+  ASSERT_FALSE(schedule.attributable());
+  Observations obs = healthy(schedule);
+  const std::uint64_t bound =
+      static_cast<std::uint64_t>(schedule.f * (schedule.f + 1) + 1);
+  obs.processes[1].quorums_per_epoch = {{1, bound + 1}};
+  obs.processes[1].quorums_issued = bound + 1;
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "theorem3_bound"));
+}
+
+TEST(OracleTest, FollowerSelectionBoundsAreGatedOnAttributability) {
+  Schedule schedule;
+  schedule.protocol = Protocol::kFollowerSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  Observations obs = healthy(schedule);
+  obs.processes[1].quorums_per_epoch = {{1, 9}};  // over 3f+1 = 4
+  obs.processes[1].quorums_issued = 9;            // over 6f+2 = 8
+
+  // Attributable schedule: both bounds fire.
+  ASSERT_TRUE(schedule.attributable());
+  const OracleReport strict = check_oracles(schedule, obs);
+  EXPECT_TRUE(violated(strict, "theorem9_bound"));
+  EXPECT_TRUE(violated(strict, "corollary10_bound"));
+
+  // Partitioned schedule: the premises fail, so the bounds must not fire.
+  schedule.actions = {
+      {20 * kMs, FaultKind::kPartition, kNoProcess, kNoProcess, 0b0001},
+      {50 * kMs, FaultKind::kHeal, kNoProcess, kNoProcess, 0},
+  };
+  const OracleReport lenient = check_oracles(schedule, obs);
+  EXPECT_FALSE(violated(lenient, "theorem9_bound"));
+  EXPECT_FALSE(violated(lenient, "corollary10_bound"));
+}
+
+TEST(OracleTest, MatrixDivergenceIsACrdtViolationOnlyWithoutPartitions) {
+  Schedule schedule = qs_schedule();
+  Observations obs = healthy(schedule);
+  suspect::SuspicionMatrix a(schedule.n), b(schedule.n);
+  b.stamp(0, 3, 1);
+  obs.processes[0].matrix = a;
+  obs.processes[1].matrix = b;
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "crdt_convergence"));
+
+  // Same end state after a (healed) partition: dropped messages are a
+  // legitimate explanation, the oracle premise is gone.
+  schedule.actions = {
+      {20 * kMs, FaultKind::kPartition, kNoProcess, kNoProcess, 0b0001},
+      {50 * kMs, FaultKind::kHeal, kNoProcess, kNoProcess, 0},
+  };
+  EXPECT_FALSE(violated(check_oracles(schedule, obs), "crdt_convergence"));
+
+  // Culprit processes are exempt: a fully-isolated sender can hold
+  // private stamps nobody else ever saw.
+  schedule.actions.clear();
+  obs.processes[1].culprit = true;
+  EXPECT_FALSE(violated(check_oracles(schedule, obs), "crdt_convergence"));
+}
+
+TEST(OracleTest, XPaxosHistoryDivergenceAndLiveness) {
+  Schedule schedule;
+  schedule.protocol = Protocol::kXPaxos;
+  schedule.n = 4;
+  schedule.f = 1;
+  schedule.requests = 10;
+
+  Observations obs;
+  obs.histories_consistent = true;
+  obs.completed_requests = 10;
+  EXPECT_TRUE(check_oracles(schedule, obs).ok());
+
+  obs.completed_requests = 7;
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "liveness"));
+  // With faults in play, incomplete requests are not a violation...
+  schedule.actions = {{20 * kMs, FaultKind::kCrash, 0, kNoProcess, 0}};
+  EXPECT_FALSE(violated(check_oracles(schedule, obs), "liveness"));
+  // ...but diverging histories always are.
+  obs.histories_consistent = false;
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "history_consistency"));
+}
+
+}  // namespace
+}  // namespace qsel::scenario

@@ -1,0 +1,186 @@
+// Schedule model tests: JSON reproducer round-trips, structural
+// validation, and generator well-formedness across a seed sweep.
+#include "scenario/schedule.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "scenario/generator.hpp"
+
+namespace qsel::scenario {
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+Schedule base_schedule() {
+  Schedule schedule;
+  schedule.protocol = Protocol::kQuorumSelection;
+  schedule.n = 5;
+  schedule.f = 2;
+  schedule.seed = 42;
+  schedule.actions = {
+      {20 * kMs, FaultKind::kLinkDown, 1, 3, 0},
+      {40 * kMs, FaultKind::kCrash, 1, kNoProcess, 0},
+      {60 * kMs, FaultKind::kLinkUp, 1, 3, 0},
+  };
+  return schedule;
+}
+
+TEST(ScheduleTest, JsonRoundTripsEveryField) {
+  Schedule schedule = base_schedule();
+  schedule.gst = 80 * kMs;
+  schedule.pre_gst_extra = 15 * kMs;
+  schedule.heartbeat_period = 7 * kMs;
+  ASSERT_EQ(schedule.validate(), std::nullopt);
+
+  const auto parsed = Schedule::from_json(schedule.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, schedule);
+}
+
+TEST(ScheduleTest, JsonRoundTripsAdversarySchedules) {
+  Schedule schedule;
+  schedule.protocol = Protocol::kFollowerSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  schedule.byzantine = ProcessSet{0};
+  schedule.actions = {
+      {20 * kMs, FaultKind::kInjectSuspicion, 0, 2, 0},
+      {45 * kMs, FaultKind::kInjectSuspicion, 0, 3, 0},
+  };
+  ASSERT_EQ(schedule.validate(), std::nullopt);
+
+  const auto parsed = Schedule::from_json(schedule.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, schedule);
+}
+
+TEST(ScheduleTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(Schedule::from_json("").has_value());
+  EXPECT_FALSE(Schedule::from_json("{}").has_value());
+  EXPECT_FALSE(Schedule::from_json("not json at all").has_value());
+}
+
+TEST(ScheduleTest, ValidateRejectsStructuralProblems) {
+  {
+    Schedule schedule = base_schedule();
+    schedule.f = 3;  // n - f > f fails for n = 5
+    EXPECT_TRUE(schedule.validate().has_value());
+  }
+  {
+    Schedule schedule = base_schedule();
+    schedule.protocol = Protocol::kFollowerSelection;  // needs n > 3f
+    EXPECT_TRUE(schedule.validate().has_value());
+  }
+  {
+    Schedule schedule = base_schedule();
+    std::swap(schedule.actions[0], schedule.actions[1]);  // out of order
+    EXPECT_TRUE(schedule.validate().has_value());
+  }
+  {
+    Schedule schedule = base_schedule();
+    schedule.actions.push_back(
+        {30 * kMs, FaultKind::kPartition, kNoProcess, kNoProcess, 0b00011});
+    EXPECT_TRUE(schedule.validate().has_value());  // never healed
+    // (and also unordered — fix the ordering, keep it unhealed)
+    std::stable_sort(schedule.actions.begin(), schedule.actions.end(),
+                     [](const FaultAction& x, const FaultAction& y) {
+                       return x.at < y.at;
+                     });
+    EXPECT_TRUE(schedule.validate().has_value());
+  }
+  {
+    Schedule schedule = base_schedule();
+    // Link faults on three distinct sources exceed the f = 2 culprit budget.
+    schedule.actions = {
+        {20 * kMs, FaultKind::kLinkDown, 0, 3, 0},
+        {21 * kMs, FaultKind::kLinkDown, 1, 3, 0},
+        {22 * kMs, FaultKind::kLinkDown, 2, 3, 0},
+    };
+    EXPECT_TRUE(schedule.validate().has_value());
+  }
+  {
+    Schedule schedule = base_schedule();
+    // A link that stays dead through the quiet window means GST never
+    // arrives for that pair — same model boundary as an unhealed
+    // partition. Restoring a *different* link does not help.
+    schedule.actions = {{20 * kMs, FaultKind::kLinkDown, 1, 3, 0},
+                        {40 * kMs, FaultKind::kLinkUp, 3, 1, 0}};
+    EXPECT_TRUE(schedule.validate().has_value());
+    schedule.actions.push_back({60 * kMs, FaultKind::kLinkUp, 1, 3, 0});
+    EXPECT_EQ(schedule.validate(), std::nullopt);
+  }
+  {
+    Schedule schedule = base_schedule();
+    schedule.actions.push_back(
+        {70 * kMs, FaultKind::kInjectSuspicion, 1, 2, 0});
+    EXPECT_TRUE(schedule.validate().has_value());  // author not Byzantine
+  }
+  {
+    Schedule schedule = base_schedule();
+    schedule.quiet_start = 30 * kMs;  // actions continue past quiet_start
+    EXPECT_TRUE(schedule.validate().has_value());
+  }
+}
+
+TEST(ScheduleTest, CulpritsAndAttributability) {
+  Schedule schedule = base_schedule();
+  EXPECT_EQ(schedule.culprits(), ProcessSet{1});
+  EXPECT_TRUE(schedule.attributable());
+
+  schedule.pre_gst_extra = 10 * kMs;
+  EXPECT_FALSE(schedule.attributable());
+  schedule.pre_gst_extra = 0;
+
+  schedule.actions = {
+      {20 * kMs, FaultKind::kPartition, kNoProcess, kNoProcess, 0b00001},
+      {50 * kMs, FaultKind::kHeal, kNoProcess, kNoProcess, 0},
+  };
+  EXPECT_TRUE(schedule.has_partition());
+  EXPECT_FALSE(schedule.attributable());
+}
+
+TEST(ScheduleTest, GeneratorEmitsValidRoundTrippableSchedules) {
+  const ScheduleGenerator generator({});
+  for (const Protocol protocol :
+       {Protocol::kQuorumSelection, Protocol::kFollowerSelection,
+        Protocol::kXPaxos}) {
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+      const Schedule schedule = generator.generate(protocol, seed);
+      EXPECT_EQ(schedule.validate(), std::nullopt)
+          << protocol_name(protocol) << " seed " << seed;
+      const auto parsed = Schedule::from_json(schedule.to_json());
+      ASSERT_TRUE(parsed.has_value())
+          << protocol_name(protocol) << " seed " << seed;
+      EXPECT_EQ(*parsed, schedule);
+    }
+  }
+}
+
+TEST(ScheduleTest, GeneratorIsDeterministicPerSeed) {
+  const ScheduleGenerator generator({});
+  for (std::uint64_t seed : {0ULL, 17ULL, 123456789ULL}) {
+    EXPECT_EQ(generator.generate(Protocol::kQuorumSelection, seed),
+              generator.generate(Protocol::kQuorumSelection, seed));
+    EXPECT_EQ(generator.generate(Protocol::kFollowerSelection, seed),
+              generator.generate(Protocol::kFollowerSelection, seed));
+  }
+}
+
+TEST(ScheduleTest, NameConversionsRoundTrip) {
+  for (const Protocol protocol :
+       {Protocol::kQuorumSelection, Protocol::kFollowerSelection,
+        Protocol::kXPaxos})
+    EXPECT_EQ(protocol_from_name(protocol_name(protocol)), protocol);
+  for (const FaultKind kind :
+       {FaultKind::kCrash, FaultKind::kLinkDown, FaultKind::kLinkUp,
+        FaultKind::kLinkDelay, FaultKind::kPartition, FaultKind::kHeal,
+        FaultKind::kInjectSuspicion})
+    EXPECT_EQ(fault_kind_from_name(fault_kind_name(kind)), kind);
+  EXPECT_EQ(protocol_from_name("nope"), std::nullopt);
+  EXPECT_EQ(fault_kind_from_name("nope"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace qsel::scenario

@@ -1,0 +1,104 @@
+// ScheduleShrinker tests — the ISSUE acceptance criterion: an
+// intentionally injected agreement bug (TestBug::kStuckQuorum) must be
+// caught by the oracles and delta-debugged down to a reproducer of at
+// most 5 fault actions, with validity (healed partitions, culprit budget)
+// preserved at every step.
+#include "scenario/shrinker.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qsel::scenario {
+namespace {
+
+constexpr SimDuration kMs = 1'000'000;
+
+OracleReport buggy_probe(const Schedule& candidate) {
+  RunOptions options;
+  options.trace = false;  // digests are irrelevant while shrinking
+  options.test_bug = TestBug::kStuckQuorum;
+  return run_schedule(candidate, options).report;
+}
+
+TEST(ShrinkerTest, InjectedBugShrinksToAtMostFiveActions) {
+  // A deliberately noisy schedule: link flaps and delays around the one
+  // action that matters (crashing initial-quorum member p0 forces a
+  // quorum change, which is what arms the injected bug).
+  Schedule schedule;
+  schedule.protocol = Protocol::kQuorumSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  schedule.seed = 11;
+  schedule.actions = {
+      {20 * kMs, FaultKind::kLinkDelay, 0, 1, 5 * kMs},
+      {30 * kMs, FaultKind::kLinkDown, 0, 2, 0},
+      {55 * kMs, FaultKind::kLinkUp, 0, 2, 0},
+      {70 * kMs, FaultKind::kLinkDelay, 0, 3, 8 * kMs},
+      {90 * kMs, FaultKind::kCrash, 0, kNoProcess, 0},
+      {110 * kMs, FaultKind::kLinkDelay, 0, 1, 2 * kMs},
+  };
+  ASSERT_EQ(schedule.validate(), std::nullopt);
+  ASSERT_FALSE(buggy_probe(schedule).ok()) << "bug must manifest unshrunk";
+
+  const ShrinkResult result = shrink_schedule(schedule, buggy_probe);
+
+  EXPECT_LE(result.schedule.actions.size(), 5u);
+  EXPECT_GE(result.schedule.actions.size(), 1u);
+  EXPECT_EQ(result.schedule.validate(), std::nullopt);
+  EXPECT_FALSE(result.report.ok());
+  bool agreement = false;
+  for (const Violation& violation : result.report.violations)
+    agreement |= violation.oracle == "agreement";
+  EXPECT_TRUE(agreement) << result.report.to_string();
+  EXPECT_GT(result.runs, 1u);
+  // The shrunk schedule is a self-contained reproducer.
+  const auto parsed = Schedule::from_json(result.schedule.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, result.schedule);
+  EXPECT_FALSE(buggy_probe(*parsed).ok());
+}
+
+TEST(ShrinkerTest, PartitionTravelsWithItsHeal) {
+  // Force a failure that needs the partition: same injected bug, but the
+  // only quorum-changing fault is a partition+heal pair. Whatever the
+  // shrinker returns must still be valid, i.e. it can never keep the
+  // partition while dropping the heal.
+  Schedule schedule;
+  schedule.protocol = Protocol::kQuorumSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  schedule.seed = 5;
+  schedule.actions = {
+      {20 * kMs, FaultKind::kPartition, kNoProcess, kNoProcess, 0b0001},
+      {120 * kMs, FaultKind::kHeal, kNoProcess, kNoProcess, 0},
+  };
+  schedule.quiet_start = 4620 * kMs;
+  ASSERT_EQ(schedule.validate(), std::nullopt);
+  if (buggy_probe(schedule).ok())
+    GTEST_SKIP() << "partition did not force a quorum change on this seed";
+
+  const ShrinkResult result = shrink_schedule(schedule, buggy_probe);
+  EXPECT_EQ(result.schedule.validate(), std::nullopt);
+  bool has_partition = false, has_heal = false;
+  for (const FaultAction& action : result.schedule.actions) {
+    has_partition |= action.kind == FaultKind::kPartition;
+    has_heal |= action.kind == FaultKind::kHeal;
+  }
+  EXPECT_EQ(has_partition, has_heal);
+}
+
+TEST(ShrinkerTest, RequiresAFailingSchedule) {
+  Schedule schedule;  // fault-free, passes every oracle
+  schedule.quiet_start = 1000 * kMs;
+  const ShrinkProbe honest_probe = [](const Schedule& candidate) {
+    RunOptions options;
+    options.trace = false;
+    return run_schedule(candidate, options).report;
+  };
+  EXPECT_THROW(shrink_schedule(schedule, honest_probe),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsel::scenario

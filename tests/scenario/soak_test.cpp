@@ -1,0 +1,39 @@
+// Long-label soak: a miniature in-process fuzz campaign per protocol.
+// Not part of tier1 — run with `ctest -L long` (tools/ci.sh does a larger
+// campaign through the qsel_fuzz binary instead).
+#include <gtest/gtest.h>
+
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+
+namespace qsel::scenario {
+namespace {
+
+class ScenarioSoak : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ScenarioSoak, RandomSchedulesSatisfyEveryOracle) {
+  const ScheduleGenerator generator({});
+  for (std::uint64_t seed = 1000; seed < 1040; ++seed) {
+    const Schedule schedule = generator.generate(GetParam(), seed);
+    const RunResult result = run_schedule(schedule);
+    EXPECT_TRUE(result.report.ok())
+        << schedule.summary() << ": " << result.report.to_string() << "\n"
+        << schedule.to_json();
+    // Digest determinism on a subsample (replays double the runtime).
+    if (seed % 8 == 0) {
+      EXPECT_EQ(run_schedule(schedule).digest, result.digest)
+          << schedule.summary();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ScenarioSoak,
+                         ::testing::Values(Protocol::kQuorumSelection,
+                                           Protocol::kFollowerSelection,
+                                           Protocol::kXPaxos),
+                         [](const auto& param_info) {
+                           return std::string(protocol_name(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace qsel::scenario

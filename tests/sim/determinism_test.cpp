@@ -1,0 +1,85 @@
+// Determinism contracts of the discrete-event simulator that the scenario
+// fuzzer (and the chained trace digest) lean on: ties between events with
+// identical timestamps break by scheduling order, and TimerHandle
+// semantics (shared cancellation state, cancel-after-fire as a no-op)
+// behave identically on every run.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace qsel::sim {
+namespace {
+
+TEST(SimDeterminismTest, DuplicateTimestampsRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  // Schedule in a deliberately scrambled call pattern, all at t = 100.
+  sim.schedule_at(100, [&] { order.push_back(0); });
+  sim.schedule_at(100, [&] {
+    order.push_back(1);
+    // An event scheduled *while running* at the same timestamp still runs
+    // in this round, after everything scheduled earlier.
+    sim.schedule_at(100, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(100, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimDeterminismTest, InterleavedTimestampsStillSortByTimeFirst) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(200, [&] { order.push_back(20); });
+  sim.schedule_at(100, [&] { order.push_back(10); });
+  sim.schedule_at(200, [&] { order.push_back(21); });
+  sim.schedule_at(100, [&] { order.push_back(11); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21}));
+}
+
+TEST(SimDeterminismTest, CancelAfterFireIsANoOp) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle timer = sim.schedule_timer(10, [&] { ++fired; });
+  EXPECT_TRUE(timer.active());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.active());
+  timer.cancel();  // must not throw, unschedule anything, or re-arm
+  EXPECT_FALSE(timer.active());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimDeterminismTest, CopiedHandlesShareCancellation) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle original = sim.schedule_timer(10, [&] { ++fired; });
+  TimerHandle copy = original;
+  copy.cancel();
+  EXPECT_FALSE(original.active());
+  EXPECT_FALSE(copy.active());
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimDeterminismTest, DestroyingAHandleDoesNotCancel) {
+  Simulator sim;
+  int fired = 0;
+  { TimerHandle scoped = sim.schedule_timer(10, [&] { ++fired; }); }
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimDeterminismTest, DefaultConstructedHandleIsInertEverywhere) {
+  TimerHandle handle;
+  EXPECT_FALSE(handle.active());
+  handle.cancel();  // no state to mutate
+  EXPECT_FALSE(handle.active());
+}
+
+}  // namespace
+}  // namespace qsel::sim

@@ -1,0 +1,150 @@
+// Randomized semilattice-property tests for the SuspicionMatrix CRDT
+// (Section VI-A): entry-wise max-merge must be commutative, associative
+// and idempotent, so correct processes converge to the same matrix
+// whatever order (and however often) rows are delivered in — including
+// equivocated variants of the same author's row.
+#include "suspect/suspicion_matrix.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace qsel::suspect {
+namespace {
+
+struct RowDelivery {
+  ProcessId author;
+  std::vector<Epoch> row;
+};
+
+std::vector<RowDelivery> random_deliveries(Rng& rng, ProcessId n, int count) {
+  std::vector<RowDelivery> deliveries;
+  for (int i = 0; i < count; ++i) {
+    RowDelivery delivery;
+    delivery.author = static_cast<ProcessId>(rng.below(n));
+    delivery.row.resize(n);
+    for (Epoch& cell : delivery.row)
+      cell = rng.chance(0.4) ? rng.between(1, 6) : 0;
+    deliveries.push_back(std::move(delivery));
+  }
+  return deliveries;
+}
+
+SuspicionMatrix apply(ProcessId n, const std::vector<RowDelivery>& deliveries,
+                      const std::vector<std::size_t>& order) {
+  SuspicionMatrix matrix(n);
+  for (std::size_t index : order)
+    matrix.merge_row(deliveries[index].author, deliveries[index].row);
+  return matrix;
+}
+
+TEST(SuspicionMatrixPropertyTest, MergeOrderIsIrrelevant) {
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    const ProcessId n = static_cast<ProcessId>(rng.between(3, 10));
+    const auto deliveries =
+        random_deliveries(rng, n, static_cast<int>(rng.between(1, 12)));
+    std::vector<std::size_t> order(deliveries.size());
+    std::iota(order.begin(), order.end(), 0);
+    const SuspicionMatrix reference = apply(n, deliveries, order);
+    for (int shuffle = 0; shuffle < 5; ++shuffle) {
+      std::shuffle(order.begin(), order.end(), rng);
+      EXPECT_EQ(apply(n, deliveries, order), reference)
+          << "round " << round << " shuffle " << shuffle;
+    }
+  }
+}
+
+TEST(SuspicionMatrixPropertyTest, MergeIsIdempotent) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const ProcessId n = static_cast<ProcessId>(rng.between(3, 10));
+    const auto deliveries =
+        random_deliveries(rng, n, static_cast<int>(rng.between(1, 10)));
+    std::vector<std::size_t> once(deliveries.size());
+    std::iota(once.begin(), once.end(), 0);
+    // Duplicate every delivery a random number of times.
+    std::vector<std::size_t> duplicated;
+    for (std::size_t index : once)
+      for (std::uint64_t copy = rng.between(1, 4); copy > 0; --copy)
+        duplicated.push_back(index);
+    std::shuffle(duplicated.begin(), duplicated.end(), rng);
+    EXPECT_EQ(apply(n, deliveries, duplicated), apply(n, deliveries, once));
+  }
+}
+
+TEST(SuspicionMatrixPropertyTest, MergeIsAssociativeAcrossGroupings) {
+  // Merging whole intermediate matrices row-by-row must equal merging the
+  // underlying deliveries directly, for any split point: (A ⊔ B) ⊔ C has
+  // to equal A ⊔ (B ⊔ C) because both are the join of all rows.
+  Rng rng(99);
+  for (int round = 0; round < 30; ++round) {
+    const ProcessId n = static_cast<ProcessId>(rng.between(3, 8));
+    const auto deliveries = random_deliveries(rng, n, 9);
+
+    const auto merge_into = [n](SuspicionMatrix& into,
+                                const SuspicionMatrix& from) {
+      for (ProcessId row = 0; row < n; ++row)
+        into.merge_row(row, from.row(row));
+    };
+    const auto of_range = [&](std::size_t lo, std::size_t hi) {
+      SuspicionMatrix matrix(n);
+      for (std::size_t i = lo; i < hi; ++i)
+        matrix.merge_row(deliveries[i].author, deliveries[i].row);
+      return matrix;
+    };
+
+    std::vector<std::size_t> all(deliveries.size());
+    std::iota(all.begin(), all.end(), 0);
+    const SuspicionMatrix flat = apply(n, deliveries, all);
+
+    // ((A ⊔ B) ⊔ C)
+    SuspicionMatrix left = of_range(0, 3);
+    merge_into(left, of_range(3, 6));
+    merge_into(left, of_range(6, 9));
+    // (A ⊔ (B ⊔ C))
+    SuspicionMatrix tail = of_range(3, 6);
+    merge_into(tail, of_range(6, 9));
+    SuspicionMatrix right = of_range(0, 3);
+    merge_into(right, tail);
+
+    EXPECT_EQ(left, flat);
+    EXPECT_EQ(right, flat);
+  }
+}
+
+TEST(SuspicionMatrixPropertyTest, EquivocatedRowsConvergeToTheirJoin) {
+  // A Byzantine author sends different rows to different peers; once the
+  // peers exchange what they saw, everyone holds the entry-wise max.
+  const ProcessId n = 4;
+  const std::vector<Epoch> to_peer_a{0, 3, 0, 1};
+  const std::vector<Epoch> to_peer_b{2, 1, 0, 4};
+
+  SuspicionMatrix peer_a(n), peer_b(n);
+  peer_a.merge_row(0, to_peer_a);
+  peer_b.merge_row(0, to_peer_b);
+  // Gossip both directions.
+  peer_a.merge_row(0, peer_b.row(0));
+  peer_b.merge_row(0, peer_a.row(0));
+
+  EXPECT_EQ(peer_a, peer_b);
+  const std::vector<Epoch> expected{2, 3, 0, 4};
+  for (ProcessId k = 0; k < n; ++k) EXPECT_EQ(peer_a.get(0, k), expected[k]);
+}
+
+TEST(SuspicionMatrixPropertyTest, StampsAreMonotone) {
+  SuspicionMatrix matrix(3);
+  matrix.stamp(1, 2, 5);
+  matrix.stamp(1, 2, 3);  // lower stamp must be ignored
+  EXPECT_EQ(matrix.get(1, 2), 5u);
+  EXPECT_FALSE(matrix.merge_row(1, std::vector<Epoch>{0, 0, 4}));
+  EXPECT_TRUE(matrix.merge_row(1, std::vector<Epoch>{0, 0, 6}));
+  EXPECT_EQ(matrix.get(1, 2), 6u);
+}
+
+}  // namespace
+}  // namespace qsel::suspect

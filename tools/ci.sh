@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate (ROADMAP "CI sanitizer pass" item):
+#
+#   1. tier-1: default build, `ctest -L tier1` — the fast suite that must
+#      stay green on every commit;
+#   2. sanitizers: a separate ASan/UBSan build running the FULL test
+#      suite, including the `long`-labelled scenario soak;
+#   3. fuzz smoke: 100 randomized fault schedules per protocol through
+#      tools/qsel_fuzz on the sanitized binary, so memory bugs on fuzz
+#      paths surface here and not in the nightly campaign.
+#
+# Environment knobs: FUZZ_RUNS (default 100), FUZZ_SEED (default 1 —
+# nightly jobs should pass a varying seed, e.g. the date).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+cd "$ROOT"
+
+echo "== [1/3] tier-1 build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+(cd build && ctest -L tier1 --output-on-failure -j"$JOBS")
+
+echo "== [2/3] ASan/UBSan full suite =="
+cmake -B build-asan -S . -DQSEL_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"$JOBS"
+(cd build-asan && ctest --output-on-failure -j"$JOBS")
+
+echo "== [3/3] fuzz smoke (${FUZZ_RUNS:-100} runs/protocol, sanitized) =="
+./build-asan/tools/qsel_fuzz --runs "${FUZZ_RUNS:-100}" --seed "${FUZZ_SEED:-1}"
+
+echo "CI gate passed."
