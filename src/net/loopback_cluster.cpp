@@ -1,0 +1,186 @@
+#include "net/loopback_cluster.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "trace/event.hpp"
+#include "trace/tracer.hpp"
+
+namespace qsel::net {
+
+LoopbackCluster::LoopbackCluster(LoopbackClusterConfig config)
+    : config_(config),
+      keys_(config.n, config.seed),
+      transports_(config.n),
+      tampers_(config.n),
+      processes_(config.n) {
+  QSEL_REQUIRE(config_.n >= 1 && config_.n <= kMaxProcesses);
+
+  runtime::NodeProcessConfig node_config;
+  node_config.n = config_.n;
+  node_config.f = config_.f;
+  node_config.fd = config_.fd;
+  node_config.heartbeat_period = config_.heartbeat_period;
+
+  // Every transport binds its listen socket in its constructor, so by the
+  // time the wiring pass below runs, every port is known — no races, no
+  // fixed port numbers to collide on.
+  std::uint64_t tamper_seed_state = config_.tamper.seed;
+  for (ProcessId id = 0; id < config_.n; ++id) {
+    TcpTransport::Config tcp;
+    tcp.self = id;
+    tcp.n = config_.n;
+    transports_[id] = std::make_unique<TcpTransport>(loop_, tcp);
+    TamperConfig tamper = config_.tamper;
+    tamper.seed = splitmix64(tamper_seed_state);
+    tampers_[id] = std::make_unique<TamperedTransport>(*transports_[id], tamper);
+    processes_[id] = std::make_unique<runtime::NodeProcess>(
+        *tampers_[id], keys_, node_config);
+  }
+  for (ProcessId from = 0; from < config_.n; ++from)
+    for (ProcessId to = 0; to < config_.n; ++to)
+      if (from != to)
+        transports_[from]->set_peer(to, transports_[to]->listen_port());
+}
+
+LoopbackCluster::~LoopbackCluster() {
+  for (auto& transport : transports_)
+    if (transport) transport->shutdown();
+}
+
+runtime::NodeProcess& LoopbackCluster::process(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n);
+  return *processes_[id];
+}
+
+TamperedTransport& LoopbackCluster::tamper(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n);
+  return *tampers_[id];
+}
+
+TcpTransport& LoopbackCluster::transport(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n);
+  return *transports_[id];
+}
+
+void LoopbackCluster::attach_tracer(trace::Tracer& tracer) {
+  tracer.set_clock([this] { return loop_.now_ns(); });
+  for (ProcessId id = 0; id < config_.n; ++id) {
+    transports_[id]->set_tracer(&tracer);
+    processes_[id]->selector().set_tracer(&tracer);
+  }
+}
+
+bool LoopbackCluster::start(std::uint64_t connect_timeout_ns) {
+  for (auto& transport : transports_) transport->start();
+  if (!run_until([this] { return fully_connected(); }, connect_timeout_ns))
+    return false;
+  for (auto& process : processes_) process->start();
+  return true;
+}
+
+bool LoopbackCluster::fully_connected() const {
+  for (ProcessId from = 0; from < config_.n; ++from) {
+    if (crashed_.contains(from)) continue;
+    for (ProcessId to = 0; to < config_.n; ++to) {
+      if (to == from || crashed_.contains(to)) continue;
+      if (!transports_[from]->connected_to(to)) return false;
+    }
+  }
+  return true;
+}
+
+bool LoopbackCluster::run_until(const std::function<bool()>& pred,
+                                std::uint64_t timeout_ns) {
+  const std::uint64_t deadline = loop_.now_ns() + timeout_ns;
+  while (!pred()) {
+    const std::uint64_t now = loop_.now_ns();
+    if (now >= deadline) return false;
+    loop_.poll_once(std::min<std::uint64_t>(deadline - now, 5'000'000));
+  }
+  return true;
+}
+
+void LoopbackCluster::crash(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n);
+  processes_[id]->stop();
+  transports_[id]->shutdown();
+  crashed_.insert(id);
+}
+
+void LoopbackCluster::partition(ProcessSet side_a) {
+  for (auto& tamper : tampers_) tamper->partition(side_a);
+}
+
+void LoopbackCluster::heal() {
+  for (auto& tamper : tampers_) tamper->heal();
+}
+
+ProcessSet LoopbackCluster::alive() const {
+  return ProcessSet::full(config_.n) - crashed_;
+}
+
+bool LoopbackCluster::converged() const {
+  const suspect::SuspicionMatrix* reference = nullptr;
+  for (ProcessId id : alive()) {
+    const auto& matrix = processes_[id]->selector().matrix();
+    if (reference == nullptr)
+      reference = &matrix;
+    else if (!(matrix == *reference))
+      return false;
+  }
+  return reference != nullptr;
+}
+
+std::optional<std::string> LoopbackCluster::agreement_error() const {
+  const int want = static_cast<int>(config_.n) - config_.f;
+  for (ProcessId id : alive()) {
+    const ProcessSet quorum = processes_[id]->quorum();
+    if (quorum.size() != want) {
+      std::ostringstream os;
+      os << "p" << id << " reports quorum " << quorum.to_string()
+         << " of size " << quorum.size() << ", want " << want;
+      return os.str();
+    }
+  }
+  for (ProcessId a : alive()) {
+    for (ProcessId b : alive()) {
+      if (b <= a) continue;
+      const auto& sa = processes_[a]->selector();
+      const auto& sb = processes_[b]->selector();
+      if (sa.epoch() != sb.epoch()) continue;
+      if (sa.quorum() != sb.quorum()) {
+        std::ostringstream os;
+        os << "p" << a << " reports " << sa.quorum().to_string() << " but p"
+           << b << " reports " << sb.quorum().to_string() << " (both in epoch "
+           << sa.epoch() << ")";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+crypto::Digest LoopbackCluster::outcome_digest() const {
+  std::vector<std::pair<ProcessId, ProcessSet>> quorums;
+  for (ProcessId id : alive())
+    quorums.emplace_back(id, processes_[id]->quorum());
+  return final_quorum_digest(quorums);
+}
+
+crypto::Digest final_quorum_digest(
+    std::span<const std::pair<ProcessId, ProcessSet>> quorums) {
+  std::vector<trace::Event> events;
+  events.reserve(quorums.size());
+  for (const auto& [id, quorum] : quorums) {
+    trace::Event event;
+    event.type = trace::EventType::kQuorum;
+    event.actor = id;
+    event.arg0 = quorum.mask();
+    events.push_back(std::move(event));
+  }
+  return trace::digest_of(events);
+}
+
+}  // namespace qsel::net

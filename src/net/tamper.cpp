@@ -1,0 +1,54 @@
+#include "net/tamper.hpp"
+
+#include "common/assert.hpp"
+
+namespace qsel::net {
+
+TamperedTransport::TamperedTransport(TcpTransport& inner, TamperConfig config)
+    : inner_(inner), config_(config), rng_(config.seed) {
+  QSEL_REQUIRE(config_.delay_min <= config_.delay_max);
+  inner_.set_write_tamper([this](ProcessId to, std::size_t frame_bytes) {
+    return plan(to, frame_bytes);
+  });
+}
+
+void TamperedTransport::partition(ProcessSet side_a) {
+  partitioned_ = true;
+  side_a_ = side_a;
+}
+
+void TamperedTransport::heal() {
+  partitioned_ = false;
+  side_a_.clear();
+}
+
+TamperPlan TamperedTransport::plan(ProcessId to, std::size_t frame_bytes) {
+  TamperPlan result;
+  if (partitioned_ && side_a_.contains(self()) != side_a_.contains(to)) {
+    ++frames_dropped_;
+    result.drop = true;
+    return result;
+  }
+  if (!tamper_enabled_) return result;
+  if (rng_.chance(config_.drop_rate)) {
+    ++frames_dropped_;
+    result.drop = true;
+    return result;
+  }
+  if (rng_.chance(config_.delay_rate)) {
+    ++frames_delayed_;
+    result.delay_ns = rng_.between(config_.delay_min, config_.delay_max);
+  }
+  if (rng_.chance(config_.duplicate_rate)) {
+    ++frames_duplicated_;
+    result.duplicate = true;
+  }
+  // Splitting needs at least two bytes so head and tail are both nonempty.
+  if (frame_bytes >= 2 && rng_.chance(config_.split_rate)) {
+    ++frames_split_;
+    result.split_at = rng_.between(1, frame_bytes - 1);
+  }
+  return result;
+}
+
+}  // namespace qsel::net

@@ -1,0 +1,86 @@
+// TamperedTransport — byte-level fault injection over a TcpTransport.
+//
+// Wraps a TcpTransport and installs its write-tamper hook (see
+// tcp_transport.hpp): every outgoing message frame is independently
+// dropped, delayed (whole-frame re-enqueue — reorders messages, never
+// corrupts the stream), duplicated, or split so the first write syscall
+// stops mid-frame and the receiver exercises partial-frame reassembly.
+// All randomness comes from one seeded Rng, so a loopback test's fault
+// pattern is reproducible modulo socket timing.
+//
+// It also models partitions the way sim::Network does: partition(side_a)
+// drops every frame crossing between side_a and its complement; heal()
+// lifts it. LoopbackCluster applies the same partition to every node's
+// wrapper, so sender-side dropping is equivalent to cutting the links.
+//
+// The wrapper IS the node's Transport (NodeProcess binds to it), so its
+// handler, timers and identity all pass straight through to the inner
+// transport — faults live exclusively on the outgoing byte path, exactly
+// where the omission/timing faults of the paper's model live.
+#pragma once
+
+#include "common/rng.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/transport.hpp"
+
+namespace qsel::net {
+
+struct TamperConfig {
+  double drop_rate = 0.0;
+  double delay_rate = 0.0;
+  SimDuration delay_min = 1'000'000;   // 1ms
+  SimDuration delay_max = 20'000'000;  // 20ms
+  double duplicate_rate = 0.0;
+  double split_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class TamperedTransport final : public Transport {
+ public:
+  /// `inner` must outlive the wrapper; the wrapper owns its tamper hook.
+  TamperedTransport(TcpTransport& inner, TamperConfig config);
+
+  /// Drops frames crossing between `side_a` and its complement until
+  /// heal(). Applies on top of the random faults.
+  void partition(ProcessSet side_a);
+  void heal();
+
+  /// Random faults on/off (partitions keep working while disabled).
+  void set_tamper_enabled(bool enabled) { tamper_enabled_ = enabled; }
+
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t frames_delayed() const { return frames_delayed_; }
+  std::uint64_t frames_duplicated() const { return frames_duplicated_; }
+  std::uint64_t frames_split() const { return frames_split_; }
+
+  // --- Transport: pass-through to the inner TcpTransport ---------------
+  ProcessId self() const override { return inner_.self(); }
+  ProcessId process_count() const override { return inner_.process_count(); }
+  sim::Simulator& timers() override { return inner_.timers(); }
+  SimDuration round_length() const override { return inner_.round_length(); }
+  void set_handler(Handler handler) override {
+    inner_.set_handler(std::move(handler));
+  }
+  void send(ProcessId to, sim::PayloadPtr message) override {
+    inner_.send(to, std::move(message));
+  }
+  void broadcast(ProcessSet targets, const sim::PayloadPtr& message) override {
+    inner_.broadcast(targets, message);
+  }
+
+ private:
+  TamperPlan plan(ProcessId to, std::size_t frame_bytes);
+
+  TcpTransport& inner_;
+  TamperConfig config_;
+  Rng rng_;
+  bool tamper_enabled_ = true;
+  bool partitioned_ = false;
+  ProcessSet side_a_;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_delayed_ = 0;
+  std::uint64_t frames_duplicated_ = 0;
+  std::uint64_t frames_split_ = 0;
+};
+
+}  // namespace qsel::net

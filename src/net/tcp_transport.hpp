@@ -1,0 +1,165 @@
+// TcpTransport — net::Transport over real non-blocking TCP sockets.
+//
+// One instance hosts one process: it listens on 127.0.0.1 (ephemeral port
+// by default) and dials a persistent outgoing connection to every peer.
+// Sends travel only on the own outgoing connection; accepted connections
+// are receive-only. This gives each ordered pair (i -> j) exactly one
+// byte stream, so TCP's in-order guarantee applies per direction while
+// messages may still reorder across senders — the same delivery model the
+// simulated network exposes.
+//
+// Wire protocol, in connection order:
+//
+//   frame     := u32-LE body length || body          (length <= max_frame)
+//   1st frame := HELLO: u8 0 || u32-LE sender id     (transport-level)
+//   others    := wire.hpp message bodies (u8 type tag || codec fields)
+//
+// A frame that fails to parse — oversized length, unknown tag, truncated
+// or trailing bytes — closes the connection: a TCP stream that lost sync
+// cannot be resynchronized, and the parity contract (transport.hpp) wants
+// corruption surfaced as loss, never as a wrong message. Authentication
+// stays above: HELLO is unauthenticated and only *routes* delivery
+// upcalls; every protocol message carries its own origin signature, so a
+// lying HELLO gains nothing an attacker-controlled `from` would not.
+//
+// Outgoing connections reconnect forever with exponential backoff
+// (base * 2^attempt, capped), resetting after a successful connect.
+// Messages sent while a peer is unreachable are dropped, not queued — the
+// failure detector is the component that must notice silence, and the
+// suspicion layer's anti-entropy resync repairs any gossip lost in the
+// gap.
+//
+// Fault injection for tests: set_write_tamper installs a hook consulted
+// once per outgoing frame (HELLO exempt) that may drop it, delay it
+// (re-enqueued whole after the delay — reorders messages without
+// corrupting the stream), duplicate it, or force the first write syscall
+// to stop after `split_at` bytes so receivers exercise partial-frame
+// reads. See net/tamper.hpp for the schedule-driven wrapper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/transport.hpp"
+
+namespace qsel::trace {
+class Tracer;
+}
+
+namespace qsel::net {
+
+/// What to do with one outgoing frame (see set_write_tamper).
+struct TamperPlan {
+  bool drop = false;
+  std::uint64_t delay_ns = 0;  // 0 = send now
+  bool duplicate = false;
+  std::size_t split_at = 0;  // 0 = none; else cap the first write syscall
+};
+
+class TcpTransport final : public Transport {
+ public:
+  struct Config {
+    ProcessId self = 0;
+    ProcessId n = 1;
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (tests), a
+    /// fixed value lets qsel_node instances find each other.
+    std::uint16_t listen_port = 0;
+    /// Failure-detector round length (transport.hpp). 20ms is a generous
+    /// loopback bound: it absorbs poll quantization and scheduler jitter
+    /// without making suspicion latency tests crawl.
+    SimDuration round_length = 20'000'000;
+    std::size_t max_frame_bytes = 1 << 20;
+    SimDuration reconnect_base = 10'000'000;  // 10ms
+    SimDuration reconnect_cap = 1'000'000'000;  // 1s
+  };
+
+  using WriteTamper =
+      std::function<TamperPlan(ProcessId to, std::size_t frame_bytes)>;
+
+  /// Binds and listens immediately (so peers can learn listen_port()
+  /// before any transport starts dialing); throws std::runtime_error when
+  /// the socket setup fails. `loop` must outlive the transport.
+  TcpTransport(EventLoop& loop, Config config);
+  ~TcpTransport() override;
+
+  /// Boot sequence: construct all transports, exchange listen_port() via
+  /// set_peer(), then start() each — which begins dialing.
+  std::uint16_t listen_port() const { return listen_port_; }
+  void set_peer(ProcessId id, std::uint16_t port);
+  void start();
+
+  /// Closes every socket and cancels reconnects. Idempotent; also run by
+  /// the destructor. After shutdown the transport stays silent forever —
+  /// this is how LoopbackCluster crashes a node.
+  void shutdown();
+
+  /// True when the outgoing connection to `to` is established (HELLO
+  /// handed to the kernel). Tests use this to await cluster wiring.
+  bool connected_to(ProcessId to) const;
+
+  /// Trace sink for kSend/kDeliver/kDrop transport events (null detaches).
+  /// The caller owns the tracer and its clock.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Fault-injection hook, consulted once per outgoing message frame.
+  void set_write_tamper(WriteTamper tamper) { tamper_ = std::move(tamper); }
+
+  // --- Transport --------------------------------------------------------
+  ProcessId self() const override { return config_.self; }
+  ProcessId process_count() const override { return config_.n; }
+  sim::Simulator& timers() override { return loop_.timers(); }
+  SimDuration round_length() const override { return config_.round_length; }
+  void set_handler(Handler handler) override { handler_ = std::move(handler); }
+  void send(ProcessId to, sim::PayloadPtr message) override;
+  void broadcast(ProcessSet targets, const sim::PayloadPtr& message) override;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    ProcessId peer = kNoProcess;  // incoming: learned from HELLO
+    bool outgoing = false;
+    bool connecting = false;  // connect() still in flight
+    std::vector<std::uint8_t> inbuf;
+    std::vector<std::uint8_t> outbuf;
+    std::size_t out_offset = 0;   // consumed prefix of outbuf
+    std::size_t write_cap = 0;    // pending split tamper, 0 = none
+  };
+
+  void accept_ready();
+  void connection_ready(Connection* conn, EventLoop::Ready ready);
+  void dial(ProcessId to);
+  void schedule_reconnect(ProcessId to);
+  void close_connection(Connection* conn, bool reconnect);
+  void read_from(Connection* conn);
+  bool parse_frames(Connection* conn);  // false => connection was closed
+  bool handle_frame(Connection* conn, std::span<const std::uint8_t> body);
+  void enqueue_frame(ProcessId to, const std::vector<std::uint8_t>& frame,
+                     std::size_t split_at);
+  void flush(Connection* conn);
+  void update_interest(Connection* conn);
+  void deliver_local(const sim::PayloadPtr& message);
+  void send_frame(ProcessId to, const sim::Payload& message);
+
+  EventLoop& loop_;
+  Config config_;
+  Handler handler_;
+  trace::Tracer* tracer_ = nullptr;
+  WriteTamper tamper_;
+
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  std::vector<std::uint16_t> peer_ports_;  // 0 = unknown
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<Connection*> out_;  // per-peer outgoing connection or null
+  std::vector<std::uint32_t> reconnect_attempts_;
+  std::vector<sim::TimerHandle> reconnect_timers_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace qsel::net

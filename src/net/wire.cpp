@@ -1,0 +1,118 @@
+#include "net/wire.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "fs/followers_message.hpp"
+#include "net/codec.hpp"
+#include "runtime/heartbeat.hpp"
+#include "suspect/update_message.hpp"
+
+namespace qsel::net {
+
+namespace {
+
+void encode_heartbeat(const runtime::HeartbeatMessage& msg, Encoder& enc) {
+  enc.process_id(msg.origin);
+  enc.u64(msg.seq);
+  enc.signature(msg.sig);
+}
+
+void encode_update(const suspect::UpdateMessage& msg, Encoder& enc) {
+  enc.process_id(msg.origin);
+  enc.u64_vector(msg.row);
+  enc.signature(msg.sig);
+}
+
+void encode_followers(const fs::FollowersMessage& msg, Encoder& enc) {
+  enc.process_id(msg.leader);
+  enc.process_set(msg.followers);
+  enc.u64(msg.epoch);
+  std::vector<std::uint64_t> edges;
+  edges.reserve(msg.line_edges.size());
+  for (const auto& [u, v] : msg.line_edges)
+    edges.push_back((static_cast<std::uint64_t>(u) << 32) | v);
+  enc.u64_vector(edges);
+  enc.signature(msg.sig);
+}
+
+sim::PayloadPtr decode_heartbeat(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<runtime::HeartbeatMessage>();
+  msg->origin = dec.process_id();
+  msg->seq = dec.u64();
+  msg->sig = dec.signature();
+  if (!dec.done() || msg->origin >= n) return nullptr;
+  return msg;
+}
+
+sim::PayloadPtr decode_update(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<suspect::UpdateMessage>();
+  msg->origin = dec.process_id();
+  msg->row = dec.u64_vector();
+  msg->sig = dec.signature();
+  // Row width must be exactly n (UpdateMessage::verify re-checks, but a
+  // wrong width is already a framing error, not a signature question).
+  if (!dec.done() || msg->origin >= n || msg->row.size() != n) return nullptr;
+  return msg;
+}
+
+sim::PayloadPtr decode_followers(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<fs::FollowersMessage>();
+  msg->leader = dec.process_id();
+  msg->followers = dec.process_set();
+  msg->epoch = dec.u64();
+  const std::vector<std::uint64_t> edges = dec.u64_vector();
+  msg->sig = dec.signature();
+  if (!dec.done() || msg->leader >= n) return nullptr;
+  // A line subgraph on n nodes has at most n-1 edges; anything bigger is
+  // garbage regardless of signature.
+  if (edges.size() >= n) return nullptr;
+  for (const std::uint64_t packed : edges) {
+    const auto u = static_cast<ProcessId>(packed >> 32);
+    const auto v = static_cast<ProcessId>(packed & 0xffffffffULL);
+    if (u >= n || v >= n) return nullptr;
+    msg->line_edges.emplace_back(u, v);
+  }
+  return msg;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> encode_message(
+    const sim::Payload& message) {
+  Encoder enc;
+  if (const auto* hb =
+          dynamic_cast<const runtime::HeartbeatMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kHeartbeat));
+    encode_heartbeat(*hb, enc);
+  } else if (const auto* update =
+                 dynamic_cast<const suspect::UpdateMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kUpdate));
+    encode_update(*update, enc);
+  } else if (const auto* followers =
+                 dynamic_cast<const fs::FollowersMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kFollowers));
+    encode_followers(*followers, enc);
+  } else {
+    return std::nullopt;
+  }
+  return std::move(enc).take();
+}
+
+sim::PayloadPtr decode_message(std::span<const std::uint8_t> body,
+                               ProcessId n) {
+  Decoder dec(body);
+  const std::uint8_t tag = dec.u8();
+  if (!dec.ok()) return nullptr;
+  switch (static_cast<WireType>(tag)) {
+    case WireType::kHeartbeat:
+      return decode_heartbeat(dec, n);
+    case WireType::kUpdate:
+      return decode_update(dec, n);
+    case WireType::kFollowers:
+      return decode_followers(dec, n);
+  }
+  return nullptr;
+}
+
+}  // namespace qsel::net

@@ -1,0 +1,87 @@
+#include "runtime/node_process.hpp"
+
+#include <memory>
+
+#include "suspect/update_message.hpp"
+
+namespace qsel::runtime {
+
+NodeProcess::NodeProcess(net::Transport& transport,
+                         const crypto::KeyRegistry& keys,
+                         const NodeProcessConfig& config)
+    : transport_(transport),
+      signer_(keys, transport.self()),
+      heartbeat_period_(config.heartbeat_period),
+      fd_(transport.timers(), transport.self(), config.n, config.fd,
+          [this](ProcessSet suspects) { selector_.on_suspected(suspects); }),
+      selector_(signer_, qs::QuorumSelectorConfig{config.n, config.f},
+                qs::QuorumSelector::Hooks{
+                    [](ProcessSet) { /* application consumes the quorum */ },
+                    [this](sim::PayloadPtr msg) {
+                      transport_.broadcast(
+                          ProcessSet::full(transport_.process_count()) -
+                              ProcessSet{self()},
+                          msg);
+                    }}) {
+  transport_.set_handler([this](ProcessId from, const sim::PayloadPtr& msg) {
+    on_message(from, msg);
+  });
+}
+
+void NodeProcess::start() {
+  if (heartbeat_period_ == 0) return;
+  stopped_ = false;
+  tick();
+}
+
+void NodeProcess::stop() { stopped_ = true; }
+
+void NodeProcess::tick() {
+  if (stopped_) return;
+  const ProcessSet others =
+      ProcessSet::full(transport_.process_count()) - ProcessSet{self()};
+  transport_.broadcast(others,
+                       HeartbeatMessage::make(signer_, heartbeat_seq_++));
+  for (ProcessId peer : others) {
+    // While a suspicion against `peer` is live, piling up further
+    // expectations adds nothing: the suspicion only clears when a
+    // heartbeat arrives, which re-arms expectations on the next tick.
+    if (fd_.suspected().contains(peer)) continue;
+    fd_.expect(peer,
+               [](ProcessId, const sim::PayloadPtr& m) {
+                 return dynamic_cast<const HeartbeatMessage*>(m.get()) !=
+                        nullptr;
+               },
+               "heartbeat");
+  }
+  // Anti-entropy every 16th tick: forward-on-change gossip is reliable
+  // only over reliable links, so an UPDATE lost to a partition (or a TCP
+  // reconnect window) is never re-sent and matrices would stay split after
+  // the heal. Re-offering the known signed rows makes dissemination
+  // self-healing; receivers absorb duplicates without re-forwarding.
+  if (heartbeat_seq_ % 16 == 0) selector_.resync();
+  transport_.timers().schedule_after(heartbeat_period_, [this] { tick(); });
+}
+
+void NodeProcess::on_message(ProcessId from, const sim::PayloadPtr& message) {
+  // Authenticate, then feed the failure detector (RECEIVE/DELIVER) and
+  // dispatch to the module the message belongs to.
+  if (auto update =
+          std::dynamic_pointer_cast<const suspect::UpdateMessage>(message)) {
+    if (!update->verify(signer_, transport_.process_count())) return;
+    fd_.on_receive(from, message);
+    selector_.on_update(update);
+    return;
+  }
+  if (auto heartbeat =
+          std::dynamic_pointer_cast<const HeartbeatMessage>(message)) {
+    if (!heartbeat->verify(signer_, transport_.process_count())) return;
+    // Expectations target the *origin*: a heartbeat only counts for the
+    // process that signed it.
+    fd_.on_receive(heartbeat->origin, message);
+    return;
+  }
+  // Unknown payloads are ignored (Byzantine noise).
+}
+
+}  // namespace qsel::runtime

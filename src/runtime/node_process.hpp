@@ -1,0 +1,69 @@
+// NodeProcess — the composed system of Figure 1 for Quorum Selection
+// (Algorithm 1), substrate-independent.
+//
+// Stacks the paper's three modules — a heartbeat application issuing
+// expectations, the expectation-based failure detector, and the
+// QuorumSelector with its suspicion CRDT — behind the net::Transport
+// interface. The same class is instantiated over SimTransport by
+// QuorumCluster (virtual time, deterministic) and over TcpTransport by the
+// loopback harness and the qsel_node CLI (real sockets, wall-clock time);
+// the substrate only decides how messages and timer ticks arrive.
+#pragma once
+
+#include <cstdint>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "fd/failure_detector.hpp"
+#include "net/transport.hpp"
+#include "qs/quorum_selector.hpp"
+#include "runtime/heartbeat.hpp"
+
+namespace qsel::runtime {
+
+struct NodeProcessConfig {
+  ProcessId n = 4;
+  int f = 1;
+  fd::FailureDetectorConfig fd;
+  /// Heartbeat period; 0 disables the heartbeat application (experiments
+  /// that inject suspicions directly).
+  SimDuration heartbeat_period = 5'000'000;  // 5 ms
+};
+
+class NodeProcess {
+ public:
+  NodeProcess(net::Transport& transport, const crypto::KeyRegistry& keys,
+              const NodeProcessConfig& config);
+
+  NodeProcess(const NodeProcess&) = delete;
+  NodeProcess& operator=(const NodeProcess&) = delete;
+
+  /// Begins the heartbeat application (no-op when the period is 0).
+  void start();
+
+  /// Stops the heartbeat application (crash induction in the TCP harness;
+  /// the simulator models crashes in the network instead).
+  void stop();
+
+  ProcessId self() const { return signer_.self(); }
+  qs::QuorumSelector& selector() { return selector_; }
+  const qs::QuorumSelector& selector() const { return selector_; }
+  fd::FailureDetector& failure_detector() { return fd_; }
+  ProcessSet quorum() const { return selector_.quorum(); }
+  const crypto::Signer& signer() const { return signer_; }
+
+ private:
+  void tick();
+  void on_message(ProcessId from, const sim::PayloadPtr& message);
+
+  net::Transport& transport_;
+  crypto::Signer signer_;
+  SimDuration heartbeat_period_;
+  fd::FailureDetector fd_;
+  qs::QuorumSelector selector_;
+  std::uint64_t heartbeat_seq_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace qsel::runtime

@@ -4,95 +4,28 @@
 
 namespace qsel::runtime {
 
-QuorumProcess::QuorumProcess(sim::Network& network,
-                             const crypto::KeyRegistry& keys, ProcessId self,
-                             const QuorumClusterConfig& config)
-    : network_(network),
-      signer_(keys, self),
-      heartbeat_period_(config.heartbeat_period),
-      fd_(network.simulator(), self, config.n, config.fd,
-          [this](ProcessSet suspects) { selector_.on_suspected(suspects); }),
-      selector_(signer_, qs::QuorumSelectorConfig{config.n, config.f},
-                qs::QuorumSelector::Hooks{
-                    [](ProcessSet) { /* application consumes the quorum */ },
-                    [this](sim::PayloadPtr msg) {
-                      // `this->`: the constructor parameter `self` shadows
-                      // the member function inside this lambda.
-                      network_.broadcast(
-                          this->self(),
-                          ProcessSet::full(network_.process_count()) -
-                              ProcessSet{this->self()},
-                          msg);
-                    }}) {}
-
-void QuorumProcess::start() {
-  if (heartbeat_period_ == 0) return;
-  tick();
-}
-
-void QuorumProcess::tick() {
-  const ProcessSet others =
-      ProcessSet::full(network_.process_count()) - ProcessSet{self()};
-  network_.broadcast(self(), others,
-                     HeartbeatMessage::make(signer_, heartbeat_seq_++));
-  for (ProcessId peer : others) {
-    // While a suspicion against `peer` is live, piling up further
-    // expectations adds nothing: the suspicion only clears when a
-    // heartbeat arrives, which re-arms expectations on the next tick.
-    if (fd_.suspected().contains(peer)) continue;
-    fd_.expect(peer,
-               [](ProcessId, const sim::PayloadPtr& m) {
-                 return dynamic_cast<const HeartbeatMessage*>(m.get()) !=
-                        nullptr;
-               },
-               "heartbeat");
-  }
-  // Anti-entropy every 16th tick (same rationale as FollowerProcess):
-  // forward-on-change gossip is reliable only over reliable links, so an
-  // UPDATE lost to a partition is never re-sent and matrices would stay
-  // split after the heal. Re-offering the own row makes dissemination
-  // self-healing; receivers absorb duplicates without re-forwarding.
-  if (heartbeat_seq_ % 16 == 0) selector_.resync();
-  network_.simulator().schedule_after(heartbeat_period_, [this] { tick(); });
-}
-
-void QuorumProcess::on_message(ProcessId from, const sim::PayloadPtr& message) {
-  // Authenticate, then feed the failure detector (RECEIVE/DELIVER) and
-  // dispatch to the module the message belongs to.
-  if (auto update =
-          std::dynamic_pointer_cast<const suspect::UpdateMessage>(message)) {
-    if (!update->verify(signer_, network_.process_count())) return;
-    fd_.on_receive(from, message);
-    selector_.on_update(update);
-    return;
-  }
-  if (auto heartbeat =
-          std::dynamic_pointer_cast<const HeartbeatMessage>(message)) {
-    if (!heartbeat->verify(signer_, network_.process_count())) return;
-    // Expectations target the *origin*: a heartbeat only counts for the
-    // process that signed it.
-    fd_.on_receive(heartbeat->origin, message);
-    return;
-  }
-  // Unknown payloads are ignored (Byzantine noise).
-}
-
 QuorumCluster::QuorumCluster(QuorumClusterConfig config, ProcessSet byzantine)
     : config_(config),
       keys_(config.n, config.seed),
       network_(std::make_unique<sim::Network>(sim_, config.n, config.network,
                                               config.seed)),
       correct_(ProcessSet::full(config.n) - byzantine),
+      transports_(config.n),
       processes_(config.n) {
   QSEL_REQUIRE(byzantine.is_subset_of(ProcessSet::full(config.n)));
+  NodeProcessConfig node_config;
+  node_config.n = config.n;
+  node_config.f = config.f;
+  node_config.fd = config.fd;
+  node_config.heartbeat_period = config.heartbeat_period;
   for (ProcessId id : correct_) {
+    transports_[id] = std::make_unique<SimTransport>(*network_, id);
     processes_[id] =
-        std::make_unique<QuorumProcess>(*network_, keys_, id, config);
-    network_->attach(id, *processes_[id]);
+        std::make_unique<NodeProcess>(*transports_[id], keys_, node_config);
   }
 }
 
-QuorumProcess& QuorumCluster::process(ProcessId id) {
+NodeProcess& QuorumCluster::process(ProcessId id) {
   QSEL_REQUIRE(id < config_.n && processes_[id] != nullptr);
   return *processes_[id];
 }

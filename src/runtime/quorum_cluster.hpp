@@ -1,13 +1,14 @@
-// QuorumProcess / QuorumCluster — the composed system of Figure 1 for
-// Quorum Selection (Algorithm 1).
+// QuorumCluster — n NodeProcesses (Figure 1, Algorithm 1) over the
+// simulated network.
 //
-// Each QuorumProcess stacks the three modules of the paper's architecture:
-// a heartbeat application that issues expectations, the expectation-based
-// failure detector, and the QuorumSelector, all wired over the simulated
-// network. QuorumCluster builds n such processes (minus any ids reserved
-// as Byzantine, which tests/adversaries attach themselves) and exposes the
-// cluster-level observations the experiments need: whether correct
-// processes agree on a quorum, total quorum changes, epochs.
+// Each node is a runtime::NodeProcess — the substrate-independent stack of
+// heartbeat application, expectation-based failure detector and
+// QuorumSelector — instantiated here over a SimTransport slot of the
+// shared deterministic Network. QuorumCluster builds n such processes
+// (minus any ids reserved as Byzantine, which tests/adversaries attach
+// themselves) and exposes the cluster-level observations the experiments
+// need: whether correct processes agree on a quorum, total quorum changes,
+// epochs. The TCP twin of this class is net::LoopbackCluster.
 #pragma once
 
 #include <cstdint>
@@ -16,15 +17,13 @@
 #include <vector>
 
 #include "common/process_set.hpp"
-#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
 #include "fd/failure_detector.hpp"
-#include "qs/quorum_selector.hpp"
-#include "runtime/heartbeat.hpp"
+#include "runtime/node_process.hpp"
+#include "runtime/sim_transport.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
-#include "suspect/update_message.hpp"
 
 namespace qsel::runtime {
 
@@ -39,33 +38,9 @@ struct QuorumClusterConfig {
   SimDuration heartbeat_period = 5'000'000;  // 5 ms
 };
 
-class QuorumProcess final : public sim::Actor {
- public:
-  QuorumProcess(sim::Network& network, const crypto::KeyRegistry& keys,
-                ProcessId self, const QuorumClusterConfig& config);
-
-  /// Begins the heartbeat application (no-op when the period is 0).
-  void start();
-
-  void on_message(ProcessId from, const sim::PayloadPtr& message) override;
-
-  ProcessId self() const { return signer_.self(); }
-  qs::QuorumSelector& selector() { return selector_; }
-  const qs::QuorumSelector& selector() const { return selector_; }
-  fd::FailureDetector& failure_detector() { return fd_; }
-  ProcessSet quorum() const { return selector_.quorum(); }
-  const crypto::Signer& signer() const { return signer_; }
-
- private:
-  void tick();
-
-  sim::Network& network_;
-  crypto::Signer signer_;
-  SimDuration heartbeat_period_;
-  fd::FailureDetector fd_;
-  qs::QuorumSelector selector_;
-  std::uint64_t heartbeat_seq_ = 0;
-};
+/// Historical name: the per-process stack now lives in NodeProcess (it is
+/// substrate-independent); cluster-facing code keeps the old name.
+using QuorumProcess = NodeProcess;
 
 class QuorumCluster {
  public:
@@ -79,14 +54,14 @@ class QuorumCluster {
   const crypto::KeyRegistry& keys() const { return keys_; }
   const QuorumClusterConfig& config() const { return config_; }
 
-  /// Ids running honest QuorumProcesses (including any that crashed later).
+  /// Ids running honest NodeProcesses (including any that crashed later).
   ProcessSet correct() const { return correct_; }
 
   /// Honest processes that have not crashed — the processes the paper's
   /// Agreement/Termination properties quantify over.
   ProcessSet alive() const;
 
-  QuorumProcess& process(ProcessId id);
+  NodeProcess& process(ProcessId id);
 
   /// Wires `tracer` into the whole run: simulator clock, network
   /// SEND/DELIVER/DROP and fault injection, every honest process's
@@ -113,7 +88,8 @@ class QuorumCluster {
   crypto::KeyRegistry keys_;
   std::unique_ptr<sim::Network> network_;
   ProcessSet correct_;
-  std::vector<std::unique_ptr<QuorumProcess>> processes_;  // index = id
+  std::vector<std::unique_ptr<SimTransport>> transports_;  // index = id
+  std::vector<std::unique_ptr<NodeProcess>> processes_;    // index = id
 };
 
 }  // namespace qsel::runtime

@@ -144,7 +144,7 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
 
   SimTime t = 20 * kMs;
   const std::uint64_t archetype =
-      rng.below(protocol == Protocol::kXPaxos ? 3 : 4);
+      rng.below(protocol == Protocol::kXPaxos ? 3 : 5);
   switch (archetype) {
     case 0: {  // link omission / timing faults
       maybe_gst(rng, schedule);
@@ -193,11 +193,57 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
       }
       break;
     }
-    default:  // Byzantine adversary walk (qs/fs only)
+    case 3:  // Byzantine adversary walk (qs/fs only)
       if (fs) schedule.n = static_cast<ProcessId>(3 * f + 1);
       if (rng.chance(0.4)) schedule.heartbeat_period = 0;
       generate_adversary_walk(rng, schedule);
       break;
+    default: {  // combined archetypes (qs/fs only)
+      if (rng.chance(0.5)) {
+        // Adversary walk with a partition opening mid-walk: injected
+        // UPDATEs race the split, so one side converges on the walk's
+        // suspicions while the other is cut off, and the heal must be
+        // repaired by anti-entropy. Heartbeats stay ON — resync is
+        // heartbeat-driven and is exactly the mechanism under test.
+        if (fs) schedule.n = static_cast<ProcessId>(3 * f + 1);
+        generate_adversary_walk(rng, schedule);
+        const SimTime split = 20 * kMs + rng.between(10, 60) * kMs;
+        const auto side = pick_subset(
+            rng, schedule.n,
+            static_cast<int>(rng.between(
+                1, static_cast<std::uint64_t>(schedule.n) - 1)));
+        schedule.actions.push_back(
+            {split, FaultKind::kPartition, kNoProcess, kNoProcess,
+             side.mask()});
+        schedule.actions.push_back({split + rng.between(60, 250) * kMs,
+                                    FaultKind::kHeal, kNoProcess, kNoProcess,
+                                    0});
+      } else {
+        // Partition with crashes landing around the heal: suspicion state
+        // about the victims is split across the cut at the moment they
+        // die, so only gossip among the survivors can reunify it.
+        maybe_gst(rng, schedule);
+        t += rng.between(20, 80) * kMs;
+        const auto side = pick_subset(
+            rng, schedule.n,
+            static_cast<int>(rng.between(
+                1, static_cast<std::uint64_t>(schedule.n) - 1)));
+        schedule.actions.push_back(
+            {t, FaultKind::kPartition, kNoProcess, kNoProcess, side.mask()});
+        const SimTime heal = t + rng.between(100, 300) * kMs;
+        schedule.actions.push_back(
+            {heal, FaultKind::kHeal, kNoProcess, kNoProcess, 0});
+        const auto victims =
+            pick_subset(rng, schedule.n,
+                        static_cast<int>(rng.between(
+                            1, static_cast<std::uint64_t>(schedule.f))));
+        for (ProcessId victim : victims)
+          schedule.actions.push_back({t + rng.between(50, 280) * kMs,
+                                      FaultKind::kCrash, victim, kNoProcess,
+                                      0});
+      }
+      break;
+    }
   }
 
   if (protocol == Protocol::kXPaxos) {
@@ -214,9 +260,15 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
   // Partitions leave stale cross-side suspicions behind; the adaptive
   // failure detector plus epoch advances need a longer settle period
   // before the eventual properties can be demanded (tests/qs/partition_test
-  // calibrates this empirically).
+  // calibrates this empirically). Byzantine walks layered over a partition
+  // add epoch churn on top of the stale suspicions, so they settle longest.
+  const bool byzantine_partition =
+      !schedule.byzantine.empty() && schedule.has_partition();
   schedule.quiet_start =
-      last + (schedule.has_partition() ? 4500 : 3000) * kMs;
+      last + (byzantine_partition ? 5000
+              : schedule.has_partition() ? 4500
+                                         : 3000) *
+                 kMs;
   schedule.quiet_window = 2500 * kMs;
 
   const auto error = schedule.validate();

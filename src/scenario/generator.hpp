@@ -1,7 +1,7 @@
 // ScheduleGenerator — seeded randomized fault schedules.
 //
 // From a single 64-bit seed the generator derives one complete Schedule:
-// system size, GST placement and a fault script drawn from one of four
+// system size, GST placement and a fault script drawn from one of five
 // archetypes —
 //
 //   link faults:  omission and timing failures on links adjacent to at
@@ -15,7 +15,13 @@
 //                 the Theorem-4 interruption strategy against Algorithm 1
 //                 (exact game for small cores) or the constructive 3f-walk
 //                 against Follower Selection (Theorem 9) — replayed as
-//                 kInjectSuspicion actions from the cover processes.
+//                 kInjectSuspicion actions from the cover processes;
+//   combined:     fault classes layered (qs/fs only): either the adversary
+//                 walk with a partition opening mid-walk (heartbeats stay
+//                 on — the post-heal repair runs through the anti-entropy
+//                 resync), or a partition with up to f crashes landing
+//                 around the heal, so suspicion state about the victims
+//                 must reunify through survivor gossip alone.
 //
 // Every generated schedule passes Schedule::validate(): faults stay
 // within the f budget (partitions excepted — they are deliberately

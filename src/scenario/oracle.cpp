@@ -131,23 +131,25 @@ void check_selection(const Schedule& schedule, const Observations& obs,
     }
   }
 
-  // Suspicion-matrix CRDT convergence among alive fully-correct processes
-  // (messages lost inside a partition are legitimately never re-sent, so
-  // the check only applies to partition-free schedules).
-  if (!schedule.has_partition()) {
-    const ProcessObservation* first = nullptr;
-    for (const ProcessObservation& process : obs.processes) {
-      if (!process.alive || process.culprit || !process.matrix) continue;
-      if (!first) {
-        first = &process;
-        continue;
-      }
-      if (!(*process.matrix == *first->matrix)) {
-        std::ostringstream os;
-        os << "p" << first->id << " and p" << process.id
-           << " hold different suspicion matrices at quiescence";
-        violate(report, "crdt_convergence", os.str());
-      }
+  // Suspicion-matrix CRDT convergence among alive fully-correct
+  // processes. Unconditional: full-matrix anti-entropy (SuspicionCore::
+  // resync re-offers the latest signed UPDATE of every origin) makes
+  // dissemination epidemic, so matrices must reunify even across healed
+  // partitions and around crashed or silent origins. Schedules where the
+  // repair mechanism cannot run (partition with heartbeats disabled) are
+  // rejected by Schedule::validate, not excused here.
+  const ProcessObservation* first = nullptr;
+  for (const ProcessObservation& process : obs.processes) {
+    if (!process.alive || process.culprit || !process.matrix) continue;
+    if (!first) {
+      first = &process;
+      continue;
+    }
+    if (!(*process.matrix == *first->matrix)) {
+      std::ostringstream os;
+      os << "p" << first->id << " and p" << process.id
+         << " hold different suspicion matrices at quiescence";
+      violate(report, "crdt_convergence", os.str());
     }
   }
 }

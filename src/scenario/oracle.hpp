@@ -24,10 +24,13 @@
 //                 to f faulty processes, which partitions and pre-GST
 //                 asynchrony deliberately violate);
 //   CRDT          alive fully-correct processes hold identical suspicion
-//   convergence   matrices — only on partition-free schedules (messages
-//                 dropped inside a partition are not re-sent; the paper
-//                 only needs the *graphs* to re-converge, which Agreement
-//                 already witnesses);
+//   convergence   matrices — always. Partitioned schedules are covered
+//                 too: SuspicionCore::resync's full-matrix anti-entropy
+//                 re-offers every origin's latest signed UPDATE, so state
+//                 split by a heal-ed partition (or orphaned by a crashed
+//                 origin) reunifies epidemically. The one configuration
+//                 where the repair cannot run — a partition with
+//                 heartbeats disabled — is rejected by Schedule::validate;
 //   XPaxos        executed histories prefix-consistent — always; all
 //                 client requests complete — only on fault-free schedules.
 //

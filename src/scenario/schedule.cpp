@@ -230,6 +230,14 @@ std::optional<std::string> Schedule::validate() const {
     }
   }
   if (partition_open) return err("partition never healed");
+  // Messages lost inside a partition are legitimately never re-sent by
+  // forward-on-change gossip alone; post-heal repair runs through the
+  // anti-entropy resync, which is driven by heartbeat ticks. A partitioned
+  // schedule with heartbeats disabled therefore is not owed CRDT
+  // convergence (or any eventual property) — reject it here so the
+  // convergence oracle can stay unconditional.
+  if (has_partition() && heartbeat_period == 0)
+    return err("partitioned schedule needs a heartbeat period");
   // Same model boundary as the partition rule: a link between two
   // processes that stays dead through the quiet window means GST never
   // arrives for that pair (one CORRECT endpoint would falsely suspect a

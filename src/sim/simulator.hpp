@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -47,6 +48,14 @@ class Simulator {
   SimTime now() const { return now_; }
   std::uint64_t events_processed() const { return events_processed_; }
   bool idle() const { return queue_.empty(); }
+
+  /// Time of the earliest scheduled event, or nullopt when idle. The real
+  /// event loop (net::EventLoop) uses this to bound its poll timeout so
+  /// timers fire on time.
+  std::optional<SimTime> next_event_time() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.top().time;
+  }
 
   void schedule_at(SimTime time, EventFn fn);
   void schedule_after(SimDuration delay, EventFn fn) {

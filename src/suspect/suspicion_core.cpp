@@ -10,7 +10,11 @@ namespace qsel::suspect {
 
 SuspicionCore::SuspicionCore(const crypto::Signer& signer, ProcessId n,
                              Hooks hooks)
-    : signer_(signer), n_(n), hooks_(std::move(hooks)), matrix_(n) {
+    : signer_(signer),
+      n_(n),
+      hooks_(std::move(hooks)),
+      matrix_(n),
+      latest_(n) {
   QSEL_REQUIRE(signer.self() < n);
   QSEL_REQUIRE(hooks_.broadcast != nullptr);
   QSEL_REQUIRE(hooks_.update_quorum != nullptr);
@@ -54,6 +58,7 @@ bool SuspicionCore::on_update(const std::shared_ptr<const UpdateMessage>& msg) {
   const std::uint64_t content_tag = msg->sig.tag.prefix64();
   if (tracer_) tracer_->update_receive(self(), msg->origin, content_tag);
   if (!matrix_.merge_row(msg->origin, msg->row)) return false;
+  latest_[msg->origin] = msg;  // newest changing row; re-offered by resync()
   if (tracer_) tracer_->update_merge(self(), msg->origin, content_tag);
   // Forward-on-change (Line 23), then re-evaluate (Line 24) — this order
   // matters: FIFO receivers must see the UPDATE before any FOLLOWERS
@@ -77,8 +82,16 @@ void SuspicionCore::advance_epoch(Epoch new_epoch) {
 
 void SuspicionCore::resync() {
   // Stamping is idempotent here (the current suspicions already carry the
-  // current epoch), so this is purely a re-broadcast of the own row.
+  // current epoch), so this is purely a re-broadcast of the own row...
   stamp_and_broadcast();
+  // ...followed by a re-offer of every other origin's latest signed row,
+  // making the gossip epidemic (see the header comment). Receivers absorb
+  // already-known rows as no-change without re-forwarding, so steady-state
+  // cost is O(n) messages per resync and no amplification.
+  for (ProcessId origin = 0; origin < n_; ++origin) {
+    if (origin == self() || latest_[origin] == nullptr) continue;
+    hooks_.broadcast(latest_[origin]);
+  }
 }
 
 Epoch SuspicionCore::next_epoch_candidate() const {

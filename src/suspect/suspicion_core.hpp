@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/process_set.hpp"
 #include "common/types.hpp"
@@ -73,14 +74,18 @@ class SuspicionCore {
   /// update_quorum implementation; does NOT recurse into update_quorum.
   void advance_epoch(Epoch new_epoch);
 
-  /// Anti-entropy retransmission: re-broadcasts the own signed row.
+  /// Anti-entropy retransmission: re-broadcasts the own signed row plus
+  /// the latest signed UPDATE merged from every other origin.
   /// Forward-on-change (Lemma 1) disseminates reliably only over reliable
   /// links; when links drop messages (e.g. during a partition) a lost
   /// UPDATE is never re-sent and matrices can stay split after the network
-  /// heals. Each correct process holds the maximal version of its own row,
-  /// so periodically re-offering it restores convergence. Receivers treat
-  /// an already-merged row as no-change: no forward, no quorum
-  /// re-evaluation — duplicates are absorbed, not amplified.
+  /// heals. Re-offering the whole known matrix — not just the own row —
+  /// makes dissemination epidemic: any row held by at least one correct
+  /// connected process eventually reaches all of them, even when its
+  /// origin has crashed or is Byzantine and silent. (Forwarders relay the
+  /// origin-signed message, so re-offered rows stay authenticated.)
+  /// Receivers treat an already-merged row as no-change: no forward, no
+  /// quorum re-evaluation — duplicates are absorbed, not amplified.
   void resync();
 
   /// Smallest epoch that removes at least one *other* process's live edge,
@@ -109,6 +114,11 @@ class SuspicionCore {
   Epoch epoch_ = 1;
   ProcessSet suspecting_;
   SuspicionMatrix matrix_;
+  /// latest_[origin]: the most recent UPDATE from `origin` whose merge
+  /// changed the matrix; re-offered by resync(). Correct origins send
+  /// cell-wise monotone rows, so the latest changing message dominates all
+  /// earlier ones and re-offering it alone reconstructs the full row.
+  std::vector<std::shared_ptr<const UpdateMessage>> latest_;
   trace::Tracer* tracer_ = nullptr;
   std::uint64_t updates_broadcast_ = 0;
   std::uint64_t updates_forwarded_ = 0;

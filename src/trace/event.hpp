@@ -47,9 +47,11 @@ enum class EventType : std::uint8_t {
 
 /// Drop causes (arg0 of kDrop).
 enum class DropReason : std::uint64_t {
-  kLinkDisabled = 0,   // omission fault injected on the link
-  kReceiverCrashed,    // receiver crashed before delivery
-  kReceiverUnattached  // no actor installed (down from the start)
+  kLinkDisabled = 0,    // omission fault injected on the link
+  kReceiverCrashed,     // receiver crashed before delivery
+  kReceiverUnattached,  // no actor installed (down from the start)
+  kDisconnected,        // TCP: no established connection to the peer
+  kMalformed            // TCP: frame failed to decode; connection closed
 };
 
 /// Link fault kinds (arg0 of kLinkFault).

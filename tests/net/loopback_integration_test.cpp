@@ -1,0 +1,147 @@
+// Loopback integration — the acceptance tests for the TCP substrate.
+//
+// SevenNodeTamperedPartitionHealConverges is the headline scenario from
+// the issue: a 7-node f=2 cluster over real sockets, with 10% of all
+// writes dropped (plus delays, duplicates and split writes) AND a
+// partition that heals, must still converge to an agreed quorum per
+// epoch.
+//
+// SimulatorTcpParityOnCrashSchedule runs the same logical schedule —
+// n = 5, f = 1, crash p1, wait for quiescence — on the virtual-time
+// QuorumCluster and the real-TCP LoopbackCluster and compares the final
+// per-process quorums via one digest (final_quorum_digest). This is the
+// transport parity contract of net/transport.hpp made executable: the
+// substrate may change message timing, loss and interleaving, but never
+// the protocol outcome.
+#include "net/loopback_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "runtime/quorum_cluster.hpp"
+
+namespace qsel::net {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+TEST(LoopbackClusterTest, CleanNetworkConverges) {
+  LoopbackClusterConfig config;
+  config.n = 4;
+  config.f = 1;
+  config.seed = 5;
+  LoopbackCluster cluster(config);
+  ASSERT_TRUE(cluster.start());
+  ASSERT_TRUE(cluster.run_until(
+      [&] { return cluster.converged() && !cluster.agreement_error(); },
+      20'000 * kMs));
+  EXPECT_EQ(cluster.agreement_error(), std::nullopt);
+  // Nobody failed, so every node must keep the full default quorum.
+  for (ProcessId id : cluster.alive())
+    EXPECT_EQ(cluster.process(id).quorum(), ProcessSet::range(0, 3));
+}
+
+TEST(LoopbackClusterTest, SevenNodeTamperedPartitionHealConverges) {
+  LoopbackClusterConfig config;
+  config.n = 7;
+  config.f = 2;
+  config.seed = 11;
+  config.tamper.drop_rate = 0.10;
+  config.tamper.delay_rate = 0.05;
+  config.tamper.duplicate_rate = 0.05;
+  config.tamper.split_rate = 0.10;
+  LoopbackCluster cluster(config);
+  ASSERT_TRUE(cluster.start());
+
+  // Let the failure detector find its feet under 10% loss, then cut
+  // {0,1,2} off from {3,4,5,6} for 300ms of real time and heal.
+  cluster.run_for(300 * kMs);
+  cluster.partition(ProcessSet{0, 1, 2});
+  cluster.run_for(300 * kMs);
+  cluster.heal();
+
+  ASSERT_TRUE(cluster.run_until(
+      [&] { return cluster.converged() && !cluster.agreement_error(); },
+      180'000 * kMs))
+      << (cluster.agreement_error()
+              ? *cluster.agreement_error()
+              : std::string("matrices never converged"));
+  EXPECT_EQ(cluster.agreement_error(), std::nullopt);
+
+  // The byte-level faults must actually have fired.
+  std::uint64_t dropped = 0, split = 0, delayed = 0, duplicated = 0;
+  for (ProcessId id = 0; id < config.n; ++id) {
+    dropped += cluster.tamper(id).frames_dropped();
+    split += cluster.tamper(id).frames_split();
+    delayed += cluster.tamper(id).frames_delayed();
+    duplicated += cluster.tamper(id).frames_duplicated();
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(split, 0u);
+  EXPECT_GT(delayed, 0u);
+  EXPECT_GT(duplicated, 0u);
+}
+
+TEST(LoopbackClusterTest, CrashedNodeLeavesEveryQuorum) {
+  LoopbackClusterConfig config;
+  config.n = 4;
+  config.f = 1;
+  config.seed = 9;
+  LoopbackCluster cluster(config);
+  ASSERT_TRUE(cluster.start());
+  cluster.run_for(200 * kMs);
+  cluster.crash(2);
+  EXPECT_EQ(cluster.alive(), (ProcessSet{0, 1, 3}));
+  ASSERT_TRUE(cluster.run_until(
+      [&] {
+        if (!cluster.converged() || cluster.agreement_error()) return false;
+        for (ProcessId id : cluster.alive())
+          if (cluster.process(id).quorum().contains(2)) return false;
+        return true;
+      },
+      180'000 * kMs));
+  for (ProcessId id : cluster.alive())
+    EXPECT_EQ(cluster.process(id).quorum(), (ProcessSet{0, 1, 3}));
+}
+
+TEST(LoopbackClusterTest, SimulatorTcpParityOnCrashSchedule) {
+  // Substrate 1: virtual time. Run the schedule on the simulator and
+  // collect the survivors' final quorums.
+  runtime::QuorumClusterConfig sim_config;
+  sim_config.n = 5;
+  sim_config.f = 1;
+  sim_config.seed = 3;
+  runtime::QuorumCluster sim_cluster(sim_config);
+  sim_cluster.start();
+  sim_cluster.simulator().run_until(200 * kMs);
+  sim_cluster.network().crash(1);
+  sim_cluster.simulator().run_until(5'000 * kMs);
+
+  std::vector<std::pair<ProcessId, ProcessSet>> sim_quorums;
+  for (ProcessId id : sim_cluster.alive())
+    sim_quorums.emplace_back(id, sim_cluster.process(id).quorum());
+  const crypto::Digest sim_digest = final_quorum_digest(sim_quorums);
+
+  // Substrate 2: real TCP, same logical schedule. Convergence is awaited
+  // (real time has no quiescence instant), then the outcomes must match
+  // digest-for-digest.
+  LoopbackClusterConfig config;
+  config.n = 5;
+  config.f = 1;
+  config.seed = 3;
+  LoopbackCluster cluster(config);
+  ASSERT_TRUE(cluster.start());
+  cluster.run_for(200 * kMs);
+  cluster.crash(1);
+  ASSERT_TRUE(cluster.run_until(
+      [&] { return cluster.outcome_digest() == sim_digest; }, 180'000 * kMs))
+      << "TCP cluster never reached the simulator's outcome; agreement: "
+      << cluster.agreement_error().value_or("consistent");
+  EXPECT_EQ(cluster.outcome_digest().to_hex(), sim_digest.to_hex());
+  EXPECT_EQ(cluster.agreement_error(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace qsel::net

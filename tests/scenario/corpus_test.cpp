@@ -25,25 +25,39 @@ struct CorpusEntry {
 // REGENERATE: see file comment.
 constexpr CorpusEntry kCorpus[] = {
     {Protocol::kQuorumSelection, 1,
-     "c194179d8485d6979584f04a9a89ffee51fff9bb5594c00812b449d4c1424215"},
+     "cc997fbb2be884c1751e60510d1d39ebfc07f8cbc157831738ce911308a3b9f8"},
     {Protocol::kQuorumSelection, 2,
-     "f842a486e71ed909f27de37987a2edacdda64fa078e6b338e8c0eb178fe8ffa5"},
+     "9098a51589929954d1623f69b411de731ae80f567884f0c857d62589c790ea01"},
     {Protocol::kQuorumSelection, 3,
-     "82b0477ce45861598283b40d8edc7f44a04d0f4645270f9fc02deeccf2561d2c"},
+     "ef7f51441d7635057f9b8f16957d182660466ea577e1ab596353d9d8b1eb43d5"},
     {Protocol::kQuorumSelection, 4,
-     "90fd7489723464efe10e031a4cf31255805d914072ee80d74eefe65ac1c759a9"},
+     "266ad1820ce8102da65d458638023bafb49897cd517cc761e406ed7fd8630898"},
     {Protocol::kFollowerSelection, 1,
-     "aec3a807cae3c161ff3bd4bb38db95b9cc5e5dbd3f7aaee046a0abe721de7136"},
+     "6edc1ecc32f73770caad6f2375d7705d80b065509a45007d0eafafd71afdf8eb"},
     {Protocol::kFollowerSelection, 2,
      "cf49fde9e5a2a01045626bedaddebe60dfe4e6c3a0d95635c55edb03fd751b98"},
     {Protocol::kFollowerSelection, 3,
-     "9300cd10ac5109ac73fc70e29e09c8ac3630fc544a27c4e0e1e33a1d4511152c"},
+     "d5c184ca8a495cbd613455821eb3d4cf922fadfd95d92467518c2680ef6de775"},
     {Protocol::kFollowerSelection, 4,
-     "d504d8a83f8ff8ae96eee4cbc43559aaa2f6f4972625a529b6746df1eea4f22a"},
+     "00fdf66d5dea79390702b10405a873a31d07ce8c076f34cb8602e325e18571d5"},
     {Protocol::kXPaxos, 1,
      "52506ca768837d42ed8b2fe33dd48db502ef794fdffdce5fe3e4b69aca65678e"},
     {Protocol::kXPaxos, 2,
      "0a7897784eae063987f53c96b455742383a6567199d8f1e3128efac6170947b3"},
+    // Combined-archetype seeds (faults layered): 11/18 are qs adversary
+    // walks with a mid-walk partition, 15 a qs partition with crashes at
+    // the heal; 10 and 14 are the fs counterparts. Picked by scanning
+    // seeds 1..120 for partition+injection / partition+crash schedules.
+    {Protocol::kQuorumSelection, 11,
+     "1b5bca8e77c911419e593e4de1af6a574084df3149b534d1ad3cc0f72cb44ee1"},
+    {Protocol::kQuorumSelection, 15,
+     "4664f21cfa992859abcfe9a9ab275cb5d2e6c1f6ab225f6a1a55d1c8e16c96bf"},
+    {Protocol::kQuorumSelection, 18,
+     "6ff081d849836ce789c10ef418f667491b5983ccc62c8c93a5ddfc94660b8685"},
+    {Protocol::kFollowerSelection, 10,
+     "94e5024205556d1af9798d60f68958997ac84a590227242a268fcbb89541e0c1"},
+    {Protocol::kFollowerSelection, 14,
+     "c33afa92e47711a1dd5f34c80cea006ad25cdc4557c1a777a4c77d06e36625b7"},
 };
 
 class CorpusTest : public ::testing::TestWithParam<CorpusEntry> {};

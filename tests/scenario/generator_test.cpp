@@ -1,0 +1,156 @@
+// ScheduleGenerator distribution tests: every archetype the generator
+// advertises must actually appear in a modest seed sweep, every emitted
+// schedule must validate, and the combined archetype (faults layered:
+// adversary walk x partition, partition x crashes) must show up with both
+// of its variants for both selection protocols. The counts are pinned
+// loosely — enough to catch a dead branch or a probability typo without
+// welding the test to the exact RNG stream.
+#include "scenario/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "scenario/schedule.hpp"
+
+namespace qsel::scenario {
+namespace {
+
+constexpr std::uint64_t kSeeds = 300;
+
+struct Features {
+  bool partition = false;
+  bool injection = false;
+  bool crash = false;
+  bool link_fault = false;
+};
+
+Features features_of(const Schedule& schedule) {
+  Features features;
+  for (const FaultAction& action : schedule.actions) {
+    switch (action.kind) {
+      case FaultKind::kPartition:
+        features.partition = true;
+        break;
+      case FaultKind::kInjectSuspicion:
+        features.injection = true;
+        break;
+      case FaultKind::kCrash:
+        features.crash = true;
+        break;
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+      case FaultKind::kLinkDelay:
+        features.link_fault = true;
+        break;
+      case FaultKind::kHeal:
+        break;
+    }
+  }
+  return features;
+}
+
+class GeneratorSweepTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(GeneratorSweepTest, EveryScheduleValidatesAndCombinedMixAppears) {
+  const Protocol protocol = GetParam();
+  const ScheduleGenerator generator({});
+
+  std::uint64_t walk_with_partition = 0;   // combined variant A
+  std::uint64_t crash_with_partition = 0;  // combined variant B
+  std::uint64_t plain_partitions = 0;
+  std::uint64_t plain_walks = 0;
+  std::uint64_t link_faults = 0;
+  std::uint64_t crashes = 0;
+
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Schedule schedule = generator.generate(protocol, seed);
+    ASSERT_EQ(schedule.validate(), std::nullopt) << schedule.summary();
+
+    // Model boundary: a partition with heartbeats disabled would leave the
+    // anti-entropy resync with no trigger, so the generator must never
+    // emit one (Schedule::validate rejects it).
+    if (schedule.has_partition()) {
+      EXPECT_NE(schedule.heartbeat_period, 0);
+    }
+
+    const Features features = features_of(schedule);
+    if (features.injection) {
+      // Byzantine walks always come with their culprit cover.
+      EXPECT_FALSE(schedule.byzantine.empty()) << schedule.summary();
+      if (features.partition)
+        ++walk_with_partition;
+      else
+        ++plain_walks;
+    }
+    if (features.crash) {
+      ++crashes;
+      if (features.partition) ++crash_with_partition;
+    }
+    if (features.partition && !features.injection && !features.crash)
+      ++plain_partitions;
+    if (features.link_fault) ++link_faults;
+  }
+
+  // Each combined variant is chosen with probability 1/5 * 1/2 = 10%; a
+  // 300-seed sweep gives ~30 of each. The floor of 10 survives RNG drift
+  // but dies with the branch.
+  EXPECT_GE(walk_with_partition, 10u);
+  EXPECT_GE(crash_with_partition, 10u);
+  EXPECT_GE(plain_partitions, 10u);
+  EXPECT_GE(plain_walks, 10u);
+  EXPECT_GE(link_faults, 10u);
+  EXPECT_GE(crashes, 10u);
+}
+
+TEST_P(GeneratorSweepTest, PartitionedSchedulesGetTheLongSettle) {
+  const Protocol protocol = GetParam();
+  const ScheduleGenerator generator({});
+  constexpr SimDuration kMs = 1'000'000;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Schedule schedule = generator.generate(protocol, seed);
+    SimTime last = 0;
+    for (const FaultAction& action : schedule.actions)
+      last = std::max(last, action.at);
+    const SimDuration settle = schedule.quiet_start - last;
+    if (!schedule.byzantine.empty() && schedule.has_partition())
+      EXPECT_GE(settle, 5000 * kMs) << schedule.summary();
+    else if (schedule.has_partition())
+      EXPECT_GE(settle, 4500 * kMs) << schedule.summary();
+    else
+      EXPECT_GE(settle, 3000 * kMs) << schedule.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, GeneratorSweepTest,
+                         ::testing::Values(Protocol::kQuorumSelection,
+                                           Protocol::kFollowerSelection),
+                         [](const auto& param_info) {
+                           return std::string(
+                               protocol_name(param_info.param));
+                         });
+
+TEST(GeneratorTest, XPaxosNeverSeesSelectionOnlyFaults) {
+  const ScheduleGenerator generator({});
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Schedule schedule = generator.generate(Protocol::kXPaxos, seed);
+    ASSERT_EQ(schedule.validate(), std::nullopt) << schedule.summary();
+    const Features features = features_of(schedule);
+    EXPECT_FALSE(features.injection) << schedule.summary();
+    EXPECT_FALSE(features.partition) << schedule.summary();
+  }
+}
+
+TEST(GeneratorTest, SameSeedSameSchedule) {
+  const ScheduleGenerator generator({});
+  for (std::uint64_t seed : {0ULL, 17ULL, 123456789ULL}) {
+    const Schedule first = generator.generate(Protocol::kQuorumSelection,
+                                              seed);
+    const Schedule second = generator.generate(Protocol::kQuorumSelection,
+                                               seed);
+    EXPECT_EQ(first.to_json(), second.to_json());
+  }
+}
+
+}  // namespace
+}  // namespace qsel::scenario

@@ -185,7 +185,7 @@ TEST(OracleTest, FollowerSelectionBoundsAreGatedOnAttributability) {
   EXPECT_FALSE(violated(lenient, "corollary10_bound"));
 }
 
-TEST(OracleTest, MatrixDivergenceIsACrdtViolationOnlyWithoutPartitions) {
+TEST(OracleTest, MatrixDivergenceIsACrdtViolationEvenAfterPartitions) {
   Schedule schedule = qs_schedule();
   Observations obs = healthy(schedule);
   suspect::SuspicionMatrix a(schedule.n), b(schedule.n);
@@ -194,13 +194,16 @@ TEST(OracleTest, MatrixDivergenceIsACrdtViolationOnlyWithoutPartitions) {
   obs.processes[1].matrix = b;
   EXPECT_TRUE(violated(check_oracles(schedule, obs), "crdt_convergence"));
 
-  // Same end state after a (healed) partition: dropped messages are a
-  // legitimate explanation, the oracle premise is gone.
+  // Same end state after a (healed) partition: still a violation — the
+  // full-matrix anti-entropy resync makes dissemination epidemic, so a
+  // heal-ed split is no excuse for diverged matrices (schedules where the
+  // repair cannot run at all, partition + heartbeats disabled, are
+  // rejected by Schedule::validate instead).
   schedule.actions = {
       {20 * kMs, FaultKind::kPartition, kNoProcess, kNoProcess, 0b0001},
       {50 * kMs, FaultKind::kHeal, kNoProcess, kNoProcess, 0},
   };
-  EXPECT_FALSE(violated(check_oracles(schedule, obs), "crdt_convergence"));
+  EXPECT_TRUE(violated(check_oracles(schedule, obs), "crdt_convergence"));
 
   // Culprit processes are exempt: a fully-isolated sender can hold
   // private stamps nobody else ever saw.

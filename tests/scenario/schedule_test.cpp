@@ -122,6 +122,19 @@ TEST(ScheduleTest, ValidateRejectsStructuralProblems) {
     schedule.quiet_start = 30 * kMs;  // actions continue past quiet_start
     EXPECT_TRUE(schedule.validate().has_value());
   }
+  {
+    // Partition with heartbeats disabled: the anti-entropy resync that
+    // repairs post-heal divergence is heartbeat-driven, so the CRDT
+    // convergence oracle would have no premise — model boundary.
+    Schedule schedule = base_schedule();
+    schedule.actions.push_back(
+        {70 * kMs, FaultKind::kPartition, kNoProcess, kNoProcess, 0b00011});
+    schedule.actions.push_back(
+        {80 * kMs, FaultKind::kHeal, kNoProcess, kNoProcess, 0});
+    EXPECT_EQ(schedule.validate(), std::nullopt);
+    schedule.heartbeat_period = 0;
+    EXPECT_TRUE(schedule.validate().has_value());
+  }
 }
 
 TEST(ScheduleTest, CulpritsAndAttributability) {

@@ -5,9 +5,17 @@
 #      stay green on every commit;
 #   2. sanitizers: a separate ASan/UBSan build running the FULL test
 #      suite, including the `long`-labelled scenario soak;
-#   3. fuzz smoke: 100 randomized fault schedules per protocol through
+#   3. loopback integration, sanitized: the real-TCP tests (EventLoop,
+#      TcpTransport, the 7-node tampered LoopbackCluster scenarios and the
+#      simulator/TCP parity check) re-run as an explicitly named gate —
+#      socket and reconnect paths must be clean under ASan/UBSan, not just
+#      under virtual time;
+#   4. fuzz smoke: randomized fault schedules per protocol through
 #      tools/qsel_fuzz on the sanitized binary, so memory bugs on fuzz
-#      paths surface here and not in the nightly campaign.
+#      paths surface here and not in the nightly campaign. The generator's
+#      archetype mix includes the combined schedules (adversary walk x
+#      partition, partition x crashes), so a 100-run smoke exercises ~20
+#      of them per protocol.
 #
 # Environment knobs: FUZZ_RUNS (default 100), FUZZ_SEED (default 1 —
 # nightly jobs should pass a varying seed, e.g. the date).
@@ -17,17 +25,21 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 cd "$ROOT"
 
-echo "== [1/3] tier-1 build + tests =="
+echo "== [1/4] tier-1 build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 (cd build && ctest -L tier1 --output-on-failure -j"$JOBS")
 
-echo "== [2/3] ASan/UBSan full suite =="
+echo "== [2/4] ASan/UBSan full suite =="
 cmake -B build-asan -S . -DQSEL_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$JOBS"
 (cd build-asan && ctest --output-on-failure -j"$JOBS")
 
-echo "== [3/3] fuzz smoke (${FUZZ_RUNS:-100} runs/protocol, sanitized) =="
+echo "== [3/4] loopback integration (real TCP, sanitized) =="
+(cd build-asan && ctest -L tier1 -R "EventLoopTest|TcpTransportTest|LoopbackClusterTest|WireTest" \
+  --output-on-failure)
+
+echo "== [4/4] fuzz smoke (${FUZZ_RUNS:-100} runs/protocol, sanitized, combined archetypes included) =="
 ./build-asan/tools/qsel_fuzz --runs "${FUZZ_RUNS:-100}" --seed "${FUZZ_SEED:-1}"
 
 echo "CI gate passed."

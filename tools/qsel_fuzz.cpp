@@ -136,6 +136,14 @@ int replay(const std::string& path) {
     std::cerr << "cannot parse schedule from " << path << "\n";
     return 2;
   }
+  // A reproducer that parses but violates the schedule invariants (edited
+  // by hand, truncated, wrong ids) must be a clean CLI error: run_schedule
+  // asserts well-formedness and would otherwise terminate on a
+  // QSEL_REQUIRE/QSEL_ASSERT throw deep inside the cluster.
+  if (const auto error = schedule->validate()) {
+    std::cerr << "invalid schedule in " << path << ": " << *error << "\n";
+    return 2;
+  }
   const scenario::RunResult result = scenario::run_schedule(*schedule);
   const scenario::RunResult again = scenario::run_schedule(*schedule);
   std::cout << schedule->summary() << "\n"
@@ -222,6 +230,12 @@ int main(int argc, char** argv) {
     return run(options);
   } catch (const std::invalid_argument& error) {
     std::cerr << "qsel_fuzz: invalid parameters: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    // Last-resort guard: anything escaping here (filesystem surprises, a
+    // QSEL_ASSERT tripped by a hostile reproducer) is a tool error, not a
+    // property violation — report and exit 2 instead of aborting.
+    std::cerr << "qsel_fuzz: " << error.what() << "\n";
     return 2;
   }
 }

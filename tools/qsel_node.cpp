@@ -1,0 +1,156 @@
+// qsel_node — one Quorum Selection node over real TCP on 127.0.0.1.
+//
+// Runs the full runtime::NodeProcess stack (heartbeats, expectation-based
+// failure detection, suspicion CRDT, Algorithm 1 quorum selection) on a
+// net::TcpTransport. Node i listens on base_port + i and dials every peer
+// the same way, so an n-node cluster is n invocations of this binary:
+//
+//   qsel_node --id 0 --n 4 &    # terminal 1..4, or one shell with &
+//   qsel_node --id 1 --n 4 &
+//   qsel_node --id 2 --n 4 &
+//   qsel_node --id 3 --n 4
+//
+// Every node prints its <QUORUM, Q> outputs as they change; kill a node
+// (Ctrl-C) and watch the survivors converge on a quorum that excludes it,
+// restart it and watch it rejoin. All nodes must share --n, --f, --seed
+// and --base-port (the seed derives the HMAC keys, so a mismatched seed
+// shows up as rejected signatures, not silent corruption).
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "crypto/signer.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp_transport.hpp"
+#include "runtime/node_process.hpp"
+
+namespace {
+
+using namespace qsel;
+
+struct Options {
+  ProcessId id = 0;
+  ProcessId n = 4;
+  int f = 1;
+  std::uint64_t seed = 1;
+  std::uint16_t base_port = 47600;
+  std::uint64_t duration_ms = 0;  // 0 = run until killed
+  std::uint64_t heartbeat_ms = 10;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --id I --n N [--f F] [--seed S] [--base-port P]\n"
+            << "       [--duration MS] [--heartbeat MS]\n"
+            << "Node I listens on 127.0.0.1:(P+I) and dials peers at P+j.\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* arg, const char* argv0) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0') usage(argv0);
+  return value;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&] {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--id") {
+      options.id = static_cast<ProcessId>(parse_u64(next(), argv[0]));
+    } else if (arg == "--n") {
+      options.n = static_cast<ProcessId>(parse_u64(next(), argv[0]));
+    } else if (arg == "--f") {
+      options.f = static_cast<int>(parse_u64(next(), argv[0]));
+    } else if (arg == "--seed") {
+      options.seed = parse_u64(next(), argv[0]);
+    } else if (arg == "--base-port") {
+      options.base_port = static_cast<std::uint16_t>(parse_u64(next(), argv[0]));
+    } else if (arg == "--duration") {
+      options.duration_ms = parse_u64(next(), argv[0]);
+    } else if (arg == "--heartbeat") {
+      options.heartbeat_ms = parse_u64(next(), argv[0]);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (options.id >= options.n || options.n > kMaxProcesses ||
+      options.f < 1 || options.n < 3 * static_cast<ProcessId>(options.f) + 1)
+    usage(argv[0]);
+  return options;
+}
+
+int run(const Options& options) {
+  net::EventLoop loop;
+  net::TcpTransport::Config tcp;
+  tcp.self = options.id;
+  tcp.n = options.n;
+  tcp.listen_port = static_cast<std::uint16_t>(options.base_port + options.id);
+  net::TcpTransport transport(loop, tcp);
+  for (ProcessId peer = 0; peer < options.n; ++peer)
+    if (peer != options.id)
+      transport.set_peer(
+          peer, static_cast<std::uint16_t>(options.base_port + peer));
+
+  const crypto::KeyRegistry keys(options.n, options.seed);
+  runtime::NodeProcessConfig node_config;
+  node_config.n = options.n;
+  node_config.f = options.f;
+  node_config.heartbeat_period = options.heartbeat_ms * 1'000'000;
+  // Real-time pacing: a generous initial timeout rides out peers that are
+  // still being started by hand.
+  node_config.fd.initial_timeout = 4 * node_config.heartbeat_period;
+  runtime::NodeProcess process(transport, keys, node_config);
+
+  std::cout << "p" << options.id << " listening on 127.0.0.1:"
+            << transport.listen_port() << " (n=" << options.n
+            << ", f=" << options.f << ", q=" << options.n - static_cast<ProcessId>(options.f)
+            << ")" << std::endl;
+
+  transport.start();
+  process.start();
+
+  // Status poll: print the quorum whenever it (or the epoch) changes.
+  struct Shown {
+    ProcessSet quorum;
+    Epoch epoch = 0;
+  };
+  auto shown = std::make_shared<Shown>();
+  std::function<void()> report = [&process, &loop, shown, &report] {
+    const ProcessSet quorum = process.quorum();
+    const Epoch epoch = process.selector().epoch();
+    if (quorum != shown->quorum || epoch != shown->epoch) {
+      shown->quorum = quorum;
+      shown->epoch = epoch;
+      std::cout << "p" << process.self() << " <QUORUM, "
+                << quorum.to_string() << "> epoch " << epoch << std::endl;
+    }
+    loop.timers().schedule_after(100'000'000, report);
+  };
+  report();
+
+  if (options.duration_ms > 0)
+    loop.run_for(options.duration_ms * 1'000'000);
+  else
+    loop.run();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+  try {
+    return run(options);
+  } catch (const std::exception& error) {
+    std::cerr << "qsel_node: " << error.what() << "\n";
+    return 1;
+  }
+}
