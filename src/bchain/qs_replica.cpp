@@ -18,7 +18,8 @@ QsReplica::QsReplica(sim::Network& network, const crypto::KeyRegistry& keys,
       selector_(signer_, qs::QuorumSelectorConfig{config.n, config.f},
                 qs::QuorumSelector::Hooks{
                     [this](ProcessSet quorum) { on_selected_quorum(quorum); },
-                    [this](sim::PayloadPtr msg) { broadcast_others(msg); }}) {
+                    [this](sim::PayloadPtr msg) { broadcast_others(msg); },
+                    /*persist=*/{}}) {
   QSEL_REQUIRE(self < config.n);
   for (ProcessId id : selector_.quorum()) chain_.push_back(id);
 }

@@ -97,6 +97,18 @@ void FailureDetector::detected(ProcessId culprit) {
   republish();
 }
 
+FailureDetector::~FailureDetector() {
+  for (Expectation& e : expectations_) e.timer.cancel();
+}
+
+void FailureDetector::restore_timeouts(std::span<const SimDuration> recovered) {
+  if (recovered.empty()) return;
+  QSEL_REQUIRE(recovered.size() == timeout_.size());
+  for (std::size_t i = 0; i < timeout_.size(); ++i)
+    timeout_[i] = std::min(config_.max_timeout,
+                           std::max(timeout_[i], recovered[i]));
+}
+
 void FailureDetector::cancel_all() {
   bool had_overdue = false;
   for (Expectation& e : expectations_) {

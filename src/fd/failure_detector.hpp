@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,10 @@ class FailureDetector {
   FailureDetector(sim::Simulator& simulator, ProcessId self, ProcessId n,
                   FailureDetectorConfig config, SuspectCallback on_suspected);
 
+  /// Cancels every open expectation timer: a detector may be destroyed
+  /// (node restart) while its timer queue still holds callbacks into it.
+  ~FailureDetector();
+
   ProcessId self() const { return self_; }
 
   /// <EXPECT, P, i>: expect a message matching `predicate` from process
@@ -88,6 +93,15 @@ class FailureDetector {
 
   /// Current adaptive timeout used for new expectations from `from`.
   SimDuration timeout_for(ProcessId from) const { return timeout_[from]; }
+
+  /// All adaptive timeouts, indexed by peer (persisted by durable nodes:
+  /// they only ever grow, and a restart from the initial timeout would
+  /// re-suspect every slow-but-correct peer during re-integration).
+  const std::vector<SimDuration>& timeouts() const { return timeout_; }
+
+  /// Joins timeouts recovered from stable storage (cell-wise max, clamped
+  /// to max_timeout). Empty is a no-op; otherwise the width must match.
+  void restore_timeouts(std::span<const SimDuration> recovered);
 
   // --- statistics (experiment E7) --------------------------------------
   std::uint64_t suspicions_raised() const { return suspicions_raised_; }

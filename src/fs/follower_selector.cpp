@@ -15,7 +15,8 @@ FollowerSelector::FollowerSelector(const crypto::Signer& signer,
       core_(signer, config.n,
             suspect::SuspicionCore::Hooks{
                 [this](sim::PayloadPtr msg) { hooks_.broadcast(msg); },
-                [this] { update_quorum(); }}),
+                [this] { update_quorum(); },
+                /*persist=*/{}}),
       qlast_(ProcessSet::full(static_cast<ProcessId>(config.quorum_size()))) {
   QSEL_REQUIRE(config.n <= kMaxProcesses);
   QSEL_REQUIRE_MSG(config.f >= 1, "follower selection needs f >= 1");

@@ -1,0 +1,24 @@
+#include "net/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace qsel::net {
+
+SimDuration backoff_delay(const BackoffConfig& config, std::uint32_t attempt,
+                          Rng& rng) {
+  QSEL_REQUIRE(config.base > 0 && config.cap >= config.base);
+  QSEL_REQUIRE(config.jitter >= 0.0 && config.jitter < 1.0);
+  const std::uint32_t exponent = std::min(attempt, config.max_exponent);
+  const SimDuration raw = std::min<SimDuration>(
+      config.cap, config.base << exponent);
+  const double factor =
+      1.0 + config.jitter * (2.0 * rng.uniform01() - 1.0);
+  const auto jittered = static_cast<SimDuration>(
+      std::llround(static_cast<double>(raw) * factor));
+  return std::clamp<SimDuration>(jittered, config.base / 2, config.cap);
+}
+
+}  // namespace qsel::net

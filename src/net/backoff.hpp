@@ -1,0 +1,34 @@
+// Jittered exponential backoff — shared by reconnect and quarantine.
+//
+// Plain exponential backoff synchronizes: when a node dies, every peer's
+// reconnect timer fires on the same schedule (base << attempt), so the
+// revived listener absorbs n-1 simultaneous SYNs on every rung — a
+// reconnect storm that repeats exactly when the cluster is weakest. The
+// fix is standard (decorrelated jitter): scale each delay by a uniform
+// factor in [1 - jitter, 1 + jitter] drawn from the caller's Rng, then
+// clamp to the cap. Deterministic per seed, so tests can pin schedules.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qsel::net {
+
+struct BackoffConfig {
+  SimDuration base = 10'000'000;  // 10ms
+  SimDuration cap = 1'000'000'000;  // 1s
+  /// Jitter fraction: each delay is scaled by [1 - jitter, 1 + jitter].
+  double jitter = 0.5;
+  /// Attempts beyond this stop growing (the shift would overflow anyway).
+  std::uint32_t max_exponent = 16;
+};
+
+/// Delay before retry number `attempt` (0-based): jittered
+/// min(cap, base * 2^attempt), never less than base / 2 so a zero-jitter
+/// draw cannot produce a busy-loop.
+SimDuration backoff_delay(const BackoffConfig& config, std::uint32_t attempt,
+                          Rng& rng);
+
+}  // namespace qsel::net

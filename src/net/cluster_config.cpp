@@ -1,0 +1,201 @@
+#include "net/cluster_config.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qsel::net {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("cluster config line " + std::to_string(line) +
+                           ": " + what);
+}
+
+std::uint64_t parse_u64(std::string_view value, int line,
+                        const std::string& key) {
+  if (value.empty()) fail(line, key + ": empty value");
+  std::uint64_t out = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') fail(line, key + ": not a number: '" +
+                                           std::string(value) + "'");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (~std::uint64_t{0} - digit) / 10)
+      fail(line, key + ": number overflows");
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::vector<std::uint8_t> parse_hex(std::string_view value, int line) {
+  if (value.size() % 2 != 0) fail(line, "auth_key: odd-length hex");
+  std::vector<std::uint8_t> out;
+  out.reserve(value.size() / 2);
+  for (std::size_t i = 0; i < value.size(); i += 2) {
+    const int hi = hex_nibble(value[i]);
+    const int lo = hex_nibble(value[i + 1]);
+    if (hi < 0 || lo < 0) fail(line, "auth_key: invalid hex");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+NodeAddress parse_address(std::string_view value, int line) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string_view::npos || colon == 0)
+    fail(line, "node address must be host:port");
+  NodeAddress addr;
+  addr.host = std::string(trim(value.substr(0, colon)));
+  const std::uint64_t port =
+      parse_u64(trim(value.substr(colon + 1)), line, "port");
+  if (port == 0 || port > 65535) fail(line, "port out of range");
+  addr.port = static_cast<std::uint16_t>(port);
+  return addr;
+}
+
+}  // namespace
+
+ClusterConfig ClusterConfig::parse(std::string_view text) {
+  ClusterConfig config;
+  bool saw_n = false;
+  bool saw_f = false;
+  std::vector<bool> node_seen;
+
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line(raw);
+    // Strip trailing comments, then whitespace.
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) fail(line_no, "expected key = value");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+
+    if (key.starts_with("node")) {
+      const std::uint64_t id =
+          parse_u64(trim(key.substr(4)), line_no, "node id");
+      if (!saw_n) fail(line_no, "node lines must come after n");
+      if (id >= config.n) fail(line_no, "node id out of range");
+      if (node_seen[id]) fail(line_no, "duplicate node id");
+      node_seen[id] = true;
+      config.nodes[id] = parse_address(value, line_no);
+      continue;
+    }
+
+    if (key == "n") {
+      const std::uint64_t n = parse_u64(value, line_no, "n");
+      if (n < 1 || n > kMaxProcesses) fail(line_no, "n out of range");
+      config.n = static_cast<ProcessId>(n);
+      config.nodes.assign(config.n, {});
+      node_seen.assign(config.n, false);
+      saw_n = true;
+    } else if (key == "f") {
+      config.f = static_cast<int>(parse_u64(value, line_no, "f"));
+      saw_f = true;
+    } else if (key == "auth_key") {
+      config.auth_key = parse_hex(value, line_no);
+    } else if (key == "seed") {
+      config.seed = parse_u64(value, line_no, "seed");
+    } else if (key == "store_dir") {
+      config.store_dir = std::string(value);
+    } else if (key == "heartbeat_ms") {
+      config.heartbeat_period =
+          parse_u64(value, line_no, "heartbeat_ms") * 1'000'000;
+    } else if (key == "round_ms") {
+      config.round_length = parse_u64(value, line_no, "round_ms") * 1'000'000;
+    } else if (key == "fd_initial_ms") {
+      config.fd_initial_timeout =
+          parse_u64(value, line_no, "fd_initial_ms") * 1'000'000;
+    } else if (key == "fd_max_ms") {
+      config.fd_max_timeout =
+          parse_u64(value, line_no, "fd_max_ms") * 1'000'000;
+    } else if (key == "reconnect_base_ms") {
+      config.reconnect_base =
+          parse_u64(value, line_no, "reconnect_base_ms") * 1'000'000;
+    } else if (key == "reconnect_cap_ms") {
+      config.reconnect_cap =
+          parse_u64(value, line_no, "reconnect_cap_ms") * 1'000'000;
+    } else {
+      fail(line_no, "unknown key '" + std::string(key) + "'");
+    }
+  }
+
+  if (!saw_n) fail(line_no, "missing n");
+  if (!saw_f) fail(line_no, "missing f");
+  if (config.f < 1) fail(line_no, "f must be >= 1");
+  if (config.n < static_cast<ProcessId>(3 * config.f + 1))
+    fail(line_no, "n must be >= 3f + 1");
+  for (ProcessId id = 0; id < config.n; ++id)
+    if (!node_seen[id])
+      fail(line_no, "missing node " + std::to_string(id));
+  if (config.heartbeat_period == 0) fail(line_no, "heartbeat_ms must be > 0");
+  if (config.fd_initial_timeout == 0 ||
+      config.fd_max_timeout < config.fd_initial_timeout)
+    fail(line_no, "fd timeouts must satisfy 0 < initial <= max");
+  if (config.reconnect_base == 0 ||
+      config.reconnect_cap < config.reconnect_base)
+    fail(line_no, "reconnect backoff must satisfy 0 < base <= cap");
+  return config;
+}
+
+ClusterConfig ClusterConfig::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file)
+    throw std::runtime_error("cluster config: cannot open " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse(text.str());
+}
+
+std::string ClusterConfig::to_text() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::ostringstream out;
+  out << "n = " << static_cast<unsigned>(n) << "\n";
+  out << "f = " << f << "\n";
+  if (!auth_key.empty()) {
+    out << "auth_key = ";
+    for (std::uint8_t byte : auth_key)
+      out << kHex[byte >> 4] << kHex[byte & 0xf];
+    out << "\n";
+  }
+  out << "seed = " << seed << "\n";
+  out << "heartbeat_ms = " << heartbeat_period / 1'000'000 << "\n";
+  out << "round_ms = " << round_length / 1'000'000 << "\n";
+  out << "fd_initial_ms = " << fd_initial_timeout / 1'000'000 << "\n";
+  out << "fd_max_ms = " << fd_max_timeout / 1'000'000 << "\n";
+  out << "reconnect_base_ms = " << reconnect_base / 1'000'000 << "\n";
+  out << "reconnect_cap_ms = " << reconnect_cap / 1'000'000 << "\n";
+  if (!store_dir.empty()) out << "store_dir = " << store_dir << "\n";
+  for (ProcessId id = 0; id < n; ++id)
+    out << "node " << static_cast<unsigned>(id) << " = " << nodes[id].host
+        << ":" << nodes[id].port << "\n";
+  return out.str();
+}
+
+}  // namespace qsel::net

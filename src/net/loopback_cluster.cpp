@@ -9,39 +9,84 @@
 
 namespace qsel::net {
 
+LoopbackClusterConfig loopback_config_from(const ClusterConfig& cluster) {
+  LoopbackClusterConfig config;
+  config.n = cluster.n;
+  config.f = cluster.f;
+  config.seed = cluster.seed;
+  config.heartbeat_period = cluster.heartbeat_period;
+  config.fd.initial_timeout = cluster.fd_initial_timeout;
+  config.fd.max_timeout = cluster.fd_max_timeout;
+  config.fd.adaptive = true;
+  config.auth_key = cluster.auth_key;
+  config.store_root = cluster.store_dir;
+  config.reconnect.base = cluster.reconnect_base;
+  config.reconnect.cap = cluster.reconnect_cap;
+  return config;
+}
+
 LoopbackCluster::LoopbackCluster(LoopbackClusterConfig config)
     : config_(config),
       keys_(config.n, config.seed),
+      stores_(config.n),
       transports_(config.n),
       tampers_(config.n),
-      processes_(config.n) {
+      processes_(config.n),
+      ports_(config.n, 0),
+      tamper_seed_state_(config.tamper.seed) {
   QSEL_REQUIRE(config_.n >= 1 && config_.n <= kMaxProcesses);
 
+  // Every node gets a store so restart() can recover it: files when the
+  // config names a root (survives the cluster object — the soak harness
+  // reuses them), memory otherwise.
+  for (ProcessId id = 0; id < config_.n; ++id) {
+    if (config_.store_root.empty()) {
+      stores_[id] = std::make_unique<store::MemoryNodeStore>();
+    } else {
+      stores_[id] = std::make_unique<store::FileNodeStore>(
+          config_.store_root + "/node" + std::to_string(id), config_.n);
+    }
+  }
+
+  // Every transport binds its listen socket in its constructor, so by the
+  // time the wiring pass below runs, every port is known — no races, no
+  // fixed port numbers to collide on.
+  for (ProcessId id = 0; id < config_.n; ++id)
+    build_node(id, /*port=*/0, splitmix64(tamper_seed_state_));
+  for (ProcessId id = 0; id < config_.n; ++id)
+    ports_[id] = transports_[id]->listen_port();
+  for (ProcessId from = 0; from < config_.n; ++from)
+    for (ProcessId to = 0; to < config_.n; ++to)
+      if (from != to) transports_[from]->set_peer(to, ports_[to]);
+}
+
+void LoopbackCluster::build_node(ProcessId id, std::uint16_t port,
+                                 std::uint64_t tamper_seed) {
   runtime::NodeProcessConfig node_config;
   node_config.n = config_.n;
   node_config.f = config_.f;
   node_config.fd = config_.fd;
   node_config.heartbeat_period = config_.heartbeat_period;
 
-  // Every transport binds its listen socket in its constructor, so by the
-  // time the wiring pass below runs, every port is known — no races, no
-  // fixed port numbers to collide on.
-  std::uint64_t tamper_seed_state = config_.tamper.seed;
-  for (ProcessId id = 0; id < config_.n; ++id) {
-    TcpTransport::Config tcp;
-    tcp.self = id;
-    tcp.n = config_.n;
-    transports_[id] = std::make_unique<TcpTransport>(loop_, tcp);
-    TamperConfig tamper = config_.tamper;
-    tamper.seed = splitmix64(tamper_seed_state);
-    tampers_[id] = std::make_unique<TamperedTransport>(*transports_[id], tamper);
-    processes_[id] = std::make_unique<runtime::NodeProcess>(
-        *tampers_[id], keys_, node_config);
+  TcpTransport::Config tcp;
+  tcp.self = id;
+  tcp.n = config_.n;
+  tcp.listen_port = port;
+  tcp.auth_key = config_.auth_key;
+  tcp.auth_seed = config_.seed;
+  tcp.reconnect = config_.reconnect;
+  transports_[id] = std::make_unique<TcpTransport>(loop_, tcp);
+  TamperConfig tamper = config_.tamper;
+  tamper.seed = tamper_seed;
+  tampers_[id] =
+      std::make_unique<TamperedTransport>(*transports_[id], tamper);
+  if (partition_) tampers_[id]->partition(*partition_);
+  processes_[id] = std::make_unique<runtime::NodeProcess>(
+      *tampers_[id], keys_, node_config, stores_[id].get());
+  if (tracer_ != nullptr) {
+    transports_[id]->set_tracer(tracer_);
+    processes_[id]->selector().set_tracer(tracer_);
   }
-  for (ProcessId from = 0; from < config_.n; ++from)
-    for (ProcessId to = 0; to < config_.n; ++to)
-      if (from != to)
-        transports_[from]->set_peer(to, transports_[to]->listen_port());
 }
 
 LoopbackCluster::~LoopbackCluster() {
@@ -65,6 +110,7 @@ TcpTransport& LoopbackCluster::transport(ProcessId id) {
 }
 
 void LoopbackCluster::attach_tracer(trace::Tracer& tracer) {
+  tracer_ = &tracer;
   tracer.set_clock([this] { return loop_.now_ns(); });
   for (ProcessId id = 0; id < config_.n; ++id) {
     transports_[id]->set_tracer(&tracer);
@@ -109,11 +155,37 @@ void LoopbackCluster::crash(ProcessId id) {
   crashed_.insert(id);
 }
 
+void LoopbackCluster::restart(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n);
+  QSEL_REQUIRE_MSG(crashed_.contains(id), "restart() needs a prior crash()");
+  // Tear down in dependency order (node holds the tamper wrapper holds
+  // the transport), then rebuild on the original port so peers' reconnect
+  // loops — which kept dialing it throughout the outage — find the
+  // revived listener without any rewiring.
+  processes_[id].reset();
+  tampers_[id].reset();
+  transports_[id].reset();
+  build_node(id, ports_[id], splitmix64(tamper_seed_state_));
+  QSEL_REQUIRE(transports_[id]->listen_port() == ports_[id]);
+  for (ProcessId to = 0; to < config_.n; ++to)
+    if (to != id) transports_[id]->set_peer(to, ports_[to]);
+  crashed_.erase(id);
+  transports_[id]->start();
+  processes_[id]->start();
+}
+
+store::NodeStore& LoopbackCluster::store(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n);
+  return *stores_[id];
+}
+
 void LoopbackCluster::partition(ProcessSet side_a) {
+  partition_ = side_a;
   for (auto& tamper : tampers_) tamper->partition(side_a);
 }
 
 void LoopbackCluster::heal() {
+  partition_.reset();
   for (auto& tamper : tampers_) tamper->heal();
 }
 

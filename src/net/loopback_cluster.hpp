@@ -34,10 +34,12 @@
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
 #include "fd/failure_detector.hpp"
+#include "net/cluster_config.hpp"
 #include "net/event_loop.hpp"
 #include "net/tamper.hpp"
 #include "net/tcp_transport.hpp"
 #include "runtime/node_process.hpp"
+#include "store/node_store.hpp"
 
 namespace qsel::net {
 
@@ -52,7 +54,21 @@ struct LoopbackClusterConfig {
                                /*max_timeout=*/1'000'000'000,
                                /*adaptive=*/true};
   TamperConfig tamper;  // rates default to 0 = clean network
+  /// Shared channel-auth key for every transport (tcp_transport.hpp);
+  /// empty = legacy unauthenticated channels.
+  std::vector<std::uint8_t> auth_key;
+  /// Root for per-node FileNodeStores (<root>/node<i>). Empty = in-memory
+  /// stores: restart() still recovers, but state dies with the cluster.
+  std::string store_root;
+  BackoffConfig reconnect{};
 };
+
+/// Maps a deployable ClusterConfig onto the loopback harness. Host:port
+/// assignments are ignored — the harness always binds ephemeral loopback
+/// ports — but n, f, seed, the auth key, the store root, and every timing
+/// constant carry over, so a config file exercised here behaves
+/// identically (modulo addresses) when handed to real qsel_node processes.
+LoopbackClusterConfig loopback_config_from(const ClusterConfig& cluster);
 
 class LoopbackCluster {
  public:
@@ -88,6 +104,15 @@ class LoopbackCluster {
   /// only through silence, as with a real process kill.
   void crash(ProcessId id);
 
+  /// Restart-with-recovered-state: rebuilds the crashed node's transport
+  /// on its original port and a fresh NodeProcess over the node's
+  /// NodeStore, so it rejoins holding its persisted epoch, suspicion row
+  /// and FD timeouts. Peers' reconnect loops find the revived listener on
+  /// their own. The caller still pumps the loop to convergence.
+  void restart(ProcessId id);
+
+  store::NodeStore& store(ProcessId id);
+
   /// Applies partition/heal to every node's tamper wrapper (sender-side
   /// frame drops crossing the cut — equivalent to cutting the links).
   void partition(ProcessSet side_a);
@@ -111,12 +136,22 @@ class LoopbackCluster {
   crypto::Digest outcome_digest() const;
 
  private:
+  /// Builds transport + tamper wrapper + node for one id, reusing the
+  /// node's store; `port` is 0 on first boot, the original port on
+  /// restart.
+  void build_node(ProcessId id, std::uint16_t port, std::uint64_t tamper_seed);
+
   LoopbackClusterConfig config_;
   EventLoop loop_;  // declared first: destroyed last, after its clients
   crypto::KeyRegistry keys_;
+  std::vector<std::unique_ptr<store::NodeStore>> stores_;
   std::vector<std::unique_ptr<TcpTransport>> transports_;
   std::vector<std::unique_ptr<TamperedTransport>> tampers_;
   std::vector<std::unique_ptr<runtime::NodeProcess>> processes_;
+  std::vector<std::uint16_t> ports_;  // original listen ports, for restart
+  std::uint64_t tamper_seed_state_;
+  trace::Tracer* tracer_ = nullptr;
+  std::optional<ProcessSet> partition_;
   ProcessSet crashed_;
 };
 

@@ -1,0 +1,42 @@
+#include "net/quarantine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace qsel::net {
+
+QuarantinePolicy::QuarantinePolicy(ProcessId n, QuarantineConfig config,
+                                   std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      strikes_(n, 0),
+      good_streak_(n, 0),
+      release_at_(n, 0) {}
+
+void QuarantinePolicy::offense(ProcessId peer, std::uint64_t now_ns) {
+  QSEL_REQUIRE(peer < strikes_.size());
+  ++offenses_total_;
+  good_streak_[peer] = 0;
+  const std::uint32_t attempt =
+      std::min(strikes_[peer], config_.strike_budget);
+  if (strikes_[peer] <= config_.strike_budget) ++strikes_[peer];
+  const SimDuration bar = backoff_delay(config_.backoff, attempt, rng_);
+  release_at_[peer] = std::max(release_at_[peer], now_ns + bar);
+  QSEL_LOG(kWarn, "net") << "quarantining p" << peer << " for "
+                         << static_cast<double>(bar) / 1e6 << "ms (strike "
+                         << strikes_[peer] << ")";
+}
+
+void QuarantinePolicy::good_frame(ProcessId peer) {
+  QSEL_REQUIRE(peer < strikes_.size());
+  if (strikes_[peer] == 0) return;
+  if (++good_streak_[peer] < config_.redeem_after) return;
+  QSEL_LOG(kInfo, "net") << "p" << peer << " redeemed after "
+                         << good_streak_[peer] << " clean frames";
+  strikes_[peer] = 0;
+  good_streak_[peer] = 0;
+}
+
+}  // namespace qsel::net

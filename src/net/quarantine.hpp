@@ -1,0 +1,81 @@
+// QuarantinePolicy — per-peer misbehaviour containment for the live node.
+//
+// The simulator's model gives Byzantine senders exactly one power over the
+// transport: bytes that fail authentication or parsing. The paper's
+// UPDATE-signature assumption makes such bytes worthless at the protocol
+// layer, but a deployed node must also bound the *cost* of receiving them:
+// a peer that streams garbage forces a close-reconnect-close cycle whose
+// accept/handshake work is paid by the victim. Quarantine turns that cycle
+// into a controlled state machine, mirroring the failure detector's
+// suspect/CANCEL discipline one layer down:
+//
+//   offense (bad MAC, malformed frame, failed handshake)
+//     -> strike count up, peer barred for a jittered exponential backoff
+//        (base << strikes, capped); the strike budget bounds the exponent,
+//        so a persistent offender costs one accept per cap interval, and
+//        the jitter keeps offended peers from re-admitting in lockstep;
+//   sustained good behaviour (redeem_after authenticated frames in a row)
+//     -> strikes reset to zero, CANCEL-style: a peer that recovered (e.g.
+//        a flaky NIC replaced, a restarted-from-WAL node back on a sane
+//        config) regains full standing instead of paying old strikes on
+//        its next hiccup.
+//
+// Pure logic, no sockets or timers: the transport asks admitted() before
+// accepting or dialing and reports offenses/good frames as they happen.
+// Time is the caller's clock (EventLoop::now_ns or simulator time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/backoff.hpp"
+
+namespace qsel::net {
+
+struct QuarantineConfig {
+  /// First offense bars the peer for ~base; each further strike doubles.
+  BackoffConfig backoff{/*base=*/50'000'000,  // 50ms
+                        /*cap=*/5'000'000'000,  // 5s
+                        /*jitter=*/0.3,
+                        /*max_exponent=*/8};
+  /// Strikes beyond this stop growing the bar (bounded retry budget: a
+  /// permanent offender is re-admitted at most once per ~cap).
+  std::uint32_t strike_budget = 8;
+  /// Consecutive authenticated frames that clear all strikes.
+  std::uint64_t redeem_after = 32;
+};
+
+class QuarantinePolicy {
+ public:
+  QuarantinePolicy(ProcessId n, QuarantineConfig config, std::uint64_t seed);
+
+  /// Records an offense by `peer` observed at `now_ns`; the peer is barred
+  /// until release_at(peer).
+  void offense(ProcessId peer, std::uint64_t now_ns);
+
+  /// Records one authenticated, well-formed frame from `peer`; after
+  /// redeem_after in a row the peer's strikes are forgiven.
+  void good_frame(ProcessId peer);
+
+  /// True when connections from/to `peer` may proceed at `now_ns`.
+  bool admitted(ProcessId peer, std::uint64_t now_ns) const {
+    return now_ns >= release_at_[peer];
+  }
+
+  /// Earliest time the peer leaves quarantine (0 = not quarantined).
+  std::uint64_t release_at(ProcessId peer) const { return release_at_[peer]; }
+  std::uint32_t strikes(ProcessId peer) const { return strikes_[peer]; }
+  std::uint64_t offenses_total() const { return offenses_total_; }
+
+ private:
+  QuarantineConfig config_;
+  Rng rng_;
+  std::vector<std::uint32_t> strikes_;
+  std::vector<std::uint64_t> good_streak_;
+  std::vector<std::uint64_t> release_at_;
+  std::uint64_t offenses_total_ = 0;
+};
+
+}  // namespace qsel::net

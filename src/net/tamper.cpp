@@ -48,6 +48,14 @@ TamperPlan TamperedTransport::plan(ProcessId to, std::size_t frame_bytes) {
     ++frames_split_;
     result.split_at = rng_.between(1, frame_bytes - 1);
   }
+  // Corruption spares the 4-byte length prefix: a flipped length desyncs
+  // the stream instead of exercising the MAC check on one frame.
+  if (frame_bytes >= 5 && rng_.chance(config_.corrupt_rate)) {
+    ++frames_corrupted_;
+    result.flip_at = rng_.between(4, frame_bytes - 1);
+    result.flip_mask =
+        static_cast<std::uint8_t>(1u << rng_.below(8));
+  }
   return result;
 }
 

@@ -32,6 +32,13 @@ struct TamperConfig {
   SimDuration delay_max = 20'000'000;  // 20ms
   double duplicate_rate = 0.0;
   double split_rate = 0.0;
+  /// Bit-flip a random on-wire byte past the length prefix (a corrupting
+  /// link). Only meaningful when the inner transport authenticates
+  /// frames: the MAC check turns the flip into a detected drop. Without
+  /// auth a flipped byte can silently decode as a different message —
+  /// never enable this on an unauthenticated cluster whose oracles
+  /// assume delivered == sent.
+  double corrupt_rate = 0.0;
   std::uint64_t seed = 1;
 };
 
@@ -52,6 +59,7 @@ class TamperedTransport final : public Transport {
   std::uint64_t frames_delayed() const { return frames_delayed_; }
   std::uint64_t frames_duplicated() const { return frames_duplicated_; }
   std::uint64_t frames_split() const { return frames_split_; }
+  std::uint64_t frames_corrupted() const { return frames_corrupted_; }
 
   // --- Transport: pass-through to the inner TcpTransport ---------------
   ProcessId self() const override { return inner_.self(); }
@@ -81,6 +89,7 @@ class TamperedTransport final : public Transport {
   std::uint64_t frames_delayed_ = 0;
   std::uint64_t frames_duplicated_ = 0;
   std::uint64_t frames_split_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
 };
 
 }  // namespace qsel::net

@@ -15,6 +15,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "crypto/hmac.hpp"
 #include "net/codec.hpp"
 #include "net/wire.hpp"
 #include "trace/tracer.hpp"
@@ -24,6 +25,46 @@ namespace qsel::net {
 namespace {
 
 constexpr std::uint8_t kHelloTag = 0;
+// Handshake control tags live above 0xEF; wire.hpp message tags stay
+// small, so the ranges can never collide.
+constexpr std::uint8_t kChallengeTag = 0xF0;
+constexpr std::uint8_t kAuthTag = 0xF1;
+
+// Domain-separation prefixes for the shared cluster key (header comment).
+constexpr std::uint8_t kSessionKeyDomain = 0x01;
+constexpr std::uint8_t kAuthProofDomain = 0x02;
+constexpr std::uint8_t kFrameKeyDomain = 0x03;
+
+// Truncated per-frame MAC length. 128 bits: forging still needs 2^64 HMAC
+// evaluations online, while halving the per-heartbeat overhead.
+constexpr std::size_t kMacBytes = 16;
+
+// Per-process nonce/jitter stream: same auth_seed, distinct processes.
+std::uint64_t splitmix_mix(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+std::uint64_t load_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+crypto::Digest keyed_tag(const crypto::Digest& key, std::uint8_t domain) {
+  return crypto::hmac_sha256(key.bytes, std::span(&domain, 1));
+}
+
+// Constant-time comparison: a timing oracle on MAC bytes would let an
+// attacker forge one byte at a time.
+bool mac_equal(std::span<const std::uint8_t> a,
+               std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
 
 // Compact the consumed prefix of a buffer once it outgrows this; below it,
 // moving bytes costs more than the memory is worth.
@@ -43,12 +84,14 @@ int make_nonblocking_socket() {
   return ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
 }
 
-sockaddr_in loopback_address(std::uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  return addr;
+// Builds a socket address from a numeric IPv4 string; false on a host
+// that inet_pton rejects (the transport never resolves names).
+bool make_address(const std::string& host, std::uint16_t port,
+                  sockaddr_in* addr) {
+  *addr = sockaddr_in{};
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
 }
 
 }  // namespace
@@ -56,12 +99,17 @@ sockaddr_in loopback_address(std::uint16_t port) {
 TcpTransport::TcpTransport(EventLoop& loop, Config config)
     : loop_(loop),
       config_(config),
+      rng_(splitmix_mix(config.auth_seed, config.self)),
       peer_ports_(config.n, 0),
+      peer_hosts_(config.n, "127.0.0.1"),
       out_(config.n, nullptr),
       reconnect_attempts_(config.n, 0),
       reconnect_timers_(config.n) {
   QSEL_REQUIRE(config_.n >= 1 && config_.self < config_.n);
-  QSEL_REQUIRE(config_.max_frame_bytes >= 16);
+  QSEL_REQUIRE(config_.max_frame_bytes >= 4 + kMacBytes);
+  if (auth_enabled())
+    quarantine_ = std::make_unique<QuarantinePolicy>(
+        config_.n, config_.quarantine, rng_());
 
   listen_fd_ = make_nonblocking_socket();
   if (listen_fd_ < 0)
@@ -69,7 +117,13 @@ TcpTransport::TcpTransport(EventLoop& loop, Config config)
                              std::string(std::strerror(errno)));
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr = loopback_address(config_.listen_port);
+  sockaddr_in addr{};
+  if (!make_address(config_.bind_host, config_.listen_port, &addr)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpTransport: bad bind_host: " +
+                             config_.bind_host);
+  }
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
       ::listen(listen_fd_, SOMAXCONN) != 0) {
@@ -97,9 +151,15 @@ TcpTransport::TcpTransport(EventLoop& loop, Config config)
 TcpTransport::~TcpTransport() { shutdown(); }
 
 void TcpTransport::set_peer(ProcessId id, std::uint16_t port) {
+  set_peer(id, "127.0.0.1", port);
+}
+
+void TcpTransport::set_peer(ProcessId id, const std::string& host,
+                            std::uint16_t port) {
   QSEL_REQUIRE(id < config_.n && id != config_.self);
-  QSEL_REQUIRE(port != 0);
+  QSEL_REQUIRE(port != 0 && !host.empty());
   peer_ports_[id] = port;
+  peer_hosts_[id] = host;
 }
 
 void TcpTransport::start() {
@@ -124,7 +184,8 @@ void TcpTransport::shutdown() {
 
 bool TcpTransport::connected_to(ProcessId to) const {
   QSEL_REQUIRE(to < config_.n);
-  return out_[to] != nullptr && !out_[to]->connecting;
+  if (out_[to] == nullptr || out_[to]->connecting) return false;
+  return !auth_enabled() || out_[to]->authenticated;
 }
 
 // --- outbound -------------------------------------------------------------
@@ -169,12 +230,11 @@ void TcpTransport::send_frame(ProcessId to, const sim::Payload& message) {
   // Only simulator-only test payloads lack a wire form; sending one over
   // TCP is a programming error, not a runtime condition.
   QSEL_ASSERT(body.has_value());
-  std::vector<std::uint8_t> frame;
-  frame.reserve(4 + body->size());
-  append_frame(frame, *body);
 
+  const std::size_t frame_bytes =
+      4 + body->size() + (auth_enabled() ? kMacBytes : 0);
   TamperPlan plan;
-  if (tamper_) plan = tamper_(to, frame.size());
+  if (tamper_) plan = tamper_(to, frame_bytes);
   const std::string tag(message.type_tag());
   const std::uint64_t wire_size = message.wire_size();
   if (plan.drop) {
@@ -185,36 +245,67 @@ void TcpTransport::send_frame(ProcessId to, const sim::Payload& message) {
   }
   if (plan.delay_ns > 0) {
     // Re-enqueued whole after the delay: later frames may overtake it on
-    // the stream — message reordering, never stream corruption.
+    // the stream — message reordering, never stream corruption. The MAC
+    // is computed at enqueue time against the connection alive *then*;
+    // a reconnect in the gap means fresh nonces and a fresh frame key.
     loop_.timers().schedule_after(
-        plan.delay_ns, [this, to, frame = std::move(frame), plan, tag,
+        plan.delay_ns, [this, to, body = std::move(*body), plan, tag,
                         wire_size] {
           if (stopped_) return;
           if (tracer_) tracer_->send(config_.self, to, tag, 0, wire_size);
-          enqueue_frame(to, frame, plan.split_at);
-          if (plan.duplicate) enqueue_frame(to, frame, 0);
+          TamperPlan now = plan;
+          now.delay_ns = 0;
+          enqueue_frame(to, body, now);
+          if (plan.duplicate) {
+            now.duplicate = false;
+            now.split_at = 0;
+            enqueue_frame(to, body, now);
+          }
         });
     return;
   }
   if (tracer_) tracer_->send(config_.self, to, tag, 0, wire_size);
-  enqueue_frame(to, frame, plan.split_at);
-  if (plan.duplicate) enqueue_frame(to, frame, 0);
+  enqueue_frame(to, *body, plan);
+  if (plan.duplicate) {
+    TamperPlan dup = plan;
+    dup.duplicate = false;
+    dup.split_at = 0;
+    enqueue_frame(to, *body, dup);
+  }
 }
 
 void TcpTransport::enqueue_frame(ProcessId to,
-                                 const std::vector<std::uint8_t>& frame,
-                                 std::size_t split_at) {
+                                 const std::vector<std::uint8_t>& body,
+                                 TamperPlan plan) {
   Connection* conn = out_[to];
-  if (conn == nullptr) {
+  if (conn == nullptr || (auth_enabled() && !conn->authenticated)) {
+    // Unreachable, or the handshake has not finished: dropped, never
+    // queued (the suspicion layer's resync repairs the gap).
     if (tracer_)
       tracer_->drop(config_.self, to, {}, trace::DropReason::kDisconnected,
-                    frame.size());
+                    body.size());
     return;
   }
-  if (split_at > 0) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + body.size() + kMacBytes);
+  if (auth_enabled()) {
+    const crypto::Digest mac =
+        crypto::hmac_sha256(conn->frame_key.bytes, body);
+    std::vector<std::uint8_t> sealed(body);
+    sealed.insert(sealed.end(), mac.bytes.begin(),
+                  mac.bytes.begin() + kMacBytes);
+    append_frame(frame, sealed);
+  } else {
+    append_frame(frame, body);
+  }
+  if (plan.flip_mask != 0 && !frame.empty()) {
+    // Corrupting-link fault: flips bytes already sealed under the MAC.
+    frame[plan.flip_at % frame.size()] ^= plan.flip_mask;
+  }
+  if (plan.split_at > 0) {
     // Cap the next write syscall at split_at bytes past what is already
     // queued, so this frame's head and tail leave in separate writes.
-    conn->write_cap = conn->outbuf.size() - conn->out_offset + split_at;
+    conn->write_cap = conn->outbuf.size() - conn->out_offset + plan.split_at;
   }
   conn->outbuf.insert(conn->outbuf.end(), frame.begin(), frame.end());
   flush(conn);
@@ -273,7 +364,12 @@ void TcpTransport::dial(ProcessId to) {
     schedule_reconnect(to);
     return;
   }
-  const sockaddr_in addr = loopback_address(peer_ports_[to]);
+  sockaddr_in addr{};
+  if (!make_address(peer_hosts_[to], peer_ports_[to], &addr)) {
+    ::close(fd);
+    schedule_reconnect(to);
+    return;
+  }
   bool connecting = false;
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
@@ -294,10 +390,16 @@ void TcpTransport::dial(ProcessId to) {
   // HELLO goes first on the stream, queued before connect even completes
   // (flush waits for writability). It bypasses the tamper hook: a dropped
   // HELLO would poison the whole connection, which models a fault the
-  // schedule never asked for.
+  // schedule never asked for. In auth mode it opens the handshake with a
+  // fresh client nonce; the connection only carries messages once the
+  // CHALLENGE comes back and AUTH goes out.
   Encoder hello;
   hello.u8(kHelloTag);
   hello.u32(config_.self);
+  if (auth_enabled()) {
+    conn->client_nonce = rng_();
+    hello.u64(conn->client_nonce);
+  }
   append_frame(conn->outbuf, hello.view());
 
   Connection* raw = conn.get();
@@ -315,11 +417,10 @@ void TcpTransport::dial(ProcessId to) {
 
 void TcpTransport::schedule_reconnect(ProcessId to) {
   if (stopped_) return;
-  const std::uint32_t attempt =
-      std::min<std::uint32_t>(reconnect_attempts_[to], 16);
-  if (reconnect_attempts_[to] < 16) ++reconnect_attempts_[to];
-  const SimDuration delay = std::min<SimDuration>(
-      config_.reconnect_base << attempt, config_.reconnect_cap);
+  const std::uint32_t attempt = reconnect_attempts_[to];
+  if (reconnect_attempts_[to] < config_.reconnect.max_exponent)
+    ++reconnect_attempts_[to];
+  const SimDuration delay = backoff_delay(config_.reconnect, attempt, rng_);
   reconnect_timers_[to] = loop_.timers().schedule_timer(delay, [this, to] {
     if (!stopped_ && out_[to] == nullptr) dial(to);
   });
@@ -421,6 +522,7 @@ bool TcpTransport::parse_frames(Connection* conn) {
       if (tracer_)
         tracer_->drop(conn->peer, config_.self, {},
                       trace::DropReason::kMalformed, len);
+      if (!conn->outgoing) note_offense(conn->peer);
       close_connection(conn, conn->outgoing);
       return false;
     }
@@ -448,18 +550,35 @@ bool TcpTransport::parse_frames(Connection* conn) {
 
 bool TcpTransport::handle_frame(Connection* conn,
                                 std::span<const std::uint8_t> body) {
-  if (conn->peer == kNoProcess) {
-    // First frame of an accepted connection must be HELLO.
-    Decoder dec(body);
-    if (dec.u8() != kHelloTag) return false;
-    const ProcessId claimed = dec.process_id();
-    if (!dec.done() || claimed >= config_.n || claimed == config_.self)
-      return false;
-    conn->peer = claimed;
-    return true;
+  if (conn->peer == kNoProcess) return handle_hello(conn, body);
+  if (conn->outgoing) {
+    // The dial side reads exactly one frame ever: the auth CHALLENGE.
+    if (!auth_enabled() || conn->authenticated) return false;
+    return handle_challenge(conn, body);
   }
-  if (conn->outgoing) return false;  // peers never write on our dial side
-  const sim::PayloadPtr message = decode_message(body, config_.n);
+  if (auth_enabled() && conn->awaiting_auth) return handle_auth(conn, body);
+
+  std::span<const std::uint8_t> payload = body;
+  if (auth_enabled()) {
+    const bool long_enough = body.size() >= kMacBytes + 1;
+    const crypto::Digest expect = crypto::hmac_sha256(
+        conn->frame_key.bytes,
+        long_enough ? body.first(body.size() - kMacBytes) : body);
+    if (!long_enough ||
+        !mac_equal(body.last(kMacBytes),
+                   std::span(expect.bytes.data(), kMacBytes))) {
+      QSEL_LOG(kWarn, "net") << "p" << config_.self
+                             << " rejecting frame from p" << conn->peer
+                             << ": bad MAC (" << body.size() << " bytes)";
+      if (tracer_)
+        tracer_->drop(conn->peer, config_.self, {},
+                      trace::DropReason::kMalformed, body.size());
+      note_offense(conn->peer);
+      return false;
+    }
+    payload = body.first(body.size() - kMacBytes);
+  }
+  const sim::PayloadPtr message = decode_message(payload, config_.n);
   if (message == nullptr) {
     QSEL_LOG(kWarn, "net") << "p" << config_.self
                            << " closing connection from p" << conn->peer
@@ -468,13 +587,109 @@ bool TcpTransport::handle_frame(Connection* conn,
     if (tracer_)
       tracer_->drop(conn->peer, config_.self, {},
                     trace::DropReason::kMalformed, body.size());
+    note_offense(conn->peer);
     return false;
   }
+  if (quarantine_) quarantine_->good_frame(conn->peer);
   if (tracer_)
     tracer_->deliver(config_.self, conn->peer, message->type_tag(),
                      message->wire_size());
   if (handler_) handler_(conn->peer, message);
   return true;
+}
+
+bool TcpTransport::handle_hello(Connection* conn,
+                                std::span<const std::uint8_t> body) {
+  // First frame of an accepted connection must be HELLO.
+  Decoder dec(body);
+  if (dec.u8() != kHelloTag) return false;
+  const ProcessId claimed = dec.process_id();
+  if (claimed >= config_.n || claimed == config_.self) return false;
+  if (!auth_enabled()) {
+    if (!dec.done()) return false;
+    conn->peer = claimed;
+    return true;
+  }
+  const std::uint64_t client_nonce = dec.u64();
+  if (!dec.done()) return false;  // pre-id: anonymous garbage, no strike
+  if (quarantine_ && !quarantine_->admitted(claimed, loop_.timers().now())) {
+    // Barred peers get closed, not re-struck: the strike already priced
+    // the offense, and re-striking every retry would never release them.
+    QSEL_LOG(kInfo, "net") << "p" << config_.self << " refusing p" << claimed
+                           << ": quarantined";
+    return false;
+  }
+  conn->peer = claimed;
+  conn->client_nonce = client_nonce;
+  conn->server_nonce = rng_();
+  conn->session_key = derive_session_key(claimed, config_.self, client_nonce,
+                                         conn->server_nonce);
+  conn->frame_key = keyed_tag(conn->session_key, kFrameKeyDomain);
+  conn->awaiting_auth = true;
+  Encoder challenge;
+  challenge.u8(kChallengeTag);
+  challenge.u64(conn->server_nonce);
+  append_frame(conn->outbuf, challenge.view());
+  // No direct flush from inside the parse loop (flush may close the
+  // connection out from under parse_frames); POLLOUT drains it instead.
+  update_interest(conn);
+  return true;
+}
+
+bool TcpTransport::handle_challenge(Connection* conn,
+                                    std::span<const std::uint8_t> body) {
+  if (body.size() != 9 || body[0] != kChallengeTag) {
+    note_offense(conn->peer);
+    return false;
+  }
+  conn->server_nonce = load_u64_le(body.data() + 1);
+  conn->session_key = derive_session_key(config_.self, conn->peer,
+                                         conn->client_nonce,
+                                         conn->server_nonce);
+  conn->frame_key = keyed_tag(conn->session_key, kFrameKeyDomain);
+  const crypto::Digest proof = keyed_tag(conn->session_key, kAuthProofDomain);
+  std::vector<std::uint8_t> auth;
+  auth.reserve(33);
+  auth.push_back(kAuthTag);
+  auth.insert(auth.end(), proof.bytes.begin(), proof.bytes.end());
+  append_frame(conn->outbuf, auth);
+  conn->authenticated = true;
+  reconnect_attempts_[conn->peer] = 0;
+  update_interest(conn);
+  return true;
+}
+
+bool TcpTransport::handle_auth(Connection* conn,
+                               std::span<const std::uint8_t> body) {
+  const crypto::Digest proof = keyed_tag(conn->session_key, kAuthProofDomain);
+  if (body.size() != 33 || body[0] != kAuthTag ||
+      !mac_equal(body.subspan(1), proof.bytes)) {
+    QSEL_LOG(kWarn, "net") << "p" << config_.self
+                           << " rejecting handshake claiming p" << conn->peer
+                           << ": bad AUTH proof";
+    note_offense(conn->peer);
+    return false;
+  }
+  conn->awaiting_auth = false;
+  conn->authenticated = true;
+  return true;
+}
+
+crypto::Digest TcpTransport::derive_session_key(
+    ProcessId dialer, ProcessId acceptor, std::uint64_t client_nonce,
+    std::uint64_t server_nonce) const {
+  Encoder enc;
+  enc.u8(kSessionKeyDomain);
+  enc.u32(dialer);
+  enc.u32(acceptor);
+  enc.u64(client_nonce);
+  enc.u64(server_nonce);
+  return crypto::hmac_sha256(config_.auth_key, enc.view());
+}
+
+void TcpTransport::note_offense(ProcessId peer) {
+  if (quarantine_ && peer != kNoProcess)
+    quarantine_->offense(peer, loop_.timers().now());
 }
 
 }  // namespace qsel::net

@@ -8,26 +8,55 @@
 // messages may still reorder across senders — the same delivery model the
 // simulated network exposes.
 //
-// Wire protocol, in connection order:
+// Wire protocol, in connection order (unauthenticated / legacy mode):
 //
 //   frame     := u32-LE body length || body          (length <= max_frame)
 //   1st frame := HELLO: u8 0 || u32-LE sender id     (transport-level)
 //   others    := wire.hpp message bodies (u8 type tag || codec fields)
 //
-// A frame that fails to parse — oversized length, unknown tag, truncated
-// or trailing bytes — closes the connection: a TCP stream that lost sync
-// cannot be resynchronized, and the parity contract (transport.hpp) wants
-// corruption surfaced as loss, never as a wrong message. Authentication
-// stays above: HELLO is unauthenticated and only *routes* delivery
-// upcalls; every protocol message carries its own origin signature, so a
-// lying HELLO gains nothing an attacker-controlled `from` would not.
+// With Config::auth_key set, the channel authenticates itself first. The
+// handshake is a keyed challenge/response under the shared cluster key —
+// the only place the otherwise unidirectional streams speak both ways:
 //
-// Outgoing connections reconnect forever with exponential backoff
-// (base * 2^attempt, capped), resetting after a successful connect.
-// Messages sent while a peer is unreachable are dropped, not queued — the
-// failure detector is the component that must notice silence, and the
-// suspicion layer's anti-entropy resync repairs any gossip lost in the
-// gap.
+//   dialer  -> HELLO:     u8 0    || u32-LE sender id || u64-LE client nonce
+//   accept  -> CHALLENGE: u8 0xF0 || u64-LE server nonce
+//   dialer  -> AUTH:      u8 0xF1 || HMAC(session key, 0x02)   (32 bytes)
+//   then       message frames: wire body || first 16 bytes of
+//              HMAC(frame key, body)
+//
+// where session key = HMAC(auth_key, 0x01 || dialer || acceptor ||
+// client nonce || server nonce) and frame key = HMAC(session key, 0x03).
+// Binding both fresh nonces and both identities into the session key
+// makes AUTH unreplayable across connections and directions; a peer
+// without the cluster key cannot produce it, so a lying HELLO now buys
+// nothing at all — not even a routed upcall. In-session replay and
+// reordering remain *accepted* by design: the tamper hook's delay fault
+// legitimately reorders frames on one stream, and the protocol layer is
+// replay-idempotent (the suspicion matrix is a monotone CRDT and every
+// UPDATE carries its own origin signature), so the MAC deliberately
+// covers bytes, not sequence position.
+//
+// A frame that fails to parse — oversized length, unknown tag, truncated
+// or trailing bytes, bad MAC — closes the connection: a TCP stream that
+// lost sync cannot be resynchronized, and the parity contract
+// (transport.hpp) wants corruption surfaced as loss, never as a wrong
+// message. In auth mode the close also files an offense with the
+// QuarantinePolicy: the claimed sender is barred (jittered exponential
+// bar, bounded strike budget) and its HELLOs are refused until release;
+// sustained clean frames later forgive the strikes (net/quarantine.hpp).
+// Note the quarantine keys on the *claimed* identity — an attacker who
+// fails the handshake under a victim's id can bar the victim's inbound
+// for one capped interval at a time. Distinguishing impostors needs
+// per-source-address state, which loopback deployments cannot even
+// express; the bounded bar plus redemption keeps this a nuisance, not an
+// outage.
+//
+// Outgoing connections reconnect forever with jittered exponential
+// backoff (net/backoff.hpp), resetting after a successful connect.
+// Messages sent while a peer is unreachable — or before its handshake
+// completes — are dropped, not queued: the failure detector is the
+// component that must notice silence, and the suspicion layer's
+// anti-entropy resync repairs any gossip lost in the gap.
 //
 // Fault injection for tests: set_write_tamper installs a hook consulted
 // once per outgoing frame (HELLO exempt) that may drop it, delay it
@@ -42,9 +71,13 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "crypto/sha256.hpp"
+#include "net/backoff.hpp"
 #include "net/event_loop.hpp"
+#include "net/quarantine.hpp"
 #include "net/transport.hpp"
 
 namespace qsel::trace {
@@ -59,6 +92,13 @@ struct TamperPlan {
   std::uint64_t delay_ns = 0;  // 0 = send now
   bool duplicate = false;
   std::size_t split_at = 0;  // 0 = none; else cap the first write syscall
+  /// Nonzero: XOR the mask into on-wire byte flip_at (mod frame size),
+  /// *after* the MAC is attached — a corrupting link, not a corrupting
+  /// sender. With auth the receiver's MAC check must reject the frame;
+  /// without it the flip can silently become a different valid message,
+  /// which is exactly the failure mode channel auth exists to close.
+  std::uint8_t flip_mask = 0;
+  std::size_t flip_at = 0;
 };
 
 class TcpTransport final : public Transport {
@@ -66,16 +106,25 @@ class TcpTransport final : public Transport {
   struct Config {
     ProcessId self = 0;
     ProcessId n = 1;
-    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (tests), a
-    /// fixed value lets qsel_node instances find each other.
+    /// Port to bind; 0 picks an ephemeral port (tests), a fixed value
+    /// lets qsel_node instances find each other.
     std::uint16_t listen_port = 0;
+    /// Numeric IPv4 address to bind; 0.0.0.0 for multi-machine clusters.
+    std::string bind_host = "127.0.0.1";
     /// Failure-detector round length (transport.hpp). 20ms is a generous
     /// loopback bound: it absorbs poll quantization and scheduler jitter
     /// without making suspicion latency tests crawl.
     SimDuration round_length = 20'000'000;
     std::size_t max_frame_bytes = 1 << 20;
-    SimDuration reconnect_base = 10'000'000;  // 10ms
-    SimDuration reconnect_cap = 1'000'000'000;  // 1s
+    /// Reconnect schedule: jittered exponential backoff.
+    BackoffConfig reconnect{};
+    /// Shared cluster key. Empty = legacy unauthenticated mode; nonempty
+    /// enables the HELLO/CHALLENGE/AUTH handshake, per-frame MACs, and
+    /// the offense quarantine (header comment).
+    std::vector<std::uint8_t> auth_key;
+    /// Seeds handshake nonces and backoff jitter (deterministic tests).
+    std::uint64_t auth_seed = 1;
+    QuarantineConfig quarantine{};
   };
 
   using WriteTamper =
@@ -90,7 +139,10 @@ class TcpTransport final : public Transport {
   /// Boot sequence: construct all transports, exchange listen_port() via
   /// set_peer(), then start() each — which begins dialing.
   std::uint16_t listen_port() const { return listen_port_; }
-  void set_peer(ProcessId id, std::uint16_t port);
+  void set_peer(ProcessId id, std::uint16_t port);  // host = 127.0.0.1
+  /// Multi-machine form: `host` is a numeric IPv4 address (no DNS — a
+  /// cluster config that needs names resolved them before writing ips).
+  void set_peer(ProcessId id, const std::string& host, std::uint16_t port);
   void start();
 
   /// Closes every socket and cancels reconnects. Idempotent; also run by
@@ -98,9 +150,15 @@ class TcpTransport final : public Transport {
   /// this is how LoopbackCluster crashes a node.
   void shutdown();
 
-  /// True when the outgoing connection to `to` is established (HELLO
-  /// handed to the kernel). Tests use this to await cluster wiring.
+  /// True when the outgoing connection to `to` is established — HELLO
+  /// handed to the kernel and, in auth mode, the handshake completed on
+  /// our side. Tests use this to await cluster wiring.
   bool connected_to(ProcessId to) const;
+
+  bool auth_enabled() const { return !config_.auth_key.empty(); }
+
+  /// Offense/quarantine state; null in legacy (unauthenticated) mode.
+  const QuarantinePolicy* quarantine() const { return quarantine_.get(); }
 
   /// Trace sink for kSend/kDeliver/kDrop transport events (null detaches).
   /// The caller owns the tracer and its clock.
@@ -124,6 +182,13 @@ class TcpTransport final : public Transport {
     ProcessId peer = kNoProcess;  // incoming: learned from HELLO
     bool outgoing = false;
     bool connecting = false;  // connect() still in flight
+    // Auth-mode handshake state (see header comment for the protocol).
+    bool authenticated = false;
+    bool awaiting_auth = false;  // acceptor: CHALLENGE out, AUTH not in yet
+    std::uint64_t client_nonce = 0;
+    std::uint64_t server_nonce = 0;
+    crypto::Digest session_key{};  // proves the handshake
+    crypto::Digest frame_key{};    // MACs message bodies
     std::vector<std::uint8_t> inbuf;
     std::vector<std::uint8_t> outbuf;
     std::size_t out_offset = 0;   // consumed prefix of outbuf
@@ -138,8 +203,15 @@ class TcpTransport final : public Transport {
   void read_from(Connection* conn);
   bool parse_frames(Connection* conn);  // false => connection was closed
   bool handle_frame(Connection* conn, std::span<const std::uint8_t> body);
-  void enqueue_frame(ProcessId to, const std::vector<std::uint8_t>& frame,
-                     std::size_t split_at);
+  bool handle_hello(Connection* conn, std::span<const std::uint8_t> body);
+  bool handle_challenge(Connection* conn, std::span<const std::uint8_t> body);
+  bool handle_auth(Connection* conn, std::span<const std::uint8_t> body);
+  crypto::Digest derive_session_key(ProcessId dialer, ProcessId acceptor,
+                                    std::uint64_t client_nonce,
+                                    std::uint64_t server_nonce) const;
+  void note_offense(ProcessId peer);
+  void enqueue_frame(ProcessId to, const std::vector<std::uint8_t>& body,
+                     TamperPlan plan);
   void flush(Connection* conn);
   void update_interest(Connection* conn);
   void deliver_local(const sim::PayloadPtr& message);
@@ -150,10 +222,13 @@ class TcpTransport final : public Transport {
   Handler handler_;
   trace::Tracer* tracer_ = nullptr;
   WriteTamper tamper_;
+  Rng rng_;  // handshake nonces + reconnect jitter
+  std::unique_ptr<QuarantinePolicy> quarantine_;  // auth mode only
 
   int listen_fd_ = -1;
   std::uint16_t listen_port_ = 0;
   std::vector<std::uint16_t> peer_ports_;  // 0 = unknown
+  std::vector<std::string> peer_hosts_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<Connection*> out_;  // per-peer outgoing connection or null
   std::vector<std::uint32_t> reconnect_attempts_;

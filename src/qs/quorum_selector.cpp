@@ -13,7 +13,10 @@ QuorumSelector::QuorumSelector(const crypto::Signer& signer,
       core_(signer, config.n,
             suspect::SuspicionCore::Hooks{
                 [this](sim::PayloadPtr msg) { hooks_.broadcast(msg); },
-                [this] { update_quorum(); }}),
+                [this] { update_quorum(); },
+                [this] {
+                  if (hooks_.persist) hooks_.persist();
+                }}),
       qlast_(ProcessSet::full(static_cast<ProcessId>(config.quorum_size()))) {
   QSEL_REQUIRE(config.n > 0 && config.n <= kMaxProcesses);
   QSEL_REQUIRE_MSG(config.f >= 1, "quorum selection needs f >= 1");

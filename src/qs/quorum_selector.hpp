@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/process_set.hpp"
@@ -47,6 +48,10 @@ class QuorumSelector {
     std::function<void(ProcessSet quorum)> issue_quorum;
     /// Broadcast to every other process (UPDATE dissemination).
     std::function<void(sim::PayloadPtr)> broadcast;
+    /// Optional write-ahead hook, forwarded to the suspicion core: runs
+    /// after the own row or epoch changed, before the change leaves the
+    /// process (suspicion_core.hpp).
+    std::function<void()> persist;
   };
 
   QuorumSelector(const crypto::Signer& signer, QuorumSelectorConfig config,
@@ -63,6 +68,15 @@ class QuorumSelector {
   /// Anti-entropy tick: re-broadcasts the own matrix row so state lost to
   /// a dropped UPDATE is eventually re-offered (SuspicionCore::resync).
   void resync() { core_.resync(); }
+
+  /// Reinstalls durable state recovered from a NodeStore (join semantics,
+  /// SuspicionCore::restore) and re-evaluates the quorum so the first
+  /// issued quorum already reflects the recovered evidence. Call before
+  /// any protocol activity.
+  void restore(Epoch epoch, std::span<const Epoch> own_row) {
+    core_.restore(epoch, own_row);
+    update_quorum();
+  }
 
   /// Attaches an event tracer to this selector and its suspicion core:
   /// <QUORUM, Q> outputs, suspicion and UPDATE traffic are journaled.

@@ -8,12 +8,18 @@ namespace qsel::runtime {
 
 NodeProcess::NodeProcess(net::Transport& transport,
                          const crypto::KeyRegistry& keys,
-                         const NodeProcessConfig& config)
+                         const NodeProcessConfig& config,
+                         store::NodeStore* store)
     : transport_(transport),
       signer_(keys, transport.self()),
       heartbeat_period_(config.heartbeat_period),
+      store_(store),
       fd_(transport.timers(), transport.self(), config.n, config.fd,
-          [this](ProcessSet suspects) { selector_.on_suspected(suspects); }),
+          // SUSPECTED arrives through the event queue, possibly after this
+          // process was destroyed on a restart — hence the alive guard.
+          [this, alive = alive_](ProcessSet suspects) {
+            if (*alive) selector_.on_suspected(suspects);
+          }),
       selector_(signer_, qs::QuorumSelectorConfig{config.n, config.f},
                 qs::QuorumSelector::Hooks{
                     [](ProcessSet) { /* application consumes the quorum */ },
@@ -22,11 +28,24 @@ NodeProcess::NodeProcess(net::Transport& transport,
                           ProcessSet::full(transport_.process_count()) -
                               ProcessSet{self()},
                           msg);
-                    }}) {
+                    },
+                    [this] { maybe_persist(); }}) {
   transport_.set_handler([this](ProcessId from, const sim::PayloadPtr& msg) {
     on_message(from, msg);
   });
+  if (store_ != nullptr) {
+    if (const auto recovered = store_->recover()) {
+      // Timeouts first: restore() re-evaluates the quorum, and any epoch
+      // advance it triggers should persist a state that already includes
+      // the recovered timeouts.
+      fd_.restore_timeouts(recovered->fd_timeouts);
+      selector_.restore(recovered->epoch, recovered->own_row);
+    }
+    maybe_persist();  // first boot journals the initial state
+  }
 }
+
+NodeProcess::~NodeProcess() { *alive_ = false; }
 
 void NodeProcess::start() {
   if (heartbeat_period_ == 0) return;
@@ -60,7 +79,25 @@ void NodeProcess::tick() {
   // the heal. Re-offering the known signed rows makes dissemination
   // self-healing; receivers absorb duplicates without re-forwarding.
   if (heartbeat_seq_ % 16 == 0) selector_.resync();
-  transport_.timers().schedule_after(heartbeat_period_, [this] { tick(); });
+  // Catch FD timeout adaptation, which has no write-ahead hook.
+  maybe_persist();
+  transport_.timers().schedule_after(
+      heartbeat_period_, [this, alive = alive_] {
+        if (*alive) tick();
+      });
+}
+
+void NodeProcess::maybe_persist() {
+  if (store_ == nullptr) return;
+  store::DurableNodeState state;
+  state.epoch = selector_.epoch();
+  const auto row = selector_.matrix().row(self());
+  state.own_row.assign(row.begin(), row.end());
+  state.fd_timeouts = fd_.timeouts();
+  if (has_persisted_ && state == last_persisted_) return;
+  store_->persist(state);
+  last_persisted_ = std::move(state);
+  has_persisted_ = true;
 }
 
 void NodeProcess::on_message(ProcessId from, const sim::PayloadPtr& message) {

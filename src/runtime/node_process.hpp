@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/process_set.hpp"
 #include "common/types.hpp"
@@ -19,6 +20,7 @@
 #include "net/transport.hpp"
 #include "qs/quorum_selector.hpp"
 #include "runtime/heartbeat.hpp"
+#include "store/node_store.hpp"
 
 namespace qsel::runtime {
 
@@ -33,8 +35,19 @@ struct NodeProcessConfig {
 
 class NodeProcess {
  public:
+  /// `store`, when non-null, makes the node durable: construction
+  /// recovers epoch, own suspicion row and FD timeouts from it (join
+  /// semantics — recovery is idempotent), and every subsequent change to
+  /// that state is journaled *before* it is broadcast, so a crash can
+  /// never have told peers something a restart forgets. The store must
+  /// outlive the process.
   NodeProcess(net::Transport& transport, const crypto::KeyRegistry& keys,
-              const NodeProcessConfig& config);
+              const NodeProcessConfig& config,
+              store::NodeStore* store = nullptr);
+
+  /// Safe to destroy with timer callbacks still queued (node restart):
+  /// pending ticks and FD events check the alive flag and no-op.
+  ~NodeProcess();
 
   NodeProcess(const NodeProcess&) = delete;
   NodeProcess& operator=(const NodeProcess&) = delete;
@@ -56,14 +69,26 @@ class NodeProcess {
  private:
   void tick();
   void on_message(ProcessId from, const sim::PayloadPtr& message);
+  /// Journals the durable state when it differs from the last journaled
+  /// value. Wired as the selector's write-ahead hook (row/epoch changes)
+  /// and run once per tick (FD timeout adaptation has no hook; losing a
+  /// few doublings only costs re-adaptation, never safety).
+  void maybe_persist();
 
   net::Transport& transport_;
   crypto::Signer signer_;
   SimDuration heartbeat_period_;
+  store::NodeStore* store_;
+  /// Set false on destruction; captured (by shared_ptr) in every timer
+  /// callback so late firings against a destroyed process are no-ops.
+  /// Declared before fd_: its callback captures a copy.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   fd::FailureDetector fd_;
   qs::QuorumSelector selector_;
   std::uint64_t heartbeat_seq_ = 0;
   bool stopped_ = false;
+  store::DurableNodeState last_persisted_;
+  bool has_persisted_ = false;
 };
 
 }  // namespace qsel::runtime

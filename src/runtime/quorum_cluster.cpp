@@ -11,6 +11,7 @@ QuorumCluster::QuorumCluster(QuorumClusterConfig config, ProcessSet byzantine)
                                               config.seed)),
       correct_(ProcessSet::full(config.n) - byzantine),
       transports_(config.n),
+      stores_(config.n),
       processes_(config.n) {
   QSEL_REQUIRE(byzantine.is_subset_of(ProcessSet::full(config.n)));
   NodeProcessConfig node_config;
@@ -20,8 +21,10 @@ QuorumCluster::QuorumCluster(QuorumClusterConfig config, ProcessSet byzantine)
   node_config.heartbeat_period = config.heartbeat_period;
   for (ProcessId id : correct_) {
     transports_[id] = std::make_unique<SimTransport>(*network_, id);
-    processes_[id] =
-        std::make_unique<NodeProcess>(*transports_[id], keys_, node_config);
+    stores_[id] = std::make_unique<store::MemoryNodeStore>();
+    processes_[id] = std::make_unique<NodeProcess>(*transports_[id], keys_,
+                                                   node_config,
+                                                   stores_[id].get());
   }
 }
 
@@ -31,6 +34,7 @@ NodeProcess& QuorumCluster::process(ProcessId id) {
 }
 
 void QuorumCluster::attach_tracer(trace::Tracer& tracer) {
+  tracer_ = &tracer;
   tracer.set_clock([this] { return sim_.now(); });
   network_->set_tracer(&tracer);
   for (ProcessId id : correct_) processes_[id]->selector().set_tracer(&tracer);
@@ -38,6 +42,31 @@ void QuorumCluster::attach_tracer(trace::Tracer& tracer) {
 
 void QuorumCluster::start() {
   for (ProcessId id : correct_) processes_[id]->start();
+}
+
+void QuorumCluster::restart(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n && processes_[id] != nullptr);
+  QSEL_REQUIRE_MSG(network_->is_crashed(id), "restart() needs a prior crash()");
+  NodeProcessConfig node_config;
+  node_config.n = config_.n;
+  node_config.f = config_.f;
+  node_config.fd = config_.fd;
+  node_config.heartbeat_period = config_.heartbeat_period;
+  // Destroy-then-rebuild over the same transport slot and store: the new
+  // process recovers in its constructor (join semantics — a second
+  // recovery of the same store is a no-op) and re-registers its handler.
+  processes_[id].reset();
+  processes_[id] = std::make_unique<NodeProcess>(*transports_[id], keys_,
+                                                 node_config,
+                                                 stores_[id].get());
+  if (tracer_ != nullptr) processes_[id]->selector().set_tracer(tracer_);
+  network_->restart(id);
+  processes_[id]->start();
+}
+
+store::NodeStore& QuorumCluster::store(ProcessId id) {
+  QSEL_REQUIRE(id < config_.n && stores_[id] != nullptr);
+  return *stores_[id];
 }
 
 ProcessSet QuorumCluster::alive() const {

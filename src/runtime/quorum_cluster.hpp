@@ -24,6 +24,7 @@
 #include "runtime/sim_transport.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "store/node_store.hpp"
 
 namespace qsel::runtime {
 
@@ -72,6 +73,15 @@ class QuorumCluster {
   /// Starts heartbeats on all honest processes.
   void start();
 
+  /// Crash-recovery: requires a prior network().crash(id) of an honest
+  /// process. Rebuilds the NodeProcess over the node's in-memory store
+  /// (every process journals to one), so it rejoins holding its persisted
+  /// epoch, own suspicion row and FD timeouts — never a pre-crash epoch —
+  /// and un-crashes the network slot. Heartbeats resume immediately.
+  void restart(ProcessId id);
+
+  store::NodeStore& store(ProcessId id);
+
   /// True when all honest processes currently report the same quorum;
   /// returns that quorum.
   std::optional<ProcessSet> agreed_quorum() const;
@@ -89,7 +99,9 @@ class QuorumCluster {
   std::unique_ptr<sim::Network> network_;
   ProcessSet correct_;
   std::vector<std::unique_ptr<SimTransport>> transports_;  // index = id
+  std::vector<std::unique_ptr<store::NodeStore>> stores_;  // index = id
   std::vector<std::unique_ptr<NodeProcess>> processes_;    // index = id
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace qsel::runtime

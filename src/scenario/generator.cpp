@@ -143,8 +143,12 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
   schedule.n = static_cast<ProcessId>(rng.between(n_lo, config_.n_max));
 
   SimTime t = 20 * kMs;
+  // Quorum selection alone models crash-recovery (the durable NodeProcess
+  // stack), so only its archetype space includes crash-then-restart.
   const std::uint64_t archetype =
-      rng.below(protocol == Protocol::kXPaxos ? 3 : 5);
+      rng.below(protocol == Protocol::kXPaxos            ? 3
+                : protocol == Protocol::kQuorumSelection ? 6
+                                                         : 5);
   switch (archetype) {
     case 0: {  // link omission / timing faults
       maybe_gst(rng, schedule);
@@ -198,6 +202,35 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
       if (rng.chance(0.4)) schedule.heartbeat_period = 0;
       generate_adversary_walk(rng, schedule);
       break;
+    case 5: {  // crash-then-restart (qs only): durable recovery under fire
+      maybe_gst(rng, schedule);
+      const auto victims =
+          pick_subset(rng, schedule.n,
+                      static_cast<int>(rng.between(
+                          1, static_cast<std::uint64_t>(schedule.f))));
+      for (ProcessId victim : victims) {
+        t += rng.between(15, 100) * kMs;
+        schedule.actions.push_back(
+            {t, FaultKind::kCrash, victim, kNoProcess, 0});
+        // Outage long enough for the survivors to suspect the victim and
+        // advance epochs, so the restart rejoins a moved-on cluster from
+        // its recovered (pre-crash) state.
+        SimTime back = t + rng.between(120, 500) * kMs;
+        schedule.actions.push_back(
+            {back, FaultKind::kRestart, victim, kNoProcess, 0});
+        // Sometimes kill the same victim again mid-rejoin: double
+        // recovery of the same store must be idempotent.
+        if (rng.chance(0.3)) {
+          const SimTime again = back + rng.between(30, 120) * kMs;
+          schedule.actions.push_back(
+              {again, FaultKind::kCrash, victim, kNoProcess, 0});
+          schedule.actions.push_back({again + rng.between(120, 400) * kMs,
+                                      FaultKind::kRestart, victim,
+                                      kNoProcess, 0});
+        }
+      }
+      break;
+    }
     default: {  // combined archetypes (qs/fs only)
       if (rng.chance(0.5)) {
         // Adversary walk with a partition opening mid-walk: injected

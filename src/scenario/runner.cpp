@@ -37,9 +37,16 @@ trace::TracerConfig tracer_config(const RunOptions& options) {
 /// cluster is running; `honest` is where injected UPDATEs are gossiped.
 class ActionApplier {
  public:
+  /// `restart` rebuilds a crashed process from its durable store; only the
+  /// quorum-selection cluster supplies one (Schedule::validate rejects
+  /// kRestart for the other protocols).
   ActionApplier(sim::Network& network, const crypto::KeyRegistry& keys,
-                ProcessSet honest)
-      : network_(network), keys_(keys), honest_(honest) {}
+                ProcessSet honest,
+                std::function<void(ProcessId)> restart = {})
+      : network_(network),
+        keys_(keys),
+        honest_(honest),
+        restart_(std::move(restart)) {}
 
   void apply(const FaultAction& action) {
     const ProcessId n = network_.process_count();
@@ -73,6 +80,11 @@ class ActionApplier {
         for (ProcessId to : honest_) network_.send(action.a, to, update);
         break;
       }
+      case FaultKind::kRestart:
+        QSEL_REQUIRE_MSG(restart_ != nullptr,
+                         "restart action on a cluster without recovery");
+        restart_(action.a);
+        break;
     }
   }
 
@@ -80,6 +92,7 @@ class ActionApplier {
   sim::Network& network_;
   const crypto::KeyRegistry& keys_;
   ProcessSet honest_;
+  std::function<void(ProcessId)> restart_;
   std::map<ProcessId, std::vector<Epoch>> rows_;
 };
 
@@ -139,7 +152,9 @@ RunResult run_quorum_selection(const Schedule& schedule,
   if (options.trace) cluster.attach_tracer(tracer);
   cluster.start();
 
-  ActionApplier applier(cluster.network(), cluster.keys(), cluster.correct());
+  ActionApplier applier(
+      cluster.network(), cluster.keys(), cluster.correct(),
+      [&cluster](ProcessId id) { cluster.restart(id); });
   run_timeline(schedule, cluster.simulator(), applier);
   cluster.simulator().run_until(schedule.quiet_start);
 

@@ -22,6 +22,7 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kPartition, "partition"},
     {FaultKind::kHeal, "heal"},
     {FaultKind::kInjectSuspicion, "inject_suspicion"},
+    {FaultKind::kRestart, "restart"},
 };
 
 // Flat-field JSON extraction, same discipline as trace/jsonl.cpp: keys are
@@ -137,6 +138,9 @@ std::string FaultAction::to_string() const {
     case FaultKind::kInjectSuspicion:
       os << " p" << a << " suspects p" << b;
       break;
+    case FaultKind::kRestart:
+      os << " p" << a;
+      break;
   }
   return os.str();
 }
@@ -189,6 +193,7 @@ std::optional<std::string> Schedule::validate() const {
   SimTime prev = 0;
   bool partition_open = false;
   std::set<std::pair<ProcessId, ProcessId>> links_down;
+  ProcessSet down;  // crashed and not (yet) restarted
   for (std::size_t i = 0; i < actions.size(); ++i) {
     const FaultAction& action = actions[i];
     const std::string where = "action " + std::to_string(i) + ": ";
@@ -199,6 +204,19 @@ std::optional<std::string> Schedule::validate() const {
     switch (action.kind) {
       case FaultKind::kCrash:
         if (action.a >= n) return err(where + "crash victim out of range");
+        if (down.contains(action.a))
+          return err(where + "victim already crashed");
+        down.insert(action.a);
+        break;
+      case FaultKind::kRestart:
+        // Crash-recovery is only modelled for the durable NodeProcess
+        // stack; the other clusters have no recovery path to exercise.
+        if (protocol != Protocol::kQuorumSelection)
+          return err(where + "restart needs a quorum-selection schedule");
+        if (action.a >= n) return err(where + "restart victim out of range");
+        if (!down.contains(action.a))
+          return err(where + "restart without a prior crash");
+        down.erase(action.a);
         break;
       case FaultKind::kLinkDown:
       case FaultKind::kLinkUp:

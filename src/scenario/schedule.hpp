@@ -46,6 +46,9 @@ std::optional<Protocol> protocol_from_name(std::string_view name);
 ///                     runner stamps (a suspects b, epoch 1) into a's
 ///                     accumulated row and gossips it as a signed UPDATE —
 ///                     the Theorem-4 / Theorem-9 adversary moves.
+///   kRestart          a = victim of a prior kCrash; the runner rebuilds
+///                     the process from its durable store (crash-recovery)
+///                     and un-crashes its network slot.
 enum class FaultKind : std::uint8_t {
   kCrash = 0,
   kLinkDown,
@@ -54,6 +57,7 @@ enum class FaultKind : std::uint8_t {
   kPartition,
   kHeal,
   kInjectSuspicion,
+  kRestart,
 };
 
 std::string_view fault_kind_name(FaultKind kind);

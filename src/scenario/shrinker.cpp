@@ -14,7 +14,7 @@ namespace {
 constexpr SimDuration kMs = 1'000'000;
 
 /// Indivisible unit of removal: one action, or a pair that must live and
-/// die together (partition+heal, link_down+link_up).
+/// die together (partition+heal, link_down+link_up, crash+restart).
 using Atom = std::vector<FaultAction>;
 
 std::vector<Atom> make_atoms(const Schedule& schedule) {
@@ -26,20 +26,25 @@ std::vector<Atom> make_atoms(const Schedule& schedule) {
     Atom atom{action};
     used[i] = true;
     if (action.kind == FaultKind::kPartition ||
-        action.kind == FaultKind::kLinkDown) {
+        action.kind == FaultKind::kLinkDown ||
+        action.kind == FaultKind::kCrash) {
       const FaultKind closer = action.kind == FaultKind::kPartition
                                    ? FaultKind::kHeal
-                                   : FaultKind::kLinkUp;
+                               : action.kind == FaultKind::kLinkDown
+                                   ? FaultKind::kLinkUp
+                                   : FaultKind::kRestart;
       for (std::size_t j = i + 1; j < schedule.actions.size(); ++j) {
         const FaultAction& later = schedule.actions[j];
         if (used[j] || later.kind != closer) continue;
         if (closer == FaultKind::kLinkUp &&
             (later.a != action.a || later.b != action.b))
           continue;
+        if (closer == FaultKind::kRestart && later.a != action.a) continue;
         atom.push_back(later);
         used[j] = true;
         break;
       }
+      // A crash with no matching restart is its own (single) atom.
     }
     atoms.push_back(std::move(atom));
   }

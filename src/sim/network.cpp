@@ -103,6 +103,13 @@ void Network::crash(ProcessId id) {
   if (tracer_) tracer_->crash(id);
 }
 
+void Network::restart(ProcessId id) {
+  QSEL_REQUIRE(id < n_);
+  QSEL_REQUIRE_MSG(crashed_.contains(id), "restart() needs a prior crash()");
+  crashed_.erase(id);
+  if (tracer_) tracer_->restart(id);
+}
+
 void Network::set_link_enabled(ProcessId from, ProcessId to, bool enabled) {
   QSEL_REQUIRE(from < n_ && to < n_);
   link_disabled_[link_index(from, to)] = !enabled;

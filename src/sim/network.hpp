@@ -81,6 +81,13 @@ class Network {
   void crash(ProcessId id);
   bool is_crashed(ProcessId id) const { return crashed_.contains(id); }
 
+  /// Undoes crash(id): the process sends and receives again. Messages
+  /// dropped during the outage stay dropped — crash-recovery, not rollback.
+  /// The *process state* the revived node resumes with is the caller's
+  /// business (see runtime::QuorumCluster::restart, which rebuilds the
+  /// NodeProcess from its durable store).
+  void restart(ProcessId id);
+
   /// Disables/enables the directed link from -> to (omission failures).
   void set_link_enabled(ProcessId from, ProcessId to, bool enabled);
   bool link_enabled(ProcessId from, ProcessId to) const;

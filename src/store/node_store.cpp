@@ -1,0 +1,111 @@
+#include "store/node_store.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "net/codec.hpp"
+#include "store/snapshot.hpp"
+
+namespace qsel::store {
+
+void DurableNodeState::merge_from(const DurableNodeState& other) {
+  epoch = std::max(epoch, other.epoch);
+  if (own_row.empty()) own_row = other.own_row;
+  else if (!other.own_row.empty()) {
+    QSEL_REQUIRE(own_row.size() == other.own_row.size());
+    for (std::size_t i = 0; i < own_row.size(); ++i)
+      own_row[i] = std::max(own_row[i], other.own_row[i]);
+  }
+  if (fd_timeouts.empty()) fd_timeouts = other.fd_timeouts;
+  else if (!other.fd_timeouts.empty()) {
+    QSEL_REQUIRE(fd_timeouts.size() == other.fd_timeouts.size());
+    for (std::size_t i = 0; i < fd_timeouts.size(); ++i)
+      fd_timeouts[i] = std::max(fd_timeouts[i], other.fd_timeouts[i]);
+  }
+}
+
+std::vector<std::uint8_t> DurableNodeState::encode() const {
+  net::Encoder enc;
+  enc.u64(epoch);
+  enc.u64_vector(own_row);
+  enc.u64_vector(fd_timeouts);
+  return std::move(enc).take();
+}
+
+std::optional<DurableNodeState> DurableNodeState::decode(
+    std::span<const std::uint8_t> bytes, ProcessId n) {
+  net::Decoder dec(bytes);
+  DurableNodeState state;
+  state.epoch = dec.u64();
+  state.own_row = dec.u64_vector();
+  state.fd_timeouts = dec.u64_vector();
+  if (!dec.done()) return std::nullopt;
+  if (state.epoch == 0) return std::nullopt;
+  if (!state.own_row.empty() && state.own_row.size() != n) return std::nullopt;
+  if (!state.fd_timeouts.empty() && state.fd_timeouts.size() != n)
+    return std::nullopt;
+  return state;
+}
+
+void MemoryNodeStore::persist(const DurableNodeState& state) {
+  ++persist_calls_;
+  if (!state_.has_value()) state_ = state;
+  else state_->merge_from(state);
+}
+
+FileNodeStore::FileNodeStore(std::string dir, ProcessId n,
+                             FileNodeStoreOptions options)
+    : dir_(std::move(dir)), n_(n), options_(options) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST)
+    throw std::runtime_error("store: mkdir failed (" + dir_ +
+                             "): " + std::strerror(errno));
+  wal_ = std::make_unique<Wal>(wal_path(), options_.wal);
+}
+
+std::optional<DurableNodeState> FileNodeStore::recover() {
+  // Same-instance re-recovery (a node restarted without the store object
+  // dying, as in the loopback harness): the WAL's boot-time scan is stale
+  // by now, but merged_ is exactly boot scan ⊔ every persist since — the
+  // same join a rescan of the file would produce.
+  if (has_state_) return merged_;
+  bool any = false;
+  DurableNodeState joined;
+  if (const auto snap = read_snapshot(snapshot_path())) {
+    if (auto state = DurableNodeState::decode(*snap, n_)) {
+      joined = std::move(*state);
+      any = true;
+    }
+  }
+  for (const auto& record : wal_->recovered().records) {
+    const auto state = DurableNodeState::decode(record, n_);
+    if (!state.has_value()) continue;  // isolated bad record: skip, keep rest
+    if (any) joined.merge_from(*state);
+    else joined = *state;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  merged_ = joined;
+  has_state_ = true;
+  return joined;
+}
+
+void FileNodeStore::persist(const DurableNodeState& state) {
+  if (has_state_) merged_.merge_from(state);
+  else merged_ = state;
+  has_state_ = true;
+  wal_->append(state.encode());
+  if (++appends_since_compact_ < options_.compact_every) return;
+  // Compact: seal the join into the snapshot, then reset the log. Crash
+  // between the two steps is safe — the WAL still holds every record the
+  // snapshot covers, and recovery joins both.
+  write_snapshot(snapshot_path(), merged_.encode());
+  wal_->reset();
+  appends_since_compact_ = 0;
+}
+
+}  // namespace qsel::store

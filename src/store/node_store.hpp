@@ -1,0 +1,115 @@
+// NodeStore — durable per-node protocol state (snapshot + WAL).
+//
+// What a qsel_node must not lose across a crash, per the paper's eventual
+// guarantees: its current epoch (Agreement compares quorums per epoch, and
+// a node that rejoined at epoch 1 would re-suspect and re-vote its way
+// through history, churning every peer), its own signed suspicion row
+// (the matrix is a monotone CRDT — Dubois et al.'s eventually-consistent
+// abstraction — so re-offering recovered stamps is always safe, while
+// losing them silently un-suspects processes the node had evidence
+// against), and the failure detector's adapted per-peer timeouts (which
+// only ever grow; restarting from the initial timeout would re-suspect
+// every slow-but-correct peer and destabilize the cluster exactly when it
+// is re-integrating the rejoiner).
+//
+// All three are monotone, so DurableNodeState::merge_from is a join and
+// recovery is order- and duplicate-insensitive: snapshot ⊔ every WAL
+// record, in any order, yields the same state — which is what makes the
+// torn-write truncation of the WAL safe (losing a suffix loses recency,
+// never consistency) and double recovery idempotent.
+//
+// FileNodeStore keeps `snapshot.bin` + `wal.bin` in one directory and
+// compacts (snapshot + WAL reset) every `compact_every` appends.
+// MemoryNodeStore is the simulator's stand-in: same interface, state held
+// in memory, used by QuorumCluster to model restart-with-recovered-state
+// deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "store/wal.hpp"
+
+namespace qsel::store {
+
+struct DurableNodeState {
+  Epoch epoch = 1;
+  /// Own row of the suspicion matrix: epoch stamps, index = suspected id.
+  std::vector<Epoch> own_row;
+  /// Adaptive failure-detector timeout per peer (ns), index = peer id.
+  std::vector<SimDuration> fd_timeouts;
+
+  bool operator==(const DurableNodeState&) const = default;
+
+  /// Join with `other` (cell-wise max everywhere). Row widths must match
+  /// when both are nonempty.
+  void merge_from(const DurableNodeState& other);
+
+  std::vector<std::uint8_t> encode() const;
+  /// Rejects malformed bytes and rows wider than `n`; never throws.
+  static std::optional<DurableNodeState> decode(
+      std::span<const std::uint8_t> bytes, ProcessId n);
+};
+
+class NodeStore {
+ public:
+  virtual ~NodeStore() = default;
+
+  /// State recovered from stable storage; nullopt on first boot.
+  virtual std::optional<DurableNodeState> recover() = 0;
+
+  /// Logs a state change (call with the full current state; the store
+  /// journals it and may compact).
+  virtual void persist(const DurableNodeState& state) = 0;
+};
+
+/// In-memory store for the simulator: persists by join, recovers the join.
+class MemoryNodeStore final : public NodeStore {
+ public:
+  std::optional<DurableNodeState> recover() override { return state_; }
+  void persist(const DurableNodeState& state) override;
+  std::uint64_t persist_calls() const { return persist_calls_; }
+
+ private:
+  std::optional<DurableNodeState> state_;
+  std::uint64_t persist_calls_ = 0;
+};
+
+struct FileNodeStoreOptions {
+  /// Snapshot + WAL reset after this many appends since the last compact.
+  std::uint64_t compact_every = 256;
+  WalOptions wal;
+};
+
+/// Snapshot + WAL in `dir` (created if missing). Recovery joins the
+/// snapshot (if valid) with every valid WAL record; corruption in either
+/// degrades to the surviving parts, never to a throw.
+class FileNodeStore final : public NodeStore {
+ public:
+  FileNodeStore(std::string dir, ProcessId n,
+                FileNodeStoreOptions options = {});
+
+  std::optional<DurableNodeState> recover() override;
+  void persist(const DurableNodeState& state) override;
+
+  const std::string& dir() const { return dir_; }
+  std::string wal_path() const { return dir_ + "/wal.bin"; }
+  std::string snapshot_path() const { return dir_ + "/snapshot.bin"; }
+
+ private:
+  std::string dir_;
+  ProcessId n_;
+  FileNodeStoreOptions options_;
+  std::unique_ptr<Wal> wal_;
+  std::uint64_t appends_since_compact_ = 0;
+  /// Running join of everything persisted; what a compact snapshots.
+  DurableNodeState merged_;
+  bool has_state_ = false;
+};
+
+}  // namespace qsel::store

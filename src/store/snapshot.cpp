@@ -1,0 +1,87 @@
+#include "store/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace qsel::store {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'Q', 'S', 'N', 'P'};
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw std::runtime_error("snapshot: " + what + " (" + path +
+                           "): " + std::strerror(errno));
+}
+
+}  // namespace
+
+void write_snapshot(const std::string& path,
+                    std::span<const std::uint8_t> payload) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) io_error("open failed", tmp);
+
+  const crypto::Digest digest = crypto::sha256(payload);
+  std::vector<std::uint8_t> file;
+  file.reserve(4 + 4 + 32 + payload.size());
+  file.insert(file.end(), kMagic, kMagic + 4);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  file.push_back(static_cast<std::uint8_t>(len & 0xff));
+  file.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  file.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  file.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+  file.insert(file.end(), digest.bytes.begin(), digest.bytes.end());
+  file.insert(file.end(), payload.begin(), payload.end());
+
+  std::size_t done = 0;
+  while (done < file.size()) {
+    const ssize_t wrote = ::write(fd, file.data() + done, file.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_error("write failed", tmp);
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    io_error("fsync failed", tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    io_error("rename failed", path);
+}
+
+std::optional<std::vector<std::uint8_t>> read_snapshot(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  if (data.size() < 4 + 4 + 32) return std::nullopt;
+  if (std::memcmp(data.data(), kMagic, 4) != 0) return std::nullopt;
+  const std::uint8_t* p = data.data() + 4;
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+  if (data.size() - 4 - 4 - 32 != len) return std::nullopt;
+  crypto::Digest stored;
+  std::memcpy(stored.bytes.data(), data.data() + 8, 32);
+  std::vector<std::uint8_t> payload(data.begin() + 8 + 32, data.end());
+  if (crypto::sha256(payload) != stored) return std::nullopt;
+  return payload;
+}
+
+}  // namespace qsel::store

@@ -1,0 +1,36 @@
+// Atomic snapshot file — write-temp / fsync / rename with a digest seal.
+//
+// The durable twin of the WAL: where the log records every state change,
+// the snapshot captures one whole state so the log can be reset (bounded
+// recovery time). Atomicity comes from POSIX rename: the snapshot is
+// written to `<path>.tmp`, fsynced, then renamed over `path`, so readers
+// only ever observe the old complete snapshot or the new complete one.
+// Integrity comes from a SHA-256 seal over the payload stored in the
+// header; a snapshot that fails its seal (torn write before the rename
+// semantics existed, storage corruption) reads as "no snapshot" and
+// recovery falls back to the WAL alone.
+//
+//   file := magic "QSNP" || u32-LE payload length || SHA-256(payload)
+//           || payload
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qsel::store {
+
+/// Writes `payload` atomically to `path`. Throws std::runtime_error on I/O
+/// failure (the previous snapshot, if any, is untouched).
+void write_snapshot(const std::string& path,
+                    std::span<const std::uint8_t> payload);
+
+/// Reads and verifies the snapshot at `path`. Returns nullopt when the
+/// file is missing, malformed or fails its digest — never throws on bad
+/// contents (corruption is an expected recovery input, not a bug).
+std::optional<std::vector<std::uint8_t>> read_snapshot(
+    const std::string& path);
+
+}  // namespace qsel::store

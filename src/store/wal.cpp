@@ -1,0 +1,127 @@
+#include "store/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace qsel::store {
+
+namespace {
+
+crypto::Digest chain_digest(const crypto::Digest& prev,
+                            std::span<const std::uint8_t> payload) {
+  crypto::Sha256 hasher;
+  hasher.update(prev.bytes);
+  hasher.update(payload);
+  return hasher.finish();
+}
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw std::runtime_error("wal: " + what + " (" + path +
+                           "): " + std::strerror(errno));
+}
+
+}  // namespace
+
+WalScan Wal::scan_file(const std::string& path, const WalOptions& options) {
+  WalScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return scan;  // missing file = empty log
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  crypto::Digest chain;  // zero bytes: the chain seed
+  std::size_t pos = 0;
+  while (data.size() - pos >= 4 + 32) {
+    const std::uint8_t* p = data.data() + pos;
+    const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+    if (len > options.max_record_bytes) break;        // corrupt length
+    if (data.size() - pos - 4 - 32 < len) break;      // torn tail
+    crypto::Digest stored;
+    std::memcpy(stored.bytes.data(), p + 4, 32);
+    const std::span<const std::uint8_t> payload(p + 4 + 32, len);
+    const crypto::Digest expected = chain_digest(chain, payload);
+    if (stored != expected) break;  // flipped byte in digest or payload
+    scan.records.emplace_back(payload.begin(), payload.end());
+    chain = expected;
+    pos += 4 + 32 + len;
+  }
+  scan.valid_bytes = pos;
+  scan.tail_digest = chain;
+  scan.truncated_tail = pos != data.size();
+  return scan;
+}
+
+Wal::Wal(std::string path, WalOptions options)
+    : path_(std::move(path)), options_(options) {
+  scan_ = scan_file(path_, options_);
+  chain_ = scan_.tail_digest;
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) io_error("open failed", path_);
+  if (scan_.truncated_tail) {
+    QSEL_LOG(kWarn, "store")
+        << "wal " << path_ << ": truncating invalid suffix at byte "
+        << scan_.valid_bytes;
+    if (::ftruncate(fd_, static_cast<off_t>(scan_.valid_bytes)) != 0)
+      io_error("ftruncate failed", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(scan_.valid_bytes), SEEK_SET) < 0)
+    io_error("lseek failed", path_);
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Wal::append(std::span<const std::uint8_t> payload) {
+  QSEL_REQUIRE(payload.size() <= options_.max_record_bytes);
+  const crypto::Digest digest = chain_digest(chain_, payload);
+  std::vector<std::uint8_t> record;
+  record.reserve(4 + 32 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  record.push_back(static_cast<std::uint8_t>(len & 0xff));
+  record.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  record.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  record.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+  record.insert(record.end(), digest.bytes.begin(), digest.bytes.end());
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  // One write call: the kernel appends the record atomically with respect
+  // to this process dying (a torn write can only come from the storage
+  // layer, which the chain digest catches on recovery).
+  std::size_t done = 0;
+  while (done < record.size()) {
+    const ssize_t wrote =
+        ::write(fd_, record.data() + done, record.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      io_error("write failed", path_);
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  if (options_.sync_each_append && ::fdatasync(fd_) != 0)
+    io_error("fdatasync failed", path_);
+  chain_ = digest;
+  ++records_appended_;
+}
+
+void Wal::reset() {
+  if (::ftruncate(fd_, 0) != 0) io_error("ftruncate failed", path_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) io_error("lseek failed", path_);
+  if (options_.sync_each_append && ::fdatasync(fd_) != 0)
+    io_error("fdatasync failed", path_);
+  chain_ = crypto::Digest{};  // fresh chain seed
+}
+
+}  // namespace qsel::store

@@ -1,0 +1,94 @@
+// Write-ahead log — append-only record file with a SHA-256 hash chain.
+//
+// Durability substrate for the live node (tools/qsel_node): every record
+// appended survives a process kill, and recovery tolerates the two
+// corruptions a real crash can leave behind — a torn tail (the process
+// died mid-append) and flipped bytes (storage corruption). The format is
+//
+//   file   := record*
+//   record := u32-LE payload length || chain digest (32 bytes) || payload
+//
+// where chain digest = SHA-256(previous record's chain digest || payload);
+// the first record chains from 32 zero bytes. The chain makes every
+// record's digest depend on the full prefix, so recovery cannot accept a
+// record whose predecessor was damaged: read_all() scans forward,
+// recomputes the chain, and stops at the first record that is truncated,
+// oversized or fails its digest — everything before it is intact by
+// construction, everything after is untrusted and discarded. recover()
+// additionally truncates the file back to the valid prefix so the next
+// append re-extends a consistent chain.
+//
+// Appends write the whole record with one write(2) call and (by default)
+// fdatasync before returning, so a record either made it to the log
+// completely or the recovery truncation removes it — never half.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace qsel::store {
+
+struct WalOptions {
+  /// fdatasync() after every append. Disable only in tests/simulation where
+  /// the process outlives every "crash" being modelled.
+  bool sync_each_append = true;
+  /// Records larger than this are treated as corruption during recovery
+  /// (a flipped byte in a length prefix must not allocate gigabytes).
+  std::size_t max_record_bytes = 1 << 20;
+};
+
+/// Result of scanning a log file: the records of the longest valid prefix
+/// plus where that prefix ends (the truncation point for repair).
+struct WalScan {
+  std::vector<std::vector<std::uint8_t>> records;
+  /// Byte offset of the end of the last valid record.
+  std::uint64_t valid_bytes = 0;
+  /// Chain digest after the last valid record (seed for further appends).
+  crypto::Digest tail_digest;
+  /// True when bytes past valid_bytes existed (torn tail or corruption).
+  bool truncated_tail = false;
+};
+
+class Wal {
+ public:
+  /// Opens (creating if absent) the log at `path`, scanning the existing
+  /// contents and truncating any invalid suffix. Throws std::runtime_error
+  /// when the file cannot be opened or repaired.
+  Wal(std::string path, WalOptions options = {});
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Records of the valid prefix found at open time, in append order.
+  const WalScan& recovered() const { return scan_; }
+
+  /// Appends one record (single write syscall, then fdatasync unless
+  /// disabled). Throws std::runtime_error on I/O failure.
+  void append(std::span<const std::uint8_t> payload);
+
+  /// Atomically replaces the log contents with zero records (after a
+  /// snapshot has captured the state the log described).
+  void reset();
+
+  std::uint64_t records_appended() const { return records_appended_; }
+  const std::string& path() const { return path_; }
+
+  /// Pure scan of a log file; shared by the constructor and tests. Missing
+  /// file = empty valid log.
+  static WalScan scan_file(const std::string& path, const WalOptions& options);
+
+ private:
+  std::string path_;
+  WalOptions options_;
+  int fd_ = -1;
+  WalScan scan_;
+  crypto::Digest chain_;  // digest of the last durable record
+  std::uint64_t records_appended_ = 0;
+};
+
+}  // namespace qsel::store

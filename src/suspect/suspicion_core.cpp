@@ -24,6 +24,9 @@ void SuspicionCore::stamp_and_broadcast() {
   for (ProcessId j : suspecting_) matrix_.stamp(self(), j, epoch_);
   std::vector<Epoch> row(matrix_.row(self()).begin(),
                          matrix_.row(self()).end());
+  // Log-before-send: once a peer has seen this row/epoch, the local store
+  // must never forget it (the restart oracle checks epoch monotonicity).
+  if (hooks_.persist) hooks_.persist();
   ++updates_broadcast_;
   hooks_.broadcast(UpdateMessage::make(signer_, std::move(row)));
 }
@@ -78,6 +81,15 @@ void SuspicionCore::advance_epoch(Epoch new_epoch) {
   QSEL_LOG(kDebug, "suspect") << "p" << self() << " advanced to epoch "
                               << new_epoch;
   stamp_and_broadcast();
+}
+
+void SuspicionCore::restore(Epoch epoch, std::span<const Epoch> own_row) {
+  QSEL_REQUIRE(epoch >= 1);
+  QSEL_REQUIRE(own_row.empty() || own_row.size() == n_);
+  if (epoch > epoch_) epoch_ = epoch;
+  if (!own_row.empty()) matrix_.merge_row(self(), own_row);
+  QSEL_LOG(kInfo, "suspect") << "p" << self() << " restored to epoch "
+                             << epoch_;
 }
 
 void SuspicionCore::resync() {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/process_set.hpp"
@@ -45,6 +46,11 @@ class SuspicionCore {
     /// Re-evaluates the quorum after the matrix or epoch changed
     /// (Algorithm 1 Line 24).
     std::function<void()> update_quorum;
+    /// Optional write-ahead hook: invoked after the own row or epoch
+    /// changed but *before* the change is broadcast, so a crash can never
+    /// have told peers something the local store forgot. Durable nodes
+    /// point this at their NodeStore; the simulator leaves it empty.
+    std::function<void()> persist;
   };
 
   SuspicionCore(const crypto::Signer& signer, ProcessId n, Hooks hooks);
@@ -73,6 +79,13 @@ class SuspicionCore {
   /// suspicions in the new epoch (Lines 28-29). Called by the owner's
   /// update_quorum implementation; does NOT recurse into update_quorum.
   void advance_epoch(Epoch new_epoch);
+
+  /// Reinstalls state recovered from stable storage: joins the epoch
+  /// (max) and the own row (cell-wise max — the matrix is a CRDT, so
+  /// re-offering recovered stamps is always safe). Call before any
+  /// protocol activity; does not broadcast or re-evaluate — the owner
+  /// decides when (QuorumSelector::restore re-runs update_quorum).
+  void restore(Epoch epoch, std::span<const Epoch> own_row);
 
   /// Anti-entropy retransmission: re-broadcasts the own signed row plus
   /// the latest signed UPDATE merged from every other origin.

@@ -14,7 +14,7 @@ struct Name {
   std::string_view name;
 };
 
-constexpr std::array<Name, 13> kNames{{
+constexpr std::array<Name, 14> kNames{{
     {EventType::kSend, "SEND"},
     {EventType::kDeliver, "DELIVER"},
     {EventType::kDrop, "DROP"},
@@ -28,6 +28,7 @@ constexpr std::array<Name, 13> kNames{{
     {EventType::kUpdateReject, "UPD_REJECT"},
     {EventType::kEpochAdvance, "EPOCH"},
     {EventType::kQuorum, "QUORUM"},
+    {EventType::kRestart, "RESTART"},
 }};
 
 }  // namespace

@@ -43,6 +43,7 @@ enum class EventType : std::uint8_t {
   kEpochAdvance,   // actor=self, arg0=new epoch
   kQuorum,         // actor=self, peer=leader (kNoProcess for Algorithm 1),
                    // arg0=quorum mask, arg1=epoch
+  kRestart,        // actor=restarted process (crash-recovery rejoin)
 };
 
 /// Drop causes (arg0 of kDrop).

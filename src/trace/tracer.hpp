@@ -104,6 +104,9 @@ class Tracer {
   void crash(ProcessId id) {
     record(EventType::kCrash, id, kNoProcess, 0, 0, {});
   }
+  void restart(ProcessId id) {
+    record(EventType::kRestart, id, kNoProcess, 0, 0, {});
+  }
   void suspected(ProcessId self, std::uint64_t suspect_mask, Epoch epoch) {
     record(EventType::kSuspected, self, kNoProcess, suspect_mask, epoch, {});
   }

@@ -21,7 +21,8 @@ Replica::Replica(sim::Network& network, const crypto::KeyRegistry& keys,
         signer_, qs::QuorumSelectorConfig{config_.n, config_.f},
         qs::QuorumSelector::Hooks{
             [this](ProcessSet q) { on_selected_quorum(q); },
-            [this](sim::PayloadPtr msg) { broadcast_all(msg); }});
+            [this](sim::PayloadPtr msg) { broadcast_all(msg); },
+            /*persist=*/{}});
   }
 }
 

@@ -1,0 +1,131 @@
+// QuarantinePolicy state-machine tests: offenses bar the peer for a
+// jittered, exponentially growing window; the strike budget caps the
+// window; redemption (a clean streak of authenticated frames) restores
+// full standing, CANCEL-style; and good frames below the threshold
+// forgive nothing.
+#include "net/quarantine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace qsel::net {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+QuarantineConfig tight_config() {
+  QuarantineConfig config;
+  config.backoff.base = 50 * kMs;
+  config.backoff.cap = 5000 * kMs;
+  config.backoff.jitter = 0.3;
+  config.strike_budget = 4;
+  config.redeem_after = 8;
+  return config;
+}
+
+TEST(QuarantineTest, FreshPeersAreAdmitted) {
+  const QuarantinePolicy policy(4, tight_config(), /*seed=*/1);
+  for (ProcessId peer = 0; peer < 4; ++peer) {
+    EXPECT_TRUE(policy.admitted(peer, 0));
+    EXPECT_EQ(policy.release_at(peer), 0u);
+    EXPECT_EQ(policy.strikes(peer), 0u);
+  }
+  EXPECT_EQ(policy.offenses_total(), 0u);
+}
+
+TEST(QuarantineTest, OffenseBarsForAJitteredBaseWindow) {
+  QuarantinePolicy policy(4, tight_config(), 1);
+  policy.offense(2, 1000 * kMs);
+  EXPECT_FALSE(policy.admitted(2, 1000 * kMs));
+  EXPECT_EQ(policy.strikes(2), 1u);
+  EXPECT_EQ(policy.offenses_total(), 1u);
+  // First strike: ~base with 30% jitter, anchored at the offense time.
+  const std::uint64_t release = policy.release_at(2);
+  EXPECT_GE(release, 1000 * kMs + 35 * kMs);
+  EXPECT_LE(release, 1000 * kMs + 65 * kMs);
+  // Other peers keep their standing.
+  EXPECT_TRUE(policy.admitted(0, 1000 * kMs));
+  // The bar expires on schedule.
+  EXPECT_TRUE(policy.admitted(2, release));
+  EXPECT_FALSE(policy.admitted(2, release - 1));
+}
+
+TEST(QuarantineTest, RepeatOffensesGrowTheBarExponentially) {
+  QuarantinePolicy policy(4, tight_config(), 7);
+  std::uint64_t now = 0;
+  std::uint64_t previous_window = 0;
+  for (int strike = 1; strike <= 4; ++strike) {
+    policy.offense(1, now);
+    const std::uint64_t window = policy.release_at(1) - now;
+    if (strike > 1) {
+      // Each rung's jitter floor (0.7x) must clear the previous rung's
+      // ceiling (1.3x) once doubled: 2 * 0.7 > 1.3.
+      EXPECT_GT(window, previous_window) << "strike " << strike;
+    }
+    previous_window = window;
+    now = policy.release_at(1) + kMs;
+  }
+}
+
+TEST(QuarantineTest, StrikeBudgetCapsTheWindow) {
+  QuarantineConfig config = tight_config();
+  config.backoff.jitter = 0.0;  // exact windows for the plateau check
+  QuarantinePolicy policy(4, config, 1);
+  std::uint64_t now = 0;
+  std::uint64_t plateau = 0;
+  for (int strike = 1; strike <= 10; ++strike) {
+    policy.offense(3, now);
+    const std::uint64_t window = policy.release_at(3) - now;
+    if (strike > static_cast<int>(config.strike_budget)) {
+      if (plateau == 0) plateau = window;
+      EXPECT_EQ(window, plateau) << "strike " << strike;
+    }
+    now = policy.release_at(3) + kMs;
+  }
+  EXPECT_EQ(policy.offenses_total(), 10u);
+}
+
+TEST(QuarantineTest, RedemptionClearsStrikesAfterACleanStreak) {
+  QuarantinePolicy policy(4, tight_config(), 1);
+  policy.offense(1, 0);
+  policy.offense(1, 1000 * kMs);
+  EXPECT_EQ(policy.strikes(1), 2u);
+
+  // Seven good frames (one short of redeem_after): nothing forgiven.
+  for (int i = 0; i < 7; ++i) policy.good_frame(1);
+  EXPECT_EQ(policy.strikes(1), 2u);
+  policy.good_frame(1);  // the eighth
+  EXPECT_EQ(policy.strikes(1), 0u);
+
+  // Standing fully restored: the next offense pays first-strike rates.
+  policy.offense(1, 50'000 * kMs);
+  EXPECT_EQ(policy.strikes(1), 1u);
+  EXPECT_LE(policy.release_at(1) - 50'000 * kMs, 65 * kMs);
+}
+
+TEST(QuarantineTest, AnOffenseResetsTheGoodStreak) {
+  QuarantinePolicy policy(4, tight_config(), 1);
+  policy.offense(2, 0);
+  for (int i = 0; i < 7; ++i) policy.good_frame(2);
+  policy.offense(2, 1000 * kMs);  // streak back to zero, strike added
+  for (int i = 0; i < 7; ++i) policy.good_frame(2);
+  EXPECT_EQ(policy.strikes(2), 2u);  // 7 + 7 interleaved never redeemed
+  policy.good_frame(2);
+  EXPECT_EQ(policy.strikes(2), 0u);
+}
+
+TEST(QuarantineTest, PerPeerStateIsIndependent) {
+  QuarantinePolicy policy(4, tight_config(), 1);
+  policy.offense(0, 0);
+  policy.offense(0, 1000 * kMs);
+  policy.offense(3, 0);
+  EXPECT_EQ(policy.strikes(0), 2u);
+  EXPECT_EQ(policy.strikes(3), 1u);
+  for (int i = 0; i < 8; ++i) policy.good_frame(3);
+  EXPECT_EQ(policy.strikes(3), 0u);
+  EXPECT_EQ(policy.strikes(0), 2u);  // peer 3's streak redeems only peer 3
+}
+
+}  // namespace
+}  // namespace qsel::net

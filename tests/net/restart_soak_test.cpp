@@ -1,0 +1,88 @@
+// Kill/restart soak — the crash-recovery durability loop run until it
+// hurts: a 5-node f=1 authenticated cluster over real TCP with per-node
+// FileNodeStores, killed and revived for QSEL_SOAK_CYCLES (default 6)
+// cycles with rotating victims. Each cycle must re-establish agreement,
+// and no rejoiner may ever come back below its pre-crash epoch — the WAL
+// recovery invariant under repeated, back-to-back restarts rather than
+// the single staged one of the tier-1 test. Labelled `long`; tools/ci.sh
+// runs it under ASan/UBSan as its own gate.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/loopback_cluster.hpp"
+
+namespace qsel::net {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+std::uint64_t soak_cycles() {
+  if (const char* env = std::getenv("QSEL_SOAK_CYCLES")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::uint64_t>(parsed);
+  }
+  return 6;  // >= 5, per the CI gate's contract
+}
+
+TEST(RestartSoakTest, RepeatedKillRestartCyclesKeepDurabilityAndAgreement) {
+  const std::string store_root = testing::TempDir() + "qsel_restart_soak";
+  std::filesystem::remove_all(store_root);
+  std::filesystem::create_directories(store_root);
+
+  LoopbackClusterConfig config;
+  config.n = 5;
+  config.f = 1;
+  config.seed = 77;
+  config.auth_key = std::vector<std::uint8_t>(32, 0x5C);
+  config.store_root = store_root;
+  LoopbackCluster cluster(config);
+  ASSERT_TRUE(cluster.start());
+  ASSERT_TRUE(cluster.run_until(
+      [&] { return cluster.converged() && !cluster.agreement_error(); },
+      60'000 * kMs));
+
+  std::vector<Epoch> floor(config.n, 0);  // per-node durable epoch floor
+  const std::uint64_t cycles = soak_cycles();
+  for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
+    const ProcessId victim =
+        static_cast<ProcessId>((cycle * 2 + 1) % config.n);
+    floor[victim] = cluster.process(victim).selector().epoch();
+
+    cluster.crash(victim);
+    ASSERT_TRUE(cluster.run_until(
+        [&] {
+          if (!cluster.converged() || cluster.agreement_error()) return false;
+          for (ProcessId id : cluster.alive())
+            if (cluster.process(id).quorum().contains(victim)) return false;
+          return true;
+        },
+        180'000 * kMs))
+        << "cycle " << cycle << ": survivors never excluded p" << victim;
+
+    cluster.restart(victim);
+    EXPECT_GE(cluster.process(victim).selector().epoch(), floor[victim])
+        << "cycle " << cycle << ": p" << victim
+        << " regressed its epoch across restart";
+
+    ASSERT_TRUE(cluster.run_until(
+        [&] { return cluster.converged() && !cluster.agreement_error(); },
+        180'000 * kMs))
+        << "cycle " << cycle << ": no re-convergence after restarting p"
+        << victim << "; agreement: "
+        << cluster.agreement_error().value_or("consistent");
+  }
+
+  // End state: everyone alive, agreed, and nobody below any floor ever
+  // observed for them.
+  EXPECT_EQ(cluster.alive(), ProcessSet::full(config.n));
+  EXPECT_EQ(cluster.agreement_error(), std::nullopt);
+  for (ProcessId id = 0; id < config.n; ++id)
+    EXPECT_GE(cluster.process(id).selector().epoch(), floor[id]);
+}
+
+}  // namespace
+}  // namespace qsel::net

@@ -53,15 +53,22 @@ TEST(EventLoopTest, RunForAdvancesClock) {
   EXPECT_GE(loop.now_ns() - before, 5 * kMs);
 }
 
+TcpTransport::Config transport_config(ProcessId self, ProcessId n,
+                                      std::uint16_t port) {
+  TcpTransport::Config config;
+  config.self = self;
+  config.n = n;
+  config.listen_port = port;
+  return config;
+}
+
 /// Two transports on one loop, wired to each other.
 struct Pair {
   explicit Pair(EventLoop& loop, std::uint16_t port_a = 0,
                 std::uint16_t port_b = 0)
       : keys(2, 1),
-        a(std::make_unique<TcpTransport>(
-            loop, TcpTransport::Config{0, 2, port_a})),
-        b(std::make_unique<TcpTransport>(
-            loop, TcpTransport::Config{1, 2, port_b})) {
+        a(std::make_unique<TcpTransport>(loop, transport_config(0, 2, port_a))),
+        b(std::make_unique<TcpTransport>(loop, transport_config(1, 2, port_b))) {
     wire();
   }
 
@@ -227,8 +234,8 @@ TEST(TcpTransportTest, ReconnectsAfterPeerRestart) {
 
   // Restart b on the same port (SO_REUSEADDR): a's backoff loop must find
   // it without any help and deliver a fresh send.
-  pair.b = std::make_unique<TcpTransport>(
-      loop, TcpTransport::Config{1, 2, port_b});
+  pair.b = std::make_unique<TcpTransport>(loop,
+                                          transport_config(1, 2, port_b));
   ASSERT_EQ(pair.b->listen_port(), port_b);
   pair.b->set_peer(0, pair.a->listen_port());
   pair.b->set_handler([&](ProcessId from, const sim::PayloadPtr& message) {

@@ -36,7 +36,8 @@ struct ShuffledNet {
                                   ASSERT_NE(update, nullptr);
                                   for (ProcessId to = 0; to < n; ++to)
                                     if (to != i) pending.emplace_back(to, update);
-                                }}));
+                                },
+                                /*persist=*/{}}));
     }
   }
 

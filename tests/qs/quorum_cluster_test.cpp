@@ -159,6 +159,72 @@ TEST(QuorumClusterTest, RecoversAfterGst) {
   }
 }
 
+// Crash-recovery: restart() rebuilds the process over its NodeStore, so
+// the rejoiner resumes at (at least) its persisted epoch instead of
+// re-voting its way through history, and the cluster re-stabilizes with
+// everyone back in agreement.
+TEST(QuorumClusterTest, RestartedNodeRecoversEpochAndRejoins) {
+  QuorumCluster cluster(small_config(4, 1));
+  cluster.start();
+  cluster.simulator().run_until(50 * kMs);
+  const Epoch epoch_before = cluster.process(1).selector().epoch();
+  cluster.network().crash(1);
+  cluster.simulator().run_until(500 * kMs);
+  const auto quorum_without = cluster.agreed_quorum();
+  ASSERT_TRUE(quorum_without.has_value());
+  EXPECT_FALSE(quorum_without->contains(1));
+  const Epoch survivor_epoch = cluster.process(0).selector().epoch();
+
+  cluster.restart(1);
+  // Straight out of recovery, before any message is delivered: the
+  // rejoiner holds its durable epoch, not epoch 1.
+  EXPECT_GE(cluster.process(1).selector().epoch(), epoch_before);
+
+  cluster.simulator().run_until(2000 * kMs);
+  EXPECT_TRUE(cluster.alive().contains(1));
+  ASSERT_TRUE(cluster.agreed_quorum().has_value());
+  // Epochs only ever move forward through the whole episode.
+  for (ProcessId id : cluster.correct())
+    EXPECT_GE(cluster.process(id).selector().epoch(), survivor_epoch);
+}
+
+// Double crash-restart of the same node: recovery must be idempotent —
+// the second restart recovers the join of everything ever persisted, and
+// agreement holds after each rejoin.
+TEST(QuorumClusterTest, DoubleCrashRestartIsIdempotent) {
+  QuorumCluster cluster(small_config(5, 1, 3));
+  cluster.start();
+  cluster.simulator().run_until(50 * kMs);
+  Epoch last_epoch = 0;
+  for (std::uint64_t cycle = 0; cycle < 2; ++cycle) {
+    cluster.network().crash(2);
+    cluster.simulator().run_until((500 + cycle * 1000) * kMs);
+    cluster.restart(2);
+    const Epoch recovered = cluster.process(2).selector().epoch();
+    EXPECT_GE(recovered, last_epoch) << "cycle " << cycle;
+    last_epoch = recovered;
+    cluster.simulator().run_until((1500 + cycle * 1000) * kMs);
+    ASSERT_TRUE(cluster.agreed_quorum().has_value()) << "cycle " << cycle;
+  }
+}
+
+TEST(QuorumClusterTest, RestartScheduleIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    QuorumCluster cluster(small_config(5, 2, seed));
+    cluster.start();
+    cluster.simulator().run_until(40 * kMs);
+    cluster.network().crash(3);
+    cluster.simulator().run_until(400 * kMs);
+    cluster.restart(3);
+    cluster.simulator().run_until(1500 * kMs);
+    return std::make_tuple(cluster.agreed_quorum(),
+                           cluster.total_quorums_issued(),
+                           cluster.network().stats().total_messages());
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_EQ(run(29), run(29));
+}
+
 TEST(QuorumClusterTest, DeterministicAcrossIdenticalRuns) {
   auto run = [](std::uint64_t seed) {
     QuorumCluster cluster(small_config(5, 2, seed));

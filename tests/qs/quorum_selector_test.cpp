@@ -32,7 +32,8 @@ struct SelectorNet {
           signers[i], QuorumSelectorConfig{n, f},
           QuorumSelector::Hooks{
               [this, i](ProcessSet q) { issued[i].push_back(q); },
-              [this, i](sim::PayloadPtr m) { wire.emplace_back(i, m); }}));
+              [this, i](sim::PayloadPtr m) { wire.emplace_back(i, m); },
+              /*persist=*/{}}));
     }
   }
 
@@ -73,7 +74,8 @@ TEST(QuorumSelectorTest, ConfigValidation) {
   const crypto::KeyRegistry keys(4, 1);
   const crypto::Signer signer(keys, 0);
   const QuorumSelector::Hooks hooks{[](ProcessSet) {},
-                                    [](sim::PayloadPtr) {}};
+                                    [](sim::PayloadPtr) {},
+                                    /*persist=*/{}};
   EXPECT_THROW(QuorumSelector(signer, QuorumSelectorConfig{4, 0}, hooks),
                std::invalid_argument);
   EXPECT_THROW(QuorumSelector(signer, QuorumSelectorConfig{4, 2}, hooks),

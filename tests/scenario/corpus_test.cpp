@@ -25,13 +25,13 @@ struct CorpusEntry {
 // REGENERATE: see file comment.
 constexpr CorpusEntry kCorpus[] = {
     {Protocol::kQuorumSelection, 1,
-     "cc997fbb2be884c1751e60510d1d39ebfc07f8cbc157831738ce911308a3b9f8"},
+     "1c56a9e472ef79bae54e3ce59db2a45cd3cd172d286f23b4c5b4bf7f0cd649c1"},
     {Protocol::kQuorumSelection, 2,
-     "9098a51589929954d1623f69b411de731ae80f567884f0c857d62589c790ea01"},
+     "eacb422c3e12051e6d0596c31229e28dfb8112a23159bff4ab2da1a10261a570"},
     {Protocol::kQuorumSelection, 3,
      "ef7f51441d7635057f9b8f16957d182660466ea577e1ab596353d9d8b1eb43d5"},
     {Protocol::kQuorumSelection, 4,
-     "266ad1820ce8102da65d458638023bafb49897cd517cc761e406ed7fd8630898"},
+     "0f64ba3c63c96a96fd516cf1f39c323c6e60271025cc52ac7eb2bf6a3e174bf5"},
     {Protocol::kFollowerSelection, 1,
      "6edc1ecc32f73770caad6f2375d7705d80b065509a45007d0eafafd71afdf8eb"},
     {Protocol::kFollowerSelection, 2,
@@ -44,20 +44,29 @@ constexpr CorpusEntry kCorpus[] = {
      "52506ca768837d42ed8b2fe33dd48db502ef794fdffdce5fe3e4b69aca65678e"},
     {Protocol::kXPaxos, 2,
      "0a7897784eae063987f53c96b455742383a6567199d8f1e3128efac6170947b3"},
-    // Combined-archetype seeds (faults layered): 11/18 are qs adversary
-    // walks with a mid-walk partition, 15 a qs partition with crashes at
+    // Combined-archetype seeds (faults layered): 42 is a qs adversary
+    // walk with a mid-walk partition, 15 a qs partition with crashes at
     // the heal; 10 and 14 are the fs counterparts. Picked by scanning
     // seeds 1..120 for partition+injection / partition+crash schedules.
-    {Protocol::kQuorumSelection, 11,
-     "1b5bca8e77c911419e593e4de1af6a574084df3149b534d1ad3cc0f72cb44ee1"},
     {Protocol::kQuorumSelection, 15,
      "4664f21cfa992859abcfe9a9ab275cb5d2e6c1f6ab225f6a1a55d1c8e16c96bf"},
-    {Protocol::kQuorumSelection, 18,
-     "6ff081d849836ce789c10ef418f667491b5983ccc62c8c93a5ddfc94660b8685"},
+    {Protocol::kQuorumSelection, 42,
+     "7e8f4f22083b50f5da6458f7a3fa1627849b6331a17ebfcfb3fd79064113f4a8"},
     {Protocol::kFollowerSelection, 10,
      "94e5024205556d1af9798d60f68958997ac84a590227242a268fcbb89541e0c1"},
     {Protocol::kFollowerSelection, 14,
      "c33afa92e47711a1dd5f34c80cea006ad25cdc4557c1a777a4c77d06e36625b7"},
+    // Crash-then-restart archetype seeds (qs only): durable recovery
+    // exercised under the fuzzer's oracles. 11 crashes and revives two
+    // victims with overlapping outages, 20 three victims, and 24 includes
+    // a double crash-restart of one victim (recovery idempotence); picked
+    // by scanning seeds 1..200 for restart schedules.
+    {Protocol::kQuorumSelection, 11,
+     "d19527e9726e4270de7279ffe250bba8efef9019bb5d5dc3e70104b374ec46a2"},
+    {Protocol::kQuorumSelection, 20,
+     "cecc47712d220d6cd4c683f3a508f1baa299128a827c396e33790dd53c17b923"},
+    {Protocol::kQuorumSelection, 24,
+     "1776820d53a647b14546db04da3ce3e63c1759c640d69e736f9db2706a04daf7"},
 };
 
 class CorpusTest : public ::testing::TestWithParam<CorpusEntry> {};

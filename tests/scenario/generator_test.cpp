@@ -23,6 +23,7 @@ struct Features {
   bool injection = false;
   bool crash = false;
   bool link_fault = false;
+  bool restart = false;
 };
 
 Features features_of(const Schedule& schedule) {
@@ -43,6 +44,9 @@ Features features_of(const Schedule& schedule) {
       case FaultKind::kLinkDelay:
         features.link_fault = true;
         break;
+      case FaultKind::kRestart:
+        features.restart = true;
+        break;
       case FaultKind::kHeal:
         break;
     }
@@ -62,6 +66,7 @@ TEST_P(GeneratorSweepTest, EveryScheduleValidatesAndCombinedMixAppears) {
   std::uint64_t plain_walks = 0;
   std::uint64_t link_faults = 0;
   std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
 
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
     const Schedule schedule = generator.generate(protocol, seed);
@@ -90,17 +95,24 @@ TEST_P(GeneratorSweepTest, EveryScheduleValidatesAndCombinedMixAppears) {
     if (features.partition && !features.injection && !features.crash)
       ++plain_partitions;
     if (features.link_fault) ++link_faults;
+    if (features.restart) ++restarts;
   }
 
-  // Each combined variant is chosen with probability 1/5 * 1/2 = 10%; a
-  // 300-seed sweep gives ~30 of each. The floor of 10 survives RNG drift
-  // but dies with the branch.
+  // Each combined variant is chosen with probability (1/5 or 1/6) * 1/2,
+  // i.e. 8-10%; a 300-seed sweep gives ~25-30 of each. The floor of 10
+  // survives RNG drift but dies with the branch.
   EXPECT_GE(walk_with_partition, 10u);
   EXPECT_GE(crash_with_partition, 10u);
   EXPECT_GE(plain_partitions, 10u);
   EXPECT_GE(plain_walks, 10u);
   EXPECT_GE(link_faults, 10u);
   EXPECT_GE(crashes, 10u);
+  // Crash-recovery is a quorum-selection-only archetype: the durable
+  // NodeProcess stack is what restart() rebuilds from.
+  if (protocol == Protocol::kQuorumSelection)
+    EXPECT_GE(restarts, 10u);
+  else
+    EXPECT_EQ(restarts, 0u);
 }
 
 TEST_P(GeneratorSweepTest, PartitionedSchedulesGetTheLongSettle) {

@@ -1,0 +1,353 @@
+// Durability subsystem tests: the WAL's corruption-tolerant recovery
+// (torn tail, flipped byte, oversized length), the atomic snapshot's
+// read-as-missing degradation, and the NodeStore join semantics that make
+// recovery order- and duplicate-insensitive (snapshot ⊔ WAL records in
+// any order; double recovery idempotent).
+#include "store/node_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.hpp"
+#include "store/wal.hpp"
+
+namespace qsel::store {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "qsel_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string fresh_file(const std::string& name) {
+  const std::string path = testing::TempDir() + "qsel_store_" + name;
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& text) {
+  return {text.begin(), text.end()};
+}
+
+WalOptions no_sync() {
+  WalOptions options;
+  options.sync_each_append = false;  // the "crashes" here outlive no process
+  return options;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  return static_cast<std::uint64_t>(std::filesystem::file_size(path));
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+  std::filesystem::resize_file(path, size);
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+// --- WAL ----------------------------------------------------------------
+
+TEST(WalTest, EmptyOrMissingFileRecoversEmpty) {
+  const std::string path = fresh_file("wal_empty.bin");
+  {
+    const WalScan scan = Wal::scan_file(path, no_sync());
+    EXPECT_TRUE(scan.records.empty());
+    EXPECT_EQ(scan.valid_bytes, 0u);
+    EXPECT_FALSE(scan.truncated_tail);
+  }
+  std::ofstream(path, std::ios::binary).close();  // exists, zero bytes
+  const WalScan scan = Wal::scan_file(path, no_sync());
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.truncated_tail);
+}
+
+TEST(WalTest, AppendsRoundTripAcrossReopen) {
+  const std::string path = fresh_file("wal_roundtrip.bin");
+  {
+    Wal wal(path, no_sync());
+    wal.append(bytes_of("one"));
+    wal.append(bytes_of("two"));
+    wal.append(bytes_of("three"));
+  }
+  Wal wal(path, no_sync());
+  const WalScan& scan = wal.recovered();
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0], bytes_of("one"));
+  EXPECT_EQ(scan.records[1], bytes_of("two"));
+  EXPECT_EQ(scan.records[2], bytes_of("three"));
+  EXPECT_FALSE(scan.truncated_tail);
+}
+
+TEST(WalTest, TornTailIsTruncatedAndLogRemainsAppendable) {
+  const std::string path = fresh_file("wal_torn.bin");
+  std::uint64_t two_records = 0;
+  {
+    Wal wal(path, no_sync());
+    wal.append(bytes_of("alpha"));
+    wal.append(bytes_of("beta"));
+    two_records = file_size(path);
+    wal.append(bytes_of("gamma"));
+  }
+  // Kill mid-append: cut the third record in half.
+  truncate_file(path, two_records + 10);
+  {
+    Wal wal(path, no_sync());
+    ASSERT_EQ(wal.recovered().records.size(), 2u);
+    EXPECT_TRUE(wal.recovered().truncated_tail);
+    EXPECT_EQ(wal.recovered().valid_bytes, two_records);
+    // The constructor repaired the file; the chain extends cleanly.
+    wal.append(bytes_of("delta"));
+  }
+  Wal reopened(path, no_sync());
+  ASSERT_EQ(reopened.recovered().records.size(), 3u);
+  EXPECT_EQ(reopened.recovered().records[2], bytes_of("delta"));
+  EXPECT_FALSE(reopened.recovered().truncated_tail);
+}
+
+TEST(WalTest, FlippedByteMidLogDiscardsTheSuffix) {
+  const std::string path = fresh_file("wal_flip.bin");
+  std::uint64_t one_record = 0;
+  {
+    Wal wal(path, no_sync());
+    wal.append(bytes_of("keep me"));
+    one_record = file_size(path);
+    wal.append(bytes_of("corrupt me"));
+    wal.append(bytes_of("unreachable"));
+  }
+  // Flip a payload byte of record 2 (past its length prefix + digest):
+  // record 2 fails its chain digest, and record 3 — though intact on
+  // disk — chains from a damaged predecessor, so both are discarded.
+  flip_byte(path, one_record + 4 + 32);
+  const WalScan scan = Wal::scan_file(path, no_sync());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], bytes_of("keep me"));
+  EXPECT_TRUE(scan.truncated_tail);
+  EXPECT_EQ(scan.valid_bytes, one_record);
+}
+
+TEST(WalTest, CorruptLengthPrefixCannotAllocateGigabytes) {
+  const std::string path = fresh_file("wal_length.bin");
+  std::uint64_t one_record = 0;
+  {
+    Wal wal(path, no_sync());
+    wal.append(bytes_of("fine"));
+    one_record = file_size(path);
+    wal.append(bytes_of("victim"));
+  }
+  // Blast the second record's length prefix high byte: the scanner must
+  // treat the absurd length as corruption, not try to read 1GB.
+  flip_byte(path, one_record + 3);
+  const WalScan scan = Wal::scan_file(path, no_sync());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_TRUE(scan.truncated_tail);
+}
+
+TEST(WalTest, ResetEmptiesTheLog) {
+  const std::string path = fresh_file("wal_reset.bin");
+  {
+    Wal wal(path, no_sync());
+    wal.append(bytes_of("old"));
+    wal.reset();
+    wal.append(bytes_of("new"));
+  }
+  Wal wal(path, no_sync());
+  ASSERT_EQ(wal.recovered().records.size(), 1u);
+  EXPECT_EQ(wal.recovered().records[0], bytes_of("new"));
+}
+
+// --- snapshot -----------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripsAndReplacesAtomically) {
+  const std::string path = fresh_file("snap_roundtrip.bin");
+  EXPECT_EQ(read_snapshot(path), std::nullopt);  // missing = no snapshot
+  write_snapshot(path, bytes_of("v1"));
+  EXPECT_EQ(read_snapshot(path), bytes_of("v1"));
+  write_snapshot(path, bytes_of("v2 longer payload"));
+  EXPECT_EQ(read_snapshot(path), bytes_of("v2 longer payload"));
+}
+
+TEST(SnapshotTest, CorruptionReadsAsNoSnapshot) {
+  const std::string path = fresh_file("snap_corrupt.bin");
+  write_snapshot(path, bytes_of("sealed payload"));
+  flip_byte(path, file_size(path) - 1);  // payload byte: seal fails
+  EXPECT_EQ(read_snapshot(path), std::nullopt);
+  write_snapshot(path, bytes_of("replaced"));
+  EXPECT_EQ(read_snapshot(path), bytes_of("replaced"));
+}
+
+TEST(SnapshotTest, TruncatedFileReadsAsNoSnapshot) {
+  const std::string path = fresh_file("snap_trunc.bin");
+  write_snapshot(path, bytes_of("whole"));
+  truncate_file(path, file_size(path) - 3);
+  EXPECT_EQ(read_snapshot(path), std::nullopt);
+}
+
+// --- DurableNodeState ---------------------------------------------------
+
+DurableNodeState make_state(Epoch epoch, std::vector<Epoch> row,
+                            std::vector<SimDuration> timeouts) {
+  DurableNodeState state;
+  state.epoch = epoch;
+  state.own_row = std::move(row);
+  state.fd_timeouts = std::move(timeouts);
+  return state;
+}
+
+TEST(DurableNodeStateTest, MergeIsCellwiseJoin) {
+  DurableNodeState a = make_state(3, {0, 2, 1, 0}, {10, 40, 20, 10});
+  const DurableNodeState b = make_state(2, {1, 0, 4, 0}, {30, 10, 10, 50});
+  a.merge_from(b);
+  EXPECT_EQ(a.epoch, 3u);
+  EXPECT_EQ(a.own_row, (std::vector<Epoch>{1, 2, 4, 0}));
+  EXPECT_EQ(a.fd_timeouts, (std::vector<SimDuration>{30, 40, 20, 50}));
+}
+
+TEST(DurableNodeStateTest, EncodeDecodeRoundTrips) {
+  const DurableNodeState state = make_state(7, {0, 5, 0, 9}, {1, 2, 3, 4});
+  const auto decoded = DurableNodeState::decode(state.encode(), 4);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, state);
+}
+
+TEST(DurableNodeStateTest, DecodeRejectsGarbageAndOversizedRows) {
+  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(DurableNodeState::decode(garbage, 4), std::nullopt);
+  const DurableNodeState wide = make_state(1, {0, 0, 0, 0, 0, 0}, {});
+  EXPECT_EQ(DurableNodeState::decode(wide.encode(), 4), std::nullopt);
+}
+
+// --- stores -------------------------------------------------------------
+
+TEST(MemoryNodeStoreTest, RecoversTheJoinOfEverythingPersisted) {
+  MemoryNodeStore store;
+  EXPECT_EQ(store.recover(), std::nullopt);  // first boot
+  store.persist(make_state(2, {0, 1, 0, 0}, {10, 10, 10, 10}));
+  store.persist(make_state(5, {0, 0, 3, 0}, {10, 80, 10, 10}));
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->epoch, 5u);
+  EXPECT_EQ(recovered->own_row, (std::vector<Epoch>{0, 1, 3, 0}));
+  EXPECT_EQ(recovered->fd_timeouts, (std::vector<SimDuration>{10, 80, 10, 10}));
+  // Double recovery is idempotent.
+  EXPECT_EQ(store.recover(), recovered);
+}
+
+TEST(FileNodeStoreTest, PersistsAcrossReopenAndDoubleRecovery) {
+  const std::string dir = fresh_dir("file_store_basic");
+  FileNodeStoreOptions options;
+  options.wal.sync_each_append = false;
+  {
+    FileNodeStore store(dir, 4, options);
+    EXPECT_EQ(store.recover(), std::nullopt);
+    store.persist(make_state(2, {0, 2, 0, 0}, {10, 10, 10, 10}));
+    store.persist(make_state(4, {0, 2, 4, 0}, {10, 20, 10, 10}));
+  }
+  FileNodeStore store(dir, 4, options);
+  const auto first = store.recover();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->epoch, 4u);
+  EXPECT_EQ(first->own_row, (std::vector<Epoch>{0, 2, 4, 0}));
+  EXPECT_EQ(store.recover(), first);  // idempotent double recovery
+}
+
+TEST(FileNodeStoreTest, SameInstanceRecoverySeesEveryPersist) {
+  // A node can restart while its store object survives (LoopbackCluster
+  // rebuilds only the NodeProcess): recover() must then return the join
+  // of everything persisted through this instance, not the stale
+  // boot-time WAL scan.
+  const std::string dir = fresh_dir("file_store_same_instance");
+  FileNodeStoreOptions options;
+  options.wal.sync_each_append = false;
+  FileNodeStore store(dir, 4, options);
+  EXPECT_EQ(store.recover(), std::nullopt);
+  store.persist(make_state(2, {0, 2, 0, 0}, {10, 10, 10, 10}));
+  store.persist(make_state(5, {0, 2, 0, 5}, {10, 40, 10, 10}));
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->epoch, 5u);
+  EXPECT_EQ(recovered->own_row, (std::vector<Epoch>{0, 2, 0, 5}));
+  EXPECT_EQ(recovered->fd_timeouts,
+            (std::vector<SimDuration>{10, 40, 10, 10}));
+}
+
+TEST(FileNodeStoreTest, SnapshotPlusLogReplayAgreesWithPureLog) {
+  // compact_every=2 forces snapshot+reset mid-history: recovery must join
+  // the snapshot with the post-compact WAL records and land on the same
+  // state a pure log would have produced.
+  const std::string dir = fresh_dir("file_store_compact");
+  FileNodeStoreOptions options;
+  options.compact_every = 2;
+  options.wal.sync_each_append = false;
+  DurableNodeState expected;
+  {
+    FileNodeStore store(dir, 4, options);
+    for (Epoch e = 2; e <= 7; ++e) {
+      std::vector<Epoch> row(4, 0);
+      row[static_cast<std::size_t>(e) % 4] = e;
+      const auto state =
+          make_state(e, row, {10 * e, 10, 10, 10});
+      store.persist(state);
+      if (e == 2) {
+        expected = state;
+      } else {
+        expected.merge_from(state);
+      }
+    }
+  }
+  FileNodeStore store(dir, 4, options);
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, expected);
+}
+
+TEST(FileNodeStoreTest, FlippedWalByteLosesRecencyNeverConsistency) {
+  const std::string dir = fresh_dir("file_store_flip");
+  FileNodeStoreOptions options;
+  options.wal.sync_each_append = false;
+  std::uint64_t one_record = 0;
+  {
+    FileNodeStore store(dir, 4, options);
+    store.persist(make_state(3, {0, 3, 0, 0}, {10, 10, 10, 10}));
+    one_record = file_size(dir + "/wal.bin");
+    store.persist(make_state(6, {0, 3, 6, 0}, {10, 10, 90, 10}));
+  }
+  flip_byte(dir + "/wal.bin", one_record + 4 + 32);
+  FileNodeStore store(dir, 4, options);
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.has_value());
+  // The damaged suffix is gone; the surviving prefix is consistent.
+  EXPECT_EQ(recovered->epoch, 3u);
+  EXPECT_EQ(recovered->own_row, (std::vector<Epoch>{0, 3, 0, 0}));
+}
+
+TEST(FileNodeStoreTest, SyncedAppendsSurviveByDefault) {
+  // One store with real fdatasync, to exercise the default path at least
+  // once (the other tests disable it for speed).
+  const std::string dir = fresh_dir("file_store_sync");
+  {
+    FileNodeStore store(dir, 4);
+    store.persist(make_state(2, {0, 0, 2, 0}, {10, 10, 10, 10}));
+  }
+  FileNodeStore store(dir, 4);
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->epoch, 2u);
+}
+
+}  // namespace
+}  // namespace qsel::store

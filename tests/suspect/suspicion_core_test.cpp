@@ -20,7 +20,8 @@ struct CoreFixture {
         core(signer, 4,
              SuspicionCore::Hooks{
                  [this](sim::PayloadPtr m) { broadcasts.push_back(m); },
-                 [this] { ++quorum_updates; }}) {}
+                 [this] { ++quorum_updates; },
+                 /*persist=*/{}}) {}
 
   std::shared_ptr<const UpdateMessage> last_update() const {
     return std::dynamic_pointer_cast<const UpdateMessage>(broadcasts.back());

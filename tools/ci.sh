@@ -14,32 +14,42 @@
 #      tools/qsel_fuzz on the sanitized binary, so memory bugs on fuzz
 #      paths surface here and not in the nightly campaign. The generator's
 #      archetype mix includes the combined schedules (adversary walk x
-#      partition, partition x crashes), so a 100-run smoke exercises ~20
-#      of them per protocol.
+#      partition, partition x crashes) and the qs crash-then-restart
+#      archetype, so a 100-run smoke exercises ~20 of them per protocol;
+#   5. kill/restart soak, sanitized: a 5-node f=1 authenticated loopback
+#      cluster with per-node WAL stores, killed and restarted for
+#      SOAK_CYCLES (default 6, >= 5) cycles. Gates on the agreement
+#      oracle after every cycle and on epoch non-regression across every
+#      recovery — the durability contract under ASan/UBSan, where a
+#      use-after-free in the teardown/rebuild path would actually abort.
 #
 # Environment knobs: FUZZ_RUNS (default 100), FUZZ_SEED (default 1 —
-# nightly jobs should pass a varying seed, e.g. the date).
+# nightly jobs should pass a varying seed, e.g. the date), SOAK_CYCLES.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 cd "$ROOT"
 
-echo "== [1/4] tier-1 build + tests =="
+echo "== [1/5] tier-1 build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 (cd build && ctest -L tier1 --output-on-failure -j"$JOBS")
 
-echo "== [2/4] ASan/UBSan full suite =="
+echo "== [2/5] ASan/UBSan full suite =="
 cmake -B build-asan -S . -DQSEL_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$JOBS"
 (cd build-asan && ctest --output-on-failure -j"$JOBS")
 
-echo "== [3/4] loopback integration (real TCP, sanitized) =="
-(cd build-asan && ctest -L tier1 -R "EventLoopTest|TcpTransportTest|LoopbackClusterTest|WireTest" \
+echo "== [3/5] loopback integration (real TCP, sanitized) =="
+(cd build-asan && ctest -L tier1 -R "EventLoopTest|TcpTransportTest|LoopbackClusterTest|LoopbackResilienceTest|WireTest" \
   --output-on-failure)
 
-echo "== [4/4] fuzz smoke (${FUZZ_RUNS:-100} runs/protocol, sanitized, combined archetypes included) =="
+echo "== [4/5] fuzz smoke (${FUZZ_RUNS:-100} runs/protocol, sanitized, combined archetypes included) =="
 ./build-asan/tools/qsel_fuzz --runs "${FUZZ_RUNS:-100}" --seed "${FUZZ_SEED:-1}"
+
+echo "== [5/5] kill/restart durability soak (${SOAK_CYCLES:-6} cycles, 5-node f=1, sanitized) =="
+(cd build-asan && QSEL_SOAK_CYCLES="${SOAK_CYCLES:-6}" \
+  ctest -R "RestartSoakTest" --output-on-failure)
 
 echo "CI gate passed."

@@ -15,16 +15,26 @@
 // restart it and watch it rejoin. All nodes must share --n, --f, --seed
 // and --base-port (the seed derives the HMAC keys, so a mismatched seed
 // shows up as rejected signatures, not silent corruption).
+//
+// For deployments, `--config FILE --id I` replaces the flag soup with a
+// cluster config file (net/cluster_config.hpp): per-node host:port
+// assignments, the shared channel-auth key (enabling the authenticated
+// handshake + per-frame MACs), timing constants, and a store_dir that
+// makes the node durable — kill -9 it, restart it with the same command
+// line, and it rejoins holding its persisted epoch and suspicion row.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "crypto/signer.hpp"
+#include "net/cluster_config.hpp"
 #include "net/event_loop.hpp"
 #include "net/tcp_transport.hpp"
 #include "runtime/node_process.hpp"
+#include "store/node_store.hpp"
 
 namespace {
 
@@ -38,13 +48,17 @@ struct Options {
   std::uint16_t base_port = 47600;
   std::uint64_t duration_ms = 0;  // 0 = run until killed
   std::uint64_t heartbeat_ms = 10;
+  std::string config_path;  // non-empty = config-file mode
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --id I --n N [--f F] [--seed S] [--base-port P]\n"
             << "       [--duration MS] [--heartbeat MS]\n"
-            << "Node I listens on 127.0.0.1:(P+I) and dials peers at P+j.\n";
+            << "   or: " << argv0 << " --config FILE --id I [--duration MS]\n"
+            << "Flag mode: node I listens on 127.0.0.1:(P+I), dials P+j.\n"
+            << "Config mode: addresses, auth key, timeouts and store_dir\n"
+            << "come from FILE (see net/cluster_config.hpp for the format).\n";
   std::exit(2);
 }
 
@@ -77,10 +91,13 @@ Options parse_options(int argc, char** argv) {
       options.duration_ms = parse_u64(next(), argv[0]);
     } else if (arg == "--heartbeat") {
       options.heartbeat_ms = parse_u64(next(), argv[0]);
+    } else if (arg == "--config") {
+      options.config_path = next();
     } else {
       usage(argv[0]);
     }
   }
+  if (!options.config_path.empty()) return options;  // file validates n/f
   if (options.id >= options.n || options.n > kMaxProcesses ||
       options.f < 1 || options.n < 3 * static_cast<ProcessId>(options.f) + 1)
     usage(argv[0]);
@@ -88,31 +105,67 @@ Options parse_options(int argc, char** argv) {
 }
 
 int run(const Options& options) {
+  // Both modes reduce to one ClusterConfig; flag mode synthesizes the
+  // classic 127.0.0.1:(base+i), no-auth, no-store layout.
+  net::ClusterConfig cluster;
+  if (!options.config_path.empty()) {
+    cluster = net::ClusterConfig::load(options.config_path);
+    if (options.id >= cluster.n) {
+      std::cerr << "qsel_node: --id " << options.id << " not in config (n="
+                << static_cast<unsigned>(cluster.n) << ")\n";
+      return 2;
+    }
+  } else {
+    cluster.n = options.n;
+    cluster.f = options.f;
+    cluster.seed = options.seed;
+    cluster.heartbeat_period = options.heartbeat_ms * 1'000'000;
+    // Real-time pacing: a generous initial timeout rides out peers that
+    // are still being started by hand.
+    cluster.fd_initial_timeout = 4 * cluster.heartbeat_period;
+    for (ProcessId peer = 0; peer < options.n; ++peer)
+      cluster.nodes.push_back(net::NodeAddress{
+          "127.0.0.1", static_cast<std::uint16_t>(options.base_port + peer)});
+  }
+
   net::EventLoop loop;
   net::TcpTransport::Config tcp;
   tcp.self = options.id;
-  tcp.n = options.n;
-  tcp.listen_port = static_cast<std::uint16_t>(options.base_port + options.id);
+  tcp.n = cluster.n;
+  tcp.listen_port = cluster.nodes[options.id].port;
+  tcp.bind_host = cluster.nodes[options.id].host;
+  tcp.auth_key = cluster.auth_key;
+  tcp.auth_seed = cluster.seed;
+  tcp.reconnect.base = cluster.reconnect_base;
+  tcp.reconnect.cap = cluster.reconnect_cap;
   net::TcpTransport transport(loop, tcp);
-  for (ProcessId peer = 0; peer < options.n; ++peer)
+  for (ProcessId peer = 0; peer < cluster.n; ++peer)
     if (peer != options.id)
-      transport.set_peer(
-          peer, static_cast<std::uint16_t>(options.base_port + peer));
+      transport.set_peer(peer, cluster.nodes[peer].host,
+                         cluster.nodes[peer].port);
 
-  const crypto::KeyRegistry keys(options.n, options.seed);
+  std::unique_ptr<store::NodeStore> store;
+  if (!cluster.store_dir.empty())
+    store = std::make_unique<store::FileNodeStore>(
+        cluster.store_dir + "/node" + std::to_string(options.id), cluster.n);
+
+  const crypto::KeyRegistry keys(cluster.n, cluster.seed);
   runtime::NodeProcessConfig node_config;
-  node_config.n = options.n;
-  node_config.f = options.f;
-  node_config.heartbeat_period = options.heartbeat_ms * 1'000'000;
-  // Real-time pacing: a generous initial timeout rides out peers that are
-  // still being started by hand.
-  node_config.fd.initial_timeout = 4 * node_config.heartbeat_period;
-  runtime::NodeProcess process(transport, keys, node_config);
+  node_config.n = cluster.n;
+  node_config.f = cluster.f;
+  node_config.heartbeat_period = cluster.heartbeat_period;
+  node_config.fd.initial_timeout = cluster.fd_initial_timeout;
+  node_config.fd.max_timeout = cluster.fd_max_timeout;
+  runtime::NodeProcess process(transport, keys, node_config, store.get());
 
-  std::cout << "p" << options.id << " listening on 127.0.0.1:"
-            << transport.listen_port() << " (n=" << options.n
-            << ", f=" << options.f << ", q=" << options.n - static_cast<ProcessId>(options.f)
-            << ")" << std::endl;
+  std::cout << "p" << options.id << " listening on "
+            << cluster.nodes[options.id].host << ":"
+            << transport.listen_port()
+            << " (n=" << static_cast<unsigned>(cluster.n)
+            << ", f=" << cluster.f
+            << ", q=" << cluster.n - static_cast<ProcessId>(cluster.f)
+            << (transport.auth_enabled() ? ", auth" : "")
+            << (store ? ", durable" : "") << ")" << std::endl;
 
   transport.start();
   process.start();
