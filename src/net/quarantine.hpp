@@ -9,7 +9,9 @@
 // into a controlled state machine, mirroring the failure detector's
 // suspect/CANCEL discipline one layer down:
 //
-//   offense (bad MAC, malformed frame, failed handshake)
+//   offense (bad MAC, malformed or oversized frame — only on connections
+//   whose sender identity a completed AUTH has proven; failed handshakes
+//   close anonymously so impostors cannot strike the id they claimed)
 //     -> strike count up, peer barred for a jittered exponential backoff
 //        (base << strikes, capped); the strike budget bounds the exponent,
 //        so a persistent offender costs one accept per cap interval, and

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/random.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -34,12 +35,17 @@ constexpr std::uint8_t kAuthTag = 0xF1;
 constexpr std::uint8_t kSessionKeyDomain = 0x01;
 constexpr std::uint8_t kAuthProofDomain = 0x02;
 constexpr std::uint8_t kFrameKeyDomain = 0x03;
+// Acceptor's proof inside CHALLENGE; distinct from kAuthProofDomain so a
+// reflected CHALLENGE proof can never pass as an AUTH proof.
+constexpr std::uint8_t kChallengeProofDomain = 0x04;
+
+constexpr std::size_t kChallengeFrameBytes = 1 + 8 + 32;  // tag|nonce|proof
 
 // Truncated per-frame MAC length. 128 bits: forging still needs 2^64 HMAC
 // evaluations online, while halving the per-heartbeat overhead.
 constexpr std::size_t kMacBytes = 16;
 
-// Per-process nonce/jitter stream: same auth_seed, distinct processes.
+// Per-process jitter stream: same auth_seed, distinct processes.
 std::uint64_t splitmix_mix(std::uint64_t seed, std::uint64_t salt) {
   std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
   return splitmix64(state);
@@ -49,6 +55,26 @@ std::uint64_t load_u64_le(const std::uint8_t* p) {
   std::uint64_t v = 0;
   for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
   return v;
+}
+
+// Handshake nonces come from the OS entropy pool, never the deterministic
+// seed: a restarted process reusing a seeded PRNG would replay its nonce
+// sequence, repeating session keys across boots and letting a recorded
+// handshake impersonate a peer. Jitter stays seeded (it only shapes
+// timing); nonces must be unrepeatable.
+std::uint64_t os_nonce64() {
+  std::uint8_t buf[8];
+  std::size_t got = 0;
+  while (got < sizeof(buf)) {
+    const ssize_t n = ::getrandom(buf + got, sizeof(buf) - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("TcpTransport: getrandom failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return load_u64_le(buf);
 }
 
 crypto::Digest keyed_tag(const crypto::Digest& key, std::uint8_t domain) {
@@ -397,7 +423,7 @@ void TcpTransport::dial(ProcessId to) {
   hello.u8(kHelloTag);
   hello.u32(config_.self);
   if (auth_enabled()) {
-    conn->client_nonce = rng_();
+    conn->client_nonce = os_nonce64();
     hello.u64(conn->client_nonce);
   }
   append_frame(conn->outbuf, hello.view());
@@ -522,7 +548,9 @@ bool TcpTransport::parse_frames(Connection* conn) {
       if (tracer_)
         tracer_->drop(conn->peer, config_.self, {},
                       trace::DropReason::kMalformed, len);
-      if (!conn->outgoing) note_offense(conn->peer);
+      // Strikes only attach to identities proven by a completed AUTH;
+      // before that, conn->peer is merely claimed.
+      if (!conn->outgoing && conn->authenticated) note_offense(conn->peer);
       close_connection(conn, conn->outgoing);
       return false;
     }
@@ -621,14 +649,23 @@ bool TcpTransport::handle_hello(Connection* conn,
   }
   conn->peer = claimed;
   conn->client_nonce = client_nonce;
-  conn->server_nonce = rng_();
+  conn->server_nonce = os_nonce64();
   conn->session_key = derive_session_key(claimed, config_.self, client_nonce,
                                          conn->server_nonce);
   conn->frame_key = keyed_tag(conn->session_key, kFrameKeyDomain);
   conn->awaiting_auth = true;
+  // CHALLENGE carries the acceptor's own proof of key possession over the
+  // freshly derived session key (both nonces, both identities), so the
+  // dialer authenticates us before it trusts the channel — without it an
+  // impostor listener could hold connected_to() true while black-holing
+  // every frame.
+  const crypto::Digest server_proof =
+      keyed_tag(conn->session_key, kChallengeProofDomain);
   Encoder challenge;
   challenge.u8(kChallengeTag);
   challenge.u64(conn->server_nonce);
+  challenge.digest(server_proof);
+  QSEL_ASSERT(challenge.size() == kChallengeFrameBytes);
   append_frame(conn->outbuf, challenge.view());
   // No direct flush from inside the parse loop (flush may close the
   // connection out from under parse_frames); POLLOUT drains it instead.
@@ -638,15 +675,25 @@ bool TcpTransport::handle_hello(Connection* conn,
 
 bool TcpTransport::handle_challenge(Connection* conn,
                                     std::span<const std::uint8_t> body) {
-  if (body.size() != 9 || body[0] != kChallengeTag) {
-    note_offense(conn->peer);
+  // A malformed or unproven CHALLENGE is not attributed to the peer: the
+  // listener at the peer's address has not proven it holds the cluster
+  // key, and striking the configured identity would let an impostor
+  // listener quarantine the honest peer. Close and let backoff retry.
+  if (body.size() != kChallengeFrameBytes || body[0] != kChallengeTag)
     return false;
-  }
   conn->server_nonce = load_u64_le(body.data() + 1);
   conn->session_key = derive_session_key(config_.self, conn->peer,
                                          conn->client_nonce,
                                          conn->server_nonce);
   conn->frame_key = keyed_tag(conn->session_key, kFrameKeyDomain);
+  const crypto::Digest server_proof =
+      keyed_tag(conn->session_key, kChallengeProofDomain);
+  if (!mac_equal(body.subspan(1 + 8), server_proof.bytes)) {
+    QSEL_LOG(kWarn, "net") << "p" << config_.self
+                           << " rejecting CHALLENGE from p" << conn->peer
+                           << ": bad acceptor proof";
+    return false;
+  }
   const crypto::Digest proof = keyed_tag(conn->session_key, kAuthProofDomain);
   std::vector<std::uint8_t> auth;
   auth.reserve(33);
@@ -667,7 +714,9 @@ bool TcpTransport::handle_auth(Connection* conn,
     QSEL_LOG(kWarn, "net") << "p" << config_.self
                            << " rejecting handshake claiming p" << conn->peer
                            << ": bad AUTH proof";
-    note_offense(conn->peer);
+    // No strike: the claimed identity was never proven, so filing an
+    // offense here would let a keyless dialer quarantine any honest peer
+    // just by claiming its id. Treated like pre-id garbage — closed only.
     return false;
   }
   conn->awaiting_auth = false;

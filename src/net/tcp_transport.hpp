@@ -19,17 +19,26 @@
 // the only place the otherwise unidirectional streams speak both ways:
 //
 //   dialer  -> HELLO:     u8 0    || u32-LE sender id || u64-LE client nonce
-//   accept  -> CHALLENGE: u8 0xF0 || u64-LE server nonce
+//   accept  -> CHALLENGE: u8 0xF0 || u64-LE server nonce ||
+//                         HMAC(session key, 0x04)              (32 bytes)
 //   dialer  -> AUTH:      u8 0xF1 || HMAC(session key, 0x02)   (32 bytes)
 //   then       message frames: wire body || first 16 bytes of
 //              HMAC(frame key, body)
 //
 // where session key = HMAC(auth_key, 0x01 || dialer || acceptor ||
 // client nonce || server nonce) and frame key = HMAC(session key, 0x03).
+// Authentication is mutual: the CHALLENGE proof (domain 0x04) shows the
+// acceptor holds the cluster key, verified by the dialer before it marks
+// the channel usable — an impostor listener cannot keep connected_to()
+// true while black-holing traffic; the AUTH proof (domain 0x02, a
+// different domain so a reflected CHALLENGE proof never passes as AUTH)
+// shows the same for the dialer. Nonces are drawn from the OS entropy
+// pool (getrandom), never the deterministic seed, so session keys cannot
+// repeat across process restarts and recorded handshakes are worthless.
 // Binding both fresh nonces and both identities into the session key
-// makes AUTH unreplayable across connections and directions; a peer
-// without the cluster key cannot produce it, so a lying HELLO now buys
-// nothing at all — not even a routed upcall. In-session replay and
+// makes the proofs unreplayable across connections and directions; a peer
+// without the cluster key cannot produce either, so a lying HELLO now
+// buys nothing at all — not even a routed upcall. In-session replay and
 // reordering remain *accepted* by design: the tamper hook's delay fault
 // legitimately reorders frames on one stream, and the protocol layer is
 // replay-idempotent (the suspicion matrix is a monotone CRDT and every
@@ -40,16 +49,16 @@
 // or trailing bytes, bad MAC — closes the connection: a TCP stream that
 // lost sync cannot be resynchronized, and the parity contract
 // (transport.hpp) wants corruption surfaced as loss, never as a wrong
-// message. In auth mode the close also files an offense with the
-// QuarantinePolicy: the claimed sender is barred (jittered exponential
-// bar, bounded strike budget) and its HELLOs are refused until release;
-// sustained clean frames later forgive the strikes (net/quarantine.hpp).
-// Note the quarantine keys on the *claimed* identity — an attacker who
-// fails the handshake under a victim's id can bar the victim's inbound
-// for one capped interval at a time. Distinguishing impostors needs
-// per-source-address state, which loopback deployments cannot even
-// express; the bounded bar plus redemption keeps this a nuisance, not an
-// outage.
+// message. In auth mode a close on an *authenticated* connection also
+// files an offense with the QuarantinePolicy: the sender is barred
+// (jittered exponential bar, bounded strike budget) and its HELLOs are
+// refused until release; sustained clean frames later forgive the
+// strikes (net/quarantine.hpp). Offenses attach only to identities
+// proven by a completed AUTH — a failed handshake closes anonymously,
+// with no strike against the merely *claimed* id, so a keyless attacker
+// dialing under a victim's name can never quarantine the victim. The
+// residual cost of such spam is one accept plus one HMAC per connection,
+// bounded by the kernel's accept rate, not by quarantine.
 //
 // Outgoing connections reconnect forever with jittered exponential
 // backoff (net/backoff.hpp), resetting after a successful connect.
@@ -122,7 +131,9 @@ class TcpTransport final : public Transport {
     /// enables the HELLO/CHALLENGE/AUTH handshake, per-frame MACs, and
     /// the offense quarantine (header comment).
     std::vector<std::uint8_t> auth_key;
-    /// Seeds handshake nonces and backoff jitter (deterministic tests).
+    /// Seeds backoff and quarantine jitter (deterministic tests).
+    /// Handshake nonces do NOT come from this seed — they are drawn from
+    /// the OS entropy pool so session keys never repeat across restarts.
     std::uint64_t auth_seed = 1;
     QuarantineConfig quarantine{};
   };
@@ -151,8 +162,8 @@ class TcpTransport final : public Transport {
   void shutdown();
 
   /// True when the outgoing connection to `to` is established — HELLO
-  /// handed to the kernel and, in auth mode, the handshake completed on
-  /// our side. Tests use this to await cluster wiring.
+  /// handed to the kernel and, in auth mode, the acceptor's CHALLENGE
+  /// proof verified and our AUTH sent. Tests use this to await wiring.
   bool connected_to(ProcessId to) const;
 
   bool auth_enabled() const { return !config_.auth_key.empty(); }
@@ -222,7 +233,7 @@ class TcpTransport final : public Transport {
   Handler handler_;
   trace::Tracer* tracer_ = nullptr;
   WriteTamper tamper_;
-  Rng rng_;  // handshake nonces + reconnect jitter
+  Rng rng_;  // reconnect + quarantine jitter (nonces use OS entropy)
   std::unique_ptr<QuarantinePolicy> quarantine_;  // auth mode only
 
   int listen_fd_ = -1;

@@ -23,6 +23,24 @@ constexpr std::uint8_t kMagic[4] = {'Q', 'S', 'N', 'P'};
                            "): " + std::strerror(errno));
 }
 
+// Durability of rename() itself requires fsyncing the containing
+// directory: without it a power loss can revert the directory entry to
+// the old snapshot (or none) even though the caller went on to truncate
+// the WAL records the snapshot was supposed to replace.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) io_error("open dir failed", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    io_error("fsync dir failed", dir);
+  }
+  ::close(fd);
+}
+
 }  // namespace
 
 void write_snapshot(const std::string& path,
@@ -61,6 +79,7 @@ void write_snapshot(const std::string& path,
   ::close(fd);
   if (std::rename(tmp.c_str(), path.c_str()) != 0)
     io_error("rename failed", path);
+  sync_parent_dir(path);
 }
 
 std::optional<std::vector<std::uint8_t>> read_snapshot(

@@ -3,8 +3,11 @@
 // The durable twin of the WAL: where the log records every state change,
 // the snapshot captures one whole state so the log can be reset (bounded
 // recovery time). Atomicity comes from POSIX rename: the snapshot is
-// written to `<path>.tmp`, fsynced, then renamed over `path`, so readers
-// only ever observe the old complete snapshot or the new complete one.
+// written to `<path>.tmp`, fsynced, renamed over `path`, and the parent
+// directory is fsynced so the rename itself survives power loss — readers
+// only ever observe the old complete snapshot or the new complete one,
+// and a caller may destroy the WAL records the snapshot covers the
+// moment write_snapshot returns.
 // Integrity comes from a SHA-256 seal over the payload stored in the
 // header; a snapshot that fails its seal (torn write before the rename
 // semantics existed, storage corruption) reads as "no snapshot" and

@@ -8,7 +8,11 @@
 // dropped frame is never written at all).
 #include "net/tcp_transport.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <functional>
 #include <memory>
@@ -253,6 +257,91 @@ TEST(TcpTransportTest, ReconnectsAfterPeerRestart) {
       pair.received_by_b.back().second.get());
   ASSERT_NE(heartbeat, nullptr);
   EXPECT_EQ(heartbeat->seq, 9u);
+}
+
+// A dialer without the cluster key claims an honest peer's id, survives
+// HELLO/CHALLENGE, and fails the AUTH proof. That failure must close the
+// connection *anonymously*: striking the claimed-but-unproven identity
+// would let any keyless attacker quarantine an honest peer by name,
+// blocking its legitimate reconnects.
+TEST(TcpTransportTest, KeylessDialerCannotQuarantineClaimedPeer) {
+  EventLoop loop;
+  auto config = transport_config(0, 2, 0);
+  config.auth_key = std::vector<std::uint8_t>(32, 0x11);
+  TcpTransport a(loop, config);
+
+  // Raw impostor socket: well-formed HELLO claiming id 1, then an AUTH
+  // frame whose proof is garbage (the impostor has no key to compute it).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(a.listen_port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::uint8_t hello[] = {13, 0, 0, 0,              // frame length
+                                0,                        // HELLO tag
+                                1, 0, 0, 0,               // claimed id 1
+                                9, 9, 9, 9, 9, 9, 9, 9};  // client nonce
+  ASSERT_EQ(::send(fd, hello, sizeof(hello), 0),
+            static_cast<ssize_t>(sizeof(hello)));
+  std::uint8_t auth[4 + 33] = {33, 0, 0, 0, 0xF1};  // proof left all-zero
+  ASSERT_EQ(::send(fd, auth, sizeof(auth), 0),
+            static_cast<ssize_t>(sizeof(auth)));
+
+  // Drain until `a` rejects the AUTH and closes (recv sees EOF).
+  ASSERT_TRUE(pump_until(
+      loop,
+      [&] {
+        while (true) {
+          std::uint8_t buf[256];
+          const ssize_t got = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+          if (got == 0) return true;  // closed by a
+          if (got < 0)
+            return errno != EAGAIN && errno != EWOULDBLOCK;  // reset = closed
+        }
+      },
+      2'000 * kMs));
+  ::close(fd);
+
+  ASSERT_NE(a.quarantine(), nullptr);
+  EXPECT_EQ(a.quarantine()->offenses_total(), 0u);
+  EXPECT_EQ(a.quarantine()->strikes(1), 0u);
+
+  // The honest peer 1 — never actually at fault — must connect at once.
+  auto config_b = transport_config(1, 2, 0);
+  config_b.auth_key = config.auth_key;
+  TcpTransport b(loop, config_b);
+  b.set_peer(0, a.listen_port());
+  b.start();
+  EXPECT_TRUE(pump_until(loop, [&] { return b.connected_to(0); },
+                         2'000 * kMs));
+}
+
+// A listener that does not hold the cluster key (here: a different key)
+// cannot satisfy the CHALLENGE proof, so the dialer must never report the
+// channel connected — otherwise an impostor listener could black-hole all
+// outbound traffic while suppressing reconnects. Neither side may file
+// offenses: no identity in this exchange was ever proven.
+TEST(TcpTransportTest, DialerRejectsListenerWithoutClusterKey) {
+  EventLoop loop;
+  auto config_a = transport_config(0, 2, 0);
+  config_a.auth_key = std::vector<std::uint8_t>(32, 0x11);
+  TcpTransport a(loop, config_a);
+  auto config_b = transport_config(1, 2, 0);
+  config_b.auth_key = std::vector<std::uint8_t>(32, 0x22);
+  TcpTransport b(loop, config_b);
+  a.set_peer(1, b.listen_port());
+  a.start();
+
+  // The proof check is deterministic, so "never connected" is a sound
+  // negative assert: every handshake attempt fails before authenticated.
+  EXPECT_FALSE(pump_until(loop, [&] { return a.connected_to(1); },
+                          300 * kMs));
+  EXPECT_EQ(a.quarantine()->offenses_total(), 0u);
+  EXPECT_EQ(b.quarantine()->offenses_total(), 0u);
 }
 
 TEST(TcpTransportTest, BroadcastSkipsOnlyAbsentPeers) {
