@@ -77,8 +77,14 @@ void FailureDetector::on_receive(ProcessId from,
         // Cancel it and back the timeout off (eventual strong accuracy).
         matched_overdue = true;
         ++suspicions_cancelled_;
-        if (config_.adaptive)
-          timeout_[from] = std::min(timeout_[from] * 2, config_.max_timeout);
+        if (config_.adaptive) {
+          const SimDuration doubled =
+              std::min(timeout_[from] * 2, config_.max_timeout);
+          if (doubled != timeout_[from]) {
+            timeout_[from] = doubled;
+            ++timeout_generation_;
+          }
+        }
       }
       it->timer.cancel();
       it = expectations_.erase(it);
@@ -104,9 +110,16 @@ FailureDetector::~FailureDetector() {
 void FailureDetector::restore_timeouts(std::span<const SimDuration> recovered) {
   if (recovered.empty()) return;
   QSEL_REQUIRE(recovered.size() == timeout_.size());
-  for (std::size_t i = 0; i < timeout_.size(); ++i)
-    timeout_[i] = std::min(config_.max_timeout,
-                           std::max(timeout_[i], recovered[i]));
+  bool changed = false;
+  for (std::size_t i = 0; i < timeout_.size(); ++i) {
+    const SimDuration joined = std::min(
+        config_.max_timeout, std::max(timeout_[i], recovered[i]));
+    if (joined != timeout_[i]) {
+      timeout_[i] = joined;
+      changed = true;
+    }
+  }
+  if (changed) ++timeout_generation_;
 }
 
 void FailureDetector::cancel_all() {

@@ -103,6 +103,11 @@ class FailureDetector {
   /// to max_timeout). Empty is a no-op; otherwise the width must match.
   void restore_timeouts(std::span<const SimDuration> recovered);
 
+  /// Monotone counter, bumped whenever any adaptive timeout changes.
+  /// Lets per-heartbeat callers skip rebuilding O(n) durable snapshots
+  /// when no timeout moved (the common steady-state case).
+  std::uint64_t timeout_generation() const { return timeout_generation_; }
+
   // --- statistics (experiment E7) --------------------------------------
   std::uint64_t suspicions_raised() const { return suspicions_raised_; }
   std::uint64_t suspicions_cancelled() const { return suspicions_cancelled_; }
@@ -131,6 +136,7 @@ class FailureDetector {
   ProcessSet current_suspects_;
   std::vector<SimDuration> timeout_;
   std::uint64_t next_expectation_id_ = 0;
+  std::uint64_t timeout_generation_ = 0;
   std::uint64_t suspicions_raised_ = 0;
   std::uint64_t suspicions_cancelled_ = 0;
   std::uint64_t expectations_issued_ = 0;

@@ -16,7 +16,14 @@ FollowerSelector::FollowerSelector(const crypto::Signer& signer,
             suspect::SuspicionCore::Hooks{
                 [this](sim::PayloadPtr msg) { hooks_.broadcast(msg); },
                 [this] { update_quorum(); },
-                /*persist=*/{}}),
+                /*persist=*/{},
+                [this](ProcessId to, sim::PayloadPtr msg) {
+                  if (hooks_.send)
+                    hooks_.send(to, std::move(msg));
+                  else
+                    hooks_.broadcast(std::move(msg));
+                }},
+            config.gossip),
       qlast_(ProcessSet::full(static_cast<ProcessId>(config.quorum_size()))) {
   QSEL_REQUIRE(config.n <= kMaxProcesses);
   QSEL_REQUIRE_MSG(config.f >= 1, "follower selection needs f >= 1");
@@ -58,8 +65,10 @@ ProcessSet FollowerSelector::select_followers(const graph::SimpleGraph& line,
 void FollowerSelector::update_quorum() {
   const int q = config_.quorum_size();
   for (;;) {
-    const graph::SimpleGraph g = core_.current_graph();
-    if (!graph::has_independent_set(g, q)) {
+    const graph::SimpleGraph& g = core_.current_graph();
+    // Seed feasibility with the previous quorum; it is validated as an
+    // independent set before use (leader+followers need not be one).
+    if (!graph::has_independent_set(g, q, qlast_)) {
       // Lines 10-16: enter the next epoch with the default leader/quorum.
       core_.advance_epoch(core_.next_epoch_candidate());
       hooks_.fd_cancel();

@@ -34,6 +34,8 @@ namespace qsel::fs {
 struct FollowerSelectorConfig {
   ProcessId n = 0;
   int f = 0;
+  /// Wire format for suspicion dissemination (suspicion_core.hpp).
+  suspect::GossipMode gossip = suspect::GossipMode::kFullRow;
 
   int quorum_size() const { return static_cast<int>(n) - f; }
 };
@@ -58,6 +60,9 @@ class FollowerSelector {
     std::function<void()> fd_cancel;
     /// <DETECTED, culprit> (Lines 30, 32).
     std::function<void(ProcessId culprit)> fd_detected;
+    /// Optional point-to-point send for digest anti-entropy repairs;
+    /// unset falls back to broadcast.
+    std::function<void(ProcessId, sim::PayloadPtr)> send = {};
   };
 
   FollowerSelector(const crypto::Signer& signer, FollowerSelectorConfig config,
@@ -69,6 +74,16 @@ class FollowerSelector {
   /// UPDATE message from the network.
   void on_update(const std::shared_ptr<const suspect::UpdateMessage>& msg) {
     core_.on_update(msg);
+  }
+
+  /// DELTA-UPDATE message from the network.
+  void on_delta(const std::shared_ptr<const suspect::DeltaUpdateMessage>& msg) {
+    core_.on_delta(msg);
+  }
+
+  /// ROW-DIGEST anti-entropy summary from `from` (delta gossip mode).
+  void on_row_digests(ProcessId from, const suspect::RowDigestMessage& msg) {
+    core_.on_row_digests(from, msg);
   }
 
   /// FOLLOWERS message from the network (possibly forwarded; authenticated

@@ -12,15 +12,22 @@ ProcessSet without(ProcessSet s, ProcessId id) {
 
 /// Does g restricted to `avail` contain an independent set of size
 /// `needed`? Equivalent to a vertex cover of G[avail] within budget
-/// |avail| - needed; branch on an uncovered edge.
-bool has_is_within(const SimpleGraph& g, ProcessSet avail, int needed) {
+/// |avail| - needed; branch on an uncovered edge. `hint` is a known
+/// independent set of g (possibly empty): any `needed` of its members
+/// inside `avail` witness feasibility immediately, so re-solves after
+/// small graph changes usually cost one popcount instead of a branch
+/// tree. The shortcut only ever turns an exact "true" into a faster
+/// "true" — it cannot change any answer.
+bool has_is_within(const SimpleGraph& g, ProcessSet avail, int needed,
+                   ProcessSet hint) {
   if (needed <= 0) return true;
+  if ((hint & avail).size() >= needed) return true;
   if (avail.size() < needed) return false;
   const auto [u, v] = g.any_edge_within(avail);
   if (u == kNoProcess) return true;  // avail already independent
   if (avail.size() == needed) return false;  // no removal budget left
-  return has_is_within(g, without(avail, u), needed) ||
-         has_is_within(g, without(avail, v), needed);
+  return has_is_within(g, without(avail, u), needed, hint) ||
+         has_is_within(g, without(avail, v), needed, hint);
 }
 
 /// Lexicographic-first DFS: candidates tried in increasing id order; the
@@ -28,18 +35,19 @@ bool has_is_within(const SimpleGraph& g, ProcessSet avail, int needed) {
 /// guarded by the exact feasibility test above, so failed subtrees cost
 /// one vertex-cover search instead of full expansion.
 bool first_is_dfs(const SimpleGraph& g, ProcessSet chosen, ProcessSet avail,
-                  int needed, ProcessSet& out) {
+                  int needed, ProcessSet hint, ProcessSet& out) {
   if (needed == 0) {
     out = chosen;
     return true;
   }
-  if (!has_is_within(g, avail, needed)) return false;
+  if (!has_is_within(g, avail, needed, hint)) return false;
   for (ProcessId c : avail) {
     ProcessSet next_chosen = chosen;
     next_chosen.insert(c);
     const ProcessSet next_avail =
         (avail & ProcessSet::range(c + 1, g.node_count())) - g.neighbors(c);
-    if (first_is_dfs(g, next_chosen, next_avail, needed - 1, out)) return true;
+    if (first_is_dfs(g, next_chosen, next_avail, needed - 1, hint, out))
+      return true;
   }
   return false;
 }
@@ -73,6 +81,15 @@ std::optional<ProcessSet> cover_dfs(const SimpleGraph& g, ProcessSet active,
   return cover_dfs(g, without(active, v), cover_v, budget - 1);
 }
 
+/// An untrusted hint is usable only when it actually is an independent
+/// set of *this* graph — stale hints (edges appeared since) degrade to
+/// no hint, never to a wrong answer.
+ProcessSet validated_hint(const SimpleGraph& g, ProcessSet hint) {
+  if (hint.empty()) return hint;
+  if (!(hint - ProcessSet::full(g.node_count())).empty()) return ProcessSet{};
+  return is_independent_set(g, hint) ? hint : ProcessSet{};
+}
+
 }  // namespace
 
 bool is_independent_set(const SimpleGraph& g, ProcessSet s) {
@@ -92,16 +109,18 @@ std::optional<ProcessSet> vertex_cover_within(const SimpleGraph& g,
   return cover_dfs(g, ProcessSet::full(g.node_count()), ProcessSet{}, budget);
 }
 
-bool has_independent_set(const SimpleGraph& g, int q) {
+bool has_independent_set(const SimpleGraph& g, int q, ProcessSet hint) {
   QSEL_REQUIRE(q >= 0 && q <= static_cast<int>(g.node_count()));
-  return vertex_cover_within(g, static_cast<int>(g.node_count()) - q)
-      .has_value();
+  return has_is_within(g, ProcessSet::full(g.node_count()), q,
+                       validated_hint(g, hint));
 }
 
-std::optional<ProcessSet> first_independent_set(const SimpleGraph& g, int q) {
+std::optional<ProcessSet> first_independent_set(const SimpleGraph& g, int q,
+                                                ProcessSet hint) {
   QSEL_REQUIRE(q >= 0 && q <= static_cast<int>(g.node_count()));
   ProcessSet out;
-  if (first_is_dfs(g, ProcessSet{}, ProcessSet::full(g.node_count()), q, out))
+  if (first_is_dfs(g, ProcessSet{}, ProcessSet::full(g.node_count()), q,
+                   validated_hint(g, hint), out))
     return out;
   return std::nullopt;
 }

@@ -29,14 +29,21 @@ std::optional<ProcessSet> vertex_cover_within(const SimpleGraph& g,
                                               int budget);
 
 /// Decision form of the quorum-existence test on Line 27 of Algorithm 1:
-/// does g contain an independent set of size q?
-bool has_independent_set(const SimpleGraph& g, int q);
+/// does g contain an independent set of size q? `hint` optionally names a
+/// set believed independent in g (e.g. the previously selected quorum);
+/// it is validated before use and only short-circuits feasibility, so a
+/// wrong or stale hint can cost time but never change the answer.
+bool has_independent_set(const SimpleGraph& g, int q,
+                         ProcessSet hint = ProcessSet{});
 
 /// The lexicographically first independent set of size q (comparing sets as
 /// increasing id sequences), or nullopt when none exists. This is the
 /// quorum rule of Algorithm 1 Line 31: it makes correct processes converge
-/// to the same quorum once their suspect graphs agree.
-std::optional<ProcessSet> first_independent_set(const SimpleGraph& g, int q);
+/// to the same quorum once their suspect graphs agree. `hint` seeds the
+/// branch-guard feasibility tests (see has_independent_set); the returned
+/// set is identical with or without a hint.
+std::optional<ProcessSet> first_independent_set(const SimpleGraph& g, int q,
+                                                ProcessSet hint = ProcessSet{});
 
 /// All independent sets of size exactly q, in lexicographic order. Intended
 /// for tests and small n (the count can be combinatorial).

@@ -98,6 +98,19 @@ void EventLoop::poll_once(std::uint64_t max_wait_ns) {
   // Advance virtual time to real elapsed time: every timer whose deadline
   // has passed fires now, in deadline order, exactly as under simulation.
   timers_.run_until(now_ns());
+
+  // End-of-round phase: one drain pass, so a callback that defers again
+  // lands in the next round instead of spinning this one.
+  if (!deferred_.empty()) {
+    std::vector<std::function<void()>> run;
+    run.swap(deferred_);
+    for (auto& fn : run) fn();
+  }
+}
+
+void EventLoop::defer(std::function<void()> fn) {
+  QSEL_REQUIRE(fn != nullptr);
+  deferred_.push_back(std::move(fn));
 }
 
 void EventLoop::run_for(std::uint64_t duration_ns) {

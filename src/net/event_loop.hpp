@@ -59,6 +59,14 @@ class EventLoop {
   /// under simulation. Fires on the loop thread during run()/run_for().
   sim::Simulator& timers() { return timers_; }
 
+  /// Runs `fn` once at the END of the current poll round, after fd
+  /// dispatch and timers — or at the end of the next round when no round
+  /// is in flight. This is the batching point: producers enqueue bytes
+  /// from fd and timer callbacks all through one iteration, and a single
+  /// deferred flush coalesces them into one writev per connection.
+  /// Callbacks deferred from within a deferred callback run next round.
+  void defer(std::function<void()> fn);
+
   /// Monotonic nanoseconds since the loop was constructed — the value the
   /// timer clock is advanced to. Also serves as the trace clock.
   std::uint64_t now_ns() const;
@@ -86,6 +94,7 @@ class EventLoop {
 
   sim::Simulator timers_;
   std::vector<std::unique_ptr<Watch>> watches_;
+  std::vector<std::function<void()>> deferred_;
   std::uint64_t start_ns_ = 0;
   bool stopped_ = false;
 };

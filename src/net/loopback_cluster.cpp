@@ -67,6 +67,7 @@ void LoopbackCluster::build_node(ProcessId id, std::uint16_t port,
   node_config.f = config_.f;
   node_config.fd = config_.fd;
   node_config.heartbeat_period = config_.heartbeat_period;
+  node_config.gossip = config_.gossip;
 
   TcpTransport::Config tcp;
   tcp.self = id;

@@ -61,6 +61,8 @@ struct LoopbackClusterConfig {
   /// stores: restart() still recovers, but state dies with the cluster.
   std::string store_root;
   BackoffConfig reconnect{};
+  /// Suspicion dissemination wire format (runtime/node_process.hpp).
+  suspect::GossipMode gossip = suspect::GossipMode::kDelta;
 };
 
 /// Maps a deployable ClusterConfig onto the loopback harness. Host:port

@@ -4,11 +4,13 @@
 #include <netinet/in.h>
 #include <sys/random.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -92,9 +94,17 @@ bool mac_equal(std::span<const std::uint8_t> a,
   return acc == 0;
 }
 
-// Compact the consumed prefix of a buffer once it outgrows this; below it,
-// moving bytes costs more than the memory is worth.
-constexpr std::size_t kCompactThreshold = 64 * 1024;
+// Frames gathered into one writev. 64 covers a full heartbeat+gossip
+// round for every supported n; beyond it the flush loop simply issues
+// another writev.
+constexpr std::size_t kMaxIov = 64;
+
+// Recycled frame buffers kept per transport; enough for a burst flush
+// without ever holding more than ~a round's worth of idle memory.
+constexpr std::size_t kFramePoolMax = 128;
+
+// recv() granularity when draining a readable socket into inbuf.
+constexpr std::size_t kReadChunk = 64 * 1024;
 
 void append_frame(std::vector<std::uint8_t>& out,
                   std::span<const std::uint8_t> body) {
@@ -224,19 +234,31 @@ void TcpTransport::send(ProcessId to, sim::PayloadPtr message) {
     deliver_local(message);
     return;
   }
-  send_frame(to, *message);
+  const auto body = encode_message(*message);
+  // Only simulator-only test payloads lack a wire form; sending one over
+  // TCP is a programming error, not a runtime condition.
+  QSEL_ASSERT(body.has_value());
+  send_encoded(to, *message, *body);
 }
 
 void TcpTransport::broadcast(ProcessSet targets,
                              const sim::PayloadPtr& message) {
   QSEL_REQUIRE(message != nullptr);
   if (stopped_) return;
+  // Encode once for the whole fan-out; only the per-peer MAC differs, and
+  // that is applied at enqueue time against each connection's frame key.
+  std::optional<std::vector<std::uint8_t>> body;
   for (ProcessId id : targets) {
     QSEL_REQUIRE(id < config_.n);
-    if (id == config_.self)
+    if (id == config_.self) {
       deliver_local(message);
-    else
-      send_frame(id, *message);
+      continue;
+    }
+    if (!body) {
+      body = encode_message(*message);
+      QSEL_ASSERT(body.has_value());
+    }
+    send_encoded(id, *message, *body);
   }
 }
 
@@ -251,14 +273,10 @@ void TcpTransport::deliver_local(const sim::PayloadPtr& message) {
   });
 }
 
-void TcpTransport::send_frame(ProcessId to, const sim::Payload& message) {
-  const auto body = encode_message(message);
-  // Only simulator-only test payloads lack a wire form; sending one over
-  // TCP is a programming error, not a runtime condition.
-  QSEL_ASSERT(body.has_value());
-
+void TcpTransport::send_encoded(ProcessId to, const sim::Payload& message,
+                                const std::vector<std::uint8_t>& body) {
   const std::size_t frame_bytes =
-      4 + body->size() + (auth_enabled() ? kMacBytes : 0);
+      4 + body.size() + (auth_enabled() ? kMacBytes : 0);
   TamperPlan plan;
   if (tamper_) plan = tamper_(to, frame_bytes);
   const std::string tag(message.type_tag());
@@ -275,8 +293,8 @@ void TcpTransport::send_frame(ProcessId to, const sim::Payload& message) {
     // is computed at enqueue time against the connection alive *then*;
     // a reconnect in the gap means fresh nonces and a fresh frame key.
     loop_.timers().schedule_after(
-        plan.delay_ns, [this, to, body = std::move(*body), plan, tag,
-                        wire_size] {
+        plan.delay_ns,
+        [this, to, body = body, plan, tag, wire_size] {
           if (stopped_) return;
           if (tracer_) tracer_->send(config_.self, to, tag, 0, wire_size);
           TamperPlan now = plan;
@@ -291,12 +309,12 @@ void TcpTransport::send_frame(ProcessId to, const sim::Payload& message) {
     return;
   }
   if (tracer_) tracer_->send(config_.self, to, tag, 0, wire_size);
-  enqueue_frame(to, *body, plan);
+  enqueue_frame(to, body, plan);
   if (plan.duplicate) {
     TamperPlan dup = plan;
     dup.duplicate = false;
     dup.split_at = 0;
-    enqueue_frame(to, *body, dup);
+    enqueue_frame(to, body, dup);
   }
 }
 
@@ -312,17 +330,21 @@ void TcpTransport::enqueue_frame(ProcessId to,
                     body.size());
     return;
   }
-  std::vector<std::uint8_t> frame;
+  std::vector<std::uint8_t> frame = acquire_buffer();
   frame.reserve(4 + body.size() + kMacBytes);
+  const std::size_t payload_len =
+      body.size() + (auth_enabled() ? kMacBytes : 0);
+  const auto len = static_cast<std::uint32_t>(payload_len);
+  frame.push_back(static_cast<std::uint8_t>(len & 0xff));
+  frame.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  frame.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  frame.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+  frame.insert(frame.end(), body.begin(), body.end());
   if (auth_enabled()) {
     const crypto::Digest mac =
         crypto::hmac_sha256(conn->frame_key.bytes, body);
-    std::vector<std::uint8_t> sealed(body);
-    sealed.insert(sealed.end(), mac.bytes.begin(),
-                  mac.bytes.begin() + kMacBytes);
-    append_frame(frame, sealed);
-  } else {
-    append_frame(frame, body);
+    frame.insert(frame.end(), mac.bytes.begin(),
+                 mac.bytes.begin() + kMacBytes);
   }
   if (plan.flip_mask != 0 && !frame.empty()) {
     // Corrupting-link fault: flips bytes already sealed under the MAC.
@@ -331,25 +353,99 @@ void TcpTransport::enqueue_frame(ProcessId to,
   if (plan.split_at > 0) {
     // Cap the next write syscall at split_at bytes past what is already
     // queued, so this frame's head and tail leave in separate writes.
-    conn->write_cap = conn->outbuf.size() - conn->out_offset + plan.split_at;
+    conn->write_cap = conn->out_total - conn->out_offset + plan.split_at;
   }
-  conn->outbuf.insert(conn->outbuf.end(), frame.begin(), frame.end());
-  flush(conn);
+  conn->out_total += frame.size();
+  conn->outq.push_back(std::move(frame));
+  ++io_stats_.frames_sent;
+  schedule_flush(conn);
+}
+
+void TcpTransport::enqueue_raw(Connection* conn,
+                               std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> frame = acquire_buffer();
+  append_frame(frame, body);
+  conn->out_total += frame.size();
+  conn->outq.push_back(std::move(frame));
+  ++io_stats_.frames_sent;
+  schedule_flush(conn);
+}
+
+void TcpTransport::schedule_flush(Connection* conn) {
+  if (!conn->flush_pending) {
+    conn->flush_pending = true;
+    pending_flush_.push_back(conn);
+  }
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  // One deferred callback per loop round covers every connection that
+  // queued bytes during it. The weak token guards against the transport
+  // being destroyed before the round ends (the loop outlives us).
+  loop_.defer([this, token = std::weak_ptr<char>(alive_)] {
+    if (token.expired()) return;
+    flush_pending_conns();
+  });
+}
+
+void TcpTransport::flush_pending_conns() {
+  flush_scheduled_ = false;
+  // Pop before flushing: flush may close the connection, and
+  // close_connection erases it from pending_flush_ only while the flag
+  // is still set.
+  while (!pending_flush_.empty()) {
+    Connection* conn = pending_flush_.back();
+    pending_flush_.pop_back();
+    conn->flush_pending = false;
+    flush(conn);
+  }
 }
 
 void TcpTransport::flush(Connection* conn) {
   if (conn->connecting) return;
-  while (conn->out_offset < conn->outbuf.size()) {
-    std::size_t chunk = conn->outbuf.size() - conn->out_offset;
+  while (conn->out_total > conn->out_offset) {
+    // Gather queued frames into one vectored write, honoring a pending
+    // split tamper by truncating the batch at the cap.
+    iovec iov[kMaxIov];
+    std::size_t iov_count = 0;
+    std::size_t batched = 0;
+    std::size_t budget = conn->out_total - conn->out_offset;
     bool capped = false;
-    if (conn->write_cap > 0 && conn->write_cap < chunk) {
-      chunk = conn->write_cap;
+    if (conn->write_cap > 0 && conn->write_cap < budget) {
+      budget = conn->write_cap;
       capped = true;
     }
-    const ssize_t sent = ::send(
-        conn->fd, conn->outbuf.data() + conn->out_offset, chunk, MSG_NOSIGNAL);
+    std::size_t skip = conn->out_offset;
+    for (auto& buf : conn->outq) {
+      if (iov_count == kMaxIov || batched == budget) break;
+      if (skip >= buf.size()) {
+        skip -= buf.size();
+        continue;
+      }
+      const std::size_t take =
+          std::min(buf.size() - skip, budget - batched);
+      iov[iov_count].iov_base = buf.data() + skip;
+      iov[iov_count].iov_len = take;
+      ++iov_count;
+      batched += take;
+      skip = 0;
+    }
+    // sendmsg rather than writev purely for MSG_NOSIGNAL: a peer that
+    // closed mid-flush must surface as EPIPE, not kill the process.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    const ssize_t sent = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    ++io_stats_.writev_calls;
     if (sent > 0) {
+      io_stats_.bytes_sent += static_cast<std::uint64_t>(sent);
       conn->out_offset += static_cast<std::size_t>(sent);
+      while (!conn->outq.empty() &&
+             conn->out_offset >= conn->outq.front().size()) {
+        conn->out_offset -= conn->outq.front().size();
+        conn->out_total -= conn->outq.front().size();
+        release_buffer(std::move(conn->outq.front()));
+        conn->outq.pop_front();
+      }
       if (conn->write_cap > 0) {
         conn->write_cap -= std::min(conn->write_cap,
                                     static_cast<std::size_t>(sent));
@@ -362,21 +458,25 @@ void TcpTransport::flush(Connection* conn) {
     close_connection(conn, conn->outgoing);
     return;
   }
-  if (conn->out_offset == conn->outbuf.size()) {
-    conn->outbuf.clear();
-    conn->out_offset = 0;
-  } else if (conn->out_offset > kCompactThreshold) {
-    conn->outbuf.erase(conn->outbuf.begin(),
-                       conn->outbuf.begin() +
-                           static_cast<std::ptrdiff_t>(conn->out_offset));
-    conn->out_offset = 0;
-  }
   update_interest(conn);
+}
+
+std::vector<std::uint8_t> TcpTransport::acquire_buffer() {
+  if (frame_pool_.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void TcpTransport::release_buffer(std::vector<std::uint8_t> buffer) {
+  if (frame_pool_.size() < kFramePoolMax)
+    frame_pool_.push_back(std::move(buffer));
 }
 
 void TcpTransport::update_interest(Connection* conn) {
   const bool want_write =
-      conn->connecting || conn->out_offset < conn->outbuf.size();
+      conn->connecting || conn->out_total > conn->out_offset;
   loop_.set_interest(conn->fd, /*read=*/true, want_write);
 }
 
@@ -413,6 +513,9 @@ void TcpTransport::dial(ProcessId to) {
   conn->peer = to;
   conn->outgoing = true;
   conn->connecting = connecting;
+  Connection* raw = conn.get();
+  connections_.push_back(std::move(conn));
+  out_[to] = raw;
   // HELLO goes first on the stream, queued before connect even completes
   // (flush waits for writability). It bypasses the tamper hook: a dropped
   // HELLO would poison the whole connection, which models a fault the
@@ -423,14 +526,10 @@ void TcpTransport::dial(ProcessId to) {
   hello.u8(kHelloTag);
   hello.u32(config_.self);
   if (auth_enabled()) {
-    conn->client_nonce = os_nonce64();
-    hello.u64(conn->client_nonce);
+    raw->client_nonce = os_nonce64();
+    hello.u64(raw->client_nonce);
   }
-  append_frame(conn->outbuf, hello.view());
-
-  Connection* raw = conn.get();
-  connections_.push_back(std::move(conn));
-  out_[to] = raw;
+  enqueue_raw(raw, hello.view());
   loop_.watch(fd, [this, raw](EventLoop::Ready ready) {
     connection_ready(raw, ready);
   });
@@ -500,6 +599,11 @@ void TcpTransport::close_connection(Connection* conn, bool reconnect) {
   const bool outgoing = conn->outgoing;
   loop_.unwatch(conn->fd);
   ::close(conn->fd);
+  if (conn->flush_pending) std::erase(pending_flush_, conn);
+  while (!conn->outq.empty()) {
+    release_buffer(std::move(conn->outq.front()));
+    conn->outq.pop_front();
+  }
   if (outgoing && peer != kNoProcess && out_[peer] == conn)
     out_[peer] = nullptr;
   std::erase_if(connections_,
@@ -512,13 +616,18 @@ void TcpTransport::close_connection(Connection* conn, bool reconnect) {
 void TcpTransport::read_from(Connection* conn) {
   bool eof = false;
   while (true) {
-    std::uint8_t buf[65536];
-    const ssize_t got = ::recv(conn->fd, buf, sizeof(buf), 0);
+    // recv straight into inbuf's tail: one resize instead of a stack
+    // bounce-buffer copy per chunk; capacity stays warm across wakeups.
+    const std::size_t used = conn->inbuf.size();
+    conn->inbuf.resize(used + kReadChunk);
+    const ssize_t got =
+        ::recv(conn->fd, conn->inbuf.data() + used, kReadChunk, 0);
     if (got > 0) {
-      conn->inbuf.insert(conn->inbuf.end(), buf,
-                         buf + static_cast<std::size_t>(got));
+      conn->inbuf.resize(used + static_cast<std::size_t>(got));
+      io_stats_.bytes_received += static_cast<std::uint64_t>(got);
       continue;
     }
+    conn->inbuf.resize(used);
     if (got == 0) {
       eof = true;
       break;
@@ -578,6 +687,7 @@ bool TcpTransport::parse_frames(Connection* conn) {
 
 bool TcpTransport::handle_frame(Connection* conn,
                                 std::span<const std::uint8_t> body) {
+  ++io_stats_.frames_received;
   if (conn->peer == kNoProcess) return handle_hello(conn, body);
   if (conn->outgoing) {
     // The dial side reads exactly one frame ever: the auth CHALLENGE.
@@ -666,10 +776,10 @@ bool TcpTransport::handle_hello(Connection* conn,
   challenge.u64(conn->server_nonce);
   challenge.digest(server_proof);
   QSEL_ASSERT(challenge.size() == kChallengeFrameBytes);
-  append_frame(conn->outbuf, challenge.view());
   // No direct flush from inside the parse loop (flush may close the
-  // connection out from under parse_frames); POLLOUT drains it instead.
-  update_interest(conn);
+  // connection out from under parse_frames); the deferred end-of-round
+  // flush runs after parsing finishes, which is exactly the safe point.
+  enqueue_raw(conn, challenge.view());
   return true;
 }
 
@@ -699,10 +809,9 @@ bool TcpTransport::handle_challenge(Connection* conn,
   auth.reserve(33);
   auth.push_back(kAuthTag);
   auth.insert(auth.end(), proof.bytes.begin(), proof.bytes.end());
-  append_frame(conn->outbuf, auth);
+  enqueue_raw(conn, auth);
   conn->authenticated = true;
   reconnect_attempts_[conn->peer] = 0;
-  update_interest(conn);
   return true;
 }
 

@@ -77,6 +77,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
@@ -94,6 +95,18 @@ class Tracer;
 }
 
 namespace qsel::net {
+
+/// Outbound/inbound I/O counters (BENCH_5 + batching tests). Frames are
+/// protocol frames (handshake included); writev_calls counts flush
+/// syscalls, so frames_sent / writev_calls is the realized batching
+/// factor.
+struct IoStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t writev_calls = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+};
 
 /// What to do with one outgoing frame (see set_write_tamper).
 struct TamperPlan {
@@ -171,6 +184,9 @@ class TcpTransport final : public Transport {
   /// Offense/quarantine state; null in legacy (unauthenticated) mode.
   const QuarantinePolicy* quarantine() const { return quarantine_.get(); }
 
+  /// Cumulative I/O counters since construction.
+  const IoStats& io_stats() const { return io_stats_; }
+
   /// Trace sink for kSend/kDeliver/kDrop transport events (null detaches).
   /// The caller owns the tracer and its clock.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
@@ -201,9 +217,14 @@ class TcpTransport final : public Transport {
     crypto::Digest session_key{};  // proves the handshake
     crypto::Digest frame_key{};    // MACs message bodies
     std::vector<std::uint8_t> inbuf;
-    std::vector<std::uint8_t> outbuf;
-    std::size_t out_offset = 0;   // consumed prefix of outbuf
+    /// Outbound frames awaiting the deferred flush, FIFO. Buffers come
+    /// from (and return to) the transport's frame pool, so steady-state
+    /// sends allocate nothing.
+    std::deque<std::vector<std::uint8_t>> outq;
+    std::size_t out_total = 0;    // bytes across outq, consumed included
+    std::size_t out_offset = 0;   // consumed prefix of outq.front()
     std::size_t write_cap = 0;    // pending split tamper, 0 = none
+    bool flush_pending = false;   // queued in pending_flush_
   };
 
   void accept_ready();
@@ -223,10 +244,21 @@ class TcpTransport final : public Transport {
   void note_offense(ProcessId peer);
   void enqueue_frame(ProcessId to, const std::vector<std::uint8_t>& body,
                      TamperPlan plan);
+  /// Queues raw pre-framed bytes (handshake frames: no tamper, no MAC).
+  void enqueue_raw(Connection* conn, std::span<const std::uint8_t> body);
+  /// Marks `conn` for the end-of-round batched flush (EventLoop::defer).
+  void schedule_flush(Connection* conn);
+  void flush_pending_conns();
   void flush(Connection* conn);
+  std::vector<std::uint8_t> acquire_buffer();
+  void release_buffer(std::vector<std::uint8_t> buffer);
   void update_interest(Connection* conn);
   void deliver_local(const sim::PayloadPtr& message);
-  void send_frame(ProcessId to, const sim::Payload& message);
+  /// One message to one peer; `body` is the shared wire encoding, produced
+  /// once per send()/broadcast() call (the per-peer MAC is applied at
+  /// enqueue time).
+  void send_encoded(ProcessId to, const sim::Payload& message,
+                    const std::vector<std::uint8_t>& body);
 
   EventLoop& loop_;
   Config config_;
@@ -244,6 +276,16 @@ class TcpTransport final : public Transport {
   std::vector<Connection*> out_;  // per-peer outgoing connection or null
   std::vector<std::uint32_t> reconnect_attempts_;
   std::vector<sim::TimerHandle> reconnect_timers_;
+  /// Connections with queued bytes awaiting the deferred batched flush.
+  std::vector<Connection*> pending_flush_;
+  bool flush_scheduled_ = false;
+  /// Recycled frame buffers (see Connection::outq).
+  std::vector<std::vector<std::uint8_t>> frame_pool_;
+  /// Liveness token for callbacks deferred into the loop: the loop
+  /// outlives the transport, so a deferred flush must be able to notice
+  /// the transport died before it ran.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  IoStats io_stats_;
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -6,6 +6,7 @@
 #include "fs/followers_message.hpp"
 #include "net/codec.hpp"
 #include "runtime/heartbeat.hpp"
+#include "suspect/delta_update_message.hpp"
 #include "suspect/update_message.hpp"
 
 namespace qsel::net {
@@ -34,6 +35,25 @@ void encode_followers(const fs::FollowersMessage& msg, Encoder& enc) {
     edges.push_back((static_cast<std::uint64_t>(u) << 32) | v);
   enc.u64_vector(edges);
   enc.signature(msg.sig);
+}
+
+void encode_delta(const suspect::DeltaUpdateMessage& msg, Encoder& enc) {
+  enc.process_id(msg.origin);
+  enc.u64(msg.version);
+  enc.u32(static_cast<std::uint32_t>(msg.cells.size()));
+  for (const suspect::DeltaCell& c : msg.cells) {
+    enc.u32(c.col);
+    enc.u64(c.stamp);
+  }
+  enc.signature(msg.sig);
+}
+
+void encode_row_digest(const suspect::RowDigestMessage& msg, Encoder& enc) {
+  enc.u32(static_cast<std::uint32_t>(msg.entries.size()));
+  for (const suspect::RowDigestEntry& e : msg.entries) {
+    enc.u32(e.row);
+    for (const std::uint8_t b : e.digest) enc.u8(b);
+  }
 }
 
 sim::PayloadPtr decode_heartbeat(Decoder& dec, ProcessId n) {
@@ -76,6 +96,45 @@ sim::PayloadPtr decode_followers(Decoder& dec, ProcessId n) {
   return msg;
 }
 
+sim::PayloadPtr decode_delta(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<suspect::DeltaUpdateMessage>();
+  msg->origin = dec.process_id();
+  msg->version = dec.u64();
+  const std::uint32_t count = dec.u32();
+  // A delta carries at most one cell per column; nonempty by contract
+  // (an empty delta is never sent, so on the wire it is garbage).
+  if (!dec.ok() || count == 0 || count > n) return nullptr;
+  msg->cells.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    suspect::DeltaCell c;
+    c.col = dec.process_id();
+    c.stamp = dec.u64();
+    if (!dec.ok() || c.col >= n || c.stamp == 0) return nullptr;
+    if (i > 0 && c.col <= msg->cells.back().col) return nullptr;
+    msg->cells.push_back(c);
+  }
+  msg->sig = dec.signature();
+  if (!dec.done() || msg->origin >= n) return nullptr;
+  return msg;
+}
+
+sim::PayloadPtr decode_row_digest(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<suspect::RowDigestMessage>();
+  const std::uint32_t count = dec.u32();
+  if (!dec.ok() || count > n) return nullptr;  // one digest per row max
+  msg->entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    suspect::RowDigestEntry e;
+    e.row = dec.process_id();
+    for (std::uint8_t& b : e.digest) b = dec.u8();
+    if (!dec.ok() || e.row >= n) return nullptr;
+    if (i > 0 && e.row <= msg->entries.back().row) return nullptr;
+    msg->entries.push_back(e);
+  }
+  if (!dec.done()) return nullptr;
+  return msg;
+}
+
 }  // namespace
 
 std::optional<std::vector<std::uint8_t>> encode_message(
@@ -93,6 +152,14 @@ std::optional<std::vector<std::uint8_t>> encode_message(
                  dynamic_cast<const fs::FollowersMessage*>(&message)) {
     enc.u8(static_cast<std::uint8_t>(WireType::kFollowers));
     encode_followers(*followers, enc);
+  } else if (const auto* delta =
+                 dynamic_cast<const suspect::DeltaUpdateMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kDeltaUpdate));
+    encode_delta(*delta, enc);
+  } else if (const auto* digests =
+                 dynamic_cast<const suspect::RowDigestMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kRowDigest));
+    encode_row_digest(*digests, enc);
   } else {
     return std::nullopt;
   }
@@ -111,6 +178,10 @@ sim::PayloadPtr decode_message(std::span<const std::uint8_t> body,
       return decode_update(dec, n);
     case WireType::kFollowers:
       return decode_followers(dec, n);
+    case WireType::kDeltaUpdate:
+      return decode_delta(dec, n);
+    case WireType::kRowDigest:
+      return decode_row_digest(dec, n);
   }
   return nullptr;
 }

@@ -27,9 +27,11 @@ namespace qsel::net {
 
 /// Frame body tags. Values are part of the wire protocol; append only.
 enum class WireType : std::uint8_t {
-  kHeartbeat = 1,  // runtime::HeartbeatMessage
-  kUpdate = 2,     // suspect::UpdateMessage
-  kFollowers = 3,  // fs::FollowersMessage
+  kHeartbeat = 1,    // runtime::HeartbeatMessage
+  kUpdate = 2,       // suspect::UpdateMessage
+  kFollowers = 3,    // fs::FollowersMessage
+  kDeltaUpdate = 4,  // suspect::DeltaUpdateMessage
+  kRowDigest = 5,    // suspect::RowDigestMessage
 };
 
 /// Encodes `message` as a frame body. Returns nullopt for payload types

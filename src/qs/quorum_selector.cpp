@@ -16,8 +16,16 @@ QuorumSelector::QuorumSelector(const crypto::Signer& signer,
                 [this] { update_quorum(); },
                 [this] {
                   if (hooks_.persist) hooks_.persist();
-                }}),
-      qlast_(ProcessSet::full(static_cast<ProcessId>(config.quorum_size()))) {
+                },
+                [this](ProcessId to, sim::PayloadPtr msg) {
+                  if (hooks_.send)
+                    hooks_.send(to, std::move(msg));
+                  else
+                    hooks_.broadcast(std::move(msg));
+                }},
+            config.gossip),
+      qlast_(ProcessSet::full(static_cast<ProcessId>(config.quorum_size()))),
+      cache_graph_(config.n) {
   QSEL_REQUIRE(config.n > 0 && config.n <= kMaxProcesses);
   QSEL_REQUIRE_MSG(config.f >= 1, "quorum selection needs f >= 1");
   QSEL_REQUIRE_MSG(config.quorum_size() > config.f,
@@ -29,23 +37,42 @@ QuorumSelector::QuorumSelector(const crypto::Signer& signer,
 void QuorumSelector::update_quorum() {
   const int q = config_.quorum_size();
   for (;;) {
-    const graph::SimpleGraph g = core_.current_graph();
-    const auto quorum = graph::first_independent_set(g, q);
-    if (!quorum) {
-      // Suspicions in the current epoch are inconsistent (some correct
-      // process suspected another): advance the epoch and re-issue the own
-      // suspicions (Lines 28-29), then re-evaluate.
-      core_.advance_epoch(core_.next_epoch_candidate());
-      continue;
+    const graph::SimpleGraph& g = core_.current_graph();
+    // Memo: the quorum is a pure function of (epoch, graph). The key is
+    // the exact adjacency image, so distinct graphs can never alias (no
+    // signature to collide); only successful solves are cached, and the
+    // epoch advance below always changes the key.
+    if (cache_valid_ && cache_epoch_ == core_.epoch() && cache_graph_ == g) {
+      ++cache_hits_;
+      if (cache_quorum_ == qlast_) return;
+      // qlast_ can trail the cache after restore(); fall through to issue.
+    } else {
+      ++solver_runs_;
+      // Seed the feasibility guards with the previous quorum: while it
+      // stays independent (the common case — most merges touch already-
+      // suspected processes) the guards collapse to popcounts.
+      const auto quorum = graph::first_independent_set(g, q, qlast_);
+      if (!quorum) {
+        // Suspicions in the current epoch are inconsistent (some correct
+        // process suspected another): advance the epoch and re-issue the
+        // own suspicions (Lines 28-29), then re-evaluate.
+        core_.advance_epoch(core_.next_epoch_candidate());
+        continue;
+      }
+      cache_valid_ = true;
+      cache_epoch_ = core_.epoch();
+      cache_graph_ = g;
+      cache_quorum_ = *quorum;
     }
-    if (*quorum != qlast_) {
-      qlast_ = *quorum;
-      history_.push_back(QuorumRecord{*quorum, core_.epoch()});
-      if (tracer_) tracer_->quorum(core_.self(), quorum->mask(), core_.epoch());
+    if (cache_quorum_ != qlast_) {
+      qlast_ = cache_quorum_;
+      history_.push_back(QuorumRecord{cache_quorum_, core_.epoch()});
+      if (tracer_)
+        tracer_->quorum(core_.self(), cache_quorum_.mask(), core_.epoch());
       QSEL_LOG(kInfo, "qs") << "p" << core_.self() << " QUORUM "
-                            << quorum->to_string() << " (epoch "
+                            << cache_quorum_.to_string() << " (epoch "
                             << core_.epoch() << ")";
-      hooks_.issue_quorum(*quorum);
+      hooks_.issue_quorum(cache_quorum_);
     }
     return;
   }

@@ -11,6 +11,13 @@
 // process suspected another correct process in this epoch) the epoch is
 // advanced, dropping the stale suspicions, and the own suspicions are
 // re-issued (Lines 25-34).
+//
+// Hot-path costs (DESIGN.md §11): the selector memoizes the last solved
+// (epoch, graph) → quorum. The key stores the exact adjacency image, not a
+// hash — two different graphs can never alias, so "signature collisions"
+// are impossible by construction. Cache misses seed the FPT branching with
+// the previously issued quorum, which is usually still independent and
+// collapses the feasibility guards to popcounts.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include "common/process_set.hpp"
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
+#include "graph/simple_graph.hpp"
 #include "suspect/suspicion_core.hpp"
 #include "trace/tracer.hpp"
 
@@ -30,6 +38,10 @@ namespace qsel::qs {
 struct QuorumSelectorConfig {
   ProcessId n = 0;
   int f = 0;  // q = n - f
+  /// Wire format for suspicion dissemination (suspicion_core.hpp).
+  /// Defaults to the paper's full-row gossip; composed runtimes opt into
+  /// delta gossip + digest anti-entropy.
+  suspect::GossipMode gossip = suspect::GossipMode::kFullRow;
 
   int quorum_size() const { return static_cast<int>(n) - f; }
 };
@@ -52,6 +64,9 @@ class QuorumSelector {
     /// after the own row or epoch changed, before the change leaves the
     /// process (suspicion_core.hpp).
     std::function<void()> persist;
+    /// Optional point-to-point send for digest anti-entropy repairs;
+    /// unset falls back to broadcast.
+    std::function<void(ProcessId, sim::PayloadPtr)> send = {};
   };
 
   QuorumSelector(const crypto::Signer& signer, QuorumSelectorConfig config,
@@ -65,8 +80,18 @@ class QuorumSelector {
     core_.on_update(msg);
   }
 
-  /// Anti-entropy tick: re-broadcasts the own matrix row so state lost to
-  /// a dropped UPDATE is eventually re-offered (SuspicionCore::resync).
+  /// A (possibly forwarded) DELTA-UPDATE message from the network.
+  void on_delta(const std::shared_ptr<const suspect::DeltaUpdateMessage>& msg) {
+    core_.on_delta(msg);
+  }
+
+  /// A ROW-DIGEST anti-entropy summary from `from` (delta gossip mode).
+  void on_row_digests(ProcessId from, const suspect::RowDigestMessage& msg) {
+    core_.on_row_digests(from, msg);
+  }
+
+  /// Anti-entropy tick: re-offers suspicion state lost to dropped
+  /// messages (SuspicionCore::resync; digest-first in delta mode).
   void resync() { core_.resync(); }
 
   /// Reinstalls durable state recovered from a NodeStore (join semantics,
@@ -97,6 +122,10 @@ class QuorumSelector {
   const std::vector<QuorumRecord>& history() const { return history_; }
   std::uint64_t quorums_issued() const { return history_.size(); }
 
+  /// Solver invocations vs. memo hits (BENCH_5 observability).
+  std::uint64_t solver_runs() const { return solver_runs_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
  private:
   void update_quorum();
 
@@ -105,6 +134,14 @@ class QuorumSelector {
   suspect::SuspicionCore core_;
   ProcessSet qlast_;
   std::vector<QuorumRecord> history_;
+  /// Last solved key/value: valid_ only after a successful solve. The
+  /// graph is compared by exact adjacency equality.
+  bool cache_valid_ = false;
+  Epoch cache_epoch_ = 0;
+  graph::SimpleGraph cache_graph_;
+  ProcessSet cache_quorum_;
+  std::uint64_t solver_runs_ = 0;
+  std::uint64_t cache_hits_ = 0;
   trace::Tracer* tracer_ = nullptr;
 };
 

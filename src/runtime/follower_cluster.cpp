@@ -14,7 +14,8 @@ FollowerProcess::FollowerProcess(sim::Network& network,
       fd_(network.simulator(), self, config.n, config.fd,
           [this](ProcessSet suspects) { selector_.on_suspected(suspects); }),
       selector_(
-          signer_, fs::FollowerSelectorConfig{config.n, config.f},
+          signer_,
+          fs::FollowerSelectorConfig{config.n, config.f, config.gossip},
           fs::FollowerSelector::Hooks{
               [](ProcessId, ProcessSet) { /* application consumes quorum */ },
               [this](sim::PayloadPtr msg) { broadcast_others(msg); },
@@ -29,7 +30,10 @@ FollowerProcess::FollowerProcess(sim::Network& network,
                     "followers");
               },
               [this] { fd_.cancel_all(); },
-              [this](ProcessId culprit) { fd_.detected(culprit); }}) {}
+              [this](ProcessId culprit) { fd_.detected(culprit); },
+              [this](ProcessId to, sim::PayloadPtr msg) {
+                network_.send(signer_.self(), to, msg);
+              }}) {}
 
 void FollowerProcess::broadcast_others(const sim::PayloadPtr& message) {
   network_.broadcast(
@@ -93,6 +97,18 @@ void FollowerProcess::on_message(ProcessId from,
     if (!update->verify(signer_, network_.process_count())) return;
     fd_.on_receive(from, message);
     selector_.on_update(update);
+    return;
+  }
+  if (auto delta = std::dynamic_pointer_cast<const suspect::DeltaUpdateMessage>(
+          message)) {
+    if (!delta->verify(signer_, network_.process_count())) return;
+    fd_.on_receive(from, message);
+    selector_.on_delta(delta);
+    return;
+  }
+  if (auto digests =
+          std::dynamic_pointer_cast<const suspect::RowDigestMessage>(message)) {
+    selector_.on_row_digests(from, *digests);
     return;
   }
   if (auto followers =

@@ -32,6 +32,8 @@ struct FollowerClusterConfig {
   sim::NetworkConfig network;  // fifo_links forced on by the cluster
   fd::FailureDetectorConfig fd;
   SimDuration heartbeat_period = 5'000'000;  // 0 disables heartbeats
+  /// Suspicion dissemination wire format (node_process.hpp).
+  suspect::GossipMode gossip = suspect::GossipMode::kDelta;
 };
 
 class FollowerProcess final : public sim::Actor {

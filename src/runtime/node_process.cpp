@@ -1,7 +1,9 @@
 #include "runtime/node_process.hpp"
 
 #include <memory>
+#include <utility>
 
+#include "suspect/delta_update_message.hpp"
 #include "suspect/update_message.hpp"
 
 namespace qsel::runtime {
@@ -20,7 +22,8 @@ NodeProcess::NodeProcess(net::Transport& transport,
           [this, alive = alive_](ProcessSet suspects) {
             if (*alive) selector_.on_suspected(suspects);
           }),
-      selector_(signer_, qs::QuorumSelectorConfig{config.n, config.f},
+      selector_(signer_,
+                qs::QuorumSelectorConfig{config.n, config.f, config.gossip},
                 qs::QuorumSelector::Hooks{
                     [](ProcessSet) { /* application consumes the quorum */ },
                     [this](sim::PayloadPtr msg) {
@@ -29,7 +32,10 @@ NodeProcess::NodeProcess(net::Transport& transport,
                               ProcessSet{self()},
                           msg);
                     },
-                    [this] { maybe_persist(); }}) {
+                    [this] { maybe_persist(); },
+                    [this](ProcessId to, sim::PayloadPtr msg) {
+                      transport_.send(to, std::move(msg));
+                    }}) {
   transport_.set_handler([this](ProcessId from, const sim::PayloadPtr& msg) {
     on_message(from, msg);
   });
@@ -89,14 +95,25 @@ void NodeProcess::tick() {
 
 void NodeProcess::maybe_persist() {
   if (store_ == nullptr) return;
+  // Dirty check before any O(n) work: the own-row version counter moves
+  // exactly when a cell of the own row increases, the FD generation
+  // exactly when a timeout adapts. Steady-state ticks exit here without
+  // copying the row or the timeout vector.
+  const auto row_version = selector_.matrix().row_version(self());
+  const Epoch epoch = selector_.epoch();
+  const std::uint64_t fd_generation = fd_.timeout_generation();
+  if (has_persisted_ && row_version == persisted_row_version_ &&
+      epoch == persisted_epoch_ && fd_generation == persisted_fd_generation_)
+    return;
   store::DurableNodeState state;
-  state.epoch = selector_.epoch();
+  state.epoch = epoch;
   const auto row = selector_.matrix().row(self());
   state.own_row.assign(row.begin(), row.end());
   state.fd_timeouts = fd_.timeouts();
-  if (has_persisted_ && state == last_persisted_) return;
   store_->persist(state);
-  last_persisted_ = std::move(state);
+  persisted_row_version_ = row_version;
+  persisted_epoch_ = epoch;
+  persisted_fd_generation_ = fd_generation;
   has_persisted_ = true;
 }
 
@@ -108,6 +125,21 @@ void NodeProcess::on_message(ProcessId from, const sim::PayloadPtr& message) {
     if (!update->verify(signer_, transport_.process_count())) return;
     fd_.on_receive(from, message);
     selector_.on_update(update);
+    return;
+  }
+  if (auto delta = std::dynamic_pointer_cast<const suspect::DeltaUpdateMessage>(
+          message)) {
+    if (!delta->verify(signer_, transport_.process_count())) return;
+    fd_.on_receive(from, message);
+    selector_.on_delta(delta);
+    return;
+  }
+  if (auto digests =
+          std::dynamic_pointer_cast<const suspect::RowDigestMessage>(message)) {
+    // Unsigned anti-entropy advice: never fed to the failure detector,
+    // and a lying digest costs at most bounded repair traffic
+    // (suspicion_core.hpp). The core re-checks well-formedness.
+    selector_.on_row_digests(from, *digests);
     return;
   }
   if (auto heartbeat =

@@ -31,6 +31,10 @@ struct NodeProcessConfig {
   /// Heartbeat period; 0 disables the heartbeat application (experiments
   /// that inject suspicions directly).
   SimDuration heartbeat_period = 5'000'000;  // 5 ms
+  /// Suspicion dissemination wire format. The composed runtime defaults
+  /// to delta gossip with digest anti-entropy (DESIGN.md §11); kFullRow
+  /// reproduces the paper's unconditional full-row UPDATEs.
+  suspect::GossipMode gossip = suspect::GossipMode::kDelta;
 };
 
 class NodeProcess {
@@ -87,7 +91,13 @@ class NodeProcess {
   qs::QuorumSelector selector_;
   std::uint64_t heartbeat_seq_ = 0;
   bool stopped_ = false;
-  store::DurableNodeState last_persisted_;
+  /// Dirty markers for maybe_persist: the own-row version counter, epoch
+  /// and FD timeout generation together cover every field of
+  /// DurableNodeState, so an unchanged triple means the O(n) snapshot
+  /// build and store write can be skipped (the per-tick common case).
+  suspect::RowVersion persisted_row_version_ = 0;
+  Epoch persisted_epoch_ = 0;
+  std::uint64_t persisted_fd_generation_ = 0;
   bool has_persisted_ = false;
 };
 

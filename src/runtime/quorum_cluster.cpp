@@ -19,6 +19,7 @@ QuorumCluster::QuorumCluster(QuorumClusterConfig config, ProcessSet byzantine)
   node_config.f = config.f;
   node_config.fd = config.fd;
   node_config.heartbeat_period = config.heartbeat_period;
+  node_config.gossip = config.gossip;
   for (ProcessId id : correct_) {
     transports_[id] = std::make_unique<SimTransport>(*network_, id);
     stores_[id] = std::make_unique<store::MemoryNodeStore>();
@@ -52,6 +53,7 @@ void QuorumCluster::restart(ProcessId id) {
   node_config.f = config_.f;
   node_config.fd = config_.fd;
   node_config.heartbeat_period = config_.heartbeat_period;
+  node_config.gossip = config_.gossip;
   // Destroy-then-rebuild over the same transport slot and store: the new
   // process recovers in its constructor (join semantics — a second
   // recovery of the same store is a no-op) and re-registers its handler.

@@ -37,6 +37,8 @@ struct QuorumClusterConfig {
   /// Heartbeat period; 0 disables the heartbeat application (experiments
   /// that inject suspicions directly).
   SimDuration heartbeat_period = 5'000'000;  // 5 ms
+  /// Suspicion dissemination wire format (node_process.hpp).
+  suspect::GossipMode gossip = suspect::GossipMode::kDelta;
 };
 
 /// Historical name: the per-process stack now lives in NodeProcess (it is

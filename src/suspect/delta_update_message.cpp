@@ -1,0 +1,63 @@
+#include "suspect/delta_update_message.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace qsel::suspect {
+
+std::vector<std::uint8_t> DeltaUpdateMessage::signed_bytes() const {
+  net::Encoder enc;
+  enc.str("suspect.delta");  // domain separation
+  enc.process_id(origin);
+  enc.u64(version);
+  enc.u32(static_cast<std::uint32_t>(cells.size()));
+  for (const DeltaCell& c : cells) {
+    enc.u32(c.col);
+    enc.u64(c.stamp);
+  }
+  return std::move(enc).take();
+}
+
+std::shared_ptr<const DeltaUpdateMessage> DeltaUpdateMessage::make(
+    const crypto::Signer& signer, std::uint64_t version,
+    std::vector<DeltaCell> cells) {
+  auto msg = std::make_shared<DeltaUpdateMessage>();
+  msg->origin = signer.self();
+  msg->version = version;
+  msg->cells = std::move(cells);
+  msg->sig = signer.sign(msg->signed_bytes());
+  return msg;
+}
+
+bool DeltaUpdateMessage::verify(const crypto::Signer& verifier,
+                                ProcessId n) const {
+  if (origin >= n) return false;
+  if (cells.empty()) return false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].col >= n || cells[i].stamp == 0) return false;
+    if (i > 0 && cells[i].col <= cells[i - 1].col) return false;
+  }
+  if (sig.signer != origin) return false;
+  return verifier.verify(signed_bytes(), sig);
+}
+
+RowDigest row_digest(std::span<const Epoch> row) {
+  net::Encoder enc;
+  enc.str("suspect.rowdigest");  // domain separation
+  enc.u64_vector(row);
+  const crypto::Digest full = crypto::sha256(enc.view());
+  RowDigest out{};
+  std::memcpy(out.data(), full.bytes.data(), out.size());
+  return out;
+}
+
+bool RowDigestMessage::well_formed(ProcessId n) const {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].row >= n) return false;
+    if (i > 0 && entries[i].row <= entries[i - 1].row) return false;
+  }
+  return true;
+}
+
+}  // namespace qsel::suspect

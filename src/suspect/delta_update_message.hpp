@@ -1,0 +1,97 @@
+// Delta gossip messages (the bandwidth side of the hot-path work).
+//
+// DELTA-UPDATE carries only the suspicion cells the origin stamped since
+// its last broadcast, instead of the full n-entry row. It is signed by the
+// origin over its canonical encoding — forwarders relay it intact, exactly
+// like full-row UPDATEs — and receivers max-merge the carried cells
+// unconditionally: cell-wise join is order- and duplicate-insensitive, so
+// a delta arriving late, twice, or ahead of an earlier one can only move
+// the matrix toward the same CRDT fixpoint, never away from it. The
+// `version` field is the origin's own-row change counter after these
+// stamps; it is advisory (receivers use it to notice gaps worth repairing,
+// never to gate a merge).
+//
+// ROW-DIGEST is the anti-entropy companion: instead of re-broadcasting the
+// full known matrix every resync, a process broadcasts 16-byte truncated
+// SHA-256 digests of its nonzero rows. A receiver compares against its own
+// rows and answers — point to point, only to the asker — with the signed
+// messages backing exactly the divergent rows. ROW-DIGEST itself is
+// unsigned: digests are hints that trigger repair traffic, and every
+// repair message is origin-signed, so a lying digest can waste bounded
+// bandwidth on one link but can never corrupt state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+#include "net/codec.hpp"
+#include "sim/payload.hpp"
+
+namespace qsel::suspect {
+
+/// One sparse entry of a delta: "origin suspects `col` since `stamp`".
+struct DeltaCell {
+  ProcessId col = kNoProcess;
+  Epoch stamp = 0;
+
+  bool operator==(const DeltaCell&) const = default;
+};
+
+struct DeltaUpdateMessage final : sim::Payload {
+  ProcessId origin = kNoProcess;
+  /// Origin's own-row version after these stamps (advisory; see header).
+  std::uint64_t version = 0;
+  /// Strictly increasing columns, stamps > 0.
+  std::vector<DeltaCell> cells;
+  crypto::Signature sig;
+
+  std::string_view type_tag() const override { return "suspect.delta"; }
+  std::size_t wire_size() const override {
+    return 4 + 8 + 4 + 12 * cells.size() + 36;
+  }
+
+  /// Canonical bytes covered by the signature.
+  std::vector<std::uint8_t> signed_bytes() const;
+
+  static std::shared_ptr<const DeltaUpdateMessage> make(
+      const crypto::Signer& signer, std::uint64_t version,
+      std::vector<DeltaCell> cells);
+
+  /// Signature valid, origin < n, cells nonempty with strictly increasing
+  /// in-range columns and nonzero stamps.
+  bool verify(const crypto::Signer& verifier, ProcessId n) const;
+};
+
+/// 16-byte truncated SHA-256 of one matrix row (birthday bound 2^64 —
+/// a Byzantine origin must not be able to craft two own-rows that collide,
+/// or digest repair would silently stall on that row forever).
+using RowDigest = std::array<std::uint8_t, 16>;
+
+RowDigest row_digest(std::span<const Epoch> row);
+
+struct RowDigestEntry {
+  ProcessId row = kNoProcess;
+  RowDigest digest{};
+
+  bool operator==(const RowDigestEntry&) const = default;
+};
+
+struct RowDigestMessage final : sim::Payload {
+  /// Strictly increasing row ids; only nonzero rows are listed (an absent
+  /// row claims "all zero", which the receiver treats as divergent when it
+  /// holds data for it).
+  std::vector<RowDigestEntry> entries;
+
+  std::string_view type_tag() const override { return "suspect.digest"; }
+  std::size_t wire_size() const override { return 4 + 20 * entries.size(); }
+
+  /// Structural validity: strictly increasing in-range rows.
+  bool well_formed(ProcessId n) const;
+};
+
+}  // namespace qsel::suspect

@@ -1,5 +1,6 @@
 #include "suspect/suspicion_core.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -8,25 +9,77 @@
 
 namespace qsel::suspect {
 
+namespace {
+const sim::PayloadPtr kNoBasis{};
+}  // namespace
+
 SuspicionCore::SuspicionCore(const crypto::Signer& signer, ProcessId n,
-                             Hooks hooks)
+                             Hooks hooks, GossipMode mode)
     : signer_(signer),
       n_(n),
       hooks_(std::move(hooks)),
+      mode_(mode),
       matrix_(n),
-      latest_(n) {
+      graph_(n),
+      latest_(n),
+      basis_(static_cast<std::size_t>(n) * n),
+      digest_cache_(n),
+      digest_cache_version_(n, 0) {
   QSEL_REQUIRE(signer.self() < n);
   QSEL_REQUIRE(hooks_.broadcast != nullptr);
   QSEL_REQUIRE(hooks_.update_quorum != nullptr);
 }
 
+bool SuspicionCore::merge_cell_tracked(ProcessId l, ProcessId k, Epoch stamp,
+                                       const sim::PayloadPtr& basis,
+                                       bool& graph_changed) {
+  if (!matrix_.merge_cell(l, k, stamp)) return false;
+  if (basis && l != self())
+    basis_[static_cast<std::size_t>(l) * n_ + k] = basis;
+  if (l != k && stamp >= epoch_ && !graph_.has_edge(l, k)) {
+    graph_.add_edge(l, k);
+    graph_changed = true;
+  }
+  return true;
+}
+
+void SuspicionCore::rebuild_graph() {
+  graph_ = matrix_.build_suspect_graph(epoch_);
+}
+
 void SuspicionCore::stamp_and_broadcast() {
-  for (ProcessId j : suspecting_) matrix_.stamp(self(), j, epoch_);
-  std::vector<Epoch> row(matrix_.row(self()).begin(),
-                         matrix_.row(self()).end());
+  bool graph_changed = false;
+  for (ProcessId j : suspecting_)
+    merge_cell_tracked(self(), j, epoch_, kNoBasis, graph_changed);
   // Log-before-send: once a peer has seen this row/epoch, the local store
   // must never forget it (the restart oracle checks epoch monotonicity).
   if (hooks_.persist) hooks_.persist();
+  const RowVersion version = matrix_.row_version(self());
+  if (mode_ == GossipMode::kDelta) {
+    const std::vector<ProcessId> cols =
+        matrix_.changed(self(), last_broadcast_version_);
+    // Nothing stamped since the last broadcast: peers already hold this
+    // row (or the digest resync will tell them), so stay silent instead
+    // of re-shipping n unchanged cells.
+    if (cols.empty()) return;
+    last_broadcast_version_ = version;
+    std::vector<DeltaCell> cells;
+    cells.reserve(cols.size());
+    for (ProcessId col : cols)
+      cells.push_back({col, matrix_.get(self(), col)});
+    auto delta = DeltaUpdateMessage::make(signer_, version, std::move(cells));
+    const std::size_t full_size = 4 + 8 * static_cast<std::size_t>(n_) + 36;
+    if (delta->wire_size() < full_size) {
+      ++deltas_broadcast_;
+      hooks_.broadcast(std::move(delta));
+      return;
+    }
+    // A delta touching most of the row is larger than the row itself —
+    // fall through to the full-row encoding.
+  }
+  last_broadcast_version_ = version;
+  std::vector<Epoch> row(matrix_.row(self()).begin(),
+                         matrix_.row(self()).end());
   ++updates_broadcast_;
   hooks_.broadcast(UpdateMessage::make(signer_, std::move(row)));
 }
@@ -46,6 +99,26 @@ void SuspicionCore::on_suspected(ProcessSet s) {
   hooks_.update_quorum();
 }
 
+void SuspicionCore::after_merge(bool graph_changed,
+                                const sim::PayloadPtr& forward,
+                                ProcessId origin, std::uint64_t content_tag) {
+  if (tracer_) tracer_->update_merge(self(), origin, content_tag);
+  // Forward-on-change (Line 23), then re-evaluate (Line 24) — this order
+  // matters: FIFO receivers must see the UPDATE before any FOLLOWERS
+  // message that update_quorum may trigger (Lemma 7).
+  ++updates_forwarded_;
+  if (tracer_) tracer_->update_forward(self(), origin, content_tag);
+  hooks_.broadcast(forward);
+  // The quorum is a deterministic function of (suspect graph, epoch): a
+  // merge that moved stamps without adding an edge at the current epoch
+  // cannot change the solver's answer, so don't ask it.
+  if (graph_changed) {
+    hooks_.update_quorum();
+  } else {
+    ++solver_calls_skipped_;
+  }
+}
+
 bool SuspicionCore::on_update(const std::shared_ptr<const UpdateMessage>& msg) {
   QSEL_REQUIRE(msg != nullptr);
   if (!msg->verify(signer_, n_)) {
@@ -60,17 +133,97 @@ bool SuspicionCore::on_update(const std::shared_ptr<const UpdateMessage>& msg) {
   // per-content discriminator for the trace.
   const std::uint64_t content_tag = msg->sig.tag.prefix64();
   if (tracer_) tracer_->update_receive(self(), msg->origin, content_tag);
-  if (!matrix_.merge_row(msg->origin, msg->row)) return false;
-  latest_[msg->origin] = msg;  // newest changing row; re-offered by resync()
-  if (tracer_) tracer_->update_merge(self(), msg->origin, content_tag);
-  // Forward-on-change (Line 23), then re-evaluate (Line 24) — this order
-  // matters: FIFO receivers must see the UPDATE before any FOLLOWERS
-  // message that update_quorum may trigger (Lemma 7).
-  ++updates_forwarded_;
-  if (tracer_) tracer_->update_forward(self(), msg->origin, content_tag);
-  hooks_.broadcast(msg);
-  hooks_.update_quorum();
+  bool changed = false;
+  bool graph_changed = false;
+  for (ProcessId k = 0; k < n_; ++k)
+    changed |= merge_cell_tracked(msg->origin, k, msg->row[k], msg,
+                                  graph_changed);
+  if (!changed) return false;
+  latest_[msg->origin] = msg;  // newest changing row; kFullRow resync
+  after_merge(graph_changed, msg, msg->origin, content_tag);
   return true;
+}
+
+bool SuspicionCore::on_delta(
+    const std::shared_ptr<const DeltaUpdateMessage>& msg) {
+  QSEL_REQUIRE(msg != nullptr);
+  if (!msg->verify(signer_, n_)) {
+    ++updates_rejected_;
+    if (tracer_) tracer_->update_reject(self(), msg->origin);
+    QSEL_LOG(kWarn, "suspect")
+        << "p" << self() << " rejected DELTA-UPDATE claiming origin p"
+        << msg->origin;
+    return false;
+  }
+  const std::uint64_t content_tag = msg->sig.tag.prefix64();
+  if (tracer_) tracer_->update_receive(self(), msg->origin, content_tag);
+  bool changed = false;
+  bool graph_changed = false;
+  for (const DeltaCell& c : msg->cells)
+    changed |= merge_cell_tracked(msg->origin, c.col, c.stamp, msg,
+                                  graph_changed);
+  if (!changed) return false;
+  after_merge(graph_changed, msg, msg->origin, content_tag);
+  return true;
+}
+
+const RowDigest& SuspicionCore::cached_digest(ProcessId r) {
+  const RowVersion v = matrix_.row_version(r);
+  if (digest_cache_version_[r] != v) {
+    digest_cache_[r] = row_digest(matrix_.row(r));
+    digest_cache_version_[r] = v;
+  }
+  return digest_cache_[r];
+}
+
+std::shared_ptr<const RowDigestMessage> SuspicionCore::make_digest_message() {
+  auto msg = std::make_shared<RowDigestMessage>();
+  for (ProcessId r = 0; r < n_; ++r)
+    if (matrix_.row_version(r) > 0)
+      msg->entries.push_back({r, cached_digest(r)});
+  return msg;
+}
+
+void SuspicionCore::send_row_repair(ProcessId to, ProcessId r) {
+  const auto push = [&](sim::PayloadPtr m) {
+    ++repairs_sent_;
+    if (hooks_.send)
+      hooks_.send(to, std::move(m));
+    else
+      hooks_.broadcast(std::move(m));
+  };
+  if (r == self()) {
+    // The own row can always be re-signed fresh — one message, exact.
+    std::vector<Epoch> row(matrix_.row(r).begin(), matrix_.row(r).end());
+    push(UpdateMessage::make(signer_, std::move(row)));
+    return;
+  }
+  // Another origin's row cannot be re-signed here; offer the deduplicated
+  // set of origin-signed messages that established its current cells. By
+  // construction the set covers the row exactly and stays authenticated.
+  std::vector<const sim::Payload*> seen;
+  for (ProcessId k = 0; k < n_; ++k) {
+    const sim::PayloadPtr& b = basis_[static_cast<std::size_t>(r) * n_ + k];
+    if (!b) continue;
+    if (std::find(seen.begin(), seen.end(), b.get()) != seen.end()) continue;
+    seen.push_back(b.get());
+    push(b);
+  }
+}
+
+void SuspicionCore::on_row_digests(ProcessId from, const RowDigestMessage& msg) {
+  if (from >= n_ || from == self()) return;
+  if (!msg.well_formed(n_)) return;
+  std::size_t i = 0;  // entries are sorted by row; walk them in lockstep
+  for (ProcessId r = 0; r < n_; ++r) {
+    while (i < msg.entries.size() && msg.entries[i].row < r) ++i;
+    const bool listed = i < msg.entries.size() && msg.entries[i].row == r;
+    if (matrix_.row_version(r) == 0) continue;  // nothing to offer for r
+    if (listed && msg.entries[i].digest == cached_digest(r)) continue;
+    // The sender lacks row r entirely or holds a different image of it.
+    // Push our backing messages; the join absorbs anything it already has.
+    send_row_repair(from, r);
+  }
 }
 
 void SuspicionCore::advance_epoch(Epoch new_epoch) {
@@ -80,6 +233,9 @@ void SuspicionCore::advance_epoch(Epoch new_epoch) {
   if (tracer_) tracer_->epoch_advance(self(), new_epoch);
   QSEL_LOG(kDebug, "suspect") << "p" << self() << " advanced to epoch "
                               << new_epoch;
+  // Raising the epoch drops every edge stamped below it — the one merge
+  // direction incremental maintenance cannot express, so rebuild.
+  rebuild_graph();
   stamp_and_broadcast();
 }
 
@@ -88,16 +244,26 @@ void SuspicionCore::restore(Epoch epoch, std::span<const Epoch> own_row) {
   QSEL_REQUIRE(own_row.empty() || own_row.size() == n_);
   if (epoch > epoch_) epoch_ = epoch;
   if (!own_row.empty()) matrix_.merge_row(self(), own_row);
+  rebuild_graph();
   QSEL_LOG(kInfo, "suspect") << "p" << self() << " restored to epoch "
                              << epoch_;
 }
 
 void SuspicionCore::resync() {
   // Stamping is idempotent here (the current suspicions already carry the
-  // current epoch), so this is purely a re-broadcast of the own row...
+  // current epoch), so this is purely a re-broadcast of anything peers
+  // might not have heard yet.
   stamp_and_broadcast();
-  // ...followed by a re-offer of every other origin's latest signed row,
-  // making the gossip epidemic (see the header comment). Receivers absorb
+  if (mode_ == GossipMode::kDelta) {
+    // Digest-first anti-entropy: one O(n)-byte summary instead of O(n)
+    // full rows. Peers push origin-signed repairs only for rows that
+    // actually diverge (on_row_digests).
+    ++digests_broadcast_;
+    hooks_.broadcast(make_digest_message());
+    return;
+  }
+  // kFullRow: re-offer every other origin's latest signed row, making the
+  // gossip epidemic (see the header comment). Receivers absorb
   // already-known rows as no-change without re-forwarding, so steady-state
   // cost is O(n) messages per resync and no amplification.
   for (ProcessId origin = 0; origin < n_; ++origin) {

@@ -16,6 +16,16 @@
 // argument needs), avoiding the self-hop and the pseudocode's stall when a
 // re-stamp does not change the own row (e.g. an epoch bump with an empty
 // suspicion set would otherwise never re-run updateQuorum).
+//
+// Performance posture (DESIGN.md §11): the suspect graph is maintained
+// incrementally as stamps merge — update_quorum fires only when the graph
+// at the current epoch actually gained an edge, because the quorum is a
+// deterministic function of (graph, epoch) and re-running the solver on an
+// unchanged graph is a guaranteed no-op. In kDelta gossip mode the core
+// broadcasts sparse DELTA-UPDATEs (only cells stamped since the last
+// broadcast) and replaces the full-matrix anti-entropy re-offer with a
+// digest-first exchange: resync broadcasts per-row hashes, and receivers
+// push the origin-signed messages backing exactly the divergent rows.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +38,7 @@
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
 #include "graph/simple_graph.hpp"
+#include "suspect/delta_update_message.hpp"
 #include "suspect/suspicion_matrix.hpp"
 #include "suspect/update_message.hpp"
 
@@ -37,13 +48,19 @@ class Tracer;
 
 namespace qsel::suspect {
 
+/// How the core disseminates suspicion state. kFullRow is the paper's
+/// wire format (every UPDATE carries the full row; resync re-offers the
+/// known matrix) and the default, so pre-existing embedders and the
+/// protocol unit tests are unaffected. Composed runtimes opt into kDelta.
+enum class GossipMode { kFullRow, kDelta };
+
 class SuspicionCore {
  public:
   struct Hooks {
     /// Broadcasts a message to every other process (self excluded — local
     /// effects are applied synchronously).
     std::function<void(sim::PayloadPtr)> broadcast;
-    /// Re-evaluates the quorum after the matrix or epoch changed
+    /// Re-evaluates the quorum after the suspect graph or epoch changed
     /// (Algorithm 1 Line 24).
     std::function<void()> update_quorum;
     /// Optional write-ahead hook: invoked after the own row or epoch
@@ -51,20 +68,26 @@ class SuspicionCore {
     /// have told peers something the local store forgot. Durable nodes
     /// point this at their NodeStore; the simulator leaves it empty.
     std::function<void()> persist;
+    /// Optional point-to-point send, used by digest anti-entropy to
+    /// answer exactly the peer whose rows diverged. When unset, repairs
+    /// fall back to broadcast (correct, just not frugal).
+    std::function<void(ProcessId, sim::PayloadPtr)> send = {};
   };
 
-  SuspicionCore(const crypto::Signer& signer, ProcessId n, Hooks hooks);
+  SuspicionCore(const crypto::Signer& signer, ProcessId n, Hooks hooks,
+                GossipMode mode = GossipMode::kFullRow);
 
   ProcessId self() const { return signer_.self(); }
   ProcessId process_count() const { return n_; }
   Epoch epoch() const { return epoch_; }
+  GossipMode gossip_mode() const { return mode_; }
   ProcessSet suspecting() const { return suspecting_; }
   const SuspicionMatrix& matrix() const { return matrix_; }
 
-  /// Suspect graph at the current epoch (Section VI-B).
-  graph::SimpleGraph current_graph() const {
-    return matrix_.build_suspect_graph(epoch_);
-  }
+  /// Suspect graph at the current epoch (Section VI-B), maintained
+  /// incrementally: O(1) per merged stamp, full rebuild only on epoch
+  /// advance or restore.
+  const graph::SimpleGraph& current_graph() const { return graph_; }
 
   /// Handles <SUSPECTED, S> from the failure detector: updateSuspicions(S)
   /// followed by quorum re-evaluation.
@@ -74,6 +97,20 @@ class SuspicionCore {
   /// signature). Invalid signatures are dropped. Returns true when the
   /// matrix changed.
   bool on_update(const std::shared_ptr<const UpdateMessage>& msg);
+
+  /// Handles a received DELTA-UPDATE: verifies the origin signature and
+  /// max-merges the carried cells (unconditional join — order, duplicate
+  /// and gap insensitive; see delta_update_message.hpp). Forwards on
+  /// change, exactly like full-row UPDATEs. Returns true when the matrix
+  /// changed.
+  bool on_delta(const std::shared_ptr<const DeltaUpdateMessage>& msg);
+
+  /// Handles a received ROW-DIGEST from `from`: compares against the local
+  /// rows and pushes the signed messages backing every row where the
+  /// sender is behind or divergent (point to point via Hooks::send).
+  /// Digests are unauthenticated hints — a lying sender costs bounded
+  /// repair traffic on its own link, never state.
+  void on_row_digests(ProcessId from, const RowDigestMessage& msg);
 
   /// Advances the epoch (must increase) and re-issues the current
   /// suspicions in the new epoch (Lines 28-29). Called by the owner's
@@ -87,19 +124,22 @@ class SuspicionCore {
   /// decides when (QuorumSelector::restore re-runs update_quorum).
   void restore(Epoch epoch, std::span<const Epoch> own_row);
 
-  /// Anti-entropy retransmission: re-broadcasts the own signed row plus
-  /// the latest signed UPDATE merged from every other origin.
-  /// Forward-on-change (Lemma 1) disseminates reliably only over reliable
-  /// links; when links drop messages (e.g. during a partition) a lost
+  /// Anti-entropy retransmission. Forward-on-change (Lemma 1) disseminates
+  /// reliably only over reliable links; when links drop messages a lost
   /// UPDATE is never re-sent and matrices can stay split after the network
-  /// heals. Re-offering the whole known matrix — not just the own row —
-  /// makes dissemination epidemic: any row held by at least one correct
-  /// connected process eventually reaches all of them, even when its
-  /// origin has crashed or is Byzantine and silent. (Forwarders relay the
-  /// origin-signed message, so re-offered rows stay authenticated.)
-  /// Receivers treat an already-merged row as no-change: no forward, no
-  /// quorum re-evaluation — duplicates are absorbed, not amplified.
+  /// heals, so every 16th heartbeat the runtimes call resync(). In
+  /// kFullRow mode this re-broadcasts the own signed row plus the latest
+  /// signed UPDATE merged from every other origin — O(n) full rows, O(n²)
+  /// bytes. In kDelta mode it broadcasts one ROW-DIGEST message instead
+  /// (O(n) digest bytes); receivers answer with repairs only for rows that
+  /// actually diverge, so the steady-state resync cost collapses to the
+  /// digest traffic. Either way duplicates are absorbed as no-change: no
+  /// forward, no quorum re-evaluation, no amplification.
   void resync();
+
+  /// Digest summary of the local rows (kDelta resync payload; exposed for
+  /// tests and benches). Cached per row until the row version moves.
+  std::shared_ptr<const RowDigestMessage> make_digest_message();
 
   /// Smallest epoch that removes at least one *other* process's live edge,
   /// i.e. (min live stamp outside the own row) + 1. The own row does not
@@ -112,31 +152,73 @@ class SuspicionCore {
   /// receive/merge/forward/reject and epoch advances are journaled.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
-  // --- statistics (experiment E8) --------------------------------------
+  // --- statistics (experiment E8 + BENCH_5) ----------------------------
   std::uint64_t updates_broadcast() const { return updates_broadcast_; }
   std::uint64_t updates_forwarded() const { return updates_forwarded_; }
   std::uint64_t updates_rejected() const { return updates_rejected_; }
   std::uint64_t epoch_advances() const { return epoch_advances_; }
+  std::uint64_t deltas_broadcast() const { return deltas_broadcast_; }
+  std::uint64_t digests_broadcast() const { return digests_broadcast_; }
+  std::uint64_t repairs_sent() const { return repairs_sent_; }
+  /// update_quorum invocations skipped because a merge changed the matrix
+  /// but not the suspect graph at the current epoch.
+  std::uint64_t solver_calls_skipped() const { return solver_calls_skipped_; }
 
  private:
   void stamp_and_broadcast();
+  /// Max-merges one cell, keeping graph_ in sync and (for non-self rows)
+  /// recording `basis` as the signed message backing the cell. Returns
+  /// true when the cell increased; sets `graph_changed` when the merge
+  /// added an edge at the current epoch.
+  bool merge_cell_tracked(ProcessId l, ProcessId k, Epoch stamp,
+                          const sim::PayloadPtr& basis, bool& graph_changed);
+  void rebuild_graph();
+  /// Sends (or broadcasts, without Hooks::send) the signed messages
+  /// backing row `r` to `to`.
+  void send_row_repair(ProcessId to, ProcessId r);
+  /// Shared merge epilogue: trace, forward-on-change, and the gated
+  /// update_quorum call. Only invoked when the matrix changed.
+  void after_merge(bool graph_changed, const sim::PayloadPtr& forward,
+                   ProcessId origin, std::uint64_t content_tag);
+  const RowDigest& cached_digest(ProcessId r);
 
   const crypto::Signer& signer_;
   ProcessId n_;
   Hooks hooks_;
+  GossipMode mode_;
   Epoch epoch_ = 1;
   ProcessSet suspecting_;
   SuspicionMatrix matrix_;
+  /// Suspect graph at epoch_, updated per merged stamp (see rebuild_graph
+  /// for the only O(n²) paths: epoch advance and restore).
+  graph::SimpleGraph graph_;
   /// latest_[origin]: the most recent UPDATE from `origin` whose merge
-  /// changed the matrix; re-offered by resync(). Correct origins send
-  /// cell-wise monotone rows, so the latest changing message dominates all
-  /// earlier ones and re-offering it alone reconstructs the full row.
+  /// changed the matrix; re-offered by kFullRow resync. Correct origins
+  /// send cell-wise monotone rows, so the latest changing message
+  /// dominates all earlier ones and re-offering it alone reconstructs the
+  /// full row.
   std::vector<std::shared_ptr<const UpdateMessage>> latest_;
+  /// basis_[origin * n + col]: the origin-signed message (full row or
+  /// delta) that established the current value of cell (origin, col).
+  /// Digest repair re-offers the deduplicated basis set of a row — every
+  /// repair stays origin-authenticated even though the repairer cannot
+  /// sign for the origin, and the set is bounded by n messages per row.
+  std::vector<sim::PayloadPtr> basis_;
+  /// Own-row version as of the last broadcast (kDelta: the next delta
+  /// carries exactly the cells stamped after this).
+  RowVersion last_broadcast_version_ = 0;
+  /// Per-row digest cache, valid while the row version matches.
+  std::vector<RowDigest> digest_cache_;
+  std::vector<RowVersion> digest_cache_version_;
   trace::Tracer* tracer_ = nullptr;
   std::uint64_t updates_broadcast_ = 0;
   std::uint64_t updates_forwarded_ = 0;
   std::uint64_t updates_rejected_ = 0;
   std::uint64_t epoch_advances_ = 0;
+  std::uint64_t deltas_broadcast_ = 0;
+  std::uint64_t digests_broadcast_ = 0;
+  std::uint64_t repairs_sent_ = 0;
+  std::uint64_t solver_calls_skipped_ = 0;
 };
 
 }  // namespace qsel::suspect

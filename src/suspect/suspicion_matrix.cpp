@@ -7,7 +7,10 @@
 namespace qsel::suspect {
 
 SuspicionMatrix::SuspicionMatrix(ProcessId n)
-    : n_(n), cells_(static_cast<std::size_t>(n) * n, 0) {
+    : n_(n),
+      cells_(static_cast<std::size_t>(n) * n, 0),
+      cell_versions_(static_cast<std::size_t>(n) * n, 0),
+      row_versions_(n, 0) {
   QSEL_REQUIRE(n > 0 && n <= kMaxProcesses);
 }
 
@@ -18,9 +21,17 @@ Epoch SuspicionMatrix::get(ProcessId suspecter, ProcessId suspected) const {
 
 void SuspicionMatrix::stamp(ProcessId suspecter, ProcessId suspected,
                             Epoch epoch) {
+  merge_cell(suspecter, suspected, epoch);
+}
+
+bool SuspicionMatrix::merge_cell(ProcessId suspecter, ProcessId suspected,
+                                 Epoch epoch) {
   QSEL_REQUIRE(suspecter < n_ && suspected < n_);
-  Epoch& cell = cells_[static_cast<std::size_t>(suspecter) * n_ + suspected];
-  cell = std::max(cell, epoch);
+  const std::size_t idx = static_cast<std::size_t>(suspecter) * n_ + suspected;
+  if (epoch <= cells_[idx]) return false;
+  cells_[idx] = epoch;
+  cell_versions_[idx] = ++row_versions_[suspecter];
+  return true;
 }
 
 bool SuspicionMatrix::merge_row(ProcessId suspecter,
@@ -28,19 +39,30 @@ bool SuspicionMatrix::merge_row(ProcessId suspecter,
   QSEL_REQUIRE(suspecter < n_);
   QSEL_REQUIRE(row.size() == n_);
   bool changed = false;
-  Epoch* cells = &cells_[static_cast<std::size_t>(suspecter) * n_];
-  for (ProcessId k = 0; k < n_; ++k) {
-    if (row[k] > cells[k]) {
-      cells[k] = row[k];
-      changed = true;
-    }
-  }
+  for (ProcessId k = 0; k < n_; ++k)
+    changed |= merge_cell(suspecter, k, row[k]);
   return changed;
 }
 
 std::span<const Epoch> SuspicionMatrix::row(ProcessId suspecter) const {
   QSEL_REQUIRE(suspecter < n_);
   return std::span(&cells_[static_cast<std::size_t>(suspecter) * n_], n_);
+}
+
+RowVersion SuspicionMatrix::row_version(ProcessId suspecter) const {
+  QSEL_REQUIRE(suspecter < n_);
+  return row_versions_[suspecter];
+}
+
+std::vector<ProcessId> SuspicionMatrix::changed(ProcessId suspecter,
+                                                RowVersion since) const {
+  QSEL_REQUIRE(suspecter < n_);
+  std::vector<ProcessId> cols;
+  const RowVersion* versions =
+      &cell_versions_[static_cast<std::size_t>(suspecter) * n_];
+  for (ProcessId k = 0; k < n_; ++k)
+    if (versions[k] > since) cols.push_back(k);
+  return cols;
 }
 
 graph::SimpleGraph SuspicionMatrix::build_suspect_graph(Epoch epoch) const {

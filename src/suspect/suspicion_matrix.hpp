@@ -7,6 +7,15 @@
 // converge to the same state regardless of delivery order, even when
 // faulty processes equivocate by sending different rows to different
 // peers (the join of the equivocated rows is what everyone ends up with).
+//
+// Version counters: every cell increase bumps a per-row version and
+// records it against the cell. Versions are *local bookkeeping*, not
+// CRDT state — two processes holding identical cells may hold different
+// versions (they merged along different paths), which is why equality
+// compares cells only. The counters exist so hot paths can ask "what
+// changed since version v?" instead of rescanning n cells (delta gossip,
+// dirty-gated persistence) and so row digests can be cached until the
+// row actually moves.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,9 @@
 #include "graph/simple_graph.hpp"
 
 namespace qsel::suspect {
+
+/// Monotone per-row change counter (0 = row never written).
+using RowVersion = std::uint64_t;
 
 class SuspicionMatrix {
  public:
@@ -35,7 +47,19 @@ class SuspicionMatrix {
   /// Entry-wise max-merge of a full row; true when anything increased.
   bool merge_row(ProcessId suspecter, std::span<const Epoch> row);
 
+  /// Max-merges one cell; true when it increased.
+  bool merge_cell(ProcessId suspecter, ProcessId suspected, Epoch epoch);
+
   std::span<const Epoch> row(ProcessId suspecter) const;
+
+  /// Version of `suspecter`'s row: bumped by every cell increase, 0 while
+  /// the row is all-zero. Monotone, local-only (see header comment).
+  RowVersion row_version(ProcessId suspecter) const;
+
+  /// Columns of `suspecter`'s row whose last increase happened strictly
+  /// after `since` (i.e. at version > since). Ascending column order.
+  /// `changed(l, 0)` lists every nonzero cell of row l.
+  std::vector<ProcessId> changed(ProcessId suspecter, RowVersion since) const;
 
   /// Builds the suspect graph of Section VI-B: nodes Pi, edge (l, k) iff
   /// suspected[l][k] >= epoch or suspected[k][l] >= epoch.
@@ -47,11 +71,17 @@ class SuspicionMatrix {
   /// intermediate (identical-graph) value.
   Epoch min_live_stamp(Epoch epoch) const;
 
-  bool operator==(const SuspicionMatrix&) const = default;
+  /// Cells-only: versions are merge-path-dependent bookkeeping and two
+  /// converged replicas must still compare equal (CRDT oracle).
+  bool operator==(const SuspicionMatrix& other) const {
+    return n_ == other.n_ && cells_ == other.cells_;
+  }
 
  private:
   ProcessId n_;
-  std::vector<Epoch> cells_;  // row-major n x n
+  std::vector<Epoch> cells_;        // row-major n x n
+  std::vector<RowVersion> cell_versions_;  // row version at last increase
+  std::vector<RowVersion> row_versions_;   // per-row change counter
 };
 
 }  // namespace qsel::suspect

@@ -15,6 +15,7 @@
 #include "graph/simple_graph.hpp"
 #include "net/codec.hpp"
 #include "runtime/heartbeat.hpp"
+#include "suspect/delta_update_message.hpp"
 #include "suspect/update_message.hpp"
 
 namespace qsel::net {
@@ -217,6 +218,136 @@ TEST(WireTest, EdgeEndpointOutOfRangeRejected) {
   enc.u64_vector(std::vector<std::uint64_t>{(std::uint64_t{7} << 32) | 1});
   enc.signature(sig);
   EXPECT_EQ(decode_message(enc.view(), kN), nullptr);
+}
+
+TEST(WireTest, DeltaUpdateRoundTripAuthenticates) {
+  const auto keys = test_keys();
+  const crypto::Signer signer(keys, 1);
+  const auto message = suspect::DeltaUpdateMessage::make(
+      signer, /*version=*/7,
+      {suspect::DeltaCell{0, 3}, suspect::DeltaCell{2, 5},
+       suspect::DeltaCell{4, 3}});
+
+  const auto body = encode_message(*message);
+  ASSERT_TRUE(body.has_value());
+  const sim::PayloadPtr decoded = decode_message(*body, kN);
+  ASSERT_NE(decoded, nullptr);
+
+  const auto* delta =
+      dynamic_cast<const suspect::DeltaUpdateMessage*>(decoded.get());
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->origin, 1u);
+  EXPECT_EQ(delta->version, 7u);
+  EXPECT_EQ(delta->cells, message->cells);
+  const crypto::Signer verifier(keys, 0);
+  EXPECT_TRUE(delta->verify(verifier, kN));
+  // Truncations of the valid body never decode.
+  for (std::size_t len = 0; len < body->size(); ++len)
+    EXPECT_EQ(decode_message(std::span(*body).first(len), kN), nullptr);
+}
+
+TEST(WireTest, RowDigestRoundTrips) {
+  suspect::RowDigestMessage message;
+  message.entries.push_back(
+      {0, suspect::row_digest(std::vector<Epoch>{0, 1, 0, 0, 2})});
+  message.entries.push_back(
+      {3, suspect::row_digest(std::vector<Epoch>{4, 0, 0, 0, 0})});
+
+  const auto body = encode_message(message);
+  ASSERT_TRUE(body.has_value());
+  const sim::PayloadPtr decoded = decode_message(*body, kN);
+  ASSERT_NE(decoded, nullptr);
+
+  const auto* digest =
+      dynamic_cast<const suspect::RowDigestMessage*>(decoded.get());
+  ASSERT_NE(digest, nullptr);
+  EXPECT_EQ(digest->entries, message.entries);
+  EXPECT_TRUE(digest->well_formed(kN));
+  for (std::size_t len = 0; len < body->size(); ++len)
+    EXPECT_EQ(decode_message(std::span(*body).first(len), kN), nullptr);
+}
+
+TEST(WireTest, MalformedDeltaRejected) {
+  const auto keys = test_keys();
+  const crypto::Signer signer(keys, 1);
+  const auto valid = suspect::DeltaUpdateMessage::make(
+      signer, 1, {suspect::DeltaCell{0, 2}, suspect::DeltaCell{3, 2}});
+  const auto body = encode_message(*valid);
+  ASSERT_TRUE(body.has_value());
+
+  // Empty cell list (count = 0).
+  {
+    auto bad = *body;
+    bad[1 + 4 + 8] = 0;  // tag, origin, version, then the count byte (LE)
+    EXPECT_EQ(decode_message(bad, kN), nullptr);
+  }
+  // Column out of range.
+  {
+    auto bad = *body;
+    bad[1 + 4 + 8 + 4] = kN;  // first cell's column
+    EXPECT_EQ(decode_message(bad, kN), nullptr);
+  }
+  // Columns not strictly increasing (swap cell columns 0 <-> 3).
+  {
+    auto bad = *body;
+    bad[1 + 4 + 8 + 4] = 3;
+    bad[1 + 4 + 8 + 4 + 12] = 0;
+    EXPECT_EQ(decode_message(bad, kN), nullptr);
+  }
+  // Zero stamp.
+  {
+    auto bad = *body;
+    for (std::size_t i = 0; i < 8; ++i) bad[1 + 4 + 8 + 4 + 4 + i] = 0;
+    EXPECT_EQ(decode_message(bad, kN), nullptr);
+  }
+}
+
+TEST(WireTest, MalformedRowDigestRejected) {
+  suspect::RowDigestMessage message;
+  message.entries.push_back({1, suspect::RowDigest{}});
+  message.entries.push_back({2, suspect::RowDigest{}});
+  const auto body = encode_message(message);
+  ASSERT_TRUE(body.has_value());
+
+  // Rows not strictly increasing.
+  {
+    auto bad = *body;
+    bad[1 + 4] = 2;           // first entry row
+    bad[1 + 4 + 20] = 1;      // second entry row
+    EXPECT_EQ(decode_message(bad, kN), nullptr);
+  }
+  // Row out of range.
+  {
+    auto bad = *body;
+    bad[1 + 4 + 20] = kN;
+    EXPECT_EQ(decode_message(bad, kN), nullptr);
+  }
+  // Trailing garbage.
+  {
+    auto bad = *body;
+    bad.push_back(0xAB);
+    EXPECT_EQ(decode_message(bad, kN), nullptr);
+  }
+}
+
+TEST(WireTest, TamperedDeltaFailsAuthentication) {
+  const auto keys = test_keys();
+  const crypto::Signer signer(keys, 2);
+  const auto message = suspect::DeltaUpdateMessage::make(
+      signer, 3, {suspect::DeltaCell{1, 4}});
+  const auto body = encode_message(*message);
+  ASSERT_TRUE(body.has_value());
+  auto bad = *body;
+  bad[1 + 4 + 8 + 4 + 4] ^= 0x01;  // flip a stamp bit
+  const auto decoded = decode_message(bad, kN);
+  if (decoded != nullptr) {
+    const auto* delta =
+        dynamic_cast<const suspect::DeltaUpdateMessage*>(decoded.get());
+    ASSERT_NE(delta, nullptr);
+    const crypto::Signer verifier(keys, 0);
+    EXPECT_FALSE(delta->verify(verifier, kN))
+        << "a flipped stamp must not re-authenticate";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// The memo + hint machinery in QuorumSelector is an optimization with an
+// exact spec: the quorum it reports must always equal the from-scratch
+// lexicographically-first independent set of size q in the suspect graph
+// the matrix implies at the current epoch. These properties drive
+// randomized stamp sequences — including epoch bumps and graph shapes
+// that revisit earlier adjacency images — and check that equality after
+// every single event, plus the bookkeeping the optimization promises
+// (no solver run when the graph did not change).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "graph/independent_set.hpp"
+#include "qs/quorum_selector.hpp"
+#include "suspect/update_message.hpp"
+
+namespace qsel::qs {
+namespace {
+
+struct SelectorFixture {
+  crypto::KeyRegistry keys;
+  crypto::Signer signer;
+  std::vector<sim::PayloadPtr> broadcasts;
+  QuorumSelector selector;
+
+  SelectorFixture(ProcessId n, int f, ProcessId self = 0,
+                  suspect::GossipMode mode = suspect::GossipMode::kFullRow)
+      : keys(n, 3),
+        signer(keys, self),
+        selector(signer, QuorumSelectorConfig{n, f, mode},
+                 QuorumSelector::Hooks{
+                     [](ProcessSet) {},
+                     [this](sim::PayloadPtr m) { broadcasts.push_back(m); },
+                     /*persist=*/{}}) {}
+};
+
+/// From-scratch oracle: rebuild the suspect graph from the matrix at the
+/// selector's current epoch and solve with no memo, no hint.
+ProcessSet oracle_quorum(const QuorumSelector& selector, int q) {
+  const auto graph =
+      selector.matrix().build_suspect_graph(selector.epoch());
+  const auto solved = graph::first_independent_set(graph, q);
+  // Algorithm 1 always lands on an epoch where a quorum exists (advancing
+  // drops edges until one does), so the oracle must find one too.
+  EXPECT_TRUE(solved.has_value());
+  return solved.value_or(ProcessSet{});
+}
+
+TEST(IncrementalSolverPropertyTest, AgreesWithFromScratchOnRandomSequences) {
+  constexpr ProcessId kN = 8;
+  constexpr int kF = 2;
+  const int q = static_cast<int>(kN) - kF;
+
+  for (std::uint64_t seed : {3u, 17u, 88u, 301u, 9000u}) {
+    std::mt19937_64 rng(seed);
+    SelectorFixture fx(kN, kF);
+    // Peer signers so received UPDATEs carry valid origin signatures.
+    std::vector<std::unique_ptr<crypto::Signer>> peers;
+    for (ProcessId id = 1; id < kN; ++id)
+      peers.push_back(std::make_unique<crypto::Signer>(fx.keys, id));
+
+    for (int step = 0; step < 120; ++step) {
+      const int kind = static_cast<int>(rng() % 3);
+      if (kind == 0) {
+        // Local suspicion burst (stamps own row, may advance the epoch).
+        ProcessSet suspects;
+        const ProcessId victim = static_cast<ProcessId>(rng() % kN);
+        if (victim != 0) suspects.insert(victim);
+        if (!suspects.empty()) fx.selector.on_suspected(suspects);
+      } else {
+        // Remote row: a peer suspecting a random subset at a random stamp
+        // no further than a couple of epochs ahead (far-future stamps are
+        // the next_epoch_candidate test's job, not this one's).
+        auto& peer = *peers[rng() % peers.size()];
+        std::vector<Epoch> row(kN, 0);
+        const Epoch stamp = fx.selector.epoch() + rng() % 2;
+        for (ProcessId col = 0; col < kN; ++col)
+          if (col != peer.self() && rng() % 3 == 0) row[col] = stamp;
+        fx.selector.on_update(suspect::UpdateMessage::make(peer, row));
+      }
+      ASSERT_EQ(fx.selector.quorum(), oracle_quorum(fx.selector, q))
+          << "divergence at seed " << seed << " step " << step
+          << " epoch " << fx.selector.epoch();
+    }
+    // The optimization must have actually engaged on a 120-event run:
+    // most merges re-see the same graph or add no edge.
+    const auto& core = fx.selector.core();
+    EXPECT_GT(fx.selector.cache_hits() + core.solver_calls_skipped(), 0u)
+        << "memo/incremental path never used at seed " << seed;
+  }
+}
+
+TEST(IncrementalSolverPropertyTest, MergeWithoutNewEdgeSkipsTheSolver) {
+  constexpr ProcessId kN = 6;
+  SelectorFixture fx(kN, 1);
+  const crypto::Signer peer(fx.keys, 1);
+
+  // Edge (1,3) enters the graph: solver must run.
+  std::vector<Epoch> row(kN, 0);
+  row[3] = fx.selector.epoch();
+  fx.selector.on_update(suspect::UpdateMessage::make(peer, row));
+  const std::uint64_t runs_after_edge = fx.selector.solver_runs();
+  const std::uint64_t skipped_before = fx.selector.core().solver_calls_skipped();
+
+  // A higher stamp on the SAME pair changes the matrix (cell increases)
+  // but not the graph at this epoch — the solver must not run again.
+  row[3] = fx.selector.epoch() + 1;
+  fx.selector.on_update(suspect::UpdateMessage::make(peer, row));
+  EXPECT_EQ(fx.selector.solver_runs(), runs_after_edge);
+  EXPECT_GT(fx.selector.core().solver_calls_skipped(), skipped_before);
+}
+
+TEST(IncrementalSolverPropertyTest, EpochBumpInvalidatesTheMemo) {
+  constexpr ProcessId kN = 6;
+  SelectorFixture fx(kN, 1);
+  const crypto::Signer p1(fx.keys, 1);
+  const crypto::Signer p2(fx.keys, 2);
+
+  // Two suspicions between distinct pairs force the quorum off default,
+  // then enough mutual suspicion forces an epoch advance.
+  std::vector<Epoch> row(kN, 0);
+  row[2] = 1;
+  fx.selector.on_update(suspect::UpdateMessage::make(p1, row));
+  const Epoch before = fx.selector.epoch();
+  ASSERT_EQ(fx.selector.quorum(),
+            oracle_quorum(fx.selector, static_cast<int>(kN) - 1));
+
+  // Saturate: everyone suspects everyone (via two rows plus local bursts)
+  // until no 5-independent-set exists at the epoch and it must advance.
+  std::vector<Epoch> all(kN, 1);
+  all[1] = 0;
+  fx.selector.on_update(suspect::UpdateMessage::make(p1, all));
+  std::vector<Epoch> all2(kN, 1);
+  all2[2] = 0;
+  fx.selector.on_update(suspect::UpdateMessage::make(p2, all2));
+  EXPECT_GT(fx.selector.epoch(), before);
+  EXPECT_EQ(fx.selector.quorum(),
+            oracle_quorum(fx.selector, static_cast<int>(kN) - 1));
+}
+
+TEST(IncrementalSolverPropertyTest, GrowingGraphNeverServesStaleMemo) {
+  // The memo key stores the exact adjacency image, so a graph that grew
+  // since the cached solve can never alias it ("signature collisions" are
+  // impossible by construction). Check the answer tracks the oracle
+  // across ∅ → {(1,2)} → {(1,2),(3,4)}, the last of which forces an
+  // epoch advance (two disjoint edges leave no 5-independent-set in K6's
+  // complement) — the memo must be bypassed or invalidated at each step.
+  constexpr ProcessId kN = 6;
+  SelectorFixture fx(kN, 1);
+  const crypto::Signer p1(fx.keys, 1);
+  const crypto::Signer p3(fx.keys, 3);
+
+  std::vector<Epoch> row1(kN, 0);
+  row1[2] = 1;  // edge (1,2)
+  fx.selector.on_update(suspect::UpdateMessage::make(p1, row1));
+  const ProcessSet q1 = fx.selector.quorum();
+  EXPECT_EQ(q1, oracle_quorum(fx.selector, static_cast<int>(kN) - 1));
+
+  const Epoch before = fx.selector.epoch();
+  std::vector<Epoch> row3(kN, 0);
+  row3[4] = 1;  // edge (3,4)
+  fx.selector.on_update(suspect::UpdateMessage::make(p3, row3));
+  const ProcessSet q2 = fx.selector.quorum();
+  EXPECT_GT(fx.selector.epoch(), before);
+  EXPECT_EQ(q2, oracle_quorum(fx.selector, static_cast<int>(kN) - 1));
+}
+
+TEST(IncrementalSolverPropertyTest, HintNeverChangesTheAnswer) {
+  // Direct solver-level check: for random graphs, first_independent_set
+  // with an arbitrary (possibly wrong) hint equals the hint-free answer.
+  std::mt19937_64 rng(77);
+  for (int round = 0; round < 200; ++round) {
+    const ProcessId n = static_cast<ProcessId>(5 + rng() % 6);
+    graph::SimpleGraph g(n);
+    for (ProcessId a = 0; a < n; ++a)
+      for (ProcessId b = a + 1; b < n; ++b)
+        if (rng() % 4 == 0) g.add_edge(a, b);
+    const int q = 2 + static_cast<int>(rng() % (n - 2));
+    ProcessSet hint;
+    for (ProcessId v = 0; v < n; ++v)
+      if (rng() % 2 == 0) hint.insert(v);
+    const auto plain = graph::first_independent_set(g, q);
+    const auto hinted = graph::first_independent_set(g, q, hint);
+    ASSERT_EQ(plain, hinted) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace qsel::qs

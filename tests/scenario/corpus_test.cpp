@@ -25,21 +25,21 @@ struct CorpusEntry {
 // REGENERATE: see file comment.
 constexpr CorpusEntry kCorpus[] = {
     {Protocol::kQuorumSelection, 1,
-     "1c56a9e472ef79bae54e3ce59db2a45cd3cd172d286f23b4c5b4bf7f0cd649c1"},
+     "8a8267bf9a7144a200967acf1580c60d64da9c099c3e4db9101ae6cf72d2666d"},
     {Protocol::kQuorumSelection, 2,
-     "eacb422c3e12051e6d0596c31229e28dfb8112a23159bff4ab2da1a10261a570"},
+     "b2041bf488ee4c565f0bc5d00b9222a7af10c77fe1ce50f87013c8ead369a7b4"},
     {Protocol::kQuorumSelection, 3,
-     "ef7f51441d7635057f9b8f16957d182660466ea577e1ab596353d9d8b1eb43d5"},
+     "e429e1329b25d6b17d9f013ec82640b3fbcb7e563fb17a78ccc242b26d4621af"},
     {Protocol::kQuorumSelection, 4,
-     "0f64ba3c63c96a96fd516cf1f39c323c6e60271025cc52ac7eb2bf6a3e174bf5"},
+     "d40afa2bbecae3675bb8305029b361c09cb15f3f77ec782b32593424ae114824"},
     {Protocol::kFollowerSelection, 1,
-     "6edc1ecc32f73770caad6f2375d7705d80b065509a45007d0eafafd71afdf8eb"},
+     "acc67e496005beff5acc89c4fba08a6282fd5334a128746f93ca6e483842cad0"},
     {Protocol::kFollowerSelection, 2,
-     "cf49fde9e5a2a01045626bedaddebe60dfe4e6c3a0d95635c55edb03fd751b98"},
+     "de30d1ed69c3197edefcb43db8521164241be8089107fc937ac0a9e510e8b2fe"},
     {Protocol::kFollowerSelection, 3,
-     "d5c184ca8a495cbd613455821eb3d4cf922fadfd95d92467518c2680ef6de775"},
+     "034646ea7972577d448cb4232cb3d0e348b1feb15f885237049f25d8765cf0f2"},
     {Protocol::kFollowerSelection, 4,
-     "00fdf66d5dea79390702b10405a873a31d07ce8c076f34cb8602e325e18571d5"},
+     "563e97760a0e1a6eb98e88704dce2f1979dfef3f0ce14cc90facc29e2b674efc"},
     {Protocol::kXPaxos, 1,
      "52506ca768837d42ed8b2fe33dd48db502ef794fdffdce5fe3e4b69aca65678e"},
     {Protocol::kXPaxos, 2,
@@ -49,24 +49,24 @@ constexpr CorpusEntry kCorpus[] = {
     // the heal; 10 and 14 are the fs counterparts. Picked by scanning
     // seeds 1..120 for partition+injection / partition+crash schedules.
     {Protocol::kQuorumSelection, 15,
-     "4664f21cfa992859abcfe9a9ab275cb5d2e6c1f6ab225f6a1a55d1c8e16c96bf"},
+     "620ae4dff61eaba07072ebfd09df337c996b1e221f794a9a995b9e6b7a343e59"},
     {Protocol::kQuorumSelection, 42,
-     "7e8f4f22083b50f5da6458f7a3fa1627849b6331a17ebfcfb3fd79064113f4a8"},
+     "c368b76b89bf6960af5c77b50f31964dda30a648dd56abb20a328922b0bba411"},
     {Protocol::kFollowerSelection, 10,
-     "94e5024205556d1af9798d60f68958997ac84a590227242a268fcbb89541e0c1"},
+     "81853d9d8066ddc602ad4101d2cfcba28c7c3d8e41e8a82ba7293d0ee07b2ee4"},
     {Protocol::kFollowerSelection, 14,
-     "c33afa92e47711a1dd5f34c80cea006ad25cdc4557c1a777a4c77d06e36625b7"},
+     "f313793fb704d65792e9ca7e214e7a7aec3d976be91928853b732d820e924419"},
     // Crash-then-restart archetype seeds (qs only): durable recovery
     // exercised under the fuzzer's oracles. 11 crashes and revives two
     // victims with overlapping outages, 20 three victims, and 24 includes
     // a double crash-restart of one victim (recovery idempotence); picked
     // by scanning seeds 1..200 for restart schedules.
     {Protocol::kQuorumSelection, 11,
-     "d19527e9726e4270de7279ffe250bba8efef9019bb5d5dc3e70104b374ec46a2"},
+     "1592093b58f5e0e62c3771b00a06bf970e99d5fd35ba566e5460539be25aebab"},
     {Protocol::kQuorumSelection, 20,
-     "cecc47712d220d6cd4c683f3a508f1baa299128a827c396e33790dd53c17b923"},
+     "fd0d2c0471163240f54e1b626471ffa474a208dd15487553a455f9630bcb6f50"},
     {Protocol::kQuorumSelection, 24,
-     "1776820d53a647b14546db04da3ce3e63c1759c640d69e736f9db2706a04daf7"},
+     "41a474da48998f523249fb6156a888af9e5492cf2807482605ce0ca86c9296fd"},
 };
 
 class CorpusTest : public ::testing::TestWithParam<CorpusEntry> {};

@@ -1,0 +1,212 @@
+// Delta gossip must be an encoding change, never a semantic one: a
+// receiver fed DELTA-UPDATEs converges to the *byte-identical*
+// SuspicionMatrix a receiver fed full-row UPDATEs reaches, under
+// arbitrary reordering, duplication and (with digest repair) loss. The
+// randomized cases mirror the fuzzer's delivery adversary at unit scale;
+// seeds are fixed so failures replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "suspect/delta_update_message.hpp"
+#include "suspect/suspicion_core.hpp"
+#include "suspect/update_message.hpp"
+
+namespace qsel::suspect {
+namespace {
+
+constexpr ProcessId kN = 6;
+
+/// One core plus capture of everything it broadcasts / sends.
+struct Node {
+  crypto::Signer signer;
+  std::vector<sim::PayloadPtr> broadcasts;
+  std::vector<std::pair<ProcessId, sim::PayloadPtr>> sends;
+  SuspicionCore core;
+
+  Node(const crypto::KeyRegistry& keys, ProcessId self, GossipMode mode)
+      : signer(keys, self),
+        core(signer, kN,
+             SuspicionCore::Hooks{
+                 [this](sim::PayloadPtr m) { broadcasts.push_back(m); },
+                 [] { /* quorum evaluation not under test */ },
+                 /*persist=*/{},
+                 [this](ProcessId to, sim::PayloadPtr m) {
+                   sends.emplace_back(to, m);
+                 }},
+             mode) {}
+};
+
+/// Feeds one captured payload into `node`, dispatching on runtime type the
+/// way the runtimes do.
+void deliver(Node& node, const sim::PayloadPtr& message) {
+  if (auto update = std::dynamic_pointer_cast<const UpdateMessage>(message)) {
+    node.core.on_update(update);
+  } else if (auto delta =
+                 std::dynamic_pointer_cast<const DeltaUpdateMessage>(message)) {
+    node.core.on_delta(delta);
+  } else if (auto digest =
+                 std::dynamic_pointer_cast<const RowDigestMessage>(message)) {
+    // Origin is irrelevant for state — repairs go to the from argument.
+    node.core.on_row_digests(kN - 1, *digest);
+  }
+}
+
+/// Applies the same randomized suspicion schedule to a fleet of origins in
+/// `mode`, then delivers every broadcast to one fresh receiver in
+/// `shuffled` order with duplicates. Returns the receiver.
+std::unique_ptr<Node> run_schedule(const crypto::KeyRegistry& keys,
+                                   GossipMode mode, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::unique_ptr<Node>> origins;
+  for (ProcessId id = 0; id + 1 < kN; ++id)
+    origins.push_back(std::make_unique<Node>(keys, id, mode));
+
+  // Random suspicion bursts; epoch advances mixed in so stamps span
+  // multiple epochs (re-stamping exercises multi-cell deltas).
+  for (int step = 0; step < 60; ++step) {
+    Node& origin = *origins[rng() % origins.size()];
+    if (rng() % 8 == 0) {
+      origin.core.advance_epoch(origin.core.epoch() + 1 + rng() % 2);
+      continue;
+    }
+    ProcessSet suspects;
+    const ProcessId victim = static_cast<ProcessId>(rng() % kN);
+    if (victim != origin.core.self()) suspects.insert(victim);
+    if (!suspects.empty()) origin.core.on_suspected(suspects);
+  }
+
+  // Collect every origin broadcast, duplicate a third of them, shuffle,
+  // and deliver the lot to a fresh receiver (the last process id, which
+  // never originated anything).
+  std::vector<sim::PayloadPtr> traffic;
+  for (const auto& origin : origins)
+    for (const auto& m : origin->broadcasts) {
+      traffic.push_back(m);
+      if (rng() % 3 == 0) traffic.push_back(m);
+    }
+  std::shuffle(traffic.begin(), traffic.end(), rng);
+
+  auto receiver = std::make_unique<Node>(keys, kN - 1, mode);
+  for (const auto& m : traffic) deliver(*receiver, m);
+
+  // Equivalence of the *origins'* own state too: fold each origin's rows
+  // into the receiver via the anti-entropy path so the receiver ends with
+  // the complete join regardless of mode. Full-row resync re-broadcasts
+  // signed rows; delta resync broadcasts digests, which we bounce back so
+  // origins push repairs.
+  for (auto& origin : origins) {
+    origin->broadcasts.clear();
+    origin->core.resync();
+    for (const auto& m : origin->broadcasts) {
+      if (std::dynamic_pointer_cast<const RowDigestMessage>(m) != nullptr) {
+        // A digest asks peers to push what the digester lacks; hand the
+        // receiver's digest to the origin so it pushes the rows the
+        // receiver is missing.
+        origin->sends.clear();
+        origin->core.on_row_digests(kN - 1,
+                                    *receiver->core.make_digest_message());
+        for (const auto& [to, repair] : origin->sends) deliver(*receiver, repair);
+      } else {
+        deliver(*receiver, m);
+      }
+    }
+  }
+  return receiver;
+}
+
+TEST(DeltaEquivalenceTest, ShuffledDuplicatedTrafficConvergesByteIdentical) {
+  const crypto::KeyRegistry keys(kN, 11);
+  for (std::uint64_t seed : {1u, 7u, 23u, 101u, 4242u}) {
+    const auto full = run_schedule(keys, GossipMode::kFullRow, seed);
+    const auto delta = run_schedule(keys, GossipMode::kDelta, seed);
+    EXPECT_TRUE(full->core.matrix() == delta->core.matrix())
+        << "matrices diverged between gossip modes at seed " << seed;
+  }
+}
+
+TEST(DeltaEquivalenceTest, DeltaCarriesOnlyNewlyStampedCells) {
+  const crypto::KeyRegistry keys(kN, 11);
+  Node origin(keys, 0, GossipMode::kDelta);
+  origin.core.on_suspected(ProcessSet{1});
+  origin.core.on_suspected(ProcessSet{1, 2});  // only 2 is new
+
+  ASSERT_EQ(origin.broadcasts.size(), 2u);
+  const auto first =
+      std::dynamic_pointer_cast<const DeltaUpdateMessage>(origin.broadcasts[0]);
+  const auto second =
+      std::dynamic_pointer_cast<const DeltaUpdateMessage>(origin.broadcasts[1]);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  ASSERT_EQ(first->cells.size(), 1u);
+  EXPECT_EQ(first->cells[0].col, 1u);
+  ASSERT_EQ(second->cells.size(), 1u);
+  EXPECT_EQ(second->cells[0].col, 2u);
+  EXPECT_GT(second->version, first->version);
+}
+
+TEST(DeltaEquivalenceTest, DeltasMergeOutOfOrderAndDuplicated) {
+  const crypto::KeyRegistry keys(kN, 11);
+  Node origin(keys, 0, GossipMode::kDelta);
+  origin.core.on_suspected(ProcessSet{1});
+  origin.core.on_suspected(ProcessSet{1, 2});
+  origin.core.on_suspected(ProcessSet{1, 2, 3});
+  ASSERT_EQ(origin.broadcasts.size(), 3u);
+
+  Node receiver(keys, 1, GossipMode::kDelta);
+  // Reverse order, with a duplicate in the middle.
+  deliver(receiver, origin.broadcasts[2]);
+  deliver(receiver, origin.broadcasts[1]);
+  deliver(receiver, origin.broadcasts[2]);
+  deliver(receiver, origin.broadcasts[0]);
+  EXPECT_TRUE(std::equal(receiver.core.matrix().row(0).begin(),
+                         receiver.core.matrix().row(0).end(),
+                         origin.core.matrix().row(0).begin()));
+}
+
+TEST(DeltaEquivalenceTest, DigestRepairHealsALostDelta) {
+  const crypto::KeyRegistry keys(kN, 11);
+  Node origin(keys, 0, GossipMode::kDelta);
+  Node receiver(keys, 1, GossipMode::kDelta);
+
+  origin.core.on_suspected(ProcessSet{2});
+  origin.core.on_suspected(ProcessSet{2, 3});
+  ASSERT_EQ(origin.broadcasts.size(), 2u);
+  deliver(receiver, origin.broadcasts[0]);  // second delta "lost"
+  ASSERT_FALSE(std::equal(receiver.core.matrix().row(0).begin(),
+                          receiver.core.matrix().row(0).end(),
+                          origin.core.matrix().row(0).begin()));
+
+  // Anti-entropy: receiver's digest reaches the origin, which pushes the
+  // signed messages backing the divergent row, point to point.
+  origin.sends.clear();
+  origin.core.on_row_digests(/*from=*/1, *receiver.core.make_digest_message());
+  ASSERT_FALSE(origin.sends.empty());
+  for (const auto& [to, repair] : origin.sends) {
+    EXPECT_EQ(to, 1u);
+    deliver(receiver, repair);
+  }
+  EXPECT_TRUE(std::equal(receiver.core.matrix().row(0).begin(),
+                         receiver.core.matrix().row(0).end(),
+                         origin.core.matrix().row(0).begin()));
+  EXPECT_GT(origin.core.repairs_sent(), 0u);
+}
+
+TEST(DeltaEquivalenceTest, MatchingDigestsProduceNoRepairTraffic) {
+  const crypto::KeyRegistry keys(kN, 11);
+  Node a(keys, 0, GossipMode::kDelta);
+  Node b(keys, 1, GossipMode::kDelta);
+  a.core.on_suspected(ProcessSet{2});
+  ASSERT_EQ(a.broadcasts.size(), 1u);
+  deliver(b, a.broadcasts[0]);
+
+  a.sends.clear();
+  a.core.on_row_digests(/*from=*/1, *b.core.make_digest_message());
+  EXPECT_TRUE(a.sends.empty()) << "in-sync rows must not trigger repairs";
+}
+
+}  // namespace
+}  // namespace qsel::suspect

@@ -92,6 +92,61 @@ TEST(SuspicionMatrixTest, Figure4EpochProgression) {
   EXPECT_EQ(graph::first_independent_set(g3, 3), (ProcessSet{0, 2, 3}));
 }
 
+TEST(SuspicionMatrixTest, RowVersionBumpsOnlyOnCellIncrease) {
+  SuspicionMatrix m(4);
+  EXPECT_EQ(m.row_version(1), 0u);
+  m.stamp(1, 2, 3);
+  const RowVersion v1 = m.row_version(1);
+  EXPECT_GT(v1, 0u);
+  m.stamp(1, 2, 2);  // lower stamp: ignored, no bump
+  EXPECT_EQ(m.row_version(1), v1);
+  m.stamp(1, 2, 3);  // equal stamp: no change, no bump
+  EXPECT_EQ(m.row_version(1), v1);
+  m.stamp(1, 2, 5);  // increase: bump
+  EXPECT_GT(m.row_version(1), v1);
+  EXPECT_EQ(m.row_version(0), 0u) << "other rows untouched";
+}
+
+TEST(SuspicionMatrixTest, MergeRowBumpsVersionOncePerChangedMerge) {
+  SuspicionMatrix m(4);
+  const Epoch row[] = {0, 0, 2, 2};
+  EXPECT_TRUE(m.merge_row(0, row));
+  const RowVersion after_first = m.row_version(0);
+  EXPECT_FALSE(m.merge_row(0, row));  // duplicate: no change
+  EXPECT_EQ(m.row_version(0), after_first);
+}
+
+TEST(SuspicionMatrixTest, ChangedListsCellsStampedSinceAVersion) {
+  SuspicionMatrix m(4);
+  EXPECT_TRUE(m.changed(2, 0).empty());
+  m.stamp(2, 0, 1);
+  const RowVersion v1 = m.row_version(2);
+  m.stamp(2, 3, 1);
+  // Since 0: everything nonzero, ascending columns.
+  EXPECT_EQ(m.changed(2, 0), (std::vector<ProcessId>{0, 3}));
+  // Since v1: only the cell stamped after the first write.
+  EXPECT_EQ(m.changed(2, v1), (std::vector<ProcessId>{3}));
+  // Re-stamping an old cell higher re-surfaces exactly that cell.
+  const RowVersion v2 = m.row_version(2);
+  m.stamp(2, 0, 4);
+  EXPECT_EQ(m.changed(2, v2), (std::vector<ProcessId>{0}));
+  EXPECT_TRUE(m.changed(2, m.row_version(2)).empty());
+}
+
+TEST(SuspicionMatrixTest, VersionsAreLocalOnlyAndExcludedFromEquality) {
+  // Two matrices reaching identical cells along different merge paths
+  // hold different version counters yet must compare equal: versions are
+  // bookkeeping, not CRDT state.
+  SuspicionMatrix a(3);
+  SuspicionMatrix b(3);
+  a.stamp(0, 1, 1);
+  a.stamp(0, 1, 2);
+  a.stamp(0, 2, 2);  // three increases
+  b.merge_row(0, std::vector<Epoch>{0, 2, 2});  // one merge, same cells
+  EXPECT_TRUE(a == b);
+  EXPECT_NE(a.row_version(0), b.row_version(0));
+}
+
 TEST(SuspicionMatrixTest, MinLiveStamp) {
   SuspicionMatrix m(4);
   EXPECT_EQ(m.min_live_stamp(1), 0u);  // empty graph

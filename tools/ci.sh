@@ -21,7 +21,11 @@
 #      SOAK_CYCLES (default 6, >= 5) cycles. Gates on the agreement
 #      oracle after every cycle and on epoch non-regression across every
 #      recovery — the durability contract under ASan/UBSan, where a
-#      use-after-free in the teardown/rebuild path would actually abort.
+#      use-after-free in the teardown/rebuild path would actually abort;
+#   6. benchmark regression gate: tools/bench_report --quick against the
+#      committed BENCH_5.json (the `bench` ctest label). Gate metrics are
+#      deterministic ratios (delta/full gossip bytes, incremental/scratch
+#      recompute), so the 25% margin is meaningful on any host.
 #
 # Environment knobs: FUZZ_RUNS (default 100), FUZZ_SEED (default 1 —
 # nightly jobs should pass a varying seed, e.g. the date), SOAK_CYCLES.
@@ -31,25 +35,28 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 cd "$ROOT"
 
-echo "== [1/5] tier-1 build + tests =="
+echo "== [1/6] tier-1 build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 (cd build && ctest -L tier1 --output-on-failure -j"$JOBS")
 
-echo "== [2/5] ASan/UBSan full suite =="
+echo "== [2/6] ASan/UBSan full suite =="
 cmake -B build-asan -S . -DQSEL_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$JOBS"
 (cd build-asan && ctest --output-on-failure -j"$JOBS")
 
-echo "== [3/5] loopback integration (real TCP, sanitized) =="
+echo "== [3/6] loopback integration (real TCP, sanitized) =="
 (cd build-asan && ctest -L tier1 -R "EventLoopTest|TcpTransportTest|LoopbackClusterTest|LoopbackResilienceTest|WireTest" \
   --output-on-failure)
 
-echo "== [4/5] fuzz smoke (${FUZZ_RUNS:-100} runs/protocol, sanitized, combined archetypes included) =="
+echo "== [4/6] fuzz smoke (${FUZZ_RUNS:-100} runs/protocol, sanitized, combined archetypes included) =="
 ./build-asan/tools/qsel_fuzz --runs "${FUZZ_RUNS:-100}" --seed "${FUZZ_SEED:-1}"
 
-echo "== [5/5] kill/restart durability soak (${SOAK_CYCLES:-6} cycles, 5-node f=1, sanitized) =="
+echo "== [5/6] kill/restart durability soak (${SOAK_CYCLES:-6} cycles, 5-node f=1, sanitized) =="
 (cd build-asan && QSEL_SOAK_CYCLES="${SOAK_CYCLES:-6}" \
   ctest -R "RestartSoakTest" --output-on-failure)
+
+echo "== [6/6] benchmark regression gate (bench_report --quick vs committed BENCH_5.json) =="
+(cd build && ctest -L bench --output-on-failure)
 
 echo "CI gate passed."
