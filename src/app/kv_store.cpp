@@ -1,5 +1,7 @@
 #include "app/kv_store.hpp"
 
+#include <iterator>
+
 #include "net/codec.hpp"
 
 namespace qsel::app {
@@ -68,6 +70,63 @@ std::optional<std::string> KvStore::get(const std::string& key) const {
   const auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;
   return it->second;
+}
+
+namespace {
+
+/// Iterator range [first, last) of the keys in [lo, hi); hi = "" means
+/// unbounded above (the natural encoding: "" sorts before everything, so
+/// it is useless as an exclusive upper bound and free to repurpose).
+template <typename Map>
+auto range_bounds(Map& data, const std::string& lo, const std::string& hi) {
+  auto first = data.lower_bound(lo);
+  auto last = hi.empty() ? data.end() : data.lower_bound(hi);
+  return std::make_pair(first, last);
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> KvStore::range_entries(
+    const std::string& lo, const std::string& hi, std::uint64_t offset,
+    std::uint64_t limit) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto [it, last] = range_bounds(data_, lo, hi);
+  for (; it != last && offset > 0; ++it) --offset;
+  for (; it != last; ++it) {
+    if (limit != 0 && out.size() >= limit) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+std::uint64_t KvStore::range_size(const std::string& lo,
+                                  const std::string& hi) const {
+  auto [it, last] = range_bounds(data_, lo, hi);
+  return static_cast<std::uint64_t>(std::distance(it, last));
+}
+
+crypto::Digest KvStore::range_digest(const std::string& lo,
+                                     const std::string& hi) const {
+  net::Encoder enc;
+  auto [it, last] = range_bounds(data_, lo, hi);
+  for (; it != last; ++it) {
+    enc.str(it->first);
+    enc.str(it->second);
+  }
+  return crypto::sha256(enc.view());
+}
+
+std::uint64_t KvStore::erase_range(const std::string& lo,
+                                   const std::string& hi) {
+  auto [it, last] = range_bounds(data_, lo, hi);
+  const auto count = static_cast<std::uint64_t>(std::distance(it, last));
+  data_.erase(it, last);
+  return count;
+}
+
+void KvStore::install(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  for (const auto& [key, value] : pairs) data_.insert_or_assign(key, value);
 }
 
 crypto::Digest KvStore::state_digest() const {

@@ -30,9 +30,10 @@ Cluster::Cluster(ClusterConfig config, ProcessSet byzantine)
   for (std::uint32_t i = 0; i < config.clients; ++i) {
     const auto id = static_cast<ProcessId>(config.n + i);
     client_config.workload.seed = config.workload.seed + i;
-    clients_.push_back(
-        std::make_unique<smr::Client>(*network_, keys_, id, client_config));
-    network_->attach(id, *clients_.back());
+    client_transports_.push_back(
+        std::make_unique<runtime::SimTransport>(*network_, id));
+    clients_.push_back(std::make_unique<smr::Client>(
+        *client_transports_.back(), keys_, client_config));
   }
 }
 

@@ -11,6 +11,7 @@
 #include "common/process_set.hpp"
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
+#include "runtime/sim_transport.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "smr/client.hpp"
@@ -56,6 +57,8 @@ class QsChainCluster {
   crypto::KeyRegistry keys_;
   std::unique_ptr<sim::Network> network_;
   ProcessSet honest_replicas_;
+  /// Client transports; declared before clients_ so clients die first.
+  std::vector<std::unique_ptr<runtime::SimTransport>> client_transports_;
   std::vector<std::unique_ptr<QsReplica>> replicas_;
   std::vector<std::unique_ptr<smr::Client>> clients_;
 };

@@ -1,5 +1,6 @@
 #include "net/cluster_config.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <sstream>
@@ -59,6 +60,35 @@ std::vector<std::uint8_t> parse_hex(std::string_view value, int line) {
   return out;
 }
 
+std::vector<ProcessId> parse_id_list(std::string_view value, int line,
+                                     const std::string& key) {
+  std::vector<ProcessId> out;
+  while (!value.empty()) {
+    const std::size_t comma = value.find(',');
+    const std::string_view item = trim(value.substr(0, comma));
+    if (item.empty()) fail(line, key + ": empty id in list");
+    const std::uint64_t id = parse_u64(item, line, key);
+    if (id >= kMaxProcesses) fail(line, key + ": id out of range");
+    out.push_back(static_cast<ProcessId>(id));
+    if (comma == std::string_view::npos) break;
+    value = value.substr(comma + 1);
+  }
+  if (out.empty()) fail(line, key + ": empty list");
+  return out;
+}
+
+GroupRange parse_range(std::string_view value, int line) {
+  const std::size_t sep = value.find("..");
+  if (sep == std::string_view::npos)
+    fail(line, "range must be lo..hi (either side may be empty)");
+  GroupRange range;
+  range.lo = std::string(trim(value.substr(0, sep)));
+  range.hi = std::string(trim(value.substr(sep + 2)));
+  if (!range.hi.empty() && range.hi <= range.lo)
+    fail(line, "range: hi must be empty or greater than lo");
+  return range;
+}
+
 NodeAddress parse_address(std::string_view value, int line) {
   const std::size_t colon = value.rfind(':');
   if (colon == std::string_view::npos || colon == 0)
@@ -78,6 +108,7 @@ ClusterConfig ClusterConfig::parse(std::string_view text) {
   ClusterConfig config;
   bool saw_n = false;
   bool saw_f = false;
+  bool in_group = false;
   std::vector<bool> node_seen;
 
   std::istringstream in{std::string(text)};
@@ -92,10 +123,50 @@ ClusterConfig ClusterConfig::parse(std::string_view text) {
     line = trim(line);
     if (line.empty()) continue;
 
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header");
+      const std::string_view header = trim(line.substr(1, line.size() - 2));
+      if (!header.starts_with("group"))
+        fail(line_no, "unknown section '" + std::string(header) + "'");
+      const std::uint64_t id =
+          parse_u64(trim(header.substr(5)), line_no, "group id");
+      for (const GroupConfig& g : config.groups)
+        if (g.id == id) fail(line_no, "duplicate group id");
+      GroupConfig group;
+      group.id = static_cast<std::uint32_t>(id);
+      config.groups.push_back(std::move(group));
+      in_group = true;
+      continue;
+    }
+
     const std::size_t eq = line.find('=');
     if (eq == std::string_view::npos) fail(line_no, "expected key = value");
     const std::string_view key = trim(line.substr(0, eq));
     const std::string_view value = trim(line.substr(eq + 1));
+
+    if (in_group) {
+      GroupConfig& group = config.groups.back();
+      if (key == "kind") {
+        if (value == "config")
+          group.is_config = true;
+        else if (value != "data")
+          fail(line_no, "kind must be 'config' or 'data'");
+      } else if (key == "f") {
+        group.f = static_cast<int>(parse_u64(value, line_no, "group f"));
+        if (group.f < 1) fail(line_no, "group f must be >= 1");
+      } else if (key == "members") {
+        group.members = parse_id_list(value, line_no, "members");
+      } else if (key == "clients") {
+        group.clients = parse_id_list(value, line_no, "clients");
+      } else if (key == "range") {
+        group.ranges.push_back(parse_range(value, line_no));
+      } else if (key == "store_subdir") {
+        group.store_subdir = std::string(value);
+      } else {
+        fail(line_no, "unknown group key '" + std::string(key) + "'");
+      }
+      continue;
+    }
 
     if (key.starts_with("node")) {
       const std::uint64_t id =
@@ -161,7 +232,61 @@ ClusterConfig ClusterConfig::parse(std::string_view text) {
   if (config.reconnect_base == 0 ||
       config.reconnect_cap < config.reconnect_base)
     fail(line_no, "reconnect backoff must satisfy 0 < base <= cap");
+
+  if (!config.groups.empty()) {
+    std::sort(config.groups.begin(), config.groups.end(),
+              [](const GroupConfig& a, const GroupConfig& b) {
+                return a.id < b.id;
+              });
+    int config_groups = 0;
+    std::vector<std::pair<GroupRange, std::uint32_t>> all_ranges;
+    for (const GroupConfig& group : config.groups) {
+      const std::string where = "group " + std::to_string(group.id);
+      if (group.members.empty()) fail(line_no, where + ": missing members");
+      std::vector<ProcessId> ids = group.members;
+      ids.insert(ids.end(), group.clients.begin(), group.clients.end());
+      std::sort(ids.begin(), ids.end());
+      if (std::adjacent_find(ids.begin(), ids.end()) != ids.end())
+        fail(line_no, where + ": members/clients must be distinct");
+      for (ProcessId id : ids)
+        if (id >= config.n) fail(line_no, where + ": id out of range");
+      const int eff_f = group.f > 0 ? group.f : config.f;
+      if (group.members.size() < static_cast<std::size_t>(3 * eff_f + 1))
+        fail(line_no, where + ": members must be >= 3f + 1");
+      if (group.is_config) {
+        ++config_groups;
+        if (!group.ranges.empty())
+          fail(line_no, where + ": config group cannot serve ranges");
+      }
+      for (const GroupRange& range : group.ranges)
+        all_ranges.emplace_back(range, group.id);
+    }
+    if (config_groups != 1)
+      fail(line_no, "sharded config needs exactly one kind = config group");
+    std::sort(all_ranges.begin(), all_ranges.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.lo < b.first.lo;
+              });
+    for (std::size_t i = 1; i < all_ranges.size(); ++i) {
+      const GroupRange& prev = all_ranges[i - 1].first;
+      const GroupRange& next = all_ranges[i].first;
+      if (prev.hi.empty() || next.lo < prev.hi)
+        fail(line_no, "group ranges overlap at '" + next.lo + "'");
+    }
+  }
   return config;
+}
+
+const GroupConfig* ClusterConfig::group(std::uint32_t id) const {
+  for (const GroupConfig& g : groups)
+    if (g.id == id) return &g;
+  return nullptr;
+}
+
+const GroupConfig* ClusterConfig::config_group() const {
+  for (const GroupConfig& g : groups)
+    if (g.is_config) return &g;
+  return nullptr;
 }
 
 ClusterConfig ClusterConfig::load(const std::string& path) {
@@ -195,6 +320,25 @@ std::string ClusterConfig::to_text() const {
   for (ProcessId id = 0; id < n; ++id)
     out << "node " << static_cast<unsigned>(id) << " = " << nodes[id].host
         << ":" << nodes[id].port << "\n";
+  for (const GroupConfig& group : groups) {
+    out << "[group " << group.id << "]\n";
+    if (group.is_config) out << "kind = config\n";
+    if (group.f > 0) out << "f = " << group.f << "\n";
+    out << "members = ";
+    for (std::size_t i = 0; i < group.members.size(); ++i)
+      out << (i > 0 ? "," : "") << static_cast<unsigned>(group.members[i]);
+    out << "\n";
+    if (!group.clients.empty()) {
+      out << "clients = ";
+      for (std::size_t i = 0; i < group.clients.size(); ++i)
+        out << (i > 0 ? "," : "") << static_cast<unsigned>(group.clients[i]);
+      out << "\n";
+    }
+    for (const GroupRange& range : group.ranges)
+      out << "range = " << range.lo << ".." << range.hi << "\n";
+    if (!group.store_subdir.empty())
+      out << "store_subdir = " << group.store_subdir << "\n";
+  }
   return out.str();
 }
 

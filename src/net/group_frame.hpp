@@ -1,0 +1,30 @@
+// GroupFrame — wire-level envelope scoping a message to one shard group.
+//
+// A GroupHost multiplexes several replica groups over a single transport,
+// and each group runs in its own id space (members are ranks 0..k-1,
+// clients follow) with its own key registry. The outer frame therefore
+// tags the bytes with the group id and keeps the inner frame body OPAQUE:
+// only the shard mux, which knows the group's local process count, can
+// decode it (decode_message needs the group-local n for its bounds
+// checks). The inner bytes are a complete frame body — tag byte included
+// — so nesting composes with every existing codec unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/payload.hpp"
+
+namespace qsel::net {
+
+struct GroupFrame final : sim::Payload {
+  std::uint32_t group = 0;
+  /// A complete inner frame body (u8 wire tag || fields), not yet decoded.
+  std::vector<std::uint8_t> inner;
+
+  std::string_view type_tag() const override { return "net.group_frame"; }
+  std::size_t wire_size() const override { return 8 + inner.size(); }
+};
+
+}  // namespace qsel::net

@@ -5,9 +5,12 @@
 
 #include "fs/followers_message.hpp"
 #include "net/codec.hpp"
+#include "net/group_frame.hpp"
 #include "runtime/heartbeat.hpp"
+#include "smr/client_messages.hpp"
 #include "suspect/delta_update_message.hpp"
 #include "suspect/update_message.hpp"
+#include "xpaxos/messages.hpp"
 
 namespace qsel::net {
 
@@ -56,6 +59,60 @@ void encode_row_digest(const suspect::RowDigestMessage& msg, Encoder& enc) {
   }
 }
 
+void encode_client_request(const smr::ClientRequest& msg, Encoder& enc) {
+  enc.u32(msg.client);
+  enc.u64(msg.client_seq);
+  enc.bytes(msg.op);
+  enc.signature(msg.sig);
+}
+
+void encode_reply(const smr::ReplyMessage& msg, Encoder& enc) {
+  enc.u64(msg.view);
+  enc.u32(msg.client);
+  enc.u64(msg.client_seq);
+  enc.str(msg.result);
+  enc.process_id(msg.replica);
+  enc.signature(msg.sig);
+}
+
+void encode_prepare_fields(const xpaxos::PrepareMessage& msg, Encoder& enc) {
+  enc.u64(msg.view);
+  enc.u64(msg.slot);
+  enc.u32(msg.client);
+  enc.u64(msg.client_seq);
+  enc.bytes(msg.op);
+  enc.signature(msg.sig);
+}
+
+void encode_commit(const xpaxos::CommitMessage& msg, Encoder& enc) {
+  encode_prepare_fields(msg.prepare, enc);
+  enc.process_id(msg.sender);
+  enc.signature(msg.sig);
+}
+
+void encode_viewchange(const xpaxos::ViewChangeMessage& msg, Encoder& enc) {
+  enc.u64(msg.new_view);
+  enc.process_id(msg.sender);
+  enc.u32(static_cast<std::uint32_t>(msg.prepared.size()));
+  for (const xpaxos::PrepareMessage& p : msg.prepared)
+    encode_prepare_fields(p, enc);
+  enc.signature(msg.sig);
+}
+
+void encode_newview(const xpaxos::NewViewMessage& msg, Encoder& enc) {
+  enc.u64(msg.view);
+  enc.process_id(msg.leader);
+  enc.u32(static_cast<std::uint32_t>(msg.reproposals.size()));
+  for (const xpaxos::PrepareMessage& p : msg.reproposals)
+    encode_prepare_fields(p, enc);
+  enc.signature(msg.sig);
+}
+
+void encode_group_frame(const GroupFrame& msg, Encoder& enc) {
+  enc.u32(msg.group);
+  enc.bytes(msg.inner);
+}
+
 sim::PayloadPtr decode_heartbeat(Decoder& dec, ProcessId n) {
   auto msg = std::make_shared<runtime::HeartbeatMessage>();
   msg->origin = dec.process_id();
@@ -70,9 +127,14 @@ sim::PayloadPtr decode_update(Decoder& dec, ProcessId n) {
   msg->origin = dec.process_id();
   msg->row = dec.u64_vector();
   msg->sig = dec.signature();
-  // Row width must be exactly n (UpdateMessage::verify re-checks, but a
-  // wrong width is already a framing error, not a signature question).
-  if (!dec.done() || msg->origin >= n || msg->row.size() != n) return nullptr;
+  // The decode-time n is an address-space bound, not the replica count:
+  // the shard mux decodes with members+clients so client-originated
+  // messages pass the origin check, which makes it an over-estimate of
+  // the suspicion-matrix width. Bound the row here; the consumer's
+  // UpdateMessage::verify enforces the exact width against its group n.
+  if (!dec.done() || msg->origin >= n || msg->row.empty() ||
+      msg->row.size() > n)
+    return nullptr;
   return msg;
 }
 
@@ -135,6 +197,104 @@ sim::PayloadPtr decode_row_digest(Decoder& dec, ProcessId n) {
   return msg;
 }
 
+sim::PayloadPtr decode_client_request(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<smr::ClientRequest>();
+  msg->client = dec.u32();
+  msg->client_seq = dec.u64();
+  msg->op = dec.bytes();
+  msg->sig = dec.signature();
+  if (!dec.done() || msg->client >= n) return nullptr;
+  return msg;
+}
+
+sim::PayloadPtr decode_reply(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<smr::ReplyMessage>();
+  msg->view = dec.u64();
+  msg->client = dec.u32();
+  msg->client_seq = dec.u64();
+  msg->result = dec.str();
+  msg->replica = dec.process_id();
+  msg->sig = dec.signature();
+  if (!dec.done() || msg->client >= n || msg->replica >= n) return nullptr;
+  return msg;
+}
+
+bool decode_prepare_fields(Decoder& dec, ProcessId n,
+                           xpaxos::PrepareMessage& out) {
+  out.view = dec.u64();
+  out.slot = dec.u64();
+  out.client = dec.u32();
+  out.client_seq = dec.u64();
+  out.op = dec.bytes();
+  out.sig = dec.signature();
+  // client == 0 doubles as the no-op marker, so only the upper bound is
+  // checked; slot 0 is never proposed.
+  return dec.ok() && out.client < n && out.slot != 0;
+}
+
+sim::PayloadPtr decode_prepare(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<xpaxos::PrepareMessage>();
+  if (!decode_prepare_fields(dec, n, *msg) || !dec.done()) return nullptr;
+  return msg;
+}
+
+sim::PayloadPtr decode_commit(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<xpaxos::CommitMessage>();
+  if (!decode_prepare_fields(dec, n, msg->prepare)) return nullptr;
+  msg->sender = dec.process_id();
+  msg->sig = dec.signature();
+  if (!dec.done() || msg->sender >= n) return nullptr;
+  return msg;
+}
+
+/// Shared shape of VIEWCHANGE and NEWVIEW: header ids, a prepare list, a
+/// signature. No up-front length cap: each entry consumes at least 60
+/// bytes, so a lying count just runs the decoder off the buffer (and the
+/// list is built without reserve, so no allocation is amplified either).
+bool decode_prepare_list(Decoder& dec, ProcessId n,
+                         std::vector<xpaxos::PrepareMessage>& out) {
+  const std::uint32_t count = dec.u32();
+  if (!dec.ok()) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    xpaxos::PrepareMessage p;
+    if (!decode_prepare_fields(dec, n, p)) return false;
+    out.push_back(std::move(p));
+  }
+  return true;
+}
+
+sim::PayloadPtr decode_viewchange(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<xpaxos::ViewChangeMessage>();
+  msg->new_view = dec.u64();
+  msg->sender = dec.process_id();
+  if (!dec.ok() || msg->sender >= n) return nullptr;
+  if (!decode_prepare_list(dec, n, msg->prepared)) return nullptr;
+  msg->sig = dec.signature();
+  if (!dec.done()) return nullptr;
+  return msg;
+}
+
+sim::PayloadPtr decode_newview(Decoder& dec, ProcessId n) {
+  auto msg = std::make_shared<xpaxos::NewViewMessage>();
+  msg->view = dec.u64();
+  msg->leader = dec.process_id();
+  if (!dec.ok() || msg->leader >= n) return nullptr;
+  if (!decode_prepare_list(dec, n, msg->reproposals)) return nullptr;
+  msg->sig = dec.signature();
+  if (!dec.done()) return nullptr;
+  return msg;
+}
+
+sim::PayloadPtr decode_group_frame(Decoder& dec) {
+  auto msg = std::make_shared<GroupFrame>();
+  msg->group = dec.u32();
+  msg->inner = dec.bytes();
+  // The inner body must at least carry a wire tag; its real validation
+  // happens when the shard mux decodes it with the group-local n.
+  if (!dec.done() || msg->inner.empty()) return nullptr;
+  return msg;
+}
+
 }  // namespace
 
 std::optional<std::vector<std::uint8_t>> encode_message(
@@ -160,6 +320,33 @@ std::optional<std::vector<std::uint8_t>> encode_message(
                  dynamic_cast<const suspect::RowDigestMessage*>(&message)) {
     enc.u8(static_cast<std::uint8_t>(WireType::kRowDigest));
     encode_row_digest(*digests, enc);
+  } else if (const auto* request =
+                 dynamic_cast<const smr::ClientRequest*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kClientRequest));
+    encode_client_request(*request, enc);
+  } else if (const auto* reply =
+                 dynamic_cast<const smr::ReplyMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kReply));
+    encode_reply(*reply, enc);
+  } else if (const auto* prepare =
+                 dynamic_cast<const xpaxos::PrepareMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kPrepare));
+    encode_prepare_fields(*prepare, enc);
+  } else if (const auto* commit =
+                 dynamic_cast<const xpaxos::CommitMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kCommit));
+    encode_commit(*commit, enc);
+  } else if (const auto* viewchange =
+                 dynamic_cast<const xpaxos::ViewChangeMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kViewChange));
+    encode_viewchange(*viewchange, enc);
+  } else if (const auto* newview =
+                 dynamic_cast<const xpaxos::NewViewMessage*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kNewView));
+    encode_newview(*newview, enc);
+  } else if (const auto* frame = dynamic_cast<const GroupFrame*>(&message)) {
+    enc.u8(static_cast<std::uint8_t>(WireType::kGroupFrame));
+    encode_group_frame(*frame, enc);
   } else {
     return std::nullopt;
   }
@@ -182,6 +369,20 @@ sim::PayloadPtr decode_message(std::span<const std::uint8_t> body,
       return decode_delta(dec, n);
     case WireType::kRowDigest:
       return decode_row_digest(dec, n);
+    case WireType::kClientRequest:
+      return decode_client_request(dec, n);
+    case WireType::kReply:
+      return decode_reply(dec, n);
+    case WireType::kPrepare:
+      return decode_prepare(dec, n);
+    case WireType::kCommit:
+      return decode_commit(dec, n);
+    case WireType::kViewChange:
+      return decode_viewchange(dec, n);
+    case WireType::kNewView:
+      return decode_newview(dec, n);
+    case WireType::kGroupFrame:
+      return decode_group_frame(dec);
   }
   return nullptr;
 }

@@ -27,11 +27,18 @@ namespace qsel::net {
 
 /// Frame body tags. Values are part of the wire protocol; append only.
 enum class WireType : std::uint8_t {
-  kHeartbeat = 1,    // runtime::HeartbeatMessage
-  kUpdate = 2,       // suspect::UpdateMessage
-  kFollowers = 3,    // fs::FollowersMessage
-  kDeltaUpdate = 4,  // suspect::DeltaUpdateMessage
-  kRowDigest = 5,    // suspect::RowDigestMessage
+  kHeartbeat = 1,      // runtime::HeartbeatMessage
+  kUpdate = 2,         // suspect::UpdateMessage
+  kFollowers = 3,      // fs::FollowersMessage
+  kDeltaUpdate = 4,    // suspect::DeltaUpdateMessage
+  kRowDigest = 5,      // suspect::RowDigestMessage
+  kClientRequest = 6,  // smr::ClientRequest
+  kReply = 7,          // smr::ReplyMessage
+  kPrepare = 8,        // xpaxos::PrepareMessage
+  kCommit = 9,         // xpaxos::CommitMessage
+  kViewChange = 10,    // xpaxos::ViewChangeMessage
+  kNewView = 11,       // xpaxos::NewViewMessage
+  kGroupFrame = 12,    // net::GroupFrame (opaque inner frame body)
 };
 
 /// Encodes `message` as a frame body. Returns nullopt for payload types

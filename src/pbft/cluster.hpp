@@ -11,6 +11,7 @@
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
 #include "pbft/replica.hpp"
+#include "runtime/sim_transport.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "smr/client.hpp"
@@ -50,6 +51,8 @@ class Cluster {
   crypto::KeyRegistry keys_;
   std::unique_ptr<sim::Network> network_;
   ProcessSet honest_replicas_;
+  /// Client transports; declared before clients_ so clients die first.
+  std::vector<std::unique_ptr<runtime::SimTransport>> client_transports_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<smr::Client>> clients_;
 };

@@ -1,0 +1,121 @@
+#include "shard/group_transport.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "net/group_frame.hpp"
+#include "net/wire.hpp"
+
+namespace qsel::shard {
+
+std::optional<ProcessId> GroupSpec::local_of(ProcessId global) const {
+  for (std::size_t i = 0; i < members.size(); ++i)
+    if (members[i] == global) return static_cast<ProcessId>(i);
+  for (std::size_t j = 0; j < clients.size(); ++j)
+    if (clients[j] == global)
+      return static_cast<ProcessId>(members.size() + j);
+  return std::nullopt;
+}
+
+ProcessId GroupSpec::global_of(ProcessId local) const {
+  QSEL_ASSERT_MSG(local < local_count(), "group-local id out of range");
+  if (local < members.size()) return members[local];
+  return clients[local - members.size()];
+}
+
+GroupSpec spec_from(const net::GroupConfig& group) {
+  GroupSpec spec;
+  spec.id = group.id;
+  spec.members = group.members;
+  spec.clients = group.clients;
+  return spec;
+}
+
+GroupTransport::GroupTransport(net::Transport& base, GroupSpec spec)
+    : base_(base), spec_(std::move(spec)) {
+  const auto self_local = spec_.local_of(base_.self());
+  QSEL_ASSERT_MSG(self_local.has_value(),
+              "GroupTransport host is not a member of the group");
+  self_local_ = *self_local;
+}
+
+sim::PayloadPtr GroupTransport::wrap(const sim::Payload& message) {
+  auto inner = net::encode_message(message);
+  if (!inner) {
+    ++dropped_unencodable_;
+    return nullptr;
+  }
+  auto frame = std::make_shared<net::GroupFrame>();
+  frame->group = spec_.id;
+  frame->inner = std::move(*inner);
+  return frame;
+}
+
+void GroupTransport::send(ProcessId to, sim::PayloadPtr message) {
+  if (to >= spec_.local_count() || message == nullptr) return;
+  auto frame = wrap(*message);
+  if (frame == nullptr) return;
+  base_.send(spec_.global_of(to), std::move(frame));
+}
+
+void GroupTransport::broadcast(ProcessSet targets,
+                               const sim::PayloadPtr& message) {
+  if (message == nullptr) return;
+  auto frame = wrap(*message);
+  if (frame == nullptr) return;
+  ProcessSet global;
+  for (ProcessId local = 0; local < spec_.local_count(); ++local)
+    if (targets.contains(local)) global.insert(spec_.global_of(local));
+  base_.broadcast(global, frame);
+}
+
+void GroupTransport::deliver(ProcessId global_from,
+                             std::span<const std::uint8_t> inner) {
+  const auto local_from = spec_.local_of(global_from);
+  if (!local_from) {
+    ++dropped_foreign_;
+    return;
+  }
+  auto payload = net::decode_message(inner, spec_.local_count());
+  if (payload == nullptr) {
+    ++dropped_foreign_;
+    return;
+  }
+  if (handler_) handler_(*local_from, payload);
+}
+
+GroupMux::GroupMux(net::Transport& base) : base_(base) {
+  base_.set_handler([this](ProcessId from, const sim::PayloadPtr& message) {
+    on_message(from, message);
+  });
+}
+
+GroupTransport& GroupMux::add_group(GroupSpec spec) {
+  const GroupId id = spec.id;
+  QSEL_ASSERT_MSG(!groups_.contains(id), "group registered twice");
+  auto transport = std::make_unique<GroupTransport>(base_, std::move(spec));
+  GroupTransport& ref = *transport;
+  groups_.emplace(id, std::move(transport));
+  return ref;
+}
+
+GroupTransport* GroupMux::group(GroupId id) {
+  const auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+void GroupMux::on_message(ProcessId from, const sim::PayloadPtr& message) {
+  const auto* frame = dynamic_cast<const net::GroupFrame*>(message.get());
+  if (frame == nullptr) {
+    ++dropped_unroutable_;
+    return;
+  }
+  const auto it = groups_.find(frame->group);
+  if (it == groups_.end()) {
+    ++dropped_unroutable_;
+    return;
+  }
+  it->second->deliver(from, frame->inner);
+}
+
+}  // namespace qsel::shard

@@ -1,0 +1,132 @@
+// GroupTransport — one shard group's slice of a shared transport.
+//
+// A node process hosts replicas of several groups over a single
+// EventLoop/TcpTransport (or one sim::Network slot under test). Each group
+// runs the unmodified XPaxos/SMR stack in its OWN id space: members are
+// ranks 0..k-1 in spec order, client slots follow. GroupTransport
+// implements net::Transport over that local space by wrapping every
+// outgoing message in a net::GroupFrame — the inner frame body is encoded
+// here, with the group-local codec bounds — and the GroupMux on the
+// receiving node demultiplexes frames back to the right group and decodes
+// with that group's local process count.
+//
+// Isolation properties this buys:
+//   * a replica cannot address a process outside its group (the id space
+//     simply doesn't contain it);
+//   * frames from senders that are not group members are dropped before
+//     decoding (counted in dropped_foreign);
+//   * each group signs with its own crypto::KeyRegistry (seed mixed with
+//     the group id — see GroupSpec::key_seed), so a signature from group A
+//     never verifies in group B even for the same rank.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "net/cluster_config.hpp"
+#include "net/transport.hpp"
+#include "shard/shard_map.hpp"
+
+namespace qsel::shard {
+
+/// Membership of one group: which global transport ids play which
+/// group-local rank. Identical at every node by construction (derived from
+/// the shared cluster config).
+struct GroupSpec {
+  GroupId id = 0;
+  /// Replica members, rank order: members[i] has group-local id i.
+  std::vector<ProcessId> members;
+  /// Client slots: clients[j] has group-local id members.size() + j.
+  std::vector<ProcessId> clients;
+
+  ProcessId local_count() const {
+    return static_cast<ProcessId>(members.size() + clients.size());
+  }
+  /// Group-local id of a global transport id; nullopt when not in the
+  /// group.
+  std::optional<ProcessId> local_of(ProcessId global) const;
+  /// Global transport id of a group-local id (must be < local_count()).
+  ProcessId global_of(ProcessId local) const;
+
+  /// Per-group signing seed: the base seed mixed with the group id, so
+  /// replicas at the same rank in different groups hold unrelated keys.
+  std::uint64_t key_seed(std::uint64_t base_seed) const {
+    return base_seed ^ (0x9e3779b97f4a7c15ULL * (std::uint64_t{id} + 1));
+  }
+};
+
+/// Builds a GroupSpec from a parsed `[group <id>]` config section.
+GroupSpec spec_from(const net::GroupConfig& group);
+
+class GroupTransport final : public net::Transport {
+ public:
+  /// Does NOT install itself on `base` — the GroupMux owns the base
+  /// handler and routes frames here via deliver().
+  GroupTransport(net::Transport& base, GroupSpec spec);
+
+  ProcessId self() const override { return self_local_; }
+  ProcessId process_count() const override { return spec_.local_count(); }
+  sim::Simulator& timers() override { return base_.timers(); }
+  SimDuration round_length() const override { return base_.round_length(); }
+  void set_handler(Handler handler) override { handler_ = std::move(handler); }
+
+  void send(ProcessId to, sim::PayloadPtr message) override;
+  void broadcast(ProcessSet targets, const sim::PayloadPtr& message) override;
+
+  /// Upcall from the GroupMux: an inner frame body from global id `from`.
+  void deliver(ProcessId global_from, std::span<const std::uint8_t> inner);
+
+  const GroupSpec& spec() const { return spec_; }
+  /// Sends dropped because the payload has no wire encoding. Anything
+  /// nonzero is a bug in the caller — only codec-backed payloads may cross
+  /// a group boundary.
+  std::uint64_t dropped_unencodable() const { return dropped_unencodable_; }
+  /// Inbound frames dropped: sender not a group member, or inner bytes
+  /// that do not decode under the group-local bounds.
+  std::uint64_t dropped_foreign() const { return dropped_foreign_; }
+
+ private:
+  /// Encodes `message` and wraps it in a GroupFrame; nullptr when the
+  /// payload has no wire encoding.
+  sim::PayloadPtr wrap(const sim::Payload& message);
+
+  net::Transport& base_;
+  GroupSpec spec_;
+  ProcessId self_local_;
+  Handler handler_;
+  std::uint64_t dropped_unencodable_ = 0;
+  std::uint64_t dropped_foreign_ = 0;
+};
+
+/// Demultiplexer owning the base transport's handler: routes GroupFrames
+/// to the GroupTransport registered for their group id and drops
+/// everything else. One per node process.
+class GroupMux final {
+ public:
+  /// Installs itself as `base`'s handler.
+  explicit GroupMux(net::Transport& base);
+
+  /// Registers a group this node participates in (base.self() must be in
+  /// the spec). Returns the group's transport, owned by the mux.
+  GroupTransport& add_group(GroupSpec spec);
+
+  GroupTransport* group(GroupId id);
+  /// Frames dropped at the mux: not a GroupFrame, or no group registered
+  /// under the frame's id.
+  std::uint64_t dropped_unroutable() const { return dropped_unroutable_; }
+
+ private:
+  void on_message(ProcessId from, const sim::PayloadPtr& message);
+
+  net::Transport& base_;
+  std::map<GroupId, std::unique_ptr<GroupTransport>> groups_;
+  std::uint64_t dropped_unroutable_ = 0;
+};
+
+}  // namespace qsel::shard

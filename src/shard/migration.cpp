@@ -1,0 +1,205 @@
+#include "shard/migration.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "net/codec.hpp"
+#include "shard/shard_kv.hpp"
+
+namespace qsel::shard {
+
+MigrationCoordinator::MigrationCoordinator(net::Transport& base,
+                                           Config config)
+    : engines_(base, config.endpoints, config.key_seed,
+               config.retry_timeout),
+      config_(std::move(config)) {
+  QSEL_ASSERT_MSG(config_.chunk_limit > 0, "chunk_limit must be positive");
+}
+
+void MigrationCoordinator::move_range(std::uint64_t migration_id,
+                                      GroupId from, GroupId to,
+                                      std::string lo, std::string hi,
+                                      Done done) {
+  QSEL_ASSERT_MSG(!busy_, "MigrationCoordinator: one migration at a time");
+  QSEL_ASSERT_MSG(engines_.engine(config_.config_group) != nullptr &&
+                      engines_.engine(from) != nullptr &&
+                      engines_.engine(to) != nullptr,
+                  "move_range: missing endpoint for a participating group");
+  busy_ = true;
+  plan_ = Plan{};
+  plan_.migration_id = migration_id;
+  plan_.from = from;
+  plan_.to = to;
+  plan_.lo = std::move(lo);
+  plan_.hi = std::move(hi);
+  done_ = std::move(done);
+  step_prepare();
+}
+
+void MigrationCoordinator::submit(
+    GroupId group, std::vector<std::uint8_t> op,
+    std::function<void(const smr::Outcome&)> next) {
+  engines_.engine(group)->submit(
+      std::move(op),
+      [this, next = std::move(next)](const smr::Outcome& outcome) {
+        if (outcome.status != smr::ResultStatus::kOk) {
+          fail("unexpected typed reject from a migration verb");
+          return;
+        }
+        next(outcome);
+      });
+}
+
+void MigrationCoordinator::step_prepare() {
+  submit(config_.config_group,
+         MapOp{MapOpType::kPrepareMove, plan_.lo, {}, plan_.to}.encode(),
+         [this](const smr::Outcome& outcome) {
+           if (outcome.value != "prepared" && outcome.value != "noop") {
+             fail("prepare-move: " + outcome.value);
+             return;
+           }
+           step_read_epoch();
+         });
+}
+
+void MigrationCoordinator::step_read_epoch() {
+  submit(config_.config_group, MapOp{MapOpType::kGet, {}, {}, 0}.encode(),
+         [this](const smr::Outcome& outcome) {
+           const auto map = ShardMap::decode_from_string(outcome.value);
+           if (!map) {
+             fail("config group returned an undecodable map");
+             return;
+           }
+           // Sole-writer assumption: the commit below will be the next
+           // epoch. COMMIT_MOVE's outcome re-checks this.
+           plan_.epoch_new = map->epoch + 1;
+           step_freeze();
+         });
+}
+
+void MigrationCoordinator::step_freeze() {
+  submit(plan_.from,
+         ShardKvOp::freeze(plan_.migration_id, plan_.lo, plan_.hi),
+         [this](const smr::Outcome&) { step_range_info(); });
+}
+
+void MigrationCoordinator::step_range_info() {
+  submit(plan_.from, ShardKvOp::range_info(plan_.lo, plan_.hi),
+         [this](const smr::Outcome& outcome) {
+           const auto* data =
+               reinterpret_cast<const std::uint8_t*>(outcome.value.data());
+           net::Decoder dec(
+               std::span<const std::uint8_t>(data, outcome.value.size()));
+           plan_.key_count = dec.u64();
+           plan_.digest = dec.digest();
+           if (!dec.done()) {
+             fail("range-info: undecodable reply");
+             return;
+           }
+           plan_.total_chunks = static_cast<std::uint32_t>(
+               (plan_.key_count + config_.chunk_limit - 1) /
+               config_.chunk_limit);
+           plan_.next_chunk = 0;
+           step_copy_chunk();
+         });
+}
+
+void MigrationCoordinator::step_copy_chunk() {
+  if (plan_.next_chunk >= plan_.total_chunks) {
+    step_adopt();
+    return;
+  }
+  const std::uint32_t chunk = plan_.next_chunk;
+  const std::uint64_t offset =
+      std::uint64_t{chunk} * config_.chunk_limit;
+  submit(plan_.from,
+         ShardKvOp::snapshot_chunk(plan_.lo, plan_.hi, offset,
+                                   config_.chunk_limit),
+         [this, chunk](const smr::Outcome& outcome) {
+           std::vector<std::uint8_t> pairs(outcome.value.begin(),
+                                           outcome.value.end());
+           submit(plan_.to,
+                  ShardKvOp::install_chunk(plan_.migration_id, chunk,
+                                           std::move(pairs)),
+                  [this](const smr::Outcome& install) {
+                    if (install.value != "installed" &&
+                        install.value != "dup") {
+                      fail("install-chunk: " + install.value);
+                      return;
+                    }
+                    ++plan_.next_chunk;
+                    step_copy_chunk();
+                  });
+         });
+}
+
+void MigrationCoordinator::step_adopt() {
+  submit(plan_.to,
+         ShardKvOp::adopt(plan_.migration_id, plan_.epoch_new, plan_.lo,
+                          plan_.hi, plan_.digest, plan_.total_chunks),
+         [this](const smr::Outcome& outcome) {
+           if (outcome.value != "adopted") {
+             fail("adopt: " + outcome.value);
+             return;
+           }
+           step_commit();
+         });
+}
+
+void MigrationCoordinator::step_commit() {
+  submit(config_.config_group,
+         MapOp{MapOpType::kCommitMove, plan_.lo, {}, plan_.to}.encode(),
+         [this](const smr::Outcome& outcome) {
+           if (outcome.value != "committed") {
+             fail("commit-move: " + outcome.value);
+             return;
+           }
+           if (outcome.config_epoch != plan_.epoch_new) {
+             fail("config epoch moved under the migration (expected " +
+                  std::to_string(plan_.epoch_new) + ", got " +
+                  std::to_string(outcome.config_epoch) + ")");
+             return;
+           }
+           step_drop();
+         });
+}
+
+void MigrationCoordinator::step_drop() {
+  submit(plan_.from,
+         ShardKvOp::drop(plan_.migration_id, plan_.epoch_new, plan_.lo,
+                         plan_.hi),
+         [this](const smr::Outcome& outcome) {
+           if (outcome.value != "dropped") {
+             fail("drop: " + outcome.value);
+             return;
+           }
+           finish_ok();
+         });
+}
+
+void MigrationCoordinator::finish_ok() {
+  Result result;
+  result.ok = true;
+  result.keys_moved = plan_.key_count;
+  result.chunks = plan_.total_chunks;
+  result.new_epoch = plan_.epoch_new;
+  finish(result);
+}
+
+void MigrationCoordinator::fail(std::string error) {
+  Result result;
+  result.ok = false;
+  result.error = std::move(error);
+  finish(result);
+}
+
+void MigrationCoordinator::finish(const Result& result) {
+  // Move the callback out before invoking it: `done` may start the next
+  // migration reentrantly, which reassigns done_.
+  Done done = std::move(done_);
+  done_ = nullptr;
+  busy_ = false;
+  if (done) done(result);
+}
+
+}  // namespace qsel::shard

@@ -1,0 +1,109 @@
+// MigrationCoordinator — drives one live range hand-off to completion.
+//
+// The protocol (DESIGN.md §12), each step an SMR op committed by the
+// group named on the left:
+//
+//   config  PREPARE_MOVE  mark the range migrating (no epoch bump yet)
+//   config  GET           read the current epoch E; the commit will be E+1
+//   source  FREEZE        writes to the range now reject FROZEN
+//   source  RANGE_INFO    key count + range digest (stable: range frozen)
+//   source  SNAPSHOT      chunked reads of the frozen range …
+//   dest    INSTALL       … installed idempotently by (migration, chunk)
+//   dest    ADOPT         verify chunk count + digest, own range at E+1
+//   config  COMMIT_MOVE   the map now routes the range to dest; epoch E+1
+//   source  DROP          erase the range, unfreeze, fence at E+1
+//
+// Ordering is what makes the window safe: dest ADOPTs before the config
+// commit, so the instant a client learns epoch E+1 the destination
+// already owns the data; the source DROPs last, so until then stale
+// clients get FROZEN/STALE_EPOCH (never a silent miss) and retry into
+// the new epoch. Every verb is idempotent on the replica side, so the
+// coordinator can crash and be re-run with the same migration id.
+//
+// The coordinator assumes it is the only config-group writer while a
+// migration is in flight (the epoch prediction E+1 depends on it); the
+// COMMIT_MOVE outcome is checked against the prediction and the
+// migration fails loudly on a mismatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "shard/routing_client.hpp"
+
+namespace qsel::shard {
+
+class MigrationCoordinator {
+ public:
+  struct Config {
+    GroupId config_group = 0;
+    /// Endpoints for the config group, the source group and the
+    /// destination group (at least).
+    std::vector<GroupEndpoint> endpoints;
+    std::uint64_t key_seed = 0;
+    SimDuration retry_timeout = 50'000'000;
+    /// Keys per snapshot chunk.
+    std::uint32_t chunk_limit = 64;
+  };
+
+  struct Result {
+    bool ok = false;
+    std::string error;              // empty on success
+    std::uint64_t keys_moved = 0;
+    std::uint32_t chunks = 0;
+    std::uint64_t new_epoch = 0;    // the post-commit config epoch
+  };
+
+  using Done = std::function<void(const Result&)>;
+
+  MigrationCoordinator(net::Transport& base, Config config);
+
+  /// Moves [lo, hi) from `from` to `to` under `migration_id`; `done`
+  /// fires exactly once. One migration in flight at a time.
+  void move_range(std::uint64_t migration_id, GroupId from, GroupId to,
+                  std::string lo, std::string hi, Done done);
+
+  bool idle() const { return !busy_; }
+
+ private:
+  struct Plan {
+    std::uint64_t migration_id = 0;
+    GroupId from = 0;
+    GroupId to = 0;
+    std::string lo;
+    std::string hi;
+    std::uint64_t epoch_new = 0;
+    std::uint64_t key_count = 0;
+    crypto::Digest digest{};
+    std::uint32_t total_chunks = 0;
+    std::uint32_t next_chunk = 0;
+  };
+
+  void step_prepare();
+  void step_read_epoch();
+  void step_freeze();
+  void step_range_info();
+  void step_copy_chunk();
+  void step_adopt();
+  void step_commit();
+  void step_drop();
+  void finish_ok();
+  void fail(std::string error);
+  /// Clears busy state and fires the callback (moved out first — the
+  /// callback may start the next migration reentrantly).
+  void finish(const Result& result);
+
+  /// Submits on the group's engine and fails the migration on a typed
+  /// reject (migration verbs are never fenced, so a reject is a bug).
+  void submit(GroupId group, std::vector<std::uint8_t> op,
+              std::function<void(const smr::Outcome&)> next);
+
+  GroupEngines engines_;
+  Config config_;
+  bool busy_ = false;
+  Plan plan_;
+  Done done_;
+};
+
+}  // namespace qsel::shard

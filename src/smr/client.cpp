@@ -5,13 +5,92 @@
 
 namespace qsel::smr {
 
-Client::Client(sim::Network& network, const crypto::KeyRegistry& keys,
-               ProcessId self, ClientConfig config)
-    : network_(network),
-      signer_(keys, self),
-      config_(config),
+RequestEngine::RequestEngine(net::Transport& transport,
+                             const crypto::KeyRegistry& keys, ProcessId self,
+                             RequestEngineConfig config)
+    : transport_(transport), signer_(keys, self), config_(config) {
+  if (config_.replica_set.empty())
+    config_.replica_set = ProcessSet::full(config_.replicas);
+  QSEL_REQUIRE(!config_.replica_set.contains(self));
+  QSEL_REQUIRE(static_cast<int>(config_.replica_set.size()) > config_.f);
+}
+
+void RequestEngine::submit(std::vector<std::uint8_t> op, Callback done) {
+  QSEL_REQUIRE(in_flight_ == nullptr);
+  in_flight_ = ClientRequest::make(signer_, next_seq_++, std::move(op));
+  done_ = std::move(done);
+  replies_.clear();
+  issued_at_ = transport_.timers().now();
+  send_current();
+}
+
+void RequestEngine::abort() {
+  in_flight_ = nullptr;
+  done_ = nullptr;
+  replies_.clear();
+  retry_timer_.cancel();
+}
+
+void RequestEngine::send_current() {
+  QSEL_ASSERT(in_flight_ != nullptr);
+  transport_.broadcast(config_.replica_set, in_flight_);
+  arm_retry();
+}
+
+void RequestEngine::arm_retry() {
+  retry_timer_.cancel();
+  retry_timer_ =
+      transport_.timers().schedule_timer(config_.retry_timeout, [this] {
+        if (in_flight_ == nullptr) return;
+        ++retransmissions_;
+        send_current();
+      });
+}
+
+void RequestEngine::on_message(ProcessId from, const sim::PayloadPtr& message) {
+  (void)from;
+  const auto reply = std::dynamic_pointer_cast<const ReplyMessage>(message);
+  if (reply == nullptr || in_flight_ == nullptr) return;
+  if (!reply->verify(signer_, config_.replicas)) return;
+  if (!config_.replica_set.contains(reply->replica)) return;
+  if (reply->client != self() || reply->client_seq != in_flight_->client_seq)
+    return;
+  ProcessSet& voters = replies_[reply->result];
+  voters.insert(reply->replica);
+  if (voters.size() <= config_.f) return;  // need f+1 matching
+
+  Outcome outcome;
+  outcome.client_seq = in_flight_->client_seq;
+  outcome.latency = transport_.timers().now() - issued_at_;
+  if (const auto typed = TypedResult::parse(reply->result)) {
+    outcome.status = typed->status;
+    outcome.config_epoch = typed->epoch;
+    outcome.value = typed->value;
+  } else {
+    outcome.value = reply->result;
+  }
+  in_flight_ = nullptr;
+  retry_timer_.cancel();
+  replies_.clear();
+  Callback done = std::move(done_);
+  done_ = nullptr;
+  QSEL_LOG(kTrace, "client")
+      << "c" << self() << " completed seq " << outcome.client_seq << " ("
+      << result_status_name(outcome.status) << ")";
+  if (done) done(outcome);
+}
+
+// --------------------------------------------------------------------------
+
+Client::Client(net::Transport& transport, const crypto::KeyRegistry& keys,
+               ClientConfig config)
+    : engine_(transport, keys, transport.self(),
+              RequestEngineConfig{config.replicas, config.f,
+                                  config.replica_set, config.retry_timeout}),
       workload_(config.workload) {
-  QSEL_REQUIRE(self >= config.replicas);
+  transport.set_handler([this](ProcessId from, const sim::PayloadPtr& m) {
+    engine_.on_message(from, m);
+  });
 }
 
 void Client::start(std::uint64_t count) {
@@ -19,51 +98,27 @@ void Client::start(std::uint64_t count) {
   issue_next();
 }
 
+std::uint64_t Client::rejects(ResultStatus status) const {
+  const auto it = rejects_.find(status);
+  return it == rejects_.end() ? 0 : it->second;
+}
+
 void Client::issue_next() {
   if (target_ != 0 && completed_ >= target_) return;
   const app::Operation op = workload_.next();
-  in_flight_ = ClientRequest::make(signer_, next_seq_++, op.encode());
-  replies_.clear();
-  issued_at_ = network_.simulator().now();
-  send_current();
-}
-
-void Client::send_current() {
-  QSEL_ASSERT(in_flight_ != nullptr);
-  for (ProcessId replica = 0; replica < config_.replicas; ++replica)
-    network_.send(self(), replica, in_flight_);
-  arm_retry();
-}
-
-void Client::arm_retry() {
-  retry_timer_.cancel();
-  retry_timer_ =
-      network_.simulator().schedule_timer(config_.retry_timeout, [this] {
-        if (in_flight_ == nullptr) return;
-        ++retransmissions_;
-        send_current();
-      });
-}
-
-void Client::on_message(ProcessId from, const sim::PayloadPtr& message) {
-  (void)from;
-  const auto reply = std::dynamic_pointer_cast<const ReplyMessage>(message);
-  if (reply == nullptr || in_flight_ == nullptr) return;
-  if (!reply->verify(signer_, config_.replicas)) return;
-  if (reply->client != self() || reply->client_seq != in_flight_->client_seq)
-    return;
-  ProcessSet& voters = replies_[reply->result];
-  voters.insert(reply->replica);
-  if (voters.size() <= config_.f) return;  // need f+1 matching
-  // Accepted.
-  ++completed_;
-  latencies_.record(
-      static_cast<double>(network_.simulator().now() - issued_at_));
-  in_flight_ = nullptr;
-  retry_timer_.cancel();
-  QSEL_LOG(kTrace, "client") << "c" << self() << " completed seq "
-                             << reply->client_seq;
-  issue_next();
+  engine_.submit(op.encode(), [this](const Outcome& outcome) {
+    if (outcome.status == ResultStatus::kOk) {
+      ++completed_;
+      latencies_.record(static_cast<double>(outcome.latency));
+    } else {
+      // Typed reject: surfaced to the hook/counters; the plain workload
+      // client has no shard map to refetch, so it just moves on (the
+      // routing client is the component that re-routes).
+      ++rejects_[outcome.status];
+    }
+    if (outcome_hook_) outcome_hook_(outcome);
+    issue_next();
+  });
 }
 
 }  // namespace qsel::smr

@@ -1,68 +1,149 @@
-// Generic SMR client used against every protocol in the repository.
+// Generic SMR client machinery used against every protocol in the repo.
 //
-// Broadcasts each signed request to all replicas (leader/primary tracking
-// is unnecessary: non-leaders drop the request and the retransmission
-// timer rides out view changes) and accepts a result once f+1 replicas
-// replied with the same value — at least one of them is correct.
+// RequestEngine is the reusable core: it signs one operation at a time,
+// broadcasts it to a *replica set* (any subset of the transport's id
+// space — a shard group, not necessarily processes 0..n-1; leader/primary
+// tracking is unnecessary because non-leaders relay and the retransmission
+// timer rides out view changes), and accepts an outcome once f+1 replicas
+// replied with the same result bytes — at least one of them is correct.
+// Outcomes are surfaced typed: results carrying a smr::TypedResult
+// envelope (WRONG_GROUP / FROZEN / STALE_EPOCH with the replier's config
+// epoch) are parsed and reported as such instead of being mistaken for
+// data or silently never matching.
+//
+// Client wraps one engine with a synthetic workload and completion
+// counters — the closed-loop driver the protocol experiments use. Both
+// run over net::Transport, so the same code drives the simulator (via
+// runtime::SimTransport) and real TCP (via net::TcpTransport or a
+// shard::GroupTransport view of one).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "app/workload.hpp"
 #include "common/process_set.hpp"
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
 #include "metrics/histogram.hpp"
-#include "sim/network.hpp"
+#include "net/transport.hpp"
 #include "smr/client_messages.hpp"
+#include "smr/typed_result.hpp"
 
 namespace qsel::smr {
+
+/// The settled result of one submitted operation.
+struct Outcome {
+  std::uint64_t client_seq = 0;
+  ResultStatus status = ResultStatus::kOk;
+  /// The replier's config epoch (0 when the result was untyped).
+  std::uint64_t config_epoch = 0;
+  /// Application-level result value: the TypedResult payload when the
+  /// result was typed, the raw result string otherwise.
+  std::string value;
+  SimDuration latency = 0;
+};
+
+struct RequestEngineConfig {
+  /// Replica id upper bound in this transport's id space (reply signer
+  /// ids are validated against it).
+  ProcessId replicas = 4;
+  int f = 1;
+  /// The replicas to address. Empty = all of 0..replicas-1; a shard
+  /// client sets the group's member set.
+  ProcessSet replica_set;
+  SimDuration retry_timeout = 50'000'000;  // 50 ms
+};
+
+class RequestEngine {
+ public:
+  using Callback = std::function<void(const Outcome&)>;
+
+  /// Does not install a transport handler: the owner routes incoming
+  /// payloads to on_message (a transport may be shared).
+  RequestEngine(net::Transport& transport, const crypto::KeyRegistry& keys,
+                ProcessId self, RequestEngineConfig config);
+
+  /// Signs and broadcasts `op`; `done` fires exactly once, when f+1
+  /// matching replies are in. One request in flight at a time.
+  void submit(std::vector<std::uint8_t> op, Callback done);
+
+  /// Abandons the in-flight request (no callback); used when the owner
+  /// decides to re-route.
+  void abort();
+
+  void on_message(ProcessId from, const sim::PayloadPtr& message);
+
+  bool idle() const { return in_flight_ == nullptr; }
+  ProcessId self() const { return signer_.self(); }
+  const crypto::Signer& signer() const { return signer_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+  const RequestEngineConfig& config() const { return config_; }
+
+ private:
+  void send_current();
+  void arm_retry();
+
+  net::Transport& transport_;
+  crypto::Signer signer_;
+  RequestEngineConfig config_;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t retransmissions_ = 0;
+  std::shared_ptr<const ClientRequest> in_flight_;
+  Callback done_;
+  SimTime issued_at_ = 0;
+  sim::TimerHandle retry_timer_;
+  std::map<std::string, ProcessSet> replies_;
+};
 
 struct ClientConfig {
   ProcessId replicas = 4;  // n; replica ids are 0..n-1
   int f = 1;
+  /// Subset of replicas to address; empty = all of 0..replicas-1.
+  ProcessSet replica_set;
   SimDuration retry_timeout = 50'000'000;  // 50 ms
   app::WorkloadConfig workload;
 };
 
-class Client final : public sim::Actor {
+class Client {
  public:
-  Client(sim::Network& network, const crypto::KeyRegistry& keys,
-         ProcessId self, ClientConfig config);
+  /// Installs itself as `transport`'s handler; the transport must be this
+  /// client's own (its slot of the simulated network, or a dedicated TCP
+  /// transport).
+  Client(net::Transport& transport, const crypto::KeyRegistry& keys,
+         ClientConfig config);
 
   /// Issues `count` requests back to back; 0 = keep issuing forever.
   void start(std::uint64_t count);
 
-  void on_message(ProcessId from, const sim::PayloadPtr& message) override;
+  /// Observes every settled outcome (tests; typed-reject assertions).
+  void set_outcome_hook(std::function<void(const Outcome&)> hook) {
+    outcome_hook_ = std::move(hook);
+  }
 
-  ProcessId self() const { return signer_.self(); }
+  ProcessId self() const { return engine_.self(); }
   std::uint64_t completed() const { return completed_; }
-  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t retransmissions() const { return engine_.retransmissions(); }
+  /// Typed rejects seen, by status (kWrongGroup / kFrozen / kStaleEpoch).
+  std::uint64_t rejects(ResultStatus status) const;
   const metrics::Histogram& latencies() const { return latencies_; }
 
  private:
   void issue_next();
-  void send_current();
-  void arm_retry();
 
-  sim::Network& network_;
-  crypto::Signer signer_;
-  ClientConfig config_;
+  RequestEngine engine_;
   app::Workload workload_;
-
   std::uint64_t target_ = 0;
-  std::uint64_t next_seq_ = 1;
   std::uint64_t completed_ = 0;
-  std::uint64_t retransmissions_ = 0;
+  std::map<ResultStatus, std::uint64_t> rejects_;
   metrics::Histogram latencies_;
-
-  std::shared_ptr<const ClientRequest> in_flight_;
-  SimTime issued_at_ = 0;
-  sim::TimerHandle retry_timer_;
-  std::map<std::string, ProcessSet> replies_;
+  std::function<void(const Outcome&)> outcome_hook_;
 };
 
 }  // namespace qsel::smr

@@ -1,0 +1,71 @@
+#include "smr/typed_result.hpp"
+
+namespace qsel::smr {
+
+namespace {
+
+/// First byte of every typed envelope. 0x1F is an ASCII control character
+/// (unit separator) no human-readable result starts with; collisions with
+/// binary KvStore values are tolerable because only shard-aware clients
+/// parse, and shard state machines wrap every result they produce.
+constexpr char kMagic = '\x1f';
+
+}  // namespace
+
+std::string_view result_status_name(ResultStatus status) {
+  switch (status) {
+    case ResultStatus::kOk:
+      return "OK";
+    case ResultStatus::kWrongGroup:
+      return "WRONG_GROUP";
+    case ResultStatus::kFrozen:
+      return "FROZEN";
+    case ResultStatus::kStaleEpoch:
+      return "STALE_EPOCH";
+  }
+  return "UNKNOWN";
+}
+
+std::string TypedResult::encode() const {
+  std::string out;
+  out.reserve(10 + value.size());
+  out.push_back(kMagic);
+  out.push_back(static_cast<char>(status));
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((epoch >> shift) & 0xff));
+  out += value;
+  return out;
+}
+
+std::optional<TypedResult> TypedResult::parse(std::string_view result) {
+  if (result.size() < 10 || result[0] != kMagic) return std::nullopt;
+  const auto raw_status = static_cast<std::uint8_t>(result[1]);
+  if (raw_status > static_cast<std::uint8_t>(ResultStatus::kStaleEpoch))
+    return std::nullopt;
+  TypedResult out;
+  out.status = static_cast<ResultStatus>(raw_status);
+  for (std::size_t i = 0; i < 8; ++i)
+    out.epoch |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(result[2 + i]))
+                 << (8 * i);
+  out.value = std::string(result.substr(10));
+  return out;
+}
+
+std::string TypedResult::ok(std::uint64_t epoch, std::string value) {
+  return TypedResult{ResultStatus::kOk, epoch, std::move(value)}.encode();
+}
+
+std::string TypedResult::wrong_group(std::uint64_t epoch) {
+  return TypedResult{ResultStatus::kWrongGroup, epoch, {}}.encode();
+}
+
+std::string TypedResult::frozen(std::uint64_t epoch) {
+  return TypedResult{ResultStatus::kFrozen, epoch, {}}.encode();
+}
+
+std::string TypedResult::stale_epoch(std::uint64_t epoch) {
+  return TypedResult{ResultStatus::kStaleEpoch, epoch, {}}.encode();
+}
+
+}  // namespace qsel::smr

@@ -1,0 +1,64 @@
+// TypedResult — structured reply payloads for sharded state machines.
+//
+// A plain KvStore result is an opaque string the client hands back to the
+// application. A sharded service needs more: a replica that does not own
+// the requested key range must answer with a machine-readable reject —
+// WRONG_GROUP plus the config epoch it is at — so the routing client can
+// refetch the shard map instead of treating the bytes as data (the old
+// behaviour: the mismatch never accumulated f+1 matching votes and the
+// request just timed out, a silent drop).
+//
+// The envelope rides inside ReplyMessage::result, so the reply signature
+// and the f+1 matching rule cover it unchanged: a status is accepted
+// exactly like a value, once f+1 replicas agree on the same bytes
+// (same status, same epoch). Shard state machines wrap every result —
+// including successes — so the leading magic byte is unambiguous within a
+// shard group; plain state machines never produce it and their results
+// parse as nullopt, which clients treat as kOk with epoch 0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace qsel::smr {
+
+enum class ResultStatus : std::uint8_t {
+  kOk = 0,
+  /// The replica's group does not own the key's range at its current
+  /// config epoch; refetch the shard map and re-route.
+  kWrongGroup = 1,
+  /// The range is frozen for an in-flight migration; back off and retry
+  /// (possibly against the new owner after a map refetch).
+  kFrozen = 2,
+  /// The request carried a config epoch older than the replica's; refetch
+  /// the shard map and retry with the current epoch.
+  kStaleEpoch = 3,
+};
+
+std::string_view result_status_name(ResultStatus status);
+
+struct TypedResult {
+  ResultStatus status = ResultStatus::kOk;
+  /// The replier's shard-config epoch (rejects carry the epoch that
+  /// proves the client stale; successes carry the serving epoch).
+  std::uint64_t epoch = 0;
+  std::string value;  // application result; empty on rejects
+
+  bool operator==(const TypedResult&) const = default;
+
+  /// Serializes into a ReplyMessage::result string.
+  std::string encode() const;
+
+  /// Inverse of encode(); nullopt when `result` is not a typed envelope
+  /// (a plain state machine's raw value).
+  static std::optional<TypedResult> parse(std::string_view result);
+
+  static std::string ok(std::uint64_t epoch, std::string value);
+  static std::string wrong_group(std::uint64_t epoch);
+  static std::string frozen(std::uint64_t epoch);
+  static std::string stale_epoch(std::uint64_t epoch);
+};
+
+}  // namespace qsel::smr

@@ -14,7 +14,7 @@ struct Name {
   std::string_view name;
 };
 
-constexpr std::array<Name, 14> kNames{{
+constexpr std::array<Name, 17> kNames{{
     {EventType::kSend, "SEND"},
     {EventType::kDeliver, "DELIVER"},
     {EventType::kDrop, "DROP"},
@@ -29,6 +29,9 @@ constexpr std::array<Name, 14> kNames{{
     {EventType::kEpochAdvance, "EPOCH"},
     {EventType::kQuorum, "QUORUM"},
     {EventType::kRestart, "RESTART"},
+    {EventType::kShardFreeze, "SHARD_FREEZE"},
+    {EventType::kShardInstall, "SHARD_INSTALL"},
+    {EventType::kConfigEpochBump, "CONFIG_EPOCH"},
 }};
 
 }  // namespace

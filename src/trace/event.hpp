@@ -44,6 +44,11 @@ enum class EventType : std::uint8_t {
   kQuorum,         // actor=self, peer=leader (kNoProcess for Algorithm 1),
                    // arg0=quorum mask, arg1=epoch
   kRestart,        // actor=restarted process (crash-recovery rejoin)
+  kShardFreeze,    // actor=replica, arg0=migration id, arg1=config epoch;
+                   // tag=frozen range lo (shard migration source)
+  kShardInstall,   // actor=replica, arg0=migration id, arg1=chunk seq or
+                   // ~0 for the final adopt; tag=range lo (destination)
+  kConfigEpochBump,  // actor=replica, arg0=new config epoch, arg1=old
 };
 
 /// Drop causes (arg0 of kDrop).

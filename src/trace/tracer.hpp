@@ -135,6 +135,21 @@ class Tracer {
               ProcessId leader = kNoProcess) {
     record(EventType::kQuorum, self, leader, quorum_mask, epoch, {});
   }
+  void shard_freeze(ProcessId self, std::uint64_t migration_id,
+                    std::uint64_t config_epoch, std::string_view range_lo) {
+    record(EventType::kShardFreeze, self, kNoProcess, migration_id,
+           config_epoch, range_lo);
+  }
+  void shard_install(ProcessId self, std::uint64_t migration_id,
+                     std::uint64_t chunk_or_adopt, std::string_view range_lo) {
+    record(EventType::kShardInstall, self, kNoProcess, migration_id,
+           chunk_or_adopt, range_lo);
+  }
+  void config_epoch_bump(ProcessId self, std::uint64_t new_epoch,
+                         std::uint64_t old_epoch) {
+    record(EventType::kConfigEpochBump, self, kNoProcess, new_epoch,
+           old_epoch, {});
+  }
 
   // --- observers --------------------------------------------------------
 

@@ -20,9 +20,10 @@ Cluster::Cluster(ClusterConfig config, ProcessSet byzantine)
   replica_config.fd = config.fd;
   replica_config.view_change_retry = config.view_change_retry;
   for (ProcessId id : honest_replicas_) {
+    transports_.push_back(
+        std::make_unique<runtime::SimTransport>(*network_, id));
     replicas_[id] =
-        std::make_unique<Replica>(*network_, keys_, id, replica_config);
-    network_->attach(id, *replicas_[id]);
+        std::make_unique<Replica>(*transports_.back(), keys_, replica_config);
   }
   smr::ClientConfig client_config;
   client_config.replicas = config.n;
@@ -32,9 +33,11 @@ Cluster::Cluster(ClusterConfig config, ProcessSet byzantine)
   for (std::uint32_t i = 0; i < config.clients; ++i) {
     const auto id = static_cast<ProcessId>(config.n + i);
     client_config.workload.seed = config.workload.seed + i;
+    transports_.push_back(
+        std::make_unique<runtime::SimTransport>(*network_, id));
     clients_.push_back(
-        std::make_unique<smr::Client>(*network_, keys_, id, client_config));
-    network_->attach(id, *clients_.back());
+        std::make_unique<smr::Client>(*transports_.back(), keys_,
+                                      client_config));
   }
 }
 

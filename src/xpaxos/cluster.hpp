@@ -14,6 +14,7 @@
 #include "common/process_set.hpp"
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
+#include "runtime/sim_transport.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "smr/client.hpp"
@@ -66,6 +67,10 @@ class Cluster {
   crypto::KeyRegistry keys_;
   std::unique_ptr<sim::Network> network_;
   ProcessSet honest_replicas_;
+  /// One per live process (replica or client); each attaches itself to its
+  /// slot of the network. Declared before the protocol objects that borrow
+  /// them so destruction runs protocol-first.
+  std::vector<std::unique_ptr<runtime::SimTransport>> transports_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<smr::Client>> clients_;
 };

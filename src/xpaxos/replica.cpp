@@ -1,40 +1,95 @@
 #include "xpaxos/replica.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "app/kv_store.hpp"
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 
 namespace qsel::xpaxos {
 
-Replica::Replica(sim::Network& network, const crypto::KeyRegistry& keys,
-                 ProcessId self, ReplicaConfig config)
-    : network_(network),
-      signer_(keys, self),
-      config_(config),
-      view_map_(config.n, config.f),
-      fd_(network.simulator(), self, config.n, config.fd,
+Replica::Replica(net::Transport& transport, const crypto::KeyRegistry& keys,
+                 ReplicaConfig config)
+    : transport_(transport),
+      signer_(keys, transport.self()),
+      config_(std::move(config)),
+      view_map_(config_.n, config_.f),
+      fd_(transport.timers(), transport.self(), config_.n, config_.fd,
           [this](ProcessSet s) { on_suspected(s); }) {
-  QSEL_REQUIRE(self < config.n);
+  QSEL_REQUIRE(self() < config_.n);
   if (config_.policy == QuorumPolicy::kQuorumSelection) {
     selector_ = std::make_unique<qs::QuorumSelector>(
         signer_, qs::QuorumSelectorConfig{config_.n, config_.f},
         qs::QuorumSelector::Hooks{
             [this](ProcessSet q) { on_selected_quorum(q); },
             [this](sim::PayloadPtr msg) { broadcast_all(msg); },
-            /*persist=*/{}});
+            [this] { maybe_persist(); },
+            [this](ProcessId to, sim::PayloadPtr msg) {
+              transport_.send(to, std::move(msg));
+            }});
+  }
+  app_ = config_.app_factory ? config_.app_factory()
+                             : std::make_unique<app::KvStore>();
+  QSEL_REQUIRE(app_ != nullptr);
+  transport_.set_handler([this](ProcessId from, const sim::PayloadPtr& msg) {
+    on_message(from, msg);
+  });
+  if (config_.node_store != nullptr) {
+    if (const auto recovered = config_.node_store->recover()) {
+      // Timeouts first: restore() re-evaluates the quorum, and any epoch
+      // advance it triggers should persist a state that already includes
+      // the recovered timeouts.
+      fd_.restore_timeouts(recovered->fd_timeouts);
+      if (selector_ != nullptr)
+        selector_->restore(recovered->epoch, recovered->own_row);
+    }
+    maybe_persist();  // first boot journals the initial state
   }
 }
 
+Replica::~Replica() {
+  // The transport and its timer queue may outlive this replica (a
+  // GroupHost can retire one group while the node keeps running), so
+  // nothing scheduled may touch a dead `this`.
+  view_change_timer_.cancel();
+  transport_.set_handler(nullptr);
+}
+
+void Replica::maybe_persist() {
+  if (config_.node_store == nullptr) return;
+  // Dirty check before any O(n) work (mirrors runtime::NodeProcess): the
+  // own-row version counter moves exactly when a cell of the own row
+  // increases, the FD generation exactly when a timeout adapts.
+  const std::uint64_t row_version =
+      selector_ != nullptr ? selector_->matrix().row_version(self()) : 0;
+  const Epoch epoch = selector_ != nullptr ? selector_->epoch() : 0;
+  const std::uint64_t fd_generation = fd_.timeout_generation();
+  if (has_persisted_ && row_version == persisted_row_version_ &&
+      epoch == persisted_epoch_ && fd_generation == persisted_fd_generation_)
+    return;
+  store::DurableNodeState state;
+  state.epoch = epoch;
+  if (selector_ != nullptr) {
+    const auto row = selector_->matrix().row(self());
+    state.own_row.assign(row.begin(), row.end());
+  }
+  state.fd_timeouts = fd_.timeouts();
+  config_.node_store->persist(state);
+  persisted_row_version_ = row_version;
+  persisted_epoch_ = epoch;
+  persisted_fd_generation_ = fd_generation;
+  has_persisted_ = true;
+}
+
 void Replica::broadcast_all(const sim::PayloadPtr& message) {
-  network_.broadcast(self(),
-                     ProcessSet::full(config_.n) - ProcessSet{self()},
-                     message);
+  transport_.broadcast(ProcessSet::full(config_.n) - ProcessSet{self()},
+                       message);
 }
 
 void Replica::send_to_quorum(const sim::PayloadPtr& message) {
   for (ProcessId member : active_quorum())
-    if (member != self()) network_.send(self(), member, message);
+    if (member != self()) transport_.send(member, message);
 }
 
 void Replica::on_message(ProcessId from, const sim::PayloadPtr& message) {
@@ -65,6 +120,9 @@ void Replica::on_message(ProcessId from, const sim::PayloadPtr& message) {
       selector_->on_update(update);
     }
   }
+  // Catch FD timeout adaptation, which has no write-ahead hook; the dirty
+  // check makes this a few integer compares in the steady state.
+  maybe_persist();
 }
 
 // --------------------------------------------------------------------------
@@ -76,10 +134,10 @@ void Replica::handle_request(
   const auto key = std::make_pair(request->client, request->client_seq);
   if (const auto it = results_.find(key); it != results_.end()) {
     // Retransmission of an executed request: resend the cached reply.
-    if (request->client < network_.process_count())
-      network_.send(self(), request->client,
-                    ReplyMessage::make(signer_, view_, request->client,
-                                       request->client_seq, it->second));
+    if (request->client < transport_.process_count())
+      transport_.send(request->client,
+                      ReplyMessage::make(signer_, view_, request->client,
+                                         request->client_seq, it->second));
     return;
   }
   if (!is_leader()) {
@@ -90,7 +148,7 @@ void Replica::handle_request(
     // traffic is in flight.
     if (status_ != Status::kNormal || !in_active_quorum()) return;
     if (client_index_.contains(key)) return;  // already proposed
-    network_.send(self(), leader(), request);
+    transport_.send(leader(), request);
     if (!fd_.suspected().contains(leader())) {
       const ViewId view = view_;
       const auto client = request->client;
@@ -271,18 +329,18 @@ void Replica::try_execute() {
     const bool noop = p.op.empty() && p.client == 0;
     std::string result;
     if (!noop) {
-      result = store_.apply_encoded(p.op);
+      result = app_->apply_encoded(p.op);
       ++requests_executed_;
     }
     executed_history_.push_back(
         ExecutedEntry{p.slot, p.client, p.client_seq, crypto::sha256(p.op)});
     results_[{p.client, p.client_seq}] = result;
     QSEL_LOG(kDebug, "xpaxos") << "p" << self() << " executed slot " << p.slot;
-    if (!noop && p.client < network_.process_count() &&
+    if (!noop && p.client < transport_.process_count() &&
         p.client >= config_.n) {
-      network_.send(self(), p.client,
-                    ReplyMessage::make(signer_, view_, p.client, p.client_seq,
-                                       result));
+      transport_.send(p.client,
+                      ReplyMessage::make(signer_, view_, p.client, p.client_seq,
+                                         result));
     }
   }
 }
@@ -348,7 +406,7 @@ void Replica::start_view_change(ViewId target) {
 
 void Replica::arm_view_change_timer() {
   view_change_timer_.cancel();
-  view_change_timer_ = network_.simulator().schedule_timer(
+  view_change_timer_ = transport_.timers().schedule_timer(
       config_.view_change_retry, [this] {
         if (status_ != Status::kViewChange) return;
         if (config_.policy == QuorumPolicy::kEnumeration) {

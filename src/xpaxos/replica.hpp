@@ -25,22 +25,30 @@
 //    and <QUORUM, Q> outputs jump straight to the first view that installs
 //    Q ("suspect all quorums ordered before Q"), cancelling outstanding
 //    expectations.
+//
+// The replica runs over net::Transport, so the same code drives the
+// simulator (runtime::SimTransport), real TCP, and a shard group's slice
+// of a shared TCP transport (shard::GroupTransport). The application is
+// pluggable (app_factory): a plain KvStore by default, a ShardMap or
+// fenced ShardKv machine in the sharded service.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
-#include "app/kv_store.hpp"
+#include "app/state_machine.hpp"
 #include "common/process_set.hpp"
 #include "common/types.hpp"
 #include "crypto/signer.hpp"
 #include "fd/failure_detector.hpp"
+#include "net/transport.hpp"
 #include "qs/quorum_selector.hpp"
-#include "sim/network.hpp"
+#include "store/node_store.hpp"
 #include "xpaxos/messages.hpp"
 #include "xpaxos/view_map.hpp"
 
@@ -49,20 +57,31 @@ namespace qsel::xpaxos {
 enum class QuorumPolicy { kEnumeration, kQuorumSelection };
 
 struct ReplicaConfig {
-  ProcessId n = 4;  // replica count (network may be larger: clients)
+  ProcessId n = 4;  // replica count (transport id space may be larger: clients)
   int f = 1;
   QuorumPolicy policy = QuorumPolicy::kQuorumSelection;
   fd::FailureDetectorConfig fd;
   /// While a view change is pending, retry/advance after this long.
   SimDuration view_change_retry = 30'000'000;  // 30 ms
+  /// Builds the replicated application; unset = app::KvStore.
+  std::function<std::unique_ptr<app::StateMachine>()> app_factory;
+  /// Optional durable store for the node's quorum-selection state (epoch,
+  /// own suspicion row, FD timeouts). Recovered at construction, written
+  /// ahead of every own-row/epoch change. Nullptr = memory-only.
+  store::NodeStore* node_store = nullptr;
 };
 
-class Replica final : public sim::Actor {
+class Replica final {
  public:
-  Replica(sim::Network& network, const crypto::KeyRegistry& keys,
-          ProcessId self, ReplicaConfig config);
+  /// Installs itself as `transport`'s handler; self() = transport.self(),
+  /// which must be a replica id (< config.n).
+  Replica(net::Transport& transport, const crypto::KeyRegistry& keys,
+          ReplicaConfig config);
+  /// Cancels pending timers and detaches from the transport, so a replica
+  /// can be destroyed while its transport (and timer queue) live on.
+  ~Replica();
 
-  void on_message(ProcessId from, const sim::PayloadPtr& message) override;
+  void on_message(ProcessId from, const sim::PayloadPtr& message);
 
   // --- observers --------------------------------------------------------
 
@@ -75,7 +94,8 @@ class Replica final : public sim::Actor {
   enum class Status { kNormal, kViewChange };
   Status status() const { return status_; }
 
-  const app::KvStore& store() const { return store_; }
+  const app::StateMachine& store() const { return *app_; }
+  app::StateMachine& store() { return *app_; }
   SeqNum last_executed() const { return last_executed_; }
   std::uint64_t view_changes() const { return view_changes_; }
   std::uint64_t requests_executed() const { return requests_executed_; }
@@ -119,6 +139,7 @@ class Replica final : public sim::Actor {
   void try_execute();
   void record_commit(SeqNum slot_no, ProcessId sender);
   void expect_commit(ProcessId from, ViewId view, SeqNum slot_no);
+  void maybe_persist();
 
   /// Sends to every member of the view's quorum except self.
   void send_to_quorum(const sim::PayloadPtr& message);
@@ -126,19 +147,19 @@ class Replica final : public sim::Actor {
 
   std::vector<PrepareMessage> prepared_log() const;
 
-  sim::Network& network_;
+  net::Transport& transport_;
   crypto::Signer signer_;
   ReplicaConfig config_;
   ViewMap view_map_;
   fd::FailureDetector fd_;
   std::unique_ptr<qs::QuorumSelector> selector_;  // policy == kQuorumSelection
+  std::unique_ptr<app::StateMachine> app_;
 
   ViewId view_ = 1;
   Status status_ = Status::kNormal;
   std::uint64_t view_changes_ = 0;
   sim::TimerHandle view_change_timer_;
 
-  app::KvStore store_;
   std::map<SeqNum, Slot> log_;
   SeqNum next_slot_ = 1;  // leader only
   SeqNum last_executed_ = 0;
@@ -161,6 +182,13 @@ class Replica final : public sim::Actor {
   /// PREPARE/COMMIT messages for the *target* view that raced ahead of the
   /// NEWVIEW (links are not FIFO); replayed once the view installs.
   std::vector<sim::PayloadPtr> buffered_protocol_;
+
+  // Durable-state bookkeeping (config_.node_store != nullptr): dirty
+  // counters so steady-state messages skip the O(n) persist.
+  bool has_persisted_ = false;
+  std::uint64_t persisted_row_version_ = 0;
+  Epoch persisted_epoch_ = 0;
+  std::uint64_t persisted_fd_generation_ = 0;
 };
 
 }  // namespace qsel::xpaxos

@@ -72,6 +72,75 @@ TEST(ClusterConfigTest, LoadReadsAFileAndRejectsAMissingOne) {
   EXPECT_THROW(ClusterConfig::load(path + ".nope"), std::runtime_error);
 }
 
+const char* kSharded = R"(n = 8
+f = 1
+seed = 3
+node 0 = 127.0.0.1:48000
+node 1 = 127.0.0.1:48001
+node 2 = 127.0.0.1:48002
+node 3 = 127.0.0.1:48003
+node 4 = 127.0.0.1:48004
+node 5 = 127.0.0.1:48005
+node 6 = 127.0.0.1:48006
+node 7 = 127.0.0.1:48007
+
+[group 0]
+kind = config
+members = 0,1,2,3
+clients = 6,7
+store_subdir = cfg
+
+[group 1]
+members = 0,1,2,3   # same machines as the config group
+clients = 6
+range = ..m
+
+[group 2]
+f = 1
+members = 4,5,6,7
+range = m..
+)";
+
+TEST(ClusterConfigGroupTest, ParsesGroupSections) {
+  const ClusterConfig config = ClusterConfig::parse(kSharded);
+  ASSERT_EQ(config.groups.size(), 3u);
+
+  const GroupConfig* cfg = config.config_group();
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_EQ(cfg->id, 0u);
+  EXPECT_TRUE(cfg->is_config);
+  EXPECT_EQ(cfg->members, (std::vector<ProcessId>{0, 1, 2, 3}));
+  EXPECT_EQ(cfg->clients, (std::vector<ProcessId>{6, 7}));
+  EXPECT_EQ(cfg->store_subdir, "cfg");
+  EXPECT_TRUE(cfg->ranges.empty());
+
+  const GroupConfig* low = config.group(1);
+  ASSERT_NE(low, nullptr);
+  EXPECT_FALSE(low->is_config);
+  ASSERT_EQ(low->ranges.size(), 1u);
+  EXPECT_EQ(low->ranges[0], (GroupRange{"", "m"}));
+
+  const GroupConfig* high = config.group(2);
+  ASSERT_NE(high, nullptr);
+  EXPECT_EQ(high->f, 1);
+  EXPECT_EQ(high->members, (std::vector<ProcessId>{4, 5, 6, 7}));
+  ASSERT_EQ(high->ranges.size(), 1u);
+  EXPECT_EQ(high->ranges[0], (GroupRange{"m", ""}));
+
+  EXPECT_EQ(config.group(9), nullptr);
+}
+
+TEST(ClusterConfigGroupTest, ShardedToTextRoundTrips) {
+  const ClusterConfig config = ClusterConfig::parse(kSharded);
+  EXPECT_EQ(ClusterConfig::parse(config.to_text()), config);
+}
+
+TEST(ClusterConfigGroupTest, SingleGroupFilesStayValid) {
+  const ClusterConfig config = ClusterConfig::parse(kValid);
+  EXPECT_TRUE(config.groups.empty());
+  EXPECT_EQ(config.config_group(), nullptr);
+}
+
 // Rejection helper: parse must throw, and the message must carry the
 // expected line number plus a recognizable fragment.
 void expect_rejects(const std::string& text, const std::string& line_tag,
@@ -140,6 +209,48 @@ TEST(ClusterConfigRejectTest, TimingConstraints) {
                  "reconnect_cap_ms = 50\n" +
                      nodes,
                  "line 8", "reconnect backoff");
+}
+
+TEST(ClusterConfigRejectTest, GroupSections) {
+  const std::string base =
+      "n = 4\nf = 1\nnode 0 = a:1\nnode 1 = a:1\nnode 2 = a:1\n"
+      "node 3 = a:1\n";  // 6 lines
+  expect_rejects(base + "[group 0\n", "line 7", "unterminated section");
+  expect_rejects(base + "[shard 0]\n", "line 7", "unknown section");
+  expect_rejects(base + "[group 0]\n[group 0]\n", "line 8",
+                 "duplicate group id");
+  expect_rejects(base + "[group 0]\ncolour = blue\n", "line 8",
+                 "unknown group key");
+  expect_rejects(base + "[group 0]\nrange = no-separator\n", "line 8",
+                 "range must be lo..hi");
+  expect_rejects(base + "[group 0]\nrange = m..a\n", "line 8",
+                 "hi must be empty or greater");
+  expect_rejects(base + "[group 0]\nmembers = 0,,2\n", "line 8",
+                 "empty id in list");
+  const std::string cfg =
+      "[group 0]\nkind = config\nmembers = 0,1,2,3\n";
+  // Group validation failures are reported against the end of the file.
+  expect_rejects(base + cfg + "[group 1]\nmembers = 0,1,2,4\n", "",
+                 "id out of range");
+  expect_rejects(base + cfg + "[group 1]\nmembers = 0,1,2,2\n", "",
+                 "must be distinct");
+  expect_rejects(base + cfg + "[group 1]\nmembers = 0,1,2,3\nclients = 3\n",
+                 "", "must be distinct");
+  expect_rejects(base + cfg + "[group 1]\nmembers = 0,1,2\n", "",
+                 "members must be >= 3f + 1");
+  expect_rejects(base + cfg + "[group 1]\n", "", "missing members");
+  expect_rejects(base + "[group 1]\nmembers = 0,1,2,3\n", "",
+                 "exactly one kind = config");
+  expect_rejects(base + cfg + "range = a..b\n", "",
+                 "config group cannot serve ranges");
+  expect_rejects(base + cfg +
+                     "[group 1]\nmembers = 0,1,2,3\nrange = a..m\n"
+                     "[group 2]\nmembers = 0,1,2,3\nrange = g..z\n",
+                 "", "ranges overlap");
+  expect_rejects(base + cfg +
+                     "[group 1]\nmembers = 0,1,2,3\nrange = a..\n"
+                     "[group 2]\nmembers = 0,1,2,3\nrange = g..z\n",
+                 "", "ranges overlap");
 }
 
 }  // namespace

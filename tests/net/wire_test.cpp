@@ -177,13 +177,35 @@ TEST(WireTest, WrongRowWidthRejected) {
   const crypto::Signer signer(keys, 0);
   const crypto::Signature sig =
       signer.sign(std::vector<std::uint8_t>{1, 2, 3});
-  Encoder enc;
-  enc.u8(static_cast<std::uint8_t>(WireType::kUpdate));
-  enc.process_id(0);
-  // Width 3 != n = 5: framing error.
-  enc.u64_vector(std::vector<std::uint64_t>{1, 2, 3});
-  enc.signature(sig);
-  EXPECT_EQ(decode_message(enc.view(), kN), nullptr);
+  // Width n+1 > n = 5: framing error. Narrower rows pass framing —
+  // the decode-time n is only an address-space bound (the shard mux
+  // decodes with members+clients, wider than the suspicion matrix) —
+  // and UpdateMessage::verify enforces the exact group width instead.
+  Encoder wide;
+  wide.u8(static_cast<std::uint8_t>(WireType::kUpdate));
+  wide.process_id(0);
+  wide.u64_vector(std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6});
+  wide.signature(sig);
+  EXPECT_EQ(decode_message(wide.view(), kN), nullptr);
+
+  Encoder empty;
+  empty.u8(static_cast<std::uint8_t>(WireType::kUpdate));
+  empty.process_id(0);
+  empty.u64_vector({});
+  empty.signature(sig);
+  EXPECT_EQ(decode_message(empty.view(), kN), nullptr);
+
+  Encoder narrow;
+  narrow.u8(static_cast<std::uint8_t>(WireType::kUpdate));
+  narrow.process_id(0);
+  narrow.u64_vector(std::vector<std::uint64_t>{1, 2, 3});
+  narrow.signature(sig);
+  const auto decoded = decode_message(narrow.view(), kN);
+  ASSERT_NE(decoded, nullptr);
+  const auto* update =
+      dynamic_cast<const suspect::UpdateMessage*>(decoded.get());
+  ASSERT_NE(update, nullptr);
+  EXPECT_FALSE(update->verify(crypto::Signer(keys, 1), kN));
 }
 
 TEST(WireTest, OversizedEdgeListRejected) {

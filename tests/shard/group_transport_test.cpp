@@ -1,0 +1,250 @@
+// GroupTransport / GroupMux: group-local id spaces over a shared
+// transport, frame routing between co-hosted groups, and the drop
+// counters that account for everything crossing a group boundary wrongly.
+#include "shard/group_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/group_frame.hpp"
+#include "net/wire.hpp"
+#include "runtime/sim_transport.hpp"
+#include "sim/network.hpp"
+#include "smr/client_messages.hpp"
+#include "suspect/update_message.hpp"
+
+namespace qsel::shard {
+namespace {
+
+GroupSpec spec_a() {  // members 0,1,2 + client 4 -> locals 0..3
+  GroupSpec spec;
+  spec.id = 1;
+  spec.members = {0, 1, 2};
+  spec.clients = {4};
+  return spec;
+}
+
+GroupSpec spec_b() {  // members 0,1,3 + client 5
+  GroupSpec spec;
+  spec.id = 2;
+  spec.members = {0, 1, 3};
+  spec.clients = {5};
+  return spec;
+}
+
+TEST(GroupSpecTest, LocalGlobalMappingRoundTrips) {
+  const GroupSpec spec = spec_a();
+  EXPECT_EQ(spec.local_count(), 4u);
+  EXPECT_EQ(spec.local_of(0), std::optional<ProcessId>{0});
+  EXPECT_EQ(spec.local_of(2), std::optional<ProcessId>{2});
+  EXPECT_EQ(spec.local_of(4), std::optional<ProcessId>{3});  // client slot
+  EXPECT_FALSE(spec.local_of(3).has_value());  // member of B, not A
+  EXPECT_FALSE(spec.local_of(9).has_value());
+  for (ProcessId local = 0; local < spec.local_count(); ++local)
+    EXPECT_EQ(spec.local_of(spec.global_of(local)),
+              std::optional<ProcessId>{local});
+}
+
+TEST(GroupSpecTest, KeySeedsDifferPerGroup) {
+  // Same rank, different group: unrelated signing keys.
+  EXPECT_NE(spec_a().key_seed(7), spec_b().key_seed(7));
+  EXPECT_NE(spec_a().key_seed(7), 7u);
+}
+
+TEST(GroupSpecTest, SpecFromConfigSection) {
+  net::GroupConfig config;
+  config.id = 3;
+  config.members = {1, 2, 5};
+  config.clients = {6};
+  const GroupSpec spec = spec_from(config);
+  EXPECT_EQ(spec.id, 3u);
+  EXPECT_EQ(spec.members, config.members);
+  EXPECT_EQ(spec.clients, config.clients);
+}
+
+// ---------------------------------------------------------------------------
+
+sim::NetworkConfig fixed_latency() {
+  sim::NetworkConfig config;
+  config.base_latency = 10;
+  config.jitter = 0;
+  return config;
+}
+
+std::shared_ptr<smr::ClientRequest> request(std::uint32_t client,
+                                            std::uint64_t seq) {
+  auto req = std::make_shared<smr::ClientRequest>();
+  req->client = client;
+  req->client_seq = seq;
+  req->op = {0xab, 0xcd};
+  return req;
+}
+
+struct Received {
+  ProcessId from;
+  sim::PayloadPtr payload;
+};
+
+/// Six sim processes; nodes 0 and 1 host a mux with both groups.
+struct MuxFixture {
+  sim::Simulator sim;
+  sim::Network net{sim, 6, fixed_latency(), /*seed=*/1};
+  std::vector<std::unique_ptr<runtime::SimTransport>> base;
+  std::vector<std::unique_ptr<GroupMux>> mux;
+
+  MuxFixture() {
+    for (ProcessId id = 0; id < 6; ++id)
+      base.push_back(std::make_unique<runtime::SimTransport>(net, id));
+    for (ProcessId id = 0; id < 2; ++id) {
+      mux.push_back(std::make_unique<GroupMux>(*base[id]));
+      mux[id]->add_group(spec_a());
+      mux[id]->add_group(spec_b());
+    }
+  }
+
+  /// Routes the group's deliveries into `out` (which must outlive the mux
+  /// handler, i.e. the test body).
+  void record(ProcessId node, GroupId group, std::vector<Received>& out) {
+    mux[node]->group(group)->set_handler(
+        [&out](ProcessId from, const sim::PayloadPtr& payload) {
+          out.push_back({from, payload});
+        });
+  }
+};
+
+TEST(GroupMuxTest, SendRoutesToTheRightGroup) {
+  MuxFixture fx;
+  std::vector<Received> got_a;
+  std::vector<Received> got_b;
+  fx.record(1, 1, got_a);
+  fx.record(1, 2, got_b);
+
+  fx.mux[0]->group(1)->send(1, request(3, 9));  // group A, local rank 1
+  fx.sim.run();
+
+  ASSERT_EQ(got_a.size(), 1u);
+  EXPECT_TRUE(got_b.empty());
+  EXPECT_EQ(got_a[0].from, 0u);  // group-local sender rank
+  const auto* req =
+      dynamic_cast<const smr::ClientRequest*>(got_a[0].payload.get());
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->client, 3u);
+  EXPECT_EQ(req->client_seq, 9u);
+  EXPECT_EQ(req->op, (std::vector<std::uint8_t>{0xab, 0xcd}));
+}
+
+TEST(GroupMuxTest, BroadcastTranslatesLocalTargetsToGlobal) {
+  MuxFixture fx;
+  std::vector<Received> node1;
+  fx.record(1, 1, node1);
+  std::vector<Received> node2;
+  // Node 2 is a member of group A only; give it a bare mux.
+  GroupMux mux2(*fx.base[2]);
+  mux2.add_group(spec_a())
+      .set_handler([&node2](ProcessId from, const sim::PayloadPtr& payload) {
+        node2.push_back({from, payload});
+      });
+
+  ProcessSet locals;
+  locals.insert(1);
+  locals.insert(2);
+  fx.mux[0]->group(1)->broadcast(locals, request(3, 1));
+  fx.sim.run();
+
+  ASSERT_EQ(node1.size(), 1u);
+  ASSERT_EQ(node2.size(), 1u);
+  EXPECT_EQ(node1[0].from, 0u);
+  EXPECT_EQ(node2[0].from, 0u);
+}
+
+TEST(GroupMuxTest, ForeignSenderIsDroppedBeforeDecoding) {
+  MuxFixture fx;
+  std::vector<Received> got;
+  fx.record(0, 1, got);
+
+  // Node 3 is not in group A; hand-craft a group-A frame from it.
+  auto frame = std::make_shared<net::GroupFrame>();
+  frame->group = 1;
+  frame->inner = *net::encode_message(*request(0, 1));
+  fx.base[3]->send(0, frame);
+  fx.sim.run();
+
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(fx.mux[0]->group(1)->dropped_foreign(), 1u);
+}
+
+TEST(GroupMuxTest, InnerDecodeUsesGroupLocalBounds) {
+  MuxFixture fx;
+  std::vector<Received> got;
+  fx.record(0, 1, got);
+
+  // client id 5 is in range for the global transport (n=6) but out of
+  // range for group A's local space (local_count=4) — must not decode.
+  auto frame = std::make_shared<net::GroupFrame>();
+  frame->group = 1;
+  frame->inner = *net::encode_message(*request(5, 1));
+  fx.base[1]->send(0, frame);
+  fx.sim.run();
+
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(fx.mux[0]->group(1)->dropped_foreign(), 1u);
+}
+
+TEST(GroupMuxTest, SuspicionGossipSurvivesClientWidenedDecodeBounds) {
+  // The suspicion-matrix row is sized by the group's member count (3),
+  // but the mux decodes with members+clients (4). An exact-width check
+  // at decode time silently dropped every UPDATE between sharded
+  // replicas, wedging quorum convergence after a crash; the exact width
+  // is the consumer's UpdateMessage::verify check, not framing's.
+  MuxFixture fx;
+  std::vector<Received> got;
+  fx.record(1, 1, got);
+
+  auto update = std::make_shared<suspect::UpdateMessage>();
+  update->origin = 0;
+  update->row = {0, 2, 1};  // one epoch stamp per group member
+  fx.mux[0]->group(1)->send(1, update);
+  fx.sim.run();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(fx.mux[1]->group(1)->dropped_foreign(), 0u);
+  const auto* decoded =
+      dynamic_cast<const suspect::UpdateMessage*>(got[0].payload.get());
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->origin, 0u);
+  EXPECT_EQ(decoded->row, (std::vector<Epoch>{0, 2, 1}));
+}
+
+TEST(GroupMuxTest, UnroutableFramesAreCounted) {
+  MuxFixture fx;
+
+  auto frame = std::make_shared<net::GroupFrame>();
+  frame->group = 99;  // no such group here
+  frame->inner = *net::encode_message(*request(0, 1));
+  fx.base[1]->send(0, frame);
+  fx.base[1]->send(0, request(0, 2));  // bare payload, not a GroupFrame
+  fx.sim.run();
+
+  EXPECT_EQ(fx.mux[0]->dropped_unroutable(), 2u);
+}
+
+TEST(GroupMuxTest, UnencodablePayloadsNeverLeaveTheGroup) {
+  struct Opaque final : sim::Payload {
+    std::string_view type_tag() const override { return "test.opaque"; }
+    std::size_t wire_size() const override { return 1; }
+  };
+  MuxFixture fx;
+  std::vector<Received> got;
+  fx.record(1, 1, got);
+
+  fx.mux[0]->group(1)->send(1, std::make_shared<Opaque>());
+  fx.sim.run();
+
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(fx.mux[0]->group(1)->dropped_unencodable(), 1u);
+}
+
+}  // namespace
+}  // namespace qsel::shard

@@ -25,15 +25,22 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "crypto/signer.hpp"
 #include "net/cluster_config.hpp"
 #include "net/event_loop.hpp"
 #include "net/tcp_transport.hpp"
 #include "runtime/node_process.hpp"
+#include "shard/group_host.hpp"
+#include "shard/shard_kv.hpp"
+#include "shard/shard_map.hpp"
 #include "store/node_store.hpp"
 
 namespace {
@@ -104,6 +111,85 @@ Options parse_options(int argc, char** argv) {
   return options;
 }
 
+/// Sharded mode: the config file has `[group <id>]` sections, so this
+/// node hosts an XPaxos replica of every group it is a member of — the
+/// shard-config group replicating the ShardMap, data groups replicating
+/// epoch-fenced ShardKv machines — all multiplexed over one TcpTransport.
+int run_sharded(const Options& options, const net::ClusterConfig& cluster,
+                net::EventLoop& loop, net::TcpTransport& transport) {
+  shard::GroupHost host(transport);
+  std::size_t hosted = 0;
+  for (const net::GroupConfig& group : cluster.groups) {
+    const shard::GroupSpec spec = shard::spec_from(group);
+    const auto local = spec.local_of(options.id);
+    if (!local || *local >= spec.members.size()) continue;  // not a member
+
+    shard::HostedGroupConfig hosted_config;
+    hosted_config.spec = spec;
+    hosted_config.replica.f = group.f > 0 ? group.f : cluster.f;
+    hosted_config.replica.fd.initial_timeout = cluster.fd_initial_timeout;
+    hosted_config.replica.fd.max_timeout = cluster.fd_max_timeout;
+    hosted_config.key_seed = cluster.seed;
+    if (!cluster.store_dir.empty())
+      hosted_config.store_dir =
+          (group.store_subdir.empty()
+               ? cluster.store_dir
+               : cluster.store_dir + "/" + group.store_subdir) +
+          "/node" + std::to_string(options.id);
+    if (group.is_config) {
+      hosted_config.app_factory = [] {
+        return std::make_unique<shard::ShardMapMachine>();
+      };
+    } else {
+      std::vector<std::pair<std::string, std::string>> owned;
+      for (const net::GroupRange& range : group.ranges)
+        owned.emplace_back(range.lo, range.hi);
+      hosted_config.app_factory =
+          [owned]() -> std::unique_ptr<app::StateMachine> {
+        shard::ShardKv::Config kv;
+        kv.owned = owned;
+        return std::make_unique<shard::ShardKv>(std::move(kv));
+      };
+    }
+    host.add_replica(std::move(hosted_config));
+    std::cout << "p" << options.id << " hosts group " << group.id
+              << (group.is_config ? " (shard config)" : " (data)")
+              << ": members " << group.members.size() << ", f "
+              << (group.f > 0 ? group.f : cluster.f) << std::endl;
+    ++hosted;
+  }
+  if (hosted == 0) {
+    std::cerr << "qsel_node: node " << options.id
+              << " is not a member of any group in the config\n";
+    return 2;
+  }
+
+  transport.start();
+
+  // Status poll: print each hosted group's view and quorum on change.
+  auto shown = std::make_shared<std::map<shard::GroupId, ViewId>>();
+  std::function<void()> report = [&, shown] {
+    for (const net::GroupConfig& group : cluster.groups) {
+      const xpaxos::Replica* replica = host.replica(group.id);
+      if (replica == nullptr) continue;
+      const auto it = shown->find(group.id);
+      if (it != shown->end() && it->second == replica->view()) continue;
+      (*shown)[group.id] = replica->view();
+      std::cout << "p" << options.id << " group " << group.id << " view "
+                << replica->view() << " quorum "
+                << replica->active_quorum().to_string() << std::endl;
+    }
+    loop.timers().schedule_after(100'000'000, report);
+  };
+  report();
+
+  if (options.duration_ms > 0)
+    loop.run_for(options.duration_ms * 1'000'000);
+  else
+    loop.run();
+  return 0;
+}
+
 int run(const Options& options) {
   // Both modes reduce to one ClusterConfig; flag mode synthesizes the
   // classic 127.0.0.1:(base+i), no-auth, no-store layout.
@@ -143,6 +229,11 @@ int run(const Options& options) {
     if (peer != options.id)
       transport.set_peer(peer, cluster.nodes[peer].host,
                          cluster.nodes[peer].port);
+
+  // A config with `[group <id>]` sections runs the sharded stack instead
+  // of the single flat quorum-selection process.
+  if (!cluster.groups.empty())
+    return run_sharded(options, cluster, loop, transport);
 
   std::unique_ptr<store::NodeStore> store;
   if (!cluster.store_dir.empty())

@@ -39,6 +39,7 @@ struct ProcessStats {
   std::uint64_t updates = 0;
   std::uint64_t epochs = 0;
   std::uint64_t quorums = 0;
+  std::uint64_t shard = 0;  // freeze/install/config-epoch events
 };
 
 int usage(const char* argv0) {
@@ -115,6 +116,7 @@ int main(int argc, char** argv) {
   // (epoch, process) -> quorum changes; epoch alone for the headline.
   std::map<Epoch, std::uint64_t> quorum_changes_by_epoch;
   std::uint64_t drops = 0, faults = 0, crashes = 0;
+  std::uint64_t freezes = 0, installs = 0, epoch_bumps = 0;
 
   for (const trace::Event& e : events) {
     ProcessStats& p = by_process[e.actor];
@@ -155,6 +157,18 @@ int main(int argc, char** argv) {
         p.quorums++;
         quorum_changes_by_epoch[e.arg1]++;
         break;
+      case trace::EventType::kShardFreeze:
+        p.shard++;
+        ++freezes;
+        break;
+      case trace::EventType::kShardInstall:
+        p.shard++;
+        ++installs;
+        break;
+      case trace::EventType::kConfigEpochBump:
+        p.shard++;
+        ++epoch_bumps;
+        break;
       default:
         break;
     }
@@ -172,6 +186,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.delivers),
                 static_cast<unsigned long long>(s.drops),
                 static_cast<unsigned long long>(s.bytes));
+  }
+
+  if (freezes + installs + epoch_bumps > 0) {
+    std::cout << "\nshard migration activity\n";
+    std::cout << "  " << freezes << " range freeze(s), " << installs
+              << " chunk/adopt install(s), " << epoch_bumps
+              << " config epoch bump(s)\n";
   }
 
   if (!quorum_changes_by_epoch.empty()) {
