@@ -1,5 +1,7 @@
 #include "bchain/cluster.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace qsel::bchain {
@@ -69,6 +71,24 @@ std::uint64_t Cluster::max_reconfigurations() const {
   for (ProcessId id : alive_replicas())
     most = std::max(most, replicas_[id]->reconfigurations());
   return most;
+}
+
+bool Cluster::histories_consistent() const {
+  for (ProcessId a : alive_replicas()) {
+    for (ProcessId b : alive_replicas()) {
+      if (a >= b) continue;
+      const auto& ha = replicas_[a]->executed_history();
+      const auto& hb = replicas_[b]->executed_history();
+      const std::size_t common = std::min(ha.size(), hb.size());
+      for (std::size_t i = 0; i < common; ++i) {
+        if (ha[i].slot != hb[i].slot || ha[i].client != hb[i].client ||
+            ha[i].client_seq != hb[i].client_seq ||
+            ha[i].op_digest != hb[i].op_digest)
+          return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace qsel::bchain

@@ -42,6 +42,9 @@ class Cluster {
   void start_clients(std::uint64_t requests_per_client);
   std::uint64_t total_completed() const;
   std::uint64_t max_reconfigurations() const;
+  /// True iff every pair of honest live replicas agrees on the common
+  /// prefix of its executed history (same check as xpaxos::Cluster).
+  bool histories_consistent() const;
 
  private:
   ClusterConfig config_;

@@ -274,6 +274,8 @@ void Replica::try_execute() {
     const ChainMessage& m = *slot.chain_msg;
     const std::string result = store_.apply_encoded(m.op);
     ++requests_executed_;
+    executed_history_.push_back(ExecutedEntry{
+        it->first, m.client, m.client_seq, crypto::sha256(m.op)});
     results_[{m.client, m.client_seq}] = result;
     backlog_.erase({m.client, m.client_seq});
     if (m.client >= config_.n && m.client < network_.process_count()) {

@@ -64,6 +64,18 @@ class Replica final : public sim::Actor {
   const app::KvStore& store() const { return store_; }
   SeqNum last_executed() const { return last_executed_; }
 
+  /// Executed history as (slot, client, client_seq, op digest) tuples, for
+  /// cross-replica consistency checks (same shape as xpaxos::Replica).
+  struct ExecutedEntry {
+    SeqNum slot;
+    std::uint32_t client;
+    std::uint64_t client_seq;
+    crypto::Digest op_digest;
+  };
+  const std::vector<ExecutedEntry>& executed_history() const {
+    return executed_history_;
+  }
+
  private:
   struct Slot {
     std::optional<ChainMessage> chain_msg;
@@ -100,6 +112,7 @@ class Replica final : public sim::Actor {
   SeqNum next_slot_ = 1;  // head only
   SeqNum last_executed_ = 0;
   std::uint64_t requests_executed_ = 0;
+  std::vector<ExecutedEntry> executed_history_;
   std::map<std::pair<std::uint32_t, std::uint64_t>, SeqNum> client_index_;
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> results_;
   struct BacklogEntry {

@@ -1,0 +1,392 @@
+#include "campaign/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "campaign/mutator.hpp"
+#include "common/assert.hpp"
+
+namespace qsel::campaign {
+
+namespace {
+
+using scenario::Protocol;
+using scenario::Schedule;
+
+Schedule fresh_candidate(const scenario::ScheduleGenerator& gen, Rng& rng) {
+  // Base candidates are qs-flavored (the richest fault vocabulary — every
+  // other protocol is a projection) plus the two targeted families.
+  const std::uint64_t pick = rng.below(8);
+  if (pick < 6) return gen.generate(Protocol::kQuorumSelection, rng());
+  if (pick == 6)
+    return gen.generate_family(scenario::Family::kFollowerStress, rng());
+  return gen.generate_family(scenario::Family::kSynchronous, rng());
+}
+
+ProtocolOutcome evaluate(const Schedule& base, Protocol protocol) {
+  ProtocolOutcome out;
+  out.protocol = protocol;
+  const auto variant = materialize(base, protocol);
+  if (!variant.has_value()) return out;
+  const scenario::RunResult result = scenario::run_schedule(*variant);
+  out.ran = true;
+  out.ok = result.report.ok();
+  for (const scenario::Violation& violation : result.report.violations)
+    out.violated.push_back(violation.oracle);
+  out.total_quorums = result.total_quorums;
+  out.max_epoch = result.max_epoch;
+  out.gossip_bytes = result.gossip_bytes;
+  out.view_changes = result.view_changes;
+  out.completed_requests = result.observations.completed_requests;
+  for (const scenario::ProcessObservation& po :
+       result.observations.processes)
+    for (const auto& [epoch, count] : po.quorums_per_epoch)
+      out.worst_epoch_quorums = std::max(out.worst_epoch_quorums, count);
+  out.coverage = result.coverage;
+  return out;
+}
+
+std::uint64_t signature_of(const Candidate& candidate) {
+  // The signature is the trace-event-type bitmap, folded per protocol:
+  // which behaviours the bake-off exercised (crashes, partitions, epoch
+  // advances, FOLLOWERS rounds, view changes, mux traffic, ...), not how
+  // much of each. Scalar signals (quorums forced, epochs burned, gossip
+  // bytes, view changes) are rewarded through the frontier instead —
+  // folding them (or exact event counts, coverage.key) into the signature
+  // makes nearly every run "novel", random search saturates the signature
+  // set, and guidance has nothing to steer by. Event-type composition is
+  // exactly what the structural mutators (splice / dup / extend / mux /
+  // sync) vary, so this is the axis where guidance can out-search fresh
+  // generator draws.
+  trace::CoverageSignature sig;
+  for (const ProtocolOutcome& out : candidate.outcomes) {
+    sig.type_bits |= out.coverage.type_bits;
+    sig.mix(out.ran ? 1 : 0);
+    sig.mix(out.coverage.type_bits);
+  }
+  sig.mix(sig.type_bits);
+  return sig.key;
+}
+
+/// Static novelty key — the schedule-level features that determine most
+/// of the coverage signature, computable WITHOUT running the candidate:
+/// which fault kinds the script plays plus the structural toggles. Guided
+/// mode uses it to spend budget on candidates that at least look novel;
+/// executing a candidate whose key was already run almost always re-lights
+/// an already-seen signature.
+std::uint64_t static_key(const Schedule& schedule) {
+  std::uint64_t key = 0;
+  for (const scenario::FaultAction& action : schedule.actions)
+    key |= 1ULL << static_cast<int>(action.kind);
+  if (schedule.mux_clients != 0) key |= 1ULL << 8;
+  if (schedule.synchronous) key |= 1ULL << 9;
+  if (!schedule.byzantine.empty()) key |= 1ULL << 10;
+  if (schedule.pre_gst_extra != 0) key |= 1ULL << 11;
+  // f and the n-vs-3f relation pick the materialization floors (which
+  // protocols run at all, and at what size), so they shape the signature
+  // as much as the fault mix does.
+  if (static_cast<int>(schedule.n) > 3 * schedule.f) key |= 1ULL << 12;
+  key |= static_cast<std::uint64_t>(schedule.f) << 16;
+  return key;
+}
+
+/// Updates the per-(protocol, signal) maxima; returns true when this
+/// candidate pushed at least one, naming the first in config order.
+bool frontier_push(std::map<std::string, std::uint64_t>& frontier,
+                   const Candidate& candidate, std::string* which) {
+  bool pushed = false;
+  for (const ProtocolOutcome& out : candidate.outcomes) {
+    if (!out.ran) continue;
+    const std::string prefix(scenario::protocol_name(out.protocol));
+    const std::pair<const char*, std::uint64_t> signals[] = {
+        {"quorums", out.total_quorums},
+        {"epochs", out.max_epoch},
+        {"gossip_bytes", out.gossip_bytes},
+        {"view_changes", out.view_changes},
+        {"epoch_quorums", out.worst_epoch_quorums},
+    };
+    for (const auto& [name, value] : signals) {
+      std::uint64_t& best = frontier[prefix + "." + name];
+      if (value > best) {
+        best = value;
+        if (!pushed && which != nullptr) *which = prefix + "." + name;
+        pushed = true;
+      }
+    }
+  }
+  return pushed;
+}
+
+void append_u64(std::string& json, std::string_view key, std::uint64_t value,
+                bool trailing_comma = true) {
+  json += "\"";
+  json += key;
+  json += "\": ";
+  json += std::to_string(value);
+  if (trailing_comma) json += ", ";
+}
+
+}  // namespace
+
+std::optional<Schedule> materialize(const Schedule& base, Protocol protocol) {
+  Schedule variant = base;
+  variant.protocol = protocol;
+  if (protocol != Protocol::kQuorumSelection) {
+    variant.mux_clients = 0;
+    variant.min_final_epoch = 0;  // the epoch oracle is tuned on qs runs
+    std::erase_if(variant.actions, [](const scenario::FaultAction& action) {
+      return action.kind == scenario::FaultKind::kRestart;
+    });
+  }
+  const bool smr = scenario::protocol_is_smr(protocol);
+  if (smr) {
+    variant.byzantine = {};
+    std::erase_if(variant.actions, [](const scenario::FaultAction& action) {
+      return action.kind == scenario::FaultKind::kInjectSuspicion;
+    });
+    // Deterministic workload: same base => same request count everywhere.
+    variant.requests = 10 + base.seed % 16;
+    // Heartbeats are a selection-stack knob; keep one only where validate
+    // demands it (partition resync is heartbeat-driven).
+    variant.heartbeat_period = variant.has_partition() ? 5'000'000 : 0;
+  } else {
+    variant.requests = 0;
+  }
+  if (protocol != Protocol::kQuorumSelection) {
+    // fs and the 3f+1 baselines need n > 3f.
+    const int floor = 3 * variant.f + 1;
+    if (static_cast<int>(variant.n) < floor) {
+      if (floor > static_cast<int>(kMaxProcesses)) return std::nullopt;
+      variant.n = static_cast<ProcessId>(floor);
+    }
+  }
+  if (variant.validate().has_value()) return std::nullopt;
+  return variant;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  std::uint64_t mix = config.seed ^ 0xca3a16517ULL;
+  Rng rng(splitmix64(mix));
+  const scenario::ScheduleGenerator gen(config.generator);
+
+  CampaignResult result;
+  std::set<std::uint64_t> signatures;
+  std::set<std::uint64_t> executed_keys;  // static keys of run candidates
+  std::map<std::string, std::uint64_t> frontier;
+  // Corpus grouped by signature class: frontier keeps pile many members
+  // into the same class, and uniform member selection would then mutate
+  // the common class almost exclusively. Sampling a class first keeps
+  // parent (and splice-partner) selection diverse.
+  std::map<std::uint64_t, std::vector<Schedule>> corpus;
+  std::uint64_t corpus_size = 0;
+  const auto corpus_pick = [&corpus](Rng& r) -> const Schedule& {
+    auto it = corpus.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(r.below(corpus.size())));
+    return it->second[r.below(it->second.size())];
+  };
+
+  const auto track_qs = [&result](const Candidate& candidate) {
+    for (const ProtocolOutcome& out : candidate.outcomes) {
+      if (out.protocol != Protocol::kQuorumSelection || !out.ran) continue;
+      if (out.worst_epoch_quorums > result.qs_worst_epoch_quorums) {
+        result.qs_worst_epoch_quorums = out.worst_epoch_quorums;
+        const auto f = static_cast<std::uint64_t>(candidate.base.f);
+        result.qs_theorem4_target = (f + 2) * (f + 1) / 2;  // C(f+2, 2)
+      }
+    }
+  };
+
+  const auto run_candidate = [&](const Schedule& base) {
+    Candidate candidate;
+    candidate.base = base;
+    for (Protocol protocol : config.protocols)
+      candidate.outcomes.push_back(evaluate(base, protocol));
+    candidate.signature = signature_of(candidate);
+    for (const ProtocolOutcome& out : candidate.outcomes)
+      if (out.ran && !out.ok) ++result.violations;
+    track_qs(candidate);
+    return candidate;
+  };
+
+  for (const Schedule& seed_schedule : config.corpus_seeds) {
+    Candidate candidate = run_candidate(seed_schedule);
+    candidate.kept = true;
+    candidate.reason = "seed";
+    signatures.insert(candidate.signature);
+    executed_keys.insert(static_key(seed_schedule));
+    frontier_push(frontier, candidate, nullptr);
+    corpus[candidate.signature].push_back(seed_schedule);
+    ++corpus_size;
+    result.candidates.push_back(std::move(candidate));
+  }
+  result.seed_signatures = signatures.size();
+
+  for (std::uint64_t i = 0; i < config.budget; ++i) {
+    Schedule base;
+    bool have = false;
+    if (config.guided && corpus_size != 0 && rng.chance(0.7)) {
+      // Mutants are free; only running one spends budget. Prefer the
+      // first valid mutant whose static key has not been executed yet,
+      // falling back to the first valid one.
+      bool novel_key = false;
+      for (int attempt = 0; attempt < 16 && !novel_key; ++attempt) {
+        Schedule mutant = mutate(corpus_pick(rng), corpus_pick(rng), rng);
+        if (mutant.validate().has_value()) continue;
+        novel_key = !executed_keys.contains(static_key(mutant));
+        if (novel_key || !have) base = std::move(mutant);
+        have = true;
+      }
+    }
+    if (!have) base = fresh_candidate(gen, rng);
+    if (config.guided) {
+      // Same pre-filter on fresh draws: redrawing a schedule that plays
+      // an already-executed fault mix is the budget waste random mode
+      // cannot avoid.
+      for (int attempt = 0;
+           attempt < 8 && executed_keys.contains(static_key(base));
+           ++attempt)
+        base = fresh_candidate(gen, rng);
+    }
+    executed_keys.insert(static_key(base));
+
+    Candidate candidate = run_candidate(base);
+    std::string which;
+    const bool novel = signatures.insert(candidate.signature).second;
+    const bool pushed = frontier_push(frontier, candidate, &which);
+    if (novel) {
+      candidate.kept = true;
+      candidate.reason = "new-signature";
+    } else if (pushed) {
+      candidate.kept = true;
+      candidate.reason = "frontier:" + which;
+    }
+    if (candidate.kept) {
+      ++result.kept;
+      corpus[candidate.signature].push_back(base);
+      ++corpus_size;
+    }
+    result.candidates.push_back(std::move(candidate));
+  }
+  result.distinct_signatures = signatures.size();
+  return result;
+}
+
+std::string CampaignResult::to_json(const CampaignConfig& config) const {
+  std::string json = "{";
+  append_u64(json, "budget", config.budget);
+  append_u64(json, "seed", config.seed);
+  json += "\"guided\": ";
+  json += config.guided ? "true" : "false";
+  json += ", \"protocols\": [";
+  for (std::size_t i = 0; i < config.protocols.size(); ++i) {
+    if (i != 0) json += ", ";
+    json += "\"";
+    json += scenario::protocol_name(config.protocols[i]);
+    json += "\"";
+  }
+  json += "], ";
+  append_u64(json, "executed", candidates.size());
+  append_u64(json, "seed_candidates", config.corpus_seeds.size());
+  append_u64(json, "distinct_signatures", distinct_signatures);
+  append_u64(json, "seed_signatures", seed_signatures);
+  append_u64(json, "kept", kept);
+  append_u64(json, "violations", violations);
+  append_u64(json, "qs_worst_epoch_quorums", qs_worst_epoch_quorums);
+  append_u64(json, "qs_theorem4_target", qs_theorem4_target);
+
+  json += "\"per_protocol\": [";
+  for (std::size_t p = 0; p < config.protocols.size(); ++p) {
+    const Protocol protocol = config.protocols[p];
+    std::uint64_t runs = 0, bad = 0, quorums = 0, epochs = 1, gossip = 0,
+                  views = 0, completed = 0;
+    for (const Candidate& candidate : candidates)
+      for (const ProtocolOutcome& out : candidate.outcomes) {
+        if (out.protocol != protocol || !out.ran) continue;
+        ++runs;
+        if (!out.ok) ++bad;
+        quorums = std::max(quorums, out.total_quorums);
+        epochs = std::max(epochs, static_cast<std::uint64_t>(out.max_epoch));
+        gossip = std::max(gossip, out.gossip_bytes);
+        views = std::max(views, out.view_changes);
+        completed = std::max(completed, out.completed_requests);
+      }
+    if (p != 0) json += ", ";
+    json += "{";
+    json += "\"protocol\": \"";
+    json += scenario::protocol_name(protocol);
+    json += "\", ";
+    append_u64(json, "runs", runs);
+    append_u64(json, "violations", bad);
+    append_u64(json, "max_quorums", quorums);
+    append_u64(json, "max_epoch", epochs);
+    append_u64(json, "max_gossip_bytes", gossip);
+    append_u64(json, "max_view_changes", views);
+    append_u64(json, "max_completed_requests", completed, false);
+    json += "}";
+  }
+  json += "], ";
+
+  json += "\"kept_schedules\": [";
+  bool first = true;
+  for (const Candidate& candidate : candidates) {
+    if (!candidate.kept) continue;
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"reason\": \"" + candidate.reason + "\", \"summary\": \"" +
+            candidate.base.summary() + "\"}";
+  }
+  json += "], ";
+
+  json += "\"violation_details\": [";
+  first = true;
+  for (const Candidate& candidate : candidates)
+    for (const ProtocolOutcome& out : candidate.outcomes) {
+      if (!out.ran || out.ok) continue;
+      if (!first) json += ", ";
+      first = false;
+      json += "{\"protocol\": \"";
+      json += scenario::protocol_name(out.protocol);
+      json += "\", \"oracles\": [";
+      for (std::size_t v = 0; v < out.violated.size(); ++v) {
+        if (v != 0) json += ", ";
+        json += "\"" + out.violated[v] + "\"";
+      }
+      json += "], \"schedule\": \"" + candidate.base.summary() + "\"}";
+    }
+  json += "]}";
+  return json;
+}
+
+std::string CampaignResult::bakeoff_table(const CampaignConfig& config) const {
+  std::string table =
+      "| protocol | runs | violations | max quorums | max epoch | "
+      "max gossip bytes | max view changes | max requests done |\n"
+      "|---|---|---|---|---|---|---|---|\n";
+  for (const Protocol protocol : config.protocols) {
+    std::uint64_t runs = 0, bad = 0, quorums = 0, epochs = 1, gossip = 0,
+                  views = 0, completed = 0;
+    for (const Candidate& candidate : candidates)
+      for (const ProtocolOutcome& out : candidate.outcomes) {
+        if (out.protocol != protocol || !out.ran) continue;
+        ++runs;
+        if (!out.ok) ++bad;
+        quorums = std::max(quorums, out.total_quorums);
+        epochs = std::max(epochs, static_cast<std::uint64_t>(out.max_epoch));
+        gossip = std::max(gossip, out.gossip_bytes);
+        views = std::max(views, out.view_changes);
+        completed = std::max(completed, out.completed_requests);
+      }
+    table += "| ";
+    table += scenario::protocol_name(protocol);
+    table += " | " + std::to_string(runs) + " | " + std::to_string(bad) +
+             " | " + std::to_string(quorums) + " | " +
+             std::to_string(epochs) + " | " + std::to_string(gossip) +
+             " | " + std::to_string(views) + " | " +
+             std::to_string(completed) + " |\n";
+  }
+  return table;
+}
+
+}  // namespace qsel::campaign

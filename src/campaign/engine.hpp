@@ -1,0 +1,123 @@
+// Coverage-guided campaign engine — adversary search as a bake-off.
+//
+// A campaign is a budgeted stream of candidate base schedules, each run
+// against every configured protocol (qs / fs / bchain / pbft by default)
+// with that protocol's own oracles. Feedback comes from cheap observables
+// the runner already computes:
+//
+//   * the trace coverage signature (event-type bitmap + log2-bucketed
+//     per-type counts, trace/coverage.hpp),
+//   * quorum changes forced, epochs burned, suspicion-gossip bytes,
+//   * view changes / reconfigurations on the SMR baselines.
+//
+// The per-protocol signatures and bucketed signals fold into one campaign
+// signature per candidate. A candidate is KEPT — added to the in-memory
+// corpus and offered to the mutator — when it lights a signature no corpus
+// member has, or pushes some (protocol, signal) past the corpus frontier.
+// In guided mode new candidates are mostly mutations of kept ones
+// (campaign/mutator.hpp); in random mode every candidate is a fresh
+// generator draw — the A/B baseline that shows guidance earns its keep.
+//
+// Everything is deterministic in (config, seed): same corpus seeds + same
+// budget => bit-identical trajectory and JSON summary. The engine never
+// reads the clock or the filesystem; the CLI (tools/qsel_campaign.cpp)
+// owns corpus I/O.
+//
+// Theorem 4 is NOT a hard oracle (the sound per-epoch bound is
+// Theorem 3's f(f+1)+1, which exceeds C(f+2,2) for f >= 2); the engine
+// instead tracks the worst per-epoch quorum count it forced against the
+// C(f+2,2) adversary target as a frontier metric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/schedule.hpp"
+
+namespace qsel::campaign {
+
+struct CampaignConfig {
+  /// Candidate base schedules to execute (corpus seeds are re-evaluated
+  /// first to establish the baseline and do not count against this).
+  std::uint64_t budget = 50;
+  std::uint64_t seed = 1;
+  /// false = pure-random baseline: every candidate is a fresh generator
+  /// draw, keep/frontier bookkeeping identical.
+  bool guided = true;
+  /// Protocols each candidate is materialized for, in bake-off order.
+  std::vector<scenario::Protocol> protocols = {
+      scenario::Protocol::kQuorumSelection,
+      scenario::Protocol::kFollowerSelection,
+      scenario::Protocol::kBChain,
+      scenario::Protocol::kPbft,
+  };
+  /// Initial corpus (schedule JSON files loaded by the CLI).
+  std::vector<scenario::Schedule> corpus_seeds;
+  scenario::GeneratorConfig generator;
+};
+
+/// One protocol's view of one candidate.
+struct ProtocolOutcome {
+  scenario::Protocol protocol = scenario::Protocol::kQuorumSelection;
+  /// False when the candidate could not be materialized for this protocol
+  /// (e.g. a schedule shape the protocol's validate() rejects).
+  bool ran = false;
+  bool ok = true;
+  std::vector<std::string> violated;  // oracle names, schedule order
+  std::uint64_t total_quorums = 0;
+  Epoch max_epoch = 1;
+  std::uint64_t gossip_bytes = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t completed_requests = 0;
+  /// Max quorums any process issued inside a single epoch (selection
+  /// protocols) — the Theorem 3 / Theorem 4 axis.
+  std::uint64_t worst_epoch_quorums = 0;
+  trace::CoverageSignature coverage{};
+};
+
+struct Candidate {
+  scenario::Schedule base;
+  std::vector<ProtocolOutcome> outcomes;
+  /// Campaign signature: per-protocol coverage + bucketed signals folded
+  /// in config order.
+  std::uint64_t signature = 0;
+  bool kept = false;
+  /// "seed", "new-signature", "frontier:<protocol>.<signal>" or "".
+  std::string reason;
+};
+
+struct CampaignResult {
+  /// Every executed candidate, in execution order (corpus seeds first).
+  std::vector<Candidate> candidates;
+  std::uint64_t distinct_signatures = 0;
+  std::uint64_t kept = 0;
+  std::uint64_t violations = 0;
+  /// Signatures contributed by the corpus seeds alone (the "new coverage
+  /// vs. seed corpus" check in CI diffs distinct_signatures against it).
+  std::uint64_t seed_signatures = 0;
+  /// Worst per-epoch quorums forced on the qs protocol across the whole
+  /// campaign, and the Theorem-4 adversary target C(f+2,2) for the f it
+  /// was forced at.
+  std::uint64_t qs_worst_epoch_quorums = 0;
+  std::uint64_t qs_theorem4_target = 0;
+
+  /// Deterministic JSON summary (stable key order, no timestamps).
+  std::string to_json(const CampaignConfig& config) const;
+  /// Per-protocol bake-off table (markdown) for EXPERIMENTS.md.
+  std::string bakeoff_table(const CampaignConfig& config) const;
+};
+
+/// Materializes a base schedule for one protocol: strips the fields the
+/// protocol's validate() rejects, bumps n to the protocol floor, derives a
+/// deterministic request count for the SMR baselines. Returns nullopt when
+/// no valid variant exists.
+std::optional<scenario::Schedule> materialize(const scenario::Schedule& base,
+                                              scenario::Protocol protocol);
+
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace qsel::campaign

@@ -1,0 +1,240 @@
+#include "campaign/mutator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "scenario/atoms.hpp"
+
+namespace qsel::campaign {
+
+namespace {
+
+using scenario::Atom;
+using scenario::FaultAction;
+using scenario::FaultKind;
+using scenario::Protocol;
+using scenario::Schedule;
+
+constexpr SimDuration kMs = 1'000'000;
+
+ProcessId pick_not(Rng& rng, ProcessId n, ProcessId avoid) {
+  ProcessId id;
+  do {
+    id = static_cast<ProcessId>(rng.below(n));
+  } while (id == avoid);
+  return id;
+}
+
+void retime(Rng& rng, std::vector<Atom>& atoms) {
+  if (atoms.empty()) return;
+  Atom& atom = atoms[rng.below(atoms.size())];
+  // Shift the whole atom; the opener stays >= 1ms so rebuild() keeps the
+  // timeline positive.
+  const std::int64_t delta_ms =
+      static_cast<std::int64_t>(rng.between(0, 150)) - 50;
+  const std::int64_t floor_ns = static_cast<std::int64_t>(kMs);
+  for (FaultAction& action : atom) {
+    const std::int64_t at =
+        static_cast<std::int64_t>(action.at) + delta_ms * floor_ns;
+    action.at = static_cast<SimTime>(at < floor_ns ? floor_ns : at);
+  }
+}
+
+void perturb(Rng& rng, std::vector<Atom>& atoms, const Schedule& base) {
+  if (atoms.empty()) return;
+  Atom& atom = atoms[rng.below(atoms.size())];
+  switch (atom.front().kind) {
+    case FaultKind::kCrash: {
+      const ProcessId victim =
+          static_cast<ProcessId>(rng.below(base.n));
+      for (FaultAction& action : atom) action.a = victim;
+      break;
+    }
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkDelay: {
+      const ProcessId a = static_cast<ProcessId>(rng.below(base.n));
+      const ProcessId b = pick_not(rng, base.n, a);
+      for (FaultAction& action : atom) {
+        action.a = a;
+        action.b = b;
+        if (action.kind == FaultKind::kLinkDelay)
+          action.value = rng.between(9, 90) * kMs;
+      }
+      break;
+    }
+    case FaultKind::kPartition: {
+      // New side A: any proper nonempty subset.
+      ProcessSet side;
+      while (side.empty() || side.size() >= static_cast<int>(base.n))
+        side = ProcessSet(rng.below(1ULL << base.n));
+      atom.front().value = side.mask();
+      break;
+    }
+    case FaultKind::kInjectSuspicion: {
+      FaultAction& action = atom.front();
+      action.b = pick_not(rng, base.n, action.a);
+      break;
+    }
+    default:
+      break;  // closers never lead an atom; kHeal/kLinkUp/kRestart skipped
+  }
+}
+
+void splice(Rng& rng, std::vector<Atom>& atoms,
+            const std::vector<Atom>& other) {
+  if (other.empty()) return;
+  const std::size_t keep = rng.below(atoms.size() + 1);
+  const std::size_t take = rng.below(other.size() + 1);
+  atoms.resize(keep);
+  atoms.insert(atoms.end(), other.end() - static_cast<std::ptrdiff_t>(take),
+               other.end());
+}
+
+void extend_walk(Rng& rng, Schedule& schedule) {
+  if (schedule.byzantine.empty()) return;
+  std::vector<ProcessId> authors;
+  for (ProcessId id : schedule.byzantine) authors.push_back(id);
+  SimTime t = 20 * kMs;
+  for (const FaultAction& action : schedule.actions)
+    t = std::max(t, action.at);
+  const int moves = static_cast<int>(rng.between(1, 3));
+  for (int i = 0; i < moves; ++i) {
+    t += rng.between(12, 30) * kMs;
+    const ProcessId author = authors[rng.below(authors.size())];
+    schedule.actions.push_back({t, FaultKind::kInjectSuspicion, author,
+                                pick_not(rng, schedule.n, author), 0});
+  }
+}
+
+void toggle_mux(Rng& rng, Schedule& schedule) {
+  if (schedule.protocol != Protocol::kQuorumSelection) return;
+  if (schedule.mux_clients != 0) {
+    schedule.mux_clients = 0;
+    return;
+  }
+  schedule.mux_clients = static_cast<ProcessId>(rng.between(1, 3));
+  // The mux cluster has no restart path (Schedule::validate rejects the
+  // combination); surviving crashes become crash-only faults.
+  std::erase_if(schedule.actions, [](const FaultAction& action) {
+    return action.kind == FaultKind::kRestart;
+  });
+}
+
+void add_atom(Rng& rng, Schedule& schedule, std::vector<Atom>& atoms) {
+  const SimTime at = (20 + rng.between(0, 400)) * kMs;
+  const SimTime close = at + (30 + rng.between(0, 150)) * kMs;
+  std::uint64_t pick = rng.below(5);
+  // An injection needs a Byzantine author to sign it.
+  if (pick == 4 && schedule.byzantine.empty()) pick = 0;
+  switch (pick) {
+    case 0: {  // crash, sometimes with recovery (qs-only model)
+      const auto victim = static_cast<ProcessId>(rng.below(schedule.n));
+      Atom atom{{at, FaultKind::kCrash, victim, kNoProcess, 0}};
+      if (schedule.protocol == Protocol::kQuorumSelection &&
+          schedule.mux_clients == 0 && rng.chance(0.5))
+        atom.push_back({close, FaultKind::kRestart, victim, kNoProcess, 0});
+      atoms.push_back(std::move(atom));
+      break;
+    }
+    case 1: {  // partition + heal
+      ProcessSet side;
+      while (side.empty() || side.size() >= static_cast<int>(schedule.n))
+        side = ProcessSet(rng.below(1ULL << schedule.n));
+      atoms.push_back({{at, FaultKind::kPartition, kNoProcess, kNoProcess,
+                        side.mask()},
+                       {close, FaultKind::kHeal, kNoProcess, kNoProcess, 0}});
+      if (schedule.heartbeat_period == 0)  // partition resync needs ticks
+        schedule.heartbeat_period = 5 * kMs;
+      break;
+    }
+    case 2:
+    case 3: {  // transient one-way link fault: delay or outage
+      const auto a = static_cast<ProcessId>(rng.below(schedule.n));
+      const ProcessId b = pick_not(rng, schedule.n, a);
+      const FaultKind open =
+          pick == 2 ? FaultKind::kLinkDelay : FaultKind::kLinkDown;
+      const std::uint64_t value =
+          open == FaultKind::kLinkDelay ? rng.between(9, 90) * kMs : 0;
+      atoms.push_back({{at, open, a, b, value},
+                       {close, FaultKind::kLinkUp, a, b, 0}});
+      break;
+    }
+    default: {  // one adversary injection
+      std::vector<ProcessId> authors;
+      for (ProcessId id : schedule.byzantine) authors.push_back(id);
+      const ProcessId author = authors[rng.below(authors.size())];
+      atoms.push_back({{at, FaultKind::kInjectSuspicion, author,
+                        pick_not(rng, schedule.n, author), 0}});
+      break;
+    }
+  }
+}
+
+/// One operator application; keeps `result` and `atoms` consistent.
+void apply_operator(Rng& rng, Schedule& result, std::vector<Atom>& atoms,
+                    const Schedule& other) {
+  // add_atom carries triple weight (draws 9-11): it is the only operator
+  // that introduces a fault kind the parent never had, which is the axis
+  // the coverage signature (event-type bitmap) actually measures.
+  switch (rng.below(12)) {
+    case 0:
+      retime(rng, atoms);
+      break;
+    case 1:
+      perturb(rng, atoms, result);
+      break;
+    case 2:  // delete one atom
+      if (!atoms.empty())
+        atoms.erase(atoms.begin() +
+                    static_cast<std::ptrdiff_t>(rng.below(atoms.size())));
+      break;
+    case 3: {  // duplicate one atom later in the run
+      if (atoms.empty()) break;
+      Atom copy = atoms[rng.below(atoms.size())];
+      const SimDuration offset = rng.between(30, 200) * kMs;
+      for (FaultAction& action : copy) action.at += offset;
+      atoms.push_back(std::move(copy));
+      break;
+    }
+    case 4:
+      splice(rng, atoms, scenario::make_atoms(other));
+      break;
+    case 5:
+      result = scenario::rebuild(result, atoms);
+      extend_walk(rng, result);
+      atoms = scenario::make_atoms(result);
+      break;
+    case 6:
+      toggle_mux(rng, result);
+      atoms = scenario::make_atoms(result);
+      break;
+    case 7:  // toggle synchronous-optimized mode
+      result.synchronous = !result.synchronous;
+      result.gst = 0;
+      result.pre_gst_extra = 0;
+      break;
+    case 8:  // reseed: same script, different latency/workload stream
+      result.seed = rng() | 1;
+      break;
+    default:
+      add_atom(rng, result, atoms);
+      break;
+  }
+}
+
+}  // namespace
+
+scenario::Schedule mutate(const scenario::Schedule& parent,
+                          const scenario::Schedule& other, Rng& rng) {
+  Schedule result = parent;
+  std::vector<Atom> atoms = scenario::make_atoms(result);
+  // Stacked mutation (AFL-style havoc): a single operator usually leaves
+  // the candidate in the parent's behavioural class; stacking a few gives
+  // the displacement the search needs.
+  const int operators = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < operators; ++i)
+    apply_operator(rng, result, atoms, other);
+  return scenario::rebuild(result, atoms);
+}
+
+}  // namespace qsel::campaign

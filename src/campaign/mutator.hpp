@@ -1,0 +1,43 @@
+// Schedule mutation — the campaign's search moves.
+//
+// The coverage-guided engine (campaign/engine.hpp) explores schedule space
+// by mutating corpus members instead of only drawing fresh seeds. Mutation
+// works on the atom vocabulary shared with the shrinker
+// (scenario/atoms.hpp): an opener travels with its closer, so most
+// operators preserve Schedule::validate() by construction. The ones that
+// may not (perturbed victims can push culprits() past f, a spliced pair of
+// partitions can overlap) rely on the engine's validate-retry loop —
+// mutate() returns a candidate, the caller discards invalid ones.
+//
+// Operators, chosen uniformly by the engine's rng:
+//   retime     shift one atom in time (keeps pair spacing);
+//   perturb    re-aim one atom at different processes / a different
+//              partition side / a different delay;
+//   del        drop one atom;
+//   dup        replay one atom later in the run;
+//   splice     atom-prefix of the parent + atom-suffix of another corpus
+//              member, under the parent's header;
+//   extend     append adversary-walk moves (kInjectSuspicion) by existing
+//              Byzantine authors;
+//   mux        toggle the GroupMux wrap (qs only): add client slots or
+//              drop them (restart atoms are removed — the mux cluster has
+//              no durable recovery path);
+//   sync       toggle synchronous-optimized mode (forces gst = 0);
+//   reseed     new cluster seed, same fault script.
+//
+// Every operator draws all randomness from the passed Rng, so a campaign
+// trajectory is a pure function of its seed.
+#pragma once
+
+#include "common/rng.hpp"
+#include "scenario/schedule.hpp"
+
+namespace qsel::campaign {
+
+/// One mutation of `parent`; `other` is a second corpus member used by the
+/// splice operator (pass `parent` again when the corpus has one entry).
+/// The result may fail Schedule::validate() — callers retry.
+scenario::Schedule mutate(const scenario::Schedule& parent,
+                          const scenario::Schedule& other, Rng& rng);
+
+}  // namespace qsel::campaign

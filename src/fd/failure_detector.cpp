@@ -43,7 +43,7 @@ void FailureDetector::republish() {
 }
 
 void FailureDetector::expect(ProcessId from, Predicate predicate,
-                             std::string label) {
+                             std::string label, bool backoff_on_cancel) {
   QSEL_REQUIRE(predicate != nullptr);
   QSEL_REQUIRE(from < timeout_.size());
   ++expectations_issued_;
@@ -51,8 +51,8 @@ void FailureDetector::expect(ProcessId from, Predicate predicate,
   sim::TimerHandle timer = sim_.schedule_timer(
       timeout_[from], [this, id] { on_timeout(id); });
   expectations_.push_back(Expectation{id, from, std::move(predicate),
-                                      std::move(label), false,
-                                      std::move(timer)});
+                                      std::move(label), backoff_on_cancel,
+                                      false, std::move(timer)});
 }
 
 void FailureDetector::on_timeout(std::uint64_t expectation_id) {
@@ -125,7 +125,21 @@ void FailureDetector::restore_timeouts(std::span<const SimDuration> recovered) {
 void FailureDetector::cancel_all() {
   bool had_overdue = false;
   for (Expectation& e : expectations_) {
-    if (e.overdue) had_overdue = true;
+    if (e.overdue) {
+      had_overdue = true;
+      // The application withdrew an expectation that had already raised a
+      // suspicion: the suspicion was spurious. For expectations that can
+      // never be matched by a late delivery (see expect()), this is the
+      // only place the adaptive backoff can engage.
+      if (e.backoff_on_cancel && config_.adaptive) {
+        const SimDuration doubled =
+            std::min(timeout_[e.from] * 2, config_.max_timeout);
+        if (doubled != timeout_[e.from]) {
+          timeout_[e.from] = doubled;
+          ++timeout_generation_;
+        }
+      }
+    }
     e.timer.cancel();
   }
   expectations_.clear();

@@ -73,7 +73,18 @@ class FailureDetector {
 
   /// <EXPECT, P, i>: expect a message matching `predicate` from process
   /// `from`. `label` is for logs/traces only.
-  void expect(ProcessId from, Predicate predicate, std::string label = {});
+  ///
+  /// `backoff_on_cancel`: adaptive timeouts normally only grow when a late
+  /// message MATCHES an overdue expectation (on_receive). Some expectations
+  /// can never match — e.g. a FOLLOWERS announcement expected from a
+  /// process that never considered itself leader — so a too-short timeout
+  /// raises a false suspicion every round and the doubling never engages.
+  /// With this flag set, an expectation that is still overdue when the
+  /// application withdraws it (cancel_all) also doubles the timeout: the
+  /// withdrawal says the suspicion was spurious (a view change made the
+  /// expectation moot), so eventual strong accuracy needs the backoff.
+  void expect(ProcessId from, Predicate predicate, std::string label = {},
+              bool backoff_on_cancel = false);
 
   /// <RECEIVE, m, i>: feed every authenticated message through here; the
   /// caller remains responsible for delivering it to the application.
@@ -119,6 +130,7 @@ class FailureDetector {
     ProcessId from;
     Predicate predicate;
     std::string label;
+    bool backoff_on_cancel = false;
     bool overdue = false;
     sim::TimerHandle timer;
   };

@@ -11,6 +11,11 @@ void MessageStats::record_send(ProcessId from, ProcessId to,
     by_type_.emplace(std::string(type), 1);
   else
     ++it->second;
+  auto bytes_it = bytes_by_type_.find(type);
+  if (bytes_it == bytes_by_type_.end())
+    bytes_by_type_.emplace(std::string(type), bytes);
+  else
+    bytes_it->second += bytes;
   ++by_link_[{from, to}];
   ++by_sender_[from];
 }
@@ -18,6 +23,11 @@ void MessageStats::record_send(ProcessId from, ProcessId to,
 std::uint64_t MessageStats::by_type(std::string_view type) const {
   auto it = by_type_.find(type);
   return it == by_type_.end() ? 0 : it->second;
+}
+
+std::uint64_t MessageStats::bytes_by_type(std::string_view type) const {
+  auto it = bytes_by_type_.find(type);
+  return it == bytes_by_type_.end() ? 0 : it->second;
 }
 
 std::uint64_t MessageStats::by_link(ProcessId from, ProcessId to) const {

@@ -26,6 +26,11 @@ class MessageStats {
   /// Messages sent with the given type tag.
   std::uint64_t by_type(std::string_view type) const;
 
+  /// Wire bytes sent with the given type tag (E8 measures the gossip
+  /// byte volume — delta UPDATEs vs digests vs full rows — not just
+  /// message counts).
+  std::uint64_t bytes_by_type(std::string_view type) const;
+
   /// Messages sent on the directed link from -> to.
   std::uint64_t by_link(ProcessId from, ProcessId to) const;
 
@@ -43,6 +48,7 @@ class MessageStats {
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::map<std::string, std::uint64_t, std::less<>> by_type_;
+  std::map<std::string, std::uint64_t, std::less<>> bytes_by_type_;
   std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> by_link_;
   std::map<ProcessId, std::uint64_t> by_sender_;
 };

@@ -152,9 +152,10 @@ void Replica::handle_vote(const std::shared_ptr<const VoteMessage>& msg) {
 void Replica::maybe_send_commit(SeqNum slot_no) {
   Slot& slot = log_[slot_no];
   if (!slot.preprepare || slot.commit_sent) return;
-  // Prepared: pre-prepare plus 2f matching prepares (the count includes
-  // the primary's implicit vote and our own).
-  if (slot.prepares.size() < 2 * config_.f + 1) return;
+  // Prepared: a quorum() of matching prepares (the count includes the
+  // primary's implicit vote and our own) — 2f+1 at n = 3f+1, larger for
+  // over-provisioned clusters so any two certificates intersect in f+1.
+  if (static_cast<std::size_t>(slot.prepares.size()) < quorum()) return;
   slot.commit_sent = true;
   broadcast_all(VoteMessage::make(signer_, VoteMessage::Phase::kCommit, view_,
                                   slot_no,
@@ -169,7 +170,7 @@ void Replica::try_execute() {
     if (it == log_.end()) return;
     Slot& slot = it->second;
     if (!slot.preprepare || slot.executed) return;
-    if (slot.commits.size() < 2 * config_.f + 1) return;
+    if (static_cast<std::size_t>(slot.commits.size()) < quorum()) return;
 
     slot.executed = true;
     ++last_executed_;
@@ -180,6 +181,8 @@ void Replica::try_execute() {
       result = store_.apply_encoded(p.op);
       ++requests_executed_;
     }
+    executed_history_.push_back(
+        ExecutedEntry{p.slot, p.client, p.client_seq, crypto::sha256(p.op)});
     results_[{p.client, p.client_seq}] = result;
     backlog_.erase({p.client, p.client_seq});
     if (!noop && p.client >= config_.n &&
@@ -244,8 +247,7 @@ void Replica::handle_viewchange(
 
 void Replica::maybe_assemble_new_view() {
   QSEL_ASSERT(is_primary());
-  if (viewchanges_.size() < static_cast<std::size_t>(2 * config_.f + 1))
-    return;
+  if (viewchanges_.size() < quorum()) return;
   std::map<SeqNum, PrePrepareMessage> merged;
   for (const auto& [sender, vc] : viewchanges_) {
     (void)sender;

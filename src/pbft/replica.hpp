@@ -2,8 +2,10 @@
 //
 // Three-phase normal case with all-to-all broadcast: the primary
 // PRE-PREPAREs to every replica; every replica broadcasts a PREPARE vote;
-// once 2f matching PREPAREs (plus the PRE-PREPARE) are in, it broadcasts a
-// COMMIT vote; once 2f+1 matching COMMITs are in, the slot executes.
+// once a quorum() of matching PREPAREs (PRE-PREPARE included) is in, it
+// broadcasts a COMMIT vote; once a quorum() of matching COMMITs is in,
+// the slot executes. quorum() is 2f+1 at n = 3f+1 and grows with n (see
+// its doc comment).
 // Tolerates up to f non-primary crashes with no reconfiguration at all —
 // the property that costs O(n^2) messages per request and motivates
 // Quorum Selection (paper introduction / Distler et al. [6]).
@@ -52,10 +54,34 @@ class Replica final : public sim::Actor {
   }
   bool is_primary() const { return primary() == self(); }
 
+  /// Certificate size: the smallest count such that any two certificates
+  /// intersect in at least f+1 replicas, i.e. ceil((n+f+1)/2). Equals the
+  /// textbook 2f+1 when n = 3f+1; for over-provisioned clusters
+  /// (n > 3f+1) the textbook constant is unsound — two disjoint 2f+1
+  /// certificates fit into n, so partitioned halves could commit
+  /// diverging histories.
+  std::size_t quorum() const {
+    return (static_cast<std::size_t>(config_.n) +
+            static_cast<std::size_t>(config_.f) + 2) /
+           2;
+  }
+
   const app::KvStore& store() const { return store_; }
   SeqNum last_executed() const { return last_executed_; }
   std::uint64_t view_changes() const { return view_changes_; }
   std::uint64_t requests_executed() const { return requests_executed_; }
+
+  /// Executed history as (slot, client, client_seq, op digest) tuples, for
+  /// cross-replica consistency checks (same shape as xpaxos::Replica).
+  struct ExecutedEntry {
+    SeqNum slot;
+    std::uint32_t client;
+    std::uint64_t client_seq;
+    crypto::Digest op_digest;
+  };
+  const std::vector<ExecutedEntry>& executed_history() const {
+    return executed_history_;
+  }
 
  private:
   struct Slot {
@@ -94,6 +120,7 @@ class Replica final : public sim::Actor {
   SeqNum next_slot_ = 1;
   SeqNum last_executed_ = 0;
   std::uint64_t requests_executed_ = 0;
+  std::vector<ExecutedEntry> executed_history_;
 
   std::map<std::pair<std::uint32_t, std::uint64_t>, SeqNum> client_index_;
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> results_;

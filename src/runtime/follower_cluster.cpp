@@ -27,7 +27,7 @@ FollowerProcess::FollowerProcess(sim::Network& network,
                           dynamic_cast<const fs::FollowersMessage*>(m.get());
                       return followers != nullptr && followers->epoch == epoch;
                     },
-                    "followers");
+                    "followers", /*backoff_on_cancel=*/true);
               },
               [this] { fd_.cancel_all(); },
               [this](ProcessId culprit) { fd_.detected(culprit); },

@@ -14,6 +14,7 @@ NodeProcess::NodeProcess(net::Transport& transport,
                          store::NodeStore* store)
     : transport_(transport),
       signer_(keys, transport.self()),
+      n_(config.n),
       heartbeat_period_(config.heartbeat_period),
       store_(store),
       fd_(transport.timers(), transport.self(), config.n, config.fd,
@@ -28,9 +29,7 @@ NodeProcess::NodeProcess(net::Transport& transport,
                     [](ProcessSet) { /* application consumes the quorum */ },
                     [this](sim::PayloadPtr msg) {
                       transport_.broadcast(
-                          ProcessSet::full(transport_.process_count()) -
-                              ProcessSet{self()},
-                          msg);
+                          ProcessSet::full(n_) - ProcessSet{self()}, msg);
                     },
                     [this] { maybe_persist(); },
                     [this](ProcessId to, sim::PayloadPtr msg) {
@@ -63,8 +62,7 @@ void NodeProcess::stop() { stopped_ = true; }
 
 void NodeProcess::tick() {
   if (stopped_) return;
-  const ProcessSet others =
-      ProcessSet::full(transport_.process_count()) - ProcessSet{self()};
+  const ProcessSet others = ProcessSet::full(n_) - ProcessSet{self()};
   transport_.broadcast(others,
                        HeartbeatMessage::make(signer_, heartbeat_seq_++));
   for (ProcessId peer : others) {
@@ -122,14 +120,14 @@ void NodeProcess::on_message(ProcessId from, const sim::PayloadPtr& message) {
   // dispatch to the module the message belongs to.
   if (auto update =
           std::dynamic_pointer_cast<const suspect::UpdateMessage>(message)) {
-    if (!update->verify(signer_, transport_.process_count())) return;
+    if (!update->verify(signer_, n_)) return;
     fd_.on_receive(from, message);
     selector_.on_update(update);
     return;
   }
   if (auto delta = std::dynamic_pointer_cast<const suspect::DeltaUpdateMessage>(
           message)) {
-    if (!delta->verify(signer_, transport_.process_count())) return;
+    if (!delta->verify(signer_, n_)) return;
     fd_.on_receive(from, message);
     selector_.on_delta(delta);
     return;
@@ -144,7 +142,7 @@ void NodeProcess::on_message(ProcessId from, const sim::PayloadPtr& message) {
   }
   if (auto heartbeat =
           std::dynamic_pointer_cast<const HeartbeatMessage>(message)) {
-    if (!heartbeat->verify(signer_, transport_.process_count())) return;
+    if (!heartbeat->verify(signer_, n_)) return;
     // Expectations target the *origin*: a heartbeat only counts for the
     // process that signed it.
     fd_.on_receive(heartbeat->origin, message);

@@ -81,6 +81,10 @@ class NodeProcess {
 
   net::Transport& transport_;
   crypto::Signer signer_;
+  /// Protocol width: peers are ids 0..n_-1. The transport may expose a
+  /// wider id space (a GroupTransport with client slots); heartbeats,
+  /// gossip and row-width checks must not span those extra slots.
+  ProcessId n_;
   SimDuration heartbeat_period_;
   store::NodeStore* store_;
   /// Set false on destruction; captured (by shared_ptr) in every timer

@@ -1,0 +1,61 @@
+#include "scenario/atoms.hpp"
+
+#include <algorithm>
+
+namespace qsel::scenario {
+
+namespace {
+constexpr SimDuration kMs = 1'000'000;
+}
+
+std::vector<Atom> make_atoms(const Schedule& schedule) {
+  std::vector<Atom> atoms;
+  std::vector<bool> used(schedule.actions.size(), false);
+  for (std::size_t i = 0; i < schedule.actions.size(); ++i) {
+    if (used[i]) continue;
+    const FaultAction& action = schedule.actions[i];
+    Atom atom{action};
+    used[i] = true;
+    if (action.kind == FaultKind::kPartition ||
+        action.kind == FaultKind::kLinkDown ||
+        action.kind == FaultKind::kCrash) {
+      const FaultKind closer = action.kind == FaultKind::kPartition
+                                   ? FaultKind::kHeal
+                               : action.kind == FaultKind::kLinkDown
+                                   ? FaultKind::kLinkUp
+                                   : FaultKind::kRestart;
+      for (std::size_t j = i + 1; j < schedule.actions.size(); ++j) {
+        const FaultAction& later = schedule.actions[j];
+        if (used[j] || later.kind != closer) continue;
+        if (closer == FaultKind::kLinkUp &&
+            (later.a != action.a || later.b != action.b))
+          continue;
+        if (closer == FaultKind::kRestart && later.a != action.a) continue;
+        atom.push_back(later);
+        used[j] = true;
+        break;
+      }
+      // A crash with no matching restart is its own (single) atom.
+    }
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+Schedule rebuild(const Schedule& base, const std::vector<Atom>& atoms) {
+  Schedule schedule = base;
+  schedule.actions.clear();
+  for (const Atom& atom : atoms)
+    schedule.actions.insert(schedule.actions.end(), atom.begin(), atom.end());
+  std::stable_sort(
+      schedule.actions.begin(), schedule.actions.end(),
+      [](const FaultAction& x, const FaultAction& y) { return x.at < y.at; });
+  SimTime last = 0;
+  for (const FaultAction& action : schedule.actions)
+    last = std::max(last, action.at);
+  schedule.quiet_start =
+      last + (schedule.has_partition() ? 4500 : 3000) * kMs;
+  return schedule;
+}
+
+}  // namespace qsel::scenario

@@ -1,0 +1,33 @@
+// Schedule atoms — the indivisible fault units mutation operates on.
+//
+// Both the shrinker (removal) and the campaign mutator (splice,
+// perturbation, retiming) must respect the schedule invariants enforced
+// by Schedule::validate(): a kPartition travels with the kHeal that
+// closes it, a kLinkDown with its matching kLinkUp, a kCrash with its
+// kRestart. Decomposing a schedule into such atoms and rebuilding from an
+// atom list is the shared vocabulary; rebuild() also recomputes the
+// settle period before quiet_start the same way the shrinker always has,
+// so mutated schedules get a quiet window calibrated to their fault mix.
+#pragma once
+
+#include <vector>
+
+#include "scenario/schedule.hpp"
+
+namespace qsel::scenario {
+
+/// Indivisible unit of removal or mutation: one action, or a pair that
+/// must live and die together (partition+heal, link_down+link_up,
+/// crash+restart).
+using Atom = std::vector<FaultAction>;
+
+/// Decomposes the schedule's actions into atoms, pairing each opener with
+/// its closer. A crash with no matching restart is its own (single) atom.
+std::vector<Atom> make_atoms(const Schedule& schedule);
+
+/// Rebuilds `base` with exactly `atoms` as its action list: flattens,
+/// re-sorts by time and retightens quiet_start to the settle period the
+/// fault mix needs (longer when a partition is present).
+Schedule rebuild(const Schedule& base, const std::vector<Atom>& atoms);
+
+}  // namespace qsel::scenario

@@ -85,9 +85,12 @@ void generate_adversary_walk(Rng& rng, Schedule& schedule) {
     cover = *attributed;
   } else {
     // Theorem-9 constructive walk (defined for n = 3f + 1); authors are
-    // the faulty processes 0..f-1.
+    // the faulty processes 0..f-1. When the schedule has spare bystanders
+    // (n > 3f + 1, the follower-stress family) the walk plays on the
+    // first 3f + 1 processes and leaves the rest untouched.
+    const auto core = static_cast<ProcessId>(3 * schedule.f + 1);
     adversary::FollowerGame game(
-        adversary::FollowerGameConfig{schedule.n, schedule.f, 0});
+        adversary::FollowerGameConfig{core, schedule.f, 0});
     walk = game.constructive_changes().suspicions;
     cover = ProcessSet::range(0, static_cast<ProcessId>(schedule.f));
   }
@@ -128,12 +131,17 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
   schedule.protocol = protocol;
   schedule.seed = splitmix64(mix);
 
-  // Feasible (f, n): n - f > f always; Follower Selection also n > 3f.
+  // Feasible (f, n): n - f > f always; Follower Selection and the
+  // 3f+1-quorum baselines (PBFT, BChain's n with f spares) need n > 3f.
   const bool fs = protocol == Protocol::kFollowerSelection;
+  const bool needs_3f = fs || protocol == Protocol::kPbft ||
+                        protocol == Protocol::kBChain;
   int f = static_cast<int>(
       rng.between(static_cast<std::uint64_t>(config_.f_min),
                   static_cast<std::uint64_t>(config_.f_max)));
-  const auto n_floor = [&](int ff) { return fs ? 3 * ff + 1 : 2 * ff + 1; };
+  const auto n_floor = [&](int ff) {
+    return needs_3f ? 3 * ff + 1 : 2 * ff + 1;
+  };
   while (f > config_.f_min && n_floor(f) > static_cast<int>(config_.n_max))
     --f;
   QSEL_REQUIRE(n_floor(f) <= static_cast<int>(config_.n_max));
@@ -146,7 +154,7 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
   // Quorum selection alone models crash-recovery (the durable NodeProcess
   // stack), so only its archetype space includes crash-then-restart.
   const std::uint64_t archetype =
-      rng.below(protocol == Protocol::kXPaxos            ? 3
+      rng.below(protocol_is_smr(protocol)                ? 3
                 : protocol == Protocol::kQuorumSelection ? 6
                                                          : 5);
   switch (archetype) {
@@ -176,7 +184,7 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
       break;
     }
     case 2: {
-      if (protocol == Protocol::kXPaxos) {  // benign, possibly asynchronous
+      if (protocol_is_smr(protocol)) {  // benign, possibly asynchronous
         maybe_gst(rng, schedule);
         break;
       }
@@ -279,7 +287,7 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
     }
   }
 
-  if (protocol == Protocol::kXPaxos) {
+  if (protocol_is_smr(protocol)) {
     schedule.requests = rng.between(10, 25);
     schedule.heartbeat_period = 0;
   }
@@ -306,6 +314,105 @@ Schedule ScheduleGenerator::generate(Protocol protocol,
 
   const auto error = schedule.validate();
   QSEL_ASSERT_MSG(!error.has_value(), "generator emitted invalid schedule");
+  return schedule;
+}
+
+Schedule ScheduleGenerator::generate_family(Family family,
+                                            std::uint64_t seed) const {
+  // Distinct stream per family, disjoint from generate()'s protocol mix.
+  std::uint64_t mix =
+      seed ^ (0xfa111e500ULL + (static_cast<std::uint64_t>(family) << 8));
+  Rng rng(splitmix64(mix));
+
+  Schedule schedule;
+  schedule.seed = splitmix64(mix);
+  SimTime t = 20 * kMs;
+  switch (family) {
+    case Family::kFollowerStress: {
+      schedule.protocol = Protocol::kFollowerSelection;
+      int f = static_cast<int>(
+          rng.between(static_cast<std::uint64_t>(config_.f_min),
+                      static_cast<std::uint64_t>(config_.f_max)));
+      // Strictly above the 3f + 1 minimum: at least one spare bystander.
+      while (f > config_.f_min &&
+             3 * f + 2 > static_cast<int>(config_.n_max))
+        --f;
+      QSEL_REQUIRE_MSG(3 * f + 2 <= static_cast<int>(config_.n_max),
+                       "follower stress needs n_max >= 3*f_min + 2");
+      schedule.f = f;
+      schedule.n = static_cast<ProcessId>(
+          rng.between(static_cast<std::uint64_t>(3 * f + 2), config_.n_max));
+      if (rng.chance(0.4)) schedule.heartbeat_period = 0;
+      generate_adversary_walk(rng, schedule);
+      if (rng.chance(0.5)) {
+        // Link noise from the same culprits the walk already attributes
+        // suspicions to, so the fault budget stays at f.
+        SimTime lt = 30 * kMs;
+        add_link_faults(rng, schedule, schedule.byzantine,
+                        static_cast<int>(rng.between(1, 3)), lt);
+      }
+      break;
+    }
+    case Family::kSynchronous: {
+      const bool fs = rng.chance(0.5);
+      schedule.protocol =
+          fs ? Protocol::kFollowerSelection : Protocol::kQuorumSelection;
+      int f = static_cast<int>(
+          rng.between(static_cast<std::uint64_t>(config_.f_min),
+                      static_cast<std::uint64_t>(config_.f_max)));
+      const auto n_floor = [&](int ff) {
+        return fs ? 3 * ff + 1 : 2 * ff + 1;
+      };
+      while (f > config_.f_min &&
+             n_floor(f) > static_cast<int>(config_.n_max))
+        --f;
+      QSEL_REQUIRE(n_floor(f) <= static_cast<int>(config_.n_max));
+      schedule.f = f;
+      schedule.n = static_cast<ProcessId>(rng.between(
+          std::max(config_.n_min, static_cast<ProcessId>(n_floor(f))),
+          config_.n_max));
+      schedule.synchronous = true;  // zero jitter, no GST window
+      const auto culprits =
+          pick_subset(rng, schedule.n,
+                      static_cast<int>(rng.between(
+                          1, static_cast<std::uint64_t>(schedule.f))));
+      // Delays straddling the 12 ms initial FD timeout: under jitter these
+      // races are noise; with synchronous delivery whether an expectation
+      // fires is decided by the delay value alone.
+      const int events = static_cast<int>(rng.between(2, 6));
+      for (int i = 0; i < events; ++i) {
+        t += rng.between(10, 50) * kMs;
+        ProcessId culprit = culprits.min();
+        for (ProcessId id : culprits)
+          if (rng.chance(0.5)) culprit = id;
+        const ProcessId victim = pick_not(rng, schedule.n, culprit);
+        schedule.actions.push_back({t, FaultKind::kLinkDelay, culprit, victim,
+                                    rng.between(9, 15) * kMs});
+      }
+      if (rng.chance(0.35)) {
+        t += rng.between(20, 80) * kMs;
+        ProcessId victim = culprits.min();
+        for (ProcessId id : culprits)
+          if (rng.chance(0.5)) victim = id;
+        schedule.actions.push_back(
+            {t, FaultKind::kCrash, victim, kNoProcess, 0});
+      }
+      break;
+    }
+  }
+
+  std::stable_sort(
+      schedule.actions.begin(), schedule.actions.end(),
+      [](const FaultAction& x, const FaultAction& y) { return x.at < y.at; });
+  SimTime last = 0;
+  for (const FaultAction& action : schedule.actions)
+    last = std::max(last, action.at);
+  schedule.quiet_start =
+      last + (schedule.has_partition() ? 4500 : 3000) * kMs;
+  schedule.quiet_window = 2500 * kMs;
+
+  const auto error = schedule.validate();
+  QSEL_ASSERT_MSG(!error.has_value(), "family generator emitted invalid schedule");
   return schedule;
 }
 

@@ -44,12 +44,29 @@ struct GeneratorConfig {
   int f_max = 3;
 };
 
+/// Targeted scenario families outside the seed-indexed archetype space.
+/// Each family draws from its own rng stream, so adding one never shifts
+/// the schedules generate() derives (the pinned corpus depends on that).
+enum class Family : std::uint8_t {
+  /// Follower Selection with strictly more processes than the 3f + 1
+  /// minimum: the adversary walk runs while spare bystanders exist, so
+  /// maximal-line leader derivation has real choice.
+  kFollowerStress = 0,
+  /// Synchronous-optimized runs (zero jitter, no GST window) with link
+  /// delays straddling the failure detector's initial timeout — timing
+  /// behaviour that jitter would otherwise wash out.
+  kSynchronous = 1,
+};
+
 class ScheduleGenerator {
  public:
   explicit ScheduleGenerator(GeneratorConfig config);
 
   /// Derives the whole schedule from (protocol, seed), deterministically.
   Schedule generate(Protocol protocol, std::uint64_t seed) const;
+
+  /// Derives a schedule of the given family from `seed`, deterministically.
+  Schedule generate_family(Family family, std::uint64_t seed) const;
 
  private:
   GeneratorConfig config_;

@@ -131,6 +131,25 @@ void check_selection(const Schedule& schedule, const Observations& obs,
     }
   }
 
+  // Epoch progress: schedules pinned as epoch-advance reproducers assert
+  // that the no-independent-set path actually fired. Judged on the
+  // maximum because epoch advancement is path-dependent (see the
+  // per-epoch agreement note above): the property being pinned is "some
+  // correct process was forced past epoch min_final_epoch - 1", not that
+  // every laggard was dragged along.
+  if (schedule.min_final_epoch > 0) {
+    Epoch top = 0;
+    for (const ProcessObservation& process : obs.processes)
+      if (process.alive) top = std::max(top, process.epoch);
+    if (top < schedule.min_final_epoch) {
+      std::ostringstream os;
+      os << "no correct process advanced past epoch " << top
+         << " (schedule pins min_final_epoch " << schedule.min_final_epoch
+         << ")";
+      violate(report, "epoch_progress", os.str());
+    }
+  }
+
   // Suspicion-matrix CRDT convergence among alive fully-correct
   // processes. Unconditional: full-matrix anti-entropy (SuspicionCore::
   // resync re-offers the latest signed UPDATE of every origin) makes
@@ -154,8 +173,8 @@ void check_selection(const Schedule& schedule, const Observations& obs,
   }
 }
 
-void check_xpaxos(const Schedule& schedule, const Observations& obs,
-                  OracleReport& report) {
+void check_smr(const Schedule& schedule, const Observations& obs,
+               OracleReport& report) {
   if (!obs.histories_consistent)
     violate(report, "history_consistency",
             "honest replicas executed diverging histories");
@@ -182,8 +201,8 @@ std::string OracleReport::to_string() const {
 
 OracleReport check_oracles(const Schedule& schedule, const Observations& obs) {
   OracleReport report;
-  if (schedule.protocol == Protocol::kXPaxos)
-    check_xpaxos(schedule, obs, report);
+  if (protocol_is_smr(schedule.protocol))
+    check_smr(schedule, obs, report);
   else
     check_selection(schedule, obs, report);
   return report;

@@ -31,8 +31,11 @@
 //                 origin) reunifies epidemically. The one configuration
 //                 where the repair cannot run — a partition with
 //                 heartbeats disabled — is rejected by Schedule::validate;
-//   XPaxos        executed histories prefix-consistent — always; all
-//                 client requests complete — only on fault-free schedules.
+//   SMR           executed histories prefix-consistent — always; all
+//   comparators   client requests complete — only on fault-free schedules
+//                 (XPaxos, BChain and PBFT share the check);
+//   Epoch         schedules with min_final_epoch set assert the
+//   progress      no-independent-set -> advance-epoch path fired — always.
 //
 // Trace-digest determinism (same schedule twice => same digest) is the
 // one property that needs two runs; the fuzz driver checks it by calling
@@ -73,9 +76,11 @@ struct Observations {
   /// quiet_start and again at quiet_start + quiet_window.
   std::uint64_t issued_at_quiet = 0;
   std::uint64_t issued_at_end = 0;
-  // XPaxos only.
+  // SMR comparators (XPaxos / BChain / PBFT) only.
   bool histories_consistent = true;
   std::uint64_t completed_requests = 0;
+  /// View changes (PBFT/XPaxos) resp. chain reconfigurations (BChain).
+  std::uint64_t view_changes = 0;
 };
 
 struct Violation {

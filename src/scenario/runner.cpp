@@ -1,12 +1,17 @@
 #include "scenario/runner.hpp"
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "bchain/cluster.hpp"
 #include "common/assert.hpp"
+#include "pbft/cluster.hpp"
 #include "runtime/follower_cluster.hpp"
 #include "runtime/quorum_cluster.hpp"
+#include "shard/group_transport.hpp"
 #include "suspect/update_message.hpp"
 #include "trace/tracer.hpp"
 #include "xpaxos/cluster.hpp"
@@ -20,7 +25,11 @@ constexpr SimDuration kMs = 1'000'000;
 sim::NetworkConfig network_config(const Schedule& schedule) {
   sim::NetworkConfig config;
   config.base_latency = 1 * kMs;
-  config.jitter = 200'000;
+  // Synchronous-optimized mode: zero jitter, so delivery order is a pure
+  // function of send order and the fault timeline. Schedules use it to
+  // probe behaviour that only shows under (or only under the absence of)
+  // timing noise.
+  config.jitter = schedule.synchronous ? 0 : 200'000;
   config.gst = schedule.gst;
   config.pre_gst_extra = schedule.pre_gst_extra;
   return config;
@@ -29,6 +38,7 @@ sim::NetworkConfig network_config(const Schedule& schedule) {
 trace::TracerConfig tracer_config(const RunOptions& options) {
   trace::TracerConfig config;
   config.enabled = options.trace;
+  config.ring_capacity = options.ring_capacity;
   config.jsonl_path = options.trace_jsonl_path;
   return config;
 }
@@ -37,16 +47,26 @@ trace::TracerConfig tracer_config(const RunOptions& options) {
 /// cluster is running; `honest` is where injected UPDATEs are gossiped.
 class ActionApplier {
  public:
+  using InjectSend =
+      std::function<void(ProcessId from, ProcessId to, sim::PayloadPtr)>;
+
+  /// `row_width` is the protocol's process count n — injected suspicion
+  /// rows must be n wide even when the network has extra client slots.
   /// `restart` rebuilds a crashed process from its durable store; only the
   /// quorum-selection cluster supplies one (Schedule::validate rejects
-  /// kRestart for the other protocols).
+  /// kRestart for the other protocols). `inject_send`, when set, routes
+  /// injected UPDATEs through the author's own transport stack instead of
+  /// raw network sends (the GroupMux cluster needs the GroupFrame wrap).
   ActionApplier(sim::Network& network, const crypto::KeyRegistry& keys,
-                ProcessSet honest,
-                std::function<void(ProcessId)> restart = {})
+                ProcessSet honest, ProcessId row_width,
+                std::function<void(ProcessId)> restart = {},
+                InjectSend inject_send = {})
       : network_(network),
         keys_(keys),
         honest_(honest),
-        restart_(std::move(restart)) {}
+        row_width_(row_width),
+        restart_(std::move(restart)),
+        inject_send_(std::move(inject_send)) {}
 
   void apply(const FaultAction& action) {
     const ProcessId n = network_.process_count();
@@ -73,11 +93,16 @@ class ActionApplier {
         break;
       case FaultKind::kInjectSuspicion: {
         auto& row = rows_[action.a];
-        if (row.empty()) row.assign(n, 0);
+        if (row.empty()) row.assign(row_width_, 0);
         row[action.b] = 1;  // epoch-1 suspicion stamp
         const crypto::Signer signer(keys_, action.a);
         const auto update = suspect::UpdateMessage::make(signer, row);
-        for (ProcessId to : honest_) network_.send(action.a, to, update);
+        for (ProcessId to : honest_) {
+          if (inject_send_ != nullptr)
+            inject_send_(action.a, to, update);
+          else
+            network_.send(action.a, to, update);
+        }
         break;
       }
       case FaultKind::kRestart:
@@ -92,7 +117,9 @@ class ActionApplier {
   sim::Network& network_;
   const crypto::KeyRegistry& keys_;
   ProcessSet honest_;
+  ProcessId row_width_;
   std::function<void(ProcessId)> restart_;
+  InjectSend inject_send_;
   std::map<ProcessId, std::vector<Epoch>> rows_;
 };
 
@@ -132,29 +159,117 @@ void finish(const Schedule& schedule, const RunOptions& options,
     apply_test_bug(schedule, obs);
   result.observations = obs;
   result.report = check_oracles(schedule, result.observations);
-  if (options.trace) result.digest = tracer.digest();
+  if (options.trace) {
+    result.digest = tracer.digest();
+    result.coverage = trace::coverage_of(tracer.type_counts());
+    if (options.keep_events) result.events = tracer.events();
+  }
   result.events_processed = cluster.simulator().events_processed();
-  result.messages_sent = cluster.network().stats().total_messages();
+  const auto& stats = cluster.network().stats();
+  result.messages_sent = stats.total_messages();
+  result.gossip_bytes = stats.bytes_by_type("suspect.update") +
+                        stats.bytes_by_type("suspect.delta") +
+                        stats.bytes_by_type("suspect.digest");
+  result.view_changes = obs.view_changes;
 }
 
-RunResult run_quorum_selection(const Schedule& schedule,
-                               const RunOptions& options) {
-  runtime::QuorumClusterConfig config;
-  config.n = schedule.n;
-  config.f = schedule.f;
-  config.seed = schedule.seed;
-  config.network = network_config(schedule);
-  config.fd.initial_timeout = 12 * kMs;
-  config.heartbeat_period = schedule.heartbeat_period;
+/// The quorum-selection stack behind a GroupMux: every member gets a
+/// SimTransport slot, a GroupMux, and one group whose id space is widened
+/// by `mux_clients` client slots (members keep global == local ids). The
+/// honest members run a plain NodeProcess over the group slice, so all
+/// suspicion gossip crosses the GroupFrame wrap/decode path — the layer PR
+/// 7's wedge lived in. Client slots stay unattached; Byzantine members
+/// keep their transport stack so injected UPDATEs are framed like any
+/// member's.
+class MuxQuorumCluster {
+ public:
+  MuxQuorumCluster(const Schedule& schedule,
+                   const runtime::QuorumClusterConfig& config)
+      : total_(static_cast<ProcessId>(schedule.n + schedule.mux_clients)),
+        keys_(total_, config.seed),
+        network_(std::make_unique<sim::Network>(sim_, total_, config.network,
+                                                config.seed)),
+        correct_(ProcessSet::full(schedule.n) - schedule.byzantine),
+        stores_(schedule.n),
+        processes_(schedule.n) {
+    shard::GroupSpec spec;
+    spec.id = 0;
+    for (ProcessId id = 0; id < schedule.n; ++id) spec.members.push_back(id);
+    for (ProcessId id = schedule.n; id < total_; ++id)
+      spec.clients.push_back(id);
 
-  trace::Tracer tracer(tracer_config(options));
-  runtime::QuorumCluster cluster(config, schedule.byzantine);
-  if (options.trace) cluster.attach_tracer(tracer);
-  cluster.start();
+    runtime::NodeProcessConfig node_config;
+    node_config.n = config.n;
+    node_config.f = config.f;
+    node_config.fd = config.fd;
+    node_config.heartbeat_period = config.heartbeat_period;
+    node_config.gossip = config.gossip;
+    for (ProcessId id = 0; id < schedule.n; ++id) {
+      transports_.push_back(
+          std::make_unique<runtime::SimTransport>(*network_, id));
+      muxes_.push_back(std::make_unique<shard::GroupMux>(*transports_.back()));
+      groups_.push_back(&muxes_.back()->add_group(spec));
+    }
+    for (ProcessId id : correct_) {
+      stores_[id] = std::make_unique<store::MemoryNodeStore>();
+      processes_[id] = std::make_unique<runtime::NodeProcess>(
+          *groups_[id], keys_, node_config, stores_[id].get());
+    }
+  }
 
-  ActionApplier applier(
-      cluster.network(), cluster.keys(), cluster.correct(),
-      [&cluster](ProcessId id) { cluster.restart(id); });
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return *network_; }
+  const crypto::KeyRegistry& keys() const { return keys_; }
+  ProcessSet correct() const { return correct_; }
+
+  runtime::NodeProcess& process(ProcessId id) {
+    QSEL_REQUIRE(id < processes_.size() && processes_[id] != nullptr);
+    return *processes_[id];
+  }
+
+  shard::GroupTransport& group(ProcessId id) {
+    QSEL_REQUIRE(id < groups_.size());
+    return *groups_[id];
+  }
+
+  void attach_tracer(trace::Tracer& tracer) {
+    tracer.set_clock([this] { return sim_.now(); });
+    network_->set_tracer(&tracer);
+    for (ProcessId id : correct_)
+      processes_[id]->selector().set_tracer(&tracer);
+  }
+
+  void start() {
+    for (ProcessId id : correct_) processes_[id]->start();
+  }
+
+  std::uint64_t total_quorums_issued() const {
+    std::uint64_t total = 0;
+    for (ProcessId id : correct_)
+      if (!network_->is_crashed(id))
+        total += processes_[id]->selector().quorums_issued();
+    return total;
+  }
+
+ private:
+  ProcessId total_;
+  sim::Simulator sim_;
+  crypto::KeyRegistry keys_;
+  std::unique_ptr<sim::Network> network_;
+  ProcessSet correct_;
+  std::vector<std::unique_ptr<runtime::SimTransport>> transports_;
+  std::vector<std::unique_ptr<shard::GroupMux>> muxes_;
+  std::vector<shard::GroupTransport*> groups_;  // owned by muxes_
+  std::vector<std::unique_ptr<store::NodeStore>> stores_;
+  std::vector<std::unique_ptr<runtime::NodeProcess>> processes_;
+};
+
+/// Shared tail of both quorum-selection variants: replay the timeline,
+/// observe every correct NodeProcess, check oracles.
+template <class Cluster>
+RunResult run_qs_tail(const Schedule& schedule, const RunOptions& options,
+                      trace::Tracer& tracer, Cluster& cluster,
+                      ActionApplier& applier) {
   run_timeline(schedule, cluster.simulator(), applier);
   cluster.simulator().run_until(schedule.quiet_start);
 
@@ -166,7 +281,7 @@ RunResult run_quorum_selection(const Schedule& schedule,
 
   const ProcessSet culprits = schedule.culprits();
   for (ProcessId id : cluster.correct()) {
-    runtime::QuorumProcess& process = cluster.process(id);
+    runtime::NodeProcess& process = cluster.process(id);
     ProcessObservation po;
     po.id = id;
     po.alive = !cluster.network().is_crashed(id);
@@ -185,6 +300,37 @@ RunResult run_quorum_selection(const Schedule& schedule,
   return result;
 }
 
+RunResult run_quorum_selection(const Schedule& schedule,
+                               const RunOptions& options) {
+  runtime::QuorumClusterConfig config;
+  config.n = schedule.n;
+  config.f = schedule.f;
+  config.seed = schedule.seed;
+  config.network = network_config(schedule);
+  config.fd.initial_timeout = 12 * kMs;
+  config.heartbeat_period = schedule.heartbeat_period;
+
+  trace::Tracer tracer(tracer_config(options));
+  if (schedule.mux_clients == 0) {
+    runtime::QuorumCluster cluster(config, schedule.byzantine);
+    if (options.trace) cluster.attach_tracer(tracer);
+    cluster.start();
+    ActionApplier applier(
+        cluster.network(), cluster.keys(), cluster.correct(), schedule.n,
+        [&cluster](ProcessId id) { cluster.restart(id); });
+    return run_qs_tail(schedule, options, tracer, cluster, applier);
+  }
+  MuxQuorumCluster cluster(schedule, config);
+  if (options.trace) cluster.attach_tracer(tracer);
+  cluster.start();
+  ActionApplier applier(
+      cluster.network(), cluster.keys(), cluster.correct(), schedule.n, {},
+      [&cluster](ProcessId from, ProcessId to, sim::PayloadPtr message) {
+        cluster.group(from).send(to, std::move(message));
+      });
+  return run_qs_tail(schedule, options, tracer, cluster, applier);
+}
+
 RunResult run_follower_selection(const Schedule& schedule,
                                  const RunOptions& options) {
   runtime::FollowerClusterConfig config;
@@ -200,7 +346,8 @@ RunResult run_follower_selection(const Schedule& schedule,
   if (options.trace) cluster.attach_tracer(tracer);
   cluster.start();
 
-  ActionApplier applier(cluster.network(), cluster.keys(), cluster.correct());
+  ActionApplier applier(cluster.network(), cluster.keys(), cluster.correct(),
+                        schedule.n);
   run_timeline(schedule, cluster.simulator(), applier);
   cluster.simulator().run_until(schedule.quiet_start);
 
@@ -251,7 +398,7 @@ RunResult run_xpaxos(const Schedule& schedule, const RunOptions& options) {
   }
   cluster.start_clients(schedule.requests);
 
-  ActionApplier applier(cluster.network(), cluster.keys(), {});
+  ActionApplier applier(cluster.network(), cluster.keys(), {}, schedule.n);
   run_timeline(schedule, cluster.simulator(), applier);
   cluster.simulator().run_until(schedule.quiet_start);
 
@@ -260,6 +407,69 @@ RunResult run_xpaxos(const Schedule& schedule, const RunOptions& options) {
   cluster.simulator().run_until(schedule.quiet_start + schedule.quiet_window);
   obs.histories_consistent = cluster.histories_consistent();
   obs.completed_requests = cluster.total_completed();
+  obs.view_changes = cluster.total_view_changes();
+  finish(schedule, options, cluster, tracer, obs, result);
+  return result;
+}
+
+RunResult run_pbft(const Schedule& schedule, const RunOptions& options) {
+  pbft::ClusterConfig config;
+  config.n = schedule.n;
+  config.f = schedule.f;
+  config.clients = 1;
+  config.seed = schedule.seed;
+  config.network = network_config(schedule);
+
+  trace::Tracer tracer(tracer_config(options));
+  pbft::Cluster cluster(config);
+  if (options.trace) {
+    tracer.set_clock(
+        [&sim = cluster.simulator()] { return sim.now(); });
+    cluster.network().set_tracer(&tracer);
+  }
+  cluster.start_clients(schedule.requests);
+
+  ActionApplier applier(cluster.network(), cluster.keys(), {}, schedule.n);
+  run_timeline(schedule, cluster.simulator(), applier);
+  cluster.simulator().run_until(schedule.quiet_start);
+
+  RunResult result;
+  Observations obs;
+  cluster.simulator().run_until(schedule.quiet_start + schedule.quiet_window);
+  obs.histories_consistent = cluster.histories_consistent();
+  obs.completed_requests = cluster.total_completed();
+  obs.view_changes = cluster.total_view_changes();
+  finish(schedule, options, cluster, tracer, obs, result);
+  return result;
+}
+
+RunResult run_bchain(const Schedule& schedule, const RunOptions& options) {
+  bchain::ClusterConfig config;
+  config.n = schedule.n;
+  config.f = schedule.f;
+  config.clients = 1;
+  config.seed = schedule.seed;
+  config.network = network_config(schedule);
+
+  trace::Tracer tracer(tracer_config(options));
+  bchain::Cluster cluster(config);
+  if (options.trace) {
+    tracer.set_clock(
+        [&sim = cluster.simulator()] { return sim.now(); });
+    cluster.network().set_tracer(&tracer);
+  }
+  cluster.start_clients(schedule.requests);
+
+  ActionApplier applier(cluster.network(), cluster.keys(), {}, schedule.n);
+  run_timeline(schedule, cluster.simulator(), applier);
+  cluster.simulator().run_until(schedule.quiet_start);
+
+  RunResult result;
+  Observations obs;
+  cluster.simulator().run_until(schedule.quiet_start + schedule.quiet_window);
+  obs.histories_consistent = cluster.histories_consistent();
+  obs.completed_requests = cluster.total_completed();
+  obs.view_changes = cluster.max_reconfigurations();
   finish(schedule, options, cluster, tracer, obs, result);
   return result;
 }
@@ -276,6 +486,10 @@ RunResult run_schedule(const Schedule& schedule, const RunOptions& options) {
       return run_follower_selection(schedule, options);
     case Protocol::kXPaxos:
       return run_xpaxos(schedule, options);
+    case Protocol::kPbft:
+      return run_pbft(schedule, options);
+    case Protocol::kBChain:
+      return run_bchain(schedule, options);
   }
   QSEL_ASSERT_MSG(false, "unreachable");
   return {};

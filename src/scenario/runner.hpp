@@ -18,10 +18,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "crypto/sha256.hpp"
 #include "scenario/oracle.hpp"
 #include "scenario/schedule.hpp"
+#include "trace/coverage.hpp"
+#include "trace/event.hpp"
 
 namespace qsel::scenario {
 
@@ -38,6 +41,10 @@ struct RunOptions {
   bool trace = true;
   /// When non-empty, the trace is also streamed to this JSONL file.
   std::string trace_jsonl_path;
+  /// Tracer ring size; 0 retains every event (needed to diff two traces).
+  std::size_t ring_capacity = 65536;
+  /// Copy the retained events into RunResult::events after the run.
+  bool keep_events = false;
   TestBug test_bug = TestBug::kNone;
 };
 
@@ -50,6 +57,16 @@ struct RunResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t total_quorums = 0;
   Epoch max_epoch = 1;
+  /// View changes (PBFT/XPaxos) or reconfigurations (BChain); 0 for the
+  /// selection-only protocols.
+  std::uint64_t view_changes = 0;
+  /// Suspicion-plane wire bytes: full-row + delta UPDATEs + digest
+  /// anti-entropy. The campaign uses this as its amplification signal.
+  std::uint64_t gossip_bytes = 0;
+  /// Coverage signature of the run's trace (zero when trace is off).
+  trace::CoverageSignature coverage{};
+  /// Retained trace events, oldest first (only when keep_events).
+  std::vector<trace::Event> events;
 };
 
 /// Runs `schedule` to quiescence and checks every applicable oracle. The

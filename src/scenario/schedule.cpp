@@ -92,6 +92,10 @@ std::string_view protocol_name(Protocol p) {
       return "fs";
     case Protocol::kXPaxos:
       return "xpaxos";
+    case Protocol::kBChain:
+      return "bchain";
+    case Protocol::kPbft:
+      return "pbft";
   }
   return "?";
 }
@@ -100,7 +104,14 @@ std::optional<Protocol> protocol_from_name(std::string_view name) {
   if (name == "qs") return Protocol::kQuorumSelection;
   if (name == "fs") return Protocol::kFollowerSelection;
   if (name == "xpaxos") return Protocol::kXPaxos;
+  if (name == "bchain") return Protocol::kBChain;
+  if (name == "pbft") return Protocol::kPbft;
   return std::nullopt;
+}
+
+bool protocol_is_smr(Protocol p) {
+  return p == Protocol::kXPaxos || p == Protocol::kBChain ||
+         p == Protocol::kPbft;
 }
 
 std::string_view fault_kind_name(FaultKind kind) {
@@ -181,14 +192,29 @@ std::optional<std::string> Schedule::validate() const {
   if (static_cast<int>(n) - f <= f) return err("need n - f > f");
   if (protocol == Protocol::kFollowerSelection && static_cast<int>(n) <= 3 * f)
     return err("follower selection needs n > 3f");
+  if ((protocol == Protocol::kBChain || protocol == Protocol::kPbft) &&
+      static_cast<int>(n) < 3 * f + 1)
+    return err("bchain/pbft need n >= 3f + 1");
   if (!byzantine.is_subset_of(ProcessSet::full(n)))
     return err("byzantine id out of range");
   if (byzantine.size() > f) return err("more than f byzantine processes");
-  if (protocol == Protocol::kXPaxos && !byzantine.empty())
-    return err("xpaxos schedules drive no byzantine adversary");
-  if (protocol == Protocol::kXPaxos && requests == 0)
-    return err("xpaxos schedules need requests >= 1");
+  if (protocol_is_smr(protocol) && !byzantine.empty())
+    return err("smr schedules drive no byzantine adversary");
+  if (protocol_is_smr(protocol) && requests == 0)
+    return err("smr schedules need requests >= 1");
   if (quiet_window == 0) return err("empty quiet window");
+  if (mux_clients != 0 && protocol != Protocol::kQuorumSelection)
+    return err("mux_clients needs a quorum-selection schedule");
+  if (static_cast<int>(n) + static_cast<int>(mux_clients) >
+      static_cast<int>(kMaxProcesses))
+    return err("n + mux_clients out of range");
+  if (min_final_epoch != 0 && protocol != Protocol::kQuorumSelection &&
+      protocol != Protocol::kFollowerSelection)
+    return err("min_final_epoch needs a selection schedule");
+  // The synchronous family claims the network is synchronous from the
+  // start; a pre-GST asynchronous period contradicts that claim.
+  if (synchronous && (gst != 0 || pre_gst_extra != 0))
+    return err("synchronous schedule cannot have a pre-GST period");
 
   SimTime prev = 0;
   bool partition_open = false;
@@ -213,7 +239,16 @@ std::optional<std::string> Schedule::validate() const {
         // stack; the other clusters have no recovery path to exercise.
         if (protocol != Protocol::kQuorumSelection)
           return err(where + "restart needs a quorum-selection schedule");
+        // The mux-wrapped cluster models no recovery path (one durable
+        // stack per substrate is enough; the wedge surface is framing).
+        if (mux_clients != 0)
+          return err(where + "restart not modelled behind a group mux");
         if (action.a >= n) return err(where + "restart victim out of range");
+        // Byzantine processes are never instantiated (the adversary
+        // speaks for them at the network layer), so there is no process
+        // to rebuild — QuorumCluster::restart() would abort.
+        if (byzantine.contains(action.a))
+          return err(where + "restart victim is byzantine");
         if (!down.contains(action.a))
           return err(where + "restart without a prior crash");
         down.erase(action.a);
@@ -274,6 +309,9 @@ std::string Schedule::summary() const {
   if (has_partition()) os << " partition";
   if (pre_gst_extra > 0)
     os << " gst=" << static_cast<double>(gst) / 1e6 << "ms";
+  if (mux_clients > 0) os << " mux+" << static_cast<int>(mux_clients);
+  if (min_final_epoch > 0) os << " min_epoch=" << min_final_epoch;
+  if (synchronous) os << " sync";
   return os.str();
 }
 
@@ -291,6 +329,13 @@ std::string Schedule::to_json() const {
   os << "  \"requests\": " << requests << ",\n";
   os << "  \"quiet_start\": " << quiet_start << ",\n";
   os << "  \"quiet_window\": " << quiet_window << ",\n";
+  // Optional fields are emitted only when set, so reproducers from before
+  // they existed stay byte-identical and parse with the same defaults.
+  if (mux_clients != 0)
+    os << "  \"mux_clients\": " << static_cast<int>(mux_clients) << ",\n";
+  if (min_final_epoch != 0)
+    os << "  \"min_final_epoch\": " << min_final_epoch << ",\n";
+  if (synchronous) os << "  \"synchronous\": 1,\n";
   os << "  \"actions\": [";
   for (std::size_t i = 0; i < actions.size(); ++i) {
     const FaultAction& action = actions[i];
@@ -336,6 +381,12 @@ std::optional<Schedule> Schedule::from_json(std::string_view text) {
   schedule.requests = parse_u64_field(header, "requests").value_or(0);
   schedule.quiet_start = *quiet_start;
   schedule.quiet_window = *quiet_window;
+  schedule.mux_clients = static_cast<ProcessId>(
+      parse_u64_field(header, "mux_clients").value_or(0));
+  schedule.min_final_epoch =
+      static_cast<Epoch>(parse_u64_field(header, "min_final_epoch").value_or(0));
+  schedule.synchronous =
+      parse_u64_field(header, "synchronous").value_or(0) != 0;
 
   // Actions: every {...} chunk after "actions" (no nesting in the schema).
   std::size_t cursor = actions_at;

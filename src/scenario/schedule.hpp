@@ -31,10 +31,16 @@ enum class Protocol : std::uint8_t {
   kQuorumSelection = 0,  // runtime::QuorumCluster (Algorithm 1)
   kFollowerSelection,    // runtime::FollowerCluster (Algorithm 2)
   kXPaxos,               // xpaxos::Cluster (Section V integration)
+  kBChain,               // bchain::Cluster (reconfiguration baseline)
+  kPbft,                 // pbft::Cluster (view-change baseline)
 };
 
 std::string_view protocol_name(Protocol p);
 std::optional<Protocol> protocol_from_name(std::string_view name);
+
+/// True for the client-driven SMR comparators (XPaxos, BChain, PBFT):
+/// they take requests, not Byzantine suspicion injections.
+bool protocol_is_smr(Protocol p);
 
 /// One fault-injection step. Field use by kind:
 ///   kCrash            a = victim
@@ -92,6 +98,20 @@ struct Schedule {
   /// system state at quiet_start and again quiet_window later.
   SimTime quiet_start = 3'000'000'000;
   SimDuration quiet_window = 2'500'000'000;
+  /// Quorum selection only: when nonzero, the cluster runs behind a
+  /// shard::GroupMux with this many extra client slots registered in the
+  /// group, so every message crosses the GroupFrame encode/decode path
+  /// with client-widened bounds (the PR 7 wedge surface).
+  ProcessId mux_clients = 0;
+  /// qs/fs only: when nonzero, at least one correct process must reach
+  /// this epoch by quiescence (the epoch_progress oracle). Pins schedules
+  /// whose point is that the no-independent-set advance path fires.
+  Epoch min_final_epoch = 0;
+  /// Synchronous-optimized mode: the runner zeroes network jitter, so
+  /// delivery takes exactly base latency plus injected link delays — the
+  /// synchrony-exploiting schedule family (timing faults ride right at
+  /// the failure-detector timeout instead of being smeared by jitter).
+  bool synchronous = false;
   std::vector<FaultAction> actions;
 
   /// Processes the schedule's faults are attributed to: the Byzantine set,

@@ -39,7 +39,14 @@ std::optional<ShardMap> ShardMap::decode(net::Decoder& dec) {
     r.group = dec.u32();
     r.migrating = dec.u8() != 0;
     if (!dec.ok()) return std::nullopt;
-    if (i > 0 && r.lo <= map.ranges.back().lo) return std::nullopt;
+    if (!r.hi.empty() && r.hi <= r.lo) return std::nullopt;  // empty range
+    if (i > 0) {
+      // Sorted and non-overlapping: the previous range must be bounded
+      // above and end at or before this one starts. Adjacent ranges
+      // (prev.hi == r.lo) are fine; [a,c) followed by [b,...) is not.
+      const ShardRange& prev = map.ranges.back();
+      if (prev.hi.empty() || r.lo < prev.hi) return std::nullopt;
+    }
     map.ranges.push_back(std::move(r));
   }
   return map;
@@ -125,6 +132,11 @@ std::string ShardMapMachine::apply(const MapOp& op) {
     case MapOpType::kCommitMove: {
       for (ShardRange& r : map_.ranges) {
         if (r.lo != op.lo) continue;
+        // A replayed duplicate COMMIT_MOVE must not advance the fencing
+        // epoch: the epoch is forward-only and data groups compare it
+        // exactly, so a spurious bump would fence out live routers.
+        if (r.group == op.group && !r.migrating)
+          return smr::TypedResult::ok(map_.epoch, "noop");
         r.group = op.group;
         r.migrating = false;
         ++map_.epoch;

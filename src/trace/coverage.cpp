@@ -1,0 +1,31 @@
+#include "trace/coverage.hpp"
+
+#include <bit>
+
+#include "common/rng.hpp"
+
+namespace qsel::trace {
+
+std::uint64_t CoverageSignature::bucket(std::uint64_t value) {
+  return value == 0 ? 0 : static_cast<std::uint64_t>(std::bit_width(value));
+}
+
+void CoverageSignature::mix(std::uint64_t value) {
+  std::uint64_t state = key ^ (bucket(value) + 0x517cc1b727220a95ULL);
+  key = splitmix64(state);
+}
+
+CoverageSignature coverage_of(std::span<const std::uint64_t> type_counts) {
+  CoverageSignature signature;
+  for (std::size_t type = 0; type < type_counts.size(); ++type) {
+    if (type_counts[type] == 0) continue;
+    if (type < 32) signature.type_bits |= std::uint32_t{1} << type;
+    std::uint64_t state = signature.key ^
+                          (static_cast<std::uint64_t>(type) << 32 ^
+                           CoverageSignature::bucket(type_counts[type]));
+    signature.key = splitmix64(state);
+  }
+  return signature;
+}
+
+}  // namespace qsel::trace

@@ -1,0 +1,46 @@
+// Coverage signatures — a run's trace reduced to a cheap fingerprint.
+//
+// The campaign engine (src/campaign/) needs to answer "did this schedule
+// make the system do anything it has not done before?" without storing or
+// diffing whole traces. A CoverageSignature folds the per-event-type
+// counts the Tracer already maintains into two values:
+//
+//   * type_bits — one bit per EventType that occurred at least once (the
+//     coarse "which code paths lit up" map: did a DROP happen, did an
+//     epoch advance fire, did a shard freeze run?);
+//   * key — a 64-bit fold of (type, log2-bucketed count) pairs, taken in
+//     type order. Bucketing by floor(log2(count)) + 1 makes the key
+//     insensitive to noise (37 vs 41 sends is the same behaviour) but
+//     sensitive to magnitude (37 vs 4100 is not).
+//
+// Callers fold additional scalar signals (quorum changes, epochs burned,
+// gossip bytes) into the key with mix(); two runs share a signature iff
+// every folded observable landed in the same bucket. Deterministic by
+// construction — no time, no allocation, no floating point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace qsel::trace {
+
+struct CoverageSignature {
+  std::uint32_t type_bits = 0;
+  std::uint64_t key = 0;
+
+  /// log2 bucket of a count: 0 for 0, floor(log2(v)) + 1 otherwise.
+  static std::uint64_t bucket(std::uint64_t value);
+
+  /// Folds one more observable into the key (order-sensitive: callers
+  /// must mix signals in a fixed order).
+  void mix(std::uint64_t value);
+
+  bool operator==(const CoverageSignature&) const = default;
+};
+
+/// Signature of a run from the Tracer's per-type event counts
+/// (Tracer::type_counts(); index = EventType value).
+CoverageSignature coverage_of(std::span<const std::uint64_t> type_counts);
+
+}  // namespace qsel::trace

@@ -48,6 +48,8 @@ void Tracer::record_slow(EventType type, ProcessId actor, ProcessId peer,
   event.tag.assign(tag);
 
   digest_ = chain_digest(digest_, event);
+  const auto type_index = static_cast<std::size_t>(type);
+  if (type_index < type_counts_.size()) ++type_counts_[type_index];
   if (sink_.is_open())
     write_jsonl_line(sink_, event, events_recorded_);
 

@@ -22,6 +22,7 @@
 // entirely. bench/bench_trace_overhead.cpp quantifies all three modes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <fstream>
 #include <functional>
@@ -161,6 +162,9 @@ class Tracer {
   std::uint64_t first_retained_index() const { return events_evicted_; }
   /// Running chained digest over all recorded events.
   const crypto::Digest& digest() const { return digest_; }
+  /// Events recorded per EventType (index = enum value), over the WHOLE
+  /// run — eviction does not forget counts. Feeds trace/coverage.hpp.
+  std::span<const std::uint64_t> type_counts() const { return type_counts_; }
 
   /// Snapshot of retained events, oldest first.
   std::vector<Event> events() const;
@@ -175,6 +179,7 @@ class Tracer {
 
   TracerConfig config_;
   Clock clock_;
+  std::array<std::uint64_t, 32> type_counts_{};
   std::vector<Event> ring_;
   std::size_t ring_head_ = 0;  // next overwrite position (bounded mode)
   std::uint64_t events_recorded_ = 0;

@@ -1,0 +1,207 @@
+// Campaign engine contract: materialization strips exactly what each
+// protocol's validate() rejects, campaigns are a pure function of their
+// config (bit-identical JSON across runs), corpus seeds establish the
+// baseline without consuming budget, and the bake-off table covers every
+// configured protocol.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "campaign/mutator.hpp"
+#include "scenario/schedule.hpp"
+
+namespace qsel::campaign {
+namespace {
+
+using scenario::FaultAction;
+using scenario::FaultKind;
+using scenario::Protocol;
+using scenario::Schedule;
+
+// Everything qs tolerates that the SMR baselines reject: byzantine
+// processes with a suspicion injection, plus a crash/restart pair.
+// (A group mux would round out the set but restart is not modelled
+// behind one — mux retention gets its own base below.)
+Schedule rich_base() {
+  Schedule base;
+  base.protocol = Protocol::kQuorumSelection;
+  base.n = 5;
+  base.f = 2;
+  base.seed = 7;
+  base.byzantine = ProcessSet{0};
+  base.heartbeat_period = 5'000'000;
+  base.actions.push_back(
+      {100'000'000, FaultKind::kInjectSuspicion, 0, 1, 0});
+  base.actions.push_back({200'000'000, FaultKind::kCrash, 4, kNoProcess, 0});
+  base.actions.push_back(
+      {400'000'000, FaultKind::kRestart, 4, kNoProcess, 0});
+  EXPECT_EQ(base.validate(), std::nullopt) << base.summary();
+  return base;
+}
+
+TEST(MaterializeTest, QsKeepsTheBaseShape) {
+  const Schedule base = rich_base();
+  const auto variant = materialize(base, Protocol::kQuorumSelection);
+  ASSERT_TRUE(variant.has_value());
+  EXPECT_EQ(variant->n, base.n);
+  EXPECT_EQ(variant->actions.size(), base.actions.size());
+  EXPECT_EQ(variant->byzantine, base.byzantine);
+}
+
+TEST(MaterializeTest, QsKeepsTheMuxAndSmrStripsIt) {
+  Schedule base;
+  base.protocol = Protocol::kQuorumSelection;
+  base.n = 4;
+  base.f = 1;
+  base.mux_clients = 2;
+  base.min_final_epoch = 2;
+  base.actions.push_back({200'000'000, FaultKind::kCrash, 3, kNoProcess, 0});
+  ASSERT_EQ(base.validate(), std::nullopt) << base.summary();
+  const auto qs = materialize(base, Protocol::kQuorumSelection);
+  ASSERT_TRUE(qs.has_value());
+  EXPECT_EQ(qs->mux_clients, base.mux_clients);
+  EXPECT_EQ(qs->min_final_epoch, base.min_final_epoch);
+  const auto pbft = materialize(base, Protocol::kPbft);
+  ASSERT_TRUE(pbft.has_value());
+  EXPECT_EQ(pbft->mux_clients, 0u);
+}
+
+TEST(MaterializeTest, SmrStripsByzantineAndInjections) {
+  const Schedule base = rich_base();
+  for (const Protocol protocol : {Protocol::kBChain, Protocol::kPbft}) {
+    const auto variant = materialize(base, protocol);
+    ASSERT_TRUE(variant.has_value());
+    EXPECT_TRUE(variant->byzantine.empty());
+    EXPECT_EQ(variant->mux_clients, 0u);
+    EXPECT_EQ(variant->min_final_epoch, Epoch{0});
+    EXPECT_GE(variant->requests, 10u);
+    for (const FaultAction& action : variant->actions) {
+      EXPECT_NE(action.kind, FaultKind::kInjectSuspicion);
+      EXPECT_NE(action.kind, FaultKind::kRestart);
+    }
+    EXPECT_EQ(variant->validate(), std::nullopt);
+  }
+}
+
+TEST(MaterializeTest, SmrRequestCountIsDeterministicInTheBase) {
+  const Schedule base = rich_base();
+  const auto a = materialize(base, Protocol::kPbft);
+  const auto b = materialize(base, Protocol::kPbft);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->requests, b->requests);
+}
+
+TEST(MaterializeTest, NonQsBumpsNToTheProtocolFloor) {
+  Schedule base = rich_base();  // n=5, f=2: below the 3f+1=7 floor
+  for (const Protocol protocol :
+       {Protocol::kFollowerSelection, Protocol::kBChain, Protocol::kPbft}) {
+    const auto variant = materialize(base, protocol);
+    ASSERT_TRUE(variant.has_value());
+    EXPECT_EQ(variant->n, 7u);
+  }
+}
+
+TEST(MaterializeTest, ImpossibleFloorIsNotMaterializable) {
+  Schedule base = rich_base();
+  base.byzantine = {};
+  base.actions.clear();
+  base.f = 22;  // 3f+1 = 67 > kMaxProcesses
+  base.n = 45;
+  EXPECT_FALSE(materialize(base, Protocol::kPbft).has_value());
+}
+
+TEST(MaterializeTest, PartitionedSmrKeepsAHeartbeat) {
+  Schedule base;
+  base.protocol = Protocol::kQuorumSelection;
+  base.n = 4;
+  base.f = 1;
+  base.heartbeat_period = 5'000'000;
+  base.actions.push_back({100'000'000, FaultKind::kPartition, kNoProcess,
+                          kNoProcess, 0b0011});
+  base.actions.push_back({300'000'000, FaultKind::kHeal, kNoProcess,
+                          kNoProcess, 0});
+  ASSERT_EQ(base.validate(), std::nullopt);
+  const auto variant = materialize(base, Protocol::kPbft);
+  ASSERT_TRUE(variant.has_value());
+  EXPECT_GT(variant->heartbeat_period, 0u);
+}
+
+CampaignConfig small_config(bool guided, std::uint64_t seed = 3) {
+  CampaignConfig config;
+  config.budget = 3;
+  config.seed = seed;
+  config.guided = guided;
+  return config;
+}
+
+TEST(CampaignTest, TrajectoryAndJsonAreDeterministic) {
+  const CampaignConfig config = small_config(/*guided=*/true);
+  const CampaignResult first = run_campaign(config);
+  const CampaignResult second = run_campaign(config);
+  EXPECT_EQ(first.to_json(config), second.to_json(config));
+  EXPECT_EQ(first.bakeoff_table(config), second.bakeoff_table(config));
+  ASSERT_EQ(first.candidates.size(), second.candidates.size());
+  for (std::size_t i = 0; i < first.candidates.size(); ++i) {
+    EXPECT_EQ(first.candidates[i].signature, second.candidates[i].signature);
+    EXPECT_EQ(first.candidates[i].base.to_json(),
+              second.candidates[i].base.to_json());
+  }
+}
+
+TEST(CampaignTest, SeedsEstablishBaselineWithoutConsumingBudget) {
+  CampaignConfig config = small_config(/*guided=*/true);
+  config.budget = 0;
+  Schedule seed_schedule;
+  seed_schedule.protocol = Protocol::kQuorumSelection;
+  seed_schedule.n = 4;
+  seed_schedule.f = 1;
+  ASSERT_EQ(seed_schedule.validate(), std::nullopt);
+  config.corpus_seeds.push_back(seed_schedule);
+
+  const CampaignResult result = run_campaign(config);
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_EQ(result.candidates[0].reason, "seed");
+  EXPECT_TRUE(result.candidates[0].kept);
+  EXPECT_EQ(result.seed_signatures, 1u);
+  EXPECT_EQ(result.distinct_signatures, 1u);
+  EXPECT_EQ(result.kept, 0u);  // counts only budgeted keeps
+  EXPECT_EQ(result.violations, 0u);
+}
+
+TEST(CampaignTest, EveryCandidateRunsEveryConfiguredProtocol) {
+  const CampaignConfig config = small_config(/*guided=*/false);
+  const CampaignResult result = run_campaign(config);
+  ASSERT_EQ(result.candidates.size(), config.budget);
+  for (const Candidate& candidate : result.candidates) {
+    ASSERT_EQ(candidate.outcomes.size(), config.protocols.size());
+    for (std::size_t p = 0; p < config.protocols.size(); ++p)
+      EXPECT_EQ(candidate.outcomes[p].protocol, config.protocols[p]);
+  }
+}
+
+TEST(CampaignTest, BakeoffTableHasARowPerProtocol) {
+  const CampaignConfig config = small_config(/*guided=*/true);
+  const CampaignResult result = run_campaign(config);
+  const std::string table = result.bakeoff_table(config);
+  for (const Protocol protocol : config.protocols)
+    EXPECT_NE(table.find(std::string("| ") +
+                         std::string(scenario::protocol_name(protocol)) +
+                         " |"),
+              std::string::npos)
+        << table;
+}
+
+TEST(CampaignTest, CleanProtocolsReportNoViolations) {
+  const CampaignResult result =
+      run_campaign(small_config(/*guided=*/true, /*seed=*/1));
+  EXPECT_EQ(result.violations, 0u);
+  for (const Candidate& candidate : result.candidates)
+    for (const ProtocolOutcome& out : candidate.outcomes)
+      EXPECT_TRUE(out.violated.empty())
+          << candidate.base.summary() << " violated "
+          << out.violated.front();
+}
+
+}  // namespace
+}  // namespace qsel::campaign

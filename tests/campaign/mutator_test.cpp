@@ -1,0 +1,68 @@
+// Mutation determinism and sanity: mutate() is a pure function of
+// (parent, other, rng state), its output differs from the parent often
+// enough to search, and the engine's validate-retry loop has valid
+// candidates to find.
+#include <gtest/gtest.h>
+
+#include "campaign/mutator.hpp"
+#include "common/rng.hpp"
+#include "scenario/generator.hpp"
+
+namespace qsel::campaign {
+namespace {
+
+using scenario::Protocol;
+using scenario::Schedule;
+
+TEST(MutatorTest, SameRngStateSameMutant) {
+  const scenario::ScheduleGenerator generator({});
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Schedule parent = generator.generate(Protocol::kQuorumSelection,
+                                               seed);
+    const Schedule other =
+        generator.generate(Protocol::kQuorumSelection, seed + 100);
+    Rng rng_a(seed * 977);
+    Rng rng_b(seed * 977);
+    const Schedule mutant_a = mutate(parent, other, rng_a);
+    const Schedule mutant_b = mutate(parent, other, rng_b);
+    EXPECT_EQ(mutant_a.to_json(), mutant_b.to_json());
+    EXPECT_EQ(rng_a(), rng_b()) << "rng consumption diverged";
+  }
+}
+
+TEST(MutatorTest, MutantsExploreBeyondTheParent) {
+  const scenario::ScheduleGenerator generator({});
+  const Schedule parent = generator.generate(Protocol::kQuorumSelection, 42);
+  const Schedule other = generator.generate(Protocol::kQuorumSelection, 43);
+  Rng rng(1);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i)
+    if (mutate(parent, other, rng).to_json() != parent.to_json()) ++changed;
+  EXPECT_GE(changed, 25) << "mutation is a near-no-op";
+}
+
+TEST(MutatorTest, ValidMutantReachableWithinRetryBudget) {
+  // The engine retries up to 8 mutations before falling back to a fresh
+  // draw; across many parents a valid mutant must usually exist well
+  // within that budget.
+  const scenario::ScheduleGenerator generator({});
+  Rng rng(7);
+  int found = 0;
+  constexpr int kParents = 30;
+  for (std::uint64_t seed = 1; seed <= kParents; ++seed) {
+    const Schedule parent = generator.generate(Protocol::kQuorumSelection,
+                                               seed);
+    const Schedule other =
+        generator.generate(Protocol::kQuorumSelection, 1000 - seed);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      if (!mutate(parent, other, rng).validate().has_value()) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(found, kParents - 2);
+}
+
+}  // namespace
+}  // namespace qsel::campaign

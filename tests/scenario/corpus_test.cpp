@@ -37,7 +37,7 @@ constexpr CorpusEntry kCorpus[] = {
     {Protocol::kFollowerSelection, 2,
      "de30d1ed69c3197edefcb43db8521164241be8089107fc937ac0a9e510e8b2fe"},
     {Protocol::kFollowerSelection, 3,
-     "034646ea7972577d448cb4232cb3d0e348b1feb15f885237049f25d8765cf0f2"},
+     "c18576318f992bcdf98ba2d9b29f3e37b88cb9afe1928b5e8fc7cc8ead041615"},
     {Protocol::kFollowerSelection, 4,
      "563e97760a0e1a6eb98e88704dce2f1979dfef3f0ce14cc90facc29e2b674efc"},
     {Protocol::kXPaxos, 1,
@@ -53,9 +53,9 @@ constexpr CorpusEntry kCorpus[] = {
     {Protocol::kQuorumSelection, 42,
      "c368b76b89bf6960af5c77b50f31964dda30a648dd56abb20a328922b0bba411"},
     {Protocol::kFollowerSelection, 10,
-     "81853d9d8066ddc602ad4101d2cfcba28c7c3d8e41e8a82ba7293d0ee07b2ee4"},
+     "250f6ba6d369a1e9f199c7e70a1ee6bc12373bf044f211ad474321d0fe168be8"},
     {Protocol::kFollowerSelection, 14,
-     "f313793fb704d65792e9ca7e214e7a7aec3d976be91928853b732d820e924419"},
+     "e3c802aa15c87fdebca60a35445390eb82d3ecf2ae87f27d8046d69c47de442b"},
     // Crash-then-restart archetype seeds (qs only): durable recovery
     // exercised under the fuzzer's oracles. 11 crashes and revives two
     // victims with overlapping outages, 20 three victims, and 24 includes

@@ -123,6 +123,22 @@ TEST(ScheduleTest, ValidateRejectsStructuralProblems) {
     EXPECT_TRUE(schedule.validate().has_value());
   }
   {
+    // Restarting a byzantine process: no process is ever instantiated
+    // for it (the adversary speaks at the network layer), so there is
+    // nothing to rebuild. Found by the campaign mutator composing a
+    // crash/restart atom onto an adversary-walk schedule.
+    Schedule schedule = base_schedule();
+    schedule.byzantine = ProcessSet{2};
+    schedule.actions.push_back({70 * kMs, FaultKind::kCrash, 2, kNoProcess, 0});
+    schedule.actions.push_back(
+        {90 * kMs, FaultKind::kRestart, 2, kNoProcess, 0});
+    EXPECT_TRUE(schedule.validate().has_value());
+    // The same atom against a correct process is fine (byzantine moves
+    // to process 1, already a culprit, to stay within the f budget).
+    schedule.byzantine = ProcessSet{1};
+    EXPECT_EQ(schedule.validate(), std::nullopt);
+  }
+  {
     // Partition with heartbeats disabled: the anti-entropy resync that
     // repairs post-heal divergence is heartbeat-driven, so the CRDT
     // convergence oracle would have no premise — model boundary.

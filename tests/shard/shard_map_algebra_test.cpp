@@ -1,0 +1,162 @@
+// ShardMap range algebra at the boundaries: decode-time rejection of
+// overlapping / degenerate / mis-ordered range sets, kDrop subtraction
+// remainders on the ShardKv owned set, and forward-only epoch fencing when
+// a COMMIT_MOVE is replayed (a recovered config group re-applies its log;
+// the duplicate must not burn a fencing epoch).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "shard/shard_kv.hpp"
+#include "shard/shard_map.hpp"
+#include "smr/typed_result.hpp"
+
+namespace qsel::shard {
+namespace {
+
+std::string encode_ranges(std::uint64_t epoch,
+                          const std::vector<ShardRange>& ranges) {
+  net::Encoder enc;
+  enc.u64(epoch);
+  enc.u32(static_cast<std::uint32_t>(ranges.size()));
+  for (const ShardRange& r : ranges) {
+    enc.str(r.lo);
+    enc.str(r.hi);
+    enc.u32(r.group);
+    enc.u8(r.migrating ? 1 : 0);
+  }
+  const auto bytes = std::move(enc).take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+TEST(ShardMapAlgebraTest, AdjacentRangesDecode) {
+  // [ "", "m" ) and [ "m", "" ) touch exactly at the boundary — legal.
+  const auto map = ShardMap::decode_from_string(
+      encode_ranges(3, {{"", "m", 1, false}, {"m", "", 2, false}}));
+  ASSERT_TRUE(map.has_value());
+  EXPECT_EQ(map->ranges.size(), 2u);
+}
+
+TEST(ShardMapAlgebraTest, DecodeRejectsOverlappingAdjacentRanges) {
+  // Sorted by lo but [ "", "m" ) and [ "l", "" ) overlap on ["l", "m").
+  EXPECT_FALSE(ShardMap::decode_from_string(
+                   encode_ranges(3, {{"", "m", 1, false}, {"l", "", 2, false}}))
+                   .has_value());
+}
+
+TEST(ShardMapAlgebraTest, DecodeRejectsUnboundedRangeNotLast) {
+  // hi = "" means unbounded above; nothing may follow it.
+  EXPECT_FALSE(ShardMap::decode_from_string(
+                   encode_ranges(3, {{"", "", 1, false}, {"m", "z", 2, false}}))
+                   .has_value());
+}
+
+TEST(ShardMapAlgebraTest, DecodeRejectsEmptyOrInvertedRange) {
+  EXPECT_FALSE(
+      ShardMap::decode_from_string(encode_ranges(3, {{"m", "m", 1, false}}))
+          .has_value());
+  EXPECT_FALSE(
+      ShardMap::decode_from_string(encode_ranges(3, {{"m", "g", 1, false}}))
+          .has_value());
+}
+
+TEST(ShardMapAlgebraTest, DuplicateCommitMoveKeepsEpoch) {
+  ShardMapMachine machine;
+  machine.apply_encoded(MapOp{MapOpType::kAssign, "", "m", 1}.encode());
+  machine.apply_encoded(MapOp{MapOpType::kPrepareMove, "", "", 2}.encode());
+
+  const auto commit = MapOp{MapOpType::kCommitMove, "", "", 2}.encode();
+  const auto first = smr::TypedResult::parse(machine.apply_encoded(commit));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->value, "committed");
+  const std::uint64_t epoch = machine.map().epoch;
+
+  // Replayed duplicate (same lo, same destination, no move in flight):
+  // ownership is already correct, the fencing epoch must not advance.
+  const auto replayed = smr::TypedResult::parse(machine.apply_encoded(commit));
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->value, "noop");
+  EXPECT_EQ(machine.map().epoch, epoch);
+  EXPECT_EQ(machine.map().ranges[0].group, 2u);
+
+  // A genuine new move over the same range still bumps.
+  machine.apply_encoded(MapOp{MapOpType::kPrepareMove, "", "", 3}.encode());
+  const auto next = smr::TypedResult::parse(machine.apply_encoded(
+      MapOp{MapOpType::kCommitMove, "", "", 3}.encode()));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->value, "committed");
+  EXPECT_EQ(machine.map().epoch, epoch + 1);
+}
+
+// --- kDrop subtraction remainders -------------------------------------
+
+using Owned = std::vector<std::pair<std::string, std::string>>;
+
+ShardKv make_kv(Owned owned) {
+  ShardKv::Config config;
+  config.initial_epoch = 1;
+  config.owned = std::move(owned);
+  return ShardKv(std::move(config));
+}
+
+void drop(ShardKv& kv, const std::string& lo, const std::string& hi,
+          std::uint64_t epoch_new) {
+  const auto result = smr::TypedResult::parse(
+      kv.apply_encoded(ShardKvOp::drop(/*migration_id=*/1, epoch_new, lo, hi)));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, "dropped");
+}
+
+TEST(ShardKvSubtractionTest, ExactRangeDisappears) {
+  ShardKv kv = make_kv({{"a", "m"}});
+  drop(kv, "a", "m", 2);
+  EXPECT_TRUE(kv.owned().empty());
+  EXPECT_EQ(kv.config_epoch(), 2u);
+}
+
+TEST(ShardKvSubtractionTest, MiddleDropLeavesBothRemainders) {
+  ShardKv kv = make_kv({{"a", "z"}});
+  drop(kv, "g", "m", 2);
+  EXPECT_EQ(kv.owned(), (Owned{{"a", "g"}, {"m", "z"}}));
+  EXPECT_TRUE(kv.owns("a"));
+  EXPECT_FALSE(kv.owns("g"));   // drop lo is inclusive
+  EXPECT_TRUE(kv.owns("m"));    // drop hi is exclusive
+}
+
+TEST(ShardKvSubtractionTest, DropAtLowBoundaryLeavesUpperRemainder) {
+  ShardKv kv = make_kv({{"a", "z"}});
+  drop(kv, "a", "g", 2);
+  EXPECT_EQ(kv.owned(), (Owned{{"g", "z"}}));
+}
+
+TEST(ShardKvSubtractionTest, DropAtHighBoundaryLeavesLowerRemainder) {
+  ShardKv kv = make_kv({{"a", "z"}});
+  drop(kv, "g", "z", 2);
+  EXPECT_EQ(kv.owned(), (Owned{{"a", "g"}}));
+}
+
+TEST(ShardKvSubtractionTest, UnboundedRangeSplitsCorrectly) {
+  ShardKv kv = make_kv({{"m", ""}});
+  drop(kv, "m", "t", 2);
+  EXPECT_EQ(kv.owned(), (Owned{{"t", ""}}));
+  drop(kv, "x", "", 3);  // drop the unbounded tail of the remainder
+  EXPECT_EQ(kv.owned(), (Owned{{"t", "x"}}));
+}
+
+TEST(ShardKvSubtractionTest, DisjointDropLeavesOwnedUntouched) {
+  ShardKv kv = make_kv({{"a", "g"}, {"m", "z"}});
+  drop(kv, "g", "m", 2);  // the gap between the two owned ranges
+  EXPECT_EQ(kv.owned(), (Owned{{"a", "g"}, {"m", "z"}}));
+}
+
+TEST(ShardKvSubtractionTest, DropSpanningTwoRangesTrimsBoth) {
+  ShardKv kv = make_kv({{"a", "g"}, {"m", "z"}});
+  drop(kv, "c", "t", 2);
+  EXPECT_EQ(kv.owned(), (Owned{{"a", "c"}, {"t", "z"}}));
+}
+
+}  // namespace
+}  // namespace qsel::shard

@@ -1,0 +1,120 @@
+// qsel_campaign CLI contract tests, driven through the real binary (path
+// baked in as QSEL_CAMPAIGN_BIN).
+//
+// The load-bearing property is determinism: the same (corpus, flags) must
+// produce a bit-identical JSON summary across two separate processes —
+// any divergence means the engine read the clock, iterated an unordered
+// container, or leaked address-dependent state into the trajectory, and
+// every pinned campaign result (A/B numbers, CI smoke) silently rots.
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/schedule.hpp"
+
+namespace qsel {
+namespace {
+
+int run_campaign_cli(const std::string& args, std::string* output) {
+  const std::string command =
+      std::string(QSEL_CAMPAIGN_BIN) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return -1;
+  output->clear();
+  char buffer[4096];
+  std::size_t got;
+  while ((got = ::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+    output->append(buffer, got);
+  const int status = ::pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(status))
+      << "qsel_campaign did not exit normally on: " << args << "\n"
+      << *output;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string write_reproducer(const char* name) {
+  scenario::Schedule schedule;
+  schedule.protocol = scenario::Protocol::kQuorumSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  EXPECT_EQ(schedule.validate(), std::nullopt);
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << schedule.to_json();
+  return path;
+}
+
+TEST(CampaignCliTest, TwoRunsProduceBitIdenticalJson) {
+  const std::string json_a = ::testing::TempDir() + "qsel_campaign_a.json";
+  const std::string json_b = ::testing::TempDir() + "qsel_campaign_b.json";
+  const std::string flags = "--budget 3 --seed 11 --protocols qs";
+  std::string out_a;
+  std::string out_b;
+  ASSERT_EQ(run_campaign_cli(flags + " --json " + json_a, &out_a), 0)
+      << out_a;
+  ASSERT_EQ(run_campaign_cli(flags + " --json " + json_b, &out_b), 0)
+      << out_b;
+  EXPECT_EQ(out_a, out_b);
+  const std::string a = read_file(json_a);
+  EXPECT_EQ(a, read_file(json_b));
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(CampaignCliTest, ReplayIsDeterministicAndNamesEveryProtocol) {
+  const std::string path = write_reproducer("qsel_campaign_replay.json");
+  std::string first;
+  std::string second;
+  EXPECT_EQ(run_campaign_cli("--replay " + path, &first), 0) << first;
+  EXPECT_EQ(run_campaign_cli("--replay " + path, &second), 0);
+  EXPECT_EQ(first, second);
+  for (const char* name : {"qs", "fs", "bchain", "pbft"})
+    EXPECT_NE(first.find(name), std::string::npos) << first;
+  EXPECT_NE(first.find("signature"), std::string::npos) << first;
+}
+
+TEST(CampaignCliTest, ReplayMissingFileExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_campaign_cli("--replay " + ::testing::TempDir() +
+                                 "qsel_campaign_no_such.json",
+                             &output),
+            2);
+}
+
+TEST(CampaignCliTest, UnknownFlagExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_campaign_cli("--no-such-flag", &output), 2);
+  EXPECT_NE(output.find("usage"), std::string::npos) << output;
+}
+
+TEST(CampaignCliTest, BadProtocolListExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_campaign_cli("--protocols qs,banana", &output), 2);
+}
+
+TEST(CampaignCliTest, RequireNewSignaturesFloorFailsClosed) {
+  // A budget-0 campaign cannot discover anything beyond the (empty) seed
+  // corpus, so an impossible floor must exit 1 with a diagnostic.
+  std::string output;
+  EXPECT_EQ(run_campaign_cli(
+                "--budget 0 --protocols qs --require-new-signatures 1",
+                &output),
+            1);
+  EXPECT_NE(output.find("required 1"), std::string::npos) << output;
+}
+
+}  // namespace
+}  // namespace qsel

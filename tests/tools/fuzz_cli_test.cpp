@@ -25,6 +25,25 @@ int replay_exit_code(const std::string& path) {
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
+/// Runs `qsel_fuzz <args>`, captures combined stdout+stderr, returns the
+/// exit code (or -1 on abnormal exit).
+int run_fuzz(const std::string& args, std::string* output) {
+  const std::string command =
+      std::string(QSEL_FUZZ_BIN) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return -1;
+  output->clear();
+  char buffer[4096];
+  std::size_t got;
+  while ((got = ::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+    output->append(buffer, got);
+  const int status = ::pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(status))
+      << "qsel_fuzz did not exit normally on: " << args << "\n" << *output;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
 std::string temp_file(const char* name, const std::string& contents) {
   const std::string path = ::testing::TempDir() + name;
   std::ofstream out(path);
@@ -63,6 +82,44 @@ TEST(FuzzCliTest, ReplayInvalidScheduleExitsTwo) {
   const std::string path =
       temp_file("qsel_invalid_reproducer.json", schedule.to_json());
   EXPECT_EQ(replay_exit_code(path), 2);
+}
+
+TEST(FuzzCliTest, ReplayNamesTheViolatedOracle) {
+  // --test-bug stuck injects a synthetic epoch_progress violation into an
+  // otherwise-clean replay: the diagnostic must NAME the failing oracle
+  // (a bare "exit 1" leaves the oracle hunt to the human) and exit 1.
+  scenario::Schedule schedule;
+  schedule.protocol = scenario::Protocol::kQuorumSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  ASSERT_EQ(schedule.validate(), std::nullopt);
+  const std::string path =
+      temp_file("qsel_stuck_reproducer.json", schedule.to_json());
+  std::string output;
+  EXPECT_EQ(run_fuzz("--replay " + path + " --test-bug stuck", &output), 1);
+  EXPECT_NE(output.find("violated oracles"), std::string::npos) << output;
+  EXPECT_NE(output.find("epoch_progress"), std::string::npos) << output;
+}
+
+TEST(FuzzCliTest, ReplayPrintsFirstDivergingEventOnNondeterminism) {
+  // --test-bug nondet forces the two determinism-check runs apart; the
+  // diagnostic must print the first trace event where they diverge.
+  scenario::Schedule schedule;
+  schedule.protocol = scenario::Protocol::kQuorumSelection;
+  schedule.n = 4;
+  schedule.f = 1;
+  ASSERT_EQ(schedule.validate(), std::nullopt);
+  const std::string path =
+      temp_file("qsel_nondet_reproducer.json", schedule.to_json());
+  std::string output;
+  EXPECT_EQ(run_fuzz("--replay " + path + " --test-bug nondet", &output), 1);
+  EXPECT_NE(output.find("NOT DETERMINISTIC"), std::string::npos) << output;
+  EXPECT_NE(output.find("diverg"), std::string::npos) << output;
+}
+
+TEST(FuzzCliTest, UnknownTestBugExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_fuzz("--replay x.json --test-bug banana", &output), 2);
 }
 
 TEST(FuzzCliTest, ReplayValidScheduleExitsZero) {

@@ -1,0 +1,257 @@
+// qsel_campaign — coverage-guided adversary search as a four-protocol
+// bake-off (campaign/engine.hpp).
+//
+//   qsel_campaign --budget 50 --seed 7 --corpus corpus/ --json out.json
+//
+// Loads every *.json schedule in --corpus (sorted by filename) as the seed
+// corpus, runs a budgeted campaign where each candidate base schedule is
+// materialized for every protocol in --protocols (default
+// qs,fs,bchain,pbft) and checked against that protocol's oracles, and
+// prints the bake-off table plus keep/frontier statistics. The whole run
+// is deterministic in (corpus, flags).
+//
+//   --random                  pure-random A/B baseline (no mutation)
+//   --out DIR                 write kept schedules as kept-NNN.json
+//   --json FILE               write the JSON summary to FILE
+//   --require-new-signatures K  exit 1 unless the campaign found at least
+//                             K coverage signatures beyond the seed corpus
+//   --replay FILE             run one schedule across all protocols and
+//                             print per-protocol oracle verdicts
+//
+// Exit codes: 0 clean, 1 oracle violation (or the --require-new-signatures
+// floor missed), 2 usage / IO error.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "scenario/schedule.hpp"
+
+namespace {
+
+using namespace qsel;
+
+struct Options {
+  campaign::CampaignConfig config;
+  std::string corpus_dir;
+  std::string out_dir;
+  std::string json_path;
+  std::string replay_path;
+  std::uint64_t require_new_signatures = 0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--budget N] [--seed S] [--corpus DIR] [--out DIR]\n"
+            << "       [--protocols qs,fs,bchain,pbft] [--random]\n"
+            << "       [--json FILE] [--require-new-signatures K]\n"
+            << "       [--replay FILE]\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* arg, const char* argv0) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0') usage(argv0);
+  return value;
+}
+
+std::vector<scenario::Protocol> parse_protocols(const std::string& csv,
+                                                const char* argv0) {
+  std::vector<scenario::Protocol> protocols;
+  std::stringstream stream(csv);
+  std::string name;
+  while (std::getline(stream, name, ',')) {
+    const auto protocol = scenario::protocol_from_name(name);
+    if (!protocol) usage(argv0);
+    protocols.push_back(*protocol);
+  }
+  if (protocols.empty()) usage(argv0);
+  return protocols;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&] {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--budget") {
+      options.config.budget = parse_u64(next(), argv[0]);
+    } else if (arg == "--seed") {
+      options.config.seed = parse_u64(next(), argv[0]);
+    } else if (arg == "--corpus") {
+      options.corpus_dir = next();
+    } else if (arg == "--out") {
+      options.out_dir = next();
+    } else if (arg == "--protocols") {
+      options.config.protocols = parse_protocols(next(), argv[0]);
+    } else if (arg == "--random") {
+      options.config.guided = false;
+    } else if (arg == "--json") {
+      options.json_path = next();
+    } else if (arg == "--require-new-signatures") {
+      options.require_new_signatures = parse_u64(next(), argv[0]);
+    } else if (arg == "--replay") {
+      options.replay_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+std::optional<scenario::Schedule> load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto schedule = scenario::Schedule::from_json(buffer.str());
+  if (!schedule) {
+    std::cerr << "cannot parse schedule from " << path << "\n";
+    return std::nullopt;
+  }
+  if (const auto error = schedule->validate()) {
+    std::cerr << "invalid schedule in " << path << ": " << *error << "\n";
+    return std::nullopt;
+  }
+  return schedule;
+}
+
+/// Loads every *.json in `dir`, sorted by filename so the corpus order
+/// (and therefore the campaign trajectory) is stable across filesystems.
+bool load_corpus(const std::string& dir,
+                 std::vector<scenario::Schedule>& corpus) {
+  std::vector<std::filesystem::path> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec))
+    if (entry.path().extension() == ".json") paths.push_back(entry.path());
+  if (ec) {
+    std::cerr << "cannot read corpus dir " << dir << ": " << ec.message()
+              << "\n";
+    return false;
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    const auto schedule = load_schedule(path.string());
+    if (!schedule) return false;
+    corpus.push_back(*schedule);
+  }
+  return true;
+}
+
+/// --replay: one base schedule across every configured protocol, with the
+/// per-protocol oracle verdict spelled out.
+int replay(const Options& options) {
+  const auto schedule = load_schedule(options.replay_path);
+  if (!schedule) return 2;
+  campaign::CampaignConfig config = options.config;
+  config.budget = 0;
+  config.corpus_seeds = {*schedule};
+  const campaign::CampaignResult result = campaign::run_campaign(config);
+  std::cout << schedule->summary() << "\n";
+  for (const campaign::ProtocolOutcome& out :
+       result.candidates.front().outcomes) {
+    std::cout << scenario::protocol_name(out.protocol) << ": ";
+    if (!out.ran) {
+      std::cout << "not materializable\n";
+      continue;
+    }
+    std::cout << (out.ok ? "ok" : "VIOLATION") << " (quorums "
+              << out.total_quorums << ", max epoch " << out.max_epoch
+              << ", gossip " << out.gossip_bytes << "B, view changes "
+              << out.view_changes << ")\n";
+    for (const std::string& oracle : out.violated)
+      std::cout << "  violated: " << oracle << "\n";
+  }
+  std::cout << "signature " << std::hex << result.candidates.front().signature
+            << std::dec << "\n";
+  return result.violations == 0 ? 0 : 1;
+}
+
+int run(const Options& options) {
+  if (!options.replay_path.empty()) return replay(options);
+
+  campaign::CampaignConfig config = options.config;
+  if (!options.corpus_dir.empty() &&
+      !load_corpus(options.corpus_dir, config.corpus_seeds))
+    return 2;
+
+  const campaign::CampaignResult result = campaign::run_campaign(config);
+
+  std::cout << (config.guided ? "guided" : "random") << " campaign: budget "
+            << config.budget << ", seed " << config.seed << ", "
+            << config.corpus_seeds.size() << " corpus seed(s)\n\n"
+            << result.bakeoff_table(config) << "\n"
+            << "distinct signatures " << result.distinct_signatures << " ("
+            << result.seed_signatures << " from seeds), kept " << result.kept
+            << ", violations " << result.violations << "\n"
+            << "qs worst per-epoch quorums " << result.qs_worst_epoch_quorums
+            << " (Theorem 4 adversary target C(f+2,2) = "
+            << result.qs_theorem4_target << ")\n";
+  for (const campaign::Candidate& candidate : result.candidates)
+    if (candidate.kept && candidate.reason != "seed")
+      std::cout << "kept [" << candidate.reason << "] "
+                << candidate.base.summary() << "\n";
+
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << options.json_path << "\n";
+      return 2;
+    }
+    out << result.to_json(config) << "\n";
+  }
+
+  if (!options.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir, ec);
+    std::size_t index = 0;
+    for (const campaign::Candidate& candidate : result.candidates) {
+      if (!candidate.kept || candidate.reason == "seed") continue;
+      char name[32];
+      std::snprintf(name, sizeof name, "kept-%03zu.json", index++);
+      std::ofstream out(std::filesystem::path(options.out_dir) / name);
+      if (!out) {
+        std::cerr << "cannot write to " << options.out_dir << "\n";
+        return 2;
+      }
+      out << candidate.base.to_json() << "\n";
+    }
+  }
+
+  if (result.violations > 0) return 1;
+  const std::uint64_t gained =
+      result.distinct_signatures - result.seed_signatures;
+  if (gained < options.require_new_signatures) {
+    std::cout << "only " << gained << " new signature(s), required "
+              << options.require_new_signatures << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+  try {
+    return run(options);
+  } catch (const std::exception& error) {
+    std::cerr << "qsel_campaign: " << error.what() << "\n";
+    return 2;
+  }
+}

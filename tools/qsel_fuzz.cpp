@@ -7,10 +7,15 @@
 //
 //   qsel_fuzz --runs 1000 --seed 7 --n 4 10 --f 1 3 --protocol qs
 //
-// --protocol accepts qs, fs, xpaxos or all (default). Exits 1 when any
-// run violates an oracle, 0 otherwise — tools/ci.sh relies on that.
+// --protocol accepts qs, fs, xpaxos, bchain, pbft or all (default: the
+// three selection-stack protocols). Exits 1 when any run violates an
+// oracle, 0 otherwise — tools/ci.sh relies on that.
 // --replay FILE runs a single schedule from a JSON reproducer (as printed
-// after shrinking) instead of generating schedules.
+// after shrinking) instead of generating schedules; on failure it names
+// every violated oracle and, for a determinism failure, reruns with full
+// event retention and prints the first diverging trace event.
+// --test-bug stuck|nondet injects a synthetic failure into --replay so the
+// failure paths stay exit-code-testable against the real binary.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +47,7 @@ struct Options {
   bool shrink = true;
   std::uint64_t max_failures = 3;  // stop shrinking/printing after this many
   std::string replay_path;
+  std::string test_bug;  // "", "stuck" or "nondet" (replay only)
   bool digests = false;
 };
 
@@ -49,7 +55,8 @@ struct Options {
   std::cerr
       << "usage: " << argv0
       << " [--runs N] [--seed S] [--n MIN MAX] [--f MIN MAX]\n"
-      << "       [--protocol qs|fs|xpaxos|all] [--no-shrink] [--replay FILE]\n";
+      << "       [--protocol qs|fs|xpaxos|bchain|pbft|all] [--no-shrink]\n"
+      << "       [--replay FILE] [--test-bug stuck|nondet]\n";
   std::exit(2);
 }
 
@@ -88,6 +95,10 @@ Options parse_options(int argc, char** argv) {
       options.shrink = false;
     } else if (arg == "--replay") {
       options.replay_path = next();
+    } else if (arg == "--test-bug") {
+      options.test_bug = next();
+      if (options.test_bug != "stuck" && options.test_bug != "nondet")
+        usage(argv[0]);
     } else if (arg == "--digests") {
       // Prints "<protocol> <seed> <digest>" per run instead of fuzzing;
       // used to (re)generate the pins in tests/scenario/corpus_test.cpp.
@@ -123,7 +134,34 @@ void report_failure(const Options& options, const scenario::Schedule& schedule,
             << result.schedule.to_json() << "\n";
 }
 
-int replay(const std::string& path) {
+/// Reruns `schedule` twice with full event retention and prints the first
+/// event where the two traces diverge — the actionable pointer when a
+/// digest mismatch says "nondeterministic" but not where.
+void report_divergence(const scenario::Schedule& schedule) {
+  scenario::RunOptions full;
+  full.ring_capacity = 0;  // unbounded: divergence may be early
+  full.keep_events = true;
+  const scenario::RunResult a = scenario::run_schedule(schedule, full);
+  const scenario::RunResult b = scenario::run_schedule(schedule, full);
+  const std::size_t limit = std::min(a.events.size(), b.events.size());
+  std::size_t i = 0;
+  while (i < limit && a.events[i] == b.events[i]) ++i;
+  if (i == limit && a.events.size() == b.events.size()) {
+    std::cout << "  (no diverging event in " << limit
+              << " retained events; divergence not reproduced)\n";
+    return;
+  }
+  std::cout << "  first diverging event at index " << i << ":\n"
+            << "    run 1: "
+            << (i < a.events.size() ? a.events[i].to_string()
+                                    : "<trace ended>")
+            << "\n    run 2: "
+            << (i < b.events.size() ? b.events[i].to_string()
+                                    : "<trace ended>")
+            << "\n";
+}
+
+int replay(const std::string& path, const std::string& test_bug) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "cannot open " << path << "\n";
@@ -146,18 +184,35 @@ int replay(const std::string& path) {
   }
   const scenario::RunResult result = scenario::run_schedule(*schedule);
   const scenario::RunResult again = scenario::run_schedule(*schedule);
+
+  scenario::OracleReport report = result.report;
+  if (test_bug == "stuck")
+    report.violations.push_back(
+        {"epoch_progress", "synthetic violation (--test-bug stuck)"});
+  const bool deterministic =
+      again.digest == result.digest && test_bug != "nondet";
+
   std::cout << schedule->summary() << "\n"
             << "digest " << result.digest.to_hex()
-            << (again.digest == result.digest ? "" : " NOT DETERMINISTIC")
-            << "\nevents " << result.events_processed << ", messages "
+            << (deterministic ? "" : " NOT DETERMINISTIC") << "\nevents "
+            << result.events_processed << ", messages "
             << result.messages_sent << ", quorums " << result.total_quorums
-            << ", max epoch " << result.max_epoch << "\n"
-            << "oracles: " << result.report.to_string() << "\n";
-  return result.report.ok() && again.digest == result.digest ? 0 : 1;
+            << ", max epoch " << result.max_epoch << "\n";
+  if (report.ok()) {
+    std::cout << "oracles: " << report.to_string() << "\n";
+  } else {
+    std::cout << "violated oracles:\n";
+    for (const scenario::Violation& violation : report.violations)
+      std::cout << "  " << violation.oracle << ": " << violation.detail
+                << "\n";
+  }
+  if (!deterministic) report_divergence(*schedule);
+  return report.ok() && deterministic ? 0 : 1;
 }
 
 int run(const Options& options) {
-  if (!options.replay_path.empty()) return replay(options.replay_path);
+  if (!options.replay_path.empty())
+    return replay(options.replay_path, options.test_bug);
   if (options.digests) {
     const scenario::ScheduleGenerator generator(options.gen);
     for (scenario::Protocol protocol : options.protocols)
