@@ -8,11 +8,16 @@ Workload::Workload(WorkloadConfig config)
     : config_(config), rng_(config.seed ^ 0x776f726b6c6f6164ULL) {
   QSEL_REQUIRE(config.key_space > 0);
   QSEL_REQUIRE(config.put_fraction + config.get_fraction <= 1.0);
+  QSEL_REQUIRE(config.zipf_theta >= 0.0);
+  if (config.zipf_theta > 0.0)
+    zipf_.emplace(config.key_space, config.zipf_theta);
 }
 
 Operation Workload::next() {
   Operation op;
-  op.key = "key-" + std::to_string(rng_.below(config_.key_space));
+  const std::uint64_t rank =
+      zipf_ ? zipf_->sample(rng_) : rng_.below(config_.key_space);
+  op.key = "key-" + std::to_string(config_.key_offset + rank);
   const double roll = rng_.uniform01();
   if (roll < config_.put_fraction) {
     op.type = OpType::kPut;

@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "app/kv_store.hpp"
+#include "app/zipf.hpp"
 #include "common/rng.hpp"
 
 namespace qsel::app {
@@ -20,6 +22,14 @@ struct WorkloadConfig {
   /// Probabilities; the remainder are deletes.
   double put_fraction = 0.5;
   double get_fraction = 0.4;
+  /// Key-popularity skew: 0 = uniform (and exactly the historical stream —
+  /// the Rng consumption is unchanged); > 0 draws key ranks Zipf(theta).
+  double zipf_theta = 0.0;
+  /// Added to every drawn rank: key i becomes "key-<key_offset + i>".
+  /// Giving each load client a disjoint range makes the final KV state
+  /// independent of cross-client interleaving, which is what lets the
+  /// pipelining equivalence tests demand bit-identical digests.
+  std::uint32_t key_offset = 0;
 };
 
 class Workload {
@@ -34,6 +44,7 @@ class Workload {
  private:
   WorkloadConfig config_;
   Rng rng_;
+  std::optional<ZipfSampler> zipf_;  // engaged when zipf_theta > 0
 };
 
 }  // namespace qsel::app

@@ -1,0 +1,30 @@
+#include "app/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace qsel::app {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double theta) {
+  QSEL_REQUIRE(n > 0);
+  QSEL_REQUIRE(theta >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k) + 1.0, theta);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail short
+}
+
+std::uint32_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::uint32_t>(it - cdf_.begin());
+  return std::min(rank, static_cast<std::uint32_t>(cdf_.size() - 1));
+}
+
+}  // namespace qsel::app

@@ -1,0 +1,33 @@
+// Seeded Zipf(theta) rank sampler.
+//
+// The load generator (src/load/) skews key popularity the way real KV
+// traffic does: rank k is drawn with probability proportional to
+// 1/(k+1)^theta. The CDF is precomputed once, so sampling is one uniform
+// draw plus a binary search — deterministic given the caller's Rng stream.
+// theta = 0 degenerates to uniform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qsel::app {
+
+class ZipfSampler {
+ public:
+  /// `n` ranks (0..n-1), skew exponent `theta` >= 0.
+  ZipfSampler(std::uint32_t n, double theta);
+
+  /// Draws one rank; rank 0 is the most popular.
+  std::uint32_t sample(Rng& rng) const;
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(cdf_.size());
+  }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); back() == 1
+};
+
+}  // namespace qsel::app

@@ -1,0 +1,80 @@
+#include "load/async_engine.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "smr/typed_result.hpp"
+
+namespace qsel::load {
+
+AsyncEngine::AsyncEngine(net::Transport& transport,
+                         const crypto::KeyRegistry& keys,
+                         AsyncEngineConfig config)
+    : transport_(transport),
+      signer_(keys, transport.self()),
+      config_(config) {
+  if (config_.replica_set.empty())
+    config_.replica_set = ProcessSet::full(config_.replicas);
+  QSEL_REQUIRE(!config_.replica_set.contains(self()));
+  QSEL_REQUIRE(static_cast<int>(config_.replica_set.size()) > config_.f);
+  transport_.set_handler([this](ProcessId from, const sim::PayloadPtr& m) {
+    on_message(from, m);
+  });
+}
+
+std::uint64_t AsyncEngine::submit(std::vector<std::uint8_t> op,
+                                  Callback done) {
+  const std::uint64_t seq = next_seq_++;
+  Pending& pending = pending_[seq];
+  pending.request = smr::ClientRequest::make(signer_, seq, std::move(op));
+  pending.done = std::move(done);
+  pending.issued_at = transport_.timers().now();
+  transport_.broadcast(config_.replica_set, pending.request);
+  arm_retry(seq);
+  return seq;
+}
+
+void AsyncEngine::arm_retry(std::uint64_t client_seq) {
+  Pending& pending = pending_.at(client_seq);
+  pending.retry = transport_.timers().schedule_timer(
+      config_.retry_timeout, [this, client_seq] {
+        const auto it = pending_.find(client_seq);
+        if (it == pending_.end()) return;
+        ++retransmissions_;
+        transport_.broadcast(config_.replica_set, it->second.request);
+        arm_retry(client_seq);
+      });
+}
+
+void AsyncEngine::on_message(ProcessId from, const sim::PayloadPtr& message) {
+  (void)from;
+  const auto reply =
+      std::dynamic_pointer_cast<const smr::ReplyMessage>(message);
+  if (reply == nullptr) return;
+  if (reply->client != self()) return;
+  const auto it = pending_.find(reply->client_seq);
+  if (it == pending_.end()) return;  // already settled (or never ours)
+  if (!reply->verify(signer_, config_.replicas)) return;
+  if (!config_.replica_set.contains(reply->replica)) return;
+  Pending& pending = it->second;
+  ProcessSet& voters = pending.replies[reply->result];
+  voters.insert(reply->replica);
+  if (voters.size() <= config_.f) return;  // need f+1 matching
+
+  smr::Outcome outcome;
+  outcome.client_seq = reply->client_seq;
+  outcome.latency = transport_.timers().now() - pending.issued_at;
+  if (const auto typed = smr::TypedResult::parse(reply->result)) {
+    outcome.status = typed->status;
+    outcome.config_epoch = typed->epoch;
+    outcome.value = typed->value;
+  } else {
+    outcome.value = reply->result;
+  }
+  pending.retry.cancel();
+  Callback done = std::move(pending.done);
+  pending_.erase(it);  // before the callback: it may submit re-entrantly
+  if (done) done(outcome);
+}
+
+}  // namespace qsel::load

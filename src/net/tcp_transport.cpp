@@ -238,27 +238,29 @@ void TcpTransport::send(ProcessId to, sim::PayloadPtr message) {
   // Only simulator-only test payloads lack a wire form; sending one over
   // TCP is a programming error, not a runtime condition.
   QSEL_ASSERT(body.has_value());
-  send_encoded(to, *message, *body);
+  send_encoded(to, *message, *body, nullptr);
 }
 
 void TcpTransport::broadcast(ProcessSet targets,
                              const sim::PayloadPtr& message) {
   QSEL_REQUIRE(message != nullptr);
   if (stopped_) return;
-  // Encode once for the whole fan-out; only the per-peer MAC differs, and
-  // that is applied at enqueue time against each connection's frame key.
-  std::optional<std::vector<std::uint8_t>> body;
+  // Zero-copy fan-out: encode AND frame once; every peer's outq holds the
+  // same immutable length-prefixed buffer. Only the per-peer MAC tail
+  // (auth mode) and tampered frames are materialized per connection.
+  SharedFrame framed;
   for (ProcessId id : targets) {
     QSEL_REQUIRE(id < config_.n);
     if (id == config_.self) {
       deliver_local(message);
       continue;
     }
-    if (!body) {
-      body = encode_message(*message);
+    if (framed == nullptr) {
+      const auto body = encode_message(*message);
       QSEL_ASSERT(body.has_value());
+      framed = make_framed(*body);
     }
-    send_encoded(id, *message, *body);
+    send_encoded(id, *message, {}, framed);
   }
 }
 
@@ -273,10 +275,27 @@ void TcpTransport::deliver_local(const sim::PayloadPtr& message) {
   });
 }
 
+TcpTransport::SharedFrame TcpTransport::make_framed(
+    std::span<const std::uint8_t> body) const {
+  auto framed = std::make_shared<std::vector<std::uint8_t>>();
+  framed->reserve(4 + body.size());
+  const auto len = static_cast<std::uint32_t>(
+      body.size() + (auth_enabled() ? kMacBytes : 0));
+  framed->push_back(static_cast<std::uint8_t>(len & 0xff));
+  framed->push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+  framed->push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+  framed->push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+  framed->insert(framed->end(), body.begin(), body.end());
+  return framed;
+}
+
 void TcpTransport::send_encoded(ProcessId to, const sim::Payload& message,
-                                const std::vector<std::uint8_t>& body) {
+                                std::span<const std::uint8_t> body,
+                                const SharedFrame& framed) {
+  const std::size_t body_bytes =
+      framed != nullptr ? framed->size() - 4 : body.size();
   const std::size_t frame_bytes =
-      4 + body.size() + (auth_enabled() ? kMacBytes : 0);
+      4 + body_bytes + (auth_enabled() ? kMacBytes : 0);
   TamperPlan plan;
   if (tamper_) plan = tamper_(to, frame_bytes);
   const std::string tag(message.type_tag());
@@ -292,34 +311,86 @@ void TcpTransport::send_encoded(ProcessId to, const sim::Payload& message,
     // the stream — message reordering, never stream corruption. The MAC
     // is computed at enqueue time against the connection alive *then*;
     // a reconnect in the gap means fresh nonces and a fresh frame key.
+    // A shared frame stays shared across the delay (the lambda captures
+    // the refcount, not a copy).
     loop_.timers().schedule_after(
         plan.delay_ns,
-        [this, to, body = body, plan, tag, wire_size] {
+        [this, to,
+         body = framed != nullptr
+                    ? std::vector<std::uint8_t>{}
+                    : std::vector<std::uint8_t>(body.begin(), body.end()),
+         framed, plan, tag, wire_size] {
           if (stopped_) return;
           if (tracer_) tracer_->send(config_.self, to, tag, 0, wire_size);
           TamperPlan now = plan;
           now.delay_ns = 0;
-          enqueue_frame(to, body, now);
+          enqueue_dispatch(to, body, framed, now);
           if (plan.duplicate) {
             now.duplicate = false;
             now.split_at = 0;
-            enqueue_frame(to, body, now);
+            enqueue_dispatch(to, body, framed, now);
           }
         });
     return;
   }
   if (tracer_) tracer_->send(config_.self, to, tag, 0, wire_size);
-  enqueue_frame(to, body, plan);
+  enqueue_dispatch(to, body, framed, plan);
   if (plan.duplicate) {
     TamperPlan dup = plan;
     dup.duplicate = false;
     dup.split_at = 0;
-    enqueue_frame(to, body, dup);
+    enqueue_dispatch(to, body, framed, dup);
   }
 }
 
+void TcpTransport::enqueue_dispatch(ProcessId to,
+                                    std::span<const std::uint8_t> body,
+                                    const SharedFrame& framed,
+                                    TamperPlan plan) {
+  if (framed != nullptr && plan.flip_mask == 0) {
+    enqueue_shared(to, framed, plan);
+    return;
+  }
+  // Copy-on-tamper: a byte flip must corrupt this peer's stream only,
+  // never the buffer its siblings share.
+  if (framed != nullptr)
+    body = std::span<const std::uint8_t>(framed->data() + 4,
+                                         framed->size() - 4);
+  enqueue_frame(to, body, plan);
+}
+
+void TcpTransport::enqueue_shared(ProcessId to, const SharedFrame& framed,
+                                  TamperPlan plan) {
+  Connection* conn = out_[to];
+  if (conn == nullptr || (auth_enabled() && !conn->authenticated)) {
+    if (tracer_)
+      tracer_->drop(config_.self, to, {}, trace::DropReason::kDisconnected,
+                    framed->size() - 4);
+    return;
+  }
+  if (plan.split_at > 0)
+    conn->write_cap = conn->out_total - conn->out_offset + plan.split_at;
+  conn->out_total += framed->size();
+  conn->outq.push_back(OutChunk{{}, framed});
+  if (auth_enabled()) {
+    // The shared prefix already counts the MAC; the MAC itself depends on
+    // this connection's frame key, so it rides as a small owned tail.
+    const std::span<const std::uint8_t> body(framed->data() + 4,
+                                             framed->size() - 4);
+    const crypto::Digest mac =
+        crypto::hmac_sha256(conn->frame_key.bytes, body);
+    std::vector<std::uint8_t> tail = acquire_buffer();
+    tail.insert(tail.end(), mac.bytes.begin(), mac.bytes.begin() + kMacBytes);
+    conn->out_total += tail.size();
+    conn->outq.push_back(OutChunk{std::move(tail), nullptr});
+  }
+  ++io_stats_.frames_sent;
+  ++io_stats_.frames_shared;
+  schedule_flush(conn);
+}
+
 void TcpTransport::enqueue_frame(ProcessId to,
-                                 const std::vector<std::uint8_t>& body,
+                                 std::span<const std::uint8_t> body,
                                  TamperPlan plan) {
   Connection* conn = out_[to];
   if (conn == nullptr || (auth_enabled() && !conn->authenticated)) {
@@ -356,7 +427,7 @@ void TcpTransport::enqueue_frame(ProcessId to,
     conn->write_cap = conn->out_total - conn->out_offset + plan.split_at;
   }
   conn->out_total += frame.size();
-  conn->outq.push_back(std::move(frame));
+  conn->outq.push_back(OutChunk{std::move(frame), nullptr});
   ++io_stats_.frames_sent;
   schedule_flush(conn);
 }
@@ -366,7 +437,7 @@ void TcpTransport::enqueue_raw(Connection* conn,
   std::vector<std::uint8_t> frame = acquire_buffer();
   append_frame(frame, body);
   conn->out_total += frame.size();
-  conn->outq.push_back(std::move(frame));
+  conn->outq.push_back(OutChunk{std::move(frame), nullptr});
   ++io_stats_.frames_sent;
   schedule_flush(conn);
 }
@@ -415,15 +486,17 @@ void TcpTransport::flush(Connection* conn) {
       capped = true;
     }
     std::size_t skip = conn->out_offset;
-    for (auto& buf : conn->outq) {
+    for (auto& chunk : conn->outq) {
       if (iov_count == kMaxIov || batched == budget) break;
-      if (skip >= buf.size()) {
-        skip -= buf.size();
+      if (skip >= chunk.size()) {
+        skip -= chunk.size();
         continue;
       }
       const std::size_t take =
-          std::min(buf.size() - skip, budget - batched);
-      iov[iov_count].iov_base = buf.data() + skip;
+          std::min(chunk.size() - skip, budget - batched);
+      // The iovec is read-only (sendmsg); casting away const from a
+      // shared chunk never writes through it.
+      iov[iov_count].iov_base = const_cast<std::uint8_t*>(chunk.data()) + skip;
       iov[iov_count].iov_len = take;
       ++iov_count;
       batched += take;
@@ -441,9 +514,10 @@ void TcpTransport::flush(Connection* conn) {
       conn->out_offset += static_cast<std::size_t>(sent);
       while (!conn->outq.empty() &&
              conn->out_offset >= conn->outq.front().size()) {
-        conn->out_offset -= conn->outq.front().size();
-        conn->out_total -= conn->outq.front().size();
-        release_buffer(std::move(conn->outq.front()));
+        OutChunk& front = conn->outq.front();
+        conn->out_offset -= front.size();
+        conn->out_total -= front.size();
+        if (front.shared == nullptr) release_buffer(std::move(front.owned));
         conn->outq.pop_front();
       }
       if (conn->write_cap > 0) {
@@ -601,7 +675,8 @@ void TcpTransport::close_connection(Connection* conn, bool reconnect) {
   ::close(conn->fd);
   if (conn->flush_pending) std::erase(pending_flush_, conn);
   while (!conn->outq.empty()) {
-    release_buffer(std::move(conn->outq.front()));
+    if (conn->outq.front().shared == nullptr)
+      release_buffer(std::move(conn->outq.front().owned));
     conn->outq.pop_front();
   }
   if (outgoing && peer != kNoProcess && out_[peer] == conn)

@@ -106,6 +106,10 @@ struct IoStats {
   std::uint64_t writev_calls = 0;
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_received = 0;
+  /// Frames that rode the zero-copy broadcast path: the length-prefixed
+  /// body was encoded once and shared across every peer's outbound queue
+  /// rather than copied per connection.
+  std::uint64_t frames_shared = 0;
 };
 
 /// What to do with one outgoing frame (see set_write_tamper).
@@ -204,6 +208,26 @@ class TcpTransport final : public Transport {
   void broadcast(ProcessSet targets, const sim::PayloadPtr& message) override;
 
  private:
+  /// An immutable length-prefixed frame (u32-LE length || wire body)
+  /// shared across a broadcast fan-out. In auth mode the prefix already
+  /// counts the MAC, but the MAC itself is per-connection and travels as
+  /// a separate owned tail chunk.
+  using SharedFrame = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// One queued piece of an outbound stream: pool-owned bytes, or a
+  /// reference into a frame shared across a broadcast (zero-copy). Owned
+  /// chunks carry MAC tails, handshake frames, unicast sends, and
+  /// tampered (byte-flipped) frames, which must not corrupt siblings.
+  struct OutChunk {
+    std::vector<std::uint8_t> owned;
+    SharedFrame shared;
+
+    const std::uint8_t* data() const {
+      return shared ? shared->data() : owned.data();
+    }
+    std::size_t size() const { return shared ? shared->size() : owned.size(); }
+  };
+
   struct Connection {
     int fd = -1;
     ProcessId peer = kNoProcess;  // incoming: learned from HELLO
@@ -217,10 +241,11 @@ class TcpTransport final : public Transport {
     crypto::Digest session_key{};  // proves the handshake
     crypto::Digest frame_key{};    // MACs message bodies
     std::vector<std::uint8_t> inbuf;
-    /// Outbound frames awaiting the deferred flush, FIFO. Buffers come
-    /// from (and return to) the transport's frame pool, so steady-state
-    /// sends allocate nothing.
-    std::deque<std::vector<std::uint8_t>> outq;
+    /// Outbound chunks awaiting the deferred flush, FIFO. Owned buffers
+    /// come from (and return to) the transport's frame pool, so
+    /// steady-state unicast sends allocate nothing; shared chunks are
+    /// reference-counted broadcast frames.
+    std::deque<OutChunk> outq;
     std::size_t out_total = 0;    // bytes across outq, consumed included
     std::size_t out_offset = 0;   // consumed prefix of outq.front()
     std::size_t write_cap = 0;    // pending split tamper, 0 = none
@@ -242,8 +267,17 @@ class TcpTransport final : public Transport {
                                     std::uint64_t client_nonce,
                                     std::uint64_t server_nonce) const;
   void note_offense(ProcessId peer);
-  void enqueue_frame(ProcessId to, const std::vector<std::uint8_t>& body,
+  /// Wraps `body` in a length prefix (counting the MAC in auth mode) for
+  /// sharing across a fan-out.
+  SharedFrame make_framed(std::span<const std::uint8_t> body) const;
+  /// Routes to the zero-copy shared path or the owned copy path (unicast,
+  /// or a byte-flip tamper that must not corrupt the shared buffer).
+  void enqueue_dispatch(ProcessId to, std::span<const std::uint8_t> body,
+                        const SharedFrame& framed, TamperPlan plan);
+  void enqueue_frame(ProcessId to, std::span<const std::uint8_t> body,
                      TamperPlan plan);
+  void enqueue_shared(ProcessId to, const SharedFrame& framed,
+                      TamperPlan plan);
   /// Queues raw pre-framed bytes (handshake frames: no tamper, no MAC).
   void enqueue_raw(Connection* conn, std::span<const std::uint8_t> body);
   /// Marks `conn` for the end-of-round batched flush (EventLoop::defer).
@@ -254,11 +288,13 @@ class TcpTransport final : public Transport {
   void release_buffer(std::vector<std::uint8_t> buffer);
   void update_interest(Connection* conn);
   void deliver_local(const sim::PayloadPtr& message);
-  /// One message to one peer; `body` is the shared wire encoding, produced
-  /// once per send()/broadcast() call (the per-peer MAC is applied at
-  /// enqueue time).
+  /// One message to one peer. Unicast passes the wire encoding in `body`
+  /// (framed = null); broadcast passes the shared pre-framed bytes in
+  /// `framed` (body empty) so the encode + prefix happen once per fan-out
+  /// (the per-peer MAC is applied at enqueue time either way).
   void send_encoded(ProcessId to, const sim::Payload& message,
-                    const std::vector<std::uint8_t>& body);
+                    std::span<const std::uint8_t> body,
+                    const SharedFrame& framed);
 
   EventLoop& loop_;
   Config config_;

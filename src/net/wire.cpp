@@ -78,9 +78,12 @@ void encode_reply(const smr::ReplyMessage& msg, Encoder& enc) {
 void encode_prepare_fields(const xpaxos::PrepareMessage& msg, Encoder& enc) {
   enc.u64(msg.view);
   enc.u64(msg.slot);
-  enc.u32(msg.client);
-  enc.u64(msg.client_seq);
-  enc.bytes(msg.op);
+  enc.u32(static_cast<std::uint32_t>(msg.requests.size()));
+  for (const xpaxos::BatchEntry& e : msg.requests) {
+    enc.u32(e.client);
+    enc.u64(e.client_seq);
+    enc.bytes(e.op);
+  }
   enc.signature(msg.sig);
 }
 
@@ -223,13 +226,26 @@ bool decode_prepare_fields(Decoder& dec, ProcessId n,
                            xpaxos::PrepareMessage& out) {
   out.view = dec.u64();
   out.slot = dec.u64();
-  out.client = dec.u32();
-  out.client_seq = dec.u64();
-  out.op = dec.bytes();
+  const std::uint32_t count = dec.u32();
+  // A PREPARE carries 1..kMaxBatch requests; an empty batch or an absurd
+  // count is garbage regardless of signature, rejected before any
+  // allocation is amplified.
+  if (!dec.ok() || count == 0 || count > xpaxos::PrepareMessage::kMaxBatch)
+    return false;
+  out.requests.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    xpaxos::BatchEntry e;
+    e.client = dec.u32();
+    e.client_seq = dec.u64();
+    e.op = dec.bytes();
+    // client == 0 doubles as the no-op marker, so only the upper bound is
+    // checked.
+    if (!dec.ok() || e.client >= n) return false;
+    out.requests.push_back(std::move(e));
+  }
   out.sig = dec.signature();
-  // client == 0 doubles as the no-op marker, so only the upper bound is
-  // checked; slot 0 is never proposed.
-  return dec.ok() && out.client < n && out.slot != 0;
+  // Slot 0 is never proposed.
+  return dec.ok() && out.slot != 0;
 }
 
 sim::PayloadPtr decode_prepare(Decoder& dec, ProcessId n) {

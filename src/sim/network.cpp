@@ -12,6 +12,7 @@ Network::Network(Simulator& simulator, ProcessId n, NetworkConfig config,
       rng_(seed ^ 0x6e6574776f726bULL),
       actors_(n, nullptr),
       link_disabled_(static_cast<std::size_t>(n) * n, false),
+      link_duplicate_(static_cast<std::size_t>(n) * n, false),
       link_extra_delay_(static_cast<std::size_t>(n) * n, 0),
       link_last_delivery_(static_cast<std::size_t>(n) * n, 0) {
   QSEL_REQUIRE(n > 0 && n <= kMaxProcesses);
@@ -47,6 +48,13 @@ void Network::send(ProcessId from, ProcessId to, PayloadPtr message) {
     return;
   }
 
+  const bool duplicate = link_duplicate_[link_index(from, to)];
+  schedule_delivery(from, to, message);
+  if (duplicate) schedule_delivery(from, to, std::move(message));
+}
+
+void Network::schedule_delivery(ProcessId from, ProcessId to,
+                                PayloadPtr message) {
   SimTime deliver_at = sim_.now() + sample_latency(from, to);
   if (config_.fifo_links) {
     SimTime& last = link_last_delivery_[link_index(from, to)];
@@ -131,6 +139,12 @@ void Network::set_link_extra_delay(ProcessId from, ProcessId to,
   link_extra_delay_[link_index(from, to)] = extra;
   if (tracer_)
     tracer_->link_fault(from, to, trace::LinkFaultKind::kExtraDelay, extra);
+}
+
+void Network::set_link_duplicate(ProcessId from, ProcessId to,
+                                 bool duplicate) {
+  QSEL_REQUIRE(from < n_ && to < n_);
+  link_duplicate_[link_index(from, to)] = duplicate;
 }
 
 void Network::partition(ProcessSet side_a, ProcessSet side_b) {

@@ -95,6 +95,11 @@ class Network {
   /// Adds a fixed extra delay on the directed link (timing failures).
   void set_link_extra_delay(ProcessId from, ProcessId to, SimDuration extra);
 
+  /// Delivers every message on the directed link twice, the copy with an
+  /// independently sampled latency (at-least-once channels; retransmission
+  /// races). Off by default.
+  void set_link_duplicate(ProcessId from, ProcessId to, bool duplicate);
+
   /// Drops all messages between the two sides, both directions.
   void partition(ProcessSet side_a, ProcessSet side_b);
   void heal_partition();
@@ -117,6 +122,8 @@ class Network {
 
  private:
   SimDuration sample_latency(ProcessId from, ProcessId to);
+  /// Samples a latency (FIFO-adjusted) and schedules one delivery event.
+  void schedule_delivery(ProcessId from, ProcessId to, PayloadPtr message);
   std::size_t link_index(ProcessId from, ProcessId to) const {
     return static_cast<std::size_t>(from) * n_ + to;
   }
@@ -128,6 +135,7 @@ class Network {
   std::vector<Actor*> actors_;
   ProcessSet crashed_;
   std::vector<bool> link_disabled_;
+  std::vector<bool> link_duplicate_;
   std::vector<SimDuration> link_extra_delay_;
   std::vector<SimTime> link_last_delivery_;  // for FIFO enforcement
   metrics::MessageStats stats_;

@@ -19,6 +19,8 @@ Cluster::Cluster(ClusterConfig config, ProcessSet byzantine)
   replica_config.policy = config.policy;
   replica_config.fd = config.fd;
   replica_config.view_change_retry = config.view_change_retry;
+  replica_config.pipeline_window = config.pipeline_window;
+  replica_config.max_batch = config.max_batch;
   for (ProcessId id : honest_replicas_) {
     transports_.push_back(
         std::make_unique<runtime::SimTransport>(*network_, id));

@@ -32,6 +32,9 @@ struct ClusterConfig {
   fd::FailureDetectorConfig fd;
   SimDuration view_change_retry = 30'000'000;
   SimDuration client_retry = 50'000'000;
+  /// Commit pipelining / batching knobs, forwarded to every replica.
+  std::size_t pipeline_window = 16;
+  std::size_t max_batch = 8;
   app::WorkloadConfig workload;
 };
 

@@ -1,5 +1,7 @@
 #include "xpaxos/messages.hpp"
 
+#include "common/assert.hpp"
+
 namespace qsel::xpaxos {
 namespace {
 
@@ -7,12 +9,21 @@ void encode_prepare_body(net::Encoder& enc, const PrepareMessage& p) {
   enc.str("xpaxos.prepare");
   enc.u64(p.view);
   enc.u64(p.slot);
-  enc.u32(p.client);
-  enc.u64(p.client_seq);
-  enc.bytes(p.op);
+  enc.u32(static_cast<std::uint32_t>(p.requests.size()));
+  for (const BatchEntry& e : p.requests) {
+    enc.u32(e.client);
+    enc.u64(e.client_seq);
+    enc.bytes(e.op);
+  }
 }
 
 }  // namespace
+
+std::size_t PrepareMessage::wire_size() const {
+  std::size_t size = 20 + 36;  // view, slot, count, signature
+  for (const BatchEntry& e : requests) size += 16 + e.op.size();
+  return size;
+}
 
 std::vector<std::uint8_t> PrepareMessage::signed_bytes() const {
   net::Encoder enc;
@@ -23,12 +34,19 @@ std::vector<std::uint8_t> PrepareMessage::signed_bytes() const {
 PrepareMessage PrepareMessage::make(const crypto::Signer& leader, ViewId view,
                                     SeqNum slot,
                                     const ClientRequest& request) {
+  return make_batch(leader, view, slot,
+                    {BatchEntry{request.client, request.client_seq,
+                                request.op}});
+}
+
+PrepareMessage PrepareMessage::make_batch(const crypto::Signer& leader,
+                                          ViewId view, SeqNum slot,
+                                          std::vector<BatchEntry> requests) {
+  QSEL_REQUIRE(!requests.empty() && requests.size() <= kMaxBatch);
   PrepareMessage p;
   p.view = view;
   p.slot = slot;
-  p.client = request.client;
-  p.client_seq = request.client_seq;
-  p.op = request.op;
+  p.requests = std::move(requests);
   p.sig = leader.sign(p.signed_bytes());
   return p;
 }
@@ -36,12 +54,20 @@ PrepareMessage PrepareMessage::make(const crypto::Signer& leader, ViewId view,
 bool PrepareMessage::verify(const crypto::Signer& verifier, ProcessId n,
                             ProcessId expected_leader) const {
   if (sig.signer != expected_leader || expected_leader >= n) return false;
+  if (requests.empty() || requests.size() > kMaxBatch) return false;
   return verifier.verify(signed_bytes(), sig);
 }
 
 bool PrepareMessage::same_proposal(const PrepareMessage& other) const {
-  return view == other.view && slot == other.slot && client == other.client &&
-         client_seq == other.client_seq && op == other.op;
+  return view == other.view && slot == other.slot &&
+         requests == other.requests;
+}
+
+bool PrepareMessage::contains(std::uint32_t client,
+                              std::uint64_t client_seq) const {
+  for (const BatchEntry& e : requests)
+    if (e.client == client && e.client_seq == client_seq) return true;
+  return false;
 }
 
 std::vector<std::uint8_t> CommitMessage::signed_bytes() const {

@@ -25,29 +25,51 @@ namespace qsel::xpaxos {
 using ClientRequest = smr::ClientRequest;
 using ReplyMessage = smr::ReplyMessage;
 
-/// The leader-signed proposal binding (view, slot) to a client request.
-/// Used both as a standalone payload and embedded inside CommitMessage.
-struct PrepareMessage final : sim::Payload {
-  ViewId view = 0;
-  SeqNum slot = 0;
+/// One client request inside a PREPARE batch. A no-op filler (view-change
+/// gap) is the single entry {client = 0, client_seq = slot, op = {}}.
+struct BatchEntry {
   std::uint32_t client = 0;
   std::uint64_t client_seq = 0;
   std::vector<std::uint8_t> op;
+
+  bool operator==(const BatchEntry&) const = default;
+};
+
+/// The leader-signed proposal binding (view, slot) to a *batch* of client
+/// requests — one consensus instance amortized over up to kMaxBatch
+/// operations. Used both as a standalone payload and embedded inside
+/// CommitMessage. A PREPARE always carries at least one entry; an empty
+/// batch is malformed on the wire.
+struct PrepareMessage final : sim::Payload {
+  /// Wire-format ceiling on entries per PREPARE; a decoded count outside
+  /// [1, kMaxBatch] is rejected before any allocation is amplified.
+  static constexpr std::size_t kMaxBatch = 256;
+
+  ViewId view = 0;
+  SeqNum slot = 0;
+  std::vector<BatchEntry> requests;
   crypto::Signature sig;  // by the leader of `view`
 
   std::string_view type_tag() const override { return "xpaxos.prepare"; }
-  std::size_t wire_size() const override { return 32 + op.size() + 36; }
+  std::size_t wire_size() const override;
 
   std::vector<std::uint8_t> signed_bytes() const;
   static PrepareMessage make(const crypto::Signer& leader, ViewId view,
                              SeqNum slot, const ClientRequest& request);
+  static PrepareMessage make_batch(const crypto::Signer& leader, ViewId view,
+                                   SeqNum slot,
+                                   std::vector<BatchEntry> requests);
 
-  /// Valid iff signed by `expected_leader` over the contents.
+  /// Valid iff signed by `expected_leader` over the contents, with a
+  /// well-formed batch (1..kMaxBatch entries).
   bool verify(const crypto::Signer& verifier, ProcessId n,
               ProcessId expected_leader) const;
 
   /// Same proposal identity (everything except the signature bits).
   bool same_proposal(const PrepareMessage& other) const;
+
+  /// True when the batch carries (client, client_seq).
+  bool contains(std::uint32_t client, std::uint64_t client_seq) const;
 };
 
 struct CommitMessage final : sim::Payload {

@@ -18,6 +18,9 @@ Replica::Replica(net::Transport& transport, const crypto::KeyRegistry& keys,
       fd_(transport.timers(), transport.self(), config_.n, config_.fd,
           [this](ProcessSet s) { on_suspected(s); }) {
   QSEL_REQUIRE(self() < config_.n);
+  QSEL_REQUIRE(config_.pipeline_window >= 1);
+  QSEL_REQUIRE(config_.max_batch >= 1 &&
+               config_.max_batch <= PrepareMessage::kMaxBatch);
   if (config_.policy == QuorumPolicy::kQuorumSelection) {
     selector_ = std::make_unique<qs::QuorumSelector>(
         signer_, qs::QuorumSelectorConfig{config_.n, config_.f},
@@ -159,14 +162,14 @@ void Replica::handle_request(
                    const auto* p =
                        dynamic_cast<const PrepareMessage*>(m.get());
                    return p != nullptr && p->view == view &&
-                          p->client == client && p->client_seq == client_seq;
+                          p->contains(client, client_seq);
                  },
                  "proposal");
     }
     return;
   }
   if (status_ != Status::kNormal) {
-    pending_requests_.push_back(request);
+    if (pending_keys_.insert(key).second) pending_requests_.push_back(request);
     return;
   }
   if (const auto it = client_index_.find(key); it != client_index_.end()) {
@@ -175,21 +178,59 @@ void Replica::handle_request(
     // retransmission must be re-proposed.
     const auto slot_it = log_.find(it->second);
     if (slot_it != log_.end() && slot_it->second.prepare &&
-        slot_it->second.prepare->client == key.first &&
-        slot_it->second.prepare->client_seq == key.second)
+        slot_it->second.prepare->contains(key.first, key.second))
       return;  // genuinely in flight
     client_index_.erase(it);
   }
-  propose(*request);
+  if (!pending_keys_.insert(key).second) return;  // already queued
+  pending_requests_.push_back(request);
+  pump_proposals();
 }
 
-void Replica::propose(const ClientRequest& request) {
+std::size_t Replica::in_flight_instances() const {
+  QSEL_ASSERT(next_slot_ >= last_executed_ + 1);
+  return static_cast<std::size_t>(next_slot_ - 1 - last_executed_);
+}
+
+void Replica::pump_proposals() {
+  if (pumping_) return;
+  pumping_ = true;
+  while (is_leader() && status_ == Status::kNormal &&
+         !pending_requests_.empty() &&
+         in_flight_instances() < config_.pipeline_window) {
+    std::vector<BatchEntry> batch;
+    batch.reserve(std::min(config_.max_batch, pending_requests_.size()));
+    while (!pending_requests_.empty() && batch.size() < config_.max_batch) {
+      const auto request = pending_requests_.front();
+      pending_requests_.pop_front();
+      const auto key = std::make_pair(request->client, request->client_seq);
+      pending_keys_.erase(key);
+      // Re-validate: the request may have executed or been re-proposed
+      // (view-change replay) while it sat in the queue.
+      if (results_.contains(key)) continue;
+      if (const auto it = client_index_.find(key);
+          it != client_index_.end()) {
+        const auto slot_it = log_.find(it->second);
+        if (slot_it != log_.end() && slot_it->second.prepare &&
+            slot_it->second.prepare->contains(key.first, key.second))
+          continue;  // already in flight
+      }
+      batch.push_back(
+          BatchEntry{request->client, request->client_seq, request->op});
+    }
+    if (!batch.empty()) propose_batch(std::move(batch));
+  }
+  pumping_ = false;
+}
+
+void Replica::propose_batch(std::vector<BatchEntry> batch) {
   QSEL_ASSERT(is_leader() && status_ == Status::kNormal);
   const SeqNum slot = next_slot_++;
   const PrepareMessage prepare =
-      PrepareMessage::make(signer_, view_, slot, request);
+      PrepareMessage::make_batch(signer_, view_, slot, std::move(batch));
   QSEL_LOG(kDebug, "xpaxos") << "p" << self() << " proposes slot " << slot
-                             << " in view " << view_;
+                             << " (" << prepare.requests.size()
+                             << " requests) in view " << view_;
   send_to_quorum(std::make_shared<PrepareMessage>(prepare));
   handle_prepare(prepare, /*via_commit=*/false);
 }
@@ -237,7 +278,8 @@ void Replica::handle_prepare(const PrepareMessage& prepare, bool via_commit) {
   } else {
     slot.prepare = prepare;
   }
-  client_index_[{prepare.client, prepare.client_seq}] = prepare.slot;
+  for (const BatchEntry& e : prepare.requests)
+    client_index_[{e.client, e.client_seq}] = prepare.slot;
 
   if (!in_active_quorum()) return;  // passive replicas only track the log
   if (!slot.own_commit_sent) {
@@ -317,32 +359,51 @@ void Replica::record_commit(SeqNum slot_no, ProcessId sender) {
 void Replica::try_execute() {
   for (;;) {
     const auto it = log_.find(last_executed_ + 1);
-    if (it == log_.end()) return;
+    if (it == log_.end()) break;
     Slot& slot = it->second;
-    if (!slot.prepare || slot.executed) return;
+    if (!slot.prepare || slot.executed) break;
     const ProcessSet required = view_map_.quorum_of(slot.prepare->view);
-    if (!required.is_subset_of(slot.commits)) return;
+    if (!required.is_subset_of(slot.commits)) break;
 
     slot.executed = true;
     ++last_executed_;
     const PrepareMessage& p = *slot.prepare;
-    const bool noop = p.op.empty() && p.client == 0;
-    std::string result;
-    if (!noop) {
-      result = app_->apply_encoded(p.op);
-      ++requests_executed_;
+    for (const BatchEntry& e : p.requests) {
+      const bool noop = e.op.empty() && e.client == 0;
+      const auto key = std::make_pair(e.client, e.client_seq);
+      if (!noop) {
+        // Exactly-once: a view change can resurrect a request that
+        // already executed in an earlier slot (see the NEWVIEW merge
+        // dedup); the cached result answers it without re-applying. The
+        // cache is identical across replicas with the same executed
+        // prefix, so this stays deterministic.
+        if (const auto done = results_.find(key); done != results_.end()) {
+          if (e.client < transport_.process_count() && e.client >= config_.n)
+            transport_.send(e.client,
+                            ReplyMessage::make(signer_, view_, e.client,
+                                               e.client_seq, done->second));
+          continue;
+        }
+      }
+      std::string result;
+      if (!noop) {
+        result = app_->apply_encoded(e.op);
+        ++requests_executed_;
+      }
+      executed_history_.push_back(
+          ExecutedEntry{p.slot, e.client, e.client_seq, crypto::sha256(e.op)});
+      results_[key] = result;
+      if (!noop && e.client < transport_.process_count() &&
+          e.client >= config_.n) {
+        transport_.send(e.client,
+                        ReplyMessage::make(signer_, view_, e.client,
+                                           e.client_seq, result));
+      }
     }
-    executed_history_.push_back(
-        ExecutedEntry{p.slot, p.client, p.client_seq, crypto::sha256(p.op)});
-    results_[{p.client, p.client_seq}] = result;
     QSEL_LOG(kDebug, "xpaxos") << "p" << self() << " executed slot " << p.slot;
-    if (!noop && p.client < transport_.process_count() &&
-        p.client >= config_.n) {
-      transport_.send(p.client,
-                      ReplyMessage::make(signer_, view_, p.client, p.client_seq,
-                                         result));
-    }
   }
+  // Executions free pipeline-window slots; the leader refills them.
+  pump_proposals();
 }
 
 // --------------------------------------------------------------------------
@@ -493,20 +554,41 @@ void Replica::maybe_assemble_new_view() {
   }
   const SeqNum max_slot = merged.empty() ? 0 : merged.rbegin()->first;
 
+  // A request may survive in two slots: its original proposal lost by an
+  // earlier merge (stale, never committed — a fully committed slot is
+  // carried by every quorum intersection) plus the re-proposal the client
+  // retransmission earned in a later view. Re-proposing both would execute
+  // it twice, so keep only the highest-view occurrence of each (client,
+  // seq) — the only one that can have committed.
+  std::map<std::pair<std::uint32_t, std::uint64_t>,
+           std::pair<ViewId, SeqNum>>
+      winners;
+  for (const auto& [slot_no, p] : merged) {
+    for (const BatchEntry& e : p.requests) {
+      if (e.client == 0 && e.op.empty()) continue;  // per-slot no-op filler
+      const auto key = std::make_pair(e.client, e.client_seq);
+      const auto it = winners.find(key);
+      if (it == winners.end() || it->second.first < p.view)
+        winners.insert_or_assign(key, std::make_pair(p.view, slot_no));
+    }
+  }
+
   std::vector<PrepareMessage> reproposals;
   reproposals.reserve(static_cast<std::size_t>(max_slot));
   for (SeqNum slot_no = 1; slot_no <= max_slot; ++slot_no) {
-    ClientRequest request;  // no-op filler for gaps
+    std::vector<BatchEntry> batch;
     if (const auto it = merged.find(slot_no); it != merged.end()) {
-      request.client = it->second.client;
-      request.client_seq = it->second.client_seq;
-      request.op = it->second.op;
-    } else {
-      request.client = 0;
-      request.client_seq = slot_no;
+      for (const BatchEntry& e : it->second.requests) {
+        if (e.client == 0 && e.op.empty()) continue;
+        const auto win = winners.find({e.client, e.client_seq});
+        if (win != winners.end() && win->second.second == slot_no)
+          batch.push_back(e);
+      }
     }
+    if (batch.empty())
+      batch.push_back(BatchEntry{0, slot_no, {}});  // no-op filler for gaps
     reproposals.push_back(
-        PrepareMessage::make(signer_, view_, slot_no, request));
+        PrepareMessage::make_batch(signer_, view_, slot_no, std::move(batch)));
   }
   next_slot_ = max_slot + 1;
   const auto nv = NewViewMessage::make(signer_, view_, std::move(reproposals));
@@ -560,6 +642,7 @@ void Replica::handle_newview(const std::shared_ptr<const NewViewMessage>& msg) {
     next_slot_ = std::max(next_slot_, max_slot + 1);
     auto pending = std::move(pending_requests_);
     pending_requests_.clear();
+    pending_keys_.clear();
     for (const auto& request : pending) handle_request(request);
   }
   try_execute();

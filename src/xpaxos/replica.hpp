@@ -39,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "app/state_machine.hpp"
@@ -63,6 +64,15 @@ struct ReplicaConfig {
   fd::FailureDetectorConfig fd;
   /// While a view change is pending, retry/advance after this long.
   SimDuration view_change_retry = 30'000'000;  // 30 ms
+  /// Commit pipelining: the leader keeps at most this many consensus
+  /// instances between PREPARE and execution; 1 = the serial pre-pipeline
+  /// behavior (propose, wait for execution, propose the next).
+  std::size_t pipeline_window = 16;
+  /// Max client requests packed into one PREPARE. Batches form reactively:
+  /// a PREPARE carries more than one request only when the window is full
+  /// and a queue builds behind it, so an idle system keeps 1-request
+  /// latency.
+  std::size_t max_batch = 8;
   /// Builds the replicated application; unset = app::KvStore.
   std::function<std::unique_ptr<app::StateMachine>()> app_factory;
   /// Optional durable store for the node's quorum-selection state (epoch,
@@ -99,6 +109,11 @@ class Replica final {
   SeqNum last_executed() const { return last_executed_; }
   std::uint64_t view_changes() const { return view_changes_; }
   std::uint64_t requests_executed() const { return requests_executed_; }
+  /// Instances this leader has proposed but not yet executed (the pipeline
+  /// occupancy); meaningful on the current leader only.
+  std::size_t in_flight_instances() const;
+  /// Requests queued behind a full pipeline window (leader only).
+  std::size_t pending_proposals() const { return pending_requests_.size(); }
   fd::FailureDetector& failure_detector() { return fd_; }
   /// Null under the enumeration policy.
   const qs::QuorumSelector* selector() const { return selector_.get(); }
@@ -124,7 +139,10 @@ class Replica final {
   };
 
   void handle_request(const std::shared_ptr<const ClientRequest>& request);
-  void propose(const ClientRequest& request);
+  void propose_batch(std::vector<BatchEntry> batch);
+  /// Drains pending_requests_ into PREPARE batches while the pipeline
+  /// window has room. Re-entrancy-safe (a no-op while already pumping).
+  void pump_proposals();
   void handle_prepare(const PrepareMessage& prepare, bool via_commit);
   void handle_commit(const std::shared_ptr<const CommitMessage>& commit);
   void handle_viewchange(const std::shared_ptr<const ViewChangeMessage>& msg);
@@ -170,7 +188,12 @@ class Replica final {
   std::map<std::pair<std::uint32_t, std::uint64_t>, SeqNum> client_index_;
   /// Executed results, for replying to retransmitted requests.
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> results_;
+  /// Leader-side proposal queue: requests wait here while the pipeline
+  /// window is full (and across view changes). pending_keys_ mirrors the
+  /// queue so retransmissions cannot enqueue a request twice.
   std::deque<std::shared_ptr<const ClientRequest>> pending_requests_;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> pending_keys_;
+  bool pumping_ = false;
 
   /// VIEWCHANGE messages collected for view_ (by everyone: the
   /// leader-elect assembles from them; members use completeness of the set

@@ -18,6 +18,16 @@
 //       certificates do not intersect when n > 3f+1, so a partitioned
 //       n=9 f=1 cluster committed diverging histories. Fixed by the
 //       ceil((n+f+1)/2) quorum (pbft/replica.hpp).
+//   xpaxos_leader_crash_pipeline.json — request resurrection under the
+//       pipelined/batched commit path: a never-committed PREPARE for
+//       (client, seq) left at slot k after a lost view change could be
+//       merged alongside the retransmitted request's new slot by a later
+//       NEWVIEW, executing the request twice and diverging replica
+//       digests. Fixed by per-(client, seq) highest-view dedup in
+//       NEWVIEW assembly plus the executed-reply cache
+//       (xpaxos/replica.cpp). The schedule kills the view-1 leader
+//       mid-run with 16-deep pipelining live; every acked op must
+//       survive the view change.
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -69,6 +79,19 @@ TEST(CorpusReplayTest, PbftOverprovisionedSplitStaysFixed) {
       << "reproducer must be over-provisioned (n > 3f+1)";
   const RunResult result = run_schedule(schedule);
   EXPECT_TRUE(result.report.ok()) << result.report.to_string();
+}
+
+TEST(CorpusReplayTest, XpaxosLeaderCrashPipelineStaysFixed) {
+  const Schedule schedule = load("xpaxos_leader_crash_pipeline.json");
+  ASSERT_EQ(schedule.protocol, Protocol::kXPaxos);
+  const RunResult result = run_schedule(schedule);
+  EXPECT_TRUE(result.report.ok()) << result.report.to_string();
+  // The crash must actually depose the leader...
+  EXPECT_GE(result.view_changes, 1u);
+  // ...and no acked op may be lost or doubled across it: the client
+  // retransmits through the view change, so with n - 1 > 2f replicas
+  // left every request commits exactly once before quiescence.
+  EXPECT_EQ(result.observations.completed_requests, schedule.requests);
 }
 
 }  // namespace

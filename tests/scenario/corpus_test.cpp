@@ -41,9 +41,9 @@ constexpr CorpusEntry kCorpus[] = {
     {Protocol::kFollowerSelection, 4,
      "563e97760a0e1a6eb98e88704dce2f1979dfef3f0ce14cc90facc29e2b674efc"},
     {Protocol::kXPaxos, 1,
-     "52506ca768837d42ed8b2fe33dd48db502ef794fdffdce5fe3e4b69aca65678e"},
+     "e311e385b6050915457457b2dd62f968631e0baa1a8e655d1d5e294d8ed1e610"},
     {Protocol::kXPaxos, 2,
-     "0a7897784eae063987f53c96b455742383a6567199d8f1e3128efac6170947b3"},
+     "761d12af99662e8f65f9fce6b86769d650a5e74e0c690e3f202c4a13febefd08"},
     // Combined-archetype seeds (faults layered): 42 is a qs adversary
     // walk with a mid-walk partition, 15 a qs partition with crashes at
     // the heal; 10 and 14 are the fs counterparts. Picked by scanning

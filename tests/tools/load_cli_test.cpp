@@ -1,0 +1,89 @@
+// qsel_load CLI contract tests, driven through the real binary (path
+// baked in as QSEL_LOAD_BIN): bad arguments are a clean usage diagnostic
+// and exit 2, a zero-length run is a clean empty report, and --json
+// output is bit-identical for the same (config, seed) on the sim
+// substrate.
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace qsel {
+namespace {
+
+/// Runs `qsel_load <args>`, captures combined stdout+stderr, returns the
+/// exit code (or -1 on abnormal exit).
+int run_load(const std::string& args, std::string* output) {
+  const std::string command =
+      std::string(QSEL_LOAD_BIN) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return -1;
+  output->clear();
+  char buffer[4096];
+  std::size_t got;
+  while ((got = ::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+    output->append(buffer, got);
+  const int status = ::pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(status))
+      << "qsel_load did not exit normally on: " << args << "\n" << *output;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(LoadCliTest, UnknownFlagExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_load("--no-such-flag", &output), 2);
+  EXPECT_NE(output.find("usage:"), std::string::npos) << output;
+}
+
+TEST(LoadCliTest, MissingFlagValueExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_load("--clients", &output), 2);
+}
+
+TEST(LoadCliTest, NonNumericValueExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_load("--seed banana", &output), 2);
+}
+
+TEST(LoadCliTest, BadSubstrateExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_load("--substrate carrier-pigeon", &output), 2);
+}
+
+TEST(LoadCliTest, ZeroValuedShapeExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_load("--clients 0", &output), 2);
+  EXPECT_EQ(run_load("--window 0", &output), 2);
+  EXPECT_EQ(run_load("--batch 0", &output), 2);
+}
+
+TEST(LoadCliTest, ZeroDurationIsACleanEmptyReport) {
+  std::string output;
+  EXPECT_EQ(run_load("--duration-ms 0 --json", &output), 0);
+  EXPECT_NE(output.find("\"committed\":0"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"history_error\":\"\""), std::string::npos)
+      << output;
+}
+
+TEST(LoadCliTest, JsonIsBitIdenticalForSameConfigAndSeed) {
+  const std::string args =
+      "--seed 9 --clients 4 --outstanding 4 --requests 10 --zipf 0.9 --json";
+  std::string first, second;
+  EXPECT_EQ(run_load(args, &first), 0);
+  EXPECT_EQ(run_load(args, &second), 0);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"committed\":40"), std::string::npos) << first;
+}
+
+TEST(LoadCliTest, DifferentSeedsDiverge) {
+  std::string a, b;
+  EXPECT_EQ(run_load("--seed 1 --requests 5 --json", &a), 0);
+  EXPECT_EQ(run_load("--seed 2 --requests 5 --json", &b), 0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace qsel

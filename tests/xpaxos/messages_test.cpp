@@ -40,8 +40,31 @@ TEST(XpaxosMessagesTest, SameProposalIgnoresNothing) {
   const auto a = PrepareMessage::make(fx.leader, 1, 5, *fx.request());
   auto b = a;
   EXPECT_TRUE(a.same_proposal(b));
-  b.op.push_back(1);
+  b.requests[0].op.push_back(1);
   EXPECT_FALSE(a.same_proposal(b));
+}
+
+TEST(XpaxosMessagesTest, BatchedPrepareCarriesEveryRequest) {
+  Fixture fx;
+  std::vector<BatchEntry> batch{BatchEntry{4, 1, {1}}, BatchEntry{4, 2, {2}},
+                                BatchEntry{4, 3, {3}}};
+  const auto prepare = PrepareMessage::make_batch(fx.leader, 1, 5, batch);
+  EXPECT_TRUE(prepare.verify(fx.replica1, 5, 0));
+  EXPECT_EQ(prepare.requests.size(), 3u);
+  EXPECT_TRUE(prepare.contains(4, 2));
+  EXPECT_FALSE(prepare.contains(4, 9));
+  // Reordering the batch is a different proposal (execution order binds).
+  PrepareMessage shuffled = prepare;
+  std::swap(shuffled.requests[0], shuffled.requests[1]);
+  EXPECT_FALSE(prepare.same_proposal(shuffled));
+  EXPECT_FALSE(shuffled.verify(fx.replica1, 5, 0));  // signature binds order
+}
+
+TEST(XpaxosMessagesTest, EmptyBatchNeverVerifies) {
+  Fixture fx;
+  auto prepare = PrepareMessage::make(fx.leader, 1, 5, *fx.request());
+  prepare.requests.clear();
+  EXPECT_FALSE(prepare.verify(fx.replica1, 5, 0));
 }
 
 TEST(XpaxosMessagesTest, CommitEmbedsPrepare) {
@@ -54,7 +77,7 @@ TEST(XpaxosMessagesTest, CommitEmbedsPrepare) {
   // Byzantine sender embeds a doctored prepare: sender signature still
   // verifies (it signed what it sent) but the embedded prepare fails.
   PrepareMessage doctored = prepare;
-  doctored.op.push_back(9);
+  doctored.requests[0].op.push_back(9);
   const auto malformed = CommitMessage::make(fx.replica1, doctored);
   EXPECT_TRUE(malformed->verify_sender(fx.leader, 4));
   EXPECT_FALSE(malformed->prepare.verify(fx.leader, 4, 0));

@@ -1,4 +1,5 @@
-// bench_report — the BENCH_5 hot-path benchmark suite (DESIGN.md §11).
+// bench_report — the BENCH_5 hot-path benchmark suite (DESIGN.md §11),
+// plus the BENCH_6 end-to-end SMR suite behind --bench6 (section 4).
 //
 // Measures the three layers the delta-gossip PR optimizes and emits one
 // flat JSON object (stdout, or --out FILE):
@@ -45,6 +46,7 @@
 
 #include "crypto/signer.hpp"
 #include "graph/independent_set.hpp"
+#include "load/driver.hpp"
 #include "net/event_loop.hpp"
 #include "net/tcp_transport.hpp"
 #include "net/wire.hpp"
@@ -362,14 +364,138 @@ BlastResult tcp_blast(double window_seconds) {
   return result;
 }
 
-// --------------------------------------------------------------------------
-// Report plumbing.
-// --------------------------------------------------------------------------
-
 struct Metric {
   std::string key;
   double value;
 };
+
+// --------------------------------------------------------------------------
+// 4. BENCH_6 — end-to-end SMR committed ops through the load driver
+// (--bench6; see src/load/driver.hpp). The deterministic gates run on the
+// sim substrate in virtual time, identical in --quick and full mode:
+//
+//   gate_sim_serial_over_pipelined  committed ops, window 1 / window 16
+//                                   over the same virtual duration —
+//                                   pipelining must keep winning ≥ 2x.
+//   gate_batch_prepare_ratio        PREPARE wire messages, batched /
+//                                   unbatched, for the same committed set.
+//   gate_histogram_determinism      0.0 iff two identical (config, seed)
+//                                   sim runs produce bit-identical reports.
+//
+// The loopback arms (real TCP, wall clock) report committed ops/sec and
+// p50/p99/p999 for the serial and pipelined+batched paths, best-of-3
+// trials; informational, not gated. --quick shortens only these.
+// --------------------------------------------------------------------------
+
+load::LoadConfig bench6_sim_config() {
+  load::LoadConfig config;
+  config.seed = 6;
+  config.clients = 8;
+  config.outstanding = 8;
+  config.duration_ms = 400;
+  return config;
+}
+
+void bench6_sim_metrics(std::vector<Metric>& metrics,
+                        std::vector<std::string>& gate_keys) {
+  load::LoadConfig config = bench6_sim_config();
+  config.pipeline_window = 1;
+  config.max_batch = 1;
+  const load::LoadReport serial = load::run_sim(config);
+  config.pipeline_window = 16;
+  config.max_batch = 8;
+  const load::LoadReport pipelined = load::run_sim(config);
+  const load::LoadReport rerun = load::run_sim(config);
+
+  metrics.push_back({"sim_committed_serial",
+                     static_cast<double>(serial.committed)});
+  metrics.push_back({"sim_committed_pipelined",
+                     static_cast<double>(pipelined.committed)});
+  metrics.push_back({"gate_sim_serial_over_pipelined",
+                     static_cast<double>(serial.committed) /
+                         static_cast<double>(pipelined.committed)});
+  gate_keys.push_back("gate_sim_serial_over_pipelined");
+
+  const bool deterministic = pipelined.to_json() == rerun.to_json() &&
+                             pipelined.latency.digest() ==
+                                 rerun.latency.digest();
+  metrics.push_back({"gate_histogram_determinism", deterministic ? 0.0 : 1.0});
+  gate_keys.push_back("gate_histogram_determinism");
+
+  // Batch amortization: six serial clients behind a window of 2 queue up,
+  // so the batched arm packs multiple requests per PREPARE.
+  load::LoadConfig amortized;
+  amortized.seed = 11;
+  amortized.clients = 6;
+  amortized.outstanding = 1;
+  amortized.requests_per_client = 20;
+  amortized.key_space = 16;
+  amortized.pipeline_window = 2;
+  amortized.max_batch = 8;
+  const load::LoadReport batched = load::run_sim(amortized);
+  amortized.max_batch = 1;
+  const load::LoadReport unbatched = load::run_sim(amortized);
+  metrics.push_back({"sim_prepares_batched",
+                     static_cast<double>(batched.prepares)});
+  metrics.push_back({"sim_prepares_unbatched",
+                     static_cast<double>(unbatched.prepares)});
+  metrics.push_back({"gate_batch_prepare_ratio",
+                     static_cast<double>(batched.prepares) /
+                         static_cast<double>(unbatched.prepares)});
+  gate_keys.push_back("gate_batch_prepare_ratio");
+}
+
+void bench6_loopback_metrics(bool quick, std::vector<Metric>& metrics) {
+  // Each arm runs closed-loop at its own peak-stable depth — the usual
+  // saturation-throughput comparison. The serial arm is RTT-bound at any
+  // depth (one instance in flight, one request per instance), so deeper
+  // queues buy nothing but queueing delay and, past ~8×16 outstanding,
+  // client-retransmission storms that trip the failure detector into
+  // view changes. The pipelined arm needs depth to keep its
+  // window×batch = 128-slot flight ceiling full.
+  load::LoadConfig config;
+  config.seed = 6;
+  config.clients = 8;
+  config.duration_ms = quick ? 250 : 1000;
+
+  const auto best_of = [&](std::size_t window, std::size_t batch,
+                           std::uint32_t outstanding) {
+    config.pipeline_window = window;
+    config.max_batch = batch;
+    config.outstanding = outstanding;
+    load::LoadReport best;
+    for (int trial = 0; trial < 3; ++trial) {
+      load::LoadReport r = load::run_loopback(config);
+      if (trial == 0 || r.committed > best.committed) best = std::move(r);
+    }
+    return best;
+  };
+
+  const load::LoadReport serial = best_of(1, 1, 4);
+  const load::LoadReport pipelined = best_of(16, 8, 32);
+  const auto emit = [&](const char* arm, const load::LoadReport& r) {
+    const std::string prefix = std::string("loopback_") + arm;
+    metrics.push_back({prefix + "_ops_per_sec", r.throughput_per_sec()});
+    metrics.push_back({prefix + "_p50_ns",
+                       static_cast<double>(r.latency.p50())});
+    metrics.push_back({prefix + "_p99_ns",
+                       static_cast<double>(r.latency.p99())});
+    metrics.push_back({prefix + "_p999_ns",
+                       static_cast<double>(r.latency.p999())});
+  };
+  emit("serial", serial);
+  emit("pipelined", pipelined);
+  metrics.push_back(
+      {"loopback_pipelined_over_serial_ops",
+       serial.committed == 0
+           ? 0.0
+           : static_cast<double>(pipelined.committed) /
+                 static_cast<double>(serial.committed)});
+}
+
+// --------------------------------------------------------------------------
+// Report plumbing.
+// --------------------------------------------------------------------------
 
 std::string render_json(const std::vector<Metric>& metrics) {
   std::ostringstream os;
@@ -394,9 +520,61 @@ bool read_metric(const std::string& json, const std::string& key,
   return true;
 }
 
+/// Renders the report, writes it to stdout (and --out), then applies the
+/// baseline gate. Returns the process exit code.
+int finish_report(const std::vector<Metric>& metrics,
+                  const std::vector<std::string>& gate_keys,
+                  const char* out_path, const char* baseline_path,
+                  double max_regress) {
+  const std::string json = render_json(metrics);
+  if (out_path != nullptr) {
+    std::ofstream out(out_path);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "bench_report: cannot write %s\n", out_path);
+      return 1;
+    }
+  }
+  std::fputs(json.c_str(), stdout);
+
+  if (baseline_path == nullptr) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "bench_report: cannot read baseline %s\n",
+                 baseline_path);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string baseline = buffer.str();
+
+  // All gate metrics are lower-is-better ratios in [0, 1]; the small
+  // absolute slack keeps near-zero baselines from demanding perfection.
+  bool failed = false;
+  for (const std::string& key : gate_keys) {
+    double base = 0;
+    if (!read_metric(baseline, key, &base)) continue;  // older baseline
+    double cur = 0;
+    for (const Metric& m : metrics)
+      if (m.key == key) cur = m.value;
+    const double limit = base * (1.0 + max_regress) + 0.02;
+    if (cur > limit) {
+      std::fprintf(stderr,
+                   "bench_report: REGRESSION %s: %.4f vs baseline %.4f "
+                   "(limit %.4f)\n",
+                   key.c_str(), cur, base, limit);
+      failed = true;
+    } else {
+      std::fprintf(stderr, "bench_report: ok %s: %.4f (baseline %.4f)\n",
+                   key.c_str(), cur, base);
+    }
+  }
+  return failed ? 1 : 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--quick] [--out FILE] [--baseline FILE]"
+               "usage: %s [--quick] [--bench6] [--out FILE] [--baseline FILE]"
                " [--max-regress R]\n",
                argv0);
   return 2;
@@ -408,12 +586,15 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace qsel;
   bool quick = false;
+  bool bench6 = false;
   const char* out_path = nullptr;
   const char* baseline_path = nullptr;
   double max_regress = 0.25;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--bench6") == 0) {
+      bench6 = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
@@ -427,6 +608,14 @@ int main(int argc, char** argv) {
 
   std::vector<Metric> metrics;
   std::vector<std::string> gate_keys;
+
+  if (bench6) {
+    bench6_sim_metrics(metrics, gate_keys);
+    bench6_loopback_metrics(quick, metrics);
+    metrics.push_back({"quick", quick ? 1.0 : 0.0});
+    return finish_report(metrics, gate_keys, out_path, baseline_path,
+                         max_regress);
+  }
 
   // Gossip bytes/round: identical deterministic workload in both modes
   // (and in --quick), so the values — and the gate ratios — are exact.
@@ -472,49 +661,6 @@ int main(int argc, char** argv) {
   }
 
   metrics.push_back({"quick", quick ? 1.0 : 0.0});
-
-  const std::string json = render_json(metrics);
-  if (out_path != nullptr) {
-    std::ofstream out(out_path);
-    out << json;
-    if (!out) {
-      std::fprintf(stderr, "bench_report: cannot write %s\n", out_path);
-      return 1;
-    }
-  }
-  std::fputs(json.c_str(), stdout);
-
-  if (baseline_path == nullptr) return 0;
-  std::ifstream in(baseline_path);
-  if (!in) {
-    std::fprintf(stderr, "bench_report: cannot read baseline %s\n",
-                 baseline_path);
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string baseline = buffer.str();
-
-  // All gate metrics are lower-is-better ratios in [0, 1]; the small
-  // absolute slack keeps near-zero baselines from demanding perfection.
-  bool failed = false;
-  for (const std::string& key : gate_keys) {
-    double base = 0;
-    if (!read_metric(baseline, key, &base)) continue;  // older baseline
-    double cur = 0;
-    for (const Metric& m : metrics)
-      if (m.key == key) cur = m.value;
-    const double limit = base * (1.0 + max_regress) + 0.02;
-    if (cur > limit) {
-      std::fprintf(stderr,
-                   "bench_report: REGRESSION %s: %.4f vs baseline %.4f "
-                   "(limit %.4f)\n",
-                   key.c_str(), cur, base, limit);
-      failed = true;
-    } else {
-      std::fprintf(stderr, "bench_report: ok %s: %.4f (baseline %.4f)\n",
-                   key.c_str(), cur, base);
-    }
-  }
-  return failed ? 1 : 0;
+  return finish_report(metrics, gate_keys, out_path, baseline_path,
+                       max_regress);
 }
